@@ -1,0 +1,43 @@
+// Ablation: skip-gram vs CBOW (Appendix A.1 presents both Word2Vec
+// architectures; DarkVec adopts skip-gram, which "provides excellent
+// results when looking for embeddings that efficiently predict the next
+// word", Section 5.3). This bench quantifies the choice.
+#include "common.hpp"
+
+#include "darkvec/net/time.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Ablation", "skip-gram vs CBOW architecture");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const int days = env_or_int("DARKVEC_ABL_DAYS", 10);
+  const std::int64_t end = sim.trace.stats().last_ts + 1;
+  const net::Trace window =
+      sim.trace.slice(end - days * net::kSecondsPerDay, end);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  std::printf("window: last %d days (%zu packets)\n\n", days, window.size());
+
+  std::printf("  %-12s %10s %10s %14s\n", "architecture", "accuracy",
+              "train [s]", "pairs/epoch");
+  double acc[2] = {};
+  for (const bool cbow : {false, true}) {
+    DarkVecConfig config = default_config(/*default_epochs=*/5);
+    config.w2v.cbow = cbow;
+    DarkVec dv(config);
+    const auto stats = dv.fit(window);
+    const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+    acc[cbow ? 1 : 0] = eval.accuracy;
+    std::printf("  %-12s %10.3f %10.1f %14llu\n",
+                cbow ? "CBOW" : "skip-gram", eval.accuracy, stats.seconds,
+                static_cast<unsigned long long>(
+                    stats.pairs / static_cast<std::uint64_t>(
+                                      config.w2v.epochs)));
+  }
+  std::printf("\n");
+  compare("skip-gram vs CBOW accuracy", "skip-gram chosen by the paper",
+          fmt("%+.3f", acc[0] - acc[1]));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: Word2Vec skip-gram vs GloVe on the DarkVec corpus. The paper
+// discusses Word2Vec-family embeddings and cites GloVe as the other
+// standard approach; this bench quantifies the choice on darknet data
+// (same corpus, same k-NN evaluation).
+#include "common.hpp"
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/w2v/glove.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Ablation", "skip-gram (SGNS) vs GloVe on the DarkVec corpus");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const int days = env_or_int("DARKVEC_ABL_DAYS", 10);
+  const std::int64_t end = sim.trace.stats().last_ts + 1;
+  const net::Trace window =
+      sim.trace.slice(end - days * net::kSecondsPerDay, end);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+
+  // Shared corpus (domain services, defaults).
+  const corpus::DomainServiceMap services;
+  const corpus::Corpus corpus = corpus::build_corpus(window, services);
+  std::printf("corpus: %zu senders, %zu sentences, %zu tokens (last %d "
+              "days)\n\n",
+              corpus.vocabulary_size(), corpus.sentences.size(),
+              corpus.tokens(), days);
+
+  std::printf("  %-10s %10s %10s %14s\n", "embedder", "accuracy",
+              "train [s]", "work/epoch");
+
+  // SGNS.
+  w2v::SkipGramOptions sg_options;
+  sg_options.epochs = env_or_int("DARKVEC_EPOCHS", 5);
+  w2v::SkipGramModel sgns(corpus.vocabulary_size(), sg_options);
+  const auto sg_stats = sgns.train(corpus.sentences);
+  const auto sg_eval = evaluate_knn_vectors(sgns.embedding(), corpus.words,
+                                            sim.labels, eval_ips, 7);
+  std::printf("  %-10s %10.3f %10.1f %14llu\n", "SGNS", sg_eval.accuracy,
+              sg_stats.seconds,
+              static_cast<unsigned long long>(
+                  sg_stats.pairs /
+                  static_cast<std::uint64_t>(sg_options.epochs)));
+
+  // GloVe.
+  w2v::GloveOptions glove_options;
+  glove_options.epochs = env_or_int("DARKVEC_GLOVE_EPOCHS", 15);
+  w2v::GloveModel glove(corpus.vocabulary_size(), glove_options);
+  const auto gl_stats = glove.train(corpus.sentences);
+  const auto gl_eval = evaluate_knn_vectors(glove.embedding(), corpus.words,
+                                            sim.labels, eval_ips, 7);
+  std::printf("  %-10s %10.3f %10.1f %14zu\n", "GloVe", gl_eval.accuracy,
+              gl_stats.seconds, glove.nonzero_cells());
+
+  std::printf("\n");
+  compare("SGNS vs GloVe on darknet sequences", "SGNS is the paper's choice",
+          fmt("%+.3f", sg_eval.accuracy - gl_eval.accuracy));
+  return 0;
+}

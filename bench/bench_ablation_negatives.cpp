@@ -1,0 +1,73 @@
+// Ablation: negative-sampling count and training epochs.
+// Section 6.1 attributes part of IP2VEC's cost to negative sampling; this
+// bench quantifies the accuracy/time trade-off of both knobs for DarkVec
+// itself on the simulated trace.
+#include "common.hpp"
+
+#include "darkvec/net/time.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Ablation", "negative samples and epochs vs accuracy and time");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const int days = env_or_int("DARKVEC_ABL_DAYS", 10);
+  const std::int64_t end = sim.trace.stats().last_ts + 1;
+  const net::Trace window =
+      sim.trace.slice(end - days * net::kSecondsPerDay, end);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  std::printf("window: last %d days (%zu packets)\n\n", days, window.size());
+
+  std::printf("---- negative samples (epochs=5) ----\n");
+  std::printf("  %-10s %10s %10s\n", "negatives", "accuracy", "train [s]");
+  double acc_n1 = 0;
+  double acc_n5 = 0;
+  for (const int negative : {1, 2, 5, 10, 15}) {
+    DarkVecConfig config = default_config(/*default_epochs=*/5);
+    config.w2v.negative = negative;
+    DarkVec dv(config);
+    const auto stats = dv.fit(window);
+    const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+    std::printf("  %-10d %10.3f %10.1f\n", negative, eval.accuracy,
+                stats.seconds);
+    if (negative == 1) acc_n1 = eval.accuracy;
+    if (negative == 5) acc_n5 = eval.accuracy;
+  }
+  compare("5 negatives vs 1 negative", "more negatives help (slightly)",
+          fmt("%+.3f", acc_n5 - acc_n1));
+
+  // Hierarchical softmax: the classic alternative to negative sampling
+  // (O(log V) updates per pair instead of O(negatives)).
+  {
+    DarkVecConfig config = default_config(/*default_epochs=*/5);
+    config.w2v.hierarchical_softmax = true;
+    DarkVec dv(config);
+    const auto stats = dv.fit(window);
+    const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+    std::printf("  %-10s %10.3f %10.1f\n", "HS", eval.accuracy,
+                stats.seconds);
+    compare("hierarchical softmax vs 5 negatives", "comparable quality",
+            fmt("%+.3f", eval.accuracy - acc_n5));
+  }
+
+  std::printf("\n---- epochs (negatives=5) ----\n");
+  std::printf("  %-10s %10s %10s\n", "epochs", "accuracy", "train [s]");
+  double acc_e1 = 0;
+  double acc_e10 = 0;
+  for (const int epochs : {1, 3, 5, 10, 20}) {
+    DarkVecConfig config = default_config(epochs);
+    config.w2v.epochs = epochs;  // ignore env for the sweep variable
+    DarkVec dv(config);
+    const auto stats = dv.fit(window);
+    const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+    std::printf("  %-10d %10.3f %10.1f\n", epochs, eval.accuracy,
+                stats.seconds);
+    if (epochs == 1) acc_e1 = eval.accuracy;
+    if (epochs == 10) acc_e10 = eval.accuracy;
+  }
+  compare("10 epochs vs 1 epoch", "training converges",
+          fmt("%+.3f", acc_e10 - acc_e1));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Section 8, second question: can a model trained on one darknet serve
+// another darknet observing the same period? Two /24 vantage points are
+// derived from the simulated sender population (Internet-wide scanners
+// visible at both, targeted/spoofed traffic at one); embeddings are
+// trained independently, aligned over the shared senders, and the k-NN
+// labeling task is transferred from darknet A to darknet B.
+#include "common.hpp"
+
+#include "darkvec/core/transfer.hpp"
+#include "darkvec/sim/vantage.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Section 8", "task transfer across two darknets (same period)");
+  std::printf("paper: open question — darknets \"could have little overlap "
+              "in terms of sources\";\nthe anchor overlap governs how well "
+              "spaces can be aligned.\n\n");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+
+  std::printf("  %-12s %8s %10s %10s %12s\n", "overlap p", "anchors",
+              "aligned", "raw", "anchor-cos");
+  for (const double p_both : {0.2, 0.5, 0.8}) {
+    sim::VantageOptions options;
+    options.both_probability = p_both;
+    const sim::VantageSplit split =
+        sim::split_vantage_points(sim.trace, options);
+
+    DarkVecConfig config = default_config(/*default_epochs=*/5);
+    // Each vantage point sees roughly half the packets per sender.
+    config.corpus.min_packets = 5;
+    DarkVec dv_a(config);
+    dv_a.fit(split.darknet_a);
+    config.w2v.seed = 4242;  // independent latent space
+    DarkVec dv_b(config);
+    dv_b.fit(split.darknet_b);
+
+    const TransferResult transfer =
+        evaluate_transfer(dv_a.corpus(), dv_a.embedding(), dv_b.corpus(),
+                          dv_b.embedding(), sim.labels, 7);
+    std::printf("  %-12.1f %8zu %10.3f %10.3f %12.2f\n", p_both,
+                transfer.alignment.anchors, transfer.accuracy,
+                transfer.accuracy_raw,
+                transfer.alignment.anchor_similarity);
+  }
+
+  std::printf(
+      "\nexpected shape: alignment beats raw cross-space transfer by a wide "
+      "margin at every\noverlap level. Note the high-overlap caveat: with "
+      "most senders shared, the only\nsenders left to *transfer* are the "
+      "sparse hard ones, so the evaluated accuracy can\ndip even though "
+      "alignment quality is unchanged (the paper's 'little overlap' "
+      "concern\ncuts both ways).\n");
+  return 0;
+}

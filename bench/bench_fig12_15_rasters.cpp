@@ -1,0 +1,148 @@
+// Figures 12-15: activity rasters of notable clusters —
+//   Fig. 12 Censys sub-clusters (teams active in different periods),
+//   Fig. 13 Shadowserver sub-clusters (less evident temporal pattern),
+//   Fig. 14 unknown1 NetBIOS /24 scan (very regular),
+//   Fig. 15 unknown4 ADB worm (growing activity).
+#include "common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "darkvec/core/inspector.hpp"
+#include "darkvec/core/raster.hpp"
+#include "darkvec/net/time.hpp"
+
+namespace {
+
+using darkvec::ClusterInfo;
+
+/// Render members of the given clusters, rows grouped by cluster id.
+void render_groups(const darkvec::net::Trace& trace,
+                   const std::vector<const ClusterInfo*>& group,
+                   std::int64_t bucket) {
+  using namespace darkvec;
+  std::vector<net::IPv4> rows;
+  for (const ClusterInfo* c : group) {
+    rows.insert(rows.end(), c->members.begin(), c->members.end());
+  }
+  const auto raster = build_raster(trace, rows, bucket);
+  std::fputs(render_raster(raster, 40).c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  DarkVec dv(default_config(/*default_epochs=*/5));
+  dv.fit(sim.trace);
+  const Clustering clustering = dv.cluster(3);
+  const auto clusters = inspect_clusters(sim.trace, dv.corpus(),
+                                         clustering.assignment, sim.groups);
+
+  std::map<std::string, std::vector<const ClusterInfo*>> by_group;
+  for (const ClusterInfo& c : clusters) {
+    if (c.size() >= 5 && c.dominant_fraction >= 0.6) {
+      by_group[c.dominant_group].push_back(&c);
+    }
+  }
+
+  banner("Figure 12", "Censys sub-cluster activity (rows grouped by "
+                      "cluster; one column per 12h)");
+  render_groups(sim.trace, by_group["censys"], net::kSecondsPerDay / 2);
+  std::printf("expected: block-diagonal stripes — each sub-cluster active "
+              "in its own multi-day slots.\n");
+  // Quantify: per-cluster active-day midpoints should differ.
+  std::vector<double> midpoints;
+  for (const ClusterInfo* c : by_group["censys"]) {
+    const auto raster =
+        build_raster(sim.trace, c->members, net::kSecondsPerDay);
+    double weighted = 0;
+    double total = 0;
+    for (const auto& row : raster.presence) {
+      for (std::size_t b = 0; b < row.size(); ++b) {
+        if (row[b]) {
+          weighted += static_cast<double>(b);
+          total += 1;
+        }
+      }
+    }
+    if (total > 0) midpoints.push_back(weighted / total);
+  }
+  if (midpoints.size() >= 2) {
+    const auto [lo, hi] = std::ranges::minmax_element(midpoints);
+    compare("spread of sub-cluster activity midpoints",
+            "clearly separated periods",
+            fmt("%.1f days between earliest and latest", *hi - *lo));
+  } else {
+    std::printf("  (fewer than two Censys sub-clusters recovered at this "
+                "profile — run at the default profile for the "
+                "block-diagonal Figure 12 raster)\n");
+  }
+
+  banner("Figure 13", "Shadowserver sub-cluster activity");
+  std::vector<const ClusterInfo*> shadow;
+  for (const char* g :
+       {"shadowserver_g1", "shadowserver_g2", "shadowserver_g3"}) {
+    for (const ClusterInfo* c : by_group[g]) shadow.push_back(c);
+  }
+  render_groups(sim.trace, shadow, net::kSecondsPerDay / 2);
+  std::printf("expected: all three groups active throughout (less evident "
+              "temporal pattern than Censys).\n");
+
+  banner("Figure 14", "unknown1 NetBIOS /24 scan (one column per 6h)");
+  render_groups(sim.trace, by_group["unknown1_netbios"],
+                net::kSecondsPerHour * 6);
+  std::printf("expected: very regular vertical stripes — one burst per "
+              "day from every sender.\n");
+
+  banner("Figure 15", "unknown4 ADB worm spreading (one column per 12h)");
+  const auto& adb = by_group["unknown4_adb"];
+  // Order rows by first appearance to expose the activation ramp.
+  std::vector<net::IPv4> members;
+  for (const ClusterInfo* c : adb) {
+    members.insert(members.end(), c->members.begin(), c->members.end());
+  }
+  std::unordered_map<net::IPv4, std::int64_t> first_seen;
+  for (const net::Packet& p : sim.trace) {
+    first_seen.try_emplace(p.src, p.ts);
+  }
+  std::ranges::sort(members, [&](net::IPv4 a, net::IPv4 b) {
+    return first_seen[a] < first_seen[b];
+  });
+  const auto raster =
+      build_raster(sim.trace, members, net::kSecondsPerDay / 2);
+  std::fputs(render_raster(raster, 40).c_str(), stdout);
+  std::printf("expected: staircase — ever more senders activate towards "
+              "the end of the month.\n");
+  // Quantify the ramp: active senders in the last third vs the first third.
+  std::size_t early = 0;
+  std::size_t late = 0;
+  const std::size_t third = raster.buckets() / 3;
+  for (const auto& row : raster.presence) {
+    for (std::size_t b = 0; b < third; ++b) {
+      if (row[b]) {
+        ++early;
+        break;
+      }
+    }
+    for (std::size_t b = raster.buckets() - third; b < raster.buckets();
+         ++b) {
+      if (row[b]) {
+        ++late;
+        break;
+      }
+    }
+  }
+  if (raster.presence.empty()) {
+    std::printf("  (no ADB-dominated cluster at this profile)\n");
+  } else {
+    compare("ADB senders active late vs early", "growing (worm spreading)",
+            fmt("%.1fx", static_cast<double>(late) /
+                             static_cast<double>(std::max<std::size_t>(
+                                 early, 1))));
+  }
+  return 0;
+}

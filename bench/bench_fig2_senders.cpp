@@ -1,0 +1,68 @@
+// Figure 2: sender characterization and the activity filter.
+//   (a) ECDF of monthly packets per sender with the 10-packet threshold;
+//   (b) cumulative distinct senders over time, unfiltered vs filtered.
+#include "common.hpp"
+
+#include "darkvec/ml/stats.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+
+  banner("Figure 2a", "ECDF of packets per sender in one month");
+  const auto totals = sim.trace.packets_per_sender();
+  std::vector<double> counts;
+  counts.reserve(totals.size());
+  for (const auto& [ip, n] : totals) {
+    counts.push_back(static_cast<double>(n));
+  }
+  const ml::Ecdf ecdf(counts);
+  compare("senders seen exactly once", "36%",
+          fmt("%.0f%%", 100.0 * ecdf(1.0)));
+  compare("senders below the 10-packet filter", "~80%",
+          fmt("%.0f%%", 100.0 * ecdf(9.0)));
+  std::printf("\n  ECDF samples:\n");
+  for (const double x : {1.0, 2.0, 5.0, 9.0, 10.0, 50.0, 100.0, 1000.0}) {
+    std::printf("    P[packets <= %6.0f] = %.3f\n", x, ecdf(x));
+  }
+
+  // Traffic share of active senders (paper: active 20% of senders carry
+  // the majority of traffic).
+  std::size_t active_packets = 0;
+  std::size_t active_senders_n = 0;
+  for (const auto& [ip, n] : totals) {
+    if (n >= 10) {
+      active_packets += n;
+      ++active_senders_n;
+    }
+  }
+  compare("active senders (>=10 pkts)", "~20%",
+          fmt("%.0f%%", 100.0 * static_cast<double>(active_senders_n) /
+                            static_cast<double>(totals.size())));
+  compare("traffic from active senders", "majority",
+          fmt("%.0f%%", 100.0 * static_cast<double>(active_packets) /
+                            static_cast<double>(sim.trace.size())));
+
+  banner("Figure 2b", "cumulative distinct senders over time");
+  const std::int64_t t0 = sim.trace.stats().first_ts;
+  const auto unfiltered = sim.trace.cumulative_senders_per_day(t0, 1);
+  const auto filtered = sim.trace.cumulative_senders_per_day(t0, 10);
+  std::printf("  %-6s %12s %12s\n", "day", "unfiltered", "filtered(>=10)");
+  for (std::size_t d = 0; d < unfiltered.size(); ++d) {
+    if (d % 5 == 0 || d + 1 == unfiltered.size()) {
+      std::printf("  %-6zu %12zu %12zu\n", d + 1, unfiltered[d],
+                  filtered[d]);
+    }
+  }
+  std::printf("\nexpected shape (paper): unfiltered curve grows steadily to "
+              "~5x the first day;\nfiltered curve sits roughly one order of "
+              "magnitude below, also growing.\n");
+  const double growth =
+      static_cast<double>(unfiltered.back()) /
+      static_cast<double>(std::max<std::size_t>(unfiltered.front(), 1));
+  compare("30d/1d unfiltered sender growth", "~12x (40k->500k)",
+          fmt("%.1fx", growth));
+  return 0;
+}

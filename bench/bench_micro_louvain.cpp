@@ -1,0 +1,83 @@
+// Micro-benchmarks of the Louvain community detection and k-NN graph
+// construction — the unsupervised path of Section 7.
+#include <benchmark/benchmark.h>
+
+#include "darkvec/graph/knn_graph.hpp"
+#include "darkvec/graph/louvain.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace {
+
+using darkvec::graph::WeightedGraph;
+
+/// Planted-partition graph: `communities` groups of `size` nodes, dense
+/// inside, sparse across.
+WeightedGraph planted_partition(std::uint32_t communities,
+                                std::uint32_t size, std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  const std::uint32_t n = communities * size;
+  WeightedGraph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (int e = 0; e < 8; ++e) {
+      const bool internal = rng.uniform() < 0.85;
+      std::uint32_t v;
+      if (internal) {
+        v = (u / size) * size +
+            static_cast<std::uint32_t>(rng.uniform_int(size));
+      } else {
+        v = static_cast<std::uint32_t>(rng.uniform_int(n));
+      }
+      if (v != u) g.add_edge(u, v, 1.0);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+void BM_Louvain(benchmark::State& state) {
+  const auto communities = static_cast<std::uint32_t>(state.range(0));
+  const WeightedGraph g = planted_partition(communities, 100, 7);
+  for (auto _ : state) {
+    const auto result = darkvec::graph::louvain(g);
+    benchmark::DoNotOptimize(result.count);
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+}
+
+BENCHMARK(BM_Louvain)->Arg(10)->Arg(40)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+void BM_KnnGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  darkvec::sim::Rng rng(7);
+  darkvec::w2v::Embedding e(n, 50);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < 50; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  const darkvec::ml::CosineKnn index{e};
+  for (auto _ : state) {
+    const WeightedGraph g = darkvec::graph::knn_graph(index, 3);
+    benchmark::DoNotOptimize(g.total_weight());
+  }
+}
+
+BENCHMARK(BM_KnnGraphBuild)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Modularity(benchmark::State& state) {
+  const WeightedGraph g = planted_partition(40, 100, 7);
+  const auto result = darkvec::graph::louvain(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        darkvec::graph::modularity(g, result.community));
+  }
+}
+
+BENCHMARK(BM_Modularity)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

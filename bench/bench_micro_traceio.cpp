@@ -1,0 +1,84 @@
+// Micro-benchmarks of trace serialization: CSV vs the compact binary
+// format. At the paper's 63.5M-packet scale, parsing dominates any
+// analysis; the binary format exists for exactly that reason.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/net/trace_binary.hpp"
+#include "darkvec/net/trace_io.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace {
+
+using namespace darkvec;
+
+net::Trace random_trace(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  net::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Packet p;
+    p.ts = net::kTraceEpoch + static_cast<std::int64_t>(rng.uniform_int(86400));
+    p.src = net::IPv4{static_cast<std::uint32_t>(rng.next_u64())};
+    p.dst_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
+    p.proto = static_cast<net::Protocol>(rng.uniform_int(2));
+    t.push_back(p);
+  }
+  t.sort();
+  return t;
+}
+
+void BM_CsvWrite(benchmark::State& state) {
+  const net::Trace t = random_trace(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    std::ostringstream out;
+    net::write_csv(out, t);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvWrite)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_CsvRead(benchmark::State& state) {
+  const net::Trace t = random_trace(static_cast<std::size_t>(state.range(0)), 2);
+  std::ostringstream out;
+  net::write_csv(out, t);
+  const std::string payload = out.str();
+  for (auto _ : state) {
+    std::istringstream in(payload);
+    const net::Trace loaded = net::read_csv(in);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvRead)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryWrite(benchmark::State& state) {
+  const net::Trace t = random_trace(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    std::ostringstream out;
+    net::write_binary(out, t);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinaryWrite)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryRead(benchmark::State& state) {
+  const net::Trace t = random_trace(static_cast<std::size_t>(state.range(0)), 4);
+  std::ostringstream out;
+  net::write_binary(out, t);
+  const std::string payload = out.str();
+  for (auto _ : state) {
+    std::istringstream in(payload);
+    const net::Trace loaded = net::read_binary(in);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BinaryRead)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

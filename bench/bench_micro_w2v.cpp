@@ -1,0 +1,94 @@
+// Micro-benchmarks of the skip-gram trainer: pair throughput vs embedding
+// size, window and negative-sample count — the cost drivers behind the
+// Figure 8 runtime matrices and the Table 3 training times.
+#include <benchmark/benchmark.h>
+
+#include "darkvec/sim/rng.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+namespace {
+
+using darkvec::w2v::Sentence;
+using darkvec::w2v::SkipGramModel;
+using darkvec::w2v::SkipGramOptions;
+
+std::vector<Sentence> synthetic_corpus(std::size_t vocab,
+                                       std::size_t sentences,
+                                       std::size_t length,
+                                       std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  std::vector<Sentence> corpus(sentences);
+  for (Sentence& s : corpus) {
+    s.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      s.push_back(static_cast<std::uint32_t>(rng.uniform_int(vocab)));
+    }
+  }
+  return corpus;
+}
+
+void BM_SkipGramTrain(benchmark::State& state) {
+  const auto dim = static_cast<int>(state.range(0));
+  const auto window = static_cast<int>(state.range(1));
+  const auto corpus = synthetic_corpus(2000, 200, 50, 7);
+  SkipGramOptions options;
+  options.dim = dim;
+  options.window = window;
+  options.epochs = 1;
+  options.subsample = 0;
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    SkipGramModel model(2000, options);
+    const auto stats = model.train(corpus);
+    pairs += stats.pairs;
+    benchmark::DoNotOptimize(model.embedding().data().data());
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_SkipGramTrain)
+    ->ArgsProduct({{50, 200}, {5, 25}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkipGramNegatives(benchmark::State& state) {
+  const auto negative = static_cast<int>(state.range(0));
+  const auto corpus = synthetic_corpus(2000, 100, 50, 7);
+  SkipGramOptions options;
+  options.dim = 50;
+  options.window = 10;
+  options.negative = negative;
+  options.epochs = 1;
+  options.subsample = 0;
+  for (auto _ : state) {
+    SkipGramModel model(2000, options);
+    model.train(corpus);
+    benchmark::DoNotOptimize(model.embedding().data().data());
+  }
+}
+
+BENCHMARK(BM_SkipGramNegatives)->Arg(2)->Arg(5)->Arg(15)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SkipGramPairTraining(benchmark::State& state) {
+  darkvec::sim::Rng rng(3);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(100000);
+  for (auto& [a, b] : pairs) {
+    a = static_cast<std::uint32_t>(rng.uniform_int(2000));
+    b = static_cast<std::uint32_t>(rng.uniform_int(2000));
+  }
+  SkipGramOptions options;
+  options.dim = 50;
+  options.epochs = 1;
+  for (auto _ : state) {
+    SkipGramModel model(2000, options);
+    model.train_pairs(pairs);
+    benchmark::DoNotOptimize(model.embedding().data().data());
+  }
+}
+
+BENCHMARK(BM_SkipGramPairTraining)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Table 3: DarkVec vs IP2VEC vs DANTE on 5-day and 30-day datasets —
+// skip-gram counts, training time, accuracy, and coverage of the last-day
+// labeled senders. Reproduces the scalability story: DarkVec's compact
+// corpus trains fastest and scores best; IP2VEC's pair corpus explodes;
+// DANTE's per-sender sentences explode further and hit the DNF budget.
+#include "common.hpp"
+
+#include "darkvec/baselines/dante.hpp"
+#include "darkvec/baselines/ip2vec.hpp"
+#include "darkvec/corpus/corpus.hpp"
+#include "darkvec/net/time.hpp"
+
+namespace {
+
+struct Row {
+  const char* method;
+  std::uint64_t pairs;
+  double seconds;
+  double accuracy;
+  double coverage;
+  bool completed;
+};
+
+void print_row(const Row& r) {
+  if (r.completed) {
+    std::printf("  %-8s %14llu %10.1fs %10.3f %10.0f%%\n", r.method,
+                static_cast<unsigned long long>(r.pairs), r.seconds,
+                r.accuracy, 100.0 * r.coverage);
+  } else {
+    std::printf("  %-8s %14llu %10s %10s %10s   (DNF: pair budget "
+                "exceeded)\n",
+                r.method, static_cast<unsigned long long>(r.pairs), ">cap",
+                "-", "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Table 3", "DarkVec vs IP2VEC vs DANTE (5-day and 30-day)");
+  std::printf(
+      "paper:  5d: DarkVec 17M pairs/14min/0.93 | IP2VEC 38M/60min/0.67 | "
+      "DANTE >7B/DNF\n"
+      "       30d: DarkVec 486M/1.2h/0.96 | IP2VEC >200M pairs, DNF >10h | "
+      "DANTE DNF\n"
+      "       coverage: 82%% (5d) -> 100%% (30d)\n\n");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  // DNF budgets scaled to the simulation (the paper's budget was ~10 h of
+  // wall time; ours keeps each bench run in minutes).
+  const auto dante_cap = static_cast<std::uint64_t>(
+      env_or("DARKVEC_DANTE_CAP", 30e6));
+  const auto ip2vec_cap = static_cast<std::uint64_t>(
+      env_or("DARKVEC_IP2VEC_CAP", 30e6));
+
+  for (const int days : {5, 30}) {
+    const std::int64_t t0 = sim.trace.stats().first_ts;
+    // The paper trains on the *last* `days` days, testing on the final day.
+    const std::int64_t end = sim.trace.stats().last_ts + 1;
+    const net::Trace window =
+        sim.trace.slice(end - days * net::kSecondsPerDay, end);
+
+    std::printf("---- %d-day dataset (%zu packets) ----\n", days,
+                window.size());
+    std::printf("  %-8s %14s %11s %10s %10s\n", "method", "pairs/epoch",
+                "train", "accuracy", "coverage");
+
+    // DarkVec: the paper trains 20 epochs on 5 days, 10 on 30 days.
+    // These are Table 3's published settings, so they are pinned and not
+    // overridable through DARKVEC_EPOCHS.
+    DarkVecConfig dv_config = default_config(10);
+    dv_config.w2v.epochs = days <= 5 ? 20 : 10;
+    DarkVec dv(dv_config);
+    const auto stats = dv.fit(window);
+    const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+    const std::uint64_t dv_pairs =
+        corpus::count_skipgrams(dv.corpus(), dv.config().w2v.window);
+    print_row({"DarkVec", dv_pairs, stats.seconds, eval.accuracy,
+               eval.coverage(), true});
+
+    // IP2VEC over the same active senders.
+    const auto active = net::active_senders(window, 10);
+    baselines::Ip2VecOptions ip_options;
+    ip_options.w2v.epochs = 10;  // the paper's IP2VEC setting
+    ip_options.max_pairs_per_epoch = ip2vec_cap;
+    const auto ip = run_ip2vec(window, active, ip_options);
+    double ip_acc = 0;
+    double ip_cov = 0;
+    if (ip.completed) {
+      const auto ip_eval = evaluate_knn_vectors(ip.sender_vectors, ip.senders,
+                                                sim.labels, eval_ips, 7);
+      ip_acc = ip_eval.accuracy;
+      ip_cov = ip_eval.coverage();
+    }
+    print_row({"IP2VEC", ip.pairs_per_epoch, ip.train_seconds, ip_acc,
+               ip_cov, ip.completed});
+
+    // DANTE over the same active senders.
+    baselines::DanteOptions dante_options;
+    dante_options.w2v.epochs = 10;
+    dante_options.max_pairs_per_epoch = dante_cap;
+    const auto dante = run_dante(window, active, dante_options);
+    double dante_acc = 0;
+    double dante_cov = 0;
+    if (dante.completed) {
+      const auto dn_eval = evaluate_knn_vectors(
+          dante.sender_vectors, dante.senders, sim.labels, eval_ips, 7);
+      dante_acc = dn_eval.accuracy;
+      dante_cov = dn_eval.coverage();
+    }
+    print_row({"DANTE", dante.skipgrams_per_epoch, dante.train_seconds,
+               dante_acc, dante_cov, dante.completed});
+
+    // ---- skip-gram counts projected to the paper's packet rates --------
+    // The simulation runs at ~1:20 of the real per-sender packet rates, so
+    // DANTE's per-sender sequences stay below its augmentation window and
+    // its cost looks tame. At paper rates sequences are ~20x longer, the
+    // sliding-window augmentation kicks in, and DANTE explodes while
+    // DarkVec and IP2VEC scale linearly — the paper's DNF story.
+    const double rate = env_or("DARKVEC_RATE_FACTOR", 20.0);
+    const auto pairs_in_sentence = [&](double n) {
+      const double c = dante_options.w2v.window;
+      if (n <= 1) return 0.0;
+      if (n <= c + 1) return n * (n - 1);
+      return 2.0 * (c * n - c * (c + 1) / 2.0);
+    };
+    double dante_projected = 0;
+    const auto win = static_cast<double>(dante_options.sentence_window);
+    for (const std::size_t len : dante.sequence_lengths) {
+      const double scaled = static_cast<double>(len) * rate;
+      if (scaled <= win) {
+        dante_projected += pairs_in_sentence(scaled);
+      } else {
+        dante_projected +=
+            (scaled - win + 1) * pairs_in_sentence(win);
+      }
+    }
+    std::printf("  projected @ paper rates (x%.0f): DarkVec %.1fM, IP2VEC "
+                "%.1fM, DANTE %.0fM%s\n",
+                rate, static_cast<double>(dv_pairs) * rate / 1e6,
+                static_cast<double>(ip.pairs_per_epoch) * rate / 1e6,
+                dante_projected / 1e6,
+                dante_projected > static_cast<double>(dante_cap) * rate
+                    ? "  -> DANTE DNF at paper scale"
+                    : "");
+    std::printf("\n");
+  }
+
+  std::printf(
+      "expected shape: DarkVec accuracy highest and rises 5d->30d; IP2VEC "
+      "clearly lower;\nDANTE generates the most pairs (DNF at paper scale); "
+      "coverage grows with window size.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Table 5: summary of extracted coordinated senders — for every notable
+// group the paper lists (Censys and Shadowserver sub-clusters, unknown1-8)
+// find the Louvain clusters dominated by that generator population and
+// report IPs, ports, silhouette and the group's signature statistics.
+#include "common.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "darkvec/core/inspector.hpp"
+#include "darkvec/ml/silhouette.hpp"
+#include "darkvec/sim/honeypot.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Table 5", "summary of extracted coordinated senders (k'=3)");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  DarkVec dv(default_config(/*default_epochs=*/5));
+  dv.fit(sim.trace);
+  const Clustering clustering = dv.cluster(3);
+  const auto samples =
+      ml::silhouette_samples(dv.embedding(), clustering.assignment);
+  const auto clusters = inspect_clusters(sim.trace, dv.corpus(),
+                                         clustering.assignment, sim.groups,
+                                         samples);
+  std::printf("%d clusters, modularity %.3f\n\n", clustering.count,
+              clustering.modularity);
+
+  // Group -> clusters it dominates (>=60% of members).
+  std::map<std::string, std::vector<const ClusterInfo*>> by_group;
+  for (const ClusterInfo& c : clusters) {
+    if (c.size() >= 5 && c.dominant_fraction >= 0.6) {
+      by_group[c.dominant_group].push_back(&c);
+    }
+  }
+
+  const auto print_group = [&](const char* group, const char* paper_note) {
+    std::printf("---- %s ----\n  paper: %s\n", group, paper_note);
+    const auto it = by_group.find(group);
+    if (it == by_group.end()) {
+      std::printf("  NOT RECOVERED as a dominated cluster\n\n");
+      return;
+    }
+    for (const ClusterInfo* c : it->second) {
+      std::string tops;
+      for (std::size_t i = 0;
+           i < std::min<std::size_t>(2, c->top_ports.size()); ++i) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s(%.0f%%) ",
+                      c->top_ports[i].first.to_string().c_str(),
+                      100.0 * c->top_ports[i].second);
+        tops += buf;
+      }
+      std::printf("  C%-3d %5zu IPs %5zu ports %4zu /24s  sil %5.2f  "
+                  "fp %3.0f%%  top: %s\n",
+                  c->id, c->size(), c->ports.size(), c->distinct_slash24,
+                  c->silhouette, 100.0 * c->fingerprint_fraction,
+                  tops.c_str());
+    }
+    std::printf("\n");
+  };
+
+  print_group("censys",
+              "7 sub-clusters of 14-17 IPs, 13-31 ports each, Sh 0.76-0.94; "
+              "inter-cluster port Jaccard 0.19");
+  print_group("shadowserver_g1",
+              "C25: 61 IPs, 47 ports, Sh 0.68; 10% to 623/udp, 10% to "
+              "123/udp (shared /16)");
+  print_group("shadowserver_g2",
+              "C29: 36 IPs, 42 ports, Sh 0.46; 25% to 5683/udp + 3389/udp");
+  print_group("shadowserver_g3",
+              "C37: 16 IPs, 51 ports, Sh 0.58; 63% to 111/udp + 137/udp");
+  print_group("unknown1_netbios",
+              "C40: 85 IPs, 18 ports, Sh 0.62; same /24, 60% to 137/udp");
+  print_group("unknown2_smtp",
+              "C30: 10 IPs, 12 ports, Sh 0.89; same /24, 76% to 25/tcp");
+  print_group("unknown3_smb",
+              "C13: 61 IPs, 5 ports, Sh 0.33; 99.5% to 445/tcp, 23 /24s");
+  print_group("unknown4_adb",
+              "C41: 525 IPs, 141 ports, Sh 1.00; 75% to 5555/tcp (worm)");
+  print_group("mirai",
+              "C18 mixes Mirai-fingerprint and non-fingerprint senders "
+              "(unknown5: 71% with fingerprint)");
+  print_group("mirai_nofp",
+              "(part of unknown5: Mirai-like behaviour without fingerprint)");
+  print_group("unknown6_ssh",
+              "C26: 623 IPs, 116 ports, Sh 0.40; 88% to 22/tcp");
+  print_group("unknown7_horizontal",
+              "C31: 158 IPs, 148 ports equal share, Sh 0.03; daily pattern");
+  print_group("unknown8_hourly",
+              "C45: 22 IPs, 69 ports equal share, Sh 0.80; hourly pattern");
+
+  // ---- quantitative shape checks -----------------------------------------
+  std::printf("==== shape checks ====\n");
+  const auto& censys_clusters = by_group["censys"];
+  compare("Censys sub-clusters found", "7",
+          fmt("%.0f", static_cast<double>(censys_clusters.size())));
+  if (censys_clusters.size() >= 2) {
+    std::vector<ClusterInfo> copies;
+    for (const ClusterInfo* c : censys_clusters) copies.push_back(*c);
+    compare("Censys inter-cluster port Jaccard", "0.19",
+            fmt("%.2f", mean_pairwise_port_jaccard(copies)));
+  }
+
+  std::size_t shadow_groups = 0;
+  for (const char* g :
+       {"shadowserver_g1", "shadowserver_g2", "shadowserver_g3"}) {
+    if (by_group.contains(g)) ++shadow_groups;
+  }
+  compare("Shadowserver sub-clusters found", "3",
+          fmt("%.0f", static_cast<double>(shadow_groups)));
+
+  if (by_group.contains("unknown1_netbios")) {
+    // The cluster may adopt a few background NetBIOS probers (the paper's
+    // Section 6.4 extension effect); what matters is the dominant /24.
+    const ClusterInfo* c = by_group["unknown1_netbios"][0];
+    std::unordered_map<std::uint32_t, std::size_t> per24;
+    for (const net::IPv4 ip : c->members) ++per24[ip.slash24().value()];
+    std::size_t top = 0;
+    for (const auto& [subnet, n] : per24) top = std::max(top, n);
+    compare("unknown1 concentrated in one /24", "85 IPs, 1 subnet",
+            fmt("%.0f%% of members in the top /24",
+                100.0 * static_cast<double>(top) /
+                    static_cast<double>(c->size())));
+  }
+  if (by_group.contains("unknown4_adb")) {
+    const ClusterInfo* adb = by_group["unknown4_adb"][0];
+    double share5555 = 0;
+    for (const auto& [key, share] : adb->top_ports) {
+      if (key.port == 5555) share5555 = share;
+    }
+    compare("unknown4 traffic share on 5555/tcp", "75%",
+            fmt("%.0f%%", 100.0 * share5555));
+  }
+  // Honeypot cross-check of the SSH cluster (Section 7.3.3: "Manual
+  // verification using honeypot data we run in our premises confirms the
+  // brute-force activity performed by these senders").
+  if (by_group.contains("unknown6_ssh")) {
+    const std::vector<std::string> bruteforce = {"unknown6_ssh"};
+    const sim::HoneypotLog honeypot =
+        sim::simulate_honeypot(sim.trace, sim.groups, bruteforce);
+    const ClusterInfo* ssh = by_group["unknown6_ssh"][0];
+    compare("unknown6 senders confirmed by the honeypot",
+            "brute-force confirmed",
+            fmt("%.0f%% of cluster members left credential attempts",
+                100.0 * sim::confirmed_fraction(honeypot, ssh->members)));
+  }
+
+  // Mirai-like clusters mixing fingerprint and non-fingerprint senders
+  // (the unknown5 observation).
+  double best_mixed = 0;
+  for (const ClusterInfo& c : clusters) {
+    if (c.size() < 30) continue;
+    if (c.fingerprint_fraction > 0.5 && c.fingerprint_fraction < 0.99) {
+      best_mixed = std::max(best_mixed, c.fingerprint_fraction);
+    }
+  }
+  compare("largest mixed Mirai cluster fingerprint share", "71%",
+          best_mixed > 0 ? fmt("%.0f%%", 100.0 * best_mixed)
+                         : std::string("none found"));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Section 8 exploration: transfer of the embedding and of learned tasks
+// across time windows. The paper leaves this as an open question ("the
+// evolving nature of darknet traffic would hardly make the transfer
+// possible over time"); this bench quantifies it on the simulated trace:
+// train two independent embeddings on the two halves of the month, align
+// them with orthogonal Procrustes over the shared senders, and transfer
+// the k-NN labeling task from the first half to the second.
+#include "common.hpp"
+
+#include "darkvec/core/transfer.hpp"
+#include "darkvec/net/time.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Section 8", "embedding and task transfer across time windows");
+  std::printf("paper: open question — transfer expected to be hard over "
+              "time; alignment over\nshared senders is the natural first "
+              "attempt (cf. Mikolov et al. 2013b for languages).\n\n");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  const std::int64_t t0 = sim.trace.stats().first_ts;
+  const std::int64_t mid = t0 + 15 * net::kSecondsPerDay;
+  const net::Trace first_half = sim.trace.slice(t0, mid);
+  const net::Trace second_half =
+      sim.trace.slice(mid, sim.trace.stats().last_ts + 1);
+
+  DarkVecConfig config = default_config(/*default_epochs=*/5);
+  DarkVec dv1(config);
+  dv1.fit(first_half);
+  config.w2v.seed = 777;  // independent latent space
+  DarkVec dv2(config);
+  dv2.fit(second_half);
+  std::printf("first half: %zu senders embedded; second half: %zu\n",
+              dv1.corpus().vocabulary_size(),
+              dv2.corpus().vocabulary_size());
+
+  const TransferResult transfer =
+      evaluate_transfer(dv1.corpus(), dv1.embedding(), dv2.corpus(),
+                        dv2.embedding(), sim.labels, 7);
+  std::printf("anchors (senders in both halves): %zu, anchor cosine after "
+              "alignment: %.3f\n",
+              transfer.alignment.anchors,
+              transfer.alignment.anchor_similarity);
+  std::printf("task transfer (label second-half senders from first-half "
+              "labels):\n");
+  std::printf("  %-34s %8.3f  (%zu senders)\n",
+              "accuracy with Procrustes alignment", transfer.accuracy,
+              transfer.evaluated);
+  std::printf("  %-34s %8.3f\n", "accuracy without alignment",
+              transfer.accuracy_raw);
+
+  // Reference: an embedding trained on the full month scores these same
+  // "new" senders much better — transfer degrades, as Section 8 expects.
+  DarkVec dv_full(default_config(/*default_epochs=*/5));
+  dv_full.fit(sim.trace);
+  std::vector<net::IPv4> new_labeled;
+  for (const net::IPv4 ip : dv2.corpus().words) {
+    if (sim::label_of(sim.labels, ip) == sim::GtClass::kUnknown) continue;
+    if (dv1.corpus().id_of(ip) != corpus::Corpus::kNoWord) continue;
+    new_labeled.push_back(ip);
+  }
+  const auto full_eval = evaluate_knn(dv_full, sim.labels, new_labeled, 7);
+  std::printf("  %-34s %8.3f  (retrain on the full month)\n",
+              "reference: joint training", full_eval.accuracy);
+
+  std::printf("\nshape checks:\n");
+  compare("alignment beats raw cross-space k-NN", "required",
+          fmt("%+.3f", transfer.accuracy - transfer.accuracy_raw));
+  compare("transfer below joint training", "transfer degrades (Sec. 8)",
+          fmt("%+.3f", transfer.accuracy - full_eval.accuracy));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 15 narrative, operationalized: the paper reports DarkVec "was
+// able to spot some coordinated activity since the beginning of our
+// trace" and that the ADB cluster grows as the worm spreads. This bench
+// runs the sliding-window streaming pipeline and follows the ADB group
+// across retrains: the tracked cluster must appear early and grow.
+#include "common.hpp"
+
+#include "darkvec/core/streaming.hpp"
+#include "darkvec/net/time.hpp"
+
+int main() {
+  using namespace darkvec;
+  using namespace darkvec::bench;
+
+  banner("Figure 15 (streaming)", "tracking the ADB worm across retrains");
+
+  const sim::SimResult sim = simulate(/*default_days=*/30);
+  StreamingConfig config;
+  config.window_seconds = 8 * net::kSecondsPerDay;
+  config.step_seconds = 4 * net::kSecondsPerDay;
+  config.darkvec = default_config(/*default_epochs=*/4);
+  // Shorter windows see fewer packets per sender; relax the activity
+  // filter accordingly (8/30 of the monthly threshold).
+  config.darkvec.corpus.min_packets = 4;
+
+  const auto snapshots = run_streaming(sim.trace, config);
+  std::printf("snapshots: %zu (window %lldd, step %lldd)\n\n",
+              snapshots.size(),
+              static_cast<long long>(config.window_seconds /
+                                     net::kSecondsPerDay),
+              static_cast<long long>(config.step_seconds /
+                                     net::kSecondsPerDay));
+
+  std::vector<net::IPv4> adb;
+  for (const auto& [ip, group] : sim.groups) {
+    if (group == "unknown4_adb") adb.push_back(ip);
+  }
+  const auto tracks = track_group(snapshots, adb);
+
+  std::printf("  %-8s %10s %10s %12s %12s %10s\n", "day", "embedded",
+              "together", "cluster", "clusters", "align");
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const auto day = (tracks[i].window_end - sim.trace.stats().first_ts) /
+                     net::kSecondsPerDay;
+    std::printf("  %-8lld %10zu %10zu %12zu %12d %10.2f\n",
+                static_cast<long long>(day), tracks[i].present,
+                tracks[i].clustered_together, tracks[i].cluster_size,
+                snapshots[i].clustering.count,
+                snapshots[i].alignment_similarity);
+  }
+
+  std::printf("\nshape checks:\n");
+  compare("worm visible in the first window", "spotted from the beginning",
+          tracks.front().clustered_together >= 3
+              ? fmt("%.0f senders already clustered",
+                    static_cast<double>(tracks.front().clustered_together))
+              : std::string("not yet visible"));
+  compare("tracked cluster grows with the spread", "increasing size",
+          fmt("%.0fx first->last",
+              static_cast<double>(tracks.back().clustered_together) /
+                  static_cast<double>(std::max<std::size_t>(
+                      tracks.front().clustered_together, 1))));
+  double worst_align = 1;
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    worst_align = std::min(worst_align, snapshots[i].alignment_similarity);
+  }
+  compare("snapshot alignment quality (worst)", "spaces comparable",
+          fmt("%.2f anchor cosine", worst_align));
+  return 0;
+}

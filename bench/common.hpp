@@ -1,0 +1,71 @@
+// Shared plumbing for the bench binaries that regenerate the paper's
+// tables and figures. Each binary prints the paper's reference values next
+// to the values measured on the synthetic trace; EXPERIMENTS.md records
+// both.
+//
+// Environment knobs honoured by every bench:
+//   DARKVEC_DAYS    trace length in days        (default: per-bench)
+//   DARKVEC_SCALE   population scale factor     (default: per-bench)
+//   DARKVEC_EPOCHS  Word2Vec epochs             (default: per-bench)
+//   DARKVEC_SEED    master seed                 (default: 2021)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec::bench {
+
+inline double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline int env_or_int(const char* name, int fallback) {
+  return static_cast<int>(env_or(name, fallback));
+}
+
+/// Simulates the paper scenario with env overrides applied on top of the
+/// given defaults.
+inline sim::SimResult simulate(int default_days, double default_scale = 1.0) {
+  sim::SimConfig config;
+  config.days = env_or_int("DARKVEC_DAYS", default_days);
+  config.scale = env_or("DARKVEC_SCALE", default_scale);
+  config.seed = static_cast<std::uint64_t>(env_or("DARKVEC_SEED", 2021));
+  return sim::DarknetSimulator(config).run(sim::paper_scenario());
+}
+
+/// Default DarkVec configuration used by the benches (paper operating
+/// point, epochs overridable).
+inline DarkVecConfig default_config(int default_epochs = 5) {
+  DarkVecConfig config;
+  config.w2v.epochs = env_or_int("DARKVEC_EPOCHS", default_epochs);
+  return config;
+}
+
+/// Section header in the bench output.
+inline void banner(const char* experiment, const char* title) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", experiment, title);
+  std::printf("=============================================================\n");
+}
+
+/// One "paper vs measured" comparison line.
+inline void compare(const char* what, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", what, paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace darkvec::bench

@@ -1,0 +1,100 @@
+// Compares the three sender-embedding approaches of the paper on the same
+// trace: DarkVec, IP2VEC and DANTE (plus the Section-4 port-share
+// baseline), using the identical leave-one-out 7-NN evaluation.
+//
+// Environment overrides: DARKVEC_DAYS (default 15), DARKVEC_SCALE,
+// DARKVEC_EPOCHS. Note: DarkVec's edge comes from temporal co-occurrence,
+// which needs enough packets per sender — at very short windows or tiny
+// scales (cf. Figure 6's coverage collapse) the port-profile methods can
+// match it.
+#include <cstdio>
+#include <cstdlib>
+
+#include "darkvec/baselines/dante.hpp"
+#include "darkvec/baselines/ip2vec.hpp"
+#include "darkvec/baselines/port_features.hpp"
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/net/time.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+void report(const char* method, double accuracy, double coverage,
+            std::uint64_t pairs, double seconds) {
+  std::printf("  %-14s accuracy %.3f  coverage %5.1f%%  %12llu pairs  "
+              "%6.1fs train\n",
+              method, accuracy, 100.0 * coverage,
+              static_cast<unsigned long long>(pairs), seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace darkvec;
+
+  sim::SimConfig sim_config;
+  sim_config.days = static_cast<int>(env_or("DARKVEC_DAYS", 15));
+  sim_config.scale = env_or("DARKVEC_SCALE", 0.75);
+  const sim::SimResult sim =
+      sim::DarknetSimulator(sim_config).run(sim::paper_scenario());
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  const auto active = net::active_senders(sim.trace, 10);
+  std::printf("trace: %zu packets, %zu active senders, %zu eval senders\n\n",
+              sim.trace.size(), active.size(), eval_ips.size());
+
+  const int epochs = static_cast<int>(env_or("DARKVEC_EPOCHS", 8));
+
+  // DarkVec.
+  DarkVecConfig config;
+  config.w2v.epochs = epochs;
+  DarkVec dv(config);
+  const auto dv_stats = dv.fit(sim.trace);
+  const auto dv_eval = evaluate_knn(dv, sim.labels, eval_ips, 7);
+  report("DarkVec", dv_eval.accuracy, dv_eval.coverage(), dv_stats.pairs,
+         dv_stats.seconds);
+
+  // IP2VEC.
+  baselines::Ip2VecOptions ip_options;
+  ip_options.w2v.epochs = epochs;
+  const auto ip = run_ip2vec(sim.trace, active, ip_options);
+  if (ip.completed) {
+    const auto eval = evaluate_knn_vectors(ip.sender_vectors, ip.senders,
+                                           sim.labels, eval_ips, 7);
+    report("IP2VEC", eval.accuracy, eval.coverage(),
+           ip.pairs_per_epoch * static_cast<std::uint64_t>(epochs),
+           ip.train_seconds);
+  }
+
+  // DANTE.
+  baselines::DanteOptions dante_options;
+  dante_options.w2v.epochs = epochs;
+  const auto dante = run_dante(sim.trace, active, dante_options);
+  if (dante.completed) {
+    const auto eval = evaluate_knn_vectors(dante.sender_vectors,
+                                           dante.senders, sim.labels,
+                                           eval_ips, 7);
+    report("DANTE", eval.accuracy, eval.coverage(),
+           dante.skipgrams_per_epoch * static_cast<std::uint64_t>(epochs),
+           dante.train_seconds);
+  }
+
+  // Port-share baseline (no training).
+  const auto features =
+      baselines::build_port_features(sim.trace, eval_ips, sim.labels, 5);
+  const auto base_eval = evaluate_knn_vectors(features.matrix,
+                                              features.senders, sim.labels,
+                                              eval_ips, 7);
+  report("port-shares", base_eval.accuracy, base_eval.coverage(), 0, 0);
+
+  std::printf("\nexpected ordering (paper, and here at the default "
+              "window): DarkVec > IP2VEC and\nthe port-share baseline. "
+              "DANTE's corpus explodes at real packet rates (Table 3).\n");
+  return 0;
+}

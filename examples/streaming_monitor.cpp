@@ -1,0 +1,78 @@
+// Streaming monitoring example: retrain DarkVec on a sliding window,
+// align snapshots into a common space, and report how the coordinated
+// groups evolve — the operational mode behind the paper's Figure 15
+// worm-spreading observation.
+//
+// Environment overrides: DARKVEC_DAYS (default 30), DARKVEC_SCALE,
+// DARKVEC_WINDOW_DAYS (default 8), DARKVEC_STEP_DAYS (default 4).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "darkvec/core/streaming.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace darkvec;
+
+  sim::SimConfig sim_config;
+  sim_config.days = static_cast<int>(env_or("DARKVEC_DAYS", 30));
+  sim_config.scale = env_or("DARKVEC_SCALE", 0.5);
+  const sim::SimResult sim =
+      sim::DarknetSimulator(sim_config).run(sim::paper_scenario());
+  std::printf("trace: %zu packets over %d days\n", sim.trace.size(),
+              sim_config.days);
+
+  StreamingConfig config;
+  config.window_seconds = static_cast<std::int64_t>(
+      env_or("DARKVEC_WINDOW_DAYS", 8) * net::kSecondsPerDay);
+  config.step_seconds = static_cast<std::int64_t>(
+      env_or("DARKVEC_STEP_DAYS", 4) * net::kSecondsPerDay);
+  config.darkvec.w2v.epochs = 4;
+  config.darkvec.corpus.min_packets = 4;
+
+  const auto snapshots = run_streaming(sim.trace, config);
+  std::printf("ran %zu retrains (window %.0fd, step %.0fd)\n\n",
+              snapshots.size(), env_or("DARKVEC_WINDOW_DAYS", 8),
+              env_or("DARKVEC_STEP_DAYS", 4));
+
+  // Group the oracle populations we want to watch.
+  std::map<std::string, std::vector<net::IPv4>> watched;
+  for (const auto& [ip, group] : sim.groups) {
+    if (group == "unknown4_adb" || group == "unknown6_ssh" ||
+        group == "censys") {
+      watched[group].push_back(ip);
+    }
+  }
+
+  for (const auto& [group, members] : watched) {
+    std::printf("---- %s (%zu senders total) ----\n", group.c_str(),
+                members.size());
+    std::printf("  %-10s %10s %12s %12s\n", "day", "embedded",
+                "core cluster", "cluster size");
+    const auto tracks = track_group(snapshots, members);
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      const auto day =
+          (tracks[i].window_end - sim.trace.stats().first_ts) /
+          net::kSecondsPerDay;
+      std::printf("  %-10lld %10zu %12zu %12zu\n",
+                  static_cast<long long>(day), tracks[i].present,
+                  tracks[i].clustered_together, tracks[i].cluster_size);
+    }
+    std::printf("\n");
+  }
+  std::printf("reading: the ADB worm's 'embedded' and 'core cluster' "
+              "columns grow through the\nmonth; persistent scanners stay "
+              "flat — exactly the Figure 15 contrast.\n");
+  return 0;
+}

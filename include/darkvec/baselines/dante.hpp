@@ -1,0 +1,66 @@
+// DANTE baseline (Cohen et al., re-described in Appendix A.2.1 of the
+// DarkVec paper): ports are the words; each sender's chronological port
+// sequence inside an observation window is one sentence; a sender is
+// embedded as the average of the port vectors it contacted.
+//
+// DANTE's scalability problem — one sentence per (sender, window) makes
+// the skip-gram count explode with the sender population — is reproduced
+// faithfully: we count the skip-grams the corpus would generate and abort
+// (completed = false) when they exceed `max_pairs`, mirroring the ">10
+// days, did not finish" entries of Table 3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/net/trace.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+namespace darkvec::baselines {
+
+struct DanteOptions {
+  /// Observation window used to cut per-sender port sequences.
+  std::int64_t window_seconds = 3 * net::kSecondsPerHour;
+  /// Word2Vec options for the port embedding (DANTE uses small windows —
+  /// port sequences are short).
+  w2v::SkipGramOptions w2v{.dim = 50, .window = 5, .epochs = 10};
+  /// DANTE's sentence augmentation: each per-sender port sequence is
+  /// sliced into overlapping sub-sentences of this length with
+  /// `sentence_stride` offset. This is what makes DANTE's skip-gram count
+  /// explode with active senders (">7 billion skip-grams", Table 3).
+  /// 0 disables slicing (one sentence per sender per window).
+  std::size_t sentence_window = 32;
+  std::size_t sentence_stride = 1;
+  /// Training budget: abort when the per-epoch skip-gram count exceeds
+  /// this (simulates the paper's DNF). 0 disables the cap.
+  std::uint64_t max_pairs_per_epoch = 0;
+};
+
+struct DanteResult {
+  /// Senders with at least one packet, row order of `sender_vectors`.
+  std::vector<net::IPv4> senders;
+  /// Averaged port embeddings per sender (empty if !completed).
+  w2v::Embedding sender_vectors;
+  /// Number of sentences (sender x window sequences) in the corpus,
+  /// after augmentation.
+  std::size_t sentences = 0;
+  /// Raw per-(sender, window) sequence lengths before augmentation —
+  /// lets callers project the skip-gram count to other packet rates
+  /// (the Table 3 "DNF at paper scale" analysis).
+  std::vector<std::size_t> sequence_lengths;
+  /// Per-epoch skip-gram pair count of the corpus.
+  std::uint64_t skipgrams_per_epoch = 0;
+  /// Wall-clock training time (0 if aborted).
+  double train_seconds = 0;
+  /// False when the pair budget was exceeded and training was skipped.
+  bool completed = false;
+};
+
+/// Runs DANTE over the packets of `senders` in `trace` (must be sorted).
+[[nodiscard]] DanteResult run_dante(const net::Trace& trace,
+                                    std::span<const net::IPv4> senders,
+                                    const DanteOptions& options = {});
+
+}  // namespace darkvec::baselines

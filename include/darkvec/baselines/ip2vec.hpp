@@ -1,0 +1,44 @@
+// IP2VEC baseline (Ring et al., re-described in Appendix A.2.2 of the
+// DarkVec paper): packets are aggregated into flows; each flow emits five
+// (target, context) training pairs over a mixed vocabulary of source IPs,
+// destination IPs, destination ports and protocols (Figure 17). The model
+// trains with negative sampling directly on pairs; a sender's vector is
+// the embedding of its source-IP token.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/net/trace.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+namespace darkvec::baselines {
+
+struct Ip2VecOptions {
+  /// Flow aggregation window: packets of the same (src, dst, port, proto)
+  /// within this window collapse into one flow.
+  std::int64_t flow_window_seconds = 10 * net::kSecondsPerMinute;
+  /// Word2Vec options (window is irrelevant: training is pair-based).
+  w2v::SkipGramOptions w2v{.dim = 50, .epochs = 10};
+  /// Abort (completed = false) when the pair count per epoch exceeds this
+  /// budget — the ">10 hours" row of Table 3. 0 disables the cap.
+  std::uint64_t max_pairs_per_epoch = 0;
+};
+
+struct Ip2VecResult {
+  std::vector<net::IPv4> senders;   ///< row order of sender_vectors
+  w2v::Embedding sender_vectors;    ///< src-IP token embeddings
+  std::size_t flows = 0;
+  std::uint64_t pairs_per_epoch = 0;
+  double train_seconds = 0;
+  bool completed = false;
+};
+
+/// Runs IP2VEC over the packets of `senders` in `trace` (must be sorted).
+[[nodiscard]] Ip2VecResult run_ip2vec(const net::Trace& trace,
+                                      std::span<const net::IPv4> senders,
+                                      const Ip2VecOptions& options = {});
+
+}  // namespace darkvec::baselines

@@ -1,0 +1,36 @@
+// The Section 4 baseline: per-sender traffic shares over the union of each
+// ground-truth class's top-5 destination ports, classified with cosine
+// k-NN (Table 6). The feature set is intentionally biased towards the GT
+// classes, as in the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "darkvec/net/trace.hpp"
+#include "darkvec/sim/labels.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::baselines {
+
+/// Sender feature matrix of the port-share baseline.
+struct PortFeatures {
+  /// Row order of `matrix`.
+  std::vector<net::IPv4> senders;
+  /// One column per selected port, values = fraction of the sender's
+  /// packets to that port.
+  w2v::Embedding matrix;
+  /// The selected ports (columns), in column order.
+  std::vector<net::PortKey> ports;
+};
+
+/// Builds the baseline features for `senders` from `trace`.
+///
+/// For each class in `labels` (Unknown included) the top
+/// `top_ports_per_class` ports by packets are selected; the merged set
+/// forms the columns.
+[[nodiscard]] PortFeatures build_port_features(
+    const net::Trace& trace, std::span<const net::IPv4> senders,
+    const sim::LabelMap& labels, std::size_t top_ports_per_class = 5);
+
+}  // namespace darkvec::baselines

@@ -1,0 +1,79 @@
+// The DarkVec pipeline (Figure 4 of the paper): trace -> service-split
+// corpus -> single skip-gram embedding -> semi-supervised k-NN /
+// unsupervised k'-NN graph + Louvain.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "darkvec/corpus/corpus.hpp"
+#include "darkvec/corpus/service_map.hpp"
+#include "darkvec/graph/louvain.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/net/trace.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+namespace darkvec {
+
+/// End-to-end configuration of one DarkVec run. Defaults are the paper's
+/// chosen operating point: domain-knowledge services, ΔT = 1 h, activity
+/// threshold 10 packets, V = 50, c = 25.
+struct DarkVecConfig {
+  corpus::ServiceStrategy services = corpus::ServiceStrategy::kDomain;
+  /// Top-n for the auto-defined service strategy (the paper uses 10).
+  int auto_top_n = 10;
+  corpus::CorpusOptions corpus;
+  w2v::SkipGramOptions w2v;
+};
+
+/// Result of an unsupervised clustering pass.
+struct Clustering {
+  /// Cluster id per corpus word (same indexing as DarkVec::corpus().words).
+  std::vector<int> assignment;
+  double modularity = 0;
+  int count = 0;
+};
+
+/// Trains and holds one DarkVec embedding over a darknet trace.
+///
+/// Typical use:
+///   DarkVec dv(config);
+///   dv.fit(trace);                     // corpus + skip-gram training
+///   auto& knn = dv.knn();              // cosine index over all senders
+///   auto clusters = dv.cluster(3);     // Louvain over the 3-NN graph
+class DarkVec {
+ public:
+  explicit DarkVec(DarkVecConfig config = {});
+
+  /// Builds the corpus from `trace` (must be sorted) and trains the
+  /// embedding. Returns training statistics (pairs, wall time).
+  w2v::TrainStats fit(const net::Trace& trace);
+
+  /// The tokenized corpus (valid after fit()).
+  [[nodiscard]] const corpus::Corpus& corpus() const { return corpus_; }
+
+  /// The trained embedding; row i embeds corpus().words[i].
+  [[nodiscard]] const w2v::Embedding& embedding() const;
+
+  /// Lazily built cosine k-NN index over the embedding.
+  [[nodiscard]] const ml::CosineKnn& knn() const;
+
+  /// Embedding row of `ip`, or nullopt if the sender did not survive the
+  /// activity filter.
+  [[nodiscard]] std::optional<std::size_t> index_of(net::IPv4 ip) const;
+
+  /// Unsupervised clustering: Louvain over the k'-NN graph (Section 7).
+  [[nodiscard]] Clustering cluster(int k_prime,
+                                   std::uint64_t seed = 1) const;
+
+  [[nodiscard]] const DarkVecConfig& config() const { return config_; }
+
+ private:
+  DarkVecConfig config_;
+  corpus::Corpus corpus_;
+  std::unique_ptr<w2v::SkipGramModel> model_;
+  mutable std::unique_ptr<ml::CosineKnn> knn_;
+};
+
+}  // namespace darkvec

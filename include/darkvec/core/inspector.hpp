@@ -1,0 +1,59 @@
+// Cluster inspection (Section 7.3 / Table 5): per-cluster traffic
+// characterization replacing the paper's manual whois/rDNS investigation
+// with the simulator's oracle and automatic port/subnet statistics.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "darkvec/corpus/corpus.hpp"
+#include "darkvec/net/trace.hpp"
+#include "darkvec/sim/labels.hpp"
+
+namespace darkvec {
+
+/// Everything Table 5 reports about one cluster, plus the oracle
+/// composition used for validation.
+struct ClusterInfo {
+  int id = 0;
+  std::vector<net::IPv4> members;
+  std::size_t packets = 0;
+  /// Distinct (port, proto) pairs targeted by the cluster.
+  std::vector<net::PortKey> ports;
+  /// Top ports by traffic share, descending.
+  std::vector<std::pair<net::PortKey, double>> top_ports;
+  std::size_t distinct_slash24 = 0;
+  std::size_t distinct_slash16 = 0;
+  /// Fraction of member senders that sent >= 1 Mirai-fingerprint packet.
+  double fingerprint_fraction = 0;
+  /// Mean silhouette of members (filled by the caller when available).
+  double silhouette = 0;
+  /// Oracle: generator group -> member count.
+  std::unordered_map<std::string, std::size_t> group_composition;
+  /// Largest oracle group and its fraction of the cluster.
+  std::string dominant_group;
+  double dominant_fraction = 0;
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+};
+
+/// Builds per-cluster reports from a clustering `assignment` over
+/// `corpus.words`. `silhouette` may be empty (then 0 is reported); when
+/// given it must align with corpus words. Returned clusters are sorted by
+/// decreasing size.
+[[nodiscard]] std::vector<ClusterInfo> inspect_clusters(
+    const net::Trace& trace, const corpus::Corpus& corpus,
+    std::span<const int> assignment, const sim::GroupMap& oracle,
+    std::span<const double> silhouette = {});
+
+/// Jaccard index of the port sets of two clusters (Section 7.3.1 reports
+/// the inter-cluster mean for the Censys sub-clusters).
+[[nodiscard]] double port_jaccard(const ClusterInfo& a, const ClusterInfo& b);
+
+/// Mean pairwise port-set Jaccard across the given clusters (0 for < 2).
+[[nodiscard]] double mean_pairwise_port_jaccard(
+    std::span<const ClusterInfo> clusters);
+
+}  // namespace darkvec

@@ -1,0 +1,33 @@
+// Persistence of a trained DarkVec model: the embedding matrix plus the
+// sender vocabulary that names its rows. Lets one process train (hours on
+// real traces) and others classify/cluster without retraining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "darkvec/net/ipv4.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec {
+
+/// A trained sender embedding ready for k-NN / clustering use.
+struct SenderModel {
+  /// Row i of `embedding` is the vector of `senders[i]`.
+  std::vector<net::IPv4> senders;
+  w2v::Embedding embedding;
+
+  /// Row of `ip` or -1.
+  [[nodiscard]] std::int64_t index_of(net::IPv4 ip) const;
+};
+
+/// Writes `model` as `prefix.emb` (binary embedding) and `prefix.vocab`
+/// (one dotted-quad address per line, row order). Throws on I/O errors.
+void save_model(const std::string& prefix, const SenderModel& model);
+
+/// Loads a model previously written by save_model. Throws on missing
+/// files, malformed vocab lines, or a row-count mismatch between the two
+/// files.
+[[nodiscard]] SenderModel load_model(const std::string& prefix);
+
+}  // namespace darkvec

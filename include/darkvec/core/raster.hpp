@@ -1,0 +1,43 @@
+// Activity rasters: the sender-vs-time dot plots of Figures 1b, 9 and
+// 12-15, rendered as a boolean presence matrix (and, for terminals, as
+// ASCII art by the bench binaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "darkvec/net/trace.hpp"
+
+namespace darkvec {
+
+/// Presence matrix: rows are senders (ordered as given), columns are time
+/// buckets of `bucket_seconds` starting at the trace start.
+struct ActivityRaster {
+  std::vector<net::IPv4> senders;           ///< row order
+  std::vector<std::vector<bool>> presence;  ///< [sender][bucket]
+  std::int64_t t0 = 0;
+  std::int64_t bucket_seconds = 0;
+
+  [[nodiscard]] std::size_t buckets() const {
+    return presence.empty() ? 0 : presence[0].size();
+  }
+};
+
+/// Builds the raster of `senders` over `trace` (must be sorted). Senders
+/// with no packets keep all-false rows.
+[[nodiscard]] ActivityRaster build_raster(
+    const net::Trace& trace, std::vector<net::IPv4> senders,
+    std::int64_t bucket_seconds);
+
+/// Renders the raster as ASCII: one line per sender, '#' for active
+/// buckets, '.' otherwise. `max_rows` subsamples evenly when the sender
+/// list is long (0 = all rows).
+[[nodiscard]] std::string render_raster(const ActivityRaster& raster,
+                                        std::size_t max_rows = 40);
+
+/// Convenience ordering: senders sorted by first packet timestamp (the
+/// y-ordering of Figure 1b).
+[[nodiscard]] std::vector<net::IPv4> senders_by_first_seen(
+    const net::Trace& trace);
+
+}  // namespace darkvec

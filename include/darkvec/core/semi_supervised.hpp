@@ -1,0 +1,70 @@
+// Semi-supervised analyses on top of a trained DarkVec embedding:
+// the leave-one-out k-NN validation of Section 6 and the ground-truth
+// extension procedure of Section 6.4.
+#pragma once
+
+#include <vector>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/ml/metrics.hpp"
+#include "darkvec/sim/labels.hpp"
+
+namespace darkvec {
+
+/// The evaluation set of the paper: senders that (i) appear in the last
+/// day of `trace` and (ii) pass the activity filter over the whole trace.
+[[nodiscard]] std::vector<net::IPv4> last_day_active_senders(
+    const net::Trace& trace, std::size_t min_packets = 10);
+
+/// Outcome of a leave-one-out k-NN evaluation.
+struct KnnEvaluation {
+  /// Per-class report over the evaluated senders; class ids follow
+  /// sim::GtClass (Unknown included as the last class).
+  ml::ClassificationReport report;
+  /// The paper's headline accuracy: over GT1-GT9 senders only.
+  double accuracy = 0;
+  /// Evaluated senders present in the embedding / total evaluated senders
+  /// (the "coverage" of Table 3 and Figure 6).
+  std::size_t covered = 0;
+  std::size_t total = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Leave-one-out k-NN over `eval_ips`.
+///
+/// Each embedded sender votes with its label (`labels`, Unknown when
+/// absent). Senders of `eval_ips` missing from the embedding reduce
+/// coverage and are excluded from the report, as in the paper.
+[[nodiscard]] KnnEvaluation evaluate_knn(const DarkVec& dv,
+                                         const sim::LabelMap& labels,
+                                         std::span<const net::IPv4> eval_ips,
+                                         int k);
+
+/// Same evaluation over an arbitrary sender-vector matrix (used to score
+/// the baselines — port features, DANTE, IP2VEC — with identical
+/// methodology). `row_ips[i]` names row i of `vectors`.
+[[nodiscard]] KnnEvaluation evaluate_knn_vectors(
+    const w2v::Embedding& vectors, std::span<const net::IPv4> row_ips,
+    const sim::LabelMap& labels, std::span<const net::IPv4> eval_ips, int k);
+
+/// An Unknown sender proposed for labeling by the Section 6.4 procedure.
+struct ExtensionCandidate {
+  net::IPv4 ip;
+  sim::GtClass predicted = sim::GtClass::kUnknown;
+  /// Mean cosine distance to its k nearest neighbours.
+  double avg_distance = 0;
+};
+
+/// Ground-truth extension: Unknown embedded senders whose k-NN majority is
+/// a GT class and whose mean neighbour distance does not exceed the
+/// largest mean neighbour distance seen among that class's own labeled
+/// members. Sorted by increasing distance (most trustworthy first).
+[[nodiscard]] std::vector<ExtensionCandidate> extend_ground_truth(
+    const DarkVec& dv, const sim::LabelMap& labels, int k);
+
+}  // namespace darkvec

@@ -1,0 +1,76 @@
+// Streaming operation: periodic retraining over a sliding window, with
+// successive embeddings aligned into a common space.
+//
+// The paper trains one model per dataset, but its operational story —
+// spotting the ADB worm "since the beginning of our trace" and watching
+// the cluster grow (Figure 15), or extending the ground truth day by day —
+// implies exactly this mode: retrain on the last W days every step,
+// cluster, and follow groups across retrains. Successive latent spaces are
+// arbitrary rotations of each other, so each snapshot is Procrustes-
+// aligned to its predecessor over the shared senders (see transfer.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/transfer.hpp"
+#include "darkvec/net/time.hpp"
+
+namespace darkvec {
+
+struct StreamingConfig {
+  /// Sliding training window length.
+  std::int64_t window_seconds = 10 * net::kSecondsPerDay;
+  /// Retrain period.
+  std::int64_t step_seconds = 2 * net::kSecondsPerDay;
+  /// Per-retrain DarkVec configuration.
+  DarkVecConfig darkvec;
+  /// k' of the per-snapshot Louvain clustering.
+  int k_prime = 3;
+  /// Align each snapshot's embedding onto the previous one (rotations
+  /// compose, so all snapshots end up in the first snapshot's space).
+  bool align = true;
+};
+
+/// One retrain of the sliding window.
+struct StreamSnapshot {
+  std::int64_t window_start = 0;
+  std::int64_t window_end = 0;
+  /// Senders embedded in this window (row order of `embedding`).
+  std::vector<net::IPv4> senders;
+  /// Embedding, rotated into the common space when alignment is on.
+  w2v::Embedding embedding;
+  /// Louvain clustering of this window's embedding.
+  Clustering clustering;
+  /// Mean anchor cosine to the previous snapshot after alignment
+  /// (0 for the first snapshot or when alignment is off/impossible).
+  double alignment_similarity = 0;
+};
+
+/// Runs the sliding-window pipeline over a full (sorted) trace.
+///
+/// Windows are [end - window, end) for end = t0+window, +step, ... until
+/// the trace is exhausted. Each snapshot is self-contained; alignment
+/// failures (no shared senders) degrade gracefully to unaligned output.
+[[nodiscard]] std::vector<StreamSnapshot> run_streaming(
+    const net::Trace& trace, const StreamingConfig& config);
+
+/// Follows a group of senders through snapshots: for each snapshot,
+/// reports how many of them are embedded and the size of the largest
+/// cluster fraction they form.
+struct GroupTrack {
+  std::int64_t window_end = 0;
+  /// Group members embedded in this snapshot.
+  std::size_t present = 0;
+  /// Members inside the single cluster holding most of them.
+  std::size_t clustered_together = 0;
+  /// Total size of that cluster (members + adopted senders).
+  std::size_t cluster_size = 0;
+};
+
+[[nodiscard]] std::vector<GroupTrack> track_group(
+    std::span<const StreamSnapshot> snapshots,
+    std::span<const net::IPv4> group);
+
+}  // namespace darkvec

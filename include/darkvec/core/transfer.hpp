@@ -1,0 +1,65 @@
+// Embedding transfer across time windows or vantage points — the open
+// question the paper's Section 8 raises: "to what extent the embedding
+// learned in one darknet can be useful in other darknets or at different
+// time... the transfer of the embedding, and the transfer of learned
+// tasks."
+//
+// Two Word2Vec runs produce arbitrarily rotated latent spaces, so direct
+// vector comparison is meaningless. Given senders present in both
+// embeddings (the anchor set), orthogonal Procrustes finds the rotation
+// that best maps one space onto the other; tasks (k-NN labeling) can then
+// be transferred and their degradation measured.
+#pragma once
+
+#include <vector>
+
+#include "darkvec/corpus/corpus.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/sim/labels.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec {
+
+/// Result of aligning a source embedding onto a target space.
+struct Alignment {
+  /// dim x dim orthogonal rotation (row-major, applied as v' = v * R).
+  std::vector<double> rotation;
+  int dim = 0;
+  /// Anchor senders used to fit the rotation.
+  std::size_t anchors = 0;
+  /// Mean cosine similarity between rotated source anchors and their
+  /// target counterparts — 1.0 means the spaces match perfectly on the
+  /// anchor set.
+  double anchor_similarity = 0;
+};
+
+/// Fits the orthogonal Procrustes rotation mapping `source` rows onto
+/// `target` rows over the senders present in both corpora. Rows are
+/// L2-normalized before fitting (directions are what cosine k-NN uses).
+/// Throws std::invalid_argument if dims differ or no anchors exist.
+[[nodiscard]] Alignment align_embeddings(const corpus::Corpus& source_corpus,
+                                         const w2v::Embedding& source,
+                                         const corpus::Corpus& target_corpus,
+                                         const w2v::Embedding& target);
+
+/// Applies the rotation to every row of `source`.
+[[nodiscard]] w2v::Embedding apply_alignment(const Alignment& alignment,
+                                             const w2v::Embedding& source);
+
+/// Task-transfer evaluation: label senders of the target window by k-NN
+/// voting against the *source* window's labeled senders, after mapping the
+/// target embedding into the source space (inverse rotation). Returns the
+/// accuracy over target senders with known GT labels.
+struct TransferResult {
+  double accuracy = 0;       ///< with Procrustes alignment
+  double accuracy_raw = 0;   ///< without alignment (direct spaces)
+  std::size_t evaluated = 0; ///< labeled target senders scored
+  Alignment alignment;
+};
+
+[[nodiscard]] TransferResult evaluate_transfer(
+    const corpus::Corpus& source_corpus, const w2v::Embedding& source,
+    const corpus::Corpus& target_corpus, const w2v::Embedding& target,
+    const sim::LabelMap& labels, int k = 7);
+
+}  // namespace darkvec

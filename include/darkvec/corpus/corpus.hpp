@@ -1,0 +1,67 @@
+// Corpus construction: from a packet trace to Word2Vec sentences
+// (Section 5.2 of the paper).
+//
+// Packets of active senders are split by (service, ΔT window); within each
+// cell the chronological sequence of sender IP addresses is one sentence.
+// The union of all sentences over all services and windows is the corpus.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "darkvec/corpus/service_map.hpp"
+#include "darkvec/net/time.hpp"
+#include "darkvec/net/trace.hpp"
+
+namespace darkvec::corpus {
+
+/// Dense word id of a sender inside one corpus.
+using WordId = std::uint32_t;
+
+/// The tokenized corpus plus the IP<->id mapping.
+struct Corpus {
+  /// id -> sender address. Ids are assigned in order of first appearance.
+  std::vector<net::IPv4> words;
+  /// sender address -> id (inverse of `words`).
+  std::unordered_map<net::IPv4, WordId> ids;
+  /// All sentences, ordered by (time window, service).
+  std::vector<std::vector<WordId>> sentences;
+
+  [[nodiscard]] std::size_t vocabulary_size() const { return words.size(); }
+
+  /// Total token count across sentences.
+  [[nodiscard]] std::size_t tokens() const;
+
+  /// Id of `ip`, or `kNoWord` if it never entered the corpus.
+  [[nodiscard]] WordId id_of(net::IPv4 ip) const;
+
+  static constexpr WordId kNoWord = 0xFFFFFFFFu;
+};
+
+/// Knobs of corpus construction.
+struct CorpusOptions {
+  /// Window length ΔT (the paper uses 1 hour and reports low sensitivity).
+  std::int64_t delta_t = net::kSecondsPerHour;
+  /// Activity filter: senders with fewer packets in the trace are dropped
+  /// (Section 3.1, threshold 10).
+  std::size_t min_packets = 10;
+};
+
+/// Builds the corpus of `trace` under `services`.
+///
+/// The trace must be sorted. Senders failing the activity filter are
+/// removed both as words and from sentences. Sentences preserve packet
+/// arrival order and keep repeated senders (a sender probing twice in a
+/// window appears twice, exactly as in the paper's sequences). Sentences
+/// with a single token carry no co-occurrence signal and are dropped.
+[[nodiscard]] Corpus build_corpus(const net::Trace& trace,
+                                  const ServiceMap& services,
+                                  const CorpusOptions& options = {});
+
+/// Counts the skip-gram (target, context) pairs a window-`c` training pass
+/// over `corpus` generates: sum over sentences of per-token context sizes,
+/// truncated at sentence borders. This is the cost metric of Table 3.
+[[nodiscard]] std::uint64_t count_skipgrams(const Corpus& corpus, int c);
+
+}  // namespace darkvec::corpus

@@ -1,0 +1,93 @@
+// Service definitions: the paper's key design knob (Section 5.2).
+//
+// A service maps each destination (port, protocol) to a semantic group;
+// packet sequences are split per service before becoming Word2Vec
+// sentences. Three strategies are evaluated in the paper:
+//   * single service  — all ports together (worst, Table 4 left),
+//   * auto-defined    — top-n popular ports each get a service (n=10),
+//   * domain knowledge — the hand-curated 15-service table (Table 7).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "darkvec/net/protocol.hpp"
+#include "darkvec/net/trace.hpp"
+
+namespace darkvec::corpus {
+
+/// Maps (port, protocol) pairs to small dense service ids.
+class ServiceMap {
+ public:
+  virtual ~ServiceMap() = default;
+
+  /// Dense id in [0, num_services()).
+  [[nodiscard]] virtual int service_of(net::PortKey key) const = 0;
+
+  [[nodiscard]] virtual int num_services() const = 0;
+
+  /// Human-readable service name ("Telnet", "port 445/tcp", "other", ...).
+  [[nodiscard]] virtual std::string name(int service) const = 0;
+};
+
+/// Everything in one service — the paper's degenerate baseline definition.
+class SingleServiceMap final : public ServiceMap {
+ public:
+  [[nodiscard]] int service_of(net::PortKey) const override { return 0; }
+  [[nodiscard]] int num_services() const override { return 1; }
+  [[nodiscard]] std::string name(int) const override { return "all"; }
+};
+
+/// One service per top-n (port, protocol) pair of a reference trace plus a
+/// catch-all (n+1)-th service (the paper uses n = 10).
+class AutoServiceMap final : public ServiceMap {
+ public:
+  /// Ranks ports by packet count in `trace` and keeps the top `n`.
+  AutoServiceMap(const net::Trace& trace, int n = 10);
+
+  [[nodiscard]] int service_of(net::PortKey key) const override;
+  [[nodiscard]] int num_services() const override;
+  [[nodiscard]] std::string name(int service) const override;
+
+ private:
+  std::unordered_map<net::PortKey, int> top_;
+  std::vector<net::PortKey> keys_;  // id -> key, for naming
+};
+
+/// The hand-curated domain-knowledge mapping of Table 7: 15 named services
+/// plus ICMP plus the three port-range fallbacks (system / user /
+/// ephemeral).
+class DomainServiceMap final : public ServiceMap {
+ public:
+  DomainServiceMap();
+
+  [[nodiscard]] int service_of(net::PortKey key) const override;
+  [[nodiscard]] int num_services() const override;
+  [[nodiscard]] std::string name(int service) const override;
+
+  /// Id of a named service ("Telnet", "DNS", ...); -1 if unknown. Useful
+  /// for tests and the Figure 3 heatmap.
+  [[nodiscard]] int id_of(std::string_view service_name) const;
+
+ private:
+  std::unordered_map<net::PortKey, int> table_;
+  std::vector<std::string> names_;
+  int icmp_ = 0;
+  int unknown_system_ = 0;
+  int unknown_user_ = 0;
+  int unknown_ephemeral_ = 0;
+};
+
+/// The paper's three service-definition strategies, for sweep loops.
+enum class ServiceStrategy { kSingle, kAuto, kDomain };
+
+[[nodiscard]] std::string_view to_string(ServiceStrategy s);
+
+/// Factory: builds the requested strategy (AutoServiceMap needs `trace`).
+[[nodiscard]] std::unique_ptr<ServiceMap> make_service_map(
+    ServiceStrategy strategy, const net::Trace& trace, int auto_top_n = 10);
+
+}  // namespace darkvec::corpus

@@ -1,0 +1,69 @@
+// Weighted undirected graph used for the k'-NN graph clustering of
+// Section 7. Directed k-NN edges are symmetrized on insertion (weights of
+// the two directions accumulate), which is what the reference
+// python-louvain pipeline does when handed a directed graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace darkvec::graph {
+
+/// One adjacency entry.
+struct Edge {
+  std::uint32_t to = 0;
+  double weight = 0;
+};
+
+/// Undirected weighted graph with merged parallel edges and self-loops.
+///
+/// Build with `add_edge` (accumulating duplicate pairs), then call
+/// `finalize()` once before reading adjacency. Degrees follow the
+/// python-louvain convention: a self-loop of weight w contributes 2w.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n);
+
+  /// Adds w to the undirected edge {u, v} (or to the self-loop when
+  /// u == v). Must be called before finalize().
+  void add_edge(std::uint32_t u, std::uint32_t v, double w);
+
+  /// Merges duplicates and builds adjacency lists.
+  void finalize();
+
+  [[nodiscard]] std::size_t num_nodes() const { return n_; }
+
+  /// Neighbours of u (self-loop included once if present). finalize()d.
+  [[nodiscard]] std::span<const Edge> neighbors(std::uint32_t u) const;
+
+  /// Weighted degree of u (self-loop counted twice). finalize()d.
+  [[nodiscard]] double degree(std::uint32_t u) const { return degree_[u]; }
+
+  /// Self-loop weight of u (0 if none). finalize()d.
+  [[nodiscard]] double self_loop(std::uint32_t u) const { return self_[u]; }
+
+  /// Sum of edge weights, each undirected edge once, self-loops once.
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+
+ private:
+  struct RawEdge {
+    std::uint32_t u, v;
+    double w;
+  };
+
+  std::size_t n_;
+  bool finalized_ = false;
+  std::vector<RawEdge> raw_;
+  // CSR storage after finalize().
+  std::vector<std::size_t> offsets_;
+  std::vector<Edge> edges_;
+  std::vector<double> degree_;
+  std::vector<double> self_;
+  double total_weight_ = 0;
+};
+
+/// Number of connected components (by positive-weight edges).
+[[nodiscard]] std::size_t connected_components(const WeightedGraph& g);
+
+}  // namespace darkvec::graph

@@ -1,0 +1,21 @@
+// k'-NN graph construction over an embedding (Section 7.1): each sender
+// points to its k' nearest neighbours, edge weight = cosine similarity.
+#pragma once
+
+#include "darkvec/graph/graph.hpp"
+#include "darkvec/ml/knn.hpp"
+
+namespace darkvec::graph {
+
+/// Builds the (symmetrized) k'-NN graph of all points in `index`.
+///
+/// Directed edges u -> v for each of u's k' nearest neighbours are
+/// accumulated into an undirected graph; a pair that selects each other
+/// ends up with the sum of both directions, mirroring how the paper's
+/// directed graph behaves under Louvain. Edges with non-positive cosine
+/// similarity are dropped (negative weights are meaningless to
+/// modularity).
+[[nodiscard]] WeightedGraph knn_graph(const ml::CosineKnn& index,
+                                      int k_prime);
+
+}  // namespace darkvec::graph

@@ -1,0 +1,45 @@
+// Louvain community detection (Blondel et al. 2008), as used by the paper
+// for the unsupervised analysis (Section 7.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "darkvec/graph/graph.hpp"
+
+namespace darkvec::graph {
+
+/// Result of a Louvain run.
+struct LouvainResult {
+  /// community[i] is the dense community id of node i, in [0, count).
+  std::vector<int> community;
+  /// Modularity of the final partition.
+  double modularity = 0;
+  /// Number of communities.
+  int count = 0;
+  /// Aggregation levels performed.
+  int levels = 0;
+};
+
+/// Options for the Louvain run. Defaults match python-louvain.
+struct LouvainOptions {
+  /// Minimum modularity gain to continue a local-move pass.
+  double min_gain = 1e-7;
+  /// Seed for the node-visit shuffle (Louvain is order-dependent).
+  std::uint64_t seed = 1;
+  /// Safety cap on aggregation levels.
+  int max_levels = 32;
+};
+
+/// Newman modularity of `community` over `g` (python-louvain convention:
+/// self-loops count once in total weight, twice in degrees). Range
+/// [-0.5, 1].
+[[nodiscard]] double modularity(const WeightedGraph& g,
+                                std::span<const int> community);
+
+/// Runs Louvain on a finalized graph. Deterministic for a fixed seed.
+[[nodiscard]] LouvainResult louvain(const WeightedGraph& g,
+                                    const LouvainOptions& options = {});
+
+}  // namespace darkvec::graph

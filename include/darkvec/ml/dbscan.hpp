@@ -1,0 +1,35 @@
+// DBSCAN (Ester et al.) under cosine distance.
+//
+// Second of the classic clustering algorithms the paper evaluated on the
+// embedding before adopting graph-based clustering (Section 7.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+struct DbscanOptions {
+  /// Neighbourhood radius in cosine distance (1 - cosine similarity).
+  double eps = 0.1;
+  /// Minimum neighbourhood size (the point itself included) for a core
+  /// point.
+  std::size_t min_points = 5;
+};
+
+struct DbscanResult {
+  /// Cluster id per point in [0, clusters), or kNoise.
+  std::vector<int> assignment;
+  int clusters = 0;
+
+  static constexpr int kNoise = -1;
+};
+
+/// Runs DBSCAN over the rows of `points` with brute-force O(n^2) region
+/// queries (fine for the tens of thousands of senders of a darknet day).
+[[nodiscard]] DbscanResult dbscan(const w2v::Embedding& points,
+                                  const DbscanOptions& options = {});
+
+}  // namespace darkvec::ml

@@ -1,0 +1,32 @@
+// Leave-one-out k-NN evaluation (Section 6.1 of the paper).
+//
+// Every embedded sender — labeled or Unknown — participates as a potential
+// neighbour; predictions are made for the evaluated points by majority
+// vote over their k nearest neighbours. A neighbourhood dominated by
+// Unknown senders yields an Unknown prediction, which counts as a
+// misclassification for GT points, exactly as the paper specifies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "darkvec/ml/knn.hpp"
+
+namespace darkvec::ml {
+
+/// Majority label among `neighbors` given per-point `labels`. Ties are
+/// broken by the higher total similarity, then by the lower label id
+/// (deterministic).
+[[nodiscard]] int majority_vote(std::span<const Neighbor> neighbors,
+                                std::span<const int> labels);
+
+/// Leave-one-out k-NN prediction for the points listed in `eval_points`.
+///
+/// `labels[i]` is the class of embedded point i (use the Unknown class id
+/// for unlabeled senders — they vote too). Returns one predicted label per
+/// entry of `eval_points`, in order.
+[[nodiscard]] std::vector<int> loo_knn_predict(
+    const CosineKnn& index, std::span<const int> labels,
+    std::span<const std::uint32_t> eval_points, int k);
+
+}  // namespace darkvec::ml

@@ -1,0 +1,34 @@
+// Hierarchical agglomerative clustering under cosine distance.
+//
+// Third of the classic clustering algorithms the paper evaluated on the
+// embedding (Section 7.1). Implemented with Lance-Williams distance
+// updates; O(n^2) memory and roughly O(n^2 log n) time, so callers
+// subsample large embeddings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+enum class Linkage : std::uint8_t {
+  kSingle,   ///< min pairwise distance
+  kComplete, ///< max pairwise distance
+  kAverage,  ///< unweighted average pairwise distance (UPGMA)
+};
+
+struct HacResult {
+  /// Cluster id per point in [0, clusters).
+  std::vector<int> assignment;
+  int clusters = 0;
+};
+
+/// Agglomerates the rows of `points` down to `n_clusters` clusters using
+/// cosine distance and the requested linkage.
+[[nodiscard]] HacResult agglomerative(const w2v::Embedding& points,
+                                      int n_clusters,
+                                      Linkage linkage = Linkage::kAverage);
+
+}  // namespace darkvec::ml

@@ -1,0 +1,39 @@
+// Lloyd's k-Means with k-means++ seeding.
+//
+// One of the classic clustering algorithms the paper evaluated on the
+// embedded space before settling on graph-based clustering (Section 7.1:
+// "these algorithms produce poor results due to the well-known curse of
+// dimensionality as well as their difficult parameter tuning").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Relative inertia improvement below which iteration stops.
+  double tolerance = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// Cluster id per point, in [0, k).
+  std::vector<int> assignment;
+  /// Final centroids, one row per cluster.
+  w2v::Embedding centroids;
+  /// Sum of squared euclidean distances to assigned centroids.
+  double inertia = 0;
+  int iterations = 0;
+};
+
+/// Runs k-Means over the rows of `points` (euclidean distance, as the
+/// scikit-learn implementation the paper used). k is clamped to the number
+/// of points. Deterministic for a fixed seed.
+[[nodiscard]] KMeansResult kmeans(const w2v::Embedding& points, int k,
+                                  const KMeansOptions& options = {});
+
+}  // namespace darkvec::ml

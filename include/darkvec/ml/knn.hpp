@@ -1,0 +1,53 @@
+// Brute-force cosine k-nearest-neighbour search over an embedding.
+//
+// The paper uses cosine k-NN both for the semi-supervised classifier
+// (Section 6) and to build the k'-NN graph for Louvain clustering
+// (Section 7). Sizes are tens of thousands of points, so exact brute force
+// on normalized vectors (similarity == dot product) is the right tool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+/// One neighbour: point index and cosine similarity.
+struct Neighbor {
+  std::uint32_t index = 0;
+  float similarity = 0;
+};
+
+/// Exact cosine k-NN index. Rows are L2-normalized at construction; queries
+/// are linear scans with a bounded min-heap, O(n·dim) per query.
+class CosineKnn {
+ public:
+  explicit CosineKnn(const w2v::Embedding& embedding)
+      : normalized_(embedding.normalized()) {}
+
+  /// The `k` nearest neighbours of point `i`, excluding `i` itself,
+  /// ordered by decreasing similarity.
+  [[nodiscard]] std::vector<Neighbor> query(std::size_t i, int k) const;
+
+  /// The `k` nearest neighbours of an arbitrary (not necessarily
+  /// normalized) vector. `exclude` removes one index from candidates
+  /// (pass a negative value to keep all).
+  [[nodiscard]] std::vector<Neighbor> query_vector(std::span<const float> v,
+                                                   int k,
+                                                   std::int64_t exclude = -1)
+      const;
+
+  [[nodiscard]] std::size_t size() const { return normalized_.size(); }
+  [[nodiscard]] int dim() const { return normalized_.dim(); }
+  [[nodiscard]] const w2v::Embedding& normalized() const {
+    return normalized_;
+  }
+
+ private:
+  w2v::Embedding normalized_;
+};
+
+}  // namespace darkvec::ml

@@ -1,0 +1,47 @@
+// Small dense linear algebra: just enough for orthogonal Procrustes
+// alignment of embeddings (one-sided Jacobi SVD of small square matrices).
+#pragma once
+
+#include <vector>
+
+namespace darkvec::ml {
+
+/// Column-major n x n dense matrix of doubles.
+struct SquareMatrix {
+  int n = 0;
+  std::vector<double> data;  ///< data[col * n + row]
+
+  SquareMatrix() = default;
+  explicit SquareMatrix(int size)
+      : n(size), data(static_cast<std::size_t>(size) * size, 0.0) {}
+
+  [[nodiscard]] double& at(int row, int col) {
+    return data[static_cast<std::size_t>(col) * n + row];
+  }
+  [[nodiscard]] double at(int row, int col) const {
+    return data[static_cast<std::size_t>(col) * n + row];
+  }
+};
+
+/// Thin SVD of a square matrix: M = U * diag(S) * V^T.
+struct SvdResult {
+  SquareMatrix u;
+  std::vector<double> singular_values;
+  SquareMatrix v;
+};
+
+/// One-sided Jacobi SVD. Robust for the small (dim x dim, dim <= a few
+/// hundred) matrices used in Procrustes alignment. Singular values are
+/// non-negative, sorted descending.
+[[nodiscard]] SvdResult jacobi_svd(const SquareMatrix& m,
+                                   int max_sweeps = 60,
+                                   double tolerance = 1e-12);
+
+/// C = A * B.
+[[nodiscard]] SquareMatrix multiply(const SquareMatrix& a,
+                                    const SquareMatrix& b);
+
+/// A^T.
+[[nodiscard]] SquareMatrix transpose(const SquareMatrix& a);
+
+}  // namespace darkvec::ml

@@ -1,0 +1,61 @@
+// Classification metrics: the per-class precision/recall/F-score reports of
+// Tables 4 and 6, plus confusion-matrix access.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace darkvec::ml {
+
+/// Per-class scores. Precision is 0 when nothing was predicted as the
+/// class; recall is 0 when the class has no support.
+struct ClassScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  std::size_t support = 0;      ///< true instances of the class
+  std::size_t predicted = 0;    ///< instances predicted as the class
+};
+
+/// Full multi-class report built from parallel label vectors.
+class ClassificationReport {
+ public:
+  /// `y_true[i]` / `y_pred[i]` are class ids in [0, n_classes). The two
+  /// spans must be the same length.
+  ClassificationReport(std::span<const int> y_true,
+                       std::span<const int> y_pred, int n_classes);
+
+  [[nodiscard]] const ClassScores& scores(int cls) const {
+    return per_class_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] int num_classes() const {
+    return static_cast<int>(per_class_.size());
+  }
+
+  /// Fraction of correct predictions over all samples.
+  [[nodiscard]] double accuracy() const { return accuracy_; }
+
+  /// Fraction of correct predictions restricted to samples whose true
+  /// class is in `classes` — the paper's headline accuracy is computed
+  /// over GT1-GT9 only, skipping Unknown.
+  [[nodiscard]] double accuracy_over(std::span<const int> classes) const;
+
+  /// Support-weighted mean recall over `classes` (equals accuracy_over).
+  [[nodiscard]] double weighted_f1_over(std::span<const int> classes) const;
+
+  /// confusion(i, j): samples of true class i predicted as class j.
+  [[nodiscard]] std::size_t confusion(int true_cls, int pred_cls) const {
+    return confusion_[static_cast<std::size_t>(true_cls) *
+                          per_class_.size() +
+                      static_cast<std::size_t>(pred_cls)];
+  }
+
+ private:
+  std::vector<ClassScores> per_class_;
+  std::vector<std::size_t> confusion_;
+  std::vector<int> y_true_;
+  std::vector<int> y_pred_;
+  double accuracy_ = 0;
+};
+
+}  // namespace darkvec::ml

@@ -1,0 +1,28 @@
+// Silhouette scores in cosine space (Figure 11 of the paper).
+//
+// With L2-normalized vectors the cosine distance to a *set* of points
+// averages to `1 - dot(v, centroid_sum)/|set|`, so per-sample silhouettes
+// cost O(n·clusters·dim) instead of O(n²·dim).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+/// Per-sample silhouette coefficients under cosine distance.
+///
+/// `assignment[i]` is the cluster id of point i (ids need not be dense, but
+/// must be non-negative). Points in singleton clusters get silhouette 0 by
+/// convention. `embedding` need not be normalized.
+[[nodiscard]] std::vector<double> silhouette_samples(
+    const w2v::Embedding& embedding, std::span<const int> assignment);
+
+/// Mean silhouette of each cluster id (index = cluster id; clusters with no
+/// points get 0).
+[[nodiscard]] std::vector<double> silhouette_by_cluster(
+    std::span<const double> samples, std::span<const int> assignment);
+
+}  // namespace darkvec::ml

@@ -1,0 +1,58 @@
+// Small statistics helpers: empirical CDFs (Figures 1-2) and the Jaccard
+// index used to compare cluster port sets (Section 7.3.1).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace darkvec::ml {
+
+/// Empirical cumulative distribution function over a sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> values) : sorted_(std::move(values)) {
+    std::ranges::sort(sorted_);
+  }
+
+  /// P[X <= x].
+  [[nodiscard]] double operator()(double x) const {
+    if (sorted_.empty()) return 0;
+    const auto it = std::ranges::upper_bound(sorted_, x);
+    return static_cast<double>(std::distance(sorted_.begin(), it)) /
+           static_cast<double>(sorted_.size());
+  }
+
+  /// Smallest x with ECDF(x) >= q, for q in (0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    if (sorted_.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(std::clamp(
+        q * static_cast<double>(sorted_.size()) - 1.0, 0.0,
+        static_cast<double>(sorted_.size() - 1)));
+    return sorted_[rank];
+  }
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Jaccard index |A ∩ B| / |A ∪ B| of two sets given as ranges of unique
+/// hashable elements. Empty-vs-empty is defined as 0.
+template <typename T>
+[[nodiscard]] double jaccard(std::span<const T> a, std::span<const T> b) {
+  if (a.empty() && b.empty()) return 0;
+  std::unordered_set<T> set_a(a.begin(), a.end());
+  std::size_t inter = 0;
+  std::unordered_set<T> set_b;
+  for (const T& x : b) {
+    if (set_b.insert(x).second && set_a.contains(x)) ++inter;
+  }
+  const std::size_t uni = set_a.size() + set_b.size() - inter;
+  return uni == 0 ? 0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace darkvec::ml

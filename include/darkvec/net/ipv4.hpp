@@ -1,0 +1,77 @@
+// IPv4 address value type.
+//
+// The whole DarkVec pipeline treats sender IP addresses as opaque "words";
+// this type gives them value semantics, fast hashing and subnet arithmetic
+// (cluster inspection reasons about /24 and /16 aggregates, cf. Table 5 of
+// the paper).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace darkvec::net {
+
+/// An IPv4 address stored in host byte order.
+///
+/// Value type: cheap to copy, totally ordered, hashable. Use
+/// `IPv4::parse()` to construct from dotted-quad text and `to_string()` to
+/// render it back.
+class IPv4 {
+ public:
+  /// Constructs 0.0.0.0.
+  constexpr IPv4() = default;
+
+  /// Constructs from a 32-bit value in host byte order
+  /// (e.g. `IPv4{0x0A000001}` is 10.0.0.1).
+  constexpr explicit IPv4(std::uint32_t value) : value_(value) {}
+
+  /// Constructs from the four dotted-quad octets, most significant first.
+  constexpr IPv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses "a.b.c.d". Returns std::nullopt on any malformed input
+  /// (missing octets, out-of-range values, trailing garbage).
+  static std::optional<IPv4> parse(std::string_view text);
+
+  /// The address as a 32-bit host-byte-order value.
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// The i-th octet, 0 being the most significant ("a" in a.b.c.d).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// The enclosing /24 network address (last octet zeroed).
+  [[nodiscard]] constexpr IPv4 slash24() const {
+    return IPv4{value_ & 0xFFFFFF00u};
+  }
+
+  /// The enclosing /16 network address (last two octets zeroed).
+  [[nodiscard]] constexpr IPv4 slash16() const {
+    return IPv4{value_ & 0xFFFF0000u};
+  }
+
+  /// Renders as dotted quad, e.g. "192.168.8.66".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4, IPv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace darkvec::net
+
+template <>
+struct std::hash<darkvec::net::IPv4> {
+  std::size_t operator()(darkvec::net::IPv4 ip) const noexcept {
+    // Fibonacci hashing spreads sequential addresses (common in subnets).
+    return static_cast<std::size_t>(ip.value()) * 0x9E3779B97F4A7C15ull;
+  }
+};

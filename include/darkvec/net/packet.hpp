@@ -1,0 +1,38 @@
+// The packet record observed by the darknet sensor.
+#pragma once
+
+#include <cstdint>
+
+#include "darkvec/net/ipv4.hpp"
+#include "darkvec/net/protocol.hpp"
+
+namespace darkvec::net {
+
+/// One unsolicited packet as captured by the darknet.
+///
+/// A darknet hosts no services, so the only interesting fields are who sent
+/// the packet, when, and to which (address, port, protocol) inside the
+/// monitored /24. `mirai_fingerprint` stands in for the well-known Mirai
+/// probe signature (TCP sequence number equal to the destination address),
+/// which the paper uses as a labeling oracle for the GT1 class.
+struct Packet {
+  /// Arrival time, seconds since the Unix epoch.
+  std::int64_t ts = 0;
+  /// Sender address (the "word" of the DarkVec language).
+  IPv4 src;
+  /// Last octet of the destination address inside the monitored /24.
+  std::uint8_t dst_host = 0;
+  /// Destination port (0 for ICMP).
+  std::uint16_t dst_port = 0;
+  /// Transport protocol.
+  Protocol proto = Protocol::kTcp;
+  /// True when the payload carries the Mirai scanning fingerprint.
+  bool mirai_fingerprint = false;
+
+  /// The (port, protocol) pair this packet targets.
+  [[nodiscard]] constexpr PortKey port_key() const {
+    return PortKey{dst_port, proto};
+  }
+};
+
+}  // namespace darkvec::net

@@ -1,0 +1,50 @@
+// Transport protocol enum and the (port, protocol) pair used as a service
+// key throughout the corpus definition.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace darkvec::net {
+
+/// Transport protocol of a darknet packet. The paper sums TCP and UDP for
+/// port rankings but keeps them distinct for service definitions
+/// (e.g. 53/udp vs 53/tcp in the DNS service, Table 7).
+enum class Protocol : std::uint8_t {
+  kTcp = 0,
+  kUdp = 1,
+  kIcmp = 2,
+};
+
+/// "tcp", "udp" or "icmp".
+[[nodiscard]] std::string_view to_string(Protocol p);
+
+/// Parses "tcp"/"udp"/"icmp" (case-insensitive). nullopt otherwise.
+[[nodiscard]] std::optional<Protocol> parse_protocol(std::string_view text);
+
+/// A destination (port, protocol) pair: the unit from which services are
+/// built. ICMP has no port; by convention it is represented as port 0 with
+/// Protocol::kIcmp.
+struct PortKey {
+  std::uint16_t port = 0;
+  Protocol proto = Protocol::kTcp;
+
+  friend constexpr auto operator<=>(const PortKey&, const PortKey&) = default;
+
+  /// Renders as "23/tcp", "53/udp" or "icmp".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace darkvec::net
+
+template <>
+struct std::hash<darkvec::net::PortKey> {
+  std::size_t operator()(const darkvec::net::PortKey& k) const noexcept {
+    const std::size_t v = (static_cast<std::size_t>(k.proto) << 16) | k.port;
+    return v * 0x9E3779B97F4A7C15ull;
+  }
+};

@@ -1,0 +1,33 @@
+// Small time helpers shared by the simulator, corpus builder and benches.
+// All timestamps in the library are plain std::int64_t seconds since the
+// Unix epoch; these helpers keep day/hour arithmetic in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace darkvec::net {
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// 2021-03-02 00:00:00 UTC — the first day of the paper's capture.
+inline constexpr std::int64_t kTraceEpoch = 1614643200;
+
+/// Zero-based day index of `ts` relative to `t0`.
+[[nodiscard]] constexpr std::int64_t day_index(std::int64_t ts,
+                                               std::int64_t t0) {
+  return (ts - t0) / kSecondsPerDay;
+}
+
+/// Zero-based hour index of `ts` relative to `t0`.
+[[nodiscard]] constexpr std::int64_t hour_index(std::int64_t ts,
+                                                std::int64_t t0) {
+  return (ts - t0) / kSecondsPerHour;
+}
+
+/// Renders a Unix timestamp as "YYYY-MM-DD HH:MM:SS" (UTC).
+[[nodiscard]] std::string format_utc(std::int64_t ts);
+
+}  // namespace darkvec::net

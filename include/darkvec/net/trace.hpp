@@ -1,0 +1,93 @@
+// Trace: an ordered collection of darknet packets plus the descriptive
+// statistics used throughout the paper's Section 3 (Table 1, Figures 1-2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "darkvec/net/ipv4.hpp"
+#include "darkvec/net/packet.hpp"
+#include "darkvec/net/protocol.hpp"
+
+namespace darkvec::net {
+
+/// Aggregate statistics of a trace (Table 1 of the paper).
+struct TraceStats {
+  std::size_t packets = 0;
+  std::size_t sources = 0;
+  std::size_t ports = 0;  ///< distinct (port, proto) pairs observed
+  std::int64_t first_ts = 0;
+  std::int64_t last_ts = 0;
+};
+
+/// One row of a port ranking: a (port, proto) pair with its packet count
+/// and the number of distinct senders that targeted it.
+struct PortRankEntry {
+  PortKey key;
+  std::size_t packets = 0;
+  std::size_t sources = 0;
+};
+
+/// A chronologically sorted sequence of darknet packets.
+///
+/// Packets may be appended in any order; `sort()` restores chronological
+/// order (the simulator emits per-sender streams and sorts once). All
+/// analysis helpers require a sorted trace and say so.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Packet> packets);
+
+  void push_back(const Packet& p) { packets_.push_back(p); }
+  void append(const Trace& other);
+  void reserve(std::size_t n) { packets_.reserve(n); }
+
+  /// Stable-sorts packets by timestamp. Stability keeps the per-sender
+  /// emission order for packets sharing a second, which makes corpus
+  /// construction deterministic.
+  void sort();
+
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] std::span<const Packet> packets() const { return packets_; }
+  [[nodiscard]] const Packet& operator[](std::size_t i) const {
+    return packets_[i];
+  }
+
+  [[nodiscard]] auto begin() const { return packets_.begin(); }
+  [[nodiscard]] auto end() const { return packets_.end(); }
+
+  /// Copies the sub-trace with timestamps in [t0, t1). Requires sorted.
+  [[nodiscard]] Trace slice(std::int64_t t0, std::int64_t t1) const;
+
+  /// Table-1 style statistics of the whole trace.
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Packet count per (port, proto), sorted by decreasing packets
+  /// (Figure 1a / Table 1 "Top-3 TCP ports").
+  [[nodiscard]] std::vector<PortRankEntry> port_ranking() const;
+
+  /// Total packets observed from each sender (Figure 2a).
+  [[nodiscard]] std::unordered_map<IPv4, std::size_t> packets_per_sender()
+      const;
+
+  /// Cumulative number of distinct senders seen after each whole day from
+  /// `t0`, optionally counting only senders that eventually reach
+  /// `min_packets` packets in the full trace (Figure 2b "Filtered" curve).
+  /// Requires sorted.
+  [[nodiscard]] std::vector<std::size_t> cumulative_senders_per_day(
+      std::int64_t t0, std::size_t min_packets = 1) const;
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+/// The set of senders with at least `min_packets` packets in `trace` —
+/// the paper's "active senders" filter (Section 3.1, threshold 10).
+[[nodiscard]] std::vector<IPv4> active_senders(const Trace& trace,
+                                               std::size_t min_packets);
+
+}  // namespace darkvec::net

@@ -1,0 +1,28 @@
+// CSV serialization of traces, mirroring the anonymized dataset format the
+// paper's authors released (timestamp, source, destination, port, proto,
+// fingerprint flag).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "darkvec/net/trace.hpp"
+
+namespace darkvec::net {
+
+/// Writes `trace` as CSV with header
+/// `ts,src,dst_host,port,proto,mirai` — one packet per line.
+void write_csv(std::ostream& out, const Trace& trace);
+
+/// Convenience overload writing to `path`. Throws std::runtime_error if the
+/// file cannot be opened.
+void write_csv_file(const std::string& path, const Trace& trace);
+
+/// Parses a trace previously written by `write_csv`. Throws
+/// std::runtime_error on malformed rows (with the offending line number).
+[[nodiscard]] Trace read_csv(std::istream& in);
+
+/// Convenience overload reading from `path`.
+[[nodiscard]] Trace read_csv_file(const std::string& path);
+
+}  // namespace darkvec::net

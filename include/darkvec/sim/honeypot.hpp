@@ -1,0 +1,74 @@
+// Simulated SSH honeypot.
+//
+// Section 7.3.3 of the paper validates the unknown6 cluster ("SSH bots")
+// against login attempts recorded by honeypots the authors run on their
+// premises. This module plays that oracle: brute-forcing populations leave
+// credential attempts in a honeypot log, and a cluster can be
+// cross-checked against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "darkvec/net/ipv4.hpp"
+#include "darkvec/net/trace.hpp"
+#include "darkvec/sim/labels.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::sim {
+
+/// One credential attempt seen by the honeypot.
+struct HoneypotAttempt {
+  std::int64_t ts = 0;
+  net::IPv4 src;
+  std::string username;
+  std::string password;
+};
+
+/// The honeypot's view: attempts plus a fast source index.
+class HoneypotLog {
+ public:
+  void add(HoneypotAttempt attempt);
+
+  [[nodiscard]] const std::vector<HoneypotAttempt>& attempts() const {
+    return attempts_;
+  }
+  /// True when the honeypot recorded at least one attempt from `ip`.
+  [[nodiscard]] bool contains(net::IPv4 ip) const {
+    return sources_.contains(ip);
+  }
+  [[nodiscard]] std::size_t distinct_sources() const {
+    return sources_.size();
+  }
+
+ private:
+  std::vector<HoneypotAttempt> attempts_;
+  std::unordered_set<net::IPv4> sources_;
+};
+
+struct HoneypotOptions {
+  /// Probability that one SSH packet of a brute-forcing sender has a
+  /// matching attempt on the (separately addressed) honeypot.
+  double capture_probability = 0.3;
+  /// Only packets to these ports count as brute-force attempts.
+  std::uint16_t ssh_port = 22;
+  std::uint64_t seed = 7;
+};
+
+/// Synthesizes the honeypot log for a simulated run: senders of the
+/// populations named in `bruteforce_groups` that touch the SSH port leave
+/// credential attempts.
+[[nodiscard]] HoneypotLog simulate_honeypot(
+    const net::Trace& trace, const GroupMap& groups,
+    std::span<const std::string> bruteforce_groups,
+    const HoneypotOptions& options = {});
+
+/// The paper's validation step: the fraction of `senders` that the
+/// honeypot confirms as brute-forcers.
+[[nodiscard]] double confirmed_fraction(const HoneypotLog& log,
+                                        std::span<const net::IPv4> senders);
+
+}  // namespace darkvec::sim

@@ -1,0 +1,69 @@
+// Ground-truth classes (Table 2 of the paper) and the label maps attached
+// to a simulated trace.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "darkvec/net/ipv4.hpp"
+
+namespace darkvec::sim {
+
+/// The nine ground-truth classes of Table 2 plus Unknown.
+///
+/// The paper labels senders via the Mirai packet fingerprint (GT1) and the
+/// published source ranges of well-known scan projects (GT2-GT9); every
+/// other sender is Unknown. The simulator plays the role of those oracles.
+enum class GtClass : std::uint8_t {
+  kMirai = 0,          ///< GT1: Mirai-like botnet(s), Telnet/ADB ports
+  kCensys = 1,         ///< GT2: Censys internet-wide scans, >11k ports
+  kStretchoid = 2,     ///< GT3: Stretchoid, sparse irregular probes
+  kInternetCensus = 3, ///< GT4: Internet Census project
+  kBinaryEdge = 4,     ///< GT5: BinaryEdge scans
+  kSharashka = 5,      ///< GT6: Sharashka data feeds
+  kIpip = 6,           ///< GT7: Ipip.net geolocation probing
+  kShodan = 7,         ///< GT8: Shodan search engine
+  kEnginUmich = 8,     ///< GT9: Engin-Umich DNS research scans
+  kUnknown = 9,        ///< everything else (2/3 of active senders)
+};
+
+/// Number of classes including Unknown.
+inline constexpr std::size_t kNumGtClasses = 10;
+
+/// Number of labeled (non-Unknown) classes.
+inline constexpr std::size_t kNumKnownClasses = 9;
+
+/// All classes in Table 2 order.
+inline constexpr std::array<GtClass, kNumGtClasses> kAllGtClasses = {
+    GtClass::kMirai,     GtClass::kCensys,   GtClass::kStretchoid,
+    GtClass::kInternetCensus, GtClass::kBinaryEdge, GtClass::kSharashka,
+    GtClass::kIpip,      GtClass::kShodan,   GtClass::kEnginUmich,
+    GtClass::kUnknown,
+};
+
+/// Human-readable class name as used in the paper's tables.
+[[nodiscard]] std::string_view to_string(GtClass c);
+
+/// Parses a class name produced by `to_string` (exact match). Unknown
+/// names map to GtClass::kUnknown.
+[[nodiscard]] GtClass parse_gt_class(std::string_view name);
+
+/// Sender IP -> ground-truth class. Senders absent from the map are
+/// Unknown by convention.
+using LabelMap = std::unordered_map<net::IPv4, GtClass>;
+
+/// Sender IP -> generator population name ("censys", "unknown4_adb", ...).
+/// This is the simulator's hidden oracle used only to *validate* the
+/// unsupervised clustering results (the pipeline itself never sees it).
+using GroupMap = std::unordered_map<net::IPv4, std::string>;
+
+/// Looks up `ip`, treating missing entries as Unknown.
+[[nodiscard]] inline GtClass label_of(const LabelMap& labels, net::IPv4 ip) {
+  const auto it = labels.find(ip);
+  return it == labels.end() ? GtClass::kUnknown : it->second;
+}
+
+}  // namespace darkvec::sim

@@ -1,0 +1,118 @@
+// Declarative description of a sender population.
+//
+// A scenario (see scenario.hpp) is a list of PopulationSpec; the simulator
+// expands each into concrete senders with addresses, port tables and
+// activity schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "darkvec/net/protocol.hpp"
+#include "darkvec/sim/address_space.hpp"
+#include "darkvec/sim/labels.hpp"
+
+namespace darkvec::sim {
+
+/// The activity shape of a population (see temporal.hpp for semantics).
+enum class PatternKind : std::uint8_t {
+  kPoisson,     ///< continuous probing over the whole period
+  kOnOff,       ///< exponential on/off bursts
+  kSparse,      ///< a fixed small number of packets at random times
+  kImpulse,     ///< population-synchronized short bursts (Engin-Umich)
+  kTeamShifts,  ///< teams active in round-robin multi-day slots (Censys)
+  kGrowth,      ///< worm-like exponential activation ramp (ADB campaign)
+  kChurn,       ///< random join time + exponential lifetime (botnets)
+  kDailyBurst,  ///< one burst per day at a population-wide phase
+  kHourlyBurst, ///< one burst per hour at a population-wide phase
+};
+
+/// Everything needed to synthesize one coordinated group of senders.
+///
+/// Defaults produce a persistent Poisson prober on one TCP port; scenario
+/// builders override fields per population. Fields that only matter for
+/// some `pattern` values are documented inline.
+struct PopulationSpec {
+  /// Hidden oracle name, e.g. "censys" or "unknown4_adb".
+  std::string group;
+  /// Ground-truth label exposed to the pipeline (kUnknown for the groups
+  /// the paper discovers unsupervised).
+  GtClass label = GtClass::kUnknown;
+  /// Number of senders before scenario scaling.
+  std::size_t senders = 1;
+  /// If false, scenario scaling leaves `senders` untouched (small GT
+  /// classes keep their paper populations so per-class supports match).
+  bool scalable = true;
+
+  PatternKind pattern = PatternKind::kPoisson;
+  /// Mean packets per day per sender *while active*.
+  double packets_per_day = 5.0;
+
+  // kOnOff
+  double on_hours = 6.0;
+  double off_hours = 18.0;
+  /// kOnOff: when true the whole population shares one on/off schedule
+  /// (orchestrated scan campaigns); when false each sender has its own
+  /// random phase (uncoordinated background).
+  bool shared_schedule = false;
+  // kSparse: total packets per sender over the whole trace (mean).
+  double sparse_packets = 5.0;
+  // kImpulse
+  int impulses = 4;            ///< synchronized bursts over the period
+  double impulse_minutes = 10; ///< burst duration
+  double impulse_packets = 12; ///< mean packets per sender per burst
+  // kTeamShifts
+  int teams = 1;
+  double slot_days = 2.0;
+  /// kTeamShifts: low whole-period background rate on top of the slots,
+  /// so every team member also shows up outside its shifts (keeps the
+  /// class visible — and evaluable — on the last day).
+  double base_rate_per_day = 0.0;
+  // kGrowth
+  double growth = 4.0;  ///< ramp steepness (e^{growth·t/T} activation CDF)
+  // kChurn
+  double lifetime_days = 12.0;
+  // kDailyBurst / kHourlyBurst
+  double burst_packets = 10.0;  ///< mean packets per burst
+  double burst_minutes = 10.0;  ///< burst duration
+
+  /// Explicit head ports with fractional traffic weights (should sum to
+  /// <= 1; the residual goes to the random tail).
+  std::vector<std::pair<net::PortKey, double>> top_ports;
+  /// Number of additional random ports sharing the residual weight.
+  std::size_t random_ports = 0;
+  /// Explicit extra ports merged into the random tail pool. Used to make
+  /// the uncoordinated background *mimic* the GT classes' signature ports:
+  /// port profiles alone then stop being discriminative, and only the
+  /// temporal co-occurrence DarkVec exploits separates the classes (the
+  /// Section 4 motivation).
+  std::vector<net::PortKey> extra_pool_ports;
+  /// When true (kTeamShifts only) each team draws its own random tail, so
+  /// inter-team port sets differ (low Jaccard, Section 7.3.1).
+  bool per_team_ports = false;
+  /// Size of the shared pool per-team tails are sampled from (0 = each
+  /// team draws independently from the whole port space). A pool of
+  /// ~3x `random_ports` yields the paper's ~0.19 inter-team Jaccard.
+  std::size_t team_port_pool = 0;
+  /// When true each sender draws its own small tail of `ports_per_sender`
+  /// ports from the population pool — used for the uncoordinated Unknown
+  /// background so it does not form an artificial cluster.
+  bool per_sender_ports = false;
+  std::size_t ports_per_sender = 8;
+
+  AddrPolicy addr = AddrPolicy::kRandom;
+  /// Number of /24s for AddrPolicy::kFewSlash24.
+  std::size_t addr_subnets = 1;
+  /// When non-zero, the base address of the /24 or /16 used by
+  /// kSameSlash24/kSameSlash16 — lets several populations share a subnet
+  /// (the three Shadowserver groups share one /16 in the paper).
+  std::uint32_t addr_base = 0;
+
+  /// Probability that a packet from this population carries the Mirai
+  /// fingerprint (1.0 for GT1, 0 elsewhere).
+  double fingerprint_prob = 0.0;
+};
+
+}  // namespace darkvec::sim

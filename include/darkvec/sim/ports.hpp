@@ -1,0 +1,50 @@
+// Weighted destination-port selection for simulated senders.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "darkvec/net/protocol.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::sim {
+
+/// A discrete distribution over (port, protocol) pairs.
+///
+/// Built from explicit (key, weight) entries; weights need not sum to one
+/// (they are normalized internally). Sampling is O(log n) via binary search
+/// on the cumulative weights.
+class PortTable {
+ public:
+  PortTable() = default;
+
+  /// Builds from entries. Entries with non-positive weight are dropped.
+  explicit PortTable(std::vector<std::pair<net::PortKey, double>> entries);
+
+  /// Draws one (port, protocol) pair. Table must be non-empty.
+  [[nodiscard]] net::PortKey sample(Rng& rng) const;
+
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] const std::vector<net::PortKey>& keys() const { return keys_; }
+
+ private:
+  std::vector<net::PortKey> keys_;
+  std::vector<double> cumulative_;  // normalized, last element == 1.0
+};
+
+/// Draws `n` distinct random TCP/UDP ports in [lo, hi] (mostly TCP;
+/// `udp_fraction` of them UDP) — used to model the long random-port tails
+/// of scanners like Censys (>11 000 distinct ports) or Sharashka.
+[[nodiscard]] std::vector<net::PortKey> random_port_keys(
+    std::size_t n, Rng& rng, std::uint16_t lo = 1, std::uint16_t hi = 65535,
+    double udp_fraction = 0.15);
+
+/// Combines explicit weighted head ports with a uniform random tail:
+/// `head` keeps its given fractional weights; the remaining
+/// `1 - sum(head weights)` is split equally over `tail` ports.
+[[nodiscard]] PortTable make_port_table(
+    std::vector<std::pair<net::PortKey, double>> head,
+    const std::vector<net::PortKey>& tail);
+
+}  // namespace darkvec::sim

@@ -1,0 +1,94 @@
+// Deterministic, platform-independent random number generation.
+//
+// The standard <random> distributions are not guaranteed to produce the
+// same stream across standard library implementations; the simulator and
+// the Word2Vec trainer need bit-reproducible runs for testing, so we ship a
+// small self-contained generator (SplitMix64) and the handful of samplers
+// the library needs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace darkvec::sim {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Every stochastic
+/// component of the library takes one of these, seeded explicitly.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // ranges used here (ports, indexes).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson with the given mean. Knuth's method for small means, normal
+  /// approximation (rounded, clamped at 0) for large ones.
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > limit);
+      return k - 1;
+    }
+    const double x = mean + std::sqrt(mean) * normal();
+    return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; the twin is
+  /// discarded to keep the generator stateless beyond `state_`).
+  double normal() {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Derives an independent stream for a subcomponent: mixes `salt` into
+  /// the current state without perturbing this generator.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng(state_ ^ (salt * 0xD1B54A32D192ED03ull + 0x8CB92BA72F3D8DD7ull));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace darkvec::sim

@@ -1,0 +1,26 @@
+// Ready-made scenarios.
+//
+// `paper_scenario()` mirrors the population structure of the paper's
+// 30-day /24 capture: the nine ground-truth classes of Table 2, the
+// coordinated Unknown groups that Section 7 discovers (Table 5), the
+// Shadowserver /16, and the uncoordinated background (active unknowns,
+// occasional senders, one-shot backscatter). Sender counts for the large
+// populations are scaled-down defaults (see DESIGN.md §6); small GT classes
+// keep their paper counts so per-class supports are comparable.
+#pragma once
+
+#include <vector>
+
+#include "darkvec/sim/population.hpp"
+
+namespace darkvec::sim {
+
+/// The full paper-like scenario (see file comment).
+[[nodiscard]] std::vector<PopulationSpec> paper_scenario();
+
+/// A three-population toy scenario (one Telnet botnet, one HTTP scanner
+/// team, background noise) for tests and the quickstart example. Runs in
+/// well under a second.
+[[nodiscard]] std::vector<PopulationSpec> tiny_scenario();
+
+}  // namespace darkvec::sim

@@ -1,0 +1,61 @@
+// Temporal activity processes for simulated senders.
+//
+// The embedding quality in the paper hinges on *when* coordinated senders
+// hit the darknet relative to each other (co-occurrence inside ΔT windows),
+// so the simulator models several distinct activity shapes: continuous
+// Poisson probing, on-off bursts, team shifts (Censys sub-clusters),
+// synchronized impulses (Engin-Umich), sparse irregular probing
+// (Stretchoid), worm-like growth (the ADB campaign) and botnet churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::sim {
+
+/// A half-open time interval [t0, t1) in Unix seconds.
+struct TimeSpan {
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 0;
+
+  [[nodiscard]] constexpr std::int64_t length() const { return t1 - t0; }
+};
+
+/// Homogeneous Poisson arrivals at `rate_per_day` over `span`, sorted.
+[[nodiscard]] std::vector<std::int64_t> poisson_arrivals(TimeSpan span,
+                                                         double rate_per_day,
+                                                         Rng& rng);
+
+/// `n` points uniform over `span`, sorted (sparse irregular senders).
+[[nodiscard]] std::vector<std::int64_t> uniform_times(TimeSpan span,
+                                                      std::size_t n,
+                                                      Rng& rng);
+
+/// Alternating active/idle intervals with exponential lengths of the given
+/// means, clipped to `span`. The first interval starts active with a random
+/// phase so populations do not synchronize artificially.
+[[nodiscard]] std::vector<TimeSpan> on_off_intervals(TimeSpan span,
+                                                     double on_hours,
+                                                     double off_hours,
+                                                     Rng& rng);
+
+/// The activity slots of team `team` out of `teams`, when the period is
+/// carved into consecutive slots of `slot_days` assigned round-robin —
+/// the Censys sub-cluster schedule of Figure 12.
+[[nodiscard]] std::vector<TimeSpan> team_slots(TimeSpan span, int teams,
+                                               int team, double slot_days);
+
+/// Activation time for worm-like exponential growth: the fraction of
+/// activated senders at time t grows like e^{growth·t}. `u` in [0,1) is the
+/// sender's quantile; larger `growth` concentrates activations at the end
+/// of the period (the ADB campaign of Figure 15).
+[[nodiscard]] std::int64_t growth_activation(TimeSpan span, double u,
+                                             double growth);
+
+/// Poisson arrivals restricted to each interval in `active`, merged sorted.
+[[nodiscard]] std::vector<std::int64_t> arrivals_in_intervals(
+    const std::vector<TimeSpan>& active, double rate_per_day, Rng& rng);
+
+}  // namespace darkvec::sim

@@ -1,0 +1,36 @@
+// Two-vantage-point split: derives the views of two hypothetical /24
+// darknets from one simulated sender population — the setup behind the
+// paper's Section 8 question about comparing darknets "collected from
+// different vantage points during the same time period", where "the
+// darknets could have little overlap in terms of sources".
+#pragma once
+
+#include <cstdint>
+
+#include "darkvec/net/trace.hpp"
+
+namespace darkvec::sim {
+
+struct VantageOptions {
+  /// Probability that a sender is visible at both darknets (Internet-wide
+  /// scanners sweep every /24; targeted or spoofed traffic hits one).
+  double both_probability = 0.5;
+  std::uint64_t seed = 99;
+};
+
+struct VantageSplit {
+  net::Trace darknet_a;
+  net::Trace darknet_b;
+  std::size_t senders_both = 0;
+  std::size_t senders_only_a = 0;
+  std::size_t senders_only_b = 0;
+};
+
+/// Splits `trace` into two vantage points. Senders visible at both have
+/// each packet assigned to one of the darknets uniformly (each /24 samples
+/// the sender's scan independently); single-vantage senders contribute all
+/// packets to their darknet. Deterministic for a fixed seed.
+[[nodiscard]] VantageSplit split_vantage_points(
+    const net::Trace& trace, const VantageOptions& options = {});
+
+}  // namespace darkvec::sim

@@ -1,0 +1,61 @@
+// Dense embedding matrix with cosine-space helpers and (de)serialization.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace darkvec::w2v {
+
+/// A row-major (n x dim) float matrix: one embedding vector per word id.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(std::size_t n, int dim)
+      : dim_(dim), data_(n * static_cast<std::size_t>(dim), 0.0f) {}
+  Embedding(std::vector<float> data, int dim);
+
+  [[nodiscard]] std::size_t size() const {
+    return dim_ == 0 ? 0 : data_.size() / static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] int dim() const { return dim_; }
+
+  [[nodiscard]] std::span<const float> vec(std::size_t i) const {
+    return {data_.data() + i * static_cast<std::size_t>(dim_),
+            static_cast<std::size_t>(dim_)};
+  }
+  [[nodiscard]] std::span<float> vec(std::size_t i) {
+    return {data_.data() + i * static_cast<std::size_t>(dim_),
+            static_cast<std::size_t>(dim_)};
+  }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+  /// Cosine similarity between rows i and j (0 if either row is zero).
+  [[nodiscard]] double cosine(std::size_t i, std::size_t j) const;
+
+  /// Returns a copy with every row scaled to unit L2 norm (zero rows kept
+  /// zero). k-NN code takes normalized embeddings so similarity reduces to
+  /// a dot product.
+  [[nodiscard]] Embedding normalized() const;
+
+  /// Binary serialization: magic, row count, dim, raw floats.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static Embedding load(std::istream& in);
+  [[nodiscard]] static Embedding load_file(const std::string& path);
+
+ private:
+  int dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dot product of two equal-length vectors.
+[[nodiscard]] double dot(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity of two vectors (0 if either is zero).
+[[nodiscard]] double cosine(std::span<const float> a, std::span<const float> b);
+
+}  // namespace darkvec::w2v

@@ -1,0 +1,52 @@
+// GloVe (Pennington et al. 2014), the other embedding family the paper
+// cites alongside Word2Vec. Implemented as a comparator for the DarkVec
+// corpus: build the windowed co-occurrence matrix, then fit
+//   w_i . w~_j + b_i + b~_j ≈ log X_ij
+// with the f(x) = min(1, (x/x_max)^alpha) weighting and AdaGrad updates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+#include "darkvec/w2v/skipgram.hpp"  // Sentence, TrainStats
+
+namespace darkvec::w2v {
+
+struct GloveOptions {
+  int dim = 50;
+  int window = 25;        ///< co-occurrence window (one side), 1/d weighted
+  int epochs = 25;
+  double x_max = 10.0;    ///< weighting cutoff
+  double alpha = 0.75;    ///< weighting exponent
+  double learning_rate = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// GloVe trainer over dense word ids. Usage mirrors SkipGramModel:
+/// construct with the vocabulary size, `train()` on sentences, read
+/// `embedding()` (the sum of the word and context vectors, as the GloVe
+/// paper recommends).
+class GloveModel {
+ public:
+  GloveModel(std::size_t vocab_size, GloveOptions options);
+
+  /// Accumulates co-occurrence counts and runs AdaGrad for
+  /// `options.epochs` epochs. Deterministic for a fixed seed.
+  TrainStats train(std::span<const Sentence> sentences);
+
+  [[nodiscard]] const Embedding& embedding() const { return combined_; }
+  [[nodiscard]] std::size_t vocab_size() const { return vocab_; }
+
+  /// Number of non-zero co-occurrence cells after the last train() call.
+  [[nodiscard]] std::size_t nonzero_cells() const { return cells_; }
+
+ private:
+  std::size_t vocab_;
+  GloveOptions options_;
+  Embedding combined_;
+  std::size_t cells_ = 0;
+};
+
+}  // namespace darkvec::w2v

@@ -1,0 +1,105 @@
+// Skip-gram with negative sampling (SGNS), the Word2Vec variant the paper
+// trains (via Gensim); re-implemented here after the original word2vec C
+// code: unigram^0.75 negative-sampling table, sigmoid lookup table, linear
+// learning-rate decay, optional frequent-token subsampling, optional
+// lock-free multi-threading (Hogwild).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::w2v {
+
+/// Hyper-parameters of one SGNS training run. Defaults match the paper's
+/// chosen operating point (V=50, c=25) and common Word2Vec practice.
+struct SkipGramOptions {
+  int dim = 50;          ///< embedding size V
+  int window = 25;       ///< context window c (one side)
+  int negative = 5;      ///< negative samples per positive pair
+  int epochs = 10;
+  /// Train the CBOW architecture instead of skip-gram: the averaged
+  /// context predicts the center word (Appendix A.1 of the paper
+  /// describes both; DarkVec uses skip-gram).
+  bool cbow = false;
+  /// Use hierarchical softmax (Huffman-coded output tree) instead of
+  /// negative sampling. The paper attributes part of IP2VEC's cost to
+  /// negative sampling; HS is the classic alternative with
+  /// O(log vocab) updates per pair. Ignored by train_pairs().
+  bool hierarchical_softmax = false;
+  double alpha = 0.025;      ///< initial learning rate
+  double min_alpha = 1e-4;   ///< learning-rate floor
+  double subsample = 1e-3;   ///< frequent-token subsampling t; 0 disables
+  bool dynamic_window = true;  ///< word2vec-style uniform window in [1, c]
+  int threads = 1;           ///< >1 enables Hogwild (non-deterministic)
+  std::uint64_t seed = 1;
+};
+
+/// Counters of a training run (Table 3 reports pairs and wall time).
+struct TrainStats {
+  std::uint64_t tokens = 0;          ///< tokens processed (sum over epochs)
+  std::uint64_t pairs = 0;           ///< positive skip-gram pairs trained
+  double seconds = 0;                ///< wall-clock training time
+};
+
+/// One sentence: a sequence of dense word ids.
+using Sentence = std::vector<std::uint32_t>;
+
+/// Skip-gram negative-sampling trainer over dense word ids.
+///
+/// Usage: construct with the vocabulary size, call `train()` (sentences) or
+/// `train_pairs()` (pre-built pairs, used by the IP2VEC baseline), then take
+/// `embedding()` (the input vectors). Single-threaded runs with the same
+/// seed are bit-reproducible.
+class SkipGramModel {
+ public:
+  SkipGramModel(std::size_t vocab_size, SkipGramOptions options);
+
+  /// Trains over sentences for `options.epochs` epochs.
+  TrainStats train(std::span<const Sentence> sentences);
+
+  /// Trains over explicit (input, output) pairs for `options.epochs`
+  /// epochs. Negative samples are drawn from the output-token unigram
+  /// distribution. Used by pair-based schemes such as IP2VEC.
+  TrainStats train_pairs(
+      std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs);
+
+  /// The trained input vectors, one row per word id.
+  [[nodiscard]] const Embedding& embedding() const { return syn0_; }
+
+  [[nodiscard]] std::size_t vocab_size() const { return vocab_; }
+  [[nodiscard]] const SkipGramOptions& options() const { return options_; }
+
+ private:
+  void build_unigram_table(const std::vector<std::uint64_t>& counts);
+  /// One SGD step on the pair (input, output): positive update plus
+  /// `negative` sampled negatives. `neu1e` is caller-provided scratch.
+  void train_pair(std::uint32_t input, std::uint32_t output, float alpha,
+                  std::uint64_t& rng_state, float* neu1e);
+  /// One CBOW step: the mean of the context vectors predicts `center`.
+  /// `neu1`/`neu1e` are caller-provided scratch of size dim.
+  void train_cbow(std::span<const std::uint32_t> context,
+                  std::uint32_t center, float alpha,
+                  std::uint64_t& rng_state, float* neu1, float* neu1e);
+  /// Builds the Huffman tree for hierarchical softmax from word counts.
+  void build_huffman_tree(const std::vector<std::uint64_t>& counts);
+  /// One hierarchical-softmax step on (input, output).
+  void train_pair_hs(std::uint32_t input, std::uint32_t output, float alpha,
+                     float* neu1e);
+
+  std::size_t vocab_;
+  SkipGramOptions options_;
+  Embedding syn0_;                  ///< input vectors (the embedding)
+  std::vector<float> syn1neg_;      ///< output vectors
+  std::vector<std::uint32_t> unigram_table_;
+  // Hierarchical softmax: per-word Huffman code and inner-node path.
+  std::vector<std::vector<std::uint8_t>> hs_code_;
+  std::vector<std::vector<std::uint32_t>> hs_point_;
+  std::vector<float> syn1hs_;       ///< inner-node vectors
+  std::uint64_t pairs_trained_ = 0;
+};
+
+}  // namespace darkvec::w2v

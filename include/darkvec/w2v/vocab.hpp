@@ -1,0 +1,60 @@
+// Generic token <-> dense-id vocabulary.
+//
+// The DarkVec corpus builder produces its own IP vocabulary, but the
+// baselines embed other token kinds (ports for DANTE; mixed flow fields for
+// IP2VEC). This small template avoids re-implementing the mapping.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace darkvec::w2v {
+
+/// Maps hashable tokens to dense uint32 ids in insertion order and keeps
+/// occurrence counts.
+template <typename Token>
+class Vocab {
+ public:
+  /// Returns the id of `token`, inserting it if new, and bumps its count.
+  std::uint32_t add(const Token& token) {
+    const auto [it, inserted] =
+        ids_.try_emplace(token, static_cast<std::uint32_t>(tokens_.size()));
+    if (inserted) {
+      tokens_.push_back(token);
+      counts_.push_back(0);
+    }
+    ++counts_[it->second];
+    return it->second;
+  }
+
+  /// Id of `token` or `kNone` if absent. Does not insert.
+  [[nodiscard]] std::uint32_t id_of(const Token& token) const {
+    const auto it = ids_.find(token);
+    return it == ids_.end() ? kNone : it->second;
+  }
+
+  [[nodiscard]] const Token& token(std::uint32_t id) const {
+    return tokens_[id];
+  }
+
+  [[nodiscard]] std::uint64_t count(std::uint32_t id) const {
+    return counts_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+ private:
+  std::unordered_map<Token, std::uint32_t> ids_;
+  std::vector<Token> tokens_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace darkvec::w2v

@@ -1,0 +1,117 @@
+#include "darkvec/baselines/dante.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "darkvec/w2v/vocab.hpp"
+
+namespace darkvec::baselines {
+
+DanteResult run_dante(const net::Trace& trace,
+                      std::span<const net::IPv4> senders,
+                      const DanteOptions& options) {
+  DanteResult result;
+  if (trace.empty() || senders.empty()) return result;
+
+  const std::unordered_set<net::IPv4> wanted(senders.begin(), senders.end());
+  const std::int64_t t0 = trace[0].ts;
+
+  // Sentence per (sender, window): the chronological port sequence.
+  w2v::Vocab<net::PortKey> ports;
+  std::unordered_map<net::IPv4, std::size_t> row_of;
+  std::vector<std::vector<w2v::Sentence>> per_sender;  // sender -> sentences
+  std::vector<std::int64_t> open_window;               // sender -> window id
+
+  for (const net::Packet& p : trace) {
+    if (!wanted.contains(p.src)) continue;
+    const auto [it, inserted] = row_of.try_emplace(p.src, per_sender.size());
+    if (inserted) {
+      result.senders.push_back(p.src);
+      per_sender.emplace_back();
+      open_window.push_back(-1);
+    }
+    const std::size_t row = it->second;
+    const std::int64_t window = (p.ts - t0) / options.window_seconds;
+    if (window != open_window[row]) {
+      per_sender[row].emplace_back();
+      open_window[row] = window;
+    }
+    per_sender[row].back().push_back(ports.add(p.port_key()));
+  }
+
+  // Per-sender flat token lists for the averaging step below (kept before
+  // augmentation so every packet counts exactly once).
+  std::vector<std::vector<std::uint32_t>> sender_tokens(per_sender.size());
+  for (std::size_t row = 0; row < per_sender.size(); ++row) {
+    for (const w2v::Sentence& s : per_sender[row]) {
+      result.sequence_lengths.push_back(s.size());
+      sender_tokens[row].insert(sender_tokens[row].end(), s.begin(),
+                                s.end());
+    }
+  }
+
+  // Flatten the corpus, applying DANTE's overlapping-window sentence
+  // augmentation, and count its cost.
+  std::vector<w2v::Sentence> corpus;
+  const std::size_t win = options.sentence_window;
+  const std::size_t stride = std::max<std::size_t>(options.sentence_stride, 1);
+  for (auto& sentences : per_sender) {
+    for (auto& s : sentences) {
+      if (win == 0 || s.size() <= win) {
+        ++result.sentences;
+        corpus.push_back(std::move(s));
+        continue;
+      }
+      for (std::size_t start = 0; start + win <= s.size();
+           start += stride) {
+        ++result.sentences;
+        corpus.emplace_back(s.begin() + static_cast<std::ptrdiff_t>(start),
+                            s.begin() + static_cast<std::ptrdiff_t>(start +
+                                                                    win));
+      }
+    }
+  }
+  const int c = options.w2v.window;
+  for (const auto& s : corpus) {
+    const auto n = static_cast<std::int64_t>(s.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t lo = std::max<std::int64_t>(0, i - c);
+      const std::int64_t hi = std::min<std::int64_t>(n - 1, i + c);
+      result.skipgrams_per_epoch += static_cast<std::uint64_t>(hi - lo);
+    }
+  }
+
+  if (options.max_pairs_per_epoch > 0 &&
+      result.skipgrams_per_epoch > options.max_pairs_per_epoch) {
+    return result;  // completed = false: the paper's DNF case
+  }
+
+  w2v::SkipGramModel model(ports.size(), options.w2v);
+  const w2v::TrainStats stats = model.train(corpus);
+  result.train_seconds = stats.seconds;
+
+  // Sender vector = mean of the port vectors it contacted (occurrence
+  // weighted, as averaging over the packet sequence implies).
+  const int dim = options.w2v.dim;
+  result.sender_vectors = w2v::Embedding(result.senders.size(), dim);
+  for (std::size_t row = 0; row < sender_tokens.size(); ++row) {
+    auto dst = result.sender_vectors.vec(row);
+    for (const std::uint32_t port_id : sender_tokens[row]) {
+      const auto v = model.embedding().vec(port_id);
+      for (int d = 0; d < dim; ++d) {
+        dst[static_cast<std::size_t>(d)] += v[static_cast<std::size_t>(d)];
+      }
+    }
+    if (!sender_tokens[row].empty()) {
+      for (float& x : dst) {
+        x /= static_cast<float>(sender_tokens[row].size());
+      }
+    }
+  }
+
+  result.completed = true;
+  return result;
+}
+
+}  // namespace darkvec::baselines

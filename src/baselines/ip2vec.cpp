@@ -1,0 +1,107 @@
+#include "darkvec/baselines/ip2vec.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "darkvec/w2v/vocab.hpp"
+
+namespace darkvec::baselines {
+namespace {
+
+// Token encoding: tag in the top byte, value below. Source and destination
+// IP tokens are distinct kinds, as in IP2VEC.
+enum class Kind : std::uint64_t { kSrc = 1, kDst = 2, kPort = 3, kProto = 4 };
+
+constexpr std::uint64_t token(Kind kind, std::uint64_t value) {
+  return (static_cast<std::uint64_t>(kind) << 56) | value;
+}
+
+struct FlowKey {
+  std::uint32_t src;
+  std::uint8_t dst_host;
+  std::uint16_t port;
+  std::uint8_t proto;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t v = (static_cast<std::uint64_t>(k.src) << 32) |
+                      (static_cast<std::uint64_t>(k.dst_host) << 24) |
+                      (static_cast<std::uint64_t>(k.port) << 8) | k.proto;
+    return v * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+}  // namespace
+
+Ip2VecResult run_ip2vec(const net::Trace& trace,
+                        std::span<const net::IPv4> senders,
+                        const Ip2VecOptions& options) {
+  Ip2VecResult result;
+  if (trace.empty() || senders.empty()) return result;
+  const std::unordered_set<net::IPv4> wanted(senders.begin(), senders.end());
+  const std::int64_t t0 = trace[0].ts;
+
+  // Flow aggregation, then five training pairs per flow (Figure 17):
+  // (src,dst) (src,port) (src,proto) (port,dst) (proto,dst).
+  w2v::Vocab<std::uint64_t> vocab;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::unordered_map<FlowKey, std::int64_t, FlowKeyHash> open_flows;
+  std::vector<std::pair<net::IPv4, std::uint32_t>> src_tokens;
+
+  for (const net::Packet& p : trace) {
+    if (!wanted.contains(p.src)) continue;
+    const FlowKey key{p.src.value(), p.dst_host, p.dst_port,
+                      static_cast<std::uint8_t>(p.proto)};
+    const std::int64_t window = (p.ts - t0) / options.flow_window_seconds;
+    const auto it = open_flows.find(key);
+    if (it != open_flows.end() && it->second == window) continue;
+    open_flows[key] = window;
+    ++result.flows;
+
+    const std::uint32_t src = vocab.add(token(Kind::kSrc, p.src.value()));
+    const std::uint32_t dst = vocab.add(token(Kind::kDst, p.dst_host));
+    const std::uint32_t port = vocab.add(token(
+        Kind::kPort, (static_cast<std::uint64_t>(p.proto) << 16) | p.dst_port));
+    const std::uint32_t proto =
+        vocab.add(token(Kind::kProto, static_cast<std::uint64_t>(p.proto)));
+    pairs.emplace_back(src, dst);
+    pairs.emplace_back(src, port);
+    pairs.emplace_back(src, proto);
+    pairs.emplace_back(port, dst);
+    pairs.emplace_back(proto, dst);
+  }
+  result.pairs_per_epoch = pairs.size();
+
+  if (options.max_pairs_per_epoch > 0 &&
+      result.pairs_per_epoch > options.max_pairs_per_epoch) {
+    return result;  // completed = false
+  }
+
+  w2v::SkipGramModel model(vocab.size(), options.w2v);
+  const w2v::TrainStats stats = model.train_pairs(pairs);
+  result.train_seconds = stats.seconds;
+
+  // Extract src-token vectors, one row per sender actually seen.
+  std::unordered_set<net::IPv4> emitted;
+  for (const net::IPv4 ip : senders) {
+    const std::uint32_t id = vocab.id_of(token(Kind::kSrc, ip.value()));
+    if (id == w2v::Vocab<std::uint64_t>::kNone) continue;
+    if (!emitted.insert(ip).second) continue;
+    result.senders.push_back(ip);
+    src_tokens.emplace_back(ip, id);
+  }
+  result.sender_vectors =
+      w2v::Embedding(result.senders.size(), options.w2v.dim);
+  for (std::size_t r = 0; r < src_tokens.size(); ++r) {
+    const auto src_vec = model.embedding().vec(src_tokens[r].second);
+    auto dst_vec = result.sender_vectors.vec(r);
+    std::copy(src_vec.begin(), src_vec.end(), dst_vec.begin());
+  }
+  result.completed = true;
+  return result;
+}
+
+}  // namespace darkvec::baselines

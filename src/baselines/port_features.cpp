@@ -1,0 +1,77 @@
+#include "darkvec/baselines/port_features.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace darkvec::baselines {
+
+PortFeatures build_port_features(const net::Trace& trace,
+                                 std::span<const net::IPv4> senders,
+                                 const sim::LabelMap& labels,
+                                 std::size_t top_ports_per_class) {
+  PortFeatures out;
+  out.senders.assign(senders.begin(), senders.end());
+
+  std::unordered_set<net::IPv4> wanted(senders.begin(), senders.end());
+
+  // Per-class port counters.
+  std::array<std::unordered_map<net::PortKey, std::size_t>,
+             sim::kNumGtClasses>
+      class_ports;
+  for (const net::Packet& p : trace) {
+    if (!wanted.contains(p.src)) continue;
+    const auto cls = static_cast<std::size_t>(sim::label_of(labels, p.src));
+    ++class_ports[cls][p.port_key()];
+  }
+
+  // Top-N per class, merged.
+  std::vector<net::PortKey> columns;
+  std::unordered_set<net::PortKey> selected;
+  for (const auto& counter : class_ports) {
+    std::vector<std::pair<net::PortKey, std::size_t>> ranked(counter.begin(),
+                                                             counter.end());
+    std::ranges::sort(ranked, [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    for (std::size_t i = 0;
+         i < std::min(top_ports_per_class, ranked.size()); ++i) {
+      if (selected.insert(ranked[i].first).second) {
+        columns.push_back(ranked[i].first);
+      }
+    }
+  }
+  std::ranges::sort(columns);
+  out.ports = columns;
+
+  std::unordered_map<net::PortKey, std::size_t> column_of;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    column_of.emplace(columns[c], c);
+  }
+  std::unordered_map<net::IPv4, std::size_t> row_of;
+  for (std::size_t r = 0; r < out.senders.size(); ++r) {
+    row_of.emplace(out.senders[r], r);
+  }
+
+  // Traffic shares.
+  out.matrix = w2v::Embedding(out.senders.size(),
+                              static_cast<int>(columns.size()));
+  std::vector<std::size_t> totals(out.senders.size(), 0);
+  for (const net::Packet& p : trace) {
+    const auto rit = row_of.find(p.src);
+    if (rit == row_of.end()) continue;
+    ++totals[rit->second];
+    const auto cit = column_of.find(p.port_key());
+    if (cit == column_of.end()) continue;
+    out.matrix.vec(rit->second)[cit->second] += 1.0f;
+  }
+  for (std::size_t r = 0; r < out.senders.size(); ++r) {
+    if (totals[r] == 0) continue;
+    auto row = out.matrix.vec(r);
+    for (float& v : row) v /= static_cast<float>(totals[r]);
+  }
+  return out;
+}
+
+}  // namespace darkvec::baselines

@@ -1,0 +1,49 @@
+#include "darkvec/core/darkvec.hpp"
+
+#include <stdexcept>
+
+#include "darkvec/graph/knn_graph.hpp"
+
+namespace darkvec {
+
+DarkVec::DarkVec(DarkVecConfig config) : config_(std::move(config)) {}
+
+w2v::TrainStats DarkVec::fit(const net::Trace& trace) {
+  const auto services = corpus::make_service_map(config_.services, trace,
+                                                 config_.auto_top_n);
+  corpus_ = corpus::build_corpus(trace, *services, config_.corpus);
+  knn_.reset();
+  model_ = std::make_unique<w2v::SkipGramModel>(corpus_.vocabulary_size(),
+                                                config_.w2v);
+  return model_->train(corpus_.sentences);
+}
+
+const w2v::Embedding& DarkVec::embedding() const {
+  if (!model_) throw std::logic_error("DarkVec: fit() not called");
+  return model_->embedding();
+}
+
+const ml::CosineKnn& DarkVec::knn() const {
+  if (!knn_) knn_ = std::make_unique<ml::CosineKnn>(embedding());
+  return *knn_;
+}
+
+std::optional<std::size_t> DarkVec::index_of(net::IPv4 ip) const {
+  const auto id = corpus_.id_of(ip);
+  if (id == corpus::Corpus::kNoWord) return std::nullopt;
+  return static_cast<std::size_t>(id);
+}
+
+Clustering DarkVec::cluster(int k_prime, std::uint64_t seed) const {
+  const graph::WeightedGraph g = graph::knn_graph(knn(), k_prime);
+  graph::LouvainOptions options;
+  options.seed = seed;
+  const graph::LouvainResult lr = graph::louvain(g, options);
+  Clustering out;
+  out.assignment = lr.community;
+  out.modularity = lr.modularity;
+  out.count = lr.count;
+  return out;
+}
+
+}  // namespace darkvec

@@ -1,0 +1,124 @@
+#include "darkvec/core/inspector.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "darkvec/ml/stats.hpp"
+
+namespace darkvec {
+
+std::vector<ClusterInfo> inspect_clusters(const net::Trace& trace,
+                                          const corpus::Corpus& corpus,
+                                          std::span<const int> assignment,
+                                          const sim::GroupMap& oracle,
+                                          std::span<const double> silhouette) {
+  int max_id = -1;
+  for (const int c : assignment) max_id = std::max(max_id, c);
+  std::vector<ClusterInfo> clusters(static_cast<std::size_t>(max_id + 1));
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].id = static_cast<int>(c);
+  }
+
+  // Membership, oracle composition and silhouette means.
+  std::vector<std::size_t> sil_count(clusters.size(), 0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ClusterInfo& cl = clusters[static_cast<std::size_t>(assignment[i])];
+    const net::IPv4 ip = corpus.words[i];
+    cl.members.push_back(ip);
+    const auto it = oracle.find(ip);
+    ++cl.group_composition[it == oracle.end() ? "?" : it->second];
+    if (!silhouette.empty()) {
+      cl.silhouette += silhouette[i];
+      ++sil_count[static_cast<std::size_t>(assignment[i])];
+    }
+  }
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (sil_count[c] > 0) {
+      clusters[c].silhouette /= static_cast<double>(sil_count[c]);
+    }
+  }
+
+  // Traffic statistics per cluster: one pass over the trace.
+  std::unordered_map<net::IPv4, int> cluster_of;
+  cluster_of.reserve(assignment.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    cluster_of.emplace(corpus.words[i], assignment[i]);
+  }
+  std::vector<std::unordered_map<net::PortKey, std::size_t>> port_counts(
+      clusters.size());
+  std::vector<std::unordered_set<net::IPv4>> fingerprinted(clusters.size());
+  for (const net::Packet& p : trace) {
+    const auto it = cluster_of.find(p.src);
+    if (it == cluster_of.end()) continue;
+    const auto c = static_cast<std::size_t>(it->second);
+    ++clusters[c].packets;
+    ++port_counts[c][p.port_key()];
+    if (p.mirai_fingerprint) fingerprinted[c].insert(p.src);
+  }
+
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    ClusterInfo& cl = clusters[c];
+    // Ports, sorted by traffic share.
+    cl.top_ports.reserve(port_counts[c].size());
+    for (const auto& [key, count] : port_counts[c]) {
+      cl.ports.push_back(key);
+      cl.top_ports.emplace_back(
+          key, cl.packets > 0 ? static_cast<double>(count) /
+                                    static_cast<double>(cl.packets)
+                              : 0.0);
+    }
+    std::ranges::sort(cl.ports);
+    std::ranges::sort(cl.top_ports, [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    // Subnets.
+    std::unordered_set<net::IPv4> s24, s16;
+    for (const net::IPv4 ip : cl.members) {
+      s24.insert(ip.slash24());
+      s16.insert(ip.slash16());
+    }
+    cl.distinct_slash24 = s24.size();
+    cl.distinct_slash16 = s16.size();
+    cl.fingerprint_fraction =
+        cl.members.empty()
+            ? 0.0
+            : static_cast<double>(fingerprinted[c].size()) /
+                  static_cast<double>(cl.members.size());
+    // Oracle dominance.
+    for (const auto& [group, count] : cl.group_composition) {
+      const double frac = static_cast<double>(count) /
+                          static_cast<double>(cl.members.size());
+      if (frac > cl.dominant_fraction) {
+        cl.dominant_fraction = frac;
+        cl.dominant_group = group;
+      }
+    }
+    std::ranges::sort(cl.members);
+  }
+
+  std::ranges::sort(clusters, [](const ClusterInfo& a, const ClusterInfo& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.id < b.id;
+  });
+  return clusters;
+}
+
+double port_jaccard(const ClusterInfo& a, const ClusterInfo& b) {
+  return ml::jaccard<net::PortKey>(a.ports, b.ports);
+}
+
+double mean_pairwise_port_jaccard(std::span<const ClusterInfo> clusters) {
+  if (clusters.size() < 2) return 0;
+  double total = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+      total += port_jaccard(clusters[i], clusters[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace darkvec

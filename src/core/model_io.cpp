@@ -1,0 +1,57 @@
+#include "darkvec/core/model_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace darkvec {
+
+std::int64_t SenderModel::index_of(net::IPv4 ip) const {
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    if (senders[i] == ip) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+void save_model(const std::string& prefix, const SenderModel& model) {
+  if (model.senders.size() != model.embedding.size()) {
+    throw std::invalid_argument("save_model: vocab/embedding size mismatch");
+  }
+  model.embedding.save_file(prefix + ".emb");
+  std::ofstream vocab(prefix + ".vocab");
+  if (!vocab) {
+    throw std::runtime_error("save_model: cannot open " + prefix + ".vocab");
+  }
+  for (const net::IPv4 ip : model.senders) {
+    vocab << ip.to_string() << '\n';
+  }
+}
+
+SenderModel load_model(const std::string& prefix) {
+  SenderModel model;
+  model.embedding = w2v::Embedding::load_file(prefix + ".emb");
+  std::ifstream vocab(prefix + ".vocab");
+  if (!vocab) {
+    throw std::runtime_error("load_model: cannot open " + prefix + ".vocab");
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(vocab, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto ip = net::IPv4::parse(line);
+    if (!ip) {
+      throw std::runtime_error("load_model: bad address at vocab line " +
+                               std::to_string(line_no));
+    }
+    model.senders.push_back(*ip);
+  }
+  if (model.senders.size() != model.embedding.size()) {
+    throw std::runtime_error("load_model: vocab rows (" +
+                             std::to_string(model.senders.size()) +
+                             ") do not match embedding rows (" +
+                             std::to_string(model.embedding.size()) + ")");
+  }
+  return model;
+}
+
+}  // namespace darkvec

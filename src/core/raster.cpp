@@ -1,0 +1,64 @@
+#include "darkvec/core/raster.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace darkvec {
+
+ActivityRaster build_raster(const net::Trace& trace,
+                            std::vector<net::IPv4> senders,
+                            std::int64_t bucket_seconds) {
+  ActivityRaster raster;
+  raster.senders = std::move(senders);
+  raster.bucket_seconds = bucket_seconds;
+  if (trace.empty() || raster.senders.empty() || bucket_seconds <= 0) {
+    return raster;
+  }
+  raster.t0 = trace[0].ts;
+  const std::int64_t t_end = trace[trace.size() - 1].ts;
+  const auto n_buckets =
+      static_cast<std::size_t>((t_end - raster.t0) / bucket_seconds + 1);
+
+  std::unordered_map<net::IPv4, std::size_t> row_of;
+  row_of.reserve(raster.senders.size());
+  for (std::size_t i = 0; i < raster.senders.size(); ++i) {
+    row_of.emplace(raster.senders[i], i);
+  }
+  raster.presence.assign(raster.senders.size(),
+                         std::vector<bool>(n_buckets, false));
+  for (const net::Packet& p : trace) {
+    const auto it = row_of.find(p.src);
+    if (it == row_of.end()) continue;
+    const auto bucket =
+        static_cast<std::size_t>((p.ts - raster.t0) / bucket_seconds);
+    raster.presence[it->second][bucket] = true;
+  }
+  return raster;
+}
+
+std::string render_raster(const ActivityRaster& raster, std::size_t max_rows) {
+  std::string out;
+  const std::size_t rows = raster.senders.size();
+  if (rows == 0) return out;
+  const std::size_t shown =
+      max_rows == 0 ? rows : std::min(rows, max_rows);
+  out.reserve(shown * (raster.buckets() + 1));
+  for (std::size_t r = 0; r < shown; ++r) {
+    // Even subsampling keeps the overall shape when rows are capped.
+    const std::size_t src = rows <= shown ? r : r * rows / shown;
+    for (const bool b : raster.presence[src]) out.push_back(b ? '#' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<net::IPv4> senders_by_first_seen(const net::Trace& trace) {
+  std::vector<net::IPv4> out;
+  std::unordered_map<net::IPv4, bool> seen;
+  for (const net::Packet& p : trace) {
+    if (seen.emplace(p.src, true).second) out.push_back(p.src);
+  }
+  return out;
+}
+
+}  // namespace darkvec

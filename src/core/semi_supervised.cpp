@@ -1,0 +1,156 @@
+#include "darkvec/core/semi_supervised.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "darkvec/ml/evaluation.hpp"
+#include "darkvec/net/time.hpp"
+
+namespace darkvec {
+namespace {
+
+/// Dense label vector over corpus words (GtClass as int).
+std::vector<int> word_labels(const corpus::Corpus& corpus,
+                             const sim::LabelMap& labels) {
+  std::vector<int> out(corpus.words.size(),
+                       static_cast<int>(sim::GtClass::kUnknown));
+  for (std::size_t i = 0; i < corpus.words.size(); ++i) {
+    out[i] = static_cast<int>(sim::label_of(labels, corpus.words[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::IPv4> last_day_active_senders(const net::Trace& trace,
+                                               std::size_t min_packets) {
+  std::vector<net::IPv4> out;
+  if (trace.empty()) return out;
+  const std::int64_t end = trace[trace.size() - 1].ts + 1;
+  const std::int64_t start = end - net::kSecondsPerDay;
+  const net::Trace last_day = trace.slice(start, end);
+
+  const auto totals = trace.packets_per_sender();
+  std::unordered_set<net::IPv4> seen;
+  for (const net::Packet& p : last_day) {
+    if (!seen.insert(p.src).second) continue;
+    const auto it = totals.find(p.src);
+    if (it != totals.end() && it->second >= min_packets) out.push_back(p.src);
+  }
+  std::ranges::sort(out);
+  return out;
+}
+
+namespace {
+
+KnnEvaluation evaluate_knn_impl(const ml::CosineKnn& index,
+                                std::span<const int> all_labels,
+                                const std::unordered_map<net::IPv4,
+                                                         std::size_t>& rows,
+                                std::span<const net::IPv4> eval_ips, int k) {
+  std::vector<std::uint32_t> points;
+  std::vector<int> y_true;
+  std::size_t covered = 0;
+  for (const net::IPv4 ip : eval_ips) {
+    const auto it = rows.find(ip);
+    if (it == rows.end()) continue;
+    ++covered;
+    points.push_back(static_cast<std::uint32_t>(it->second));
+    y_true.push_back(all_labels[it->second]);
+  }
+
+  const auto y_pred = ml::loo_knn_predict(index, all_labels, points, k);
+  ml::ClassificationReport report(y_true, y_pred,
+                                  static_cast<int>(sim::kNumGtClasses));
+
+  // Headline accuracy: GT1-GT9 only.
+  std::array<int, sim::kNumKnownClasses> known{};
+  for (std::size_t c = 0; c < sim::kNumKnownClasses; ++c) {
+    known[c] = static_cast<int>(c);
+  }
+  KnnEvaluation out{std::move(report), 0.0, covered, eval_ips.size()};
+  out.accuracy = out.report.accuracy_over(known);
+  return out;
+}
+
+}  // namespace
+
+KnnEvaluation evaluate_knn(const DarkVec& dv, const sim::LabelMap& labels,
+                           std::span<const net::IPv4> eval_ips, int k) {
+  const auto all_labels = word_labels(dv.corpus(), labels);
+  std::unordered_map<net::IPv4, std::size_t> rows;
+  rows.reserve(dv.corpus().words.size());
+  for (std::size_t i = 0; i < dv.corpus().words.size(); ++i) {
+    rows.emplace(dv.corpus().words[i], i);
+  }
+  return evaluate_knn_impl(dv.knn(), all_labels, rows, eval_ips, k);
+}
+
+KnnEvaluation evaluate_knn_vectors(const w2v::Embedding& vectors,
+                                   std::span<const net::IPv4> row_ips,
+                                   const sim::LabelMap& labels,
+                                   std::span<const net::IPv4> eval_ips,
+                                   int k) {
+  std::vector<int> all_labels(row_ips.size());
+  std::unordered_map<net::IPv4, std::size_t> rows;
+  rows.reserve(row_ips.size());
+  for (std::size_t i = 0; i < row_ips.size(); ++i) {
+    all_labels[i] = static_cast<int>(sim::label_of(labels, row_ips[i]));
+    rows.emplace(row_ips[i], i);
+  }
+  const ml::CosineKnn index(vectors);
+  return evaluate_knn_impl(index, all_labels, rows, eval_ips, k);
+}
+
+std::vector<ExtensionCandidate> extend_ground_truth(
+    const DarkVec& dv, const sim::LabelMap& labels, int k) {
+  const auto& corpus = dv.corpus();
+  const auto all_labels = word_labels(corpus, labels);
+  const ml::CosineKnn& index = dv.knn();
+  const auto n = corpus.words.size();
+
+  // Mean k-NN distance per point, and per-class maximum over its labeled
+  // members — the acceptance threshold of Section 6.4.
+  std::array<double, sim::kNumGtClasses> max_class_distance{};
+  std::vector<double> avg_distance(n, 0.0);
+  std::vector<int> majority(n, static_cast<int>(sim::GtClass::kUnknown));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto neighbors = index.query(i, k);
+    double dist = 0;
+    for (const ml::Neighbor& nb : neighbors) dist += 1.0 - nb.similarity;
+    avg_distance[i] =
+        neighbors.empty() ? 1.0
+                          : dist / static_cast<double>(neighbors.size());
+    majority[i] = ml::majority_vote(neighbors, all_labels);
+    const int own = all_labels[i];
+    if (own != static_cast<int>(sim::GtClass::kUnknown)) {
+      auto& mx = max_class_distance[static_cast<std::size_t>(own)];
+      mx = std::max(mx, avg_distance[i]);
+    }
+  }
+
+  std::vector<ExtensionCandidate> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (all_labels[i] != static_cast<int>(sim::GtClass::kUnknown)) continue;
+    const int pred = majority[i];
+    if (pred == static_cast<int>(sim::GtClass::kUnknown)) continue;
+    if (avg_distance[i] >
+        max_class_distance[static_cast<std::size_t>(pred)]) {
+      continue;
+    }
+    out.push_back(ExtensionCandidate{corpus.words[i],
+                                     static_cast<sim::GtClass>(pred),
+                                     avg_distance[i]});
+  }
+  std::ranges::sort(out, [](const ExtensionCandidate& a,
+                            const ExtensionCandidate& b) {
+    if (a.avg_distance != b.avg_distance) {
+      return a.avg_distance < b.avg_distance;
+    }
+    return a.ip < b.ip;
+  });
+  return out;
+}
+
+}  // namespace darkvec

@@ -1,0 +1,108 @@
+#include "darkvec/core/streaming.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace darkvec {
+
+std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
+                                          const StreamingConfig& config) {
+  std::vector<StreamSnapshot> snapshots;
+  if (trace.empty() || config.window_seconds <= 0 ||
+      config.step_seconds <= 0) {
+    return snapshots;
+  }
+  const std::int64_t t0 = trace[0].ts;
+  const std::int64_t t_last = trace[trace.size() - 1].ts;
+
+  const corpus::Corpus* previous_corpus = nullptr;
+  const w2v::Embedding* previous_embedding = nullptr;
+  // Own the previous state (snapshots store aligned embeddings).
+  corpus::Corpus prev_corpus_storage;
+  w2v::Embedding prev_embedding_storage;
+
+  // Window ends advance by `step` until the trace end is covered; the
+  // final window may reach past the last packet.
+  std::int64_t end = t0 + config.window_seconds;
+  bool done = false;
+  while (!done) {
+    if (end > t_last) done = true;
+    const net::Trace window =
+        trace.slice(end - config.window_seconds, end);
+    if (window.empty()) {
+      end += config.step_seconds;
+      continue;
+    }
+
+    DarkVec dv(config.darkvec);
+    dv.fit(window);
+    if (dv.corpus().vocabulary_size() == 0) continue;
+
+    StreamSnapshot snapshot;
+    snapshot.window_start = end - config.window_seconds;
+    snapshot.window_end = end;
+    snapshot.senders = dv.corpus().words;
+    snapshot.clustering = dv.cluster(config.k_prime);
+
+    w2v::Embedding embedding = dv.embedding().normalized();
+    if (config.align && previous_corpus != nullptr) {
+      try {
+        const Alignment alignment =
+            align_embeddings(dv.corpus(), embedding, *previous_corpus,
+                             *previous_embedding);
+        embedding = apply_alignment(alignment, embedding);
+        snapshot.alignment_similarity = alignment.anchor_similarity;
+      } catch (const std::invalid_argument&) {
+        // No shared senders: keep the raw space.
+        snapshot.alignment_similarity = 0;
+      }
+    }
+    snapshot.embedding = std::move(embedding);
+
+    // The *aligned* embedding becomes the next anchor target, so rotations
+    // compose into the first snapshot's space.
+    prev_corpus_storage = dv.corpus();
+    prev_embedding_storage = snapshot.embedding;
+    previous_corpus = &prev_corpus_storage;
+    previous_embedding = &prev_embedding_storage;
+
+    snapshots.push_back(std::move(snapshot));
+    end += config.step_seconds;
+  }
+  return snapshots;
+}
+
+std::vector<GroupTrack> track_group(std::span<const StreamSnapshot> snapshots,
+                                    std::span<const net::IPv4> group) {
+  const std::unordered_set<net::IPv4> members(group.begin(), group.end());
+  std::vector<GroupTrack> tracks;
+  tracks.reserve(snapshots.size());
+  for (const StreamSnapshot& snapshot : snapshots) {
+    GroupTrack track;
+    track.window_end = snapshot.window_end;
+
+    std::unordered_map<int, std::size_t> member_clusters;
+    std::unordered_map<int, std::size_t> cluster_sizes;
+    for (std::size_t i = 0; i < snapshot.senders.size(); ++i) {
+      const int cluster = snapshot.clustering.assignment[i];
+      ++cluster_sizes[cluster];
+      if (members.contains(snapshot.senders[i])) {
+        ++track.present;
+        ++member_clusters[cluster];
+      }
+    }
+    int best_cluster = -1;
+    for (const auto& [cluster, count] : member_clusters) {
+      if (count > track.clustered_together) {
+        track.clustered_together = count;
+        best_cluster = cluster;
+      }
+    }
+    if (best_cluster >= 0) track.cluster_size = cluster_sizes[best_cluster];
+    tracks.push_back(track);
+  }
+  return tracks;
+}
+
+}  // namespace darkvec

@@ -1,0 +1,150 @@
+#include "darkvec/core/transfer.hpp"
+
+#include <stdexcept>
+
+#include "darkvec/ml/evaluation.hpp"
+#include "darkvec/ml/linalg.hpp"
+
+namespace darkvec {
+namespace {
+
+/// Anchor rows: (source row, target row) for senders in both corpora.
+std::vector<std::pair<std::size_t, std::size_t>> anchor_rows(
+    const corpus::Corpus& source_corpus, const corpus::Corpus& target_corpus) {
+  std::vector<std::pair<std::size_t, std::size_t>> anchors;
+  for (std::size_t i = 0; i < source_corpus.words.size(); ++i) {
+    const auto j = target_corpus.id_of(source_corpus.words[i]);
+    if (j != corpus::Corpus::kNoWord) {
+      anchors.emplace_back(i, static_cast<std::size_t>(j));
+    }
+  }
+  return anchors;
+}
+
+}  // namespace
+
+Alignment align_embeddings(const corpus::Corpus& source_corpus,
+                           const w2v::Embedding& source,
+                           const corpus::Corpus& target_corpus,
+                           const w2v::Embedding& target) {
+  if (source.dim() != target.dim()) {
+    throw std::invalid_argument("align_embeddings: dimension mismatch");
+  }
+  const auto anchors = anchor_rows(source_corpus, target_corpus);
+  if (anchors.empty()) {
+    throw std::invalid_argument("align_embeddings: no shared senders");
+  }
+  const int dim = source.dim();
+  const w2v::Embedding a = source.normalized();
+  const w2v::Embedding b = target.normalized();
+
+  // M = A^T B over anchor rows.
+  ml::SquareMatrix m(dim);
+  for (const auto& [i, j] : anchors) {
+    const auto va = a.vec(i);
+    const auto vb = b.vec(j);
+    for (int row = 0; row < dim; ++row) {
+      for (int col = 0; col < dim; ++col) {
+        m.at(row, col) += double{va[static_cast<std::size_t>(row)]} *
+                          vb[static_cast<std::size_t>(col)];
+      }
+    }
+  }
+  const ml::SvdResult svd = ml::jacobi_svd(m);
+  const ml::SquareMatrix r = ml::multiply(svd.u, ml::transpose(svd.v));
+
+  Alignment alignment;
+  alignment.dim = dim;
+  alignment.anchors = anchors.size();
+  alignment.rotation.resize(static_cast<std::size_t>(dim) * dim);
+  for (int row = 0; row < dim; ++row) {
+    for (int col = 0; col < dim; ++col) {
+      alignment.rotation[static_cast<std::size_t>(row) * dim + col] =
+          r.at(row, col);
+    }
+  }
+
+  // Anchor fit quality.
+  const w2v::Embedding rotated = apply_alignment(alignment, a);
+  double total = 0;
+  for (const auto& [i, j] : anchors) {
+    total += w2v::cosine(rotated.vec(i), b.vec(j));
+  }
+  alignment.anchor_similarity = total / static_cast<double>(anchors.size());
+  return alignment;
+}
+
+w2v::Embedding apply_alignment(const Alignment& alignment,
+                               const w2v::Embedding& source) {
+  if (source.dim() != alignment.dim) {
+    throw std::invalid_argument("apply_alignment: dimension mismatch");
+  }
+  const int dim = alignment.dim;
+  w2v::Embedding out(source.size(), dim);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const auto src = source.vec(i);
+    auto dst = out.vec(i);
+    for (int col = 0; col < dim; ++col) {
+      double acc = 0;
+      for (int row = 0; row < dim; ++row) {
+        acc += double{src[static_cast<std::size_t>(row)]} *
+               alignment.rotation[static_cast<std::size_t>(row) * dim + col];
+      }
+      dst[static_cast<std::size_t>(col)] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TransferResult evaluate_transfer(const corpus::Corpus& source_corpus,
+                                 const w2v::Embedding& source,
+                                 const corpus::Corpus& target_corpus,
+                                 const w2v::Embedding& target,
+                                 const sim::LabelMap& labels, int k) {
+  TransferResult result;
+  // Fit target -> source, then classify target senders in source space.
+  result.alignment =
+      align_embeddings(target_corpus, target, source_corpus, source);
+  const w2v::Embedding target_in_source =
+      apply_alignment(result.alignment, target.normalized());
+  const w2v::Embedding target_raw = target.normalized();
+
+  const ml::CosineKnn index(source);
+  std::vector<int> source_labels(source_corpus.words.size());
+  for (std::size_t i = 0; i < source_corpus.words.size(); ++i) {
+    source_labels[i] =
+        static_cast<int>(sim::label_of(labels, source_corpus.words[i]));
+  }
+
+  std::size_t correct_aligned = 0;
+  std::size_t correct_raw = 0;
+  for (std::size_t j = 0; j < target_corpus.words.size(); ++j) {
+    const net::IPv4 ip = target_corpus.words[j];
+    const sim::GtClass truth = sim::label_of(labels, ip);
+    if (truth == sim::GtClass::kUnknown) continue;
+    // Skip anchors: a sender present in the source window would match its
+    // own source vector, which is not transfer.
+    if (source_corpus.id_of(ip) != corpus::Corpus::kNoWord) continue;
+    ++result.evaluated;
+
+    const auto aligned_nb = index.query_vector(target_in_source.vec(j), k);
+    if (ml::majority_vote(aligned_nb, source_labels) ==
+        static_cast<int>(truth)) {
+      ++correct_aligned;
+    }
+    const auto raw_nb = index.query_vector(target_raw.vec(j), k);
+    if (ml::majority_vote(raw_nb, source_labels) ==
+        static_cast<int>(truth)) {
+      ++correct_raw;
+    }
+  }
+  if (result.evaluated > 0) {
+    result.accuracy = static_cast<double>(correct_aligned) /
+                      static_cast<double>(result.evaluated);
+    result.accuracy_raw = static_cast<double>(correct_raw) /
+                          static_cast<double>(result.evaluated);
+  }
+  return result;
+}
+
+}  // namespace darkvec

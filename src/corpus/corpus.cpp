@@ -1,0 +1,78 @@
+#include "darkvec/corpus/corpus.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace darkvec::corpus {
+
+std::size_t Corpus::tokens() const {
+  std::size_t n = 0;
+  for (const auto& s : sentences) n += s.size();
+  return n;
+}
+
+WordId Corpus::id_of(net::IPv4 ip) const {
+  const auto it = ids.find(ip);
+  return it == ids.end() ? kNoWord : it->second;
+}
+
+Corpus build_corpus(const net::Trace& trace, const ServiceMap& services,
+                    const CorpusOptions& options) {
+  Corpus corpus;
+  if (trace.empty()) return corpus;
+
+  // Activity filter over the whole trace.
+  std::unordered_map<net::IPv4, std::size_t> totals =
+      trace.packets_per_sender();
+
+  const std::int64_t t0 = trace[0].ts;
+  // (window, service) -> sentence under construction. std::map keeps the
+  // output ordering deterministic: by window, then by service id.
+  std::map<std::pair<std::int64_t, int>, std::vector<WordId>> open;
+  std::int64_t current_window = 0;
+
+  const auto flush = [&] {
+    for (auto& [key, sentence] : open) {
+      if (sentence.size() >= 2) corpus.sentences.push_back(std::move(sentence));
+    }
+    open.clear();
+  };
+
+  for (const net::Packet& p : trace) {
+    if (totals[p.src] < options.min_packets) continue;
+    const std::int64_t window = (p.ts - t0) / options.delta_t;
+    if (window != current_window) {
+      flush();
+      current_window = window;
+    }
+    const int service = services.service_of(p.port_key());
+
+    WordId id;
+    const auto it = corpus.ids.find(p.src);
+    if (it == corpus.ids.end()) {
+      id = static_cast<WordId>(corpus.words.size());
+      corpus.ids.emplace(p.src, id);
+      corpus.words.push_back(p.src);
+    } else {
+      id = it->second;
+    }
+    open[{window, service}].push_back(id);
+  }
+  flush();
+  return corpus;
+}
+
+std::uint64_t count_skipgrams(const Corpus& corpus, int c) {
+  std::uint64_t pairs = 0;
+  for (const auto& s : corpus.sentences) {
+    const auto n = static_cast<std::int64_t>(s.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t lo = std::max<std::int64_t>(0, i - c);
+      const std::int64_t hi = std::min<std::int64_t>(n - 1, i + c);
+      pairs += static_cast<std::uint64_t>(hi - lo);  // excludes i itself
+    }
+  }
+  return pairs;
+}
+
+}  // namespace darkvec::corpus

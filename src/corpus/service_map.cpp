@@ -1,0 +1,141 @@
+#include "darkvec/corpus/service_map.hpp"
+
+#include <algorithm>
+
+namespace darkvec::corpus {
+namespace {
+
+using net::PortKey;
+using net::Protocol;
+
+constexpr PortKey tcp(std::uint16_t p) { return PortKey{p, Protocol::kTcp}; }
+constexpr PortKey udp(std::uint16_t p) { return PortKey{p, Protocol::kUdp}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Auto --
+
+AutoServiceMap::AutoServiceMap(const net::Trace& trace, int n) {
+  const auto ranking = trace.port_ranking();
+  const int top = std::min<int>(n, static_cast<int>(ranking.size()));
+  keys_.reserve(static_cast<std::size_t>(top));
+  for (int i = 0; i < top; ++i) {
+    top_.emplace(ranking[static_cast<std::size_t>(i)].key, i);
+    keys_.push_back(ranking[static_cast<std::size_t>(i)].key);
+  }
+}
+
+int AutoServiceMap::service_of(PortKey key) const {
+  const auto it = top_.find(key);
+  return it == top_.end() ? static_cast<int>(keys_.size()) : it->second;
+}
+
+int AutoServiceMap::num_services() const {
+  return static_cast<int>(keys_.size()) + 1;
+}
+
+std::string AutoServiceMap::name(int service) const {
+  if (service >= 0 && service < static_cast<int>(keys_.size())) {
+    return "port " + keys_[static_cast<std::size_t>(service)].to_string();
+  }
+  return "other";
+}
+
+// -------------------------------------------------------------- Domain --
+
+DomainServiceMap::DomainServiceMap() {
+  const auto add = [this](const std::string& name,
+                          const std::vector<PortKey>& keys) {
+    const int id = static_cast<int>(names_.size());
+    names_.push_back(name);
+    for (const PortKey& k : keys) table_.emplace(k, id);
+    return id;
+  };
+
+  // Table 7 of the paper, verbatim.
+  add("Telnet", {tcp(23), tcp(992)});
+  add("SSH", {tcp(22)});
+  add("Kerberos", {tcp(88), udp(88), tcp(543), tcp(544), tcp(749), tcp(7004),
+                   udp(750), tcp(750), tcp(751), udp(752), tcp(754), udp(464),
+                   tcp(464)});
+  add("HTTP", {tcp(80), tcp(443), tcp(8080)});
+  add("Proxy", {tcp(1080), tcp(6446), tcp(2121), tcp(8081), tcp(57000)});
+  add("Mail", {tcp(25), tcp(143), tcp(174), tcp(209), tcp(465), tcp(587),
+               tcp(110), tcp(995), tcp(993)});
+  add("Database",
+      {tcp(210), tcp(5432), tcp(775), tcp(1433), udp(1433), tcp(1434),
+       udp(1434), tcp(3306), tcp(27017), tcp(27018), tcp(27019), tcp(3050),
+       tcp(3351), tcp(1583)});
+  add("DNS", {tcp(853), udp(853), udp(5353), tcp(53), udp(53)});
+  add("Netbios",
+      {tcp(137), udp(137), tcp(138), udp(138), tcp(139), udp(139)});
+  add("Netbios-SMB", {tcp(445)});
+  add("P2P", {tcp(119),  tcp(375),  tcp(425),  tcp(1214), tcp(412),
+              tcp(1412), tcp(2412), tcp(4662), udp(12155), udp(6771),
+              udp(6881), udp(6882), udp(6883), udp(6884), udp(6885),
+              udp(6886), udp(6887), tcp(6881), tcp(6882), tcp(6883),
+              tcp(6884), tcp(6885), tcp(6886), tcp(6887), tcp(6969),
+              tcp(7000), tcp(9000), tcp(9091), tcp(6346), udp(6346),
+              tcp(6347), udp(6347)});
+  add("FTP", {tcp(20), tcp(21), udp(69), tcp(989), tcp(990), udp(2431),
+              udp(2433), tcp(2811), tcp(8021)});
+  icmp_ = add("ICMP", {});
+  unknown_system_ = add("Unknown System", {});
+  unknown_user_ = add("Unknown User", {});
+  unknown_ephemeral_ = add("Unknown Ephemeral", {});
+}
+
+int DomainServiceMap::service_of(PortKey key) const {
+  if (key.proto == Protocol::kIcmp) return icmp_;
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  if (key.port <= 1023) return unknown_system_;
+  if (key.port <= 49151) return unknown_user_;
+  return unknown_ephemeral_;
+}
+
+int DomainServiceMap::num_services() const {
+  return static_cast<int>(names_.size());
+}
+
+std::string DomainServiceMap::name(int service) const {
+  if (service < 0 || service >= num_services()) return "?";
+  return names_[static_cast<std::size_t>(service)];
+}
+
+int DomainServiceMap::id_of(std::string_view service_name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == service_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------- factory --
+
+std::string_view to_string(ServiceStrategy s) {
+  switch (s) {
+    case ServiceStrategy::kSingle:
+      return "single";
+    case ServiceStrategy::kAuto:
+      return "auto";
+    case ServiceStrategy::kDomain:
+      return "domain";
+  }
+  return "domain";
+}
+
+std::unique_ptr<ServiceMap> make_service_map(ServiceStrategy strategy,
+                                             const net::Trace& trace,
+                                             int auto_top_n) {
+  switch (strategy) {
+    case ServiceStrategy::kSingle:
+      return std::make_unique<SingleServiceMap>();
+    case ServiceStrategy::kAuto:
+      return std::make_unique<AutoServiceMap>(trace, auto_top_n);
+    case ServiceStrategy::kDomain:
+      return std::make_unique<DomainServiceMap>();
+  }
+  return std::make_unique<DomainServiceMap>();
+}
+
+}  // namespace darkvec::corpus

@@ -1,0 +1,95 @@
+#include "darkvec/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace darkvec::graph {
+
+WeightedGraph::WeightedGraph(std::size_t n) : n_(n) {}
+
+void WeightedGraph::add_edge(std::uint32_t u, std::uint32_t v, double w) {
+  if (finalized_) throw std::logic_error("WeightedGraph: already finalized");
+  if (u >= n_ || v >= n_) throw std::out_of_range("WeightedGraph: bad node");
+  if (u > v) std::swap(u, v);
+  raw_.push_back({u, v, w});
+}
+
+void WeightedGraph::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::ranges::sort(raw_, [](const RawEdge& a, const RawEdge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  // Merge duplicates.
+  std::vector<RawEdge> merged;
+  merged.reserve(raw_.size());
+  for (const RawEdge& e : raw_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  raw_ = std::move(merged);
+
+  degree_.assign(n_, 0.0);
+  self_.assign(n_, 0.0);
+  std::vector<std::size_t> counts(n_, 0);
+  total_weight_ = 0;
+  for (const RawEdge& e : raw_) {
+    total_weight_ += e.w;
+    if (e.u == e.v) {
+      self_[e.u] = e.w;
+      degree_[e.u] += 2 * e.w;
+      ++counts[e.u];
+    } else {
+      degree_[e.u] += e.w;
+      degree_[e.v] += e.w;
+      ++counts[e.u];
+      ++counts[e.v];
+    }
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) offsets_[i + 1] = offsets_[i] + counts[i];
+  edges_.resize(offsets_[n_]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const RawEdge& e : raw_) {
+    edges_[cursor[e.u]++] = Edge{e.v, e.w};
+    if (e.u != e.v) edges_[cursor[e.v]++] = Edge{e.u, e.w};
+  }
+  raw_.clear();
+  raw_.shrink_to_fit();
+}
+
+std::span<const Edge> WeightedGraph::neighbors(std::uint32_t u) const {
+  assert(finalized_);
+  return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t connected_components(const WeightedGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> stack;
+  std::size_t components = 0;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    visited[start] = true;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (const Edge& e : g.neighbors(u)) {
+        if (e.weight > 0 && !visited[e.to]) {
+          visited[e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace darkvec::graph

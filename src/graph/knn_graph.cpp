@@ -1,0 +1,18 @@
+#include "darkvec/graph/knn_graph.hpp"
+
+namespace darkvec::graph {
+
+WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime) {
+  const std::size_t n = index.size();
+  WeightedGraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const ml::Neighbor& nb : index.query(u, k_prime)) {
+      if (nb.similarity <= 0) continue;
+      g.add_edge(static_cast<std::uint32_t>(u), nb.index, nb.similarity);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace darkvec::graph

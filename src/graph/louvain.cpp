@@ -1,0 +1,179 @@
+#include "darkvec/graph/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::graph {
+namespace {
+
+/// One level of local moving. Returns the (non-dense) community of each
+/// node and the modularity gain achieved.
+struct LevelResult {
+  std::vector<int> community;
+  bool improved = false;
+};
+
+LevelResult one_level(const WeightedGraph& g, double min_gain,
+                      sim::Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  const double m = g.total_weight();
+  LevelResult result;
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  if (m <= 0) return result;
+
+  // Community aggregates: total degree and internal weight.
+  std::vector<double> tot(n), in(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    tot[u] = g.degree(u);
+    in[u] = g.self_loop(u);
+  }
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  }
+
+  std::unordered_map<int, double> links;  // community -> weight from node
+  bool moved_any = true;
+  int passes = 0;
+  while (moved_any && passes < 64) {
+    moved_any = false;
+    ++passes;
+    for (const std::uint32_t u : order) {
+      const int old_com = result.community[u];
+      const double ku = g.degree(u);
+
+      links.clear();
+      for (const Edge& e : g.neighbors(u)) {
+        if (e.to == u) continue;
+        links[result.community[e.to]] += e.weight;
+      }
+      const double w_old = links.contains(old_com) ? links[old_com] : 0.0;
+
+      // Remove u from its community.
+      tot[static_cast<std::size_t>(old_com)] -= ku;
+      in[static_cast<std::size_t>(old_com)] -= 2 * w_old + g.self_loop(u);
+
+      // Best target community (python-louvain gain formula).
+      int best_com = old_com;
+      double best_gain = 0;
+      for (const auto& [com, w_uc] : links) {
+        const double gain =
+            w_uc - tot[static_cast<std::size_t>(com)] * ku / (2.0 * m);
+        if (gain > best_gain + min_gain ||
+            (gain > best_gain && com < best_com)) {
+          best_gain = gain;
+          best_com = com;
+        }
+      }
+
+      // Insert u into the best community.
+      const double w_new = links.contains(best_com) ? links[best_com] : 0.0;
+      tot[static_cast<std::size_t>(best_com)] += ku;
+      in[static_cast<std::size_t>(best_com)] += 2 * w_new + g.self_loop(u);
+      result.community[u] = best_com;
+      if (best_com != old_com) {
+        moved_any = true;
+        result.improved = true;
+      }
+    }
+  }
+  return result;
+}
+
+/// Renumbers community ids to dense [0, count) and returns count.
+int renumber(std::vector<int>& community) {
+  std::unordered_map<int, int> dense;
+  for (int& c : community) {
+    const auto [it, inserted] =
+        dense.try_emplace(c, static_cast<int>(dense.size()));
+    c = it->second;
+  }
+  return static_cast<int>(dense.size());
+}
+
+/// Builds the aggregated graph where each community becomes one node.
+WeightedGraph aggregate(const WeightedGraph& g,
+                        std::span<const int> community, int n_communities) {
+  WeightedGraph agg(static_cast<std::size_t>(n_communities));
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    const auto cu = static_cast<std::uint32_t>(community[u]);
+    if (g.self_loop(u) > 0) agg.add_edge(cu, cu, g.self_loop(u));
+    for (const Edge& e : g.neighbors(u)) {
+      if (e.to <= u) continue;  // undirected edges once; skips self-loops
+      agg.add_edge(cu, static_cast<std::uint32_t>(community[e.to]), e.weight);
+    }
+  }
+  agg.finalize();
+  return agg;
+}
+
+}  // namespace
+
+double modularity(const WeightedGraph& g, std::span<const int> community) {
+  if (community.size() != g.num_nodes()) {
+    throw std::invalid_argument("modularity: partition size mismatch");
+  }
+  const double m = g.total_weight();
+  if (m <= 0) return 0;
+
+  std::unordered_map<int, double> tot;  // community -> degree sum
+  std::unordered_map<int, double> in;   // community -> internal weight
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    tot[community[u]] += g.degree(u);
+    in[community[u]] += g.self_loop(u);
+    for (const Edge& e : g.neighbors(u)) {
+      if (e.to <= u) continue;
+      if (community[e.to] == community[u]) in[community[u]] += e.weight;
+    }
+  }
+  double q = 0;
+  for (const auto& [com, degree_sum] : tot) {
+    const double inc = in.contains(com) ? in[com] : 0.0;
+    q += inc / m - (degree_sum / (2.0 * m)) * (degree_sum / (2.0 * m));
+  }
+  return q;
+}
+
+LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
+  LouvainResult result;
+  const std::size_t n = g.num_nodes();
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  if (n == 0) return result;
+
+  sim::Rng rng(options.seed);
+  // `current` is the working (aggregated) graph; `mapping` maps original
+  // nodes to current-graph nodes.
+  WeightedGraph current(0);
+  const WeightedGraph* graph = &g;
+  std::vector<int> mapping(n);
+  std::iota(mapping.begin(), mapping.end(), 0);
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    LevelResult lr = one_level(*graph, options.min_gain, rng);
+    if (!lr.improved && level > 0) break;
+    const int count = renumber(lr.community);
+    for (std::size_t i = 0; i < n; ++i) {
+      mapping[i] = lr.community[static_cast<std::size_t>(mapping[i])];
+    }
+    result.levels = level + 1;
+    if (!lr.improved) break;
+    current = aggregate(*graph, lr.community, count);
+    graph = &current;
+    if (static_cast<std::size_t>(count) == lr.community.size()) break;
+  }
+
+  result.community = mapping;
+  result.count = renumber(result.community);
+  result.modularity = modularity(g, result.community);
+  return result;
+}
+
+}  // namespace darkvec::graph

@@ -1,0 +1,54 @@
+#include "darkvec/ml/dbscan.hpp"
+
+#include <deque>
+
+namespace darkvec::ml {
+
+DbscanResult dbscan(const w2v::Embedding& points,
+                    const DbscanOptions& options) {
+  DbscanResult result;
+  const std::size_t n = points.size();
+  result.assignment.assign(n, DbscanResult::kNoise);
+  if (n == 0) return result;
+
+  const w2v::Embedding unit = points.normalized();
+  // Cosine distance <= eps  <=>  dot >= 1 - eps on unit vectors.
+  const double min_dot = 1.0 - options.eps;
+
+  const auto neighbors_of = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    const auto vi = unit.vec(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (w2v::dot(vi, unit.vec(j)) >= min_dot) out.push_back(j);
+    }
+    return out;  // includes i itself
+  };
+
+  std::vector<bool> visited(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    const auto seeds = neighbors_of(i);
+    if (seeds.size() < options.min_points) continue;  // noise (for now)
+
+    const int cluster = result.clusters++;
+    result.assignment[i] = cluster;
+    std::deque<std::size_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (result.assignment[j] == DbscanResult::kNoise) {
+        result.assignment[j] = cluster;  // border point adoption
+      }
+      if (visited[j]) continue;
+      visited[j] = true;
+      const auto expansion = neighbors_of(j);
+      if (expansion.size() >= options.min_points) {
+        queue.insert(queue.end(), expansion.begin(), expansion.end());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace darkvec::ml

@@ -1,0 +1,46 @@
+#include "darkvec/ml/evaluation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace darkvec::ml {
+
+int majority_vote(std::span<const Neighbor> neighbors,
+                  std::span<const int> labels) {
+  std::unordered_map<int, std::pair<int, double>> votes;  // label -> (n, sim)
+  for (const Neighbor& nb : neighbors) {
+    auto& [count, sim] = votes[labels[nb.index]];
+    ++count;
+    sim += nb.similarity;
+  }
+  int best = -1;
+  int best_count = -1;
+  double best_sim = 0;
+  for (const auto& [label, cs] : votes) {
+    const auto [count, sim] = cs;
+    const bool wins = count > best_count ||
+                      (count == best_count && sim > best_sim) ||
+                      (count == best_count && sim == best_sim && label < best);
+    if (wins) {
+      best = label;
+      best_count = count;
+      best_sim = sim;
+    }
+  }
+  return best;
+}
+
+std::vector<int> loo_knn_predict(const CosineKnn& index,
+                                 std::span<const int> labels,
+                                 std::span<const std::uint32_t> eval_points,
+                                 int k) {
+  std::vector<int> predictions;
+  predictions.reserve(eval_points.size());
+  for (const std::uint32_t p : eval_points) {
+    const auto neighbors = index.query(p, k);
+    predictions.push_back(majority_vote(neighbors, labels));
+  }
+  return predictions;
+}
+
+}  // namespace darkvec::ml

@@ -1,0 +1,105 @@
+#include "darkvec/ml/hac.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace darkvec::ml {
+namespace {
+
+/// Lance-Williams coefficients: d(k, i∪j) from d(k,i), d(k,j).
+double merge_distance(Linkage linkage, double dki, double dkj,
+                      std::size_t size_i, std::size_t size_j) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(dki, dkj);
+    case Linkage::kComplete:
+      return std::max(dki, dkj);
+    case Linkage::kAverage: {
+      const double total = static_cast<double>(size_i + size_j);
+      return (static_cast<double>(size_i) * dki +
+              static_cast<double>(size_j) * dkj) /
+             total;
+    }
+  }
+  return std::min(dki, dkj);
+}
+
+}  // namespace
+
+HacResult agglomerative(const w2v::Embedding& points, int n_clusters,
+                        Linkage linkage) {
+  HacResult result;
+  const std::size_t n = points.size();
+  result.assignment.assign(n, 0);
+  if (n == 0) return result;
+  const auto target = static_cast<std::size_t>(
+      std::clamp<std::size_t>(static_cast<std::size_t>(
+                                  std::max(n_clusters, 1)),
+                              1, n));
+
+  const w2v::Embedding unit = points.normalized();
+  // Dense distance matrix (cosine distance).
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = 1.0 - w2v::dot(unit.vec(i), unit.vec(j));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+
+  std::size_t remaining = n;
+  while (remaining > target) {
+    // Find the closest live pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (dist[i * n + j] < best) {
+          best = dist[i * n + j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bj into bi.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!alive[k] || k == bi || k == bj) continue;
+      const double d = merge_distance(linkage, dist[k * n + bi],
+                                      dist[k * n + bj], size[bi], size[bj]);
+      dist[k * n + bi] = d;
+      dist[bi * n + k] = d;
+    }
+    alive[bj] = false;
+    size[bi] += size[bj];
+    parent[bj] = static_cast<int>(bi);
+    --remaining;
+  }
+
+  // Path-compress to the live roots and renumber densely.
+  const auto root_of = [&](std::size_t i) {
+    std::size_t r = i;
+    while (parent[r] != static_cast<int>(r)) {
+      r = static_cast<std::size_t>(parent[r]);
+    }
+    return r;
+  };
+  std::vector<int> dense(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = root_of(i);
+    if (dense[root] < 0) dense[root] = result.clusters++;
+    result.assignment[i] = dense[root];
+  }
+  return result;
+}
+
+}  // namespace darkvec::ml

@@ -1,0 +1,124 @@
+#include "darkvec/ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  double acc = 0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = double{a[d]} - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const w2v::Embedding& points, int k,
+                    const KMeansOptions& options) {
+  KMeansResult result;
+  const std::size_t n = points.size();
+  const auto dim = static_cast<std::size_t>(points.dim());
+  result.assignment.assign(n, 0);
+  if (n == 0 || k <= 0) {
+    result.centroids = w2v::Embedding(0, points.dim());
+    return result;
+  }
+  const auto clusters = static_cast<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(k), n));
+
+  // --- k-means++ seeding --------------------------------------------------
+  sim::Rng rng(options.seed);
+  std::vector<std::size_t> seeds;
+  seeds.push_back(rng.uniform_int(n));
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  while (seeds.size() < clusters) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(
+          nearest[i], squared_distance(points.vec(i),
+                                       points.vec(seeds.back())));
+      total += nearest[i];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with a seed; pick arbitrarily.
+      seeds.push_back(rng.uniform_int(n));
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= nearest[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+
+  result.centroids = w2v::Embedding(clusters, points.dim());
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto src = points.vec(seeds[c]);
+    std::ranges::copy(src, result.centroids.vec(c).begin());
+  }
+
+  // --- Lloyd iterations -----------------------------------------------------
+  std::vector<double> sums(clusters * dim);
+  std::vector<std::size_t> counts(clusters);
+  double previous_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    double inertia = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < clusters; ++c) {
+        const double d =
+            squared_distance(points.vec(i), result.centroids.vec(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update.
+    std::ranges::fill(sums, 0.0);
+    std::ranges::fill(counts, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      const auto v = points.vec(i);
+      for (std::size_t d = 0; d < dim; ++d) sums[c * dim + d] += v[d];
+    }
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      auto centroid = result.centroids.vec(c);
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroid[d] =
+            static_cast<float>(sums[c * dim + d] /
+                               static_cast<double>(counts[c]));
+      }
+    }
+
+    if (previous_inertia - inertia <=
+        options.tolerance * std::max(previous_inertia, 1e-12)) {
+      break;
+    }
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace darkvec::ml

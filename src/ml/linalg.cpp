@@ -1,0 +1,121 @@
+#include "darkvec/ml/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace darkvec::ml {
+
+SquareMatrix multiply(const SquareMatrix& a, const SquareMatrix& b) {
+  SquareMatrix c(a.n);
+  for (int col = 0; col < a.n; ++col) {
+    for (int k = 0; k < a.n; ++k) {
+      const double bkc = b.at(k, col);
+      if (bkc == 0) continue;
+      for (int row = 0; row < a.n; ++row) {
+        c.at(row, col) += a.at(row, k) * bkc;
+      }
+    }
+  }
+  return c;
+}
+
+SquareMatrix transpose(const SquareMatrix& a) {
+  SquareMatrix t(a.n);
+  for (int col = 0; col < a.n; ++col) {
+    for (int row = 0; row < a.n; ++row) {
+      t.at(col, row) = a.at(row, col);
+    }
+  }
+  return t;
+}
+
+SvdResult jacobi_svd(const SquareMatrix& m, int max_sweeps,
+                     double tolerance) {
+  const int n = m.n;
+  SquareMatrix u = m;  // columns orthogonalized in place
+  SquareMatrix v(n);   // accumulated right rotations
+  for (int i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  // One-sided Jacobi: rotate column pairs of U until orthogonal.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double alpha = 0;
+        double beta = 0;
+        double gamma = 0;
+        for (int row = 0; row < n; ++row) {
+          const double up = u.at(row, p);
+          const double uq = u.at(row, q);
+          alpha += up * up;
+          beta += uq * uq;
+          gamma += up * uq;
+        }
+        if (std::abs(gamma) <=
+            tolerance * std::sqrt(std::max(alpha * beta, 1e-300))) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int row = 0; row < n; ++row) {
+          const double up = u.at(row, p);
+          const double uq = u.at(row, q);
+          u.at(row, p) = c * up - s * uq;
+          u.at(row, q) = s * up + c * uq;
+        }
+        for (int row = 0; row < n; ++row) {
+          const double vp = v.at(row, p);
+          const double vq = v.at(row, q);
+          v.at(row, p) = c * vp - s * vq;
+          v.at(row, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values are the column norms; normalize U's columns.
+  SvdResult result;
+  result.singular_values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int col = 0; col < n; ++col) {
+    double norm = 0;
+    for (int row = 0; row < n; ++row) {
+      norm += u.at(row, col) * u.at(row, col);
+    }
+    norm = std::sqrt(norm);
+    result.singular_values[static_cast<std::size_t>(col)] = norm;
+    if (norm > 0) {
+      for (int row = 0; row < n; ++row) u.at(row, col) /= norm;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::ranges::sort(order, [&](int a, int b) {
+    return result.singular_values[static_cast<std::size_t>(a)] >
+           result.singular_values[static_cast<std::size_t>(b)];
+  });
+  SvdResult sorted;
+  sorted.u = SquareMatrix(n);
+  sorted.v = SquareMatrix(n);
+  sorted.singular_values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int col = 0; col < n; ++col) {
+    const int src = order[static_cast<std::size_t>(col)];
+    sorted.singular_values[static_cast<std::size_t>(col)] =
+        result.singular_values[static_cast<std::size_t>(src)];
+    for (int row = 0; row < n; ++row) {
+      sorted.u.at(row, col) = u.at(row, src);
+      sorted.v.at(row, col) = v.at(row, src);
+    }
+  }
+  return sorted;
+}
+
+}  // namespace darkvec::ml

@@ -1,0 +1,79 @@
+#include "darkvec/ml/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace darkvec::ml {
+
+ClassificationReport::ClassificationReport(std::span<const int> y_true,
+                                           std::span<const int> y_pred,
+                                           int n_classes)
+    : per_class_(static_cast<std::size_t>(std::max(n_classes, 0))),
+      confusion_(per_class_.size() * per_class_.size(), 0),
+      y_true_(y_true.begin(), y_true.end()),
+      y_pred_(y_pred.begin(), y_pred.end()) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("ClassificationReport: length mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    if (t < 0 || t >= n_classes || p < 0 || p >= n_classes) {
+      throw std::out_of_range("ClassificationReport: label out of range");
+    }
+    ++confusion_[static_cast<std::size_t>(t) * per_class_.size() +
+                 static_cast<std::size_t>(p)];
+    if (t == p) ++correct;
+  }
+  accuracy_ = y_true.empty()
+                  ? 0.0
+                  : static_cast<double>(correct) /
+                        static_cast<double>(y_true.size());
+
+  for (int c = 0; c < n_classes; ++c) {
+    ClassScores& s = per_class_[static_cast<std::size_t>(c)];
+    std::size_t tp = confusion(c, c);
+    for (int j = 0; j < n_classes; ++j) {
+      s.support += confusion(c, j);
+      s.predicted += confusion(j, c);
+    }
+    s.precision = s.predicted > 0 ? static_cast<double>(tp) /
+                                        static_cast<double>(s.predicted)
+                                  : 0.0;
+    s.recall = s.support > 0
+                   ? static_cast<double>(tp) / static_cast<double>(s.support)
+                   : 0.0;
+    s.f1 = (s.precision + s.recall) > 0
+               ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+               : 0.0;
+  }
+}
+
+double ClassificationReport::accuracy_over(std::span<const int> classes)
+    const {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true_.size(); ++i) {
+    if (std::ranges::find(classes, y_true_[i]) == classes.end()) continue;
+    ++total;
+    if (y_true_[i] == y_pred_[i]) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+double ClassificationReport::weighted_f1_over(
+    std::span<const int> classes) const {
+  double acc = 0;
+  std::size_t total = 0;
+  for (const int c : classes) {
+    const ClassScores& s = per_class_[static_cast<std::size_t>(c)];
+    acc += s.f1 * static_cast<double>(s.support);
+    total += s.support;
+  }
+  return total == 0 ? 0.0 : acc / static_cast<double>(total);
+}
+
+}  // namespace darkvec::ml

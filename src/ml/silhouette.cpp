@@ -1,0 +1,81 @@
+#include "darkvec/ml/silhouette.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace darkvec::ml {
+
+std::vector<double> silhouette_samples(const w2v::Embedding& embedding,
+                                       std::span<const int> assignment) {
+  const std::size_t n = embedding.size();
+  if (assignment.size() != n) {
+    throw std::invalid_argument("silhouette: assignment size mismatch");
+  }
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  const w2v::Embedding unit = embedding.normalized();
+  const int max_cluster = *std::ranges::max_element(assignment);
+  const auto n_clusters = static_cast<std::size_t>(max_cluster + 1);
+  const auto dim = static_cast<std::size_t>(unit.dim());
+
+  // Centroid sums and sizes per cluster.
+  std::vector<double> sums(n_clusters * dim, 0.0);
+  std::vector<std::size_t> sizes(n_clusters, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    ++sizes[c];
+    const auto v = unit.vec(i);
+    for (std::size_t d = 0; d < dim; ++d) sums[c * dim + d] += v[d];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ci = static_cast<std::size_t>(assignment[i]);
+    if (sizes[ci] <= 1) {
+      out[i] = 0.0;  // singleton convention
+      continue;
+    }
+    const auto v = unit.vec(i);
+    double a = 0;
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      if (sizes[c] == 0) continue;
+      double dot_sum = 0;
+      for (std::size_t d = 0; d < dim; ++d) dot_sum += v[d] * sums[c * dim + d];
+      if (c == ci) {
+        // Exclude the point itself (its self-similarity is 1).
+        a = 1.0 - (dot_sum - 1.0) / static_cast<double>(sizes[c] - 1);
+      } else {
+        const double mean_dist =
+            1.0 - dot_sum / static_cast<double>(sizes[c]);
+        b = std::min(b, mean_dist);
+      }
+    }
+    const double denom = std::max(a, b);
+    out[i] = denom > 0 ? (b - a) / denom : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> silhouette_by_cluster(std::span<const double> samples,
+                                          std::span<const int> assignment) {
+  if (samples.size() != assignment.size()) {
+    throw std::invalid_argument("silhouette: size mismatch");
+  }
+  int max_cluster = -1;
+  for (const int c : assignment) max_cluster = std::max(max_cluster, c);
+  std::vector<double> mean(static_cast<std::size_t>(max_cluster + 1), 0.0);
+  std::vector<std::size_t> count(mean.size(), 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    mean[c] += samples[i];
+    ++count[c];
+  }
+  for (std::size_t c = 0; c < mean.size(); ++c) {
+    if (count[c] > 0) mean[c] /= static_cast<double>(count[c]);
+  }
+  return mean;
+}
+
+}  // namespace darkvec::ml

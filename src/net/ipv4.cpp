@@ -1,0 +1,37 @@
+#include "darkvec/net/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace darkvec::net {
+
+std::optional<IPv4> IPv4::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || next == p || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IPv4{octets[0], octets[1], octets[2], octets[3]};
+}
+
+std::string IPv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+}  // namespace darkvec::net

@@ -1,0 +1,36 @@
+#include "darkvec/net/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace darkvec::net {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp:
+      return "tcp";
+    case Protocol::kUdp:
+      return "udp";
+    case Protocol::kIcmp:
+      return "icmp";
+  }
+  return "tcp";
+}
+
+std::optional<Protocol> parse_protocol(std::string_view text) {
+  std::string lower(text);
+  std::ranges::transform(lower, lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "tcp") return Protocol::kTcp;
+  if (lower == "udp") return Protocol::kUdp;
+  if (lower == "icmp") return Protocol::kIcmp;
+  return std::nullopt;
+}
+
+std::string PortKey::to_string() const {
+  if (proto == Protocol::kIcmp) return "icmp";
+  return std::to_string(port) + "/" + std::string(net::to_string(proto));
+}
+
+}  // namespace darkvec::net

@@ -1,0 +1,19 @@
+#include "darkvec/net/time.hpp"
+
+#include <cstdio>
+#include <ctime>
+
+namespace darkvec::net {
+
+std::string format_utc(std::int64_t ts) {
+  const auto t = static_cast<std::time_t>(ts);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+}  // namespace darkvec::net

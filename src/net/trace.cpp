@@ -1,0 +1,108 @@
+#include "darkvec/net/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec::net {
+
+Trace::Trace(std::vector<Packet> packets) : packets_(std::move(packets)) {}
+
+void Trace::append(const Trace& other) {
+  packets_.insert(packets_.end(), other.packets_.begin(),
+                  other.packets_.end());
+}
+
+void Trace::sort() {
+  std::ranges::stable_sort(packets_, {}, &Packet::ts);
+}
+
+Trace Trace::slice(std::int64_t t0, std::int64_t t1) const {
+  const auto lo = std::ranges::lower_bound(packets_, t0, {}, &Packet::ts);
+  const auto hi = std::ranges::lower_bound(packets_, t1, {}, &Packet::ts);
+  return Trace{std::vector<Packet>(lo, hi)};
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.packets = packets_.size();
+  if (packets_.empty()) return s;
+  std::unordered_set<IPv4> sources;
+  std::unordered_set<PortKey> ports;
+  s.first_ts = packets_.front().ts;
+  s.last_ts = packets_.front().ts;
+  for (const Packet& p : packets_) {
+    sources.insert(p.src);
+    ports.insert(p.port_key());
+    s.first_ts = std::min(s.first_ts, p.ts);
+    s.last_ts = std::max(s.last_ts, p.ts);
+  }
+  s.sources = sources.size();
+  s.ports = ports.size();
+  return s;
+}
+
+std::vector<PortRankEntry> Trace::port_ranking() const {
+  struct Agg {
+    std::size_t packets = 0;
+    std::unordered_set<IPv4> sources;
+  };
+  std::unordered_map<PortKey, Agg> agg;
+  for (const Packet& p : packets_) {
+    Agg& a = agg[p.port_key()];
+    ++a.packets;
+    a.sources.insert(p.src);
+  }
+  std::vector<PortRankEntry> out;
+  out.reserve(agg.size());
+  for (auto& [key, a] : agg) {
+    out.push_back({key, a.packets, a.sources.size()});
+  }
+  std::ranges::sort(out, [](const PortRankEntry& x, const PortRankEntry& y) {
+    if (x.packets != y.packets) return x.packets > y.packets;
+    return x.key < y.key;
+  });
+  return out;
+}
+
+std::unordered_map<IPv4, std::size_t> Trace::packets_per_sender() const {
+  std::unordered_map<IPv4, std::size_t> counts;
+  counts.reserve(packets_.size() / 4 + 1);
+  for (const Packet& p : packets_) ++counts[p.src];
+  return counts;
+}
+
+std::vector<std::size_t> Trace::cumulative_senders_per_day(
+    std::int64_t t0, std::size_t min_packets) const {
+  if (packets_.empty()) return {};
+  std::unordered_map<IPv4, std::size_t> totals;
+  if (min_packets > 1) totals = packets_per_sender();
+
+  const std::int64_t last_day = day_index(packets_.back().ts, t0);
+  std::vector<std::size_t> cumulative(
+      static_cast<std::size_t>(std::max<std::int64_t>(last_day + 1, 1)), 0);
+  std::unordered_set<IPv4> seen;
+  std::size_t day_pos = 0;
+  std::size_t count = 0;
+  for (const Packet& p : packets_) {
+    const auto day =
+        static_cast<std::size_t>(std::max<std::int64_t>(day_index(p.ts, t0), 0));
+    while (day_pos < day) cumulative[day_pos++] = count;
+    if (min_packets > 1 && totals[p.src] < min_packets) continue;
+    if (seen.insert(p.src).second) ++count;
+  }
+  while (day_pos < cumulative.size()) cumulative[day_pos++] = count;
+  return cumulative;
+}
+
+std::vector<IPv4> active_senders(const Trace& trace, std::size_t min_packets) {
+  std::vector<IPv4> out;
+  for (const auto& [ip, count] : trace.packets_per_sender()) {
+    if (count >= min_packets) out.push_back(ip);
+  }
+  std::ranges::sort(out);
+  return out;
+}
+
+}  // namespace darkvec::net

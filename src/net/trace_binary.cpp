@@ -1,0 +1,119 @@
+#include "darkvec/net/trace_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace darkvec::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44564B54;  // "DVKT"
+constexpr std::uint32_t kVersion = 1;
+
+// 16-byte on-disk record.
+struct Record {
+  std::int64_t ts;
+  std::uint32_t src;
+  std::uint16_t dst_port;
+  std::uint8_t dst_host;
+  std::uint8_t flags;  // bit 0-1 proto, bit 2 fingerprint
+};
+static_assert(sizeof(Record) == 16);
+
+Record pack(const Packet& p) {
+  Record r;
+  r.ts = p.ts;
+  r.src = p.src.value();
+  r.dst_port = p.dst_port;
+  r.dst_host = p.dst_host;
+  r.flags = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(p.proto) & 0x3) |
+      (p.mirai_fingerprint ? 0x4 : 0));
+  return r;
+}
+
+Packet unpack(const Record& r) {
+  Packet p;
+  p.ts = r.ts;
+  p.src = IPv4{r.src};
+  p.dst_port = r.dst_port;
+  p.dst_host = r.dst_host;
+  const auto proto = static_cast<std::uint8_t>(r.flags & 0x3);
+  if (proto > 2) throw std::runtime_error("trace binary: bad protocol");
+  p.proto = static_cast<Protocol>(proto);
+  p.mirai_fingerprint = (r.flags & 0x4) != 0;
+  return p;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const Trace& trace) {
+  const std::uint64_t count = trace.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  // Buffered record writes: one syscall-sized chunk at a time.
+  std::vector<Record> buffer;
+  buffer.reserve(4096);
+  for (const Packet& p : trace) {
+    buffer.push_back(pack(p));
+    if (buffer.size() == buffer.capacity()) {
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size() * sizeof(Record)));
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) {
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size() * sizeof(Record)));
+  }
+}
+
+void write_binary_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace binary: cannot open " + path);
+  write_binary(out, trace);
+}
+
+Trace read_binary(std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("trace binary: bad magic");
+  }
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("trace binary: unsupported version");
+  }
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("trace binary: truncated header");
+
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  std::vector<Record> buffer(4096);
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining,
+                                                         buffer.size()));
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(chunk * sizeof(Record)));
+    if (!in) throw std::runtime_error("trace binary: truncated data");
+    for (std::size_t i = 0; i < chunk; ++i) {
+      packets.push_back(unpack(buffer[i]));
+    }
+    remaining -= chunk;
+  }
+  return Trace{std::move(packets)};
+}
+
+Trace read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace binary: cannot open " + path);
+  return read_binary(in);
+}
+
+}  // namespace darkvec::net

@@ -1,0 +1,96 @@
+#include "darkvec/net/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace darkvec::net {
+namespace {
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+template <typename T>
+T parse_int_or_throw(std::string_view text, std::size_t line_no) {
+  T value{};
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || p != text.data() + text.size()) {
+    throw std::runtime_error("trace csv: bad integer field at line " +
+                             std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Trace& trace) {
+  out << "ts,src,dst_host,port,proto,mirai\n";
+  for (const Packet& p : trace) {
+    out << p.ts << ',' << p.src.to_string() << ',' << int{p.dst_host} << ','
+        << p.dst_port << ',' << to_string(p.proto) << ','
+        << int{p.mirai_fingerprint} << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace csv: cannot open " + path);
+  write_csv(out, trace);
+}
+
+Trace read_csv(std::istream& in) {
+  std::vector<Packet> packets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("ts,", 0) == 0) continue;  // header
+    const auto fields = split(line, ',');
+    if (fields.size() != 6) {
+      throw std::runtime_error("trace csv: expected 6 fields at line " +
+                               std::to_string(line_no));
+    }
+    Packet p;
+    p.ts = parse_int_or_throw<std::int64_t>(fields[0], line_no);
+    const auto src = IPv4::parse(fields[1]);
+    if (!src) {
+      throw std::runtime_error("trace csv: bad source address at line " +
+                               std::to_string(line_no));
+    }
+    p.src = *src;
+    p.dst_host = parse_int_or_throw<std::uint8_t>(fields[2], line_no);
+    p.dst_port = parse_int_or_throw<std::uint16_t>(fields[3], line_no);
+    const auto proto = parse_protocol(fields[4]);
+    if (!proto) {
+      throw std::runtime_error("trace csv: bad protocol at line " +
+                               std::to_string(line_no));
+    }
+    p.proto = *proto;
+    p.mirai_fingerprint = parse_int_or_throw<int>(fields[5], line_no) != 0;
+    packets.push_back(p);
+  }
+  return Trace{std::move(packets)};
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace csv: cannot open " + path);
+  return read_csv(in);
+}
+
+}  // namespace darkvec::net

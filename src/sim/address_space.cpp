@@ -1,0 +1,89 @@
+#include "darkvec/sim/address_space.hpp"
+
+#include <algorithm>
+
+namespace darkvec::sim {
+namespace {
+
+bool reserved(std::uint32_t v) {
+  const std::uint32_t a = v >> 24;
+  return a == 0 || a == 10 || a == 127 || a >= 224;
+}
+
+}  // namespace
+
+net::IPv4 AddressAllocator::random_routable() {
+  while (true) {
+    const auto v = static_cast<std::uint32_t>(rng_.next_u64());
+    if (reserved(v)) continue;
+    const net::IPv4 ip{v};
+    if (used_.insert(ip).second) return ip;
+  }
+}
+
+net::IPv4 AddressAllocator::random_slash24_base() {
+  while (true) {
+    const auto v = static_cast<std::uint32_t>(rng_.next_u64()) & 0xFFFFFF00u;
+    if (!reserved(v)) return net::IPv4{v};
+  }
+}
+
+net::IPv4 AddressAllocator::claim_in_block(std::uint32_t base,
+                                           std::uint32_t span) {
+  for (int attempt = 0; attempt < 512; ++attempt) {
+    const auto offset = static_cast<std::uint32_t>(rng_.uniform_int(span));
+    const net::IPv4 ip{base + offset};
+    if (used_.insert(ip).second) return ip;
+  }
+  return random_routable();  // block effectively full
+}
+
+std::vector<net::IPv4> AddressAllocator::allocate(std::size_t n,
+                                                  AddrPolicy policy,
+                                                  std::size_t subnets,
+                                                  std::uint32_t base) {
+  std::vector<net::IPv4> out;
+  out.reserve(n);
+  switch (policy) {
+    case AddrPolicy::kRandom:
+      for (std::size_t i = 0; i < n; ++i) out.push_back(random_routable());
+      break;
+    case AddrPolicy::kSameSlash24: {
+      const std::uint32_t block =
+          base != 0 ? (base & 0xFFFFFF00u) : random_slash24_base().value();
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(claim_in_block(block, 256));
+      break;
+    }
+    case AddrPolicy::kSameSlash16: {
+      const std::uint32_t block =
+          base != 0 ? (base & 0xFFFF0000u)
+                    : (random_slash24_base().value() & 0xFFFF0000u);
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(claim_in_block(block, 65536));
+      break;
+    }
+    case AddrPolicy::kFewSlash24: {
+      std::vector<std::uint32_t> bases;
+      bases.reserve(std::max<std::size_t>(subnets, 1));
+      for (std::size_t s = 0; s < std::max<std::size_t>(subnets, 1); ++s)
+        bases.push_back(random_slash24_base().value());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t base = bases[i % bases.size()];
+        out.push_back(claim_in_block(base, 256));
+      }
+      break;
+    }
+    case AddrPolicy::kDistinctSlash24:
+      // A fresh random /24 per sender: collisions across senders are
+      // possible but rare, matching "1412 IPs in 1381 /24s".
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t base = random_slash24_base().value();
+        out.push_back(claim_in_block(base, 256));
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace darkvec::sim

@@ -1,0 +1,57 @@
+#include "darkvec/sim/honeypot.hpp"
+
+#include <array>
+
+namespace darkvec::sim {
+namespace {
+
+constexpr std::array<const char*, 8> kUsernames = {
+    "root", "admin", "user", "pi", "test", "ubuntu", "oracle", "guest"};
+constexpr std::array<const char*, 8> kPasswords = {
+    "123456", "password", "admin", "root", "12345678", "qwerty", "1234",
+    "default"};
+
+}  // namespace
+
+void HoneypotLog::add(HoneypotAttempt attempt) {
+  sources_.insert(attempt.src);
+  attempts_.push_back(std::move(attempt));
+}
+
+HoneypotLog simulate_honeypot(const net::Trace& trace, const GroupMap& groups,
+                              std::span<const std::string> bruteforce_groups,
+                              const HoneypotOptions& options) {
+  HoneypotLog log;
+  const std::unordered_set<std::string> wanted(bruteforce_groups.begin(),
+                                               bruteforce_groups.end());
+  Rng rng(options.seed);
+  for (const net::Packet& p : trace) {
+    if (p.dst_port != options.ssh_port ||
+        p.proto != net::Protocol::kTcp) {
+      continue;
+    }
+    const auto it = groups.find(p.src);
+    if (it == groups.end() || !wanted.contains(it->second)) continue;
+    if (rng.uniform() >= options.capture_probability) continue;
+    HoneypotAttempt attempt;
+    attempt.ts = p.ts;
+    attempt.src = p.src;
+    attempt.username = kUsernames[rng.uniform_int(kUsernames.size())];
+    attempt.password = kPasswords[rng.uniform_int(kPasswords.size())];
+    log.add(std::move(attempt));
+  }
+  return log;
+}
+
+double confirmed_fraction(const HoneypotLog& log,
+                          std::span<const net::IPv4> senders) {
+  if (senders.empty()) return 0;
+  std::size_t confirmed = 0;
+  for (const net::IPv4 ip : senders) {
+    if (log.contains(ip)) ++confirmed;
+  }
+  return static_cast<double>(confirmed) /
+         static_cast<double>(senders.size());
+}
+
+}  // namespace darkvec::sim

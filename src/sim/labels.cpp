@@ -1,0 +1,38 @@
+#include "darkvec/sim/labels.hpp"
+
+namespace darkvec::sim {
+
+std::string_view to_string(GtClass c) {
+  switch (c) {
+    case GtClass::kMirai:
+      return "Mirai-like";
+    case GtClass::kCensys:
+      return "Censys";
+    case GtClass::kStretchoid:
+      return "Stretchoid";
+    case GtClass::kInternetCensus:
+      return "Internet-census";
+    case GtClass::kBinaryEdge:
+      return "Binaryedge";
+    case GtClass::kSharashka:
+      return "Sharashka";
+    case GtClass::kIpip:
+      return "Ipip";
+    case GtClass::kShodan:
+      return "Shodan";
+    case GtClass::kEnginUmich:
+      return "Engin-umich";
+    case GtClass::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+GtClass parse_gt_class(std::string_view name) {
+  for (const GtClass c : kAllGtClasses) {
+    if (to_string(c) == name) return c;
+  }
+  return GtClass::kUnknown;
+}
+
+}  // namespace darkvec::sim

@@ -1,0 +1,68 @@
+#include "darkvec/sim/ports.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace darkvec::sim {
+
+PortTable::PortTable(std::vector<std::pair<net::PortKey, double>> entries) {
+  double total = 0;
+  for (const auto& [key, w] : entries) {
+    if (w > 0) total += w;
+  }
+  if (total <= 0) return;
+  keys_.reserve(entries.size());
+  cumulative_.reserve(entries.size());
+  double acc = 0;
+  for (const auto& [key, w] : entries) {
+    if (w <= 0) continue;
+    acc += w / total;
+    keys_.push_back(key);
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+net::PortKey PortTable::sample(Rng& rng) const {
+  assert(!keys_.empty());
+  const double u = rng.uniform();
+  const auto it = std::ranges::lower_bound(cumulative_, u);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(cumulative_.begin(),
+                    it == cumulative_.end() ? it - 1 : it));
+  return keys_[idx];
+}
+
+std::vector<net::PortKey> random_port_keys(std::size_t n, Rng& rng,
+                                           std::uint16_t lo, std::uint16_t hi,
+                                           double udp_fraction) {
+  std::unordered_set<net::PortKey> seen;
+  std::vector<net::PortKey> out;
+  out.reserve(n);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  while (out.size() < n && seen.size() < span * 2) {
+    const auto port =
+        static_cast<std::uint16_t>(lo + rng.uniform_int(span));
+    const net::Protocol proto = rng.uniform() < udp_fraction
+                                    ? net::Protocol::kUdp
+                                    : net::Protocol::kTcp;
+    const net::PortKey key{port, proto};
+    if (seen.insert(key).second) out.push_back(key);
+  }
+  return out;
+}
+
+PortTable make_port_table(std::vector<std::pair<net::PortKey, double>> head,
+                          const std::vector<net::PortKey>& tail) {
+  double head_weight = 0;
+  for (const auto& [key, w] : head) head_weight += w;
+  if (!tail.empty()) {
+    const double residual = std::max(0.0, 1.0 - head_weight);
+    const double each = residual / static_cast<double>(tail.size());
+    for (const net::PortKey& key : tail) head.emplace_back(key, each);
+  }
+  return PortTable{std::move(head)};
+}
+
+}  // namespace darkvec::sim

@@ -1,0 +1,586 @@
+#include "darkvec/sim/scenario.hpp"
+
+#include "darkvec/sim/ports.hpp"
+
+namespace darkvec::sim {
+namespace {
+
+using net::PortKey;
+using net::Protocol;
+
+constexpr PortKey tcp(std::uint16_t p) { return PortKey{p, Protocol::kTcp}; }
+constexpr PortKey udp(std::uint16_t p) { return PortKey{p, Protocol::kUdp}; }
+constexpr PortKey icmp() { return PortKey{0, Protocol::kIcmp}; }
+
+}  // namespace
+
+std::vector<PopulationSpec> paper_scenario() {
+  std::vector<PopulationSpec> pops;
+
+  // Shared port universes: a GT class and the independent actors that scan
+  // the same services draw their "random" tails from the same pre-drawn
+  // pool. On a real darknet many actors probe the same port universe,
+  // which is exactly why port profiles alone cannot separate the classes
+  // (Section 4) while temporal co-occurrence can.
+  Rng pool_rng(0xDA2C);
+  const auto censys_pool = random_port_keys(1250, pool_rng);
+  const auto census_pool = random_port_keys(225, pool_rng);
+  const auto binaryedge_pool = random_port_keys(16, pool_rng);
+  const auto ipip_pool = random_port_keys(36, pool_rng);
+
+  // ---- GT1: Mirai-like botnet(s). Telnet/ADB ports, per-packet Mirai
+  // fingerprint, heavy node churn, sources spread across the Internet.
+  {
+    PopulationSpec p;
+    p.group = "mirai";
+    p.label = GtClass::kMirai;
+    p.senders = 1200;
+    p.pattern = PatternKind::kChurn;
+    p.lifetime_days = 15;
+    p.packets_per_day = 8;
+    p.top_ports = {{tcp(23), 0.896}, {tcp(2323), 0.039}, {tcp(5555), 0.017},
+                   {tcp(26), 0.013},  {tcp(9530), 0.0084}};
+    p.random_ports = 70;
+    p.fingerprint_prob = 1.0;
+    pops.push_back(p);
+  }
+
+  // ---- GT2: Censys. Teams of scanners active in shifted multi-day slots,
+  // each team sweeping its own large set of ports (Figure 12).
+  {
+    PopulationSpec p;
+    p.group = "censys";
+    p.label = GtClass::kCensys;
+    p.senders = 168;
+    p.scalable = false;
+    p.pattern = PatternKind::kTeamShifts;
+    p.teams = 7;
+    p.slot_days = 2;
+    p.packets_per_day = 60;  // while the team's slot is active
+    p.base_rate_per_day = 3;  // sporadic activity outside the slots
+    p.top_ports = {{tcp(5060), 0.034}, {tcp(2000), 0.029}, {tcp(443), 0.004},
+                   {tcp(445), 0.004},  {tcp(5432), 0.004}};
+    p.random_ports = 400;
+    p.per_team_ports = true;
+    p.extra_pool_ports = censys_pool;  // shared pool -> Jaccard ~0.19
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 12;
+    pops.push_back(p);
+  }
+
+  // ---- GT3: Stretchoid. Few packets per sender at irregular times — the
+  // class DarkVec struggles with (low recall, Figure 9a).
+  {
+    PopulationSpec p;
+    p.group = "stretchoid";
+    p.label = GtClass::kStretchoid;
+    p.senders = 104;
+    p.scalable = false;
+    p.pattern = PatternKind::kSparse;
+    p.sparse_packets = 14;
+    p.top_ports = {{tcp(22), 0.035}, {tcp(443), 0.035}, {tcp(21), 0.027},
+                   {tcp(9200), 0.027}, {tcp(139), 0.018}};
+    p.random_ports = 85;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 20;
+    pops.push_back(p);
+  }
+
+  // ---- GT4: Internet Census.
+  {
+    PopulationSpec p;
+    p.group = "internet_census";
+    p.label = GtClass::kInternetCensus;
+    p.senders = 103;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;  // orchestrated campaign
+    p.on_hours = 3;
+    p.off_hours = 9;
+    p.packets_per_day = 16;  // while the campaign is on (avg ~4/day)
+    p.top_ports = {{tcp(5060), 0.104}, {udp(161), 0.098}, {tcp(2000), 0.077},
+                   {tcp(443), 0.065},  {udp(53), 0.029}};
+    p.extra_pool_ports = census_pool;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 4;
+    pops.push_back(p);
+  }
+
+  // ---- GT5: BinaryEdge.
+  {
+    PopulationSpec p;
+    p.group = "binaryedge";
+    p.label = GtClass::kBinaryEdge;
+    p.senders = 101;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 3;
+    p.off_hours = 9;
+    p.packets_per_day = 12;  // avg ~3/day
+    p.top_ports = {{tcp(15), 0.10},  {tcp(3000), 0.096}, {tcp(4222), 0.067},
+                   {tcp(587), 0.066}, {tcp(9100), 0.058}};
+    p.extra_pool_ports = binaryedge_pool;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 8;
+    pops.push_back(p);
+  }
+
+  // ---- GT6: Sharashka — near-uniform spread over hundreds of ports.
+  {
+    PopulationSpec p;
+    p.group = "sharashka";
+    p.label = GtClass::kSharashka;
+    p.senders = 50;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 3;
+    p.off_hours = 9;
+    p.packets_per_day = 16;  // avg ~4/day
+    p.random_ports = 480;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 3;
+    pops.push_back(p);
+  }
+
+  // ---- GT7: Ipip — SIP-heavy probing plus ICMP.
+  {
+    PopulationSpec p;
+    p.group = "ipip";
+    p.label = GtClass::kIpip;
+    p.senders = 49;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 4;
+    p.off_hours = 8;
+    p.packets_per_day = 36;  // avg ~12/day
+    p.top_ports = {{tcp(5060), 0.415}, {icmp(), 0.109}, {tcp(8000), 0.023},
+                   {tcp(8888), 0.021}, {tcp(22), 0.021}};
+    p.extra_pool_ports = ipip_pool;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 2;
+    pops.push_back(p);
+  }
+
+  // ---- GT8: Shodan — flat spread over hundreds of ports.
+  {
+    PopulationSpec p;
+    p.group = "shodan";
+    p.label = GtClass::kShodan;
+    p.senders = 23;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 4;
+    p.off_hours = 8;
+    p.packets_per_day = 60;  // avg ~20/day
+    p.top_ports = {{tcp(443), 0.009}, {tcp(80), 0.009}, {tcp(2222), 0.009},
+                   {tcp(2000), 0.007}, {tcp(2087), 0.007}};
+    p.random_ports = 345;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 6;
+    pops.push_back(p);
+  }
+
+  // ---- GT9: Engin-Umich — 10 senders, DNS only, synchronized impulses
+  // (Figure 9b).
+  {
+    PopulationSpec p;
+    p.group = "engin_umich";
+    p.label = GtClass::kEnginUmich;
+    p.senders = 10;
+    p.scalable = false;
+    p.pattern = PatternKind::kImpulse;
+    p.impulses = 5;
+    p.impulse_minutes = 8;
+    p.impulse_packets = 10;
+    p.top_ports = {{udp(53), 1.0}};
+    p.addr = AddrPolicy::kSameSlash24;
+    pops.push_back(p);
+  }
+
+  // ---- Shadowserver: three groups sharing one /16, same port family with
+  // different intensities (Section 7.3.2, Figure 13). Unknown to the GT.
+  constexpr std::uint32_t kShadowserverSlash16 = 0xCB4C0000u;  // 203.76.0.0
+  {
+    PopulationSpec p;
+    p.group = "shadowserver_g1";
+    p.senders = 61;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 3;
+    p.off_hours = 6;
+    p.packets_per_day = 12;
+    p.top_ports = {{udp(623), 0.10}, {udp(123), 0.10}, {udp(111), 0.03},
+                   {udp(137), 0.03}, {udp(5683), 0.02}, {udp(3389), 0.02}};
+    p.random_ports = 41;
+    p.addr = AddrPolicy::kSameSlash16;
+    p.addr_base = kShadowserverSlash16;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "shadowserver_g2";
+    p.senders = 36;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 2;
+    p.off_hours = 7;
+    p.packets_per_day = 18;  // denser bursts: the weakest sub-group
+    p.top_ports = {{udp(5683), 0.13}, {udp(3389), 0.12}, {udp(623), 0.03},
+                   {udp(123), 0.03},  {udp(111), 0.02},  {udp(137), 0.02}};
+    p.random_ports = 36;
+    p.addr = AddrPolicy::kSameSlash16;
+    p.addr_base = kShadowserverSlash16;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "shadowserver_g3";
+    p.senders = 16;
+    p.scalable = false;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 3;
+    p.off_hours = 6;
+    p.packets_per_day = 12;
+    p.top_ports = {{udp(111), 0.35}, {udp(137), 0.28}, {udp(623), 0.02},
+                   {udp(123), 0.02}, {udp(5683), 0.02}, {udp(3389), 0.02}};
+    p.random_ports = 45;
+    p.addr = AddrPolicy::kSameSlash16;
+    p.addr_base = kShadowserverSlash16;
+    pops.push_back(p);
+  }
+
+  // ---- unknown1: NetBIOS scan from one /24 (Cogent), very regular.
+  {
+    PopulationSpec p;
+    p.group = "unknown1_netbios";
+    p.senders = 85;
+    p.scalable = false;
+    p.pattern = PatternKind::kDailyBurst;
+    p.burst_packets = 7;
+    p.burst_minutes = 20;
+    p.top_ports = {{udp(137), 0.60}};
+    p.random_ports = 17;
+    p.addr = AddrPolicy::kSameSlash24;
+    pops.push_back(p);
+  }
+
+  // ---- unknown2: SMTP scan from one /24 in a cloud range.
+  {
+    PopulationSpec p;
+    p.group = "unknown2_smtp";
+    p.senders = 10;
+    p.scalable = false;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 5.5;
+    p.top_ports = {{tcp(25), 0.76}};
+    p.random_ports = 11;
+    p.addr = AddrPolicy::kSameSlash24;
+    pops.push_back(p);
+  }
+
+  // ---- unknown3: SMB scan, 61 IPs scattered over 23 /24s.
+  {
+    PopulationSpec p;
+    p.group = "unknown3_smb";
+    p.senders = 61;
+    p.scalable = false;
+    p.pattern = PatternKind::kDailyBurst;
+    p.burst_packets = 6;
+    p.burst_minutes = 30;
+    p.top_ports = {{tcp(445), 0.995}};
+    p.random_ports = 4;
+    p.addr = AddrPolicy::kFewSlash24;
+    p.addr_subnets = 23;
+    pops.push_back(p);
+  }
+
+  // ---- unknown4: ADB worm — exponential activation ramp (Figure 15).
+  {
+    PopulationSpec p;
+    p.group = "unknown4_adb";
+    p.senders = 150;
+    p.pattern = PatternKind::kGrowth;
+    p.growth = 3.5;
+    p.packets_per_day = 20;
+    p.top_ports = {{tcp(5555), 0.75}};
+    p.random_ports = 140;
+    pops.push_back(p);
+  }
+
+  // ---- unknown5 companion population: Mirai-like behaviour *without* the
+  // fingerprint. Cluster C18 in the paper mixes these with GT1.
+  {
+    PopulationSpec p;
+    p.group = "mirai_nofp";
+    p.senders = 420;  // ~26%% of the Mirai-like population (unknown5: 71%% fp)
+    p.pattern = PatternKind::kChurn;
+    p.lifetime_days = 15;
+    p.packets_per_day = 8;
+    p.top_ports = {{tcp(23), 0.877}, {tcp(2323), 0.02}, {udp(2000), 0.01}};
+    p.random_ports = 80;
+    pops.push_back(p);
+  }
+
+  // ---- unknown6: SSH brute-force bots — bursty, 88% on 22/TCP.
+  {
+    PopulationSpec p;
+    p.group = "unknown6_ssh";
+    p.senders = 150;
+    p.pattern = PatternKind::kOnOff;
+    p.shared_schedule = true;
+    p.on_hours = 4;
+    p.off_hours = 20;
+    p.packets_per_day = 48;  // brute-force burst rate while on
+    p.top_ports = {{tcp(22), 0.88}};
+    p.random_ports = 115;
+    pops.push_back(p);
+  }
+
+  // ---- unknown7: horizontal scanner, equal share over ~148 ports, daily.
+  {
+    PopulationSpec p;
+    p.group = "unknown7_horizontal";
+    p.senders = 80;
+    p.pattern = PatternKind::kDailyBurst;
+    p.burst_packets = 10;
+    p.burst_minutes = 45;
+    p.random_ports = 148;
+    pops.push_back(p);
+  }
+
+  // ---- unknown8: small scanner, equal share over 69 ports, hourly.
+  {
+    PopulationSpec p;
+    p.group = "unknown8_hourly";
+    p.senders = 22;
+    p.scalable = false;
+    p.pattern = PatternKind::kHourlyBurst;
+    p.burst_packets = 0.8;
+    p.burst_minutes = 5;
+    p.random_ports = 69;
+    pops.push_back(p);
+  }
+
+  // ---- Port-profile mimics: independent, uncoordinated actors scanning
+  // the same services as the GT classes (SIP sweeps, SMB/Telnet/SSH
+  // scanners, DNS probers, ...). On a real darknet these make port
+  // profiles ambiguous — the paper's Section 4 point — while DarkVec still
+  // separates the classes through temporal co-occurrence. The paper calls
+  // this out explicitly for DNS: "there are a lot of other senders that
+  // target port 53", yet Engin-Umich's 10 impulsive senders stay separable.
+  {
+    PopulationSpec p;
+    p.group = "mimic_dns";
+    p.senders = 80;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 4;
+    p.top_ports = {{udp(53), 0.9}};
+    p.random_ports = 10;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 4;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_sip";
+    p.senders = 100;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 6;
+    p.top_ports = {{tcp(5060), 0.415}, {icmp(), 0.109}, {tcp(8000), 0.023},
+                   {tcp(8888), 0.021}, {tcp(22), 0.021}};
+    p.extra_pool_ports = ipip_pool;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_binaryedge";
+    p.senders = 160;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 3;
+    p.top_ports = {{tcp(15), 0.10},  {tcp(3000), 0.096}, {tcp(4222), 0.067},
+                   {tcp(587), 0.066}, {tcp(9100), 0.058}};
+    p.extra_pool_ports = binaryedge_pool;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_census";
+    p.senders = 160;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 4;
+    p.top_ports = {{tcp(5060), 0.104}, {udp(161), 0.098}, {tcp(2000), 0.077},
+                   {tcp(443), 0.065},  {udp(53), 0.029}};
+    p.extra_pool_ports = census_pool;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_stretchoid";
+    p.senders = 70;
+    p.pattern = PatternKind::kSparse;
+    p.sparse_packets = 14;
+    p.top_ports = {{tcp(22), 0.035}, {tcp(443), 0.035}, {tcp(21), 0.027},
+                   {tcp(9200), 0.027}, {tcp(139), 0.018}};
+    p.random_ports = 85;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_censys";
+    p.senders = 200;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 9;
+    p.top_ports = {{tcp(5060), 0.034}, {tcp(2000), 0.029}, {tcp(443), 0.004},
+                   {tcp(445), 0.004},  {tcp(5432), 0.004}};
+    p.extra_pool_ports = censys_pool;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 60;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_smb";
+    p.senders = 120;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 4;
+    p.top_ports = {{tcp(445), 0.8}};
+    p.random_ports = 12;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 4;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "mimic_ssh";
+    p.senders = 100;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 5;
+    p.top_ports = {{tcp(22), 0.8}};
+    p.random_ports = 12;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 4;
+    pops.push_back(p);
+  }
+
+  // ---- Background: active-but-uncoordinated unknowns. Port mix mirrors
+  // the Unknown row of Table 2; each sender probes its own small subset.
+  {
+    PopulationSpec p;
+    p.group = "background_active";
+    p.senders = 1500;
+    p.pattern = PatternKind::kOnOff;
+    p.on_hours = 12;
+    p.off_hours = 24;
+    p.packets_per_day = 4;
+    p.top_ports = {{tcp(445), 0.15}, {tcp(5555), 0.12}, {tcp(1433), 0.05},
+                   {udp(123), 0.04}, {tcp(6379), 0.04}};
+    p.random_ports = 120;
+    // Mimic the GT classes' signature ports: background senders touch the
+    // same ports as the scanners (as on a real darknet), so port profiles
+    // alone cannot separate the classes — only temporal co-occurrence can.
+    p.extra_pool_ports = {
+        tcp(23),   tcp(2323), tcp(5555), tcp(26),   tcp(9530), tcp(5060),
+        tcp(2000), tcp(443),  tcp(445),  tcp(5432), tcp(22),   tcp(9200),
+        tcp(139),  tcp(21),   udp(161),  udp(53),   tcp(15),   tcp(3000),
+        tcp(4222), tcp(587),  tcp(9100), icmp(),    tcp(8000), tcp(8888),
+        tcp(80),   tcp(2222), tcp(2087), tcp(25),   udp(137),  udp(111),
+        udp(623),  udp(123),  tcp(1433), tcp(6379),
+    };
+    p.per_sender_ports = true;
+    p.ports_per_sender = 8;
+    pops.push_back(p);
+  }
+
+  // ---- Occasional senders: 2-9 packets/month — below the activity filter.
+  {
+    PopulationSpec p;
+    p.group = "background_occasional";
+    p.senders = 7000;
+    p.pattern = PatternKind::kSparse;
+    p.sparse_packets = 4;
+    p.random_ports = 250;
+    // Mimic the GT classes' signature ports: background senders touch the
+    // same ports as the scanners (as on a real darknet), so port profiles
+    // alone cannot separate the classes — only temporal co-occurrence can.
+    p.extra_pool_ports = {
+        tcp(23),   tcp(2323), tcp(5555), tcp(26),   tcp(9530), tcp(5060),
+        tcp(2000), tcp(443),  tcp(445),  tcp(5432), tcp(22),   tcp(9200),
+        tcp(139),  tcp(21),   udp(161),  udp(53),   tcp(15),   tcp(3000),
+        tcp(4222), tcp(587),  tcp(9100), icmp(),    tcp(8000), tcp(8888),
+        tcp(80),   tcp(2222), tcp(2087), tcp(25),   udp(137),  udp(111),
+        udp(623),  udp(123),  tcp(1433), tcp(6379),
+    };
+    p.per_sender_ports = true;
+    p.ports_per_sender = 3;
+    pops.push_back(p);
+  }
+
+  // ---- Backscatter: victims of spoofed-source attacks, seen once or
+  // twice (36% of all senders appear exactly once in the paper).
+  {
+    PopulationSpec p;
+    p.group = "background_backscatter";
+    p.senders = 9000;
+    p.pattern = PatternKind::kSparse;
+    p.sparse_packets = 0.4;  // max(1, Poisson(0.4)): mostly single packets
+    p.random_ports = 2000;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 2;
+    pops.push_back(p);
+  }
+
+  return pops;
+}
+
+std::vector<PopulationSpec> tiny_scenario() {
+  std::vector<PopulationSpec> pops;
+  {
+    PopulationSpec p;
+    p.group = "toy_botnet";
+    p.label = GtClass::kMirai;
+    p.senders = 40;
+    p.scalable = false;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 20;
+    p.top_ports = {{tcp(23), 0.9}, {tcp(2323), 0.1}};
+    p.fingerprint_prob = 1.0;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "toy_scanner";
+    p.label = GtClass::kCensys;
+    p.senders = 20;
+    p.scalable = false;
+    p.pattern = PatternKind::kTeamShifts;
+    p.teams = 2;
+    p.slot_days = 1;
+    p.packets_per_day = 40;
+    p.top_ports = {{tcp(80), 0.3}, {tcp(443), 0.3}, {tcp(8080), 0.2}};
+    p.random_ports = 20;
+    p.addr = AddrPolicy::kSameSlash24;
+    pops.push_back(p);
+  }
+  {
+    PopulationSpec p;
+    p.group = "toy_noise";
+    p.senders = 60;
+    p.scalable = false;
+    p.pattern = PatternKind::kPoisson;
+    p.packets_per_day = 6;
+    p.random_ports = 200;
+    p.per_sender_ports = true;
+    p.ports_per_sender = 4;
+    pops.push_back(p);
+  }
+  return pops;
+}
+
+}  // namespace darkvec::sim

@@ -1,0 +1,241 @@
+#include "darkvec/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "darkvec/sim/ports.hpp"
+#include "darkvec/sim/temporal.hpp"
+
+namespace darkvec::sim {
+namespace {
+
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a: stable population stream identity across scenario reordering.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Timestamps of one sender according to the population pattern.
+std::vector<std::int64_t> sender_times(
+    const PopulationSpec& spec, TimeSpan span, std::size_t index,
+    std::size_t n_senders, const std::vector<std::int64_t>& impulse_times,
+    const std::vector<TimeSpan>& shared_intervals, double burst_phase_sec,
+    Rng& rng) {
+  switch (spec.pattern) {
+    case PatternKind::kPoisson:
+      return poisson_arrivals(span, spec.packets_per_day, rng);
+    case PatternKind::kOnOff: {
+      const auto active =
+          spec.shared_schedule
+              ? shared_intervals
+              : on_off_intervals(span, spec.on_hours, spec.off_hours, rng);
+      return arrivals_in_intervals(active, spec.packets_per_day, rng);
+    }
+    case PatternKind::kSparse: {
+      const auto n = std::max<std::uint64_t>(1, rng.poisson(spec.sparse_packets));
+      return uniform_times(span, n, rng);
+    }
+    case PatternKind::kImpulse: {
+      std::vector<std::int64_t> out;
+      const auto len =
+          static_cast<std::int64_t>(spec.impulse_minutes * net::kSecondsPerMinute);
+      for (const std::int64_t start : impulse_times) {
+        const auto n = rng.poisson(spec.impulse_packets);
+        auto burst = uniform_times(TimeSpan{start, start + len}, n, rng);
+        out.insert(out.end(), burst.begin(), burst.end());
+      }
+      std::ranges::sort(out);
+      return out;
+    }
+    case PatternKind::kTeamShifts: {
+      const int team = static_cast<int>(index % static_cast<std::size_t>(
+                                                    std::max(spec.teams, 1)));
+      const auto slots = team_slots(span, spec.teams, team, spec.slot_days);
+      auto times = arrivals_in_intervals(slots, spec.packets_per_day, rng);
+      if (spec.base_rate_per_day > 0) {
+        auto base = poisson_arrivals(span, spec.base_rate_per_day, rng);
+        times.insert(times.end(), base.begin(), base.end());
+        std::ranges::sort(times);
+      }
+      return times;
+    }
+    case PatternKind::kGrowth: {
+      // Quantile from the sender index keeps the activation curve smooth
+      // even for small populations; jitter decorrelates neighbours.
+      const double u = (static_cast<double>(index) + rng.uniform()) /
+                       static_cast<double>(std::max<std::size_t>(n_senders, 1));
+      const std::int64_t act = growth_activation(span, u, spec.growth);
+      return poisson_arrivals(TimeSpan{act, span.t1}, spec.packets_per_day,
+                              rng);
+    }
+    case PatternKind::kChurn: {
+      const auto life_span = static_cast<double>(span.length());
+      const auto lifetime = static_cast<std::int64_t>(
+          rng.exponential(1.0 / (spec.lifetime_days * net::kSecondsPerDay)));
+      const auto join =
+          span.t0 +
+          static_cast<std::int64_t>(rng.uniform(-0.5, 1.0) * life_span);
+      const TimeSpan active{std::max(join, span.t0),
+                            std::min(join + lifetime, span.t1)};
+      if (active.length() <= 0) return {};
+      return poisson_arrivals(active, spec.packets_per_day, rng);
+    }
+    case PatternKind::kDailyBurst:
+    case PatternKind::kHourlyBurst: {
+      const std::int64_t period = spec.pattern == PatternKind::kDailyBurst
+                                      ? net::kSecondsPerDay
+                                      : net::kSecondsPerHour;
+      const auto burst_len = static_cast<std::int64_t>(
+          spec.burst_minutes * net::kSecondsPerMinute);
+      // Population-wide phase plus a small stable per-sender offset.
+      const auto offset =
+          static_cast<std::int64_t>(rng.uniform(0.0, 60.0));
+      std::vector<std::int64_t> out;
+      for (std::int64_t t = span.t0; t < span.t1; t += period) {
+        const std::int64_t start =
+            t + static_cast<std::int64_t>(burst_phase_sec) % period + offset;
+        if (start >= span.t1) break;
+        const auto n = rng.poisson(spec.burst_packets);
+        auto burst = uniform_times(
+            TimeSpan{start, std::min(start + burst_len, span.t1)}, n, rng);
+        out.insert(out.end(), burst.begin(), burst.end());
+      }
+      std::ranges::sort(out);
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+SimResult DarknetSimulator::run(std::span<const PopulationSpec> populations) {
+  const Rng master(config_.seed);
+  AddressAllocator allocator(master.fork(0xADD2));
+  const TimeSpan span{config_.t0,
+                      config_.t0 + config_.days * net::kSecondsPerDay};
+  SimResult result;
+
+  for (const PopulationSpec& spec : populations) {
+    Rng prng = master.fork(hash_name(spec.group));
+    const std::size_t n =
+        spec.scalable
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::llround(
+                         static_cast<double>(spec.senders) * config_.scale)))
+            : spec.senders;
+
+    const auto ips =
+        allocator.allocate(n, spec.addr, spec.addr_subnets, spec.addr_base);
+
+    // -- population-level shared context -------------------------------
+    Rng ports_rng = prng.fork(0x1);
+    std::vector<net::PortKey> shared_tail =
+        random_port_keys(spec.random_ports, ports_rng);
+    shared_tail.insert(shared_tail.end(), spec.extra_pool_ports.begin(),
+                       spec.extra_pool_ports.end());
+
+    std::vector<PortTable> team_tables;
+    if (spec.pattern == PatternKind::kTeamShifts && spec.per_team_ports) {
+      // Team tails are sampled from the explicit pool when given (shared
+      // port universes across populations), else from a private random
+      // pool of `team_port_pool` ports, else drawn independently.
+      const std::vector<net::PortKey> pool =
+          !spec.extra_pool_ports.empty()
+              ? spec.extra_pool_ports
+              : (spec.team_port_pool > 0
+                     ? random_port_keys(spec.team_port_pool, ports_rng)
+                     : std::vector<net::PortKey>{});
+      team_tables.reserve(static_cast<std::size_t>(std::max(spec.teams, 1)));
+      for (int t = 0; t < std::max(spec.teams, 1); ++t) {
+        std::vector<net::PortKey> tail;
+        if (pool.empty()) {
+          tail = random_port_keys(spec.random_ports, ports_rng);
+        } else {
+          // Distinct sample of `random_ports` entries from the shared pool
+          // (partial Fisher-Yates on an index permutation).
+          std::vector<std::size_t> idx(pool.size());
+          for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+          const std::size_t take = std::min(spec.random_ports, pool.size());
+          for (std::size_t i = 0; i < take; ++i) {
+            const std::size_t j =
+                i + ports_rng.uniform_int(idx.size() - i);
+            std::swap(idx[i], idx[j]);
+            tail.push_back(pool[idx[i]]);
+          }
+        }
+        team_tables.push_back(make_port_table(spec.top_ports, tail));
+      }
+    }
+    const PortTable shared_table = make_port_table(spec.top_ports, shared_tail);
+
+    std::vector<std::int64_t> impulse_times;
+    if (spec.pattern == PatternKind::kImpulse) {
+      Rng irng = prng.fork(0x2);
+      impulse_times = uniform_times(span,
+                                    static_cast<std::size_t>(
+                                        std::max(spec.impulses, 0)),
+                                    irng);
+    }
+    std::vector<TimeSpan> shared_intervals;
+    if (spec.pattern == PatternKind::kOnOff && spec.shared_schedule) {
+      Rng org = prng.fork(0x5);
+      shared_intervals =
+          on_off_intervals(span, spec.on_hours, spec.off_hours, org);
+    }
+    Rng phase_rng = prng.fork(0x3);
+    const double burst_phase_sec =
+        phase_rng.uniform() * (spec.pattern == PatternKind::kHourlyBurst
+                                   ? net::kSecondsPerHour
+                                   : net::kSecondsPerDay);
+
+    // -- per-sender emission --------------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng srng = prng.fork(0x1000 + i);
+      const auto times = sender_times(spec, span, i, n, impulse_times,
+                                      shared_intervals, burst_phase_sec, srng);
+      if (times.empty()) continue;
+
+      const PortTable* table = &shared_table;
+      PortTable own_table;
+      if (!team_tables.empty()) {
+        table = &team_tables[i % team_tables.size()];
+      } else if (spec.per_sender_ports && !shared_tail.empty()) {
+        // Each sender samples its own small subset of the population pool.
+        std::vector<net::PortKey> subset;
+        subset.reserve(spec.ports_per_sender);
+        for (std::size_t k = 0; k < spec.ports_per_sender; ++k) {
+          subset.push_back(
+              shared_tail[srng.uniform_int(shared_tail.size())]);
+        }
+        own_table = make_port_table(spec.top_ports, subset);
+        table = &own_table;
+      }
+
+      for (const std::int64_t ts : times) {
+        net::Packet p;
+        p.ts = ts;
+        p.src = ips[i];
+        p.dst_host = static_cast<std::uint8_t>(srng.uniform_int(256));
+        const net::PortKey key = table->sample(srng);
+        p.dst_port = key.port;
+        p.proto = key.proto;
+        p.mirai_fingerprint = spec.fingerprint_prob > 0 &&
+                              srng.uniform() < spec.fingerprint_prob;
+        result.trace.push_back(p);
+      }
+      if (spec.label != GtClass::kUnknown) result.labels[ips[i]] = spec.label;
+      result.groups[ips[i]] = spec.group;
+    }
+  }
+
+  result.trace.sort();
+  return result;
+}
+
+}  // namespace darkvec::sim

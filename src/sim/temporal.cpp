@@ -1,0 +1,107 @@
+#include "darkvec/sim/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec::sim {
+
+std::vector<std::int64_t> poisson_arrivals(TimeSpan span, double rate_per_day,
+                                           Rng& rng) {
+  std::vector<std::int64_t> out;
+  if (rate_per_day <= 0 || span.length() <= 0) return out;
+  const double rate_per_sec =
+      rate_per_day / static_cast<double>(net::kSecondsPerDay);
+  double t = static_cast<double>(span.t0);
+  const auto end = static_cast<double>(span.t1);
+  while (true) {
+    t += rng.exponential(rate_per_sec);
+    if (t >= end) break;
+    out.push_back(static_cast<std::int64_t>(t));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> uniform_times(TimeSpan span, std::size_t n,
+                                        Rng& rng) {
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(span.t0 +
+                  static_cast<std::int64_t>(
+                      rng.uniform() * static_cast<double>(span.length())));
+  }
+  std::ranges::sort(out);
+  return out;
+}
+
+std::vector<TimeSpan> on_off_intervals(TimeSpan span, double on_hours,
+                                       double off_hours, Rng& rng) {
+  std::vector<TimeSpan> out;
+  if (span.length() <= 0 || on_hours <= 0) return out;
+  const double on_mean = on_hours * net::kSecondsPerHour;
+  const double off_mean = off_hours * net::kSecondsPerHour;
+  // Random initial phase within one on+off cycle.
+  double t = static_cast<double>(span.t0) -
+             rng.uniform() * (on_mean + off_mean);
+  const auto end = static_cast<double>(span.t1);
+  bool active = true;
+  while (t < end) {
+    const double len =
+        active ? rng.exponential(1.0 / on_mean)
+               : (off_mean > 0 ? rng.exponential(1.0 / off_mean) : 0.0);
+    if (active) {
+      const auto lo = std::max(t, static_cast<double>(span.t0));
+      const auto hi = std::min(t + len, end);
+      if (hi > lo) {
+        out.push_back(TimeSpan{static_cast<std::int64_t>(lo),
+                               static_cast<std::int64_t>(hi)});
+      }
+    }
+    t += len;
+    active = !active;
+  }
+  return out;
+}
+
+std::vector<TimeSpan> team_slots(TimeSpan span, int teams, int team,
+                                 double slot_days) {
+  std::vector<TimeSpan> out;
+  if (teams <= 0 || slot_days <= 0) return out;
+  const auto slot_len =
+      static_cast<std::int64_t>(slot_days * net::kSecondsPerDay);
+  std::int64_t t = span.t0;
+  int slot = 0;
+  while (t < span.t1) {
+    const std::int64_t t1 = std::min(t + slot_len, span.t1);
+    if (slot % teams == team) out.push_back(TimeSpan{t, t1});
+    t = t1;
+    ++slot;
+  }
+  return out;
+}
+
+std::int64_t growth_activation(TimeSpan span, double u, double growth) {
+  if (growth <= 0) {
+    return span.t0 +
+           static_cast<std::int64_t>(u * static_cast<double>(span.length()));
+  }
+  // Inverse CDF of f(t) ∝ e^{growth·t/T} on [0, T].
+  const double T = static_cast<double>(span.length());
+  const double x = std::log1p(u * (std::exp(growth) - 1.0)) / growth;
+  return span.t0 + static_cast<std::int64_t>(x * T);
+}
+
+std::vector<std::int64_t> arrivals_in_intervals(
+    const std::vector<TimeSpan>& active, double rate_per_day, Rng& rng) {
+  std::vector<std::int64_t> out;
+  for (const TimeSpan& span : active) {
+    auto part = poisson_arrivals(span, rate_per_day, rng);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::ranges::sort(out);
+  return out;
+}
+
+}  // namespace darkvec::sim

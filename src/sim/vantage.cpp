@@ -1,0 +1,52 @@
+#include "darkvec/sim/vantage.hpp"
+
+#include <unordered_map>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::sim {
+
+VantageSplit split_vantage_points(const net::Trace& trace,
+                                  const VantageOptions& options) {
+  VantageSplit split;
+  Rng rng(options.seed);
+
+  enum class Visibility : std::uint8_t { kBoth, kOnlyA, kOnlyB };
+  std::unordered_map<net::IPv4, Visibility> visibility;
+
+  for (const net::Packet& p : trace) {
+    auto it = visibility.find(p.src);
+    if (it == visibility.end()) {
+      Visibility v;
+      if (rng.uniform() < options.both_probability) {
+        v = Visibility::kBoth;
+        ++split.senders_both;
+      } else if (rng.uniform() < 0.5) {
+        v = Visibility::kOnlyA;
+        ++split.senders_only_a;
+      } else {
+        v = Visibility::kOnlyB;
+        ++split.senders_only_b;
+      }
+      it = visibility.emplace(p.src, v).first;
+    }
+    switch (it->second) {
+      case Visibility::kBoth:
+        if (rng.uniform() < 0.5) {
+          split.darknet_a.push_back(p);
+        } else {
+          split.darknet_b.push_back(p);
+        }
+        break;
+      case Visibility::kOnlyA:
+        split.darknet_a.push_back(p);
+        break;
+      case Visibility::kOnlyB:
+        split.darknet_b.push_back(p);
+        break;
+    }
+  }
+  return split;
+}
+
+}  // namespace darkvec::sim

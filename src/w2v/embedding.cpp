@@ -1,0 +1,95 @@
+#include "darkvec/w2v/embedding.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace darkvec::w2v {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44564543;  // "DVEC"
+
+}  // namespace
+
+Embedding::Embedding(std::vector<float> data, int dim)
+    : dim_(dim), data_(std::move(data)) {
+  if (dim <= 0 || data_.size() % static_cast<std::size_t>(dim) != 0) {
+    throw std::invalid_argument("Embedding: data size not a multiple of dim");
+  }
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) acc += double{a[k]} * b[k];
+  return acc;
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  const double ab = dot(a, b);
+  const double aa = dot(a, a);
+  const double bb = dot(b, b);
+  if (aa <= 0 || bb <= 0) return 0;
+  return ab / std::sqrt(aa * bb);
+}
+
+double Embedding::cosine(std::size_t i, std::size_t j) const {
+  return w2v::cosine(vec(i), vec(j));
+}
+
+Embedding Embedding::normalized() const {
+  Embedding out(size(), dim_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto src = vec(i);
+    const double norm = std::sqrt(dot(src, src));
+    auto dst = out.vec(i);
+    if (norm > 0) {
+      for (std::size_t k = 0; k < src.size(); ++k) {
+        dst[k] = static_cast<float>(src[k] / norm);
+      }
+    }
+  }
+  return out;
+}
+
+void Embedding::save(std::ostream& out) const {
+  const std::uint64_t n = size();
+  const std::int32_t d = dim_;
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+}
+
+void Embedding::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Embedding: cannot open " + path);
+  save(out);
+}
+
+Embedding Embedding::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  std::uint64_t n = 0;
+  std::int32_t d = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("Embedding: bad magic");
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  if (!in || d <= 0) throw std::runtime_error("Embedding: bad header");
+  std::vector<float> data(n * static_cast<std::uint64_t>(d));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("Embedding: truncated data");
+  return Embedding{std::move(data), d};
+}
+
+Embedding Embedding::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Embedding: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace darkvec::w2v

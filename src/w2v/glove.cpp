@@ -1,0 +1,141 @@
+#include "darkvec/w2v/glove.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+namespace darkvec::w2v {
+namespace {
+
+inline std::uint64_t next_rand(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline double rand_unit(std::uint64_t& state) {
+  return static_cast<double>(next_rand(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+GloveModel::GloveModel(std::size_t vocab_size, GloveOptions options)
+    : vocab_(vocab_size), options_(options) {
+  if (options.dim <= 0) throw std::invalid_argument("Glove: dim <= 0");
+  if (options.window <= 0) throw std::invalid_argument("Glove: window <= 0");
+}
+
+TrainStats GloveModel::train(std::span<const Sentence> sentences) {
+  const auto t_start = std::chrono::steady_clock::now();
+  TrainStats stats;
+  const auto dim = static_cast<std::size_t>(options_.dim);
+
+  // ---- windowed co-occurrence counts (1/d distance weighting) -----------
+  std::unordered_map<std::uint64_t, double> counts;
+  for (const Sentence& s : sentences) {
+    const auto n = static_cast<std::int64_t>(s.size());
+    stats.tokens += s.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (s[static_cast<std::size_t>(i)] >= vocab_) {
+        throw std::out_of_range("Glove: word id >= vocab");
+      }
+      const std::int64_t hi =
+          std::min<std::int64_t>(n - 1, i + options_.window);
+      for (std::int64_t j = i + 1; j <= hi; ++j) {
+        const double w = 1.0 / static_cast<double>(j - i);
+        const std::uint64_t a = s[static_cast<std::size_t>(i)];
+        const std::uint64_t b = s[static_cast<std::size_t>(j)];
+        counts[(a << 32) | b] += w;
+        counts[(b << 32) | a] += w;  // symmetric
+      }
+    }
+  }
+  cells_ = counts.size();
+  if (counts.empty()) {
+    combined_ = Embedding(vocab_, options_.dim);
+    return stats;
+  }
+
+  // Flatten for deterministic shuffled iteration.
+  struct Cell {
+    std::uint32_t i, j;
+    double x;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(counts.size());
+  for (const auto& [key, x] : counts) {
+    cells.push_back({static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xFFFFFFFFu), x});
+  }
+  std::ranges::sort(cells, [](const Cell& a, const Cell& b) {
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+
+  // ---- parameters and AdaGrad accumulators -------------------------------
+  std::uint64_t rng = options_.seed * 0x9E3779B97F4A7C15ull + 3;
+  std::vector<double> w(vocab_ * dim);
+  std::vector<double> wt(vocab_ * dim);
+  for (double& v : w) v = (rand_unit(rng) - 0.5) / options_.dim;
+  for (double& v : wt) v = (rand_unit(rng) - 0.5) / options_.dim;
+  std::vector<double> b(vocab_, 0.0);
+  std::vector<double> bt(vocab_, 0.0);
+  std::vector<double> gw(vocab_ * dim, 1.0);
+  std::vector<double> gwt(vocab_ * dim, 1.0);
+  std::vector<double> gb(vocab_, 1.0);
+  std::vector<double> gbt(vocab_, 1.0);
+
+  std::vector<std::size_t> order(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double lr = options_.learning_rate;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Seeded Fisher-Yates shuffle per epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[next_rand(rng) % i]);
+    }
+    for (const std::size_t idx : order) {
+      const Cell& cell = cells[idx];
+      double* wi = w.data() + cell.i * dim;
+      double* wj = wt.data() + cell.j * dim;
+      double dot_ij = b[cell.i] + bt[cell.j] - std::log(cell.x);
+      for (std::size_t d = 0; d < dim; ++d) dot_ij += wi[d] * wj[d];
+      const double weight =
+          cell.x < options_.x_max
+              ? std::pow(cell.x / options_.x_max, options_.alpha)
+              : 1.0;
+      const double g = weight * dot_ij;
+
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double grad_i = g * wj[d];
+        const double grad_j = g * wi[d];
+        wi[d] -= lr * grad_i / std::sqrt(gw[cell.i * dim + d]);
+        wj[d] -= lr * grad_j / std::sqrt(gwt[cell.j * dim + d]);
+        gw[cell.i * dim + d] += grad_i * grad_i;
+        gwt[cell.j * dim + d] += grad_j * grad_j;
+      }
+      b[cell.i] -= lr * g / std::sqrt(gb[cell.i]);
+      bt[cell.j] -= lr * g / std::sqrt(gbt[cell.j]);
+      gb[cell.i] += g * g;
+      gbt[cell.j] += g * g;
+      ++stats.pairs;
+    }
+  }
+
+  // Combined representation: w + w~ (GloVe paper, Section 4.2).
+  combined_ = Embedding(vocab_, options_.dim);
+  for (std::size_t i = 0; i < vocab_; ++i) {
+    auto row = combined_.vec(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(w[i * dim + d] + wt[i * dim + d]);
+    }
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return stats;
+}
+
+}  // namespace darkvec::w2v

@@ -1,0 +1,438 @@
+#include "darkvec/w2v/skipgram.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace darkvec::w2v {
+namespace {
+
+// Sigmoid lookup table, as in the original word2vec C code.
+constexpr int kExpTableSize = 1000;
+constexpr double kMaxExp = 6.0;
+
+const float* exp_table() {
+  static const std::vector<float> table = [] {
+    std::vector<float> t(kExpTableSize);
+    for (int i = 0; i < kExpTableSize; ++i) {
+      const double x =
+          (static_cast<double>(i) / kExpTableSize * 2.0 - 1.0) * kMaxExp;
+      const double e = std::exp(x);
+      t[static_cast<std::size_t>(i)] = static_cast<float>(e / (e + 1.0));
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+inline std::uint64_t next_rand(std::uint64_t& state) {
+  // SplitMix64 step; fast and adequate for sampling decisions.
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline double rand_unit(std::uint64_t& state) {
+  return static_cast<double>(next_rand(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SkipGramModel::SkipGramModel(std::size_t vocab_size, SkipGramOptions options)
+    : vocab_(vocab_size),
+      options_(options),
+      syn0_(vocab_size, options.dim),
+      syn1neg_(vocab_size * static_cast<std::size_t>(options.dim), 0.0f) {
+  if (options.dim <= 0) throw std::invalid_argument("SkipGram: dim <= 0");
+  if (options.window <= 0) throw std::invalid_argument("SkipGram: window <= 0");
+  if (options.cbow && options.hierarchical_softmax) {
+    throw std::invalid_argument(
+        "SkipGram: CBOW with hierarchical softmax is not implemented");
+  }
+  std::uint64_t rng = options.seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < vocab_size; ++i) {
+    auto row = syn0_.vec(i);
+    for (float& v : row) {
+      v = static_cast<float>((rand_unit(rng) - 0.5) / options.dim);
+    }
+  }
+}
+
+void SkipGramModel::build_unigram_table(
+    const std::vector<std::uint64_t>& counts) {
+  const std::size_t table_size = std::clamp<std::size_t>(
+      vocab_ * 64, std::size_t{1} << 20, std::size_t{1} << 24);
+  unigram_table_.assign(table_size, 0);
+  double total_pow = 0;
+  for (const std::uint64_t c : counts) {
+    total_pow += std::pow(static_cast<double>(c), 0.75);
+  }
+  if (total_pow <= 0) {
+    // Degenerate corpus: uniform table.
+    for (std::size_t i = 0; i < table_size; ++i) {
+      unigram_table_[i] = static_cast<std::uint32_t>(i % std::max<std::size_t>(
+                                                             vocab_, 1));
+    }
+    return;
+  }
+  std::size_t word = 0;
+  double cumulative =
+      std::pow(static_cast<double>(counts[0]), 0.75) / total_pow;
+  for (std::size_t i = 0; i < table_size; ++i) {
+    unigram_table_[i] = static_cast<std::uint32_t>(word);
+    if (static_cast<double>(i + 1) / static_cast<double>(table_size) >
+        cumulative) {
+      if (word + 1 < vocab_) {
+        ++word;
+        cumulative +=
+            std::pow(static_cast<double>(counts[word]), 0.75) / total_pow;
+      }
+    }
+  }
+}
+
+void SkipGramModel::train_pair(std::uint32_t input, std::uint32_t output,
+                               float alpha, std::uint64_t& rng_state,
+                               float* neu1e) {
+  const int dim = options_.dim;
+  float* in = syn0_.vec(input).data();
+  std::fill(neu1e, neu1e + dim, 0.0f);
+  for (int d = 0; d <= options_.negative; ++d) {
+    std::uint32_t target;
+    float label;
+    if (d == 0) {
+      target = output;
+      label = 1.0f;
+    } else {
+      target = unigram_table_[next_rand(rng_state) % unigram_table_.size()];
+      if (target == output) continue;
+      label = 0.0f;
+    }
+    float* out = syn1neg_.data() + static_cast<std::size_t>(target) *
+                                       static_cast<std::size_t>(dim);
+    double f = 0;
+    for (int k = 0; k < dim; ++k) f += double{in[k]} * out[k];
+    float g;
+    if (f > kMaxExp) {
+      g = (label - 1.0f) * alpha;
+    } else if (f < -kMaxExp) {
+      g = label * alpha;
+    } else {
+      const int idx = static_cast<int>((f + kMaxExp) *
+                                       (kExpTableSize / kMaxExp / 2.0));
+      g = (label - exp_table()[idx]) * alpha;
+    }
+    if (g == 0.0f) continue;
+    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
+    for (int k = 0; k < dim; ++k) out[k] += g * in[k];
+  }
+  for (int k = 0; k < dim; ++k) in[k] += neu1e[k];
+}
+
+void SkipGramModel::build_huffman_tree(
+    const std::vector<std::uint64_t>& counts) {
+  const std::size_t v = vocab_;
+  hs_code_.assign(v, {});
+  hs_point_.assign(v, {});
+  if (v < 2) {
+    syn1hs_.clear();
+    return;
+  }
+  // Nodes 0..v-1 are leaves, v..2v-2 inner nodes.
+  const std::size_t total = 2 * v - 1;
+  std::vector<std::uint64_t> count(total, 0);
+  std::vector<std::uint32_t> parent(total, 0);
+  std::vector<std::uint8_t> binary(total, 0);
+  for (std::size_t i = 0; i < v; ++i) count[i] = counts[i];
+
+  // Min-heap of (count, node); deterministic tie-break on node id.
+  const auto cmp = [&](std::size_t a, std::size_t b) {
+    if (count[a] != count[b]) return count[a] > count[b];
+    return a > b;
+  };
+  std::vector<std::size_t> heap(v);
+  for (std::size_t i = 0; i < v; ++i) heap[i] = i;
+  std::make_heap(heap.begin(), heap.end(), cmp);
+
+  std::size_t next_inner = v;
+  while (heap.size() > 1) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const std::size_t a = heap.back();
+    heap.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const std::size_t b = heap.back();
+    heap.pop_back();
+    const std::size_t m = next_inner++;
+    count[m] = count[a] + count[b];
+    parent[a] = static_cast<std::uint32_t>(m);
+    parent[b] = static_cast<std::uint32_t>(m);
+    binary[b] = 1;
+    heap.push_back(m);
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  }
+  const std::size_t root = heap.front();
+
+  syn1hs_.assign((v - 1) * static_cast<std::size_t>(options_.dim), 0.0f);
+  for (std::size_t leaf = 0; leaf < v; ++leaf) {
+    std::vector<std::uint8_t> code;
+    std::vector<std::uint32_t> point;
+    std::size_t node = leaf;
+    while (node != root) {
+      code.push_back(binary[node]);
+      point.push_back(parent[node] - static_cast<std::uint32_t>(v));
+      node = parent[node];
+    }
+    hs_code_[leaf] = std::move(code);
+    hs_point_[leaf] = std::move(point);
+  }
+}
+
+void SkipGramModel::train_pair_hs(std::uint32_t input, std::uint32_t output,
+                                  float alpha, float* neu1e) {
+  const int dim = options_.dim;
+  float* in = syn0_.vec(input).data();
+  std::fill(neu1e, neu1e + dim, 0.0f);
+  const auto& code = hs_code_[output];
+  const auto& point = hs_point_[output];
+  for (std::size_t b = 0; b < code.size(); ++b) {
+    float* out = syn1hs_.data() + static_cast<std::size_t>(point[b]) *
+                                      static_cast<std::size_t>(dim);
+    double f = 0;
+    for (int k = 0; k < dim; ++k) f += double{in[k]} * out[k];
+    if (f <= -kMaxExp || f >= kMaxExp) {
+      // Saturated: gradient (label - sigmoid) is ~0 or ±1; follow
+      // word2vec.c and skip the update entirely.
+      continue;
+    }
+    const int idx = static_cast<int>((f + kMaxExp) *
+                                     (kExpTableSize / kMaxExp / 2.0));
+    const float g =
+        (1.0f - static_cast<float>(code[b]) - exp_table()[idx]) * alpha;
+    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
+    for (int k = 0; k < dim; ++k) out[k] += g * in[k];
+  }
+  for (int k = 0; k < dim; ++k) in[k] += neu1e[k];
+}
+
+void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
+                               std::uint32_t center, float alpha,
+                               std::uint64_t& rng_state, float* neu1,
+                               float* neu1e) {
+  const int dim = options_.dim;
+  std::fill(neu1, neu1 + dim, 0.0f);
+  std::fill(neu1e, neu1e + dim, 0.0f);
+  for (const std::uint32_t w : context) {
+    const float* v = syn0_.vec(w).data();
+    for (int k = 0; k < dim; ++k) neu1[k] += v[k];
+  }
+  const float inv = 1.0f / static_cast<float>(context.size());
+  for (int k = 0; k < dim; ++k) neu1[k] *= inv;
+
+  for (int d = 0; d <= options_.negative; ++d) {
+    std::uint32_t target;
+    float label;
+    if (d == 0) {
+      target = center;
+      label = 1.0f;
+    } else {
+      target = unigram_table_[next_rand(rng_state) % unigram_table_.size()];
+      if (target == center) continue;
+      label = 0.0f;
+    }
+    float* out = syn1neg_.data() + static_cast<std::size_t>(target) *
+                                       static_cast<std::size_t>(dim);
+    double f = 0;
+    for (int k = 0; k < dim; ++k) f += double{neu1[k]} * out[k];
+    float g;
+    if (f > kMaxExp) {
+      g = (label - 1.0f) * alpha;
+    } else if (f < -kMaxExp) {
+      g = label * alpha;
+    } else {
+      const int idx = static_cast<int>((f + kMaxExp) *
+                                       (kExpTableSize / kMaxExp / 2.0));
+      g = (label - exp_table()[idx]) * alpha;
+    }
+    if (g == 0.0f) continue;
+    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
+    for (int k = 0; k < dim; ++k) out[k] += g * neu1[k];
+  }
+  for (const std::uint32_t w : context) {
+    float* v = syn0_.vec(w).data();
+    for (int k = 0; k < dim; ++k) v[k] += neu1e[k];
+  }
+}
+
+TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
+  const auto t_start = std::chrono::steady_clock::now();
+  TrainStats stats;
+
+  std::vector<std::uint64_t> counts(vocab_, 0);
+  std::uint64_t total_tokens = 0;
+  for (const Sentence& s : sentences) {
+    for (const std::uint32_t w : s) {
+      if (w >= vocab_) throw std::out_of_range("SkipGram: word id >= vocab");
+      ++counts[w];
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return stats;
+  if (options_.hierarchical_softmax) {
+    build_huffman_tree(counts);
+  } else {
+    build_unigram_table(counts);
+  }
+
+  // Subsampling keep probabilities (word2vec formula).
+  std::vector<float> keep(vocab_, 1.0f);
+  if (options_.subsample > 0) {
+    const double t = options_.subsample;
+    for (std::size_t w = 0; w < vocab_; ++w) {
+      if (counts[w] == 0) continue;
+      const double f =
+          static_cast<double>(counts[w]) / static_cast<double>(total_tokens);
+      keep[w] = static_cast<float>(
+          std::min(1.0, (std::sqrt(f / t) + 1.0) * (t / f)));
+    }
+  }
+
+  const std::uint64_t total_work =
+      total_tokens * static_cast<std::uint64_t>(options_.epochs) + 1;
+  std::atomic<std::uint64_t> processed{0};
+  std::atomic<std::uint64_t> pairs_total{0};
+
+  const auto worker = [&](int tid, std::size_t lo, std::size_t hi,
+                          int epoch) {
+    std::vector<float> neu1e(static_cast<std::size_t>(options_.dim));
+    std::vector<float> neu1(static_cast<std::size_t>(options_.dim));
+    std::vector<std::uint32_t> context;
+    std::uint64_t rng = options_.seed * 0xD1342543DE82EF95ull +
+                        static_cast<std::uint64_t>(tid) * 0x9E3779B9ull +
+                        static_cast<std::uint64_t>(epoch) + 17;
+    std::uint64_t local_pairs = 0;
+    std::vector<std::uint32_t> sen;
+    for (std::size_t si = lo; si < hi; ++si) {
+      const Sentence& raw = sentences[si];
+      sen.clear();
+      for (const std::uint32_t w : raw) {
+        if (keep[w] >= 1.0f || rand_unit(rng) < keep[w]) sen.push_back(w);
+      }
+      const std::uint64_t done = processed.fetch_add(
+          raw.size(), std::memory_order_relaxed);
+      const double frac =
+          static_cast<double>(done) / static_cast<double>(total_work);
+      const float alpha = static_cast<float>(
+          std::max(options_.min_alpha, options_.alpha * (1.0 - frac)));
+      const auto n = static_cast<std::int64_t>(sen.size());
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t b =
+            options_.dynamic_window
+                ? 1 + static_cast<std::int64_t>(
+                          next_rand(rng) %
+                          static_cast<std::uint64_t>(options_.window))
+                : options_.window;
+        const std::int64_t jlo = std::max<std::int64_t>(0, i - b);
+        const std::int64_t jhi = std::min<std::int64_t>(n - 1, i + b);
+        if (options_.cbow) {
+          context.clear();
+          for (std::int64_t j = jlo; j <= jhi; ++j) {
+            if (j != i) context.push_back(sen[static_cast<std::size_t>(j)]);
+          }
+          if (!context.empty()) {
+            train_cbow(context, sen[static_cast<std::size_t>(i)], alpha,
+                       rng, neu1.data(), neu1e.data());
+            local_pairs += context.size();
+          }
+          continue;
+        }
+        for (std::int64_t j = jlo; j <= jhi; ++j) {
+          if (j == i) continue;
+          if (options_.hierarchical_softmax) {
+            train_pair_hs(sen[static_cast<std::size_t>(i)],
+                          sen[static_cast<std::size_t>(j)], alpha,
+                          neu1e.data());
+          } else {
+            train_pair(sen[static_cast<std::size_t>(i)],
+                       sen[static_cast<std::size_t>(j)], alpha, rng,
+                       neu1e.data());
+          }
+          ++local_pairs;
+        }
+      }
+    }
+    pairs_total.fetch_add(local_pairs, std::memory_order_relaxed);
+  };
+
+  const int threads = std::max(1, options_.threads);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (threads == 1) {
+      worker(0, 0, sentences.size(), epoch);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads));
+      const std::size_t chunk =
+          (sentences.size() + static_cast<std::size_t>(threads) - 1) /
+          static_cast<std::size_t>(threads);
+      for (int t = 0; t < threads; ++t) {
+        const std::size_t lo =
+            std::min(sentences.size(), static_cast<std::size_t>(t) * chunk);
+        const std::size_t hi = std::min(sentences.size(), lo + chunk);
+        pool.emplace_back(worker, t, lo, hi, epoch);
+      }
+      for (std::thread& th : pool) th.join();
+    }
+  }
+
+  stats.tokens = processed.load();
+  stats.pairs = pairs_total.load();
+  pairs_trained_ += stats.pairs;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return stats;
+}
+
+TrainStats SkipGramModel::train_pairs(
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs) {
+  const auto t_start = std::chrono::steady_clock::now();
+  TrainStats stats;
+  if (pairs.empty()) return stats;
+
+  std::vector<std::uint64_t> counts(vocab_, 0);
+  for (const auto& [in, out] : pairs) {
+    if (in >= vocab_ || out >= vocab_) {
+      throw std::out_of_range("SkipGram: word id >= vocab");
+    }
+    ++counts[out];
+  }
+  build_unigram_table(counts);
+
+  const std::uint64_t total_work =
+      pairs.size() * static_cast<std::uint64_t>(options_.epochs) + 1;
+  std::vector<float> neu1e(static_cast<std::size_t>(options_.dim));
+  std::uint64_t rng = options_.seed * 0xD1342543DE82EF95ull + 29;
+  std::uint64_t done = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& [in, out] : pairs) {
+      const double frac =
+          static_cast<double>(done) / static_cast<double>(total_work);
+      const float alpha = static_cast<float>(
+          std::max(options_.min_alpha, options_.alpha * (1.0 - frac)));
+      train_pair(in, out, alpha, rng, neu1e.data());
+      ++done;
+    }
+  }
+  stats.tokens = done;
+  stats.pairs = done;
+  pairs_trained_ += done;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return stats;
+}
+
+}  // namespace darkvec::w2v

@@ -1,0 +1,141 @@
+#include "darkvec/baselines/dante.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::baselines {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::Protocol;
+
+Packet pkt(std::int64_t offset, IPv4 src, std::uint16_t port) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_port = port;
+  return p;
+}
+
+const IPv4 kA{10, 0, 0, 1};
+const IPv4 kB{10, 0, 0, 2};
+const IPv4 kC{10, 0, 0, 3};
+
+DanteOptions fast_options() {
+  DanteOptions o;
+  o.w2v.dim = 8;
+  o.w2v.epochs = 5;
+  o.w2v.subsample = 0;
+  return o;
+}
+
+TEST(Dante, SentencesSplitBySenderAndWindow) {
+  net::Trace t;
+  // kA: 3 packets in window 0, 2 in window 1. kB: 2 in window 0.
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kA, 80));
+  t.push_back(pkt(30, kA, 23));
+  t.push_back(pkt(40, kB, 443));
+  t.push_back(pkt(50, kB, 443));
+  t.push_back(pkt(3 * 3600 + 10, kA, 23));
+  t.push_back(pkt(3 * 3600 + 20, kA, 80));
+  t.sort();
+  const std::vector<IPv4> senders = {kA, kB};
+  const DanteResult r = run_dante(t, senders, fast_options());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.sentences, 3u);  // (kA,w0), (kB,w0), (kA,w1)
+  EXPECT_EQ(r.senders.size(), 2u);
+}
+
+TEST(Dante, SkipgramCountMatchesHandComputation) {
+  net::Trace t;
+  // One sender, one window, 3 ports; DANTE window c=5 covers the whole
+  // sentence: 3*2 = 6 ordered pairs.
+  t.push_back(pkt(10, kA, 1));
+  t.push_back(pkt(20, kA, 2));
+  t.push_back(pkt(30, kA, 3));
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const DanteResult r = run_dante(t, senders, fast_options());
+  EXPECT_EQ(r.skipgrams_per_epoch, 6u);
+}
+
+TEST(Dante, PairBudgetTriggersDnf) {
+  net::Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back(pkt(10 + i, kA, static_cast<std::uint16_t>(i % 7)));
+  }
+  t.sort();
+  DanteOptions o = fast_options();
+  o.max_pairs_per_epoch = 10;  // far below the real count
+  const std::vector<IPv4> senders = {kA};
+  const DanteResult r = run_dante(t, senders, o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.skipgrams_per_epoch, 10u);
+  EXPECT_EQ(r.sender_vectors.size(), 0u);
+  EXPECT_EQ(r.train_seconds, 0.0);
+}
+
+TEST(Dante, SimilarPortSequencesYieldSimilarSenders) {
+  net::Trace t;
+  // kA and kB both alternate ports {23, 2323}; kC uses {80, 443}.
+  for (int i = 0; i < 120; ++i) {
+    const auto offset = static_cast<std::int64_t>(i * 60);
+    t.push_back(pkt(offset, kA, i % 2 == 0 ? 23 : 2323));
+    t.push_back(pkt(offset + 1, kB, i % 2 == 0 ? 2323 : 23));
+    t.push_back(pkt(offset + 2, kC, i % 2 == 0 ? 80 : 443));
+  }
+  t.sort();
+  const std::vector<IPv4> senders = {kA, kB, kC};
+  DanteOptions o = fast_options();
+  o.w2v.epochs = 20;
+  const DanteResult r = run_dante(t, senders, o);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.sender_vectors.size(), 3u);
+  const double ab = r.sender_vectors.cosine(0, 1);
+  const double ac = r.sender_vectors.cosine(0, 2);
+  EXPECT_GT(ab, ac + 0.2);
+}
+
+TEST(Dante, IgnoresSendersOutsideList) {
+  net::Trace t;
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kA, 23));
+  t.push_back(pkt(30, kB, 23));
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const DanteResult r = run_dante(t, senders, fast_options());
+  EXPECT_EQ(r.senders.size(), 1u);
+  EXPECT_EQ(r.senders[0], kA);
+}
+
+TEST(Dante, EmptyInputs) {
+  const std::vector<IPv4> senders = {kA};
+  EXPECT_FALSE(run_dante(net::Trace{}, senders, fast_options()).completed);
+  net::Trace t;
+  t.push_back(pkt(1, kA, 23));
+  EXPECT_FALSE(run_dante(t, {}, fast_options()).completed);
+}
+
+TEST(Dante, SenderVectorRowsAlignWithSenders) {
+  net::Trace t;
+  t.push_back(pkt(10, kB, 23));
+  t.push_back(pkt(20, kB, 23));
+  t.push_back(pkt(30, kA, 80));
+  t.push_back(pkt(40, kA, 80));
+  t.sort();
+  const std::vector<IPv4> senders = {kA, kB};
+  const DanteResult r = run_dante(t, senders, fast_options());
+  ASSERT_TRUE(r.completed);
+  // Row order follows first appearance in the trace: kB first.
+  ASSERT_EQ(r.senders.size(), 2u);
+  EXPECT_EQ(r.senders[0], kB);
+  EXPECT_EQ(r.senders[1], kA);
+  EXPECT_EQ(r.sender_vectors.size(), 2u);
+}
+
+}  // namespace
+}  // namespace darkvec::baselines

@@ -1,0 +1,143 @@
+#include "darkvec/baselines/ip2vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::baselines {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::Protocol;
+
+Packet pkt(std::int64_t offset, IPv4 src, std::uint16_t port,
+           std::uint8_t dst_host = 1, Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_host = dst_host;
+  p.dst_port = port;
+  p.proto = proto;
+  return p;
+}
+
+const IPv4 kA{10, 0, 0, 1};
+const IPv4 kB{10, 0, 0, 2};
+const IPv4 kC{10, 0, 0, 3};
+
+Ip2VecOptions fast_options() {
+  Ip2VecOptions o;
+  o.w2v.dim = 8;
+  o.w2v.epochs = 5;
+  o.w2v.subsample = 0;
+  return o;
+}
+
+TEST(Ip2Vec, FivePairsPerFlow) {
+  net::Trace t;
+  t.push_back(pkt(10, kA, 22));
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const Ip2VecResult r = run_ip2vec(t, senders, fast_options());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.flows, 1u);
+  EXPECT_EQ(r.pairs_per_epoch, 5u);
+}
+
+TEST(Ip2Vec, RepeatedPacketsCollapseIntoOneFlow) {
+  net::Trace t;
+  // Same 5-tuple within the flow window: one flow.
+  for (int i = 0; i < 10; ++i) t.push_back(pkt(10 + i, kA, 22));
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const Ip2VecResult r = run_ip2vec(t, senders, fast_options());
+  EXPECT_EQ(r.flows, 1u);
+}
+
+TEST(Ip2Vec, NewWindowReopensFlow) {
+  net::Trace t;
+  t.push_back(pkt(10, kA, 22));
+  t.push_back(pkt(10 + 10 * 60 + 5, kA, 22));  // past the 10-min window
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const Ip2VecResult r = run_ip2vec(t, senders, fast_options());
+  EXPECT_EQ(r.flows, 2u);
+}
+
+TEST(Ip2Vec, DistinctTuplesAreDistinctFlows) {
+  net::Trace t;
+  t.push_back(pkt(10, kA, 22));
+  t.push_back(pkt(11, kA, 23));                      // different port
+  t.push_back(pkt(12, kA, 22, 2));                   // different dst
+  t.push_back(pkt(13, kA, 22, 1, Protocol::kUdp));   // different proto
+  t.sort();
+  const std::vector<IPv4> senders = {kA};
+  const Ip2VecResult r = run_ip2vec(t, senders, fast_options());
+  EXPECT_EQ(r.flows, 4u);
+  EXPECT_EQ(r.pairs_per_epoch, 20u);
+}
+
+TEST(Ip2Vec, PairBudgetTriggersDnf) {
+  net::Trace t;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back(pkt(10 + i, kA, static_cast<std::uint16_t>(1000 + i)));
+  }
+  t.sort();
+  Ip2VecOptions o = fast_options();
+  o.max_pairs_per_epoch = 20;
+  const std::vector<IPv4> senders = {kA};
+  const Ip2VecResult r = run_ip2vec(t, senders, o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.sender_vectors.size(), 0u);
+}
+
+TEST(Ip2Vec, SenderVectorsCoverRequestedSenders) {
+  net::Trace t;
+  t.push_back(pkt(10, kA, 22));
+  t.push_back(pkt(20, kB, 23));
+  t.push_back(pkt(30, kC, 445));
+  t.sort();
+  const std::vector<IPv4> senders = {kA, kB};  // kC not requested
+  const Ip2VecResult r = run_ip2vec(t, senders, fast_options());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.senders.size(), 2u);
+  EXPECT_EQ(r.sender_vectors.size(), 2u);
+  EXPECT_EQ(r.sender_vectors.dim(), 8);
+}
+
+TEST(Ip2Vec, SharedFlowStructureYieldsSimilarSenders) {
+  net::Trace t;
+  // kA and kB target the same (port, dst) mix; kC a disjoint one. Spread
+  // flows over many windows so each pair repeats.
+  for (int w = 0; w < 150; ++w) {
+    const auto base = static_cast<std::int64_t>(w) * 11 * 60;
+    t.push_back(pkt(base + 0, kA, 23, 1));
+    t.push_back(pkt(base + 1, kB, 23, 1));
+    t.push_back(pkt(base + 2, kA, 2323, 2));
+    t.push_back(pkt(base + 3, kB, 2323, 2));
+    t.push_back(pkt(base + 4, kC, 443, 3));
+    t.push_back(pkt(base + 5, kC, 80, 4));
+  }
+  t.sort();
+  const std::vector<IPv4> senders = {kA, kB, kC};
+  Ip2VecOptions o = fast_options();
+  o.w2v.epochs = 10;
+  const Ip2VecResult r = run_ip2vec(t, senders, o);
+  ASSERT_TRUE(r.completed);
+  const double ab = r.sender_vectors.cosine(0, 1);
+  const double ac = r.sender_vectors.cosine(0, 2);
+  EXPECT_GT(ab, ac + 0.2);
+}
+
+TEST(Ip2Vec, EmptyInputs) {
+  const std::vector<IPv4> senders = {kA};
+  EXPECT_FALSE(run_ip2vec(net::Trace{}, senders, fast_options()).completed);
+  net::Trace t;
+  t.push_back(pkt(1, kA, 23));
+  EXPECT_FALSE(run_ip2vec(t, {}, fast_options()).completed);
+}
+
+}  // namespace
+}  // namespace darkvec::baselines

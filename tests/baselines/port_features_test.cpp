@@ -1,0 +1,132 @@
+#include "darkvec/baselines/port_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace darkvec::baselines {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::PortKey;
+using net::Protocol;
+
+const IPv4 kBot{10, 1, 0, 1};
+const IPv4 kScan{10, 2, 0, 1};
+const IPv4 kNoise{10, 3, 0, 1};
+
+Packet pkt(std::int64_t ts, IPv4 src, std::uint16_t port) {
+  Packet p;
+  p.ts = ts;
+  p.src = src;
+  p.dst_port = port;
+  return p;
+}
+
+net::Trace labeled_trace() {
+  net::Trace t;
+  // Botnet: 23 (x3), 2323 (x1). Scanner: 80 (x2), 443 (x2). Noise: 9999.
+  t.push_back(pkt(1, kBot, 23));
+  t.push_back(pkt(2, kBot, 23));
+  t.push_back(pkt(3, kBot, 23));
+  t.push_back(pkt(4, kBot, 2323));
+  t.push_back(pkt(5, kScan, 80));
+  t.push_back(pkt(6, kScan, 443));
+  t.push_back(pkt(7, kScan, 80));
+  t.push_back(pkt(8, kScan, 443));
+  t.push_back(pkt(9, kNoise, 9999));
+  t.sort();
+  return t;
+}
+
+sim::LabelMap labels() {
+  return {{kBot, sim::GtClass::kMirai}, {kScan, sim::GtClass::kCensys}};
+}
+
+TEST(PortFeatures, ColumnsAreUnionOfPerClassTopPorts) {
+  const std::vector<IPv4> senders = {kBot, kScan, kNoise};
+  const PortFeatures f = build_port_features(labeled_trace(), senders,
+                                             labels(), 5);
+  // All five distinct ports qualify (each class has <= 5 ports).
+  EXPECT_EQ(f.ports.size(), 5u);
+  EXPECT_TRUE(std::ranges::is_sorted(f.ports));
+  EXPECT_TRUE(std::ranges::find(f.ports, PortKey{23, Protocol::kTcp}) !=
+              f.ports.end());
+  EXPECT_TRUE(std::ranges::find(f.ports, PortKey{9999, Protocol::kTcp}) !=
+              f.ports.end());  // Unknown class contributes its ports too
+}
+
+TEST(PortFeatures, TopPortsPerClassCapRespected) {
+  net::Trace t;
+  // One class sender spreading over 8 ports, weights descending.
+  for (std::uint16_t p = 1; p <= 8; ++p) {
+    for (int i = 0; i <= 8 - p; ++i) {
+      t.push_back(pkt(p * 100 + i, kBot, p));
+    }
+  }
+  t.sort();
+  const std::vector<IPv4> senders = {kBot};
+  const PortFeatures f = build_port_features(
+      t, senders, {{kBot, sim::GtClass::kMirai}}, 3);
+  EXPECT_EQ(f.ports.size(), 3u);
+  // The three busiest ports are 1, 2, 3.
+  for (const PortKey& k : f.ports) EXPECT_LE(k.port, 3);
+}
+
+TEST(PortFeatures, RowsAreTrafficFractions) {
+  const std::vector<IPv4> senders = {kBot, kScan, kNoise};
+  const PortFeatures f = build_port_features(labeled_trace(), senders,
+                                             labels(), 5);
+  const auto col = [&](PortKey key) {
+    return static_cast<std::size_t>(
+        std::distance(f.ports.begin(), std::ranges::find(f.ports, key)));
+  };
+  const auto row_bot = f.matrix.vec(0);
+  EXPECT_FLOAT_EQ(row_bot[col(PortKey{23, Protocol::kTcp})], 0.75f);
+  EXPECT_FLOAT_EQ(row_bot[col(PortKey{2323, Protocol::kTcp})], 0.25f);
+  const auto row_scan = f.matrix.vec(1);
+  EXPECT_FLOAT_EQ(row_scan[col(PortKey{80, Protocol::kTcp})], 0.5f);
+  EXPECT_FLOAT_EQ(row_scan[col(PortKey{443, Protocol::kTcp})], 0.5f);
+}
+
+TEST(PortFeatures, RowSumsAtMostOne) {
+  const std::vector<IPv4> senders = {kBot, kScan, kNoise};
+  const PortFeatures f = build_port_features(labeled_trace(), senders,
+                                             labels(), 1);
+  for (std::size_t r = 0; r < senders.size(); ++r) {
+    float sum = 0;
+    for (const float v : f.matrix.vec(r)) sum += v;
+    EXPECT_LE(sum, 1.0f + 1e-6f);
+  }
+}
+
+TEST(PortFeatures, SendersOutsideListIgnored) {
+  const std::vector<IPv4> senders = {kBot};
+  const PortFeatures f = build_port_features(labeled_trace(), senders,
+                                             labels(), 5);
+  EXPECT_EQ(f.senders.size(), 1u);
+  EXPECT_EQ(f.matrix.size(), 1u);
+  // Scanner ports never observed among requested senders.
+  EXPECT_TRUE(std::ranges::find(f.ports, PortKey{80, Protocol::kTcp}) ==
+              f.ports.end());
+}
+
+TEST(PortFeatures, SenderWithNoPacketsGetsZeroRow) {
+  const IPv4 ghost{99, 99, 99, 99};
+  const std::vector<IPv4> senders = {kBot, ghost};
+  const PortFeatures f = build_port_features(labeled_trace(), senders,
+                                             labels(), 5);
+  for (const float v : f.matrix.vec(1)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(PortFeatures, EmptyTrace) {
+  const std::vector<IPv4> senders = {kBot};
+  const PortFeatures f =
+      build_port_features(net::Trace{}, senders, labels(), 5);
+  EXPECT_EQ(f.ports.size(), 0u);
+  EXPECT_EQ(f.senders.size(), 1u);
+}
+
+}  // namespace
+}  // namespace darkvec::baselines

@@ -1,0 +1,130 @@
+#include "darkvec/core/darkvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+sim::SimResult tiny_sim(int days = 5, std::uint64_t seed = 11) {
+  sim::SimConfig config;
+  config.days = days;
+  config.seed = seed;
+  return sim::DarknetSimulator(config).run(sim::tiny_scenario());
+}
+
+DarkVecConfig fast_config() {
+  DarkVecConfig c;
+  c.w2v.dim = 16;
+  c.w2v.epochs = 5;
+  c.w2v.seed = 3;
+  return c;
+}
+
+TEST(DarkVec, FitBuildsCorpusAndEmbedding) {
+  const auto sim = tiny_sim();
+  DarkVec dv(fast_config());
+  const auto stats = dv.fit(sim.trace);
+  EXPECT_GT(dv.corpus().vocabulary_size(), 50u);
+  EXPECT_EQ(dv.embedding().size(), dv.corpus().vocabulary_size());
+  EXPECT_EQ(dv.embedding().dim(), 16);
+  EXPECT_GT(stats.pairs, 0u);
+  EXPECT_GT(stats.tokens, 0u);
+}
+
+TEST(DarkVec, EmbeddingBeforeFitThrows) {
+  DarkVec dv(fast_config());
+  EXPECT_THROW((void)dv.embedding(), std::logic_error);
+}
+
+TEST(DarkVec, IndexOfMapsActiveSenders) {
+  const auto sim = tiny_sim();
+  DarkVec dv(fast_config());
+  dv.fit(sim.trace);
+  for (std::size_t i = 0; i < dv.corpus().words.size(); ++i) {
+    const auto idx = dv.index_of(dv.corpus().words[i]);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_FALSE(dv.index_of(net::IPv4{1, 1, 1, 1}).has_value());
+}
+
+TEST(DarkVec, ActivityFilterAppliesToEmbedding) {
+  const auto sim = tiny_sim();
+  DarkVecConfig config = fast_config();
+  config.corpus.min_packets = 10;
+  DarkVec dv(config);
+  dv.fit(sim.trace);
+  const auto totals = sim.trace.packets_per_sender();
+  for (const net::IPv4 ip : dv.corpus().words) {
+    EXPECT_GE(totals.at(ip), 10u);
+  }
+}
+
+TEST(DarkVec, DeterministicEndToEnd) {
+  const auto sim = tiny_sim();
+  DarkVec dv1(fast_config());
+  DarkVec dv2(fast_config());
+  dv1.fit(sim.trace);
+  dv2.fit(sim.trace);
+  EXPECT_EQ(dv1.embedding().data(), dv2.embedding().data());
+}
+
+class ServiceStrategyFit
+    : public ::testing::TestWithParam<corpus::ServiceStrategy> {};
+
+TEST_P(ServiceStrategyFit, AllStrategiesTrainSuccessfully) {
+  const auto sim = tiny_sim();
+  DarkVecConfig config = fast_config();
+  config.services = GetParam();
+  DarkVec dv(config);
+  const auto stats = dv.fit(sim.trace);
+  EXPECT_GT(stats.pairs, 0u);
+  EXPECT_GT(dv.corpus().vocabulary_size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ServiceStrategyFit,
+                         ::testing::Values(corpus::ServiceStrategy::kSingle,
+                                           corpus::ServiceStrategy::kAuto,
+                                           corpus::ServiceStrategy::kDomain));
+
+TEST(DarkVec, ClusteringCoversAllWords) {
+  const auto sim = tiny_sim();
+  DarkVec dv(fast_config());
+  dv.fit(sim.trace);
+  const Clustering c = dv.cluster(3);
+  EXPECT_EQ(c.assignment.size(), dv.corpus().vocabulary_size());
+  EXPECT_GT(c.count, 1);
+  EXPECT_GT(c.modularity, 0.0);
+  for (const int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, c.count);
+  }
+}
+
+TEST(DarkVec, RefitResetsState) {
+  const auto sim1 = tiny_sim(5, 11);
+  const auto sim2 = tiny_sim(3, 22);
+  DarkVec dv(fast_config());
+  dv.fit(sim1.trace);
+  const std::size_t size1 = dv.corpus().vocabulary_size();
+  dv.fit(sim2.trace);
+  // New corpus replaces the old one and knn index is rebuilt lazily.
+  EXPECT_NE(dv.corpus().vocabulary_size(), 0u);
+  EXPECT_EQ(dv.knn().size(), dv.corpus().vocabulary_size());
+  (void)size1;
+}
+
+TEST(DarkVec, LargerKPrimeMergesClusters) {
+  const auto sim = tiny_sim();
+  DarkVec dv(fast_config());
+  dv.fit(sim.trace);
+  const Clustering fine = dv.cluster(1);
+  const Clustering coarse = dv.cluster(8);
+  EXPECT_GE(fine.count, coarse.count);
+}
+
+}  // namespace
+}  // namespace darkvec

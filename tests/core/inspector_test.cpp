@@ -1,0 +1,161 @@
+#include "darkvec/core/inspector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::PortKey;
+using net::Protocol;
+
+Packet pkt(std::int64_t offset, IPv4 src, std::uint16_t port,
+           bool fingerprint = false) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_port = port;
+  p.mirai_fingerprint = fingerprint;
+  return p;
+}
+
+// Cluster 0: two bots in the same /24 hitting 23 with fingerprints.
+// Cluster 1: one scanner hitting 80/443.
+const IPv4 kBot1{10, 5, 5, 1};
+const IPv4 kBot2{10, 5, 5, 2};
+const IPv4 kScan{172, 16, 0, 1};
+
+struct Fixture {
+  net::Trace trace;
+  corpus::Corpus corpus;
+  std::vector<int> assignment;
+  sim::GroupMap oracle;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  f.trace.push_back(pkt(1, kBot1, 23, true));
+  f.trace.push_back(pkt(2, kBot1, 23, true));
+  f.trace.push_back(pkt(3, kBot1, 2323, true));
+  f.trace.push_back(pkt(4, kBot2, 23, false));
+  f.trace.push_back(pkt(5, kScan, 80));
+  f.trace.push_back(pkt(6, kScan, 443));
+  f.trace.sort();
+  f.corpus.words = {kBot1, kBot2, kScan};
+  for (std::size_t i = 0; i < 3; ++i) {
+    f.corpus.ids.emplace(f.corpus.words[i],
+                         static_cast<corpus::WordId>(i));
+  }
+  f.assignment = {0, 0, 1};
+  f.oracle = {{kBot1, "mirai"}, {kBot2, "mirai"}, {kScan, "shodan"}};
+  return f;
+}
+
+TEST(Inspector, ClusterSizesAndOrdering) {
+  const Fixture f = make_fixture();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Sorted by decreasing size.
+  EXPECT_EQ(clusters[0].size(), 2u);
+  EXPECT_EQ(clusters[1].size(), 1u);
+  EXPECT_EQ(clusters[0].id, 0);
+}
+
+TEST(Inspector, PacketAndPortStatistics) {
+  const Fixture f = make_fixture();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  const ClusterInfo& bots = clusters[0];
+  EXPECT_EQ(bots.packets, 4u);
+  ASSERT_EQ(bots.ports.size(), 2u);
+  ASSERT_FALSE(bots.top_ports.empty());
+  EXPECT_EQ(bots.top_ports[0].first, (PortKey{23, Protocol::kTcp}));
+  EXPECT_DOUBLE_EQ(bots.top_ports[0].second, 0.75);
+  EXPECT_DOUBLE_EQ(bots.top_ports[1].second, 0.25);
+}
+
+TEST(Inspector, SubnetStatistics) {
+  const Fixture f = make_fixture();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  EXPECT_EQ(clusters[0].distinct_slash24, 1u);
+  EXPECT_EQ(clusters[0].distinct_slash16, 1u);
+  EXPECT_EQ(clusters[1].distinct_slash24, 1u);
+}
+
+TEST(Inspector, FingerprintFractionCountsSenders) {
+  const Fixture f = make_fixture();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  // Only kBot1 sent fingerprinted packets: 1 of 2 members.
+  EXPECT_DOUBLE_EQ(clusters[0].fingerprint_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(clusters[1].fingerprint_fraction, 0.0);
+}
+
+TEST(Inspector, OracleComposition) {
+  const Fixture f = make_fixture();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  EXPECT_EQ(clusters[0].dominant_group, "mirai");
+  EXPECT_DOUBLE_EQ(clusters[0].dominant_fraction, 1.0);
+  EXPECT_EQ(clusters[0].group_composition.at("mirai"), 2u);
+  EXPECT_EQ(clusters[1].dominant_group, "shodan");
+}
+
+TEST(Inspector, SilhouettePassThrough) {
+  const Fixture f = make_fixture();
+  const std::vector<double> sil = {0.8, 0.6, 0.4};
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle, sil);
+  EXPECT_NEAR(clusters[0].silhouette, 0.7, 1e-12);
+  EXPECT_NEAR(clusters[1].silhouette, 0.4, 1e-12);
+}
+
+TEST(Inspector, MissingOracleEntriesBecomeQuestionMark) {
+  Fixture f = make_fixture();
+  f.oracle.erase(kScan);
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  EXPECT_EQ(clusters[1].dominant_group, "?");
+}
+
+TEST(Inspector, PacketsFromNonMembersIgnored) {
+  Fixture f = make_fixture();
+  f.trace.push_back(pkt(100, IPv4{9, 9, 9, 9}, 23));
+  f.trace.sort();
+  const auto clusters =
+      inspect_clusters(f.trace, f.corpus, f.assignment, f.oracle);
+  EXPECT_EQ(clusters[0].packets + clusters[1].packets, 6u);
+}
+
+TEST(PortJaccard, BetweenClusters) {
+  ClusterInfo a;
+  a.ports = {{23, Protocol::kTcp}, {80, Protocol::kTcp}};
+  ClusterInfo b;
+  b.ports = {{80, Protocol::kTcp}, {443, Protocol::kTcp}};
+  EXPECT_NEAR(port_jaccard(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PortJaccard, MeanPairwise) {
+  ClusterInfo a;
+  a.ports = {{1, Protocol::kTcp}};
+  ClusterInfo b;
+  b.ports = {{1, Protocol::kTcp}};
+  ClusterInfo c;
+  c.ports = {{2, Protocol::kTcp}};
+  const std::vector<ClusterInfo> clusters = {a, b, c};
+  // Pairs: (a,b)=1, (a,c)=0, (b,c)=0 -> mean 1/3.
+  EXPECT_NEAR(mean_pairwise_port_jaccard(clusters), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PortJaccard, FewerThanTwoClusters) {
+  const std::vector<ClusterInfo> one(1);
+  EXPECT_EQ(mean_pairwise_port_jaccard(one), 0.0);
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -1,0 +1,73 @@
+#include "darkvec/core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace darkvec {
+namespace {
+
+SenderModel small_model() {
+  SenderModel model;
+  model.senders = {net::IPv4{10, 0, 0, 1}, net::IPv4{192, 168, 1, 2},
+                   net::IPv4{172, 16, 0, 3}};
+  model.embedding = w2v::Embedding(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (int d = 0; d < 4; ++d) {
+      model.embedding.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(i * 10 + d);
+    }
+  }
+  return model;
+}
+
+TEST(ModelIo, RoundTrip) {
+  const SenderModel original = small_model();
+  const std::string prefix = ::testing::TempDir() + "/darkvec_model";
+  save_model(prefix, original);
+  const SenderModel loaded = load_model(prefix);
+  EXPECT_EQ(loaded.senders, original.senders);
+  EXPECT_EQ(loaded.embedding.data(), original.embedding.data());
+  EXPECT_EQ(loaded.embedding.dim(), 4);
+}
+
+TEST(ModelIo, IndexOf) {
+  const SenderModel model = small_model();
+  EXPECT_EQ(model.index_of(net::IPv4{192, 168, 1, 2}), 1);
+  EXPECT_EQ(model.index_of(net::IPv4{9, 9, 9, 9}), -1);
+}
+
+TEST(ModelIo, SaveRejectsMismatchedSizes) {
+  SenderModel model = small_model();
+  model.senders.pop_back();
+  EXPECT_THROW(save_model(::testing::TempDir() + "/bad", model),
+               std::invalid_argument);
+}
+
+TEST(ModelIo, LoadRejectsMissingFiles) {
+  EXPECT_THROW(load_model("/nonexistent/prefix"), std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsVocabMismatch) {
+  const SenderModel original = small_model();
+  const std::string prefix = ::testing::TempDir() + "/darkvec_model_short";
+  save_model(prefix, original);
+  // Truncate the vocab file.
+  std::ofstream vocab(prefix + ".vocab");
+  vocab << "10.0.0.1\n";
+  vocab.close();
+  EXPECT_THROW(load_model(prefix), std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsBadAddress) {
+  const SenderModel original = small_model();
+  const std::string prefix = ::testing::TempDir() + "/darkvec_model_badip";
+  save_model(prefix, original);
+  std::ofstream vocab(prefix + ".vocab");
+  vocab << "10.0.0.1\nnot-an-ip\n172.16.0.3\n";
+  vocab.close();
+  EXPECT_THROW(load_model(prefix), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -1,0 +1,95 @@
+#include "darkvec/core/raster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+
+Packet pkt(std::int64_t offset, IPv4 src) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_port = 23;
+  return p;
+}
+
+const IPv4 kA{10, 0, 0, 1};
+const IPv4 kB{10, 0, 0, 2};
+
+TEST(Raster, MarksActiveBuckets) {
+  net::Trace t;
+  t.push_back(pkt(0, kA));
+  t.push_back(pkt(250, kB));
+  t.push_back(pkt(310, kA));
+  t.sort();
+  const auto raster = build_raster(t, {kA, kB}, 100);
+  ASSERT_EQ(raster.senders.size(), 2u);
+  ASSERT_EQ(raster.buckets(), 4u);
+  EXPECT_TRUE(raster.presence[0][0]);
+  EXPECT_FALSE(raster.presence[0][1]);
+  EXPECT_FALSE(raster.presence[0][2]);
+  EXPECT_TRUE(raster.presence[0][3]);
+  EXPECT_FALSE(raster.presence[1][0]);
+  EXPECT_TRUE(raster.presence[1][2]);
+}
+
+TEST(Raster, SendersWithoutPacketsStayEmpty) {
+  net::Trace t;
+  t.push_back(pkt(0, kA));
+  const auto raster = build_raster(t, {kB}, 100);
+  ASSERT_EQ(raster.presence.size(), 1u);
+  for (const bool b : raster.presence[0]) EXPECT_FALSE(b);
+}
+
+TEST(Raster, EmptyInputs) {
+  EXPECT_EQ(build_raster(net::Trace{}, {kA}, 100).buckets(), 0u);
+  net::Trace t;
+  t.push_back(pkt(0, kA));
+  EXPECT_TRUE(build_raster(t, {}, 100).presence.empty());
+  EXPECT_TRUE(build_raster(t, {kA}, 0).presence.empty());
+}
+
+TEST(Raster, RenderShowsHashesAndDots) {
+  net::Trace t;
+  t.push_back(pkt(0, kA));
+  t.push_back(pkt(250, kA));
+  t.sort();
+  const auto raster = build_raster(t, {kA, kB}, 100);
+  const std::string art = render_raster(raster, 0);
+  EXPECT_EQ(art, "#.#\n...\n");
+}
+
+TEST(Raster, RenderSubsamplesRows) {
+  net::Trace t;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(pkt(i, IPv4{10, 0, 0, static_cast<std::uint8_t>(i)}));
+  }
+  t.sort();
+  std::vector<IPv4> senders;
+  for (int i = 0; i < 20; ++i) {
+    senders.push_back(IPv4{10, 0, 0, static_cast<std::uint8_t>(i)});
+  }
+  const auto raster = build_raster(t, senders, 100);
+  const std::string art = render_raster(raster, 5);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+TEST(Raster, SendersByFirstSeenOrder) {
+  net::Trace t;
+  t.push_back(pkt(10, kB));
+  t.push_back(pkt(20, kA));
+  t.push_back(pkt(30, kB));
+  t.sort();
+  const auto order = senders_by_first_seen(t);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], kB);
+  EXPECT_EQ(order[1], kA);
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -1,0 +1,178 @@
+#include "darkvec/core/semi_supervised.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+
+Packet pkt(std::int64_t offset, IPv4 src, std::uint16_t port = 23) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_port = port;
+  return p;
+}
+
+TEST(LastDayActive, RequiresLastDayPresenceAndGlobalActivity) {
+  const IPv4 active_lastday{10, 0, 0, 1};
+  const IPv4 active_early{10, 0, 0, 2};
+  const IPv4 light_lastday{10, 0, 0, 3};
+  net::Trace t;
+  for (int i = 0; i < 12; ++i) {
+    t.push_back(pkt(i * 3600, active_lastday));
+    t.push_back(pkt(i * 3600 + 1, active_early));
+  }
+  // active_lastday reappears on the final day; active_early does not.
+  t.push_back(pkt(5 * net::kSecondsPerDay - 100, active_lastday));
+  t.push_back(pkt(5 * net::kSecondsPerDay - 90, light_lastday));
+  t.sort();
+  const auto eval = last_day_active_senders(t, 10);
+  ASSERT_EQ(eval.size(), 1u);
+  EXPECT_EQ(eval[0], active_lastday);
+}
+
+TEST(LastDayActive, EmptyTrace) {
+  EXPECT_TRUE(last_day_active_senders(net::Trace{}, 10).empty());
+}
+
+TEST(LastDayActive, ResultIsSortedAndUnique) {
+  net::Trace t;
+  for (int s = 5; s >= 1; --s) {
+    for (int i = 0; i < 12; ++i) {
+      t.push_back(pkt(i * 7000,
+                      IPv4{10, 0, 0, static_cast<std::uint8_t>(s)}));
+    }
+  }
+  t.sort();
+  const auto eval = last_day_active_senders(t, 10);
+  EXPECT_TRUE(std::ranges::is_sorted(eval));
+  EXPECT_EQ(std::ranges::adjacent_find(eval), eval.end());
+}
+
+// ---- end-to-end semi-supervised fixture ----------------------------------
+
+class SemiSupervised : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config;
+    config.days = 7;
+    config.seed = 5;
+    sim_ = new sim::SimResult(
+        sim::DarknetSimulator(config).run(sim::tiny_scenario()));
+    DarkVecConfig dv_config;
+    dv_config.w2v.dim = 24;
+    dv_config.w2v.epochs = 8;
+    dv_config.w2v.seed = 9;
+    dv_ = new DarkVec(dv_config);
+    dv_->fit(sim_->trace);
+  }
+  static void TearDownTestSuite() {
+    delete dv_;
+    delete sim_;
+    dv_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static sim::SimResult* sim_;
+  static DarkVec* dv_;
+};
+
+sim::SimResult* SemiSupervised::sim_ = nullptr;
+DarkVec* SemiSupervised::dv_ = nullptr;
+
+TEST_F(SemiSupervised, HighAccuracyOnToyScenario) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  EXPECT_GT(eval.accuracy, 0.9);
+  EXPECT_GT(eval.covered, 0u);
+}
+
+TEST_F(SemiSupervised, CoverageCountsEmbeddedEvalSenders) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  EXPECT_EQ(eval.total, eval_ips.size());
+  EXPECT_LE(eval.covered, eval.total);
+  EXPECT_GT(eval.coverage(), 0.9);
+}
+
+TEST_F(SemiSupervised, MissingSendersReduceCoverage) {
+  std::vector<IPv4> eval_ips = last_day_active_senders(sim_->trace);
+  const std::size_t real = eval_ips.size();
+  eval_ips.push_back(IPv4{1, 2, 3, 4});  // never seen
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  EXPECT_EQ(eval.total, real + 1);
+  EXPECT_LE(eval.covered, real);
+}
+
+TEST_F(SemiSupervised, ReportSupportsMatchLabels) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  std::size_t labeled = 0;
+  for (const IPv4 ip : eval_ips) {
+    if (dv_->index_of(ip) &&
+        sim::label_of(sim_->labels, ip) != sim::GtClass::kUnknown) {
+      ++labeled;
+    }
+  }
+  std::size_t support_sum = 0;
+  for (std::size_t c = 0; c < sim::kNumKnownClasses; ++c) {
+    support_sum += eval.report.scores(static_cast<int>(c)).support;
+  }
+  EXPECT_EQ(support_sum, labeled);
+}
+
+TEST_F(SemiSupervised, VectorOverloadMatchesDarkVecPath) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto direct = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  const auto via_vectors = evaluate_knn_vectors(
+      dv_->embedding(), dv_->corpus().words, sim_->labels, eval_ips, 7);
+  EXPECT_DOUBLE_EQ(direct.accuracy, via_vectors.accuracy);
+  EXPECT_EQ(direct.covered, via_vectors.covered);
+}
+
+TEST_F(SemiSupervised, ExtensionProposalsAreUnknownAndSorted) {
+  const auto candidates = extend_ground_truth(*dv_, sim_->labels, 7);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(sim::label_of(sim_->labels, c.ip), sim::GtClass::kUnknown);
+    EXPECT_NE(c.predicted, sim::GtClass::kUnknown);
+    EXPECT_GE(c.avg_distance, 0.0);
+  }
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_LE(candidates[i - 1].avg_distance, candidates[i].avg_distance);
+  }
+}
+
+TEST_F(SemiSupervised, ExtensionRespectsClassDistanceThreshold) {
+  const auto candidates = extend_ground_truth(*dv_, sim_->labels, 7);
+  // Recompute the per-class max distance and verify no candidate exceeds
+  // its class threshold.
+  const auto& corpus = dv_->corpus();
+  const auto& index = dv_->knn();
+  std::array<double, sim::kNumGtClasses> max_dist{};
+  for (std::size_t i = 0; i < corpus.words.size(); ++i) {
+    const auto cls = sim::label_of(sim_->labels, corpus.words[i]);
+    if (cls == sim::GtClass::kUnknown) continue;
+    const auto neighbors = index.query(i, 7);
+    double d = 0;
+    for (const auto& nb : neighbors) d += 1.0 - nb.similarity;
+    d /= static_cast<double>(neighbors.size());
+    max_dist[static_cast<std::size_t>(cls)] =
+        std::max(max_dist[static_cast<std::size_t>(cls)], d);
+  }
+  for (const auto& c : candidates) {
+    EXPECT_LE(c.avg_distance,
+              max_dist[static_cast<std::size_t>(c.predicted)] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace darkvec

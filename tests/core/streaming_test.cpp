@@ -1,0 +1,125 @@
+#include "darkvec/core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+class Streaming : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config;
+    config.days = 12;
+    config.seed = 55;
+    sim_ = new sim::SimResult(
+        sim::DarknetSimulator(config).run(sim::tiny_scenario()));
+    StreamingConfig stream;
+    stream.window_seconds = 4 * net::kSecondsPerDay;
+    stream.step_seconds = 2 * net::kSecondsPerDay;
+    stream.darkvec.w2v.dim = 16;
+    stream.darkvec.w2v.epochs = 4;
+    stream.darkvec.corpus.min_packets = 5;
+    snapshots_ = new std::vector<StreamSnapshot>(
+        run_streaming(sim_->trace, stream));
+  }
+  static void TearDownTestSuite() {
+    delete snapshots_;
+    delete sim_;
+    snapshots_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static sim::SimResult* sim_;
+  static std::vector<StreamSnapshot>* snapshots_;
+};
+
+sim::SimResult* Streaming::sim_ = nullptr;
+std::vector<StreamSnapshot>* Streaming::snapshots_ = nullptr;
+
+TEST_F(Streaming, ProducesExpectedSnapshotSchedule) {
+  // 12 days, window 4, step 2: ends at day 4, 6, 8, 10, 12 -> 5 snapshots.
+  ASSERT_EQ(snapshots_->size(), 5u);
+  for (std::size_t i = 0; i < snapshots_->size(); ++i) {
+    const StreamSnapshot& s = (*snapshots_)[i];
+    EXPECT_EQ(s.window_end - s.window_start, 4 * net::kSecondsPerDay);
+    if (i > 0) {
+      EXPECT_EQ(s.window_end - (*snapshots_)[i - 1].window_end,
+                2 * net::kSecondsPerDay);
+    }
+  }
+}
+
+TEST_F(Streaming, SnapshotsAreSelfConsistent) {
+  for (const StreamSnapshot& s : *snapshots_) {
+    EXPECT_EQ(s.senders.size(), s.embedding.size());
+    EXPECT_EQ(s.senders.size(), s.clustering.assignment.size());
+    EXPECT_GT(s.clustering.count, 0);
+  }
+}
+
+TEST_F(Streaming, SuccessiveSnapshotsAreAligned) {
+  for (std::size_t i = 1; i < snapshots_->size(); ++i) {
+    // Persistent populations make anchors plentiful; aligned spaces should
+    // agree well on them.
+    EXPECT_GT((*snapshots_)[i].alignment_similarity, 0.3) << "snapshot " << i;
+  }
+  EXPECT_EQ((*snapshots_)[0].alignment_similarity, 0.0);
+}
+
+TEST_F(Streaming, AlignedSpacesKeepPersistentSendersStable) {
+  // A sender present in consecutive snapshots should sit in a similar
+  // direction of the common space (alignment composes rotations).
+  const StreamSnapshot& a = (*snapshots_)[2];
+  const StreamSnapshot& b = (*snapshots_)[3];
+  std::size_t checked = 0;
+  std::size_t stable = 0;
+  for (std::size_t i = 0; i < a.senders.size(); ++i) {
+    const auto j = std::find(b.senders.begin(), b.senders.end(),
+                             a.senders[i]);
+    if (j == b.senders.end()) continue;
+    ++checked;
+    const auto jb = static_cast<std::size_t>(j - b.senders.begin());
+    if (w2v::cosine(a.embedding.vec(i), b.embedding.vec(jb)) > 0.2) {
+      ++stable;
+    }
+  }
+  ASSERT_GT(checked, 20u);
+  EXPECT_GT(static_cast<double>(stable) / static_cast<double>(checked), 0.6);
+}
+
+TEST_F(Streaming, TrackGroupFollowsTheBotnet) {
+  std::vector<net::IPv4> botnet;
+  for (const auto& [ip, cls] : sim_->labels) {
+    if (cls == sim::GtClass::kMirai) botnet.push_back(ip);
+  }
+  const auto tracks = track_group(*snapshots_, botnet);
+  ASSERT_EQ(tracks.size(), snapshots_->size());
+  for (const GroupTrack& t : tracks) {
+    EXPECT_GT(t.present, 10u);
+    // A solid core of the group sits in one cluster (Louvain may split a
+    // near-uniform region into a few sub-communities).
+    EXPECT_GE(t.clustered_together * 3, t.present);
+    EXPECT_GE(t.cluster_size, t.clustered_together);
+  }
+}
+
+TEST(StreamingEdge, EmptyTraceAndBadConfig) {
+  StreamingConfig config;
+  EXPECT_TRUE(run_streaming(net::Trace{}, config).empty());
+  sim::SimConfig sim_config;
+  sim_config.days = 2;
+  const auto sim = sim::DarknetSimulator(sim_config).run(
+      sim::tiny_scenario());
+  config.window_seconds = 0;
+  EXPECT_TRUE(run_streaming(sim.trace, config).empty());
+}
+
+TEST(StreamingEdge, TrackGroupOnEmptyInputs) {
+  EXPECT_TRUE(track_group({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace darkvec

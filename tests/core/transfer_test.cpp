@@ -1,0 +1,174 @@
+#include "darkvec/core/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/core/darkvec.hpp"
+
+#include <cmath>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/sim/rng.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+/// Corpus stub: n words with synthetic addresses 10.0.x.y.
+corpus::Corpus corpus_of(std::size_t n) {
+  corpus::Corpus c;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::IPv4 ip{10, 0, static_cast<std::uint8_t>(i / 256),
+                       static_cast<std::uint8_t>(i % 256)};
+    c.ids.emplace(ip, static_cast<corpus::WordId>(i));
+    c.words.push_back(ip);
+  }
+  return c;
+}
+
+w2v::Embedding random_embedding(std::size_t n, int dim, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  w2v::Embedding e(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return e;
+}
+
+/// Applies a simple known rotation (Givens in dims 0-1, then 2-3, ...).
+w2v::Embedding rotate(const w2v::Embedding& e, double angle) {
+  w2v::Embedding out = e;
+  const auto c = static_cast<float>(std::cos(angle));
+  const auto s = static_cast<float>(std::sin(angle));
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    auto v = out.vec(i);
+    for (std::size_t d = 0; d + 1 < v.size(); d += 2) {
+      const float x = v[d];
+      const float y = v[d + 1];
+      v[d] = c * x - s * y;
+      v[d + 1] = s * x + c * y;
+    }
+  }
+  return out;
+}
+
+TEST(Alignment, RecoversKnownRotation) {
+  const std::size_t n = 120;
+  const int dim = 8;
+  const corpus::Corpus corpus = corpus_of(n);
+  const w2v::Embedding source = random_embedding(n, dim, 5);
+  const w2v::Embedding target = rotate(source, 0.7);
+
+  const Alignment alignment =
+      align_embeddings(corpus, source, corpus, target);
+  EXPECT_EQ(alignment.anchors, n);
+  EXPECT_GT(alignment.anchor_similarity, 0.999);
+
+  const w2v::Embedding mapped =
+      apply_alignment(alignment, source.normalized());
+  const w2v::Embedding unit_target = target.normalized();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(w2v::cosine(mapped.vec(i), unit_target.vec(i)), 0.999) << i;
+  }
+}
+
+TEST(Alignment, RotationIsOrthogonal) {
+  const corpus::Corpus corpus = corpus_of(50);
+  const w2v::Embedding source = random_embedding(50, 6, 7);
+  const w2v::Embedding target = random_embedding(50, 6, 8);
+  const Alignment a = align_embeddings(corpus, source, corpus, target);
+  // R * R^T == I.
+  const int dim = a.dim;
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      double acc = 0;
+      for (int k = 0; k < dim; ++k) {
+        acc += a.rotation[static_cast<std::size_t>(r) * dim + k] *
+               a.rotation[static_cast<std::size_t>(c) * dim + k];
+      }
+      EXPECT_NEAR(acc, r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Alignment, PartialAnchorOverlap) {
+  // Target shares only the first 40 senders with the source.
+  const corpus::Corpus source_corpus = corpus_of(100);
+  corpus::Corpus target_corpus;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const net::IPv4 ip = source_corpus.words[i];
+    target_corpus.ids.emplace(ip, static_cast<corpus::WordId>(i));
+    target_corpus.words.push_back(ip);
+  }
+  const w2v::Embedding source = random_embedding(100, 8, 9);
+  w2v::Embedding target(40, 8);
+  const w2v::Embedding rotated = rotate(source, -0.4);
+  for (std::size_t i = 0; i < 40; ++i) {
+    std::ranges::copy(rotated.vec(i), target.vec(i).begin());
+  }
+  const Alignment a =
+      align_embeddings(source_corpus, source, target_corpus, target);
+  EXPECT_EQ(a.anchors, 40u);
+  EXPECT_GT(a.anchor_similarity, 0.999);
+}
+
+TEST(Alignment, ErrorsOnBadInputs) {
+  const corpus::Corpus c1 = corpus_of(10);
+  corpus::Corpus c2;  // disjoint senders
+  for (std::size_t i = 0; i < 10; ++i) {
+    const net::IPv4 ip{99, 0, 0, static_cast<std::uint8_t>(i)};
+    c2.ids.emplace(ip, static_cast<corpus::WordId>(i));
+    c2.words.push_back(ip);
+  }
+  const w2v::Embedding e8 = random_embedding(10, 8, 1);
+  const w2v::Embedding e4 = random_embedding(10, 4, 1);
+  EXPECT_THROW(align_embeddings(c1, e8, c1, e4), std::invalid_argument);
+  EXPECT_THROW(align_embeddings(c1, e8, c2, e8), std::invalid_argument);
+}
+
+TEST(Transfer, AlignmentRescuesTaskTransfer) {
+  // Two halves of a simulated fortnight: embeddings trained separately,
+  // target classified against source labels. Alignment must beat the raw
+  // (arbitrarily rotated) spaces.
+  sim::SimConfig config;
+  config.days = 14;
+  config.seed = 31;
+  const sim::SimResult sim =
+      sim::DarknetSimulator(config).run(sim::tiny_scenario());
+  const std::int64_t mid = config.t0 + 7 * net::kSecondsPerDay;
+  const net::Trace first = sim.trace.slice(config.t0, mid);
+  const net::Trace second =
+      sim.trace.slice(mid, config.t0 + 14 * net::kSecondsPerDay);
+
+  DarkVecConfig dv_config;
+  dv_config.w2v.dim = 24;
+  dv_config.w2v.epochs = 8;
+  dv_config.w2v.seed = 3;
+  DarkVec dv1(dv_config);
+  dv1.fit(first);
+  dv_config.w2v.seed = 99;  // decorrelate the two latent spaces
+  DarkVec dv2(dv_config);
+  dv2.fit(second);
+
+  const TransferResult r =
+      evaluate_transfer(dv1.corpus(), dv1.embedding(), dv2.corpus(),
+                        dv2.embedding(), sim.labels, 7);
+  EXPECT_GT(r.alignment.anchors, 10u);
+  // In the toy scenario most senders persist, so few non-anchor eval
+  // points may exist; the anchors themselves must align well.
+  EXPECT_GT(r.alignment.anchor_similarity, 0.3);
+}
+
+TEST(Transfer, ApplyAlignmentDimensionCheck) {
+  Alignment a;
+  a.dim = 4;
+  a.rotation.assign(16, 0.0);
+  const w2v::Embedding wrong(3, 5);
+  EXPECT_THROW(apply_alignment(a, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace darkvec

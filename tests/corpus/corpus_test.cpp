@@ -1,0 +1,205 @@
+#include "darkvec/corpus/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec::corpus {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::Protocol;
+using net::Trace;
+
+const IPv4 kA{10, 0, 0, 1};
+const IPv4 kB{10, 0, 0, 2};
+const IPv4 kC{10, 0, 0, 3};
+
+Packet pkt(std::int64_t offset, IPv4 src, std::uint16_t port,
+           Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.ts = net::kTraceEpoch + offset;
+  p.src = src;
+  p.dst_port = port;
+  p.proto = proto;
+  return p;
+}
+
+CorpusOptions no_filter() {
+  CorpusOptions o;
+  o.min_packets = 1;
+  return o;
+}
+
+TEST(Corpus, SentencePerServicePerWindow) {
+  Trace t;
+  // Window 0: telnet (A,B), ssh (A,C). Window 1: telnet (B,A).
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kB, 23));
+  t.push_back(pkt(30, kA, 22));
+  t.push_back(pkt(40, kC, 22));
+  t.push_back(pkt(3700, kB, 23));
+  t.push_back(pkt(3800, kA, 23));
+  t.sort();
+  const DomainServiceMap services;
+  const Corpus c = build_corpus(t, services, no_filter());
+  ASSERT_EQ(c.sentences.size(), 3u);
+  // Deterministic order: (window 0, Telnet), (window 0, SSH), (window 1,
+  // Telnet). Telnet id < SSH id in Table 7 order.
+  EXPECT_EQ(c.sentences[0].size(), 2u);
+  EXPECT_EQ(c.words[c.sentences[0][0]], kA);
+  EXPECT_EQ(c.words[c.sentences[0][1]], kB);
+  EXPECT_EQ(c.words[c.sentences[1][0]], kA);
+  EXPECT_EQ(c.words[c.sentences[1][1]], kC);
+  EXPECT_EQ(c.words[c.sentences[2][0]], kB);
+  EXPECT_EQ(c.words[c.sentences[2][1]], kA);
+}
+
+TEST(Corpus, SingleServiceMergesEverything) {
+  Trace t;
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kB, 445));
+  t.push_back(pkt(30, kC, 53, Protocol::kUdp));
+  t.sort();
+  const SingleServiceMap services;
+  const Corpus c = build_corpus(t, services, no_filter());
+  ASSERT_EQ(c.sentences.size(), 1u);
+  EXPECT_EQ(c.sentences[0].size(), 3u);
+}
+
+TEST(Corpus, ActivityFilterDropsLightSenders) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.push_back(pkt(10 + i, kA, 23));
+  t.push_back(pkt(50, kB, 23));  // only one packet
+  t.sort();
+  const SingleServiceMap services;
+  CorpusOptions options;
+  options.min_packets = 10;
+  const Corpus c = build_corpus(t, services, options);
+  EXPECT_EQ(c.vocabulary_size(), 1u);
+  EXPECT_EQ(c.id_of(kA), 0u);
+  EXPECT_EQ(c.id_of(kB), Corpus::kNoWord);
+  EXPECT_EQ(c.tokens(), 10u);
+}
+
+TEST(Corpus, RepeatedSenderStaysRepeated) {
+  // A sender probing twice in a window appears twice in the sentence.
+  Trace t;
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kA, 23));
+  t.push_back(pkt(30, kB, 23));
+  t.sort();
+  const Corpus c = build_corpus(t, SingleServiceMap{}, no_filter());
+  ASSERT_EQ(c.sentences.size(), 1u);
+  EXPECT_EQ(c.sentences[0].size(), 3u);
+  EXPECT_EQ(c.sentences[0][0], c.sentences[0][1]);
+}
+
+TEST(Corpus, SingleTokenSentencesAreDropped) {
+  // One packet alone in its (service, window) cell carries no
+  // co-occurrence signal; such sentences are dropped.
+  Trace t;
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kA, 22));
+  t.push_back(pkt(30, kA, 22));
+  t.sort();
+  const Corpus c = build_corpus(t, DomainServiceMap{}, no_filter());
+  ASSERT_EQ(c.sentences.size(), 1u);  // only the SSH pair survives
+  EXPECT_EQ(c.sentences[0].size(), 2u);
+}
+
+TEST(Corpus, WindowBoundaryIsSharp) {
+  Trace t;
+  CorpusOptions options = no_filter();
+  options.delta_t = 100;
+  t.push_back(pkt(0, kA, 23));
+  t.push_back(pkt(99, kB, 23));   // same window
+  t.push_back(pkt(100, kA, 23));  // next window
+  t.push_back(pkt(199, kC, 23));
+  t.sort();
+  const Corpus c = build_corpus(t, SingleServiceMap{}, options);
+  ASSERT_EQ(c.sentences.size(), 2u);
+  EXPECT_EQ(c.sentences[0].size(), 2u);
+  EXPECT_EQ(c.sentences[1].size(), 2u);
+}
+
+TEST(Corpus, WordIdsAssignedInFirstAppearanceOrder) {
+  Trace t;
+  t.push_back(pkt(10, kC, 23));
+  t.push_back(pkt(20, kA, 23));
+  t.push_back(pkt(30, kC, 23));
+  t.push_back(pkt(40, kB, 23));
+  t.sort();
+  const Corpus c = build_corpus(t, SingleServiceMap{}, no_filter());
+  EXPECT_EQ(c.words[0], kC);
+  EXPECT_EQ(c.words[1], kA);
+  EXPECT_EQ(c.words[2], kB);
+  EXPECT_EQ(c.id_of(kC), 0u);
+  EXPECT_EQ(c.id_of(kB), 2u);
+}
+
+TEST(Corpus, IdsAndWordsAreInverse) {
+  Trace t;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(pkt(i, IPv4{10, 0, 1, static_cast<std::uint8_t>(i % 5)}, 23));
+  }
+  t.sort();
+  const Corpus c = build_corpus(t, SingleServiceMap{}, no_filter());
+  for (std::size_t i = 0; i < c.words.size(); ++i) {
+    EXPECT_EQ(c.id_of(c.words[i]), i);
+  }
+}
+
+TEST(Corpus, EmptyTrace) {
+  const Corpus c = build_corpus(Trace{}, SingleServiceMap{}, no_filter());
+  EXPECT_EQ(c.vocabulary_size(), 0u);
+  EXPECT_TRUE(c.sentences.empty());
+  EXPECT_EQ(c.tokens(), 0u);
+}
+
+TEST(Corpus, TokensSumsAllSentences) {
+  Trace t;
+  t.push_back(pkt(10, kA, 23));
+  t.push_back(pkt(20, kB, 23));
+  t.push_back(pkt(30, kA, 22));
+  t.push_back(pkt(40, kB, 22));
+  t.sort();
+  const Corpus c = build_corpus(t, DomainServiceMap{}, no_filter());
+  EXPECT_EQ(c.tokens(), 4u);
+}
+
+// ---- count_skipgrams -----------------------------------------------------
+
+Corpus corpus_of(std::vector<std::vector<std::uint32_t>> sentences) {
+  Corpus c;
+  c.sentences = std::move(sentences);
+  return c;
+}
+
+TEST(CountSkipgrams, PairSentence) {
+  // Two tokens, any window >= 1: each token sees the other -> 2 pairs.
+  EXPECT_EQ(count_skipgrams(corpus_of({{0, 1}}), 1), 2u);
+  EXPECT_EQ(count_skipgrams(corpus_of({{0, 1}}), 25), 2u);
+}
+
+TEST(CountSkipgrams, WindowOneOnChain) {
+  // n tokens, c=1: 2(n-1) pairs.
+  EXPECT_EQ(count_skipgrams(corpus_of({{0, 1, 2, 3, 4}}), 1), 8u);
+}
+
+TEST(CountSkipgrams, FullWindowIsAllOrderedPairs) {
+  // c >= n-1: every ordered pair counts -> n(n-1).
+  EXPECT_EQ(count_skipgrams(corpus_of({{0, 1, 2, 3, 4}}), 10), 20u);
+}
+
+TEST(CountSkipgrams, SumsAcrossSentences) {
+  EXPECT_EQ(count_skipgrams(corpus_of({{0, 1}, {2, 3, 4}}), 2), 2u + 6u);
+}
+
+TEST(CountSkipgrams, EmptyCorpus) {
+  EXPECT_EQ(count_skipgrams(corpus_of({}), 5), 0u);
+}
+
+}  // namespace
+}  // namespace darkvec::corpus

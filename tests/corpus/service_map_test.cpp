@@ -1,0 +1,187 @@
+#include "darkvec/corpus/service_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace darkvec::corpus {
+namespace {
+
+using net::PortKey;
+using net::Protocol;
+
+PortKey tcp(std::uint16_t p) { return PortKey{p, Protocol::kTcp}; }
+PortKey udp(std::uint16_t p) { return PortKey{p, Protocol::kUdp}; }
+
+TEST(SingleServiceMap, EverythingIsOneService) {
+  SingleServiceMap map;
+  EXPECT_EQ(map.num_services(), 1);
+  EXPECT_EQ(map.service_of(tcp(23)), 0);
+  EXPECT_EQ(map.service_of(udp(53)), 0);
+  EXPECT_EQ(map.service_of(PortKey{0, Protocol::kIcmp}), 0);
+  EXPECT_EQ(map.name(0), "all");
+}
+
+// ---- Domain-knowledge mapping: Table 7 spot checks ----------------------
+
+struct DomainCase {
+  PortKey key;
+  const char* service;
+};
+
+class DomainMapping : public ::testing::TestWithParam<DomainCase> {};
+
+TEST_P(DomainMapping, MapsPortToExpectedService) {
+  const DomainServiceMap map;
+  const auto& param = GetParam();
+  EXPECT_EQ(map.name(map.service_of(param.key)), param.service)
+      << param.key.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table7, DomainMapping,
+    ::testing::Values(
+        DomainCase{tcp(23), "Telnet"}, DomainCase{tcp(992), "Telnet"},
+        DomainCase{tcp(22), "SSH"}, DomainCase{tcp(88), "Kerberos"},
+        DomainCase{udp(88), "Kerberos"}, DomainCase{tcp(464), "Kerberos"},
+        DomainCase{tcp(80), "HTTP"}, DomainCase{tcp(443), "HTTP"},
+        DomainCase{tcp(8080), "HTTP"}, DomainCase{tcp(1080), "Proxy"},
+        DomainCase{tcp(57000), "Proxy"}, DomainCase{tcp(25), "Mail"},
+        DomainCase{tcp(587), "Mail"}, DomainCase{tcp(993), "Mail"},
+        DomainCase{tcp(5432), "Database"}, DomainCase{tcp(1433), "Database"},
+        DomainCase{udp(1434), "Database"}, DomainCase{tcp(27017), "Database"},
+        DomainCase{tcp(53), "DNS"}, DomainCase{udp(53), "DNS"},
+        DomainCase{udp(5353), "DNS"}, DomainCase{tcp(853), "DNS"},
+        DomainCase{udp(137), "Netbios"}, DomainCase{tcp(139), "Netbios"},
+        DomainCase{tcp(445), "Netbios-SMB"}, DomainCase{tcp(4662), "P2P"},
+        DomainCase{udp(6881), "P2P"}, DomainCase{tcp(6969), "P2P"},
+        DomainCase{tcp(21), "FTP"}, DomainCase{udp(69), "FTP"},
+        DomainCase{tcp(8021), "FTP"}));
+
+struct RangeCase {
+  PortKey key;
+  const char* service;
+};
+
+class DomainRangeFallback : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(DomainRangeFallback, UnlistedPortsFallToRangeServices) {
+  const DomainServiceMap map;
+  EXPECT_EQ(map.name(map.service_of(GetParam().key)), GetParam().service);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, DomainRangeFallback,
+    ::testing::Values(RangeCase{tcp(7), "Unknown System"},
+                      RangeCase{tcp(1023), "Unknown System"},
+                      RangeCase{tcp(1024), "Unknown User"},
+                      RangeCase{tcp(5555), "Unknown User"},
+                      RangeCase{tcp(49151), "Unknown User"},
+                      RangeCase{tcp(49152), "Unknown Ephemeral"},
+                      RangeCase{tcp(65535), "Unknown Ephemeral"},
+                      RangeCase{udp(40000), "Unknown User"}));
+
+TEST(DomainServiceMap, IcmpHasItsOwnService) {
+  const DomainServiceMap map;
+  EXPECT_EQ(map.name(map.service_of(PortKey{0, Protocol::kIcmp})), "ICMP");
+  // Even with a nonsense port number attached.
+  EXPECT_EQ(map.name(map.service_of(PortKey{99, Protocol::kIcmp})), "ICMP");
+}
+
+TEST(DomainServiceMap, ProtocolMatters) {
+  const DomainServiceMap map;
+  // 445/tcp is SMB but 445/udp is not listed -> range fallback.
+  EXPECT_EQ(map.name(map.service_of(tcp(445))), "Netbios-SMB");
+  EXPECT_EQ(map.name(map.service_of(udp(445))), "Unknown System");
+  // 22 only as TCP.
+  EXPECT_EQ(map.name(map.service_of(udp(22))), "Unknown System");
+}
+
+TEST(DomainServiceMap, ServiceIdsAreDense) {
+  const DomainServiceMap map;
+  EXPECT_EQ(map.num_services(), 16);  // 12 port-listed + ICMP + 3 ranges
+  std::unordered_set<std::string> names;
+  for (int s = 0; s < map.num_services(); ++s) {
+    EXPECT_TRUE(names.insert(map.name(s)).second) << map.name(s);
+  }
+}
+
+TEST(DomainServiceMap, IdOfNameLookup) {
+  const DomainServiceMap map;
+  EXPECT_EQ(map.name(map.id_of("Telnet")), "Telnet");
+  EXPECT_EQ(map.name(map.id_of("DNS")), "DNS");
+  EXPECT_EQ(map.id_of("NoSuchService"), -1);
+}
+
+TEST(DomainServiceMap, BadIdName) {
+  const DomainServiceMap map;
+  EXPECT_EQ(map.name(-1), "?");
+  EXPECT_EQ(map.name(999), "?");
+}
+
+// ---- Auto-defined services ----------------------------------------------
+
+net::Trace trace_with_port_counts() {
+  // 23/tcp x5, 445/tcp x3, 53/udp x2, 80/tcp x1.
+  net::Trace t;
+  auto add = [&t](std::uint16_t port, Protocol proto, int count) {
+    for (int i = 0; i < count; ++i) {
+      net::Packet p;
+      p.ts = static_cast<std::int64_t>(t.size());
+      p.src = net::IPv4{1, 2, 3, 4};
+      p.dst_port = port;
+      p.proto = proto;
+      t.push_back(p);
+    }
+  };
+  add(23, Protocol::kTcp, 5);
+  add(445, Protocol::kTcp, 3);
+  add(53, Protocol::kUdp, 2);
+  add(80, Protocol::kTcp, 1);
+  t.sort();
+  return t;
+}
+
+TEST(AutoServiceMap, TopNGetTheirOwnServices) {
+  const AutoServiceMap map(trace_with_port_counts(), 2);
+  EXPECT_EQ(map.num_services(), 3);  // top-2 + other
+  EXPECT_EQ(map.service_of(tcp(23)), 0);
+  EXPECT_EQ(map.service_of(tcp(445)), 1);
+  EXPECT_EQ(map.service_of(udp(53)), 2);  // falls into "other"
+  EXPECT_EQ(map.service_of(tcp(80)), 2);
+  EXPECT_EQ(map.service_of(tcp(9999)), 2);
+}
+
+TEST(AutoServiceMap, NamesReflectPorts) {
+  const AutoServiceMap map(trace_with_port_counts(), 2);
+  EXPECT_EQ(map.name(0), "port 23/tcp");
+  EXPECT_EQ(map.name(1), "port 445/tcp");
+  EXPECT_EQ(map.name(2), "other");
+}
+
+TEST(AutoServiceMap, HandlesFewerPortsThanN) {
+  const AutoServiceMap map(trace_with_port_counts(), 100);
+  EXPECT_EQ(map.num_services(), 5);  // 4 ports + other
+}
+
+TEST(AutoServiceMap, EmptyTrace) {
+  const AutoServiceMap map(net::Trace{}, 10);
+  EXPECT_EQ(map.num_services(), 1);
+  EXPECT_EQ(map.service_of(tcp(23)), 0);
+}
+
+TEST(MakeServiceMap, FactoryDispatch) {
+  const net::Trace t = trace_with_port_counts();
+  EXPECT_EQ(make_service_map(ServiceStrategy::kSingle, t)->num_services(), 1);
+  EXPECT_EQ(make_service_map(ServiceStrategy::kAuto, t, 2)->num_services(), 3);
+  EXPECT_EQ(make_service_map(ServiceStrategy::kDomain, t)->num_services(), 16);
+}
+
+TEST(ServiceStrategy, Names) {
+  EXPECT_EQ(to_string(ServiceStrategy::kSingle), "single");
+  EXPECT_EQ(to_string(ServiceStrategy::kAuto), "auto");
+  EXPECT_EQ(to_string(ServiceStrategy::kDomain), "domain");
+}
+
+}  // namespace
+}  // namespace darkvec::corpus

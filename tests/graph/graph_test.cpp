@@ -1,0 +1,106 @@
+#include "darkvec/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darkvec::graph {
+namespace {
+
+TEST(WeightedGraph, EdgeAccumulation) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.0);  // same undirected edge
+  g.finalize();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0].to, 1u);
+  EXPECT_DOUBLE_EQ(n0[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
+TEST(WeightedGraph, DegreesCountBothEndpoints) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.degree(0), 1.5);
+  EXPECT_DOUBLE_EQ(g.degree(1), 4.0);
+  EXPECT_DOUBLE_EQ(g.degree(2), 2.5);
+}
+
+TEST(WeightedGraph, SelfLoopCountsTwiceInDegree) {
+  WeightedGraph g(2);
+  g.add_edge(0, 0, 1.0);
+  g.add_edge(0, 1, 2.0);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.self_loop(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.degree(0), 4.0);  // 2*1 + 2
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);  // self-loop counted once
+}
+
+TEST(WeightedGraph, NeighborsListSelfLoopOnce) {
+  WeightedGraph g(1);
+  g.add_edge(0, 0, 2.0);
+  g.finalize();
+  const auto n = g.neighbors(0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0].to, 0u);
+  EXPECT_DOUBLE_EQ(n[0].weight, 2.0);
+}
+
+TEST(WeightedGraph, BothDirectionsVisible) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].to, 0u);
+}
+
+TEST(WeightedGraph, AddAfterFinalizeThrows) {
+  WeightedGraph g(2);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(0, 1, 1.0), std::logic_error);
+}
+
+TEST(WeightedGraph, BadNodeThrows) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0, 1.0), std::out_of_range);
+}
+
+TEST(WeightedGraph, IsolatedNodesHaveNoNeighbors) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_TRUE(g.neighbors(2).empty());
+  EXPECT_DOUBLE_EQ(g.degree(3), 0.0);
+}
+
+TEST(ConnectedComponents, CountsCorrectly) {
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.finalize();
+  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(connected_components(g), 3u);
+}
+
+TEST(ConnectedComponents, EmptyAndSingletons) {
+  WeightedGraph g0(0);
+  g0.finalize();
+  EXPECT_EQ(connected_components(g0), 0u);
+  WeightedGraph g3(3);
+  g3.finalize();
+  EXPECT_EQ(connected_components(g3), 3u);
+}
+
+TEST(ConnectedComponents, IgnoresZeroWeightEdges) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 0.0);
+  g.finalize();
+  EXPECT_EQ(connected_components(g), 2u);
+}
+
+}  // namespace
+}  // namespace darkvec::graph

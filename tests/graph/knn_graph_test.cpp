@@ -1,0 +1,81 @@
+#include "darkvec/graph/knn_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/graph/louvain.hpp"
+
+namespace darkvec::graph {
+namespace {
+
+/// Two tight direction bundles in 2-D.
+w2v::Embedding two_bundles() {
+  w2v::Embedding e(6, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    e.vec(i)[0] = 1.0f;
+    e.vec(i)[1] = 0.05f * static_cast<float>(i);
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    e.vec(i)[0] = -1.0f;
+    e.vec(i)[1] = -0.05f * static_cast<float>(i - 3);
+  }
+  return e;
+}
+
+TEST(KnnGraph, EdgesConnectNearestNeighbours) {
+  const ml::CosineKnn index{two_bundles()};
+  const WeightedGraph g = knn_graph(index, 2);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  // Each node's neighbours are within its own bundle.
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      EXPECT_EQ(u < 3, e.to < 3) << "edge " << u << "->" << e.to;
+    }
+  }
+  EXPECT_EQ(connected_components(g), 2u);
+}
+
+TEST(KnnGraph, WeightsAreCosineSimilarities) {
+  const ml::CosineKnn index{two_bundles()};
+  const WeightedGraph g = knn_graph(index, 1);
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 2.0 + 1e-9);  // mutual selection sums directions
+    }
+  }
+}
+
+TEST(KnnGraph, MutualNeighborsAccumulateBothDirections) {
+  // Two points only: they pick each other, so the single undirected edge
+  // carries twice the cosine similarity.
+  w2v::Embedding e(2, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(1)[0] = 1.0f;
+  e.vec(1)[1] = 0.1f;
+  const ml::CosineKnn index{e};
+  const WeightedGraph g = knn_graph(index, 1);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  const double cos = e.cosine(0, 1);
+  EXPECT_NEAR(g.neighbors(0)[0].weight, 2.0 * cos, 1e-6);
+}
+
+TEST(KnnGraph, NegativeSimilaritiesAreDropped) {
+  // Two opposite points: cosine -1, no edge survives.
+  w2v::Embedding e(2, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(1)[0] = -1.0f;
+  const ml::CosineKnn index{e};
+  const WeightedGraph g = knn_graph(index, 1);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(KnnGraph, LouvainOnKnnGraphRecoversBundles) {
+  const ml::CosineKnn index{two_bundles()};
+  const WeightedGraph g = knn_graph(index, 2);
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.count, 2);
+}
+
+}  // namespace
+}  // namespace darkvec::graph

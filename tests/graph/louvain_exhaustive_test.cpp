@@ -1,0 +1,136 @@
+// Exhaustive verification of Louvain on tiny graphs: enumerate every
+// partition of n <= 8 nodes (restricted-growth strings), find the true
+// modularity optimum, and require Louvain to come within a small factor.
+// Also cross-checks modularity() against an independent edge-sum
+// formulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "darkvec/graph/louvain.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::graph {
+namespace {
+
+/// Independent modularity implementation: Q = sum_ij [A_ij - k_i k_j / 2m]
+/// * delta(c_i, c_j) / 2m over ordered pairs, with A_ii = 2*self_loop.
+double reference_modularity(const WeightedGraph& g,
+                            std::span<const int> community) {
+  const std::size_t n = g.num_nodes();
+  // Dense adjacency with the self-loop-doubling convention.
+  std::vector<double> a(n * n, 0.0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      if (e.to == u) {
+        a[u * n + u] = 2.0 * e.weight;
+      } else {
+        a[u * n + e.to] = e.weight;
+      }
+    }
+  }
+  double two_m = 0;
+  std::vector<double> degree(n, 0.0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) degree[u] += a[u * n + v];
+    two_m += degree[u];
+  }
+  if (two_m <= 0) return 0;
+  double q = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (community[u] != community[v]) continue;
+      q += a[u * n + v] - degree[u] * degree[v] / two_m;
+    }
+  }
+  return q / two_m;
+}
+
+/// Enumerates all set partitions of n elements via restricted growth
+/// strings, invoking `visit` with each assignment.
+void for_each_partition(std::size_t n,
+                        const std::function<void(std::span<const int>)>& visit) {
+  std::vector<int> assignment(n, 0);
+  std::function<void(std::size_t, int)> rec = [&](std::size_t i, int max_c) {
+    if (i == n) {
+      visit(assignment);
+      return;
+    }
+    for (int c = 0; c <= max_c + 1 && c < static_cast<int>(n); ++c) {
+      assignment[i] = c;
+      rec(i + 1, std::max(max_c, c));
+    }
+  };
+  rec(1, 0);  // element 0 fixed in community 0 (canonical form)
+}
+
+double best_modularity(const WeightedGraph& g) {
+  double best = -1;
+  for_each_partition(g.num_nodes(), [&](std::span<const int> assignment) {
+    best = std::max(best, modularity(g, assignment));
+  });
+  return best;
+}
+
+WeightedGraph random_graph(std::uint32_t n, double density,
+                           std::uint64_t seed, bool self_loops) {
+  sim::Rng rng(seed);
+  WeightedGraph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + (self_loops ? 0 : 1); v < n; ++v) {
+      if (rng.uniform() < density) {
+        g.add_edge(u, v, rng.uniform(0.1, 2.0));
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(LouvainExhaustive, ModularityMatchesReferenceFormulation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WeightedGraph g = random_graph(7, 0.5, seed, /*self_loops=*/true);
+    sim::Rng rng(seed + 50);
+    std::vector<int> assignment(7);
+    for (int& c : assignment) c = static_cast<int>(rng.uniform_int(3));
+    EXPECT_NEAR(modularity(g, assignment),
+                reference_modularity(g, assignment), 1e-10)
+        << "seed " << seed;
+  }
+}
+
+TEST(LouvainExhaustive, LouvainNearsTheTrueOptimum) {
+  std::size_t optimal = 0;
+  const std::size_t trials = 10;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const WeightedGraph g = random_graph(8, 0.4, seed, /*self_loops=*/false);
+    const double best = best_modularity(g);
+    const LouvainResult r = louvain(g);
+    // Louvain is greedy: allow a small gap, but require near-optimality
+    // on average and never a gross miss.
+    EXPECT_GE(r.modularity, best - 0.12) << "seed " << seed;
+    if (r.modularity >= best - 1e-9) ++optimal;
+  }
+  EXPECT_GE(optimal, trials / 2);
+}
+
+TEST(LouvainExhaustive, TwoTrianglesOptimumIsExactlyFound) {
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 5, 1);
+  g.add_edge(3, 5, 1);
+  g.add_edge(2, 3, 1);
+  g.finalize();
+  const double best = best_modularity(g);
+  const LouvainResult r = louvain(g);
+  EXPECT_NEAR(r.modularity, best, 1e-12);
+  EXPECT_EQ(r.count, 2);
+}
+
+}  // namespace
+}  // namespace darkvec::graph

@@ -1,0 +1,173 @@
+#include "darkvec/graph/louvain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace darkvec::graph {
+namespace {
+
+/// Two 4-cliques joined by a single weak bridge.
+WeightedGraph two_cliques() {
+  WeightedGraph g(8);
+  for (std::uint32_t base : {0u, 4u}) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      for (std::uint32_t j = i + 1; j < 4; ++j) {
+        g.add_edge(base + i, base + j, 1.0);
+      }
+    }
+  }
+  g.add_edge(3, 4, 0.1);  // bridge
+  g.finalize();
+  return g;
+}
+
+/// Ring of `k` triangles, each triangle connected to the next by one edge
+/// — the classic Louvain test graph.
+WeightedGraph triangle_ring(std::uint32_t k) {
+  WeightedGraph g(3 * k);
+  for (std::uint32_t t = 0; t < k; ++t) {
+    const std::uint32_t a = 3 * t;
+    g.add_edge(a, a + 1, 1.0);
+    g.add_edge(a + 1, a + 2, 1.0);
+    g.add_edge(a, a + 2, 1.0);
+    g.add_edge(a + 2, (a + 3) % (3 * k), 1.0);
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(Modularity, SingletonPartitionOfCliquePair) {
+  const WeightedGraph g = two_cliques();
+  std::vector<int> singleton(8);
+  for (int i = 0; i < 8; ++i) singleton[static_cast<std::size_t>(i)] = i;
+  // All-singleton partitions have no internal edges: Q < 0.
+  EXPECT_LT(modularity(g, singleton), 0.0);
+}
+
+TEST(Modularity, GoodPartitionBeatsBadPartition) {
+  const WeightedGraph g = two_cliques();
+  const std::vector<int> good = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> bad = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_GT(modularity(g, good), modularity(g, bad));
+  EXPECT_GT(modularity(g, good), 0.4);
+}
+
+TEST(Modularity, HandComputedTwoNodeGraph) {
+  // Single edge of weight 1: m=1. Partition together: Q = 1/1 - (2/2)^2 = 0.
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_NEAR(modularity(g, std::vector<int>{0, 0}), 0.0, 1e-12);
+  // Apart: Q = 0 - (1/2)^2 - (1/2)^2 = -0.5 (the lower bound).
+  EXPECT_NEAR(modularity(g, std::vector<int>{0, 1}), -0.5, 1e-12);
+}
+
+TEST(Modularity, SizeMismatchThrows) {
+  const WeightedGraph g = two_cliques();
+  EXPECT_THROW(modularity(g, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Louvain, SeparatesTwoCliques) {
+  const LouvainResult r = louvain(two_cliques());
+  EXPECT_EQ(r.count, 2);
+  // All members of each clique share a community.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(r.community[static_cast<std::size_t>(i)], r.community[0]);
+  }
+  for (int i = 5; i < 8; ++i) {
+    EXPECT_EQ(r.community[static_cast<std::size_t>(i)], r.community[4]);
+  }
+  EXPECT_NE(r.community[0], r.community[4]);
+  EXPECT_GT(r.modularity, 0.4);
+}
+
+TEST(Louvain, TriangleRingFindsTriangles) {
+  const std::uint32_t k = 8;
+  const LouvainResult r = louvain(triangle_ring(k));
+  // Louvain may merge adjacent triangles at coarse levels, but for a ring
+  // of 8 it recovers communities of whole triangles.
+  EXPECT_GE(r.count, 4);
+  EXPECT_LE(r.count, 8);
+  for (std::uint32_t t = 0; t < k; ++t) {
+    EXPECT_EQ(r.community[3 * t], r.community[3 * t + 1]);
+    EXPECT_EQ(r.community[3 * t], r.community[3 * t + 2]);
+  }
+  EXPECT_GT(r.modularity, 0.5);
+}
+
+TEST(Louvain, CommunityIdsAreDense) {
+  const LouvainResult r = louvain(triangle_ring(5));
+  std::unordered_set<int> ids(r.community.begin(), r.community.end());
+  EXPECT_EQ(static_cast<int>(ids.size()), r.count);
+  for (const int c : ids) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, r.count);
+  }
+}
+
+TEST(Louvain, ModularityFieldMatchesRecomputation) {
+  const WeightedGraph g = triangle_ring(6);
+  const LouvainResult r = louvain(g);
+  EXPECT_NEAR(r.modularity, modularity(g, r.community), 1e-12);
+}
+
+TEST(Louvain, DeterministicForFixedSeed) {
+  const WeightedGraph g = triangle_ring(6);
+  LouvainOptions o;
+  o.seed = 5;
+  const LouvainResult r1 = louvain(g, o);
+  const LouvainResult r2 = louvain(g, o);
+  EXPECT_EQ(r1.community, r2.community);
+  EXPECT_EQ(r1.modularity, r2.modularity);
+}
+
+TEST(Louvain, DisconnectedComponentsStaySeparate) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.finalize();
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.count, 2);
+  EXPECT_EQ(r.community[0], r.community[1]);
+  EXPECT_EQ(r.community[2], r.community[3]);
+  EXPECT_NE(r.community[0], r.community[2]);
+}
+
+TEST(Louvain, EmptyGraph) {
+  WeightedGraph g(0);
+  g.finalize();
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.count, 0);
+  EXPECT_TRUE(r.community.empty());
+}
+
+TEST(Louvain, EdgelessGraphKeepsSingletons) {
+  WeightedGraph g(5);
+  g.finalize();
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.count, 5);
+}
+
+TEST(Louvain, StarGraphIsOneCommunity) {
+  WeightedGraph g(5);
+  for (std::uint32_t i = 1; i < 5; ++i) g.add_edge(0, i, 1.0);
+  g.finalize();
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.count, 1);
+}
+
+TEST(Louvain, WeightsMatter) {
+  // Path a-b-c where a-b is heavy and b-c is light: expect {a,b} {c} or
+  // one community; never {a} {b,c}.
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 0.1);
+  g.finalize();
+  const LouvainResult r = louvain(g);
+  EXPECT_EQ(r.community[0], r.community[1]);
+}
+
+}  // namespace
+}  // namespace darkvec::graph

@@ -1,0 +1,122 @@
+// Cross-module invariants: properties that tie two subsystems together and
+// would break silently if either side drifted.
+#include <gtest/gtest.h>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/inspector.hpp"
+#include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/ml/silhouette.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+sim::SimResult tiny_sim() {
+  sim::SimConfig config;
+  config.days = 5;
+  config.seed = 77;
+  return sim::DarknetSimulator(config).run(sim::tiny_scenario());
+}
+
+TEST(CrossModule, TrainerPairsMatchCountSkipgrams) {
+  // With a fixed (non-dynamic) window and no subsampling, the trainer must
+  // process exactly the pairs count_skipgrams predicts, per epoch.
+  const auto sim = tiny_sim();
+  DarkVecConfig config;
+  config.w2v.dim = 8;
+  config.w2v.window = 4;
+  config.w2v.epochs = 2;
+  config.w2v.dynamic_window = false;
+  config.w2v.subsample = 0;
+  DarkVec dv(config);
+  const auto stats = dv.fit(sim.trace);
+  const std::uint64_t per_epoch = corpus::count_skipgrams(dv.corpus(), 4);
+  EXPECT_EQ(stats.pairs, 2 * per_epoch);
+}
+
+TEST(CrossModule, CorpusTokensMatchActiveSenderPackets) {
+  // Every packet of an active sender lands in a sentence, except packets
+  // stranded alone in their (service, window) cell.
+  const auto sim = tiny_sim();
+  DarkVecConfig config;
+  config.w2v.dim = 8;
+  config.w2v.epochs = 1;
+  DarkVec dv(config);
+  dv.fit(sim.trace);
+
+  std::size_t active_packets = 0;
+  const auto totals = sim.trace.packets_per_sender();
+  for (const auto& [ip, n] : totals) {
+    if (n >= config.corpus.min_packets) active_packets += n;
+  }
+  EXPECT_LE(dv.corpus().tokens(), active_packets);
+  // Dropped singleton sentences are a small fraction.
+  EXPECT_GT(dv.corpus().tokens(), active_packets * 9 / 10);
+}
+
+TEST(CrossModule, CoverageEqualsEvalIntersection) {
+  const auto sim = tiny_sim();
+  DarkVecConfig config;
+  config.w2v.dim = 8;
+  config.w2v.epochs = 1;
+  DarkVec dv(config);
+  dv.fit(sim.trace);
+  const auto eval_ips = last_day_active_senders(sim.trace);
+  const auto eval = evaluate_knn(dv, sim.labels, eval_ips, 3);
+  std::size_t expected = 0;
+  for (const net::IPv4 ip : eval_ips) {
+    if (dv.index_of(ip)) ++expected;
+  }
+  EXPECT_EQ(eval.covered, expected);
+  EXPECT_EQ(eval.total, eval_ips.size());
+}
+
+TEST(CrossModule, ClusteringInspectionConsistency) {
+  const auto sim = tiny_sim();
+  DarkVecConfig config;
+  config.w2v.dim = 16;
+  config.w2v.epochs = 3;
+  DarkVec dv(config);
+  dv.fit(sim.trace);
+  const Clustering clustering = dv.cluster(3);
+  const auto samples =
+      ml::silhouette_samples(dv.embedding(), clustering.assignment);
+  const auto clusters = inspect_clusters(sim.trace, dv.corpus(),
+                                         clustering.assignment, sim.groups,
+                                         samples);
+  // Every embedded sender appears in exactly one cluster.
+  std::size_t total_members = 0;
+  for (const ClusterInfo& c : clusters) total_members += c.size();
+  EXPECT_EQ(total_members, dv.corpus().vocabulary_size());
+
+  // Inspector silhouette means agree with silhouette_by_cluster.
+  const auto by_cluster =
+      ml::silhouette_by_cluster(samples, clustering.assignment);
+  for (const ClusterInfo& c : clusters) {
+    EXPECT_NEAR(c.silhouette, by_cluster[static_cast<std::size_t>(c.id)],
+                1e-9);
+  }
+
+  // Group composition counts sum to the cluster size.
+  for (const ClusterInfo& c : clusters) {
+    std::size_t composed = 0;
+    for (const auto& [group, n] : c.group_composition) composed += n;
+    EXPECT_EQ(composed, c.size());
+  }
+}
+
+TEST(CrossModule, ExtensionCandidatesAreEmbedded) {
+  const auto sim = tiny_sim();
+  DarkVecConfig config;
+  config.w2v.dim = 16;
+  config.w2v.epochs = 3;
+  DarkVec dv(config);
+  dv.fit(sim.trace);
+  for (const auto& cand : extend_ground_truth(dv, sim.labels, 5)) {
+    EXPECT_TRUE(dv.index_of(cand.ip).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace darkvec

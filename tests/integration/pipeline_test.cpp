@@ -1,0 +1,190 @@
+// End-to-end integration tests: simulator -> corpus -> embedding ->
+// semi-supervised k-NN and unsupervised Louvain, on the toy scenario and a
+// scaled-down paper scenario. These assert the *shape* of the paper's
+// results, not exact numbers.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/inspector.hpp"
+#include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec {
+namespace {
+
+class TinyPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config;
+    config.days = 7;
+    config.seed = 42;
+    sim_ = new sim::SimResult(
+        sim::DarknetSimulator(config).run(sim::tiny_scenario()));
+    DarkVecConfig dv_config;
+    dv_config.w2v.dim = 32;
+    dv_config.w2v.epochs = 10;
+    dv_config.w2v.seed = 7;
+    dv_ = new DarkVec(dv_config);
+    dv_->fit(sim_->trace);
+  }
+  static void TearDownTestSuite() {
+    delete dv_;
+    delete sim_;
+    dv_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static sim::SimResult* sim_;
+  static DarkVec* dv_;
+};
+
+sim::SimResult* TinyPipeline::sim_ = nullptr;
+DarkVec* TinyPipeline::dv_ = nullptr;
+
+TEST_F(TinyPipeline, SemiSupervisedAccuracyIsHigh) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  EXPECT_GT(eval.accuracy, 0.95);
+}
+
+TEST_F(TinyPipeline, BotnetNeighboursAreBotnets) {
+  // For every botnet member, most of its 5 nearest neighbours share the
+  // label — the property Figure 4's semi-supervised path relies on.
+  std::size_t checked = 0;
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < dv_->corpus().words.size(); ++i) {
+    if (sim::label_of(sim_->labels, dv_->corpus().words[i]) !=
+        sim::GtClass::kMirai) {
+      continue;
+    }
+    ++checked;
+    std::size_t same = 0;
+    for (const auto& nb : dv_->knn().query(i, 5)) {
+      if (sim::label_of(sim_->labels, dv_->corpus().words[nb.index]) ==
+          sim::GtClass::kMirai) {
+        ++same;
+      }
+    }
+    if (same >= 3) ++good;
+  }
+  ASSERT_GT(checked, 0u);
+  EXPECT_GT(static_cast<double>(good) / static_cast<double>(checked), 0.9);
+}
+
+TEST_F(TinyPipeline, ClusteringSeparatesThePopulations) {
+  const Clustering clustering = dv_->cluster(3);
+  const auto clusters = inspect_clusters(
+      sim_->trace, dv_->corpus(), clustering.assignment, sim_->groups);
+  // The two coordinated populations each dominate some cluster.
+  bool botnet_cluster = false;
+  bool scanner_cluster = false;
+  for (const ClusterInfo& cl : clusters) {
+    if (cl.size() < 5) continue;
+    if (cl.dominant_group == "toy_botnet" && cl.dominant_fraction > 0.8) {
+      botnet_cluster = true;
+    }
+    if (cl.dominant_group == "toy_scanner" && cl.dominant_fraction > 0.8) {
+      scanner_cluster = true;
+    }
+  }
+  EXPECT_TRUE(botnet_cluster);
+  EXPECT_TRUE(scanner_cluster);
+  EXPECT_GT(clustering.modularity, 0.5);
+}
+
+TEST_F(TinyPipeline, FullPipelineIsDeterministic) {
+  DarkVecConfig config;
+  config.w2v.dim = 32;
+  config.w2v.epochs = 10;
+  config.w2v.seed = 7;
+  DarkVec other(config);
+  other.fit(sim_->trace);
+  EXPECT_EQ(other.embedding().data(), dv_->embedding().data());
+  const Clustering c1 = dv_->cluster(3, 1);
+  const Clustering c2 = other.cluster(3, 1);
+  EXPECT_EQ(c1.assignment, c2.assignment);
+}
+
+// ---- scaled-down paper scenario ------------------------------------------
+
+class PaperPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config;
+    config.days = 10;
+    config.seed = 2021;
+    config.scale = 0.25;  // keep the integration test under ~20 s
+    sim_ = new sim::SimResult(
+        sim::DarknetSimulator(config).run(sim::paper_scenario()));
+    DarkVecConfig dv_config;
+    dv_config.w2v.epochs = 5;
+    dv_ = new DarkVec(dv_config);
+    dv_->fit(sim_->trace);
+  }
+  static void TearDownTestSuite() {
+    delete dv_;
+    delete sim_;
+    dv_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static sim::SimResult* sim_;
+  static DarkVec* dv_;
+};
+
+sim::SimResult* PaperPipeline::sim_ = nullptr;
+DarkVec* PaperPipeline::dv_ = nullptr;
+
+TEST_F(PaperPipeline, AccuracyInPaperBand) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  // The paper reports 0.93-0.96 for 5-30 day windows; a reduced-scale
+  // (0.25x, 5-epoch) 10-day run lands a bit lower but must clear 0.80.
+  // The bench binaries exercise the full-scale configuration.
+  EXPECT_GT(eval.accuracy, 0.80);
+}
+
+TEST_F(PaperPipeline, StretchoidIsTheWeakClass) {
+  const auto eval_ips = last_day_active_senders(sim_->trace);
+  const auto eval = evaluate_knn(*dv_, sim_->labels, eval_ips, 7);
+  const auto& stretchoid =
+      eval.report.scores(static_cast<int>(sim::GtClass::kStretchoid));
+  const auto& census = eval.report.scores(
+      static_cast<int>(sim::GtClass::kInternetCensus));
+  // Sparse irregular senders embed poorly (Table 4: recall 0.35 domain).
+  EXPECT_LT(stretchoid.recall, 0.7);
+  EXPECT_GT(census.recall, stretchoid.recall);
+}
+
+TEST_F(PaperPipeline, UnsupervisedFindsCoordinatedUnknownGroups) {
+  const Clustering clustering = dv_->cluster(3);
+  const auto clusters = inspect_clusters(
+      sim_->trace, dv_->corpus(), clustering.assignment, sim_->groups);
+  std::unordered_map<std::string, double> best_purity;
+  for (const ClusterInfo& cl : clusters) {
+    if (cl.size() < 5) continue;
+    auto& best = best_purity[cl.dominant_group];
+    best = std::max(best, cl.dominant_fraction);
+  }
+  // The Table 5 groups must each dominate some cluster.
+  for (const char* group :
+       {"unknown1_netbios", "unknown3_smb", "unknown6_ssh"}) {
+    EXPECT_GT(best_purity[group], 0.8) << group;
+  }
+  EXPECT_GT(clustering.modularity, 0.6);
+}
+
+TEST_F(PaperPipeline, EmbeddingCoversOnlyActiveSenders) {
+  const auto totals = sim_->trace.packets_per_sender();
+  for (const net::IPv4 ip : dv_->corpus().words) {
+    EXPECT_GE(totals.at(ip), 10u);
+  }
+  // And far fewer words than raw senders (the backscatter mass filtered).
+  EXPECT_LT(dv_->corpus().vocabulary_size(), totals.size() / 2);
+}
+
+}  // namespace
+}  // namespace darkvec

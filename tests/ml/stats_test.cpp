@@ -1,0 +1,91 @@
+#include "darkvec/ml/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace darkvec::ml {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf ecdf({1.0, 1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(4.9), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(5.0), 1.0);
+}
+
+TEST(Ecdf, UnsortedInputIsSorted) {
+  const Ecdf ecdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ecdf(1.5), 1.0 / 3.0);
+  EXPECT_EQ(ecdf.sorted().front(), 1.0);
+  EXPECT_EQ(ecdf.sorted().back(), 3.0);
+}
+
+TEST(Ecdf, Quantiles) {
+  const Ecdf ecdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, EmptySample) {
+  const Ecdf ecdf({});
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 0.0);
+  EXPECT_EQ(ecdf.size(), 0u);
+}
+
+TEST(Jaccard, IdenticalSets) {
+  const std::vector<int> a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSets) {
+  const std::vector<int> a = {1, 2};
+  const std::vector<int> b = {3, 4};
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<int> a = {1, 2, 3};
+  const std::vector<int> b = {2, 3, 4, 5};
+  // intersection 2, union 5.
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, b), 0.4);
+}
+
+TEST(Jaccard, Symmetric) {
+  const std::vector<int> a = {1, 2, 3, 7, 9};
+  const std::vector<int> b = {2, 9, 11};
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, b), jaccard<int>(b, a));
+}
+
+TEST(Jaccard, DuplicatesInInputIgnored) {
+  const std::vector<int> a = {1, 1, 1, 2};
+  const std::vector<int> b = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, b), 1.0);
+}
+
+TEST(Jaccard, EmptySets) {
+  const std::vector<int> empty;
+  const std::vector<int> a = {1};
+  EXPECT_DOUBLE_EQ(jaccard<int>(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard<int>(a, empty), 0.0);
+}
+
+TEST(Jaccard, WorksWithStrings) {
+  const std::vector<std::string> a = {"23/tcp", "80/tcp"};
+  const std::vector<std::string> b = {"80/tcp", "443/tcp"};
+  EXPECT_NEAR(jaccard<std::string>(a, b), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

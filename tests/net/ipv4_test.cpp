@@ -1,0 +1,110 @@
+#include "darkvec/net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace darkvec::net {
+namespace {
+
+TEST(IPv4, DefaultIsZero) {
+  EXPECT_EQ(IPv4{}.value(), 0u);
+  EXPECT_EQ(IPv4{}.to_string(), "0.0.0.0");
+}
+
+TEST(IPv4, OctetConstructor) {
+  const IPv4 ip{192, 168, 8, 66};
+  EXPECT_EQ(ip.value(), 0xC0A80842u);
+  EXPECT_EQ(ip.octet(0), 192);
+  EXPECT_EQ(ip.octet(1), 168);
+  EXPECT_EQ(ip.octet(2), 8);
+  EXPECT_EQ(ip.octet(3), 66);
+}
+
+TEST(IPv4, ValueConstructorMatchesOctets) {
+  EXPECT_EQ(IPv4{0x0A000001u}, (IPv4{10, 0, 0, 1}));
+}
+
+TEST(IPv4, ToStringRendersDottedQuad) {
+  EXPECT_EQ((IPv4{10, 185, 61, 74}).to_string(), "10.185.61.74");
+  EXPECT_EQ((IPv4{255, 255, 255, 255}).to_string(), "255.255.255.255");
+}
+
+TEST(IPv4, ParseValid) {
+  const auto ip = IPv4::parse("10.24.33.0");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, (IPv4{10, 24, 33, 0}));
+}
+
+TEST(IPv4, ParseBoundaryValues) {
+  EXPECT_EQ(IPv4::parse("0.0.0.0"), IPv4{});
+  EXPECT_EQ(IPv4::parse("255.255.255.255"), (IPv4{255, 255, 255, 255}));
+}
+
+struct BadAddressCase {
+  const char* text;
+};
+
+class IPv4ParseRejects : public ::testing::TestWithParam<BadAddressCase> {};
+
+TEST_P(IPv4ParseRejects, ReturnsNullopt) {
+  EXPECT_FALSE(IPv4::parse(GetParam().text).has_value()) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, IPv4ParseRejects,
+    ::testing::Values(BadAddressCase{""}, BadAddressCase{"1.2.3"},
+                      BadAddressCase{"1.2.3.4.5"}, BadAddressCase{"256.1.1.1"},
+                      BadAddressCase{"1.2.3.999"}, BadAddressCase{"a.b.c.d"},
+                      BadAddressCase{"1..2.3"}, BadAddressCase{"1.2.3.4 "},
+                      BadAddressCase{" 1.2.3.4"}, BadAddressCase{"1.2.3.-4"},
+                      BadAddressCase{"1,2,3,4"}, BadAddressCase{"1.2.3.4x"}));
+
+TEST(IPv4, ParseToStringRoundTripProperty) {
+  // Deterministic pseudo-random sweep across the address space.
+  std::uint32_t v = 0x12345678;
+  for (int i = 0; i < 500; ++i) {
+    v = v * 1664525u + 1013904223u;
+    const IPv4 ip{v};
+    const auto parsed = IPv4::parse(ip.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, ip);
+  }
+}
+
+TEST(IPv4, Slash24MasksLastOctet) {
+  EXPECT_EQ((IPv4{10, 1, 2, 3}).slash24(), (IPv4{10, 1, 2, 0}));
+  EXPECT_EQ((IPv4{10, 1, 2, 0}).slash24(), (IPv4{10, 1, 2, 0}));
+}
+
+TEST(IPv4, Slash16MasksLastTwoOctets) {
+  EXPECT_EQ((IPv4{10, 1, 2, 3}).slash16(), (IPv4{10, 1, 0, 0}));
+}
+
+TEST(IPv4, OrderingIsNumeric) {
+  EXPECT_LT((IPv4{1, 0, 0, 0}), (IPv4{2, 0, 0, 0}));
+  EXPECT_LT((IPv4{10, 0, 0, 1}), (IPv4{10, 0, 0, 2}));
+  EXPECT_GT((IPv4{200, 0, 0, 0}), (IPv4{100, 255, 255, 255}));
+}
+
+TEST(IPv4, HashSpreadsSequentialAddresses) {
+  // Sequential addresses within a /24 must not collide (botnet subnets).
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 256; ++i) {
+    hashes.insert(std::hash<IPv4>{}(
+        IPv4{10, 0, 0, static_cast<std::uint8_t>(i)}));
+  }
+  EXPECT_EQ(hashes.size(), 256u);
+}
+
+TEST(IPv4, UsableAsUnorderedSetKey) {
+  std::unordered_set<IPv4> set;
+  set.insert(IPv4{10, 0, 0, 1});
+  set.insert(IPv4{10, 0, 0, 1});
+  set.insert(IPv4{10, 0, 0, 2});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IPv4{10, 0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace darkvec::net

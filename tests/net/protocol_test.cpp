@@ -1,0 +1,67 @@
+#include "darkvec/net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace darkvec::net {
+namespace {
+
+TEST(Protocol, ToStringNames) {
+  EXPECT_EQ(to_string(Protocol::kTcp), "tcp");
+  EXPECT_EQ(to_string(Protocol::kUdp), "udp");
+  EXPECT_EQ(to_string(Protocol::kIcmp), "icmp");
+}
+
+TEST(Protocol, ParseAcceptsCanonicalNames) {
+  EXPECT_EQ(parse_protocol("tcp"), Protocol::kTcp);
+  EXPECT_EQ(parse_protocol("udp"), Protocol::kUdp);
+  EXPECT_EQ(parse_protocol("icmp"), Protocol::kIcmp);
+}
+
+TEST(Protocol, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_protocol("TCP"), Protocol::kTcp);
+  EXPECT_EQ(parse_protocol("Udp"), Protocol::kUdp);
+  EXPECT_EQ(parse_protocol("ICMP"), Protocol::kIcmp);
+}
+
+TEST(Protocol, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_protocol("").has_value());
+  EXPECT_FALSE(parse_protocol("sctp").has_value());
+  EXPECT_FALSE(parse_protocol("tcp ").has_value());
+}
+
+TEST(Protocol, RoundTripProperty) {
+  for (const Protocol p :
+       {Protocol::kTcp, Protocol::kUdp, Protocol::kIcmp}) {
+    EXPECT_EQ(parse_protocol(to_string(p)), p);
+  }
+}
+
+TEST(PortKey, ToStringFormats) {
+  EXPECT_EQ((PortKey{23, Protocol::kTcp}).to_string(), "23/tcp");
+  EXPECT_EQ((PortKey{53, Protocol::kUdp}).to_string(), "53/udp");
+  EXPECT_EQ((PortKey{0, Protocol::kIcmp}).to_string(), "icmp");
+}
+
+TEST(PortKey, OrderingByPortThenProto) {
+  EXPECT_LT((PortKey{22, Protocol::kTcp}), (PortKey{23, Protocol::kTcp}));
+  EXPECT_LT((PortKey{23, Protocol::kTcp}), (PortKey{23, Protocol::kUdp}));
+}
+
+TEST(PortKey, EqualityDistinguishesProtocol) {
+  EXPECT_NE((PortKey{53, Protocol::kTcp}), (PortKey{53, Protocol::kUdp}));
+  EXPECT_EQ((PortKey{53, Protocol::kUdp}), (PortKey{53, Protocol::kUdp}));
+}
+
+TEST(PortKey, HashDistinguishesProtocolAndPort) {
+  std::unordered_set<PortKey> keys;
+  for (std::uint16_t p = 0; p < 512; ++p) {
+    keys.insert(PortKey{p, Protocol::kTcp});
+    keys.insert(PortKey{p, Protocol::kUdp});
+  }
+  EXPECT_EQ(keys.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace darkvec::net

@@ -1,0 +1,38 @@
+#include "darkvec/net/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darkvec::net {
+namespace {
+
+TEST(Time, TraceEpochIsCaptureStart) {
+  // 2021-03-02 00:00:00 UTC, the first day of the paper's dataset.
+  EXPECT_EQ(format_utc(kTraceEpoch), "2021-03-02 00:00:00");
+}
+
+TEST(Time, DayIndex) {
+  EXPECT_EQ(day_index(kTraceEpoch, kTraceEpoch), 0);
+  EXPECT_EQ(day_index(kTraceEpoch + kSecondsPerDay - 1, kTraceEpoch), 0);
+  EXPECT_EQ(day_index(kTraceEpoch + kSecondsPerDay, kTraceEpoch), 1);
+  EXPECT_EQ(day_index(kTraceEpoch + 29 * kSecondsPerDay, kTraceEpoch), 29);
+}
+
+TEST(Time, HourIndex) {
+  EXPECT_EQ(hour_index(kTraceEpoch, kTraceEpoch), 0);
+  EXPECT_EQ(hour_index(kTraceEpoch + 3599, kTraceEpoch), 0);
+  EXPECT_EQ(hour_index(kTraceEpoch + 3600, kTraceEpoch), 1);
+  EXPECT_EQ(hour_index(kTraceEpoch + kSecondsPerDay, kTraceEpoch), 24);
+}
+
+TEST(Time, FormatUtcKnownTimestamps) {
+  EXPECT_EQ(format_utc(0), "1970-01-01 00:00:00");
+  EXPECT_EQ(format_utc(1614902530), "2021-03-05 00:02:10");
+}
+
+TEST(Time, ConstantsAreConsistent) {
+  EXPECT_EQ(kSecondsPerHour, 60 * kSecondsPerMinute);
+  EXPECT_EQ(kSecondsPerDay, 24 * kSecondsPerHour);
+}
+
+}  // namespace
+}  // namespace darkvec::net

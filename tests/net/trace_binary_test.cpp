@@ -1,0 +1,102 @@
+#include "darkvec/net/trace_binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::net {
+namespace {
+
+Trace random_trace(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    Packet p;
+    p.ts = kTraceEpoch + static_cast<std::int64_t>(rng.uniform_int(1000000));
+    p.src = IPv4{static_cast<std::uint32_t>(rng.next_u64())};
+    p.dst_host = static_cast<std::uint8_t>(rng.uniform_int(256));
+    p.dst_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
+    p.proto = static_cast<Protocol>(rng.uniform_int(3));
+    if (p.proto == Protocol::kIcmp) p.dst_port = 0;
+    p.mirai_fingerprint = rng.uniform() < 0.5;
+    t.push_back(p);
+  }
+  t.sort();
+  return t;
+}
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ts != b[i].ts || a[i].src != b[i].src ||
+        a[i].dst_host != b[i].dst_host || a[i].dst_port != b[i].dst_port ||
+        a[i].proto != b[i].proto ||
+        a[i].mirai_fingerprint != b[i].mirai_fingerprint) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TraceBinary, RoundTripProperty) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trace original = random_trace(500, seed);
+    std::stringstream buffer;
+    write_binary(buffer, original);
+    EXPECT_TRUE(traces_equal(read_binary(buffer), original)) << seed;
+  }
+}
+
+TEST(TraceBinary, LargeTraceCrossesBufferBoundaries) {
+  // More packets than the 4096-record I/O buffer.
+  const Trace original = random_trace(10000, 42);
+  std::stringstream buffer;
+  write_binary(buffer, original);
+  EXPECT_TRUE(traces_equal(read_binary(buffer), original));
+}
+
+TEST(TraceBinary, EmptyTrace) {
+  std::stringstream buffer;
+  write_binary(buffer, Trace{});
+  EXPECT_TRUE(read_binary(buffer).empty());
+}
+
+TEST(TraceBinary, RejectsBadMagic) {
+  std::stringstream buffer("this is definitely not a trace file");
+  EXPECT_THROW(read_binary(buffer), std::runtime_error);
+}
+
+TEST(TraceBinary, RejectsTruncation) {
+  const Trace original = random_trace(100, 7);
+  std::stringstream buffer;
+  write_binary(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 8));
+  EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(TraceBinary, FileRoundTrip) {
+  const Trace original = random_trace(200, 9);
+  const std::string path = ::testing::TempDir() + "/darkvec_trace.dvkt";
+  write_binary_file(path, original);
+  EXPECT_TRUE(traces_equal(read_binary_file(path), original));
+}
+
+TEST(TraceBinary, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/trace.dvkt"),
+               std::runtime_error);
+}
+
+TEST(TraceBinary, IsSmallerThanCsv) {
+  const Trace original = random_trace(1000, 11);
+  std::stringstream bin;
+  write_binary(bin, original);
+  // 16 bytes per record + 16-byte header.
+  EXPECT_EQ(bin.str().size(), 16u + 16u * original.size());
+}
+
+}  // namespace
+}  // namespace darkvec::net

@@ -1,0 +1,131 @@
+#include "darkvec/net/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "darkvec/net/time.hpp"
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::net {
+namespace {
+
+Trace random_trace(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    Packet p;
+    p.ts = kTraceEpoch + static_cast<std::int64_t>(rng.uniform_int(100000));
+    p.src = IPv4{static_cast<std::uint32_t>(rng.next_u64())};
+    p.dst_host = static_cast<std::uint8_t>(rng.uniform_int(256));
+    p.dst_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
+    const auto proto = rng.uniform_int(3);
+    p.proto = static_cast<Protocol>(proto);
+    if (p.proto == Protocol::kIcmp) p.dst_port = 0;
+    p.mirai_fingerprint = rng.uniform() < 0.3;
+    t.push_back(p);
+  }
+  t.sort();
+  return t;
+}
+
+bool packets_equal(const Packet& a, const Packet& b) {
+  return a.ts == b.ts && a.src == b.src && a.dst_host == b.dst_host &&
+         a.dst_port == b.dst_port && a.proto == b.proto &&
+         a.mirai_fingerprint == b.mirai_fingerprint;
+}
+
+TEST(TraceIo, WritesHeaderAndRows) {
+  Trace t;
+  Packet p;
+  p.ts = 1614902530;
+  p.src = IPv4{10, 0, 0, 1};
+  p.dst_host = 15;
+  p.dst_port = 22;
+  p.proto = Protocol::kTcp;
+  p.mirai_fingerprint = true;
+  t.push_back(p);
+  std::ostringstream out;
+  write_csv(out, t);
+  EXPECT_EQ(out.str(), "ts,src,dst_host,port,proto,mirai\n"
+                       "1614902530,10.0.0.1,15,22,tcp,1\n");
+}
+
+TEST(TraceIo, RoundTripProperty) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Trace original = random_trace(200, seed);
+    std::stringstream buffer;
+    write_csv(buffer, original);
+    const Trace loaded = read_csv(buffer);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_TRUE(packets_equal(loaded[i], original[i])) << "packet " << i;
+    }
+  }
+}
+
+TEST(TraceIo, ReadsWithoutHeader) {
+  std::istringstream in("1000,1.2.3.4,0,80,tcp,0\n");
+  const Trace t = read_csv(in);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].dst_port, 80);
+}
+
+TEST(TraceIo, SkipsEmptyLines) {
+  std::istringstream in(
+      "ts,src,dst_host,port,proto,mirai\n\n1000,1.2.3.4,0,80,tcp,0\n\n");
+  EXPECT_EQ(read_csv(in).size(), 1u);
+}
+
+TEST(TraceIo, EmptyInputYieldsEmptyTrace) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_csv(in).empty());
+}
+
+struct BadRowCase {
+  const char* row;
+};
+
+class TraceIoRejects : public ::testing::TestWithParam<BadRowCase> {};
+
+TEST_P(TraceIoRejects, ThrowsOnMalformedRow) {
+  std::istringstream in(GetParam().row);
+  EXPECT_THROW(read_csv(in), std::runtime_error) << GetParam().row;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, TraceIoRejects,
+    ::testing::Values(
+        BadRowCase{"1000,1.2.3.4,0,80,tcp\n"},          // missing field
+        BadRowCase{"1000,1.2.3.4,0,80,tcp,0,extra\n"},  // extra field
+        BadRowCase{"xx,1.2.3.4,0,80,tcp,0\n"},          // bad timestamp
+        BadRowCase{"1000,999.2.3.4,0,80,tcp,0\n"},      // bad address
+        BadRowCase{"1000,1.2.3.4,300,80,tcp,0\n"},      // dst_host overflow
+        BadRowCase{"1000,1.2.3.4,0,99999,tcp,0\n"},     // port overflow
+        BadRowCase{"1000,1.2.3.4,0,80,sctp,0\n"},       // bad protocol
+        BadRowCase{"1000,1.2.3.4,0,80,tcp,maybe\n"}));  // bad flag
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = random_trace(50, 99);
+  const std::string path = ::testing::TempDir() + "/darkvec_trace_test.csv";
+  write_csv_file(path, original);
+  const Trace loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(packets_equal(loaded[i], original[i]));
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, UnwritableFileThrows) {
+  Trace t;
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/trace.csv", t),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace darkvec::net

@@ -1,0 +1,166 @@
+#include "darkvec/net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec::net {
+namespace {
+
+Packet make_packet(std::int64_t ts, IPv4 src, std::uint16_t port,
+                   Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.ts = ts;
+  p.src = src;
+  p.dst_port = port;
+  p.proto = proto;
+  return p;
+}
+
+const IPv4 kA{10, 0, 0, 1};
+const IPv4 kB{10, 0, 0, 2};
+const IPv4 kC{192, 168, 1, 1};
+
+Trace small_trace() {
+  Trace t;
+  const std::int64_t t0 = kTraceEpoch;
+  t.push_back(make_packet(t0 + 5, kA, 23));
+  t.push_back(make_packet(t0 + 1, kB, 445));
+  t.push_back(make_packet(t0 + 9, kA, 23));
+  t.push_back(make_packet(t0 + 2, kC, 53, Protocol::kUdp));
+  t.push_back(make_packet(t0 + 9, kB, 23));
+  t.sort();
+  return t;
+}
+
+TEST(Trace, SortOrdersByTimestamp) {
+  const Trace t = small_trace();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].ts, t[i].ts);
+  }
+}
+
+TEST(Trace, SortIsStableWithinSameSecond) {
+  Trace t;
+  t.push_back(make_packet(100, kA, 1));
+  t.push_back(make_packet(100, kB, 2));
+  t.push_back(make_packet(100, kC, 3));
+  t.sort();
+  EXPECT_EQ(t[0].src, kA);
+  EXPECT_EQ(t[1].src, kB);
+  EXPECT_EQ(t[2].src, kC);
+}
+
+TEST(Trace, StatsCountsDistinctSourcesAndPorts) {
+  const TraceStats s = small_trace().stats();
+  EXPECT_EQ(s.packets, 5u);
+  EXPECT_EQ(s.sources, 3u);
+  EXPECT_EQ(s.ports, 3u);  // 23/tcp, 445/tcp, 53/udp
+  EXPECT_EQ(s.first_ts, kTraceEpoch + 1);
+  EXPECT_EQ(s.last_ts, kTraceEpoch + 9);
+}
+
+TEST(Trace, StatsOfEmptyTrace) {
+  const TraceStats s = Trace{}.stats();
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_EQ(s.sources, 0u);
+  EXPECT_EQ(s.ports, 0u);
+}
+
+TEST(Trace, SliceSelectsHalfOpenInterval) {
+  const Trace t = small_trace();
+  const Trace s = t.slice(kTraceEpoch + 2, kTraceEpoch + 9);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].ts, kTraceEpoch + 2);
+  EXPECT_EQ(s[1].ts, kTraceEpoch + 5);
+}
+
+TEST(Trace, SliceEmptyRange) {
+  const Trace t = small_trace();
+  EXPECT_TRUE(t.slice(kTraceEpoch + 100, kTraceEpoch + 200).empty());
+  EXPECT_TRUE(t.slice(kTraceEpoch + 9, kTraceEpoch + 9).empty());
+}
+
+TEST(Trace, AppendConcatenates) {
+  Trace a = small_trace();
+  Trace b = small_trace();
+  a.append(b);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(Trace, PortRankingSortedByPackets) {
+  const auto ranking = small_trace().port_ranking();
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].key, (PortKey{23, Protocol::kTcp}));
+  EXPECT_EQ(ranking[0].packets, 3u);
+  EXPECT_EQ(ranking[0].sources, 2u);  // kA and kB hit 23/tcp
+}
+
+TEST(Trace, PortRankingTieBreaksByKey) {
+  Trace t;
+  t.push_back(make_packet(1, kA, 80));
+  t.push_back(make_packet(2, kA, 22));
+  t.sort();
+  const auto ranking = t.port_ranking();
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].key.port, 22);  // equal packets: lower key first
+}
+
+TEST(Trace, PacketsPerSender) {
+  const auto counts = small_trace().packets_per_sender();
+  EXPECT_EQ(counts.at(kA), 2u);
+  EXPECT_EQ(counts.at(kB), 2u);
+  EXPECT_EQ(counts.at(kC), 1u);
+}
+
+TEST(Trace, CumulativeSendersPerDayUnfiltered) {
+  Trace t;
+  t.push_back(make_packet(kTraceEpoch + 10, kA, 23));
+  t.push_back(make_packet(kTraceEpoch + kSecondsPerDay + 10, kB, 23));
+  t.push_back(make_packet(kTraceEpoch + 2 * kSecondsPerDay + 10, kA, 23));
+  t.push_back(make_packet(kTraceEpoch + 2 * kSecondsPerDay + 20, kC, 23));
+  t.sort();
+  const auto cumulative = t.cumulative_senders_per_day(kTraceEpoch);
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_EQ(cumulative[0], 1u);
+  EXPECT_EQ(cumulative[1], 2u);
+  EXPECT_EQ(cumulative[2], 3u);
+}
+
+TEST(Trace, CumulativeSendersPerDayFilteredDropsLightSenders) {
+  Trace t;
+  // kA sends 3 packets, kB only 1.
+  t.push_back(make_packet(kTraceEpoch + 1, kA, 23));
+  t.push_back(make_packet(kTraceEpoch + 2, kB, 23));
+  t.push_back(make_packet(kTraceEpoch + kSecondsPerDay + 1, kA, 23));
+  t.push_back(make_packet(kTraceEpoch + kSecondsPerDay + 2, kA, 23));
+  t.sort();
+  const auto cumulative = t.cumulative_senders_per_day(kTraceEpoch, 3);
+  ASSERT_EQ(cumulative.size(), 2u);
+  EXPECT_EQ(cumulative[0], 1u);  // only kA qualifies
+  EXPECT_EQ(cumulative[1], 1u);
+}
+
+TEST(Trace, CumulativeSendersOfEmptyTrace) {
+  EXPECT_TRUE(Trace{}.cumulative_senders_per_day(kTraceEpoch).empty());
+}
+
+TEST(Trace, ActiveSendersThreshold) {
+  const Trace t = small_trace();
+  const auto active2 = active_senders(t, 2);
+  EXPECT_EQ(active2.size(), 2u);  // kA, kB
+  EXPECT_TRUE(std::ranges::is_sorted(active2));
+  const auto active1 = active_senders(t, 1);
+  EXPECT_EQ(active1.size(), 3u);
+  EXPECT_TRUE(active_senders(t, 10).empty());
+}
+
+TEST(Trace, PortKeyOfIcmpPacket) {
+  Packet p = make_packet(0, kA, 0, Protocol::kIcmp);
+  EXPECT_EQ(p.port_key(), (PortKey{0, Protocol::kIcmp}));
+}
+
+}  // namespace
+}  // namespace darkvec::net

@@ -1,0 +1,115 @@
+#include "darkvec/sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace darkvec::sim {
+namespace {
+
+TEST(AddressAllocator, RandomAddressesAreUnique) {
+  AddressAllocator alloc(Rng{1});
+  const auto ips = alloc.allocate(5000, AddrPolicy::kRandom);
+  std::unordered_set<net::IPv4> unique(ips.begin(), ips.end());
+  EXPECT_EQ(unique.size(), ips.size());
+}
+
+TEST(AddressAllocator, UniquenessHoldsAcrossCalls) {
+  AddressAllocator alloc(Rng{2});
+  const auto a = alloc.allocate(1000, AddrPolicy::kRandom);
+  const auto b = alloc.allocate(1000, AddrPolicy::kRandom);
+  std::unordered_set<net::IPv4> all(a.begin(), a.end());
+  for (const net::IPv4 ip : b) {
+    EXPECT_TRUE(all.insert(ip).second) << ip.to_string();
+  }
+  EXPECT_EQ(alloc.allocated(), 2000u);
+}
+
+TEST(AddressAllocator, AvoidsReservedRanges) {
+  AddressAllocator alloc(Rng{3});
+  for (const net::IPv4 ip : alloc.allocate(5000, AddrPolicy::kRandom)) {
+    const int a = ip.octet(0);
+    EXPECT_NE(a, 0);
+    EXPECT_NE(a, 10);
+    EXPECT_NE(a, 127);
+    EXPECT_LT(a, 224);
+  }
+}
+
+TEST(AddressAllocator, SameSlash24PutsAllInOneSubnet) {
+  AddressAllocator alloc(Rng{4});
+  const auto ips = alloc.allocate(85, AddrPolicy::kSameSlash24);
+  ASSERT_EQ(ips.size(), 85u);
+  for (const net::IPv4 ip : ips) {
+    EXPECT_EQ(ip.slash24(), ips[0].slash24());
+  }
+  std::unordered_set<net::IPv4> unique(ips.begin(), ips.end());
+  EXPECT_EQ(unique.size(), ips.size());
+}
+
+TEST(AddressAllocator, SameSlash24HonorsPinnedBase) {
+  AddressAllocator alloc(Rng{5});
+  const net::IPv4 base{203, 0, 113, 0};
+  const auto ips =
+      alloc.allocate(10, AddrPolicy::kSameSlash24, 1, base.value());
+  for (const net::IPv4 ip : ips) EXPECT_EQ(ip.slash24(), base);
+}
+
+TEST(AddressAllocator, SameSlash16SharedAcrossPopulations) {
+  // The Shadowserver scenario: three allocations pinned to one /16.
+  AddressAllocator alloc(Rng{6});
+  const std::uint32_t base = 0xCB4C0000u;
+  const auto g1 = alloc.allocate(61, AddrPolicy::kSameSlash16, 1, base);
+  const auto g2 = alloc.allocate(36, AddrPolicy::kSameSlash16, 1, base);
+  const auto g3 = alloc.allocate(16, AddrPolicy::kSameSlash16, 1, base);
+  std::unordered_set<net::IPv4> all;
+  for (const auto* group : {&g1, &g2, &g3}) {
+    for (const net::IPv4 ip : *group) {
+      EXPECT_EQ(ip.slash16(), net::IPv4{base});
+      EXPECT_TRUE(all.insert(ip).second);
+    }
+  }
+}
+
+TEST(AddressAllocator, FewSlash24UsesRequestedSubnetCount) {
+  AddressAllocator alloc(Rng{7});
+  const auto ips = alloc.allocate(61, AddrPolicy::kFewSlash24, 23);
+  std::unordered_set<net::IPv4> subnets;
+  for (const net::IPv4 ip : ips) subnets.insert(ip.slash24());
+  EXPECT_EQ(subnets.size(), 23u);
+}
+
+TEST(AddressAllocator, FewSlash24RoundRobinsEvenly) {
+  AddressAllocator alloc(Rng{8});
+  const auto ips = alloc.allocate(40, AddrPolicy::kFewSlash24, 4);
+  std::unordered_map<net::IPv4, int> per_subnet;
+  for (const net::IPv4 ip : ips) ++per_subnet[ip.slash24()];
+  for (const auto& [subnet, count] : per_subnet) EXPECT_EQ(count, 10);
+}
+
+TEST(AddressAllocator, DistinctSlash24SpreadsWidely) {
+  AddressAllocator alloc(Rng{9});
+  const auto ips = alloc.allocate(1000, AddrPolicy::kDistinctSlash24);
+  std::unordered_set<net::IPv4> subnets;
+  for (const net::IPv4 ip : ips) subnets.insert(ip.slash24());
+  // "1412 IPs in 1381 /24s": nearly one subnet per sender.
+  EXPECT_GT(subnets.size(), 980u);
+}
+
+TEST(AddressAllocator, Slash24OverflowFallsBack) {
+  // Requesting more than 256 addresses in one /24 must not loop forever.
+  AddressAllocator alloc(Rng{10});
+  const auto ips = alloc.allocate(300, AddrPolicy::kSameSlash24);
+  std::unordered_set<net::IPv4> unique(ips.begin(), ips.end());
+  EXPECT_EQ(unique.size(), 300u);
+}
+
+TEST(AddressAllocator, DeterministicForSameSeed) {
+  AddressAllocator a(Rng{11});
+  AddressAllocator b(Rng{11});
+  EXPECT_EQ(a.allocate(100, AddrPolicy::kRandom),
+            b.allocate(100, AddrPolicy::kRandom));
+}
+
+}  // namespace
+}  // namespace darkvec::sim

@@ -1,0 +1,115 @@
+#include "darkvec/sim/honeypot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace darkvec::sim {
+namespace {
+
+using net::IPv4;
+using net::Packet;
+using net::Protocol;
+
+Packet pkt(std::int64_t ts, IPv4 src, std::uint16_t port,
+           Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.ts = ts;
+  p.src = src;
+  p.dst_port = port;
+  p.proto = proto;
+  return p;
+}
+
+const IPv4 kBot{10, 1, 1, 1};
+const IPv4 kScanner{10, 2, 2, 2};
+const IPv4 kOtherPort{10, 3, 3, 3};
+
+struct Fixture {
+  net::Trace trace;
+  GroupMap groups;
+};
+
+Fixture make_fixture(int bot_packets = 50) {
+  Fixture f;
+  for (int i = 0; i < bot_packets; ++i) {
+    f.trace.push_back(pkt(i, kBot, 22));
+  }
+  f.trace.push_back(pkt(100, kScanner, 22));   // not a brute-force group
+  f.trace.push_back(pkt(101, kOtherPort, 80)); // brute-force group, not SSH
+  for (int i = 0; i < 20; ++i) {
+    f.trace.push_back(pkt(200 + i, kOtherPort, 80));
+  }
+  f.trace.sort();
+  f.groups = {{kBot, "unknown6_ssh"},
+              {kScanner, "shodan"},
+              {kOtherPort, "unknown6_ssh"}};
+  return f;
+}
+
+const std::vector<std::string> kBruteforce = {"unknown6_ssh"};
+
+TEST(Honeypot, CapturesOnlyBruteforceGroupSshTraffic) {
+  const Fixture f = make_fixture();
+  HoneypotOptions options;
+  options.capture_probability = 1.0;
+  const HoneypotLog log =
+      simulate_honeypot(f.trace, f.groups, kBruteforce, options);
+  EXPECT_TRUE(log.contains(kBot));
+  EXPECT_FALSE(log.contains(kScanner));    // wrong group
+  EXPECT_FALSE(log.contains(kOtherPort));  // never hit SSH
+  EXPECT_EQ(log.distinct_sources(), 1u);
+  EXPECT_EQ(log.attempts().size(), 50u);
+}
+
+TEST(Honeypot, CaptureProbabilityThinsTheLog) {
+  const Fixture f = make_fixture(2000);
+  HoneypotOptions options;
+  options.capture_probability = 0.25;
+  const HoneypotLog log =
+      simulate_honeypot(f.trace, f.groups, kBruteforce, options);
+  EXPECT_NEAR(static_cast<double>(log.attempts().size()), 500.0, 80.0);
+}
+
+TEST(Honeypot, AttemptsCarryDictionaryCredentials) {
+  const Fixture f = make_fixture();
+  HoneypotOptions options;
+  options.capture_probability = 1.0;
+  const HoneypotLog log =
+      simulate_honeypot(f.trace, f.groups, kBruteforce, options);
+  for (const HoneypotAttempt& a : log.attempts()) {
+    EXPECT_FALSE(a.username.empty());
+    EXPECT_FALSE(a.password.empty());
+    EXPECT_EQ(a.src, kBot);
+  }
+}
+
+TEST(Honeypot, DeterministicForSeed) {
+  const Fixture f = make_fixture();
+  const HoneypotLog l1 = simulate_honeypot(f.trace, f.groups, kBruteforce);
+  const HoneypotLog l2 = simulate_honeypot(f.trace, f.groups, kBruteforce);
+  ASSERT_EQ(l1.attempts().size(), l2.attempts().size());
+  for (std::size_t i = 0; i < l1.attempts().size(); ++i) {
+    EXPECT_EQ(l1.attempts()[i].username, l2.attempts()[i].username);
+    EXPECT_EQ(l1.attempts()[i].ts, l2.attempts()[i].ts);
+  }
+}
+
+TEST(Honeypot, ConfirmedFraction) {
+  const Fixture f = make_fixture();
+  HoneypotOptions options;
+  options.capture_probability = 1.0;
+  const HoneypotLog log =
+      simulate_honeypot(f.trace, f.groups, kBruteforce, options);
+  const std::vector<IPv4> cluster = {kBot, kScanner};
+  EXPECT_DOUBLE_EQ(confirmed_fraction(log, cluster), 0.5);
+  EXPECT_DOUBLE_EQ(confirmed_fraction(log, {}), 0.0);
+}
+
+TEST(Honeypot, EmptyInputs) {
+  const HoneypotLog log =
+      simulate_honeypot(net::Trace{}, {}, kBruteforce);
+  EXPECT_TRUE(log.attempts().empty());
+  EXPECT_EQ(log.distinct_sources(), 0u);
+}
+
+}  // namespace
+}  // namespace darkvec::sim

@@ -1,0 +1,147 @@
+#include "darkvec/sim/ports.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace darkvec::sim {
+namespace {
+
+using net::PortKey;
+using net::Protocol;
+
+PortKey tcp(std::uint16_t p) { return PortKey{p, Protocol::kTcp}; }
+
+TEST(PortTable, SamplesOnlyListedKeys) {
+  PortTable table({{tcp(23), 1.0}, {tcp(80), 2.0}});
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const PortKey k = table.sample(rng);
+    EXPECT_TRUE(k == tcp(23) || k == tcp(80));
+  }
+}
+
+TEST(PortTable, RespectsWeights) {
+  PortTable table({{tcp(23), 0.9}, {tcp(80), 0.1}});
+  Rng rng(2);
+  int hits23 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (table.sample(rng) == tcp(23)) ++hits23;
+  }
+  EXPECT_NEAR(static_cast<double>(hits23) / n, 0.9, 0.02);
+}
+
+TEST(PortTable, NormalizesArbitraryWeights) {
+  // Weights 3:1 behave exactly like 0.75:0.25.
+  PortTable table({{tcp(1), 3.0}, {tcp(2), 1.0}});
+  Rng rng(3);
+  int hits1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (table.sample(rng) == tcp(1)) ++hits1;
+  }
+  EXPECT_NEAR(static_cast<double>(hits1) / n, 0.75, 0.02);
+}
+
+TEST(PortTable, DropsNonPositiveWeights) {
+  PortTable table({{tcp(1), 0.0}, {tcp(2), -1.0}, {tcp(3), 1.0}});
+  EXPECT_EQ(table.size(), 1u);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), tcp(3));
+}
+
+TEST(PortTable, EmptyWhenAllWeightsDropped) {
+  PortTable table({{tcp(1), 0.0}});
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(PortTable, DefaultIsEmpty) { EXPECT_TRUE(PortTable{}.empty()); }
+
+TEST(PortTable, SingleEntryAlwaysSampled) {
+  PortTable table({{tcp(445), 0.42}});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), tcp(445));
+}
+
+class RandomPortKeys : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPortKeys, ProducesDistinctKeysOfRequestedCount) {
+  Rng rng(6);
+  const auto keys = random_port_keys(GetParam(), rng);
+  EXPECT_EQ(keys.size(), GetParam());
+  std::unordered_set<PortKey> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RandomPortKeys,
+                         ::testing::Values(0, 1, 10, 100, 1000));
+
+TEST(RandomPortKeys, RespectsRange) {
+  Rng rng(7);
+  const auto keys = random_port_keys(500, rng, 1000, 2000);
+  for (const PortKey& k : keys) {
+    EXPECT_GE(k.port, 1000);
+    EXPECT_LE(k.port, 2000);
+  }
+}
+
+TEST(RandomPortKeys, UdpFractionApproximatelyHonored) {
+  Rng rng(8);
+  const auto keys = random_port_keys(2000, rng, 1, 65535, 0.3);
+  std::size_t udp = 0;
+  for (const PortKey& k : keys) {
+    if (k.proto == Protocol::kUdp) ++udp;
+  }
+  EXPECT_NEAR(static_cast<double>(udp) / static_cast<double>(keys.size()),
+              0.3, 0.05);
+}
+
+TEST(RandomPortKeys, SaturatesSmallRangeGracefully) {
+  Rng rng(9);
+  // Range of 4 ports x 2 protocols = at most 8 distinct keys.
+  const auto keys = random_port_keys(100, rng, 10, 13, 0.5);
+  EXPECT_LE(keys.size(), 8u);
+  EXPECT_GE(keys.size(), 4u);
+}
+
+TEST(MakePortTable, SplitsResidualOverTail) {
+  Rng rng(10);
+  const std::vector<PortKey> tail = {tcp(100), tcp(200)};
+  // Head takes 0.8, tail shares 0.2 -> 0.1 each.
+  const PortTable table = make_port_table({{tcp(23), 0.8}}, tail);
+  std::map<std::uint16_t, int> hits;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++hits[table.sample(rng).port];
+  EXPECT_NEAR(hits[23] / static_cast<double>(n), 0.8, 0.02);
+  EXPECT_NEAR(hits[100] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(hits[200] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(MakePortTable, NoTailKeepsHeadOnly) {
+  const PortTable table = make_port_table({{tcp(23), 0.5}}, {});
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(MakePortTable, EmptyHeadUniformTail) {
+  Rng rng(11);
+  const PortTable table =
+      make_port_table({}, {tcp(1), tcp(2), tcp(3), tcp(4)});
+  std::map<std::uint16_t, int> hits;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hits[table.sample(rng).port];
+  for (const auto& [port, count] : hits) {
+    EXPECT_NEAR(count / static_cast<double>(n), 0.25, 0.02);
+  }
+}
+
+TEST(MakePortTable, HeadOverOneDropsTailShare) {
+  // Head weights sum to exactly 1: tail gets nothing.
+  const PortTable table = make_port_table({{tcp(23), 1.0}}, {tcp(99)});
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), tcp(23));
+}
+
+}  // namespace
+}  // namespace darkvec::sim

@@ -1,0 +1,148 @@
+#include "darkvec/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace darkvec::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+class RngUniformInt : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformInt, StaysInRangeAndCoversIt) {
+  const std::uint64_t n = GetParam();
+  Rng rng(11);
+  std::vector<int> hits(n, 0);
+  const int draws = static_cast<int>(n) * 200;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.uniform_int(n);
+    ASSERT_LT(v, n);
+    ++hits[v];
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_GT(hits[v], 0) << "value " << v << " never drawn";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngUniformInt,
+                         ::testing::Values(1, 2, 3, 7, 16, 100));
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 0.25;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(2.0), 0.0);
+}
+
+class RngPoisson : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoisson, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.05));
+  EXPECT_NEAR(sample_var, mean, std::max(0.2, mean * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoisson,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace darkvec::sim

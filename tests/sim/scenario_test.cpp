@@ -1,0 +1,146 @@
+#include "darkvec/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace darkvec::sim {
+namespace {
+
+TEST(PaperScenario, GroupNamesAreUnique) {
+  std::unordered_set<std::string> names;
+  for (const PopulationSpec& p : paper_scenario()) {
+    EXPECT_TRUE(names.insert(p.group).second) << p.group;
+  }
+}
+
+TEST(PaperScenario, CoversAllNineGtClasses) {
+  std::unordered_set<GtClass> seen;
+  for (const PopulationSpec& p : paper_scenario()) seen.insert(p.label);
+  for (const GtClass c : kAllGtClasses) {
+    if (c == GtClass::kUnknown) continue;
+    EXPECT_TRUE(seen.contains(c)) << to_string(c);
+  }
+}
+
+TEST(PaperScenario, SmallGtClassesKeepPaperSupports) {
+  std::unordered_map<std::string, std::size_t> count;
+  for (const PopulationSpec& p : paper_scenario()) count[p.group] = p.senders;
+  // Table 2 populations that must stay exact for per-class reports.
+  EXPECT_EQ(count.at("stretchoid"), 104u);
+  EXPECT_EQ(count.at("internet_census"), 103u);
+  EXPECT_EQ(count.at("binaryedge"), 101u);
+  EXPECT_EQ(count.at("sharashka"), 50u);
+  EXPECT_EQ(count.at("ipip"), 49u);
+  EXPECT_EQ(count.at("shodan"), 23u);
+  EXPECT_EQ(count.at("engin_umich"), 10u);
+}
+
+TEST(PaperScenario, SmallClassesAreNotScalable) {
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.label != GtClass::kUnknown && p.label != GtClass::kMirai &&
+        p.label != GtClass::kCensys) {
+      EXPECT_FALSE(p.scalable) << p.group;
+    }
+  }
+}
+
+TEST(PaperScenario, ContainsTheTable5UnknownGroups) {
+  std::unordered_set<std::string> names;
+  for (const PopulationSpec& p : paper_scenario()) names.insert(p.group);
+  for (const char* expected :
+       {"unknown1_netbios", "unknown2_smtp", "unknown3_smb", "unknown4_adb",
+        "mirai_nofp", "unknown6_ssh", "unknown7_horizontal",
+        "unknown8_hourly", "shadowserver_g1", "shadowserver_g2",
+        "shadowserver_g3"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(PaperScenario, UnknownGroupsCarryUnknownLabel) {
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.group.rfind("unknown", 0) == 0 ||
+        p.group.rfind("shadowserver", 0) == 0 ||
+        p.group.rfind("background", 0) == 0 || p.group == "mirai_nofp") {
+      EXPECT_EQ(p.label, GtClass::kUnknown) << p.group;
+    }
+  }
+}
+
+TEST(PaperScenario, OnlyMiraiCarriesFingerprint) {
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.group == "mirai") {
+      EXPECT_EQ(p.fingerprint_prob, 1.0);
+    } else {
+      EXPECT_EQ(p.fingerprint_prob, 0.0) << p.group;
+    }
+  }
+}
+
+TEST(PaperScenario, ShadowserverGroupsShareOneSlash16) {
+  std::uint32_t base = 0;
+  int found = 0;
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.group.rfind("shadowserver", 0) != 0) continue;
+    ++found;
+    EXPECT_EQ(p.addr, AddrPolicy::kSameSlash16);
+    EXPECT_NE(p.addr_base, 0u);
+    if (base == 0) base = p.addr_base;
+    EXPECT_EQ(p.addr_base, base);
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST(PaperScenario, CensysUsesSevenPerTeamPortTeams) {
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.group != "censys") continue;
+    EXPECT_EQ(p.pattern, PatternKind::kTeamShifts);
+    EXPECT_EQ(p.teams, 7);
+    EXPECT_TRUE(p.per_team_ports);
+    EXPECT_GT(p.base_rate_per_day, 0.0);
+  }
+}
+
+TEST(PaperScenario, EnginUmichIsDnsOnlyImpulse) {
+  for (const PopulationSpec& p : paper_scenario()) {
+    if (p.group != "engin_umich") continue;
+    EXPECT_EQ(p.pattern, PatternKind::kImpulse);
+    ASSERT_EQ(p.top_ports.size(), 1u);
+    EXPECT_EQ(p.top_ports[0].first.port, 53);
+    EXPECT_EQ(p.top_ports[0].first.proto, net::Protocol::kUdp);
+    EXPECT_EQ(p.top_ports[0].second, 1.0);
+    EXPECT_EQ(p.random_ports, 0u);
+  }
+}
+
+TEST(PaperScenario, BackscatterDominatesSenderCount) {
+  std::size_t backscatter = 0;
+  std::size_t total = 0;
+  for (const PopulationSpec& p : paper_scenario()) {
+    total += p.senders;
+    if (p.group == "background_backscatter") backscatter = p.senders;
+  }
+  // One-shot senders are the majority of all observed sources (36% appear
+  // exactly once in the paper).
+  EXPECT_GT(backscatter, total / 3);
+}
+
+TEST(TinyScenario, HasThreePopulationsAndALabeledBotnet) {
+  const auto pops = tiny_scenario();
+  ASSERT_EQ(pops.size(), 3u);
+  bool has_mirai = false;
+  for (const PopulationSpec& p : pops) {
+    if (p.label == GtClass::kMirai) has_mirai = true;
+  }
+  EXPECT_TRUE(has_mirai);
+}
+
+TEST(TinyScenario, IsSmall) {
+  std::size_t total = 0;
+  for (const PopulationSpec& p : tiny_scenario()) total += p.senders;
+  EXPECT_LT(total, 200u);
+}
+
+}  // namespace
+}  // namespace darkvec::sim

@@ -1,0 +1,194 @@
+#include "darkvec/sim/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "darkvec/net/time.hpp"
+
+namespace darkvec::sim {
+namespace {
+
+constexpr std::int64_t kDay = net::kSecondsPerDay;
+
+TimeSpan span_days(int days) { return TimeSpan{0, days * kDay}; }
+
+bool sorted(const std::vector<std::int64_t>& v) {
+  return std::ranges::is_sorted(v);
+}
+
+bool within(const std::vector<std::int64_t>& v, TimeSpan s) {
+  return std::ranges::all_of(
+      v, [&](std::int64_t t) { return t >= s.t0 && t < s.t1; });
+}
+
+TEST(Poisson, CountMatchesRate) {
+  Rng rng(1);
+  const auto times = poisson_arrivals(span_days(30), 10.0, rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 300.0, 50.0);
+  EXPECT_TRUE(sorted(times));
+  EXPECT_TRUE(within(times, span_days(30)));
+}
+
+TEST(Poisson, ZeroRateProducesNothing) {
+  Rng rng(2);
+  EXPECT_TRUE(poisson_arrivals(span_days(10), 0.0, rng).empty());
+  EXPECT_TRUE(poisson_arrivals(span_days(10), -5.0, rng).empty());
+}
+
+TEST(Poisson, EmptySpanProducesNothing) {
+  Rng rng(3);
+  EXPECT_TRUE(poisson_arrivals(TimeSpan{100, 100}, 10.0, rng).empty());
+  EXPECT_TRUE(poisson_arrivals(TimeSpan{100, 50}, 10.0, rng).empty());
+}
+
+TEST(Poisson, InterarrivalsAreExponential) {
+  Rng rng(4);
+  const double rate = 100.0;  // per day
+  const auto times = poisson_arrivals(span_days(100), rate, rng);
+  ASSERT_GT(times.size(), 1000u);
+  double sum_gap = 0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    sum_gap += static_cast<double>(times[i] - times[i - 1]);
+  }
+  const double mean_gap = sum_gap / static_cast<double>(times.size() - 1);
+  EXPECT_NEAR(mean_gap, kDay / rate, kDay / rate * 0.1);
+}
+
+TEST(UniformTimes, CountAndBounds) {
+  Rng rng(5);
+  const auto times = uniform_times(span_days(7), 100, rng);
+  EXPECT_EQ(times.size(), 100u);
+  EXPECT_TRUE(sorted(times));
+  EXPECT_TRUE(within(times, span_days(7)));
+}
+
+TEST(UniformTimes, ZeroCount) {
+  Rng rng(6);
+  EXPECT_TRUE(uniform_times(span_days(7), 0, rng).empty());
+}
+
+TEST(OnOff, DutyCycleApproximatelyHonored) {
+  Rng rng(7);
+  const auto intervals = on_off_intervals(span_days(60), 6.0, 18.0, rng);
+  std::int64_t active = 0;
+  for (const TimeSpan& s : intervals) active += s.length();
+  const double duty =
+      static_cast<double>(active) / static_cast<double>(60 * kDay);
+  EXPECT_NEAR(duty, 0.25, 0.08);
+}
+
+TEST(OnOff, IntervalsAreClippedAndOrdered) {
+  Rng rng(8);
+  const auto intervals = on_off_intervals(span_days(10), 4.0, 8.0, rng);
+  ASSERT_FALSE(intervals.empty());
+  std::int64_t prev_end = 0;
+  for (const TimeSpan& s : intervals) {
+    EXPECT_GE(s.t0, 0);
+    EXPECT_LE(s.t1, 10 * kDay);
+    EXPECT_LT(s.t0, s.t1);
+    EXPECT_GE(s.t0, prev_end);
+    prev_end = s.t1;
+  }
+}
+
+TEST(OnOff, ZeroOnHoursProducesNothing) {
+  Rng rng(9);
+  EXPECT_TRUE(on_off_intervals(span_days(10), 0.0, 8.0, rng).empty());
+}
+
+TEST(OnOff, ZeroOffHoursCoversWholeSpan) {
+  Rng rng(10);
+  const auto intervals = on_off_intervals(span_days(5), 6.0, 0.0, rng);
+  std::int64_t active = 0;
+  for (const TimeSpan& s : intervals) active += s.length();
+  EXPECT_EQ(active, 5 * kDay);
+}
+
+TEST(TeamSlots, RoundRobinPartitionIsExactAndDisjoint) {
+  const int teams = 7;
+  std::vector<std::vector<TimeSpan>> slots;
+  std::int64_t covered = 0;
+  for (int t = 0; t < teams; ++t) {
+    slots.push_back(team_slots(span_days(30), teams, t, 2.0));
+    for (const TimeSpan& s : slots.back()) covered += s.length();
+  }
+  EXPECT_EQ(covered, 30 * kDay);  // exact partition
+  // Disjoint: any instant belongs to exactly one team.
+  for (std::int64_t probe = kDay / 2; probe < 30 * kDay; probe += kDay) {
+    int owners = 0;
+    for (int t = 0; t < teams; ++t) {
+      for (const TimeSpan& s : slots[static_cast<std::size_t>(t)]) {
+        if (probe >= s.t0 && probe < s.t1) ++owners;
+      }
+    }
+    EXPECT_EQ(owners, 1) << "instant " << probe;
+  }
+}
+
+TEST(TeamSlots, FirstSlotBelongsToTeamZero) {
+  const auto slots = team_slots(span_days(30), 7, 0, 2.0);
+  ASSERT_FALSE(slots.empty());
+  EXPECT_EQ(slots[0].t0, 0);
+  EXPECT_EQ(slots[0].t1, 2 * kDay);
+}
+
+TEST(TeamSlots, SlotSpacingIsTeamsTimesSlot) {
+  const auto slots = team_slots(span_days(30), 7, 3, 2.0);
+  ASSERT_GE(slots.size(), 2u);
+  EXPECT_EQ(slots[0].t0, 3 * 2 * kDay);
+  EXPECT_EQ(slots[1].t0, slots[0].t0 + 7 * 2 * kDay);
+}
+
+TEST(TeamSlots, DegenerateInputs) {
+  EXPECT_TRUE(team_slots(span_days(30), 0, 0, 2.0).empty());
+  EXPECT_TRUE(team_slots(span_days(30), 3, 0, 0.0).empty());
+}
+
+TEST(GrowthActivation, MonotoneInQuantile) {
+  const TimeSpan span = span_days(30);
+  std::int64_t prev = span.t0;
+  for (double u = 0.0; u < 1.0; u += 0.05) {
+    const std::int64_t t = growth_activation(span, u, 4.0);
+    EXPECT_GE(t, prev);
+    EXPECT_GE(t, span.t0);
+    EXPECT_LE(t, span.t1);
+    prev = t;
+  }
+}
+
+TEST(GrowthActivation, SteepGrowthConcentratesLate) {
+  const TimeSpan span = span_days(30);
+  // With strong exponential growth, the median activation falls in the
+  // second half of the period.
+  const std::int64_t median = growth_activation(span, 0.5, 5.0);
+  EXPECT_GT(median, span.t1 / 2);
+}
+
+TEST(GrowthActivation, ZeroGrowthIsUniform) {
+  const TimeSpan span = span_days(30);
+  EXPECT_EQ(growth_activation(span, 0.5, 0.0), 15 * kDay);
+  EXPECT_EQ(growth_activation(span, 0.0, 0.0), 0);
+}
+
+TEST(ArrivalsInIntervals, StayInsideIntervals) {
+  Rng rng(11);
+  const std::vector<TimeSpan> intervals = {{0, kDay}, {5 * kDay, 6 * kDay}};
+  const auto times = arrivals_in_intervals(intervals, 50.0, rng);
+  EXPECT_TRUE(sorted(times));
+  for (const std::int64_t t : times) {
+    const bool inside = (t >= 0 && t < kDay) ||
+                        (t >= 5 * kDay && t < 6 * kDay);
+    EXPECT_TRUE(inside) << t;
+  }
+  // Two active days at 50/day.
+  EXPECT_NEAR(static_cast<double>(times.size()), 100.0, 30.0);
+}
+
+TEST(ArrivalsInIntervals, EmptyIntervals) {
+  Rng rng(12);
+  EXPECT_TRUE(arrivals_in_intervals({}, 50.0, rng).empty());
+}
+
+}  // namespace
+}  // namespace darkvec::sim

@@ -1,0 +1,93 @@
+#include "darkvec/sim/vantage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace darkvec::sim {
+namespace {
+
+net::Trace sample_trace() {
+  SimConfig config;
+  config.days = 3;
+  config.seed = 17;
+  return DarknetSimulator(config).run(tiny_scenario()).trace;
+}
+
+std::unordered_set<net::IPv4> sources_of(const net::Trace& t) {
+  std::unordered_set<net::IPv4> out;
+  for (const net::Packet& p : t) out.insert(p.src);
+  return out;
+}
+
+TEST(Vantage, EveryPacketLandsInExactlyOneDarknet) {
+  const net::Trace trace = sample_trace();
+  const VantageSplit split = split_vantage_points(trace);
+  EXPECT_EQ(split.darknet_a.size() + split.darknet_b.size(), trace.size());
+}
+
+TEST(Vantage, TracesStaySorted) {
+  const VantageSplit split = split_vantage_points(sample_trace());
+  for (const net::Trace* t : {&split.darknet_a, &split.darknet_b}) {
+    for (std::size_t i = 1; i < t->size(); ++i) {
+      EXPECT_LE((*t)[i - 1].ts, (*t)[i].ts);
+    }
+  }
+}
+
+TEST(Vantage, SingleVantageSendersDoNotLeak) {
+  const net::Trace trace = sample_trace();
+  VantageOptions options;
+  options.both_probability = 0.0;
+  const VantageSplit split = split_vantage_points(trace, options);
+  const auto a = sources_of(split.darknet_a);
+  const auto b = sources_of(split.darknet_b);
+  for (const net::IPv4 ip : a) EXPECT_FALSE(b.contains(ip));
+  EXPECT_EQ(split.senders_both, 0u);
+}
+
+TEST(Vantage, FullOverlapSharesEverySender) {
+  const net::Trace trace = sample_trace();
+  VantageOptions options;
+  options.both_probability = 1.0;
+  const VantageSplit split = split_vantage_points(trace, options);
+  EXPECT_EQ(split.senders_only_a + split.senders_only_b, 0u);
+  // With enough packets per sender, both darknets see almost everyone.
+  const auto a = sources_of(split.darknet_a);
+  const auto b = sources_of(split.darknet_b);
+  EXPECT_GT(a.size() * 10, sources_of(trace).size() * 8);
+  EXPECT_GT(b.size() * 10, sources_of(trace).size() * 8);
+}
+
+TEST(Vantage, OverlapFractionTracksProbability) {
+  const net::Trace trace = sample_trace();
+  VantageOptions options;
+  options.both_probability = 0.3;
+  const VantageSplit split = split_vantage_points(trace, options);
+  const double total = static_cast<double>(
+      split.senders_both + split.senders_only_a + split.senders_only_b);
+  EXPECT_NEAR(static_cast<double>(split.senders_both) / total, 0.3, 0.1);
+}
+
+TEST(Vantage, DeterministicForSeed) {
+  const net::Trace trace = sample_trace();
+  const VantageSplit s1 = split_vantage_points(trace);
+  const VantageSplit s2 = split_vantage_points(trace);
+  ASSERT_EQ(s1.darknet_a.size(), s2.darknet_a.size());
+  for (std::size_t i = 0; i < s1.darknet_a.size(); ++i) {
+    EXPECT_EQ(s1.darknet_a[i].src, s2.darknet_a[i].src);
+    EXPECT_EQ(s1.darknet_a[i].ts, s2.darknet_a[i].ts);
+  }
+}
+
+TEST(Vantage, EmptyTrace) {
+  const VantageSplit split = split_vantage_points(net::Trace{});
+  EXPECT_TRUE(split.darknet_a.empty());
+  EXPECT_TRUE(split.darknet_b.empty());
+}
+
+}  // namespace
+}  // namespace darkvec::sim

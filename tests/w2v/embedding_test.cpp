@@ -1,0 +1,141 @@
+#include "darkvec/w2v/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace darkvec::w2v {
+namespace {
+
+Embedding small_embedding() {
+  Embedding e(3, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(0)[1] = 0.0f;
+  e.vec(1)[0] = 0.0f;
+  e.vec(1)[1] = 2.0f;
+  e.vec(2)[0] = 3.0f;
+  e.vec(2)[1] = 3.0f;
+  return e;
+}
+
+TEST(Embedding, SizeAndDim) {
+  const Embedding e(5, 7);
+  EXPECT_EQ(e.size(), 5u);
+  EXPECT_EQ(e.dim(), 7);
+}
+
+TEST(Embedding, DefaultIsEmpty) {
+  const Embedding e;
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_EQ(e.dim(), 0);
+}
+
+TEST(Embedding, DataConstructorValidates) {
+  EXPECT_THROW(Embedding(std::vector<float>(7), 2), std::invalid_argument);
+  EXPECT_NO_THROW(Embedding(std::vector<float>(8), 2));
+}
+
+TEST(Embedding, Dot) {
+  const Embedding e = small_embedding();
+  EXPECT_DOUBLE_EQ(dot(e.vec(0), e.vec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(dot(e.vec(0), e.vec(2)), 3.0);
+  EXPECT_DOUBLE_EQ(dot(e.vec(2), e.vec(2)), 18.0);
+}
+
+TEST(Embedding, CosineKnownAngles) {
+  const Embedding e = small_embedding();
+  EXPECT_NEAR(e.cosine(0, 1), 0.0, 1e-9);          // orthogonal
+  EXPECT_NEAR(e.cosine(0, 2), std::sqrt(0.5), 1e-6);  // 45 degrees
+  EXPECT_NEAR(e.cosine(2, 2), 1.0, 1e-9);          // identical
+}
+
+TEST(Embedding, CosineOfZeroVectorIsZero) {
+  Embedding e(2, 3);
+  e.vec(1)[0] = 1.0f;
+  EXPECT_EQ(e.cosine(0, 1), 0.0);
+  EXPECT_EQ(e.cosine(0, 0), 0.0);
+}
+
+TEST(Embedding, CosineScaleInvariant) {
+  Embedding e(2, 2);
+  e.vec(0)[0] = 1.0f;
+  e.vec(0)[1] = 2.0f;
+  e.vec(1)[0] = 10.0f;
+  e.vec(1)[1] = 20.0f;
+  EXPECT_NEAR(e.cosine(0, 1), 1.0, 1e-6);
+}
+
+TEST(Embedding, NormalizedRowsHaveUnitNorm) {
+  const Embedding n = small_embedding().normalized();
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    EXPECT_NEAR(dot(n.vec(i), n.vec(i)), 1.0, 1e-6) << i;
+  }
+}
+
+TEST(Embedding, NormalizedKeepsZeroRowsZero) {
+  Embedding e(2, 2);
+  e.vec(1)[0] = 5.0f;
+  const Embedding n = e.normalized();
+  EXPECT_EQ(n.vec(0)[0], 0.0f);
+  EXPECT_EQ(n.vec(0)[1], 0.0f);
+}
+
+TEST(Embedding, NormalizedPreservesCosine) {
+  const Embedding e = small_embedding();
+  const Embedding n = e.normalized();
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    for (std::size_t j = 0; j < e.size(); ++j) {
+      EXPECT_NEAR(e.cosine(i, j), dot(n.vec(i), n.vec(j)), 1e-6);
+    }
+  }
+}
+
+TEST(Embedding, SaveLoadRoundTrip) {
+  const Embedding e = small_embedding();
+  std::stringstream buffer;
+  e.save(buffer);
+  const Embedding loaded = Embedding::load(buffer);
+  ASSERT_EQ(loaded.size(), e.size());
+  ASSERT_EQ(loaded.dim(), e.dim());
+  EXPECT_EQ(loaded.data(), e.data());
+}
+
+TEST(Embedding, SaveLoadEmptyMatrix) {
+  const Embedding e(0, 4);
+  std::stringstream buffer;
+  e.save(buffer);
+  const Embedding loaded = Embedding::load(buffer);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.dim(), 4);
+}
+
+TEST(Embedding, LoadRejectsBadMagic) {
+  std::stringstream buffer("not an embedding file at all");
+  EXPECT_THROW(Embedding::load(buffer), std::runtime_error);
+}
+
+TEST(Embedding, LoadRejectsTruncatedData) {
+  const Embedding e = small_embedding();
+  std::stringstream buffer;
+  e.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 4));
+  EXPECT_THROW(Embedding::load(truncated), std::runtime_error);
+}
+
+TEST(Embedding, FileRoundTrip) {
+  const Embedding e = small_embedding();
+  const std::string path = ::testing::TempDir() + "/darkvec_emb_test.bin";
+  e.save_file(path);
+  const Embedding loaded = Embedding::load_file(path);
+  EXPECT_EQ(loaded.data(), e.data());
+}
+
+TEST(Embedding, MissingFileThrows) {
+  EXPECT_THROW(Embedding::load_file("/nonexistent/emb.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace darkvec::w2v

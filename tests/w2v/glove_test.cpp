@@ -1,0 +1,111 @@
+#include "darkvec/w2v/glove.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::w2v {
+namespace {
+
+GloveOptions test_options() {
+  GloveOptions o;
+  o.dim = 16;
+  o.window = 3;
+  o.epochs = 30;
+  o.seed = 7;
+  return o;
+}
+
+std::vector<Sentence> two_communities(int repeats, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Sentence> corpus;
+  for (int r = 0; r < repeats; ++r) {
+    Sentence a, b;
+    for (int i = 0; i < 8; ++i) {
+      a.push_back(static_cast<std::uint32_t>(rng.uniform_int(5)));
+      b.push_back(static_cast<std::uint32_t>(5 + rng.uniform_int(5)));
+    }
+    corpus.push_back(a);
+    corpus.push_back(b);
+  }
+  return corpus;
+}
+
+double mean_cosine(const Embedding& e, std::uint32_t lo1, std::uint32_t hi1,
+                   std::uint32_t lo2, std::uint32_t hi2) {
+  double total = 0;
+  int count = 0;
+  for (std::uint32_t i = lo1; i < hi1; ++i) {
+    for (std::uint32_t j = lo2; j < hi2; ++j) {
+      if (i == j) continue;
+      total += e.cosine(i, j);
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+TEST(Glove, LearnsCoOccurrenceCommunities) {
+  const auto corpus = two_communities(150, 3);
+  GloveModel model(10, test_options());
+  model.train(corpus);
+  const Embedding& e = model.embedding();
+  const double within = mean_cosine(e, 0, 5, 0, 5);
+  const double across = mean_cosine(e, 0, 5, 5, 10);
+  EXPECT_GT(within, across + 0.3);
+}
+
+TEST(Glove, Deterministic) {
+  const auto corpus = two_communities(30, 3);
+  GloveModel m1(10, test_options());
+  GloveModel m2(10, test_options());
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_EQ(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(Glove, CoOccurrenceCellCount) {
+  // Sentence {0,1,2}, window >= 2: symmetric pairs (0,1),(0,2),(1,2) and
+  // mirrors -> 6 cells.
+  GloveOptions o = test_options();
+  o.window = 5;
+  GloveModel model(3, o);
+  const std::vector<Sentence> corpus = {{0, 1, 2}};
+  model.train(corpus);
+  EXPECT_EQ(model.nonzero_cells(), 6u);
+}
+
+TEST(Glove, StatsCountCellsTimesEpochs) {
+  GloveOptions o = test_options();
+  o.epochs = 4;
+  GloveModel model(3, o);
+  const std::vector<Sentence> corpus = {{0, 1, 2}};
+  const TrainStats stats = model.train(corpus);
+  EXPECT_EQ(stats.pairs, 24u);  // 6 cells x 4 epochs
+  EXPECT_EQ(stats.tokens, 3u);
+}
+
+TEST(Glove, EmptyCorpus) {
+  GloveModel model(4, test_options());
+  const TrainStats stats = model.train(std::vector<Sentence>{});
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(model.embedding().size(), 4u);
+}
+
+TEST(Glove, OutOfRangeWordThrows) {
+  GloveModel model(4, test_options());
+  const std::vector<Sentence> corpus = {{0, 7}};
+  EXPECT_THROW(model.train(corpus), std::out_of_range);
+}
+
+TEST(Glove, InvalidOptionsThrow) {
+  GloveOptions bad = test_options();
+  bad.dim = 0;
+  EXPECT_THROW(GloveModel(4, bad), std::invalid_argument);
+  GloveOptions bad_window = test_options();
+  bad_window.window = 0;
+  EXPECT_THROW(GloveModel(4, bad_window), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace darkvec::w2v

@@ -1,0 +1,336 @@
+#include "darkvec/w2v/skipgram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "darkvec/sim/rng.hpp"
+
+namespace darkvec::w2v {
+namespace {
+
+SkipGramOptions test_options() {
+  SkipGramOptions o;
+  o.dim = 16;
+  o.window = 3;
+  o.negative = 5;
+  o.epochs = 15;
+  o.subsample = 0;  // keep the tiny corpora intact
+  o.seed = 7;
+  return o;
+}
+
+/// Corpus with two token communities: {0..4} co-occur, {5..9} co-occur,
+/// never across. The learned embedding must place same-community tokens
+/// closer than cross-community ones.
+std::vector<Sentence> two_communities(int repeats, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Sentence> corpus;
+  for (int r = 0; r < repeats; ++r) {
+    Sentence a, b;
+    for (int i = 0; i < 8; ++i) {
+      a.push_back(static_cast<std::uint32_t>(rng.uniform_int(5)));
+      b.push_back(static_cast<std::uint32_t>(5 + rng.uniform_int(5)));
+    }
+    corpus.push_back(a);
+    corpus.push_back(b);
+  }
+  return corpus;
+}
+
+double mean_cosine(const Embedding& e, std::uint32_t lo1, std::uint32_t hi1,
+                   std::uint32_t lo2, std::uint32_t hi2) {
+  double total = 0;
+  int count = 0;
+  for (std::uint32_t i = lo1; i < hi1; ++i) {
+    for (std::uint32_t j = lo2; j < hi2; ++j) {
+      if (i == j) continue;
+      total += e.cosine(i, j);
+      ++count;
+    }
+  }
+  return total / count;
+}
+
+TEST(SkipGram, LearnsCoOccurrenceCommunities) {
+  const auto corpus = two_communities(200, 3);
+  SkipGramModel model(10, test_options());
+  model.train(corpus);
+  const Embedding& e = model.embedding();
+  const double within_a = mean_cosine(e, 0, 5, 0, 5);
+  const double within_b = mean_cosine(e, 5, 10, 5, 10);
+  const double across = mean_cosine(e, 0, 5, 5, 10);
+  EXPECT_GT(within_a, across + 0.3);
+  EXPECT_GT(within_b, across + 0.3);
+}
+
+TEST(SkipGram, SingleThreadIsDeterministic) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramModel m1(10, test_options());
+  SkipGramModel m2(10, test_options());
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_EQ(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(SkipGram, DifferentSeedsDifferentEmbeddings) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramOptions o1 = test_options();
+  SkipGramOptions o2 = test_options();
+  o2.seed = 8;
+  SkipGramModel m1(10, o1);
+  SkipGramModel m2(10, o2);
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_NE(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(SkipGram, InitializationDependsOnSeedOnly) {
+  SkipGramModel m1(4, test_options());
+  SkipGramModel m2(4, test_options());
+  EXPECT_EQ(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(SkipGram, StatsCountTokensAndPairs) {
+  SkipGramOptions o = test_options();
+  o.epochs = 2;
+  o.dynamic_window = false;
+  o.window = 10;  // full window on short sentences
+  SkipGramModel model(4, o);
+  const std::vector<Sentence> corpus = {{0, 1, 2, 3}};
+  const TrainStats stats = model.train(corpus);
+  EXPECT_EQ(stats.tokens, 8u);      // 4 tokens x 2 epochs
+  EXPECT_EQ(stats.pairs, 24u);      // 4*3 ordered pairs x 2 epochs
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(SkipGram, DynamicWindowTrainsFewerPairs) {
+  SkipGramOptions fixed = test_options();
+  fixed.epochs = 5;
+  fixed.window = 5;
+  fixed.dynamic_window = false;
+  SkipGramOptions dynamic = fixed;
+  dynamic.dynamic_window = true;
+  const auto corpus = two_communities(20, 4);
+  SkipGramModel mf(10, fixed);
+  SkipGramModel md(10, dynamic);
+  const auto sf = mf.train(corpus);
+  const auto sd = md.train(corpus);
+  EXPECT_LT(sd.pairs, sf.pairs);
+  EXPECT_GT(sd.pairs, 0u);
+}
+
+TEST(SkipGram, SubsamplingReducesProcessedTokens) {
+  // One dominant token: subsampling must drop many of its occurrences.
+  std::vector<Sentence> corpus;
+  for (int i = 0; i < 100; ++i) {
+    corpus.push_back({0, 0, 0, 0, 0, 0, 0, 1, 2, 3});
+  }
+  SkipGramOptions with = test_options();
+  with.epochs = 1;
+  with.subsample = 1e-3;
+  SkipGramOptions without = with;
+  without.subsample = 0;
+  SkipGramModel mw(4, with);
+  SkipGramModel mo(4, without);
+  const auto sw = mw.train(corpus);
+  const auto so = mo.train(corpus);
+  EXPECT_LT(sw.pairs, so.pairs / 2);
+}
+
+TEST(SkipGram, EmptyCorpusIsNoOp) {
+  SkipGramModel model(4, test_options());
+  const TrainStats stats = model.train(std::vector<Sentence>{});
+  EXPECT_EQ(stats.tokens, 0u);
+  EXPECT_EQ(stats.pairs, 0u);
+}
+
+TEST(SkipGram, OutOfRangeWordThrows) {
+  SkipGramModel model(4, test_options());
+  const std::vector<Sentence> corpus = {{0, 1, 4}};
+  EXPECT_THROW(model.train(corpus), std::out_of_range);
+}
+
+TEST(SkipGram, InvalidOptionsThrow) {
+  SkipGramOptions bad_dim = test_options();
+  bad_dim.dim = 0;
+  EXPECT_THROW(SkipGramModel(4, bad_dim), std::invalid_argument);
+  SkipGramOptions bad_window = test_options();
+  bad_window.window = 0;
+  EXPECT_THROW(SkipGramModel(4, bad_window), std::invalid_argument);
+}
+
+TEST(SkipGram, VocabSizeExposed) {
+  SkipGramModel model(42, test_options());
+  EXPECT_EQ(model.vocab_size(), 42u);
+  EXPECT_EQ(model.embedding().size(), 42u);
+  EXPECT_EQ(model.embedding().dim(), 16);
+}
+
+TEST(SkipGram, HogwildThreadsStillLearn) {
+  // Multi-threaded training is lock-free and non-deterministic, but must
+  // still produce a usable embedding.
+  const auto corpus = two_communities(200, 3);
+  SkipGramOptions o = test_options();
+  o.threads = 2;
+  SkipGramModel model(10, o);
+  const TrainStats stats = model.train(corpus);
+  EXPECT_GT(stats.pairs, 0u);
+  const Embedding& e = model.embedding();
+  const double within = mean_cosine(e, 0, 5, 0, 5);
+  const double across = mean_cosine(e, 0, 5, 5, 10);
+  EXPECT_GT(within, across + 0.2);
+}
+
+// ---- CBOW architecture -----------------------------------------------------
+
+TEST(Cbow, LearnsCoOccurrenceCommunities) {
+  const auto corpus = two_communities(200, 3);
+  SkipGramOptions o = test_options();
+  o.cbow = true;
+  SkipGramModel model(10, o);
+  model.train(corpus);
+  const Embedding& e = model.embedding();
+  const double within = mean_cosine(e, 0, 5, 0, 5);
+  const double across = mean_cosine(e, 0, 5, 5, 10);
+  EXPECT_GT(within, across + 0.3);
+}
+
+TEST(Cbow, DeterministicForSeed) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramOptions o = test_options();
+  o.cbow = true;
+  SkipGramModel m1(10, o);
+  SkipGramModel m2(10, o);
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_EQ(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(Cbow, CountsContextTokensAsPairs) {
+  SkipGramOptions o = test_options();
+  o.cbow = true;
+  o.epochs = 1;
+  o.dynamic_window = false;
+  o.window = 10;
+  SkipGramModel model(4, o);
+  const std::vector<Sentence> corpus = {{0, 1, 2, 3}};
+  const TrainStats stats = model.train(corpus);
+  // Each of the 4 positions aggregates the 3 other tokens.
+  EXPECT_EQ(stats.pairs, 12u);
+}
+
+TEST(Cbow, DiffersFromSkipGram) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramOptions sg = test_options();
+  SkipGramOptions cb = test_options();
+  cb.cbow = true;
+  SkipGramModel m1(10, sg);
+  SkipGramModel m2(10, cb);
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_NE(m1.embedding().data(), m2.embedding().data());
+}
+
+// ---- hierarchical softmax ----------------------------------------------
+
+TEST(HierarchicalSoftmax, LearnsCoOccurrenceCommunities) {
+  const auto corpus = two_communities(200, 3);
+  SkipGramOptions o = test_options();
+  o.hierarchical_softmax = true;
+  SkipGramModel model(10, o);
+  model.train(corpus);
+  const Embedding& e = model.embedding();
+  const double within = mean_cosine(e, 0, 5, 0, 5);
+  const double across = mean_cosine(e, 0, 5, 5, 10);
+  EXPECT_GT(within, across + 0.3);
+}
+
+TEST(HierarchicalSoftmax, DeterministicForSeed) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramOptions o = test_options();
+  o.hierarchical_softmax = true;
+  SkipGramModel m1(10, o);
+  SkipGramModel m2(10, o);
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_EQ(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(HierarchicalSoftmax, DiffersFromNegativeSampling) {
+  const auto corpus = two_communities(50, 3);
+  SkipGramOptions hs = test_options();
+  hs.hierarchical_softmax = true;
+  SkipGramModel m1(10, test_options());
+  SkipGramModel m2(10, hs);
+  m1.train(corpus);
+  m2.train(corpus);
+  EXPECT_NE(m1.embedding().data(), m2.embedding().data());
+}
+
+TEST(HierarchicalSoftmax, SingleWordVocabIsHarmless) {
+  SkipGramOptions o = test_options();
+  o.hierarchical_softmax = true;
+  o.epochs = 1;
+  SkipGramModel model(1, o);
+  const std::vector<Sentence> corpus = {{0, 0, 0}};
+  EXPECT_NO_THROW(model.train(corpus));
+}
+
+TEST(HierarchicalSoftmax, CbowComboRejected) {
+  SkipGramOptions o = test_options();
+  o.hierarchical_softmax = true;
+  o.cbow = true;
+  EXPECT_THROW(SkipGramModel(4, o), std::invalid_argument);
+}
+
+// ---- pair-based training (IP2VEC path) -----------------------------------
+
+TEST(SkipGramPairs, IdenticalContextDistributionsAlignInputs) {
+  // The property SGNS guarantees: input tokens trained against the same
+  // output contexts end up with aligned input vectors. Tokens 0 and 1
+  // share context {2,3,4}; tokens 5 and 6 share context {7,8,9}.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (int i = 0; i < 2000; ++i) {
+    for (std::uint32_t t : {2u, 3u, 4u}) {
+      pairs.emplace_back(0, t);
+      pairs.emplace_back(1, t);
+    }
+    for (std::uint32_t t : {7u, 8u, 9u}) {
+      pairs.emplace_back(5, t);
+      pairs.emplace_back(6, t);
+    }
+  }
+  SkipGramOptions o = test_options();
+  o.epochs = 5;
+  SkipGramModel model(10, o);
+  model.train_pairs(pairs);
+  const Embedding& e = model.embedding();
+  EXPECT_GT(e.cosine(0, 1), e.cosine(0, 5) + 0.3);
+  EXPECT_GT(e.cosine(5, 6), e.cosine(1, 6) + 0.3);
+}
+
+TEST(SkipGramPairs, StatsCountPairsTimesEpochs) {
+  SkipGramOptions o = test_options();
+  o.epochs = 3;
+  SkipGramModel model(4, o);
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {
+      {0, 1}, {2, 3}};
+  const TrainStats stats = model.train_pairs(pairs);
+  EXPECT_EQ(stats.pairs, 6u);
+}
+
+TEST(SkipGramPairs, OutOfRangeThrows) {
+  SkipGramModel model(4, test_options());
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {{0, 9}};
+  EXPECT_THROW(model.train_pairs(pairs), std::out_of_range);
+}
+
+TEST(SkipGramPairs, EmptyPairsIsNoOp) {
+  SkipGramModel model(4, test_options());
+  const TrainStats stats = model.train_pairs({});
+  EXPECT_EQ(stats.pairs, 0u);
+}
+
+}  // namespace
+}  // namespace darkvec::w2v

@@ -1,0 +1,60 @@
+#include "darkvec/w2v/vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace darkvec::w2v {
+namespace {
+
+TEST(Vocab, AssignsDenseIdsInInsertionOrder) {
+  Vocab<std::string> v;
+  EXPECT_EQ(v.add("alpha"), 0u);
+  EXPECT_EQ(v.add("beta"), 1u);
+  EXPECT_EQ(v.add("alpha"), 0u);
+  EXPECT_EQ(v.add("gamma"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Vocab, CountsOccurrences) {
+  Vocab<int> v;
+  v.add(7);
+  v.add(7);
+  v.add(7);
+  v.add(9);
+  EXPECT_EQ(v.count(v.id_of(7)), 3u);
+  EXPECT_EQ(v.count(v.id_of(9)), 1u);
+}
+
+TEST(Vocab, IdOfAbsentTokenIsNone) {
+  Vocab<int> v;
+  v.add(1);
+  EXPECT_EQ(v.id_of(2), (Vocab<int>::kNone));
+}
+
+TEST(Vocab, IdOfDoesNotInsert) {
+  Vocab<int> v;
+  (void)v.id_of(42);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(Vocab, TokenLookupIsInverseOfAdd) {
+  Vocab<std::string> v;
+  const auto id = v.add("10.0.0.1");
+  EXPECT_EQ(v.token(id), "10.0.0.1");
+}
+
+TEST(Vocab, TokensAndCountsVectorsAlign) {
+  Vocab<char> v;
+  v.add('a');
+  v.add('b');
+  v.add('a');
+  ASSERT_EQ(v.tokens().size(), 2u);
+  ASSERT_EQ(v.counts().size(), 2u);
+  EXPECT_EQ(v.tokens()[0], 'a');
+  EXPECT_EQ(v.counts()[0], 2u);
+  EXPECT_EQ(v.counts()[1], 1u);
+}
+
+}  // namespace
+}  // namespace darkvec::w2v

@@ -1,0 +1,273 @@
+// darkvec — command-line front end to the library.
+//
+//   darkvec simulate  --out DIR [--days N] [--scale S] [--seed X]
+//   darkvec train     --trace FILE --out PREFIX [--services S] [--epochs N]
+//                     [--dim V] [--window C] [--delta-t SECONDS]
+//   darkvec classify  --trace FILE --labels FILE [--k K] [--services S]
+//                     [--epochs N]
+//   darkvec cluster   --trace FILE [--labels FILE] [--kprime K] [--epochs N]
+//   darkvec neighbors --trace FILE --ip A.B.C.D [--k K] [--epochs N]
+//
+// Traces are the CSV format of net::write_csv / examples/export_dataset;
+// label files are "src,class,group" CSVs. `train` writes PREFIX.emb
+// (binary embedding) and PREFIX.vocab (one sender address per row).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/inspector.hpp"
+#include "darkvec/core/model_io.hpp"
+#include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/ml/silhouette.hpp"
+#include "darkvec/net/trace_binary.hpp"
+#include "darkvec/net/trace_io.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+
+namespace {
+
+using namespace darkvec;
+
+struct Args {
+  std::unordered_map<std::string, std::string> values;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key,
+                              double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.contains(key);
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    args.values[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+/// Loads a trace by extension: .dvkt is the compact binary format,
+/// anything else is CSV.
+net::Trace load_trace(const std::string& path) {
+  if (path.size() > 5 && path.rfind(".dvkt") == path.size() - 5) {
+    return net::read_binary_file(path);
+  }
+  return net::read_csv_file(path);
+}
+
+corpus::ServiceStrategy parse_services(const std::string& name) {
+  if (name == "single") return corpus::ServiceStrategy::kSingle;
+  if (name == "auto") return corpus::ServiceStrategy::kAuto;
+  return corpus::ServiceStrategy::kDomain;
+}
+
+sim::LabelMap read_labels(const std::string& path, sim::GroupMap* groups) {
+  sim::LabelMap labels;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open labels file " + path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || (line_no == 1 && line.rfind("src,", 0) == 0)) {
+      continue;
+    }
+    std::stringstream row(line);
+    std::string src, cls, group;
+    std::getline(row, src, ',');
+    std::getline(row, cls, ',');
+    std::getline(row, group, ',');
+    const auto ip = net::IPv4::parse(src);
+    if (!ip) throw std::runtime_error("bad address in labels line " +
+                                      std::to_string(line_no));
+    const sim::GtClass parsed = sim::parse_gt_class(cls);
+    if (parsed != sim::GtClass::kUnknown) labels[*ip] = parsed;
+    if (groups && !group.empty()) (*groups)[*ip] = group;
+  }
+  return labels;
+}
+
+DarkVecConfig config_from(const Args& args) {
+  DarkVecConfig config;
+  config.services = parse_services(args.get("services", "domain"));
+  config.w2v.epochs = static_cast<int>(args.number("epochs", 10));
+  config.w2v.dim = static_cast<int>(args.number("dim", 50));
+  config.w2v.window = static_cast<int>(args.number("window", 25));
+  config.corpus.delta_t =
+      static_cast<std::int64_t>(args.number("delta-t", 3600));
+  config.corpus.min_packets =
+      static_cast<std::size_t>(args.number("min-packets", 10));
+  config.w2v.threads = static_cast<int>(args.number("threads", 1));
+  return config;
+}
+
+DarkVec fit_from(const net::Trace& trace, const Args& args) {
+  DarkVec dv(config_from(args));
+  const auto stats = dv.fit(trace);
+  std::fprintf(stderr,
+               "trained %zu senders, %llu pairs, %.1fs (%s services)\n",
+               dv.corpus().vocabulary_size(),
+               static_cast<unsigned long long>(stats.pairs), stats.seconds,
+               args.get("services", "domain").c_str());
+  return dv;
+}
+
+int cmd_simulate(const Args& args) {
+  sim::SimConfig config;
+  config.days = static_cast<int>(args.number("days", 30));
+  config.scale = args.number("scale", 1.0);
+  config.seed = static_cast<std::uint64_t>(args.number("seed", 2021));
+  const sim::SimResult sim =
+      sim::DarknetSimulator(config).run(sim::paper_scenario());
+  const std::string dir = args.get("out", ".");
+  net::write_csv_file(dir + "/darknet_trace.csv", sim.trace);
+  std::ofstream labels(dir + "/ground_truth.csv");
+  labels << "src,class,group\n";
+  for (const auto& [ip, group] : sim.groups) {
+    labels << ip.to_string() << ','
+           << to_string(sim::label_of(sim.labels, ip)) << ',' << group
+           << '\n';
+  }
+  std::printf("wrote %zu packets and %zu labels under %s\n",
+              sim.trace.size(), sim.groups.size(), dir.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const net::Trace trace = load_trace(args.get("trace"));
+  const DarkVec dv = fit_from(trace, args);
+  const std::string prefix = args.get("out", "darkvec");
+  save_model(prefix, SenderModel{dv.corpus().words, dv.embedding()});
+  std::printf("wrote %s.emb and %s.vocab (%zu rows, dim %d)\n",
+              prefix.c_str(), prefix.c_str(), dv.embedding().size(),
+              dv.embedding().dim());
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  const net::Trace trace = load_trace(args.get("trace"));
+  const sim::LabelMap labels = read_labels(args.get("labels"), nullptr);
+  const DarkVec dv = fit_from(trace, args);
+  const auto eval_ips = last_day_active_senders(trace);
+  const int k = static_cast<int>(args.number("k", 7));
+  const auto eval = evaluate_knn(dv, labels, eval_ips, k);
+  std::printf("%d-NN leave-one-out accuracy %.3f, coverage %.1f%%\n\n", k,
+              eval.accuracy, 100.0 * eval.coverage());
+  std::printf("%-16s %9s %8s %8s %8s\n", "class", "precision", "recall",
+              "f-score", "support");
+  for (const sim::GtClass c : sim::kAllGtClasses) {
+    const auto& s = eval.report.scores(static_cast<int>(c));
+    std::printf("%-16s %9.2f %8.2f %8.2f %8zu\n",
+                std::string(to_string(c)).c_str(), s.precision, s.recall,
+                s.f1, s.support);
+  }
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  const net::Trace trace = load_trace(args.get("trace"));
+  sim::GroupMap groups;
+  if (args.has("labels")) read_labels(args.get("labels"), &groups);
+  const DarkVec dv = fit_from(trace, args);
+  const int k_prime = static_cast<int>(args.number("kprime", 3));
+  const Clustering clustering = dv.cluster(k_prime);
+  const auto samples =
+      ml::silhouette_samples(dv.embedding(), clustering.assignment);
+  const auto clusters = inspect_clusters(trace, dv.corpus(),
+                                         clustering.assignment, groups,
+                                         samples);
+  std::printf("%d clusters over the %d-NN graph, modularity %.3f\n\n",
+              clustering.count, k_prime, clustering.modularity);
+  std::printf("%-5s %6s %6s %5s %6s  %-20s %s\n", "id", "IPs", "ports",
+              "/24s", "sil", "dominant group", "top ports");
+  for (const ClusterInfo& cl : clusters) {
+    if (cl.size() < 5) continue;
+    std::string tops;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, cl.top_ports.size());
+         ++i) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%s(%.0f%%) ",
+                    cl.top_ports[i].first.to_string().c_str(),
+                    100.0 * cl.top_ports[i].second);
+      tops += buf;
+    }
+    char dominant[64] = "-";
+    if (!cl.dominant_group.empty()) {
+      std::snprintf(dominant, sizeof(dominant), "%s (%.0f%%)",
+                    cl.dominant_group.c_str(),
+                    100.0 * cl.dominant_fraction);
+    }
+    std::printf("C%-4d %6zu %6zu %5zu %6.2f  %-20s %s\n", cl.id, cl.size(),
+                cl.ports.size(), cl.distinct_slash24, cl.silhouette,
+                dominant, tops.c_str());
+  }
+  return 0;
+}
+
+int cmd_neighbors(const Args& args) {
+  const net::Trace trace = load_trace(args.get("trace"));
+  const auto ip = net::IPv4::parse(args.get("ip"));
+  if (!ip) {
+    std::fprintf(stderr, "bad --ip\n");
+    return 2;
+  }
+  const DarkVec dv = fit_from(trace, args);
+  const auto index = dv.index_of(*ip);
+  if (!index) {
+    std::fprintf(stderr, "%s is not an active sender in this trace\n",
+                 ip->to_string().c_str());
+    return 1;
+  }
+  const int k = static_cast<int>(args.number("k", 10));
+  std::printf("nearest neighbours of %s:\n", ip->to_string().c_str());
+  for (const auto& nb : dv.knn().query(*index, k)) {
+    std::printf("  %-15s cosine %.4f\n",
+                dv.corpus().words[nb.index].to_string().c_str(),
+                nb.similarity);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: darkvec <simulate|train|classify|cluster|neighbors> "
+               "[--option value ...]\n"
+               "see the header of tools/darkvec_cli.cpp for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "classify") return cmd_classify(args);
+    if (command == "cluster") return cmd_cluster(args);
+    if (command == "neighbors") return cmd_neighbors(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
