@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cbow.dir/bench_ablation_cbow.cpp.o"
+  "CMakeFiles/bench_ablation_cbow.dir/bench_ablation_cbow.cpp.o.d"
+  "bench_ablation_cbow"
+  "bench_ablation_cbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

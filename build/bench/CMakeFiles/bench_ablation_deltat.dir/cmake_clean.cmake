@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deltat.dir/bench_ablation_deltat.cpp.o"
+  "CMakeFiles/bench_ablation_deltat.dir/bench_ablation_deltat.cpp.o.d"
+  "bench_ablation_deltat"
+  "bench_ablation_deltat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deltat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_negatives.cpp" "bench/CMakeFiles/bench_ablation_negatives.dir/bench_ablation_negatives.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_negatives.dir/bench_ablation_negatives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/darkvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/darkvec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/darkvec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/darkvec_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/darkvec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/darkvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

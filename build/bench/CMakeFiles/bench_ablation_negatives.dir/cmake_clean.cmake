@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_negatives.dir/bench_ablation_negatives.cpp.o"
+  "CMakeFiles/bench_ablation_negatives.dir/bench_ablation_negatives.cpp.o.d"
+  "bench_ablation_negatives"
+  "bench_ablation_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_comparison.dir/bench_clustering_comparison.cpp.o"
+  "CMakeFiles/bench_clustering_comparison.dir/bench_clustering_comparison.cpp.o.d"
+  "bench_clustering_comparison"
+  "bench_clustering_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_darknet.dir/bench_cross_darknet.cpp.o"
+  "CMakeFiles/bench_cross_darknet.dir/bench_cross_darknet.cpp.o.d"
+  "bench_cross_darknet"
+  "bench_cross_darknet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_darknet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_kprime.dir/bench_fig10_kprime.cpp.o"
+  "CMakeFiles/bench_fig10_kprime.dir/bench_fig10_kprime.cpp.o.d"
+  "bench_fig10_kprime"
+  "bench_fig10_kprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_silhouette.dir/bench_fig11_silhouette.cpp.o"
+  "CMakeFiles/bench_fig11_silhouette.dir/bench_fig11_silhouette.cpp.o.d"
+  "bench_fig11_silhouette"
+  "bench_fig11_silhouette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_silhouette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_15_rasters.dir/bench_fig12_15_rasters.cpp.o"
+  "CMakeFiles/bench_fig12_15_rasters.dir/bench_fig12_15_rasters.cpp.o.d"
+  "bench_fig12_15_rasters"
+  "bench_fig12_15_rasters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_15_rasters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

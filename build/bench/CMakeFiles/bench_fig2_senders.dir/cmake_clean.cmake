@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_senders.dir/bench_fig2_senders.cpp.o"
+  "CMakeFiles/bench_fig2_senders.dir/bench_fig2_senders.cpp.o.d"
+  "bench_fig2_senders"
+  "bench_fig2_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

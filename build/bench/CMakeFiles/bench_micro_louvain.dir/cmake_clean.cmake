@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_louvain.dir/bench_micro_louvain.cpp.o"
+  "CMakeFiles/bench_micro_louvain.dir/bench_micro_louvain.cpp.o.d"
+  "bench_micro_louvain"
+  "bench_micro_louvain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

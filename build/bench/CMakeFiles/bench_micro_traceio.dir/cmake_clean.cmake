@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_traceio.dir/bench_micro_traceio.cpp.o"
+  "CMakeFiles/bench_micro_traceio.dir/bench_micro_traceio.cpp.o.d"
+  "bench_micro_traceio"
+  "bench_micro_traceio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_traceio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_w2v.dir/bench_micro_w2v.cpp.o"
+  "CMakeFiles/bench_micro_w2v.dir/bench_micro_w2v.cpp.o.d"
+  "bench_micro_w2v"
+  "bench_micro_w2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_w2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

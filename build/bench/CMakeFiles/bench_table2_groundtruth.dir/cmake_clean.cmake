@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_groundtruth.dir/bench_table2_groundtruth.cpp.o"
+  "CMakeFiles/bench_table2_groundtruth.dir/bench_table2_groundtruth.cpp.o.d"
+  "bench_table2_groundtruth"
+  "bench_table2_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_perclass.dir/bench_table4_perclass.cpp.o"
+  "CMakeFiles/bench_table4_perclass.dir/bench_table4_perclass.cpp.o.d"
+  "bench_table4_perclass"
+  "bench_table4_perclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_perclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

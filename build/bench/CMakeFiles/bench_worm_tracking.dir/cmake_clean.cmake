@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worm_tracking.dir/bench_worm_tracking.cpp.o"
+  "CMakeFiles/bench_worm_tracking.dir/bench_worm_tracking.cpp.o.d"
+  "bench_worm_tracking"
+  "bench_worm_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worm_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_senders.dir/classify_senders.cpp.o"
+  "CMakeFiles/classify_senders.dir/classify_senders.cpp.o.d"
+  "classify_senders"
+  "classify_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_embeddings.dir/compare_embeddings.cpp.o"
+  "CMakeFiles/compare_embeddings.dir/compare_embeddings.cpp.o.d"
+  "compare_embeddings"
+  "compare_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_detection.dir/scan_detection.cpp.o"
+  "CMakeFiles/scan_detection.dir/scan_detection.cpp.o.d"
+  "scan_detection"
+  "scan_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dante.cpp" "src/baselines/CMakeFiles/darkvec_baselines.dir/dante.cpp.o" "gcc" "src/baselines/CMakeFiles/darkvec_baselines.dir/dante.cpp.o.d"
+  "/root/repo/src/baselines/ip2vec.cpp" "src/baselines/CMakeFiles/darkvec_baselines.dir/ip2vec.cpp.o" "gcc" "src/baselines/CMakeFiles/darkvec_baselines.dir/ip2vec.cpp.o.d"
+  "/root/repo/src/baselines/port_features.cpp" "src/baselines/CMakeFiles/darkvec_baselines.dir/port_features.cpp.o" "gcc" "src/baselines/CMakeFiles/darkvec_baselines.dir/port_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/darkvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

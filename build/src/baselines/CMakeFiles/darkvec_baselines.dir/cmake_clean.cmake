@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_baselines.dir/dante.cpp.o"
+  "CMakeFiles/darkvec_baselines.dir/dante.cpp.o.d"
+  "CMakeFiles/darkvec_baselines.dir/ip2vec.cpp.o"
+  "CMakeFiles/darkvec_baselines.dir/ip2vec.cpp.o.d"
+  "CMakeFiles/darkvec_baselines.dir/port_features.cpp.o"
+  "CMakeFiles/darkvec_baselines.dir/port_features.cpp.o.d"
+  "libdarkvec_baselines.a"
+  "libdarkvec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/darkvec.cpp" "src/core/CMakeFiles/darkvec_core.dir/darkvec.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/darkvec.cpp.o.d"
+  "/root/repo/src/core/inspector.cpp" "src/core/CMakeFiles/darkvec_core.dir/inspector.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/inspector.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/darkvec_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/raster.cpp" "src/core/CMakeFiles/darkvec_core.dir/raster.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/raster.cpp.o.d"
+  "/root/repo/src/core/semi_supervised.cpp" "src/core/CMakeFiles/darkvec_core.dir/semi_supervised.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/semi_supervised.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/darkvec_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/darkvec_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/darkvec_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/darkvec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/darkvec_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/darkvec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/darkvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_core.dir/darkvec.cpp.o"
+  "CMakeFiles/darkvec_core.dir/darkvec.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/inspector.cpp.o"
+  "CMakeFiles/darkvec_core.dir/inspector.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/model_io.cpp.o"
+  "CMakeFiles/darkvec_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/raster.cpp.o"
+  "CMakeFiles/darkvec_core.dir/raster.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/semi_supervised.cpp.o"
+  "CMakeFiles/darkvec_core.dir/semi_supervised.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/streaming.cpp.o"
+  "CMakeFiles/darkvec_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/darkvec_core.dir/transfer.cpp.o"
+  "CMakeFiles/darkvec_core.dir/transfer.cpp.o.d"
+  "libdarkvec_core.a"
+  "libdarkvec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

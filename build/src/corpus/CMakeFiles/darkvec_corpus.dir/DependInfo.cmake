@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/darkvec_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/darkvec_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/service_map.cpp" "src/corpus/CMakeFiles/darkvec_corpus.dir/service_map.cpp.o" "gcc" "src/corpus/CMakeFiles/darkvec_corpus.dir/service_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/darkvec_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/darkvec_corpus.dir/service_map.cpp.o"
+  "CMakeFiles/darkvec_corpus.dir/service_map.cpp.o.d"
+  "libdarkvec_corpus.a"
+  "libdarkvec_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/darkvec_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/darkvec_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/knn_graph.cpp" "src/graph/CMakeFiles/darkvec_graph.dir/knn_graph.cpp.o" "gcc" "src/graph/CMakeFiles/darkvec_graph.dir/knn_graph.cpp.o.d"
+  "/root/repo/src/graph/louvain.cpp" "src/graph/CMakeFiles/darkvec_graph.dir/louvain.cpp.o" "gcc" "src/graph/CMakeFiles/darkvec_graph.dir/louvain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/darkvec_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

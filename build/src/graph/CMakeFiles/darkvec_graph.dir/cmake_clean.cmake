@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_graph.dir/graph.cpp.o"
+  "CMakeFiles/darkvec_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/darkvec_graph.dir/knn_graph.cpp.o"
+  "CMakeFiles/darkvec_graph.dir/knn_graph.cpp.o.d"
+  "CMakeFiles/darkvec_graph.dir/louvain.cpp.o"
+  "CMakeFiles/darkvec_graph.dir/louvain.cpp.o.d"
+  "libdarkvec_graph.a"
+  "libdarkvec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

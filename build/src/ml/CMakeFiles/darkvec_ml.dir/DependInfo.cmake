@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dbscan.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/dbscan.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/dbscan.cpp.o.d"
+  "/root/repo/src/ml/evaluation.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ml/hac.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/hac.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/hac.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/silhouette.cpp" "src/ml/CMakeFiles/darkvec_ml.dir/silhouette.cpp.o" "gcc" "src/ml/CMakeFiles/darkvec_ml.dir/silhouette.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

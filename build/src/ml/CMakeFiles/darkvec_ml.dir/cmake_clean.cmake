@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_ml.dir/dbscan.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/dbscan.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/hac.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/hac.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/knn.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/linalg.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/metrics.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/darkvec_ml.dir/silhouette.cpp.o"
+  "CMakeFiles/darkvec_ml.dir/silhouette.cpp.o.d"
+  "libdarkvec_ml.a"
+  "libdarkvec_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

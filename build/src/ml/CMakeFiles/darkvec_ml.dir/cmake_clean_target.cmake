@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdarkvec_ml.a"
+)

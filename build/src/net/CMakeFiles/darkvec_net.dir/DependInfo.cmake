@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/darkvec_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/darkvec_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/protocol.cpp.o.d"
+  "/root/repo/src/net/time.cpp" "src/net/CMakeFiles/darkvec_net.dir/time.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/time.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/darkvec_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/trace.cpp.o.d"
+  "/root/repo/src/net/trace_binary.cpp" "src/net/CMakeFiles/darkvec_net.dir/trace_binary.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/trace_binary.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/darkvec_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/darkvec_net.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_net.dir/ipv4.cpp.o"
+  "CMakeFiles/darkvec_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/darkvec_net.dir/protocol.cpp.o"
+  "CMakeFiles/darkvec_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/darkvec_net.dir/time.cpp.o"
+  "CMakeFiles/darkvec_net.dir/time.cpp.o.d"
+  "CMakeFiles/darkvec_net.dir/trace.cpp.o"
+  "CMakeFiles/darkvec_net.dir/trace.cpp.o.d"
+  "CMakeFiles/darkvec_net.dir/trace_binary.cpp.o"
+  "CMakeFiles/darkvec_net.dir/trace_binary.cpp.o.d"
+  "CMakeFiles/darkvec_net.dir/trace_io.cpp.o"
+  "CMakeFiles/darkvec_net.dir/trace_io.cpp.o.d"
+  "libdarkvec_net.a"
+  "libdarkvec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_space.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/address_space.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/address_space.cpp.o.d"
+  "/root/repo/src/sim/honeypot.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/honeypot.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/honeypot.cpp.o.d"
+  "/root/repo/src/sim/labels.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/labels.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/labels.cpp.o.d"
+  "/root/repo/src/sim/ports.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/ports.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/ports.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/temporal.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/temporal.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/temporal.cpp.o.d"
+  "/root/repo/src/sim/vantage.cpp" "src/sim/CMakeFiles/darkvec_sim.dir/vantage.cpp.o" "gcc" "src/sim/CMakeFiles/darkvec_sim.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_sim.dir/address_space.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/address_space.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/honeypot.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/honeypot.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/labels.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/labels.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/ports.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/ports.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/scenario.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/simulator.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/temporal.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/temporal.cpp.o.d"
+  "CMakeFiles/darkvec_sim.dir/vantage.cpp.o"
+  "CMakeFiles/darkvec_sim.dir/vantage.cpp.o.d"
+  "libdarkvec_sim.a"
+  "libdarkvec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

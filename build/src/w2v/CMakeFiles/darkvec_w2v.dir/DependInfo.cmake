@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/w2v/embedding.cpp" "src/w2v/CMakeFiles/darkvec_w2v.dir/embedding.cpp.o" "gcc" "src/w2v/CMakeFiles/darkvec_w2v.dir/embedding.cpp.o.d"
+  "/root/repo/src/w2v/glove.cpp" "src/w2v/CMakeFiles/darkvec_w2v.dir/glove.cpp.o" "gcc" "src/w2v/CMakeFiles/darkvec_w2v.dir/glove.cpp.o.d"
+  "/root/repo/src/w2v/skipgram.cpp" "src/w2v/CMakeFiles/darkvec_w2v.dir/skipgram.cpp.o" "gcc" "src/w2v/CMakeFiles/darkvec_w2v.dir/skipgram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

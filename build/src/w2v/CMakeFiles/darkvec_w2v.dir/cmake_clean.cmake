@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_w2v.dir/embedding.cpp.o"
+  "CMakeFiles/darkvec_w2v.dir/embedding.cpp.o.d"
+  "CMakeFiles/darkvec_w2v.dir/glove.cpp.o"
+  "CMakeFiles/darkvec_w2v.dir/glove.cpp.o.d"
+  "CMakeFiles/darkvec_w2v.dir/skipgram.cpp.o"
+  "CMakeFiles/darkvec_w2v.dir/skipgram.cpp.o.d"
+  "libdarkvec_w2v.a"
+  "libdarkvec_w2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_w2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/dante_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/baselines/dante_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/baselines/dante_test.cpp.o.d"
+  "/root/repo/tests/baselines/ip2vec_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/baselines/ip2vec_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/baselines/ip2vec_test.cpp.o.d"
+  "/root/repo/tests/baselines/port_features_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/baselines/port_features_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/baselines/port_features_test.cpp.o.d"
+  "/root/repo/tests/core/darkvec_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/darkvec_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/darkvec_test.cpp.o.d"
+  "/root/repo/tests/core/inspector_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/inspector_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/inspector_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/raster_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/raster_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/raster_test.cpp.o.d"
+  "/root/repo/tests/core/semi_supervised_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/semi_supervised_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/semi_supervised_test.cpp.o.d"
+  "/root/repo/tests/core/streaming_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/streaming_test.cpp.o.d"
+  "/root/repo/tests/core/transfer_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/core/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/core/transfer_test.cpp.o.d"
+  "/root/repo/tests/corpus/corpus_property_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/corpus/corpus_property_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/corpus/corpus_property_test.cpp.o.d"
+  "/root/repo/tests/corpus/corpus_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/corpus/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/corpus/corpus_test.cpp.o.d"
+  "/root/repo/tests/corpus/service_map_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/corpus/service_map_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/corpus/service_map_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/knn_graph_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/graph/knn_graph_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/graph/knn_graph_test.cpp.o.d"
+  "/root/repo/tests/graph/louvain_exhaustive_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/graph/louvain_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/graph/louvain_exhaustive_test.cpp.o.d"
+  "/root/repo/tests/graph/louvain_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/graph/louvain_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/graph/louvain_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_module_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/integration/cross_module_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/integration/cross_module_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/ml/clustering_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/clustering_test.cpp.o.d"
+  "/root/repo/tests/ml/evaluation_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/evaluation_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_reference_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/knn_reference_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/knn_reference_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/knn_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/knn_test.cpp.o.d"
+  "/root/repo/tests/ml/linalg_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/linalg_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/silhouette_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/silhouette_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/silhouette_test.cpp.o.d"
+  "/root/repo/tests/ml/stats_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/ml/stats_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/ml/stats_test.cpp.o.d"
+  "/root/repo/tests/net/ipv4_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/ipv4_test.cpp.o.d"
+  "/root/repo/tests/net/protocol_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/protocol_test.cpp.o.d"
+  "/root/repo/tests/net/time_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/time_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/time_test.cpp.o.d"
+  "/root/repo/tests/net/trace_binary_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/trace_binary_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/trace_binary_test.cpp.o.d"
+  "/root/repo/tests/net/trace_io_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/trace_io_test.cpp.o.d"
+  "/root/repo/tests/net/trace_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/net/trace_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/net/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/address_space_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/address_space_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/address_space_test.cpp.o.d"
+  "/root/repo/tests/sim/honeypot_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/honeypot_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/honeypot_test.cpp.o.d"
+  "/root/repo/tests/sim/ports_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/ports_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/ports_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/scenario_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/temporal_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/temporal_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/temporal_test.cpp.o.d"
+  "/root/repo/tests/sim/vantage_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/sim/vantage_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/sim/vantage_test.cpp.o.d"
+  "/root/repo/tests/w2v/embedding_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/w2v/embedding_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/w2v/embedding_test.cpp.o.d"
+  "/root/repo/tests/w2v/glove_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/w2v/glove_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/w2v/glove_test.cpp.o.d"
+  "/root/repo/tests/w2v/skipgram_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/w2v/skipgram_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/w2v/skipgram_test.cpp.o.d"
+  "/root/repo/tests/w2v/vocab_test.cpp" "tests/CMakeFiles/darkvec_tests.dir/w2v/vocab_test.cpp.o" "gcc" "tests/CMakeFiles/darkvec_tests.dir/w2v/vocab_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/darkvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/darkvec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/darkvec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/darkvec_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/w2v/CMakeFiles/darkvec_w2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/darkvec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/darkvec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/darkvec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkvec_cli.dir/darkvec_cli.cpp.o"
+  "CMakeFiles/darkvec_cli.dir/darkvec_cli.cpp.o.d"
+  "darkvec"
+  "darkvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkvec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
