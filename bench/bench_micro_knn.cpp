@@ -1,8 +1,11 @@
 // Micro-benchmarks of the cosine k-NN index: the inner loop of both the
 // semi-supervised classifier (Section 6) and the k'-NN graph construction
-// (Section 7).
+// (Section 7). The AllPairs pair contrasts the serial one-query-at-a-time
+// scan against the blocked multi-threaded batch engine (honours
+// DARKVEC_THREADS; the two produce bit-identical neighbour lists).
 #include <benchmark/benchmark.h>
 
+#include "darkvec/core/parallel.hpp"
 #include "darkvec/ml/knn.hpp"
 #include "darkvec/sim/rng.hpp"
 
@@ -48,6 +51,41 @@ void BM_KnnIndexBuild(benchmark::State& state) {
 
 BENCHMARK(BM_KnnIndexBuild)->Arg(5000)->Arg(20000)->Unit(
     benchmark::kMillisecond);
+
+// All-pairs k-NN, the k'-NN graph workload: n serial queries.
+void BM_KnnAllPairsSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  const darkvec::ml::CosineKnn index{random_embedding(n, 50, 7)};
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += index.query(i, k).size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["points"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_KnnAllPairsSerial)
+    ->ArgsProduct({{1000, 5000, 20000}, {4}})
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload through the blocked batch engine.
+void BM_KnnAllPairsBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  const darkvec::ml::CosineKnn index{random_embedding(n, 50, 7)};
+  for (auto _ : state) {
+    const auto all = index.all_neighbors(k);
+    benchmark::DoNotOptimize(all.data());
+  }
+  state.counters["points"] = static_cast<double>(n);
+  state.counters["threads"] =
+      static_cast<double>(darkvec::core::ThreadPool::global().size());
+}
+
+BENCHMARK(BM_KnnAllPairsBatch)
+    ->ArgsProduct({{1000, 5000, 20000}, {4}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

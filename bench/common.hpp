@@ -4,10 +4,11 @@
 // both.
 //
 // Environment knobs honoured by every bench:
-//   DARKVEC_DAYS    trace length in days        (default: per-bench)
-//   DARKVEC_SCALE   population scale factor     (default: per-bench)
-//   DARKVEC_EPOCHS  Word2Vec epochs             (default: per-bench)
-//   DARKVEC_SEED    master seed                 (default: 2021)
+//   DARKVEC_DAYS     trace length in days        (default: per-bench)
+//   DARKVEC_SCALE    population scale factor     (default: per-bench)
+//   DARKVEC_EPOCHS   Word2Vec epochs             (default: per-bench)
+//   DARKVEC_SEED     master seed                 (default: 2021)
+//   DARKVEC_THREADS  parallel-kernel threads     (default: all cores)
 #pragma once
 
 #include <cstdio>
@@ -15,11 +16,18 @@
 #include <string>
 
 #include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/parallel.hpp"
 #include "darkvec/core/semi_supervised.hpp"
 #include "darkvec/sim/scenario.hpp"
 #include "darkvec/sim/simulator.hpp"
 
 namespace darkvec::bench {
+
+/// Thread count of the parallel kernels (k-NN batch engine, LOO
+/// evaluation, silhouette). Touching the global pool here forces its
+/// creation, which is where DARKVEC_THREADS is read, so every bench
+/// honours the knob and can report the value next to its timings.
+inline int threads() { return core::ThreadPool::global().size(); }
 
 inline double env_or(const char* name, double fallback) {
   const char* v = std::getenv(name);

@@ -1,0 +1,69 @@
+// Shared thread pool and deterministic parallel_for.
+//
+// Every parallel kernel in the library (batch k-NN, k'-NN graph, LOO
+// evaluation, silhouette) runs through this pool. The determinism
+// contract: work is split into chunks whose boundaries depend only on
+// the iteration count and the grain — never on the thread count or on
+// scheduling — and each chunk is executed by exactly one thread. A body
+// that writes outputs indexed by the iteration variable alone therefore
+// produces bit-identical results for 1, 2, or N threads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace darkvec::core {
+
+/// Worker count the global pool is created with: the `DARKVEC_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] int default_thread_count();
+
+/// Fixed-size pool of worker threads executing chunked loops.
+///
+/// The calling thread participates in the work, so a pool of size 1 has
+/// no worker threads and runs everything inline. Nested calls from
+/// inside a pool body degrade gracefully to inline execution instead of
+/// deadlocking.
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency (callers + workers); values < 1
+  /// are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const;
+
+  /// Splits [0, n) into consecutive chunks of `grain` iterations (the
+  /// last chunk may be shorter) and calls body(begin, end) once per
+  /// chunk; blocks until every chunk completed. Chunk boundaries are a
+  /// pure function of (n, grain). The first exception thrown by a body
+  /// is rethrown here after the loop drains.
+  void for_each_chunk(std::size_t n, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>&
+                          body);
+
+  /// Process-wide pool, created on first use with default_thread_count()
+  /// workers.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` workers. Intended
+  /// for tests and embedders; must not be called concurrently with work
+  /// running on the global pool.
+  static void set_global_threads(int threads);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// for_each_chunk on the global pool. A `grain` of 0 picks a chunk size
+/// that yields several chunks per thread (good load balance) while
+/// keeping chunks large enough to amortize dispatch.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace darkvec::core

@@ -1,0 +1,96 @@
+// Blocked, multi-threaded batch cosine top-k over an L2-normalized
+// embedding matrix.
+//
+// The serial CosineKnn::query streams the whole corpus once per query;
+// all-pairs workloads (the k'-NN graph of Section 7, leave-one-out
+// evaluation of Section 6) therefore re-read the n x dim matrix n times
+// from memory. This kernel tiles the scan GEMM-style: a block of corpus
+// rows is transposed into a [dim x block] scratch tile once and then
+// reused by a whole block of queries while it is hot in cache, with the
+// inner dim-loop accumulating a register strip of neighbour candidates.
+//
+// Determinism contract: for every query the candidates are visited in
+// ascending corpus order with one float accumulator per (query, corpus)
+// pair, exactly like the serial scan, so results — indices *and*
+// similarity bits — are identical to CosineKnn::query regardless of
+// block sizes or thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+/// One neighbour: point index and cosine similarity.
+struct Neighbor {
+  std::uint32_t index = 0;
+  float similarity = 0;
+};
+
+namespace detail {
+
+/// Heap order: the worst kept neighbour on top; equal similarities keep
+/// the smaller index (deterministic tie-break).
+struct WorseFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.index < b.index;
+  }
+};
+
+/// Bounded min-heap of the k best candidates seen so far. Both the
+/// serial and the batch scan feed candidates through this exact type so
+/// their outputs cannot diverge.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) {}
+
+  void offer(std::uint32_t index, float similarity) {
+    if (k_ <= 0) return;
+    if (heap_.size() < static_cast<std::size_t>(k_)) {
+      heap_.push_back({index, similarity});
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst{});
+    } else if (similarity > heap_.front().similarity) {
+      std::pop_heap(heap_.begin(), heap_.end(), WorseFirst{});
+      heap_.back() = {index, similarity};
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst{});
+    }
+  }
+
+  /// Destructive: sorts by decreasing similarity and returns the result.
+  std::vector<Neighbor> take() {
+    std::sort_heap(heap_.begin(), heap_.end(), WorseFirst{});
+    return std::move(heap_);
+  }
+
+ private:
+  int k_ = 0;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace detail
+
+/// Tile shape of the blocked scan. The defaults keep the transposed
+/// corpus tile (corpus_block x dim floats) inside L1/L2 for the paper's
+/// dim <= 200 while giving each query block enough reuse to amortize
+/// the transpose.
+struct BatchTopkOptions {
+  std::size_t query_block = 32;
+  std::size_t corpus_block = 128;
+};
+
+/// For every row id in `queries`, the k nearest corpus rows of
+/// `normalized` (which must already be row-wise L2-normalized, as
+/// produced by Embedding::normalized()), excluding the query row itself.
+/// Runs on the global core::ThreadPool, parallel over query blocks;
+/// results are bit-identical to calling CosineKnn::query per id, for
+/// any thread count.
+[[nodiscard]] std::vector<std::vector<Neighbor>> batch_topk(
+    const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
+    int k, const BatchTopkOptions& options = {});
+
+}  // namespace darkvec::ml

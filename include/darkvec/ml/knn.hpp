@@ -4,6 +4,9 @@
 // (Section 6) and to build the k'-NN graph for Louvain clustering
 // (Section 7). Sizes are tens of thousands of points, so exact brute force
 // on normalized vectors (similarity == dot product) is the right tool.
+// Single queries run the serial scan; batch workloads go through the
+// blocked multi-threaded kernel of ml/batch_topk.hpp, which returns
+// bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -11,15 +14,10 @@
 #include <utility>
 #include <vector>
 
+#include "darkvec/ml/batch_topk.hpp"
 #include "darkvec/w2v/embedding.hpp"
 
 namespace darkvec::ml {
-
-/// One neighbour: point index and cosine similarity.
-struct Neighbor {
-  std::uint32_t index = 0;
-  float similarity = 0;
-};
 
 /// Exact cosine k-NN index. Rows are L2-normalized at construction; queries
 /// are linear scans with a bounded min-heap, O(n·dim) per query.
@@ -38,6 +36,21 @@ class CosineKnn {
   [[nodiscard]] std::vector<Neighbor> query_vector(std::span<const float> v,
                                                    int k,
                                                    std::int64_t exclude = -1)
+      const;
+
+  /// Neighbour lists for every point in the contiguous range [lo, hi):
+  /// one entry per point, equal to query(i, k) bit-for-bit, computed by
+  /// the blocked batch kernel on the global thread pool.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> query_batch(
+      std::size_t lo, std::size_t hi, int k) const;
+
+  /// Neighbour lists for an arbitrary set of point ids (same guarantee).
+  [[nodiscard]] std::vector<std::vector<Neighbor>> query_batch(
+      std::span<const std::uint32_t> points, int k) const;
+
+  /// All-pairs neighbour lists: query_batch(0, size(), k). The parallel
+  /// path behind k'-NN graph construction and LOO evaluation.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> all_neighbors(int k)
       const;
 
   [[nodiscard]] std::size_t size() const { return normalized_.size(); }

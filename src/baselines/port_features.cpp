@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "darkvec/core/parallel.hpp"
+
 namespace darkvec::baselines {
 
 PortFeatures build_port_features(const net::Trace& trace,
@@ -66,11 +68,19 @@ PortFeatures build_port_features(const net::Trace& trace,
     if (cit == column_of.end()) continue;
     out.matrix.vec(rit->second)[cit->second] += 1.0f;
   }
-  for (std::size_t r = 0; r < out.senders.size(); ++r) {
-    if (totals[r] == 0) continue;
-    auto row = out.matrix.vec(r);
-    for (float& v : row) v /= static_cast<float>(totals[r]);
-  }
+  // Per-row rescale to traffic shares; rows are independent, so this
+  // runs on the shared pool (the k-NN classification over this matrix
+  // goes through the batch kernel in loo_knn_predict).
+  core::parallel_for(out.senders.size(), 0,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t r = lo; r < hi; ++r) {
+                         if (totals[r] == 0) continue;
+                         auto row = out.matrix.vec(r);
+                         for (float& v : row) {
+                           v /= static_cast<float>(totals[r]);
+                         }
+                       }
+                     });
   return out;
 }
 

@@ -1,0 +1,209 @@
+#include "darkvec/core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace darkvec::core {
+namespace {
+
+// Set while a thread executes chunks, so nested for_each_chunk calls run
+// inline instead of waiting on workers that are already busy.
+thread_local bool inside_pool_body = false;
+
+}  // namespace
+
+int default_thread_count() {
+  if (const char* v = std::getenv("DARKVEC_THREADS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+struct ThreadPool::Impl {
+  // One chunked loop. Heap-allocated and shared so a worker that wakes
+  // late still holds a valid (already exhausted) job instead of racing
+  // against the next submission's state.
+  struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t chunk_count = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> chunks_left{0};
+    std::atomic<bool> error_set{false};
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done;
+  };
+
+  explicit Impl(int threads) : size(std::max(threads, 1)) {
+    workers.reserve(static_cast<std::size_t>(size - 1));
+    for (int t = 0; t < size - 1; ++t) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard lock(mutex);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (std::thread& th : workers) th.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock lock(mutex);
+        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        job = current;
+      }
+      if (job) run_chunks(*job);
+    }
+  }
+
+  // Claims chunks until `job` is exhausted; the last finisher wakes the
+  // submitting thread.
+  void run_chunks(Job& job) {
+    inside_pool_body = true;
+    for (;;) {
+      const std::size_t c = job.next_chunk.fetch_add(1);
+      if (c >= job.chunk_count) break;
+      const std::size_t begin = c * job.grain;
+      const std::size_t end = std::min(begin + job.grain, job.n);
+      try {
+        if (!job.error_set.load(std::memory_order_relaxed)) {
+          (*job.body)(begin, end);
+        }
+      } catch (...) {
+        if (!job.error_set.exchange(true)) {
+          job.error = std::current_exception();
+        }
+      }
+      if (job.chunks_left.fetch_sub(1) == 1) {
+        std::lock_guard lock(job.done_mutex);
+        job.done.notify_all();
+      }
+    }
+    inside_pool_body = false;
+  }
+
+  void for_each_chunk(
+      std::size_t count, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    chunk = std::max<std::size_t>(chunk, 1);
+    const std::size_t chunks = (count + chunk - 1) / chunk;
+    // Inline when there is nothing to fan out to, or when called from a
+    // pool body (the workers are busy: queueing would deadlock).
+    if (size == 1 || chunks == 1 || inside_pool_body) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        fn(c * chunk, std::min((c + 1) * chunk, count));
+      }
+      return;
+    }
+
+    std::lock_guard submit(submit_mutex);
+    auto job = std::make_shared<Job>();
+    job->n = count;
+    job->grain = chunk;
+    job->chunk_count = chunks;
+    job->body = &fn;
+    job->chunks_left.store(chunks);
+    {
+      std::lock_guard lock(mutex);
+      current = job;
+      ++generation;
+    }
+    work_ready.notify_all();
+    run_chunks(*job);  // the submitting thread works too
+    {
+      std::unique_lock lock(job->done_mutex);
+      job->done.wait(lock, [&] { return job->chunks_left.load() == 0; });
+    }
+    {
+      std::lock_guard lock(mutex);
+      if (current == job) current = nullptr;
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  const int size;
+  std::vector<std::thread> workers;
+
+  std::mutex submit_mutex;  // serializes jobs from concurrent submitters
+  std::mutex mutex;         // guards current/generation/stop
+  std::condition_variable work_ready;
+  bool stop = false;
+  std::uint64_t generation = 0;
+  std::shared_ptr<Job> current;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+ThreadPool::~ThreadPool() = default;
+
+int ThreadPool::size() const { return impl_->size; }
+
+void ThreadPool::for_each_chunk(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  impl_->for_each_chunk(n, grain, body);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(global_mutex());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_thread_count());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard lock(global_mutex());
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool& pool = ThreadPool::global();
+  if (grain == 0) {
+    // Aim for ~4 chunks per thread but never fewer than 16 iterations
+    // per chunk. Note the auto grain depends on the pool size; kernels
+    // that must be bit-identical across thread counts either write
+    // outputs indexed by the iteration alone (all in-tree callers) or
+    // pass an explicit grain.
+    const auto threads = static_cast<std::size_t>(pool.size());
+    grain = std::max<std::size_t>(16, (n + threads * 4 - 1) / (threads * 4));
+  }
+  pool.for_each_chunk(n, grain, body);
+}
+
+}  // namespace darkvec::core

@@ -4,6 +4,7 @@
 #include <array>
 #include <unordered_set>
 
+#include "darkvec/core/parallel.hpp"
 #include "darkvec/ml/evaluation.hpp"
 #include "darkvec/net/time.hpp"
 
@@ -111,18 +112,26 @@ std::vector<ExtensionCandidate> extend_ground_truth(
   const auto n = corpus.words.size();
 
   // Mean k-NN distance per point, and per-class maximum over its labeled
-  // members — the acceptance threshold of Section 6.4.
-  std::array<double, sim::kNumGtClasses> max_class_distance{};
+  // members — the acceptance threshold of Section 6.4. Neighbour lists
+  // come from one blocked batch query; the per-point pass writes only
+  // avg_distance[i]/majority[i], so it parallelizes deterministically,
+  // while the cross-point class maxima reduce serially afterwards.
+  const auto neighbor_lists = index.query_batch(0, n, k);
   std::vector<double> avg_distance(n, 0.0);
   std::vector<int> majority(n, static_cast<int>(sim::GtClass::kUnknown));
+  core::parallel_for(n, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto& neighbors = neighbor_lists[i];
+      double dist = 0;
+      for (const ml::Neighbor& nb : neighbors) dist += 1.0 - nb.similarity;
+      avg_distance[i] =
+          neighbors.empty() ? 1.0
+                            : dist / static_cast<double>(neighbors.size());
+      majority[i] = ml::majority_vote(neighbors, all_labels);
+    }
+  });
+  std::array<double, sim::kNumGtClasses> max_class_distance{};
   for (std::size_t i = 0; i < n; ++i) {
-    const auto neighbors = index.query(i, k);
-    double dist = 0;
-    for (const ml::Neighbor& nb : neighbors) dist += 1.0 - nb.similarity;
-    avg_distance[i] =
-        neighbors.empty() ? 1.0
-                          : dist / static_cast<double>(neighbors.size());
-    majority[i] = ml::majority_vote(neighbors, all_labels);
     const int own = all_labels[i];
     if (own != static_cast<int>(sim::GtClass::kUnknown)) {
       auto& mx = max_class_distance[static_cast<std::size_t>(own)];

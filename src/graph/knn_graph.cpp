@@ -4,9 +4,13 @@ namespace darkvec::graph {
 
 WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime) {
   const std::size_t n = index.size();
+  // All neighbour lists at once through the blocked parallel kernel;
+  // edges are then inserted serially in ascending source order, so the
+  // graph is bit-identical for any thread count.
+  const auto all = index.all_neighbors(k_prime);
   WeightedGraph g(n);
   for (std::size_t u = 0; u < n; ++u) {
-    for (const ml::Neighbor& nb : index.query(u, k_prime)) {
+    for (const ml::Neighbor& nb : all[u]) {
       if (nb.similarity <= 0) continue;
       g.add_edge(static_cast<std::uint32_t>(u), nb.index, nb.similarity);
     }

@@ -1,0 +1,101 @@
+#include "darkvec/ml/batch_topk.hpp"
+
+#include <cmath>
+
+#include "darkvec/core/parallel.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+// Register strip width of the inner kernel: one query against kStrip
+// consecutive corpus rows per dim-sweep. Each lane keeps its own float
+// accumulator walking d in ascending order, so every (query, corpus)
+// pair sees exactly the operation sequence of the serial scan.
+constexpr std::size_t kStrip = 8;
+
+// sims[jj] = dot(query, tile column jj) for a [dim x width] transposed
+// corpus tile (tile[d * width + jj]).
+void dot_strip(const float* query, const float* tile, std::size_t width,
+               std::size_t dim, float* sims) {
+  std::size_t jj = 0;
+  for (; jj + kStrip <= width; jj += kStrip) {
+    float lane[kStrip] = {};
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float qd = query[d];
+      const float* t = tile + d * width + jj;
+      for (std::size_t r = 0; r < kStrip; ++r) lane[r] += qd * t[r];
+    }
+    for (std::size_t r = 0; r < kStrip; ++r) sims[jj + r] = lane[r];
+  }
+  for (; jj < width; ++jj) {
+    float acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) acc += query[d] * tile[d * width + jj];
+    sims[jj] = acc;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> batch_topk(
+    const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
+    int k, const BatchTopkOptions& options) {
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<Neighbor>> out(nq);
+  const std::size_t n = normalized.size();
+  const auto dim = static_cast<std::size_t>(normalized.dim());
+  if (k <= 0 || nq == 0 || n == 0 || dim == 0) return out;
+
+  const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
+  const std::size_t cb = std::max<std::size_t>(options.corpus_block, kStrip);
+
+  // The serial path rescales every similarity by the query's inverse
+  // norm even for already-unit rows (1/sqrt(dot) is close to but not
+  // exactly 1.0f); reproduce that for bit parity.
+  std::vector<float> inv(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const auto v = normalized.vec(queries[i]);
+    const double norm = std::sqrt(w2v::dot(v, v));
+    inv[i] = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;
+  }
+
+  // Parallel over query blocks: each block of queries is owned by one
+  // chunk, and within a chunk candidates arrive in ascending corpus
+  // order, so the output is independent of the thread count.
+  core::parallel_for(nq, qb, [&](std::size_t qlo, std::size_t qhi) {
+    std::vector<float> tile(cb * dim);
+    std::vector<float> sims(cb);
+    std::vector<detail::TopKHeap> heaps;
+    heaps.reserve(qhi - qlo);
+    for (std::size_t qi = qlo; qi < qhi; ++qi) heaps.emplace_back(k);
+
+    for (std::size_t jb = 0; jb < n; jb += cb) {
+      const std::size_t je = std::min(jb + cb, n);
+      const std::size_t width = je - jb;
+      // Transpose the corpus block once; it is then reused by every
+      // query of the chunk while hot in cache.
+      for (std::size_t j = jb; j < je; ++j) {
+        const float* row = normalized.vec(j).data();
+        for (std::size_t d = 0; d < dim; ++d) {
+          tile[d * width + (j - jb)] = row[d];
+        }
+      }
+      for (std::size_t qi = qlo; qi < qhi; ++qi) {
+        dot_strip(normalized.vec(queries[qi]).data(), tile.data(), width,
+                  dim, sims.data());
+        detail::TopKHeap& heap = heaps[qi - qlo];
+        const float scale = inv[qi];
+        for (std::size_t jj = 0; jj < width; ++jj) {
+          const auto j = static_cast<std::uint32_t>(jb + jj);
+          if (j == queries[qi]) continue;  // leave-one-out
+          heap.offer(j, sims[jj] * scale);
+        }
+      }
+    }
+    for (std::size_t qi = qlo; qi < qhi; ++qi) {
+      out[qi] = heaps[qi - qlo].take();
+    }
+  });
+  return out;
+}
+
+}  // namespace darkvec::ml

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "darkvec/core/parallel.hpp"
+
 namespace darkvec::ml {
 
 int majority_vote(std::span<const Neighbor> neighbors,
@@ -34,12 +36,17 @@ std::vector<int> loo_knn_predict(const CosineKnn& index,
                                  std::span<const int> labels,
                                  std::span<const std::uint32_t> eval_points,
                                  int k) {
-  std::vector<int> predictions;
-  predictions.reserve(eval_points.size());
-  for (const std::uint32_t p : eval_points) {
-    const auto neighbors = index.query(p, k);
-    predictions.push_back(majority_vote(neighbors, labels));
-  }
+  // One blocked batch query for all evaluation points, then parallel
+  // majority votes; predictions[i] depends on eval_points[i] alone, so
+  // the result is independent of the thread count.
+  const auto neighbor_lists = index.query_batch(eval_points, k);
+  std::vector<int> predictions(eval_points.size());
+  core::parallel_for(
+      eval_points.size(), 0, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          predictions[i] = majority_vote(neighbor_lists[i], labels);
+        }
+      });
   return predictions;
 }
 

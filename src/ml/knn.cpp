@@ -1,20 +1,9 @@
 #include "darkvec/ml/knn.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace darkvec::ml {
-namespace {
-
-// Min-heap ordering on similarity so the worst kept neighbour sits on top.
-struct WorseFirst {
-  bool operator()(const Neighbor& a, const Neighbor& b) const {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.index < b.index;  // deterministic tie-break
-  }
-};
-
-}  // namespace
 
 std::vector<Neighbor> CosineKnn::query(std::size_t i, int k) const {
   return query_vector(normalized_.vec(i), k, static_cast<std::int64_t>(i));
@@ -22,13 +11,12 @@ std::vector<Neighbor> CosineKnn::query(std::size_t i, int k) const {
 
 std::vector<Neighbor> CosineKnn::query_vector(std::span<const float> v, int k,
                                               std::int64_t exclude) const {
-  std::vector<Neighbor> heap;
-  if (k <= 0) return heap;
+  if (k <= 0) return {};
   // Normalize the query so results are true cosine similarities.
   const double norm = std::sqrt(w2v::dot(v, v));
   const float inv = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;
 
-  heap.reserve(static_cast<std::size_t>(k) + 1);
+  detail::TopKHeap heap(k);
   const std::size_t n = normalized_.size();
   for (std::size_t j = 0; j < n; ++j) {
     if (static_cast<std::int64_t>(j) == exclude) continue;
@@ -36,18 +24,26 @@ std::vector<Neighbor> CosineKnn::query_vector(std::span<const float> v, int k,
     float sim = 0;
     for (std::size_t d = 0; d < row.size(); ++d) sim += v[d] * row[d];
     sim *= inv;
-    if (heap.size() < static_cast<std::size_t>(k)) {
-      heap.push_back({static_cast<std::uint32_t>(j), sim});
-      std::push_heap(heap.begin(), heap.end(), WorseFirst{});
-    } else if (sim > heap.front().similarity) {
-      std::pop_heap(heap.begin(), heap.end(), WorseFirst{});
-      heap.back() = {static_cast<std::uint32_t>(j), sim};
-      std::push_heap(heap.begin(), heap.end(), WorseFirst{});
-    }
+    heap.offer(static_cast<std::uint32_t>(j), sim);
   }
-  // sort_heap with WorseFirst yields decreasing similarity.
-  std::sort_heap(heap.begin(), heap.end(), WorseFirst{});
-  return heap;
+  return heap.take();
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::query_batch(std::size_t lo,
+                                                          std::size_t hi,
+                                                          int k) const {
+  std::vector<std::uint32_t> points(hi > lo ? hi - lo : 0);
+  std::iota(points.begin(), points.end(), static_cast<std::uint32_t>(lo));
+  return batch_topk(normalized_, points, k);
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::query_batch(
+    std::span<const std::uint32_t> points, int k) const {
+  return batch_topk(normalized_, points, k);
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors(int k) const {
+  return query_batch(0, normalized_.size(), k);
 }
 
 }  // namespace darkvec::ml

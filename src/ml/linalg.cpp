@@ -7,24 +7,39 @@
 namespace darkvec::ml {
 
 SquareMatrix multiply(const SquareMatrix& a, const SquareMatrix& b) {
-  SquareMatrix c(a.n);
-  for (int col = 0; col < a.n; ++col) {
-    for (int k = 0; k < a.n; ++k) {
+  // SquareMatrix is column-major (data[col * n + row]), so the jki order
+  // below walks c's and a's columns with stride 1 in the inner loop.
+  // Lifting each column to a raw pointer lets the compiler vectorize the
+  // axpy without re-deriving the index arithmetic per element.
+  const int n = a.n;
+  SquareMatrix c(n);
+  for (int col = 0; col < n; ++col) {
+    double* c_col = &c.data[static_cast<std::size_t>(col) * n];
+    for (int k = 0; k < n; ++k) {
       const double bkc = b.at(k, col);
       if (bkc == 0) continue;
-      for (int row = 0; row < a.n; ++row) {
-        c.at(row, col) += a.at(row, k) * bkc;
-      }
+      const double* a_col = &a.data[static_cast<std::size_t>(k) * n];
+      for (int row = 0; row < n; ++row) c_col[row] += a_col[row] * bkc;
     }
   }
   return c;
 }
 
 SquareMatrix transpose(const SquareMatrix& a) {
-  SquareMatrix t(a.n);
-  for (int col = 0; col < a.n; ++col) {
-    for (int row = 0; row < a.n; ++row) {
-      t.at(col, row) = a.at(row, col);
+  // Blocked so both the stride-1 reads (a's columns) and the stride-n
+  // writes (t's rows) stay within one cache-resident tile.
+  constexpr int kBlock = 64;
+  const int n = a.n;
+  SquareMatrix t(n);
+  for (int cb = 0; cb < n; cb += kBlock) {
+    const int ce = std::min(cb + kBlock, n);
+    for (int rb = 0; rb < n; rb += kBlock) {
+      const int re = std::min(rb + kBlock, n);
+      for (int col = cb; col < ce; ++col) {
+        for (int row = rb; row < re; ++row) {
+          t.at(col, row) = a.at(row, col);
+        }
+      }
     }
   }
   return t;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "darkvec/core/parallel.hpp"
+
 namespace darkvec::ml {
 
 std::vector<double> silhouette_samples(const w2v::Embedding& embedding,
@@ -30,31 +32,38 @@ std::vector<double> silhouette_samples(const w2v::Embedding& embedding,
     for (std::size_t d = 0; d < dim; ++d) sums[c * dim + d] += v[d];
   }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto ci = static_cast<std::size_t>(assignment[i]);
-    if (sizes[ci] <= 1) {
-      out[i] = 0.0;  // singleton convention
-      continue;
-    }
-    const auto v = unit.vec(i);
-    double a = 0;
-    double b = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < n_clusters; ++c) {
-      if (sizes[c] == 0) continue;
-      double dot_sum = 0;
-      for (std::size_t d = 0; d < dim; ++d) dot_sum += v[d] * sums[c * dim + d];
-      if (c == ci) {
-        // Exclude the point itself (its self-similarity is 1).
-        a = 1.0 - (dot_sum - 1.0) / static_cast<double>(sizes[c] - 1);
-      } else {
-        const double mean_dist =
-            1.0 - dot_sum / static_cast<double>(sizes[c]);
-        b = std::min(b, mean_dist);
+  // The centroid sums above accumulate serially (double addition is
+  // order-sensitive); the per-point scores below write out[i] alone, so
+  // the loop parallelizes with bit-identical results.
+  core::parallel_for(n, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto ci = static_cast<std::size_t>(assignment[i]);
+      if (sizes[ci] <= 1) {
+        out[i] = 0.0;  // singleton convention
+        continue;
       }
+      const auto v = unit.vec(i);
+      double a = 0;
+      double b = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < n_clusters; ++c) {
+        if (sizes[c] == 0) continue;
+        double dot_sum = 0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          dot_sum += v[d] * sums[c * dim + d];
+        }
+        if (c == ci) {
+          // Exclude the point itself (its self-similarity is 1).
+          a = 1.0 - (dot_sum - 1.0) / static_cast<double>(sizes[c] - 1);
+        } else {
+          const double mean_dist =
+              1.0 - dot_sum / static_cast<double>(sizes[c]);
+          b = std::min(b, mean_dist);
+        }
+      }
+      const double denom = std::max(a, b);
+      out[i] = denom > 0 ? (b - a) / denom : 0.0;
     }
-    const double denom = std::max(a, b);
-    out[i] = denom > 0 ? (b - a) / denom : 0.0;
-  }
+  });
   return out;
 }
 

@@ -64,6 +64,13 @@ SkipGramModel::SkipGramModel(std::size_t vocab_size, SkipGramOptions options)
 
 void SkipGramModel::build_unigram_table(
     const std::vector<std::uint64_t>& counts) {
+  if (vocab_ == 0) {
+    // No words to sample: leave the table empty rather than filling a
+    // megabyte of out-of-range word-0 ids. Training paths return before
+    // drawing negatives when the corpus is empty.
+    unigram_table_.clear();
+    return;
+  }
   const std::size_t table_size = std::clamp<std::size_t>(
       vocab_ * 64, std::size_t{1} << 20, std::size_t{1} << 24);
   unigram_table_.assign(table_size, 0);
@@ -72,10 +79,9 @@ void SkipGramModel::build_unigram_table(
     total_pow += std::pow(static_cast<double>(c), 0.75);
   }
   if (total_pow <= 0) {
-    // Degenerate corpus: uniform table.
+    // Degenerate corpus (all counts zero): uniform table.
     for (std::size_t i = 0; i < table_size; ++i) {
-      unigram_table_[i] = static_cast<std::uint32_t>(i % std::max<std::size_t>(
-                                                             vocab_, 1));
+      unigram_table_[i] = static_cast<std::uint32_t>(i % vocab_);
     }
     return;
   }

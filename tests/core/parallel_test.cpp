@@ -1,0 +1,122 @@
+#include "darkvec/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace darkvec::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each_chunk(hits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnGrain) {
+  // Record the chunk boundaries for several pool sizes; they must agree.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> seen;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.for_each_chunk(103, 10, [&](std::size_t lo, std::size_t hi) {
+      std::lock_guard lock(m);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    seen.push_back(std::move(chunks));
+  }
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[0], seen[2]);
+  ASSERT_EQ(seen[0].size(), 11u);
+  EXPECT_EQ(seen[0].back(), (std::pair<std::size_t, std::size_t>{100, 103}));
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossThreadCounts) {
+  const std::size_t n = 4096;
+  std::vector<double> reference;
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(n);
+    pool.for_each_chunk(n, 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = static_cast<double>(i) * 0.25 + 1.0;
+      }
+    });
+    if (reference.empty()) {
+      reference = std::move(out);
+    } else {
+      EXPECT_EQ(out, reference);
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.for_each_chunk(0, 8, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_each_chunk(100, 5,
+                          [&](std::size_t lo, std::size_t) {
+                            if (lo == 50) {
+                              throw std::runtime_error("boom");
+                            }
+                          }),
+      std::runtime_error);
+  // The pool must stay usable after an exception drained.
+  std::atomic<int> count{0};
+  pool.for_each_chunk(10, 2,
+                      [&](std::size_t lo, std::size_t hi) {
+                        count.fetch_add(static_cast<int>(hi - lo));
+                      });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.for_each_chunk(16, 1, [&](std::size_t lo, std::size_t) {
+    // A body that itself fans out must not deadlock.
+    pool.for_each_chunk(16, 4, [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t j = ilo; j < ihi; ++j) {
+        hits[lo * 16 + j].fetch_add(1);
+      }
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsResizable) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().size(), 3);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().size(), 1);
+  ThreadPool::set_global_threads(default_thread_count());
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool(-2);
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;
+  pool.for_each_chunk(5, 2, [&](std::size_t lo, std::size_t hi) {
+    sum += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(sum, 5);
+}
+
+}  // namespace
+}  // namespace darkvec::core

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
+#include "darkvec/core/parallel.hpp"
 #include "darkvec/graph/louvain.hpp"
 
 namespace darkvec::graph {
@@ -68,6 +72,41 @@ TEST(KnnGraph, NegativeSimilaritiesAreDropped) {
   const WeightedGraph g = knn_graph(index, 1);
   EXPECT_TRUE(g.neighbors(0).empty());
   EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(KnnGraph, IdenticalAcrossThreadCounts) {
+  // A larger pseudo-random embedding so the batch kernel actually fans
+  // out across several chunks; the resulting graph must be identical —
+  // edges, weights (bit-exact) and degrees — for 1, 2 and 8 threads.
+  w2v::Embedding e(300, 8);
+  std::uint32_t state = 12345;
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (int d = 0; d < 8; ++d) {
+      state = state * 1664525u + 1013904223u;
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(state % 2000) / 1000.0f - 1.0f;
+    }
+  }
+  const ml::CosineKnn index{e};
+
+  using Snapshot = std::vector<std::tuple<std::uint32_t, std::uint32_t,
+                                          double, double>>;
+  std::vector<Snapshot> runs;
+  for (const int threads : {1, 2, 8}) {
+    core::ThreadPool::set_global_threads(threads);
+    const WeightedGraph g = knn_graph(index, 5);
+    Snapshot s;
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+      for (const Edge& edge : g.neighbors(u)) {
+        s.emplace_back(u, edge.to, edge.weight, g.degree(u));
+      }
+    }
+    runs.push_back(std::move(s));
+  }
+  core::ThreadPool::set_global_threads(core::default_thread_count());
+  EXPECT_FALSE(runs[0].empty());
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
 }
 
 TEST(KnnGraph, LouvainOnKnnGraphRecoversBundles) {

@@ -1,0 +1,156 @@
+// Parity and determinism of the blocked batch top-k engine against the
+// serial CosineKnn scan. The contract is bit-identity: same neighbour
+// indices AND same similarity floats, for any thread count and any tile
+// shape.
+#include "darkvec/ml/batch_topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "darkvec/core/parallel.hpp"
+#include "darkvec/ml/evaluation.hpp"
+#include "darkvec/ml/knn.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+w2v::Embedding random_embedding(std::size_t n, int dim,
+                                std::uint32_t seed) {
+  w2v::Embedding e(n, dim);
+  std::uint32_t state = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) {
+      state = state * 1664525u + 1013904223u;
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(state % 2000) / 1000.0f - 1.0f;
+    }
+  }
+  return e;
+}
+
+void expect_identical(const std::vector<Neighbor>& batch,
+                      const std::vector<Neighbor>& serial) {
+  ASSERT_EQ(batch.size(), serial.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    EXPECT_EQ(batch[r].index, serial[r].index);
+    // Bit-exact, not approximate: the kernels share accumulation order.
+    EXPECT_EQ(batch[r].similarity, serial[r].similarity);
+  }
+}
+
+class BatchTopkThreads : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    core::ThreadPool::set_global_threads(GetParam());
+  }
+  void TearDown() override {
+    core::ThreadPool::set_global_threads(core::default_thread_count());
+  }
+};
+
+TEST_P(BatchTopkThreads, MatchesSerialQueryOnRandomEmbeddings) {
+  const auto e = random_embedding(337, 17, 42);
+  const CosineKnn index(e);
+  const auto batch = index.query_batch(0, index.size(), 5);
+  ASSERT_EQ(batch.size(), index.size());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    expect_identical(batch[i], index.query(i, 5));
+  }
+}
+
+TEST_P(BatchTopkThreads, MatchesSerialOnArbitraryPointSets) {
+  const auto e = random_embedding(211, 29, 7);
+  const CosineKnn index(e);
+  std::vector<std::uint32_t> points = {0, 210, 13, 13, 101, 57};
+  const auto batch = index.query_batch(points, 4);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_identical(batch[i], index.query(points[i], 4));
+  }
+}
+
+TEST_P(BatchTopkThreads, LooPredictionsMatchAcrossThreadCounts) {
+  const auto e = random_embedding(150, 11, 3);
+  const CosineKnn index(e);
+  std::vector<int> labels(150);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  std::vector<std::uint32_t> points(150);
+  std::iota(points.begin(), points.end(), 0u);
+  const auto predictions = loo_knn_predict(index, labels, points, 5);
+
+  core::ThreadPool::set_global_threads(1);
+  const auto serial = loo_knn_predict(index, labels, points, 5);
+  EXPECT_EQ(predictions, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BatchTopkThreads,
+                         ::testing::Values(1, 2, 8));
+
+TEST(BatchTopk, SmallTilesStillMatchSerial) {
+  // Degenerate tile shapes exercise the strip remainder paths.
+  const auto e = random_embedding(97, 13, 9);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn index(e);
+  std::vector<std::uint32_t> points(97);
+  std::iota(points.begin(), points.end(), 0u);
+  for (const BatchTopkOptions options :
+       {BatchTopkOptions{1, 8}, BatchTopkOptions{3, 9},
+        BatchTopkOptions{97, 200}}) {
+    const auto batch = batch_topk(unit, points, 6, options);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      expect_identical(batch[i], index.query(i, 6));
+    }
+  }
+}
+
+TEST(BatchTopk, KLargerThanPopulation) {
+  const auto e = random_embedding(10, 4, 1);
+  const CosineKnn index(e);
+  const auto batch = index.query_batch(0, 10, 50);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(batch[i].size(), 9u);  // everyone but self
+    expect_identical(batch[i], index.query(i, 50));
+  }
+}
+
+TEST(BatchTopk, KZeroOrNegativeYieldsEmptyLists) {
+  const auto e = random_embedding(10, 4, 1);
+  const CosineKnn index(e);
+  for (const auto& lists : {index.query_batch(0, 10, 0),
+                            index.query_batch(0, 10, -3)}) {
+    ASSERT_EQ(lists.size(), 10u);
+    for (const auto& l : lists) EXPECT_TRUE(l.empty());
+  }
+}
+
+TEST(BatchTopk, EmptyRangeAndEmptyIndex) {
+  const auto e = random_embedding(10, 4, 1);
+  const CosineKnn index(e);
+  EXPECT_TRUE(index.query_batch(5, 5, 3).empty());
+
+  const w2v::Embedding none;
+  EXPECT_TRUE(batch_topk(none, {}, 3).empty());
+}
+
+TEST(BatchTopk, ZeroRowsGetZeroSimilarity) {
+  // A zero row stays zero after normalization; its similarities are 0
+  // in both paths.
+  w2v::Embedding e(4, 3);
+  e.vec(1)[0] = 1.0f;
+  e.vec(2)[1] = 1.0f;
+  e.vec(3)[2] = -1.0f;
+  const CosineKnn index(e);
+  const auto batch = index.query_batch(0, 4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_identical(batch[i], index.query(i, 3));
+  }
+  for (const Neighbor& nb : batch[0]) EXPECT_EQ(nb.similarity, 0.0f);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

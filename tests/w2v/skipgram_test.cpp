@@ -145,6 +145,17 @@ TEST(SkipGram, EmptyCorpusIsNoOp) {
   EXPECT_EQ(stats.pairs, 0u);
 }
 
+TEST(SkipGram, EmptyVocabIsHarmless) {
+  // vocab 0 must train to nothing — in particular the unigram table must
+  // not be filled with word ids that don't exist.
+  SkipGramModel model(0, test_options());
+  EXPECT_EQ(model.vocab_size(), 0u);
+  EXPECT_EQ(model.embedding().size(), 0u);
+  const TrainStats stats = model.train(std::vector<Sentence>{{}, {}});
+  EXPECT_EQ(stats.tokens, 0u);
+  EXPECT_EQ(stats.pairs, 0u);
+}
+
 TEST(SkipGram, OutOfRangeWordThrows) {
   SkipGramModel model(4, test_options());
   const std::vector<Sentence> corpus = {{0, 1, 4}};
