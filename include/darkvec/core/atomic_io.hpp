@@ -1,0 +1,42 @@
+// Crash-safe file persistence: write to `<path>.tmp`, flush, then rename
+// over `path`. POSIX rename is atomic within a filesystem, so a reader
+// never observes a half-written file and a crash mid-write leaves any
+// previous version of `path` intact. Header-only.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <string>
+#include <utility>
+
+#include "darkvec/core/errors.hpp"
+
+namespace darkvec::io {
+
+/// Runs `fn(std::ostream&)` against `<path>.tmp` and renames the result
+/// over `path` on success. On any failure (fn throws, write error,
+/// rename error) the temporary is removed, `path` is untouched, and the
+/// error propagates (stream failures become IoError).
+template <typename Fn>
+void atomic_write_file(const std::string& path, std::ios::openmode mode,
+                       Fn&& fn) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, mode | std::ios::trunc);
+      if (!out) throw IoError("cannot open " + tmp + " for writing");
+      std::forward<Fn>(fn)(static_cast<std::ostream&>(out));
+      out.flush();
+      if (!out) throw IoError("write failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("cannot rename " + tmp + " over " + path);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace darkvec::io

@@ -1,0 +1,59 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the v2 on-disk
+// formats' integrity footers. Table-driven, computed at compile time;
+// header-only so the leaf I/O libraries need no extra link dependency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace darkvec::io {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC32. Feed byte ranges with update(), read the digest
+/// with value(); matches zlib's crc32() for the same bytes.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      c = detail::kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len) {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
+}  // namespace darkvec::io

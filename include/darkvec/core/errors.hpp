@@ -1,0 +1,185 @@
+// Error taxonomy and strict/lenient I/O policy shared by every reader.
+//
+// Real darknet feeds are hostile inputs: capture pipelines truncate files
+// mid-record, interleave garbage lines and corrupt headers. Each reader
+// (trace CSV, trace binary, embedding, model) therefore takes an IoPolicy
+// and fills an IoReport:
+//
+//   * strict (the default, and the contract of the legacy signatures):
+//     throw a typed error at the first problem;
+//   * lenient: skip malformed *records* under a configurable error
+//     budget, count them, and keep the first few diagnostics. Structural
+//     damage — bad magic, unsupported version, insane header fields — is
+//     never recoverable and throws in both modes.
+//
+// Header-only so the leaf libraries (net, w2v) can use it without a link
+// dependency on darkvec_core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace darkvec::io {
+
+/// Base class of every typed I/O error.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A record that does not parse (bad integer field, bad address, wrong
+/// field count, invalid enum value).
+class ParseError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Structural damage: bad magic, unsupported version, checksum mismatch,
+/// trailing garbage, inconsistent companion files.
+class FormatError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// The stream ended before the declared content did.
+class TruncatedInput : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// A header field demands more than the configured caps allow (e.g. a
+/// poisoned record count that would trigger a multi-GB allocation), or a
+/// lenient read exhausted its error budget.
+class ResourceLimit : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Sanity caps applied to on-disk headers *before* any allocation. A
+/// corrupt count/dim field can therefore never trigger an allocation
+/// bomb: readers also grow buffers incrementally, so allocation stays
+/// proportional to bytes actually present in the stream.
+struct IoLimits {
+  /// Max records a trace/embedding header may declare (default 2^36:
+  /// ~1 TB of 16-byte packet records, far beyond any real capture).
+  std::uint64_t max_records = std::uint64_t{1} << 36;
+  /// Max embedding dimensionality.
+  std::int64_t max_dim = std::int64_t{1} << 16;
+};
+
+/// How a reader reacts to malformed input.
+enum class IoMode : std::uint8_t {
+  kStrict,   ///< throw a typed error at the first malformed record
+  kLenient,  ///< skip malformed records, report them
+};
+
+struct IoPolicy {
+  IoMode mode = IoMode::kStrict;
+  /// Lenient only: give up (ResourceLimit) once this many records have
+  /// been skipped — a file that is mostly garbage is not worth reading.
+  std::size_t error_budget = 10000;
+  /// Keep at most this many per-record diagnostics in the report.
+  std::size_t max_diagnostics = 8;
+  IoLimits limits;
+
+  [[nodiscard]] bool lenient() const { return mode == IoMode::kLenient; }
+
+  [[nodiscard]] static IoPolicy strict() { return IoPolicy{}; }
+  [[nodiscard]] static IoPolicy lenient_with(std::size_t budget) {
+    IoPolicy p;
+    p.mode = IoMode::kLenient;
+    p.error_budget = budget;
+    return p;
+  }
+};
+
+/// One skipped/suspect record.
+struct IoDiagnostic {
+  /// 1-based record (or line) number within the input.
+  std::size_t record = 0;
+  std::string message;
+};
+
+/// What a reader actually did: filled in by the policy-taking overloads,
+/// meaningful mostly in lenient mode (strict either succeeds cleanly or
+/// throws).
+struct IoReport {
+  std::size_t records_read = 0;
+  std::size_t records_skipped = 0;
+  /// True when the input carried a v2 CRC32 footer that matched. For a
+  /// multi-file load (load_model) this means every footer present
+  /// matched; see checksum_failed for the contradicting case.
+  bool checksum_verified = false;
+  /// True when a CRC32 footer was present but did not match (lenient
+  /// mode records this and keeps going; strict throws instead).
+  bool checksum_failed = false;
+  /// First `IoPolicy::max_diagnostics` problems, in input order.
+  std::vector<IoDiagnostic> diagnostics;
+  /// Problems beyond the diagnostics cap (still counted above).
+  std::size_t diagnostics_dropped = 0;
+
+  [[nodiscard]] bool clean() const {
+    return records_skipped == 0 && diagnostics.empty();
+  }
+
+  /// One-line human-readable summary ("read 1200 records, skipped 3 ...").
+  [[nodiscard]] std::string summary() const {
+    std::string s = "read " + std::to_string(records_read) +
+                    " records, skipped " + std::to_string(records_skipped);
+    if (checksum_verified) s += ", checksum ok";
+    if (checksum_failed) s += ", CHECKSUM MISMATCH";
+    if (!diagnostics.empty()) {
+      s += "; first problem: record " +
+           std::to_string(diagnostics.front().record) + ": " +
+           diagnostics.front().message;
+    }
+    return s;
+  }
+};
+
+namespace detail {
+
+/// Shared reaction to a malformed record: strict throws E, lenient logs a
+/// diagnostic (up to the cap) and throws ResourceLimit past the budget.
+/// The caller skips the record iff this returns.
+template <typename E = ParseError>
+void bad_record(const IoPolicy& policy, IoReport* report,
+                std::size_t record_no, const std::string& message) {
+  if (!policy.lenient()) throw E(message);
+  std::size_t skipped = 1;
+  if (report != nullptr) {
+    ++report->records_skipped;
+    skipped = report->records_skipped;
+    if (report->diagnostics.size() < policy.max_diagnostics) {
+      report->diagnostics.push_back(IoDiagnostic{record_no, message});
+    } else {
+      ++report->diagnostics_dropped;
+    }
+  }
+  if (skipped > policy.error_budget) {
+    throw ResourceLimit("error budget exhausted (" +
+                        std::to_string(policy.error_budget) +
+                        " records skipped); last: " + message);
+  }
+}
+
+/// A structural problem that strict rejects but lenient merely records
+/// (e.g. checksum mismatch, trailing bytes): it does not consume a
+/// record, so it bypasses the budget.
+inline void suspect_input(const IoPolicy& policy, IoReport* report,
+                          std::size_t record_no, const std::string& message) {
+  if (!policy.lenient()) throw FormatError(message);
+  if (report == nullptr) return;
+  if (report->diagnostics.size() < policy.max_diagnostics) {
+    report->diagnostics.push_back(IoDiagnostic{record_no, message});
+  } else {
+    ++report->diagnostics_dropped;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace darkvec::io

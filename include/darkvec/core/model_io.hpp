@@ -3,9 +3,13 @@
 // real traces) and others classify/cluster without retraining.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "darkvec/core/errors.hpp"
 #include "darkvec/net/ipv4.hpp"
 #include "darkvec/w2v/embedding.hpp"
 
@@ -13,21 +17,46 @@ namespace darkvec {
 
 /// A trained sender embedding ready for k-NN / clustering use.
 struct SenderModel {
+  SenderModel() = default;
+  SenderModel(std::vector<net::IPv4> senders, w2v::Embedding embedding)
+      : senders(std::move(senders)), embedding(std::move(embedding)) {}
+
   /// Row i of `embedding` is the vector of `senders[i]`.
   std::vector<net::IPv4> senders;
   w2v::Embedding embedding;
 
-  /// Row of `ip` or -1.
+  /// Row of `ip` or -1. O(1) through a hash index built lazily on the
+  /// first lookup; call invalidate_index() after mutating `senders`.
+  /// (The first lookup is not safe to race with concurrent lookups.)
   [[nodiscard]] std::int64_t index_of(net::IPv4 ip) const;
+
+  /// Drops the lazy lookup index; the next index_of() rebuilds it.
+  void invalidate_index() { index_.clear(); }
+
+ private:
+  mutable std::unordered_map<net::IPv4, std::int64_t> index_;
 };
 
-/// Writes `model` as `prefix.emb` (binary embedding) and `prefix.vocab`
-/// (one dotted-quad address per line, row order). Throws on I/O errors.
+/// Writes `model` as `prefix.emb` (v2 binary embedding, CRC32 footer) and
+/// `prefix.vocab` (one dotted-quad address per line, row order, plus a
+/// `#crc32 <hex>` footer line). Both files are fully written to `.tmp`
+/// siblings before either rename, so an interruption any time before the
+/// renames leaves a previous model completely intact. Throws io::IoError
+/// on failure.
 void save_model(const std::string& prefix, const SenderModel& model);
 
-/// Loads a model previously written by save_model. Throws on missing
-/// files, malformed vocab lines, or a row-count mismatch between the two
-/// files.
+/// Loads a model previously written by save_model (current v2 layout or
+/// the v1 layout without checksums). Strict mode throws typed io:: errors
+/// on missing files, malformed or duplicate vocab lines, checksum
+/// mismatches, or a row-count mismatch between the two files. Lenient
+/// mode drops each bad/duplicate vocab row *together with its embedding
+/// row* (keeping rows aligned), reconciles a row-count mismatch by
+/// truncating to the shorter side, and records everything in `report`.
+[[nodiscard]] SenderModel load_model(const std::string& prefix,
+                                     const io::IoPolicy& policy,
+                                     io::IoReport* report = nullptr);
+
+/// Legacy strict-mode signature.
 [[nodiscard]] SenderModel load_model(const std::string& prefix);
 
 }  // namespace darkvec

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "darkvec/core/darkvec.hpp"
@@ -31,6 +32,10 @@ struct StreamingConfig {
   /// Align each snapshot's embedding onto the previous one (rotations
   /// compose, so all snapshots end up in the first snapshot's space).
   bool align = true;
+  /// Emit a degraded placeholder snapshot for windows that cannot be
+  /// trained (all-quiet, sub-threshold vocabulary, or a fit/cluster
+  /// failure) instead of silently dropping them from the schedule.
+  bool record_degraded = true;
 };
 
 /// One retrain of the sliding window.
@@ -46,6 +51,10 @@ struct StreamSnapshot {
   /// Mean anchor cosine to the previous snapshot after alignment
   /// (0 for the first snapshot or when alignment is off/impossible).
   double alignment_similarity = 0;
+  /// True when this window produced no usable model (see degraded_reason);
+  /// senders/embedding/clustering are empty in that case.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// Runs the sliding-window pipeline over a full (sorted) trace.

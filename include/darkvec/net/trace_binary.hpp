@@ -4,22 +4,40 @@
 // at that size. This fixed-record binary format round-trips a Trace at
 // memcpy speed: a small header (magic, version, count) followed by
 // 16-byte packet records.
+//
+// Version 2 (what write_binary emits) appends a CRC32 footer over every
+// preceding byte, so silent corruption is detected at load time; version 1
+// files (no footer) remain fully readable. File writes go through the
+// atomic temp-then-rename path, so a crash mid-write never clobbers an
+// existing file.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "darkvec/core/errors.hpp"
 #include "darkvec/net/trace.hpp"
 
 namespace darkvec::net {
 
-/// Writes `trace` in the binary format (little-endian host assumed, as the
-/// rest of the library).
+/// Writes `trace` in the v2 binary format (little-endian host assumed, as
+/// the rest of the library).
 void write_binary(std::ostream& out, const Trace& trace);
 void write_binary_file(const std::string& path, const Trace& trace);
 
-/// Reads a trace previously written by write_binary. Throws
-/// std::runtime_error on bad magic, version mismatch or truncation.
+/// Reads a v1 or v2 trace under `policy`. Structural damage (bad magic,
+/// unsupported version, a record count past `policy.limits.max_records`)
+/// always throws (io::FormatError / io::ResourceLimit). Record-level
+/// damage — invalid protocol bits, truncated tail, checksum mismatch,
+/// trailing bytes — throws typed errors in strict mode and is skipped and
+/// recorded in `report` in lenient mode.
+[[nodiscard]] Trace read_binary(std::istream& in, const io::IoPolicy& policy,
+                                io::IoReport* report = nullptr);
+[[nodiscard]] Trace read_binary_file(const std::string& path,
+                                     const io::IoPolicy& policy,
+                                     io::IoReport* report = nullptr);
+
+/// Legacy strict-mode signatures.
 [[nodiscard]] Trace read_binary(std::istream& in);
 [[nodiscard]] Trace read_binary_file(const std::string& path);
 

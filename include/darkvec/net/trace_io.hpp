@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "darkvec/core/errors.hpp"
 #include "darkvec/net/trace.hpp"
 
 namespace darkvec::net {
@@ -14,15 +15,22 @@ namespace darkvec::net {
 /// `ts,src,dst_host,port,proto,mirai` — one packet per line.
 void write_csv(std::ostream& out, const Trace& trace);
 
-/// Convenience overload writing to `path`. Throws std::runtime_error if the
-/// file cannot be opened.
+/// Convenience overload writing to `path` atomically (temp + rename).
+/// Throws io::IoError if the file cannot be written.
 void write_csv_file(const std::string& path, const Trace& trace);
 
-/// Parses a trace previously written by `write_csv`. Throws
-/// std::runtime_error on malformed rows (with the offending line number).
-[[nodiscard]] Trace read_csv(std::istream& in);
+/// Parses a trace previously written by `write_csv` under `policy`:
+/// strict throws io::ParseError at the first malformed row (with the
+/// offending line number); lenient skips malformed rows under the error
+/// budget and records them in `report` (may be null).
+[[nodiscard]] Trace read_csv(std::istream& in, const io::IoPolicy& policy,
+                             io::IoReport* report = nullptr);
+[[nodiscard]] Trace read_csv_file(const std::string& path,
+                                  const io::IoPolicy& policy,
+                                  io::IoReport* report = nullptr);
 
-/// Convenience overload reading from `path`.
+/// Legacy strict-mode signatures (throw on the first malformed row).
+[[nodiscard]] Trace read_csv(std::istream& in);
 [[nodiscard]] Trace read_csv_file(const std::string& path);
 
 }  // namespace darkvec::net

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "darkvec/core/errors.hpp"
+
 namespace darkvec::w2v {
 
 /// A row-major (n x dim) float matrix: one embedding vector per word id.
@@ -41,9 +43,22 @@ class Embedding {
   /// a dot product.
   [[nodiscard]] Embedding normalized() const;
 
-  /// Binary serialization: magic, row count, dim, raw floats.
+  /// Binary serialization. save() emits the v2 format — magic, version,
+  /// row count, dim, raw floats, CRC32 footer — and save_file() persists
+  /// it atomically (temp + rename). load() reads v1 (no version field,
+  /// no footer) and v2 files. Header fields are sanity-capped by
+  /// `policy.limits` before any allocation; in lenient mode a truncated
+  /// float section degrades to the whole rows present (reported), while
+  /// strict mode throws typed io:: errors.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
+  [[nodiscard]] static Embedding load(std::istream& in,
+                                      const io::IoPolicy& policy,
+                                      io::IoReport* report = nullptr);
+  [[nodiscard]] static Embedding load_file(const std::string& path,
+                                           const io::IoPolicy& policy,
+                                           io::IoReport* report = nullptr);
+  /// Legacy strict-mode signatures.
   [[nodiscard]] static Embedding load(std::istream& in);
   [[nodiscard]] static Embedding load_file(const std::string& path);
 

@@ -1,57 +1,194 @@
 #include "darkvec/core/model_io.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <fstream>
-#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "darkvec/core/checksum.hpp"
 
 namespace darkvec {
+namespace {
+
+constexpr std::string_view kVocabFooterPrefix = "#crc32 ";
+
+void write_vocab(std::ostream& out, const std::vector<net::IPv4>& senders) {
+  io::Crc32 crc;
+  for (const net::IPv4 ip : senders) {
+    const std::string line = ip.to_string() + '\n';
+    crc.update(line.data(), line.size());
+    out << line;
+  }
+  char footer[20];
+  std::snprintf(footer, sizeof(footer), "#crc32 %08x\n", crc.value());
+  out << footer;
+}
+
+}  // namespace
 
 std::int64_t SenderModel::index_of(net::IPv4 ip) const {
-  for (std::size_t i = 0; i < senders.size(); ++i) {
-    if (senders[i] == ip) return static_cast<std::int64_t>(i);
+  if (index_.empty() && !senders.empty()) {
+    index_.reserve(senders.size());
+    // First entry wins, matching the old linear scan on duplicates.
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      index_.emplace(senders[i], static_cast<std::int64_t>(i));
+    }
   }
-  return -1;
+  const auto it = index_.find(ip);
+  return it == index_.end() ? -1 : it->second;
 }
 
 void save_model(const std::string& prefix, const SenderModel& model) {
   if (model.senders.size() != model.embedding.size()) {
     throw std::invalid_argument("save_model: vocab/embedding size mismatch");
   }
-  model.embedding.save_file(prefix + ".emb");
-  std::ofstream vocab(prefix + ".vocab");
-  if (!vocab) {
-    throw std::runtime_error("save_model: cannot open " + prefix + ".vocab");
-  }
-  for (const net::IPv4 ip : model.senders) {
-    vocab << ip.to_string() << '\n';
+  // Two-phase commit: write both temporaries completely, then rename.
+  // An interruption before the renames leaves any previous model intact.
+  const std::string emb_path = prefix + ".emb";
+  const std::string vocab_path = prefix + ".vocab";
+  const std::string emb_tmp = emb_path + ".tmp";
+  const std::string vocab_tmp = vocab_path + ".tmp";
+  try {
+    {
+      std::ofstream out(emb_tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw io::IoError("save_model: cannot open " + emb_tmp);
+      model.embedding.save(out);
+      out.flush();
+      if (!out) throw io::IoError("save_model: write failed for " + emb_tmp);
+    }
+    {
+      std::ofstream out(vocab_tmp, std::ios::trunc);
+      if (!out) throw io::IoError("save_model: cannot open " + vocab_tmp);
+      write_vocab(out, model.senders);
+      out.flush();
+      if (!out) {
+        throw io::IoError("save_model: write failed for " + vocab_tmp);
+      }
+    }
+    if (std::rename(emb_tmp.c_str(), emb_path.c_str()) != 0 ||
+        std::rename(vocab_tmp.c_str(), vocab_path.c_str()) != 0) {
+      throw io::IoError("save_model: rename failed for " + prefix);
+    }
+  } catch (...) {
+    std::remove(emb_tmp.c_str());
+    std::remove(vocab_tmp.c_str());
+    throw;
   }
 }
 
-SenderModel load_model(const std::string& prefix) {
+SenderModel load_model(const std::string& prefix, const io::IoPolicy& policy,
+                       io::IoReport* report) {
   SenderModel model;
-  model.embedding = w2v::Embedding::load_file(prefix + ".emb");
+  model.embedding =
+      w2v::Embedding::load_file(prefix + ".emb", policy, report);
   std::ifstream vocab(prefix + ".vocab");
   if (!vocab) {
-    throw std::runtime_error("load_model: cannot open " + prefix + ".vocab");
+    throw io::IoError("load_model: cannot open " + prefix + ".vocab");
   }
+
+  io::Crc32 crc;
+  std::unordered_set<net::IPv4> seen;
+  // (row, address) per accepted vocab line; `row` counts every data line
+  // so addresses stay aligned with embedding rows when some are dropped.
+  std::vector<std::pair<std::size_t, net::IPv4>> accepted;
+  std::size_t rows = 0;
+  bool dropped_rows = false;
+  bool footer_seen = false;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(vocab, line)) {
     ++line_no;
+    if (line.rfind(kVocabFooterPrefix, 0) == 0) {
+      std::uint32_t stored = 0;
+      const char* hex = line.data() + kVocabFooterPrefix.size();
+      const auto [p, ec] =
+          std::from_chars(hex, line.data() + line.size(), stored, 16);
+      // The report covers the model pair: checksum_verified means every
+      // footer present matched, so a vocab failure overrides an .emb
+      // match and a vocab match never masks an earlier .emb failure.
+      if (ec != std::errc{} || p != line.data() + line.size()) {
+        if (report != nullptr) {
+          report->checksum_failed = true;
+          report->checksum_verified = false;
+        }
+        io::detail::suspect_input(policy, report, line_no,
+                                  "load_model: malformed vocab footer");
+      } else if (stored != crc.value()) {
+        if (report != nullptr) {
+          report->checksum_failed = true;
+          report->checksum_verified = false;
+        }
+        io::detail::suspect_input(policy, report, line_no,
+                                  "load_model: vocab CRC32 mismatch");
+      } else if (report != nullptr) {
+        report->checksum_verified = !report->checksum_failed;
+      }
+      footer_seen = true;
+      continue;
+    }
+    crc.update(line.data(), line.size());
+    crc.update("\n", 1);
     if (line.empty()) continue;
+    if (footer_seen) {
+      io::detail::suspect_input(policy, report, line_no,
+                                "load_model: vocab data after footer");
+      continue;
+    }
+    const std::size_t row = rows++;
     const auto ip = net::IPv4::parse(line);
     if (!ip) {
-      throw std::runtime_error("load_model: bad address at vocab line " +
-                               std::to_string(line_no));
+      io::detail::bad_record(policy, report, line_no,
+                             "load_model: bad address at vocab line " +
+                                 std::to_string(line_no));
+      dropped_rows = true;
+      continue;
     }
-    model.senders.push_back(*ip);
+    if (!seen.insert(*ip).second) {
+      io::detail::bad_record(policy, report, line_no,
+                             "load_model: duplicate address " +
+                                 ip->to_string() + " at vocab line " +
+                                 std::to_string(line_no));
+      dropped_rows = true;
+      continue;
+    }
+    accepted.emplace_back(row, *ip);
   }
-  if (model.senders.size() != model.embedding.size()) {
-    throw std::runtime_error("load_model: vocab rows (" +
-                             std::to_string(model.senders.size()) +
-                             ") do not match embedding rows (" +
-                             std::to_string(model.embedding.size()) + ")");
+
+  const std::size_t emb_rows = model.embedding.size();
+  if (rows != emb_rows) {
+    const std::string message =
+        "load_model: vocab rows (" + std::to_string(rows) +
+        ") do not match embedding rows (" + std::to_string(emb_rows) + ")";
+    if (!policy.lenient()) throw io::FormatError(message);
+    io::detail::suspect_input(policy, report, 0, message);
   }
+  if (dropped_rows || rows != emb_rows) {
+    // Compact: keep each accepted address together with its embedding
+    // row, so row i of the result is still the vector of senders[i].
+    std::vector<net::IPv4> kept;
+    std::vector<float> data;
+    const int dim = model.embedding.dim();
+    data.reserve(accepted.size() * static_cast<std::size_t>(dim));
+    for (const auto& [row, ip] : accepted) {
+      if (row >= emb_rows) continue;  // vocab longer than embedding
+      const auto v = model.embedding.vec(row);
+      data.insert(data.end(), v.begin(), v.end());
+      kept.push_back(ip);
+    }
+    model.embedding = w2v::Embedding{std::move(data), dim};
+    model.senders = std::move(kept);
+  } else {
+    model.senders.reserve(accepted.size());
+    for (const auto& [row, ip] : accepted) model.senders.push_back(ip);
+  }
+  if (report != nullptr) report->records_read += model.senders.size();
   return model;
+}
+
+SenderModel load_model(const std::string& prefix) {
+  return load_model(prefix, io::IoPolicy{});
 }
 
 }  // namespace darkvec

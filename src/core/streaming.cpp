@@ -1,8 +1,11 @@
 #include "darkvec/core/streaming.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace darkvec {
 
@@ -22,52 +25,77 @@ std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
   corpus::Corpus prev_corpus_storage;
   w2v::Embedding prev_embedding_storage;
 
+  // Emits a placeholder for a window that produced no model. The window
+  // is always advanced by the caller, so a run of quiet or broken
+  // windows can never stall the stream.
+  const auto record_degraded = [&](std::int64_t end, std::string reason) {
+    if (!config.record_degraded) return;
+    StreamSnapshot snapshot;
+    snapshot.window_start = end - config.window_seconds;
+    snapshot.window_end = end;
+    snapshot.degraded = true;
+    snapshot.degraded_reason = std::move(reason);
+    snapshots.push_back(std::move(snapshot));
+  };
+
   // Window ends advance by `step` until the trace end is covered; the
   // final window may reach past the last packet.
   std::int64_t end = t0 + config.window_seconds;
   bool done = false;
   while (!done) {
-    if (end > t_last) done = true;
+    done = end > t_last;
     const net::Trace window =
         trace.slice(end - config.window_seconds, end);
     if (window.empty()) {
+      record_degraded(end, "no packets in window");
       end += config.step_seconds;
       continue;
     }
 
-    DarkVec dv(config.darkvec);
-    dv.fit(window);
-    if (dv.corpus().vocabulary_size() == 0) continue;
-
-    StreamSnapshot snapshot;
-    snapshot.window_start = end - config.window_seconds;
-    snapshot.window_end = end;
-    snapshot.senders = dv.corpus().words;
-    snapshot.clustering = dv.cluster(config.k_prime);
-
-    w2v::Embedding embedding = dv.embedding().normalized();
-    if (config.align && previous_corpus != nullptr) {
-      try {
-        const Alignment alignment =
-            align_embeddings(dv.corpus(), embedding, *previous_corpus,
-                             *previous_embedding);
-        embedding = apply_alignment(alignment, embedding);
-        snapshot.alignment_similarity = alignment.anchor_similarity;
-      } catch (const std::invalid_argument&) {
-        // No shared senders: keep the raw space.
-        snapshot.alignment_similarity = 0;
+    // A fit/cluster failure degrades this window instead of killing the
+    // stream: the snapshot records the reason and the next window starts
+    // fresh against the last good anchor.
+    try {
+      DarkVec dv(config.darkvec);
+      dv.fit(window);
+      if (dv.corpus().vocabulary_size() == 0) {
+        record_degraded(end, "no senders above the activity threshold");
+        end += config.step_seconds;
+        continue;
       }
+
+      StreamSnapshot snapshot;
+      snapshot.window_start = end - config.window_seconds;
+      snapshot.window_end = end;
+      snapshot.senders = dv.corpus().words;
+      snapshot.clustering = dv.cluster(config.k_prime);
+
+      w2v::Embedding embedding = dv.embedding().normalized();
+      if (config.align && previous_corpus != nullptr) {
+        try {
+          const Alignment alignment =
+              align_embeddings(dv.corpus(), embedding, *previous_corpus,
+                               *previous_embedding);
+          embedding = apply_alignment(alignment, embedding);
+          snapshot.alignment_similarity = alignment.anchor_similarity;
+        } catch (const std::invalid_argument&) {
+          // No shared senders: keep the raw space.
+          snapshot.alignment_similarity = 0;
+        }
+      }
+      snapshot.embedding = std::move(embedding);
+
+      // The *aligned* embedding becomes the next anchor target, so
+      // rotations compose into the first snapshot's space.
+      prev_corpus_storage = dv.corpus();
+      prev_embedding_storage = snapshot.embedding;
+      previous_corpus = &prev_corpus_storage;
+      previous_embedding = &prev_embedding_storage;
+
+      snapshots.push_back(std::move(snapshot));
+    } catch (const std::exception& e) {
+      record_degraded(end, std::string("window failed: ") + e.what());
     }
-    snapshot.embedding = std::move(embedding);
-
-    // The *aligned* embedding becomes the next anchor target, so rotations
-    // compose into the first snapshot's space.
-    prev_corpus_storage = dv.corpus();
-    prev_embedding_storage = snapshot.embedding;
-    previous_corpus = &prev_corpus_storage;
-    previous_embedding = &prev_embedding_storage;
-
-    snapshots.push_back(std::move(snapshot));
     end += config.step_seconds;
   }
   return snapshots;

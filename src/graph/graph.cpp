@@ -1,7 +1,6 @@
 #include "darkvec/graph/graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace darkvec::graph {
@@ -64,7 +63,9 @@ void WeightedGraph::finalize() {
 }
 
 std::span<const Edge> WeightedGraph::neighbors(std::uint32_t u) const {
-  assert(finalized_);
+  if (!finalized_) {
+    throw std::logic_error("WeightedGraph::neighbors: finalize() first");
+  }
   return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
 }
 

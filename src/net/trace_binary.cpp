@@ -1,15 +1,20 @@
 #include "darkvec/net/trace_binary.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/checksum.hpp"
 
 namespace darkvec::net {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x44564B54;  // "DVKT"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;  // v1 + CRC32 footer
 
 // 16-byte on-disk record.
 struct Record {
@@ -33,87 +38,154 @@ Record pack(const Packet& p) {
   return r;
 }
 
-Packet unpack(const Record& r) {
-  Packet p;
+/// False iff the record's protocol bits are invalid.
+bool unpack(const Record& r, Packet& p) {
+  const auto proto = static_cast<std::uint8_t>(r.flags & 0x3);
+  if (proto > 2) return false;
   p.ts = r.ts;
   p.src = IPv4{r.src};
   p.dst_port = r.dst_port;
   p.dst_host = r.dst_host;
-  const auto proto = static_cast<std::uint8_t>(r.flags & 0x3);
-  if (proto > 2) throw std::runtime_error("trace binary: bad protocol");
   p.proto = static_cast<Protocol>(proto);
   p.mirai_fingerprint = (r.flags & 0x4) != 0;
-  return p;
+  return true;
 }
 
 }  // namespace
 
 void write_binary(std::ostream& out, const Trace& trace) {
+  io::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t len) {
+    crc.update(data, len);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+  };
   const std::uint64_t count = trace.size();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  put(&kMagic, sizeof(kMagic));
+  put(&kVersionV2, sizeof(kVersionV2));
+  put(&count, sizeof(count));
   // Buffered record writes: one syscall-sized chunk at a time.
   std::vector<Record> buffer;
   buffer.reserve(4096);
   for (const Packet& p : trace) {
     buffer.push_back(pack(p));
     if (buffer.size() == buffer.capacity()) {
-      out.write(reinterpret_cast<const char*>(buffer.data()),
-                static_cast<std::streamsize>(buffer.size() * sizeof(Record)));
+      put(buffer.data(), buffer.size() * sizeof(Record));
       buffer.clear();
     }
   }
-  if (!buffer.empty()) {
-    out.write(reinterpret_cast<const char*>(buffer.data()),
-              static_cast<std::streamsize>(buffer.size() * sizeof(Record)));
-  }
+  if (!buffer.empty()) put(buffer.data(), buffer.size() * sizeof(Record));
+  const std::uint32_t digest = crc.value();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
 }
 
 void write_binary_file(const std::string& path, const Trace& trace) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("trace binary: cannot open " + path);
-  write_binary(out, trace);
+  io::atomic_write_file(path, std::ios::binary, [&](std::ostream& out) {
+    write_binary(out, trace);
+  });
 }
 
-Trace read_binary(std::istream& in) {
+Trace read_binary(std::istream& in, const io::IoPolicy& policy,
+                  io::IoReport* report) {
+  io::Crc32 crc;
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   if (!in || magic != kMagic) {
-    throw std::runtime_error("trace binary: bad magic");
+    throw io::FormatError("trace binary: bad magic");
   }
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    throw std::runtime_error("trace binary: unsupported version");
+  if (!in || (version != kVersionV1 && version != kVersionV2)) {
+    throw io::FormatError("trace binary: unsupported version");
   }
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw std::runtime_error("trace binary: truncated header");
+  if (!in) throw io::TruncatedInput("trace binary: truncated header");
+  if (count > policy.limits.max_records) {
+    throw io::ResourceLimit(
+        "trace binary: header declares " + std::to_string(count) +
+        " records, cap is " + std::to_string(policy.limits.max_records));
+  }
+  crc.update(&magic, sizeof(magic));
+  crc.update(&version, sizeof(version));
+  crc.update(&count, sizeof(count));
 
   std::vector<Packet> packets;
-  packets.reserve(count);
+  // Growth stays proportional to bytes actually present: a lying header
+  // cannot force an allocation past one chunk ahead of the stream.
+  packets.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
   std::vector<Record> buffer(4096);
   std::uint64_t remaining = count;
-  while (remaining > 0) {
-    const std::size_t chunk =
-        static_cast<std::size_t>(std::min<std::uint64_t>(remaining,
-                                                         buffer.size()));
+  std::uint64_t record_no = 0;
+  bool truncated = false;
+  while (remaining > 0 && !truncated) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, buffer.size()));
     in.read(reinterpret_cast<char*>(buffer.data()),
             static_cast<std::streamsize>(chunk * sizeof(Record)));
-    if (!in) throw std::runtime_error("trace binary: truncated data");
-    for (std::size_t i = 0; i < chunk; ++i) {
-      packets.push_back(unpack(buffer[i]));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    const std::size_t whole = got / sizeof(Record);
+    crc.update(buffer.data(), got);
+    for (std::size_t i = 0; i < whole; ++i) {
+      ++record_no;
+      Packet p;
+      if (!unpack(buffer[i], p)) {
+        io::detail::bad_record(policy, report,
+                               static_cast<std::size_t>(record_no),
+                               "trace binary: bad protocol in record " +
+                                   std::to_string(record_no));
+        continue;
+      }
+      packets.push_back(p);
+      if (report != nullptr) ++report->records_read;
+    }
+    if (got < chunk * sizeof(Record)) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, static_cast<std::size_t>(record_no + 1),
+          "trace binary: stream ends after record " +
+              std::to_string(record_no) + " of a declared " +
+              std::to_string(count));
+      truncated = true;  // lenient: keep what we have
     }
     remaining -= chunk;
+  }
+
+  if (version == kVersionV2 && !truncated) {
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, static_cast<std::size_t>(record_no),
+          "trace binary: missing CRC32 footer");
+    } else if (stored != crc.value()) {
+      if (report != nullptr) report->checksum_failed = true;
+      io::detail::suspect_input(policy, report,
+                                static_cast<std::size_t>(record_no),
+                                "trace binary: CRC32 mismatch");
+    } else if (report != nullptr) {
+      report->checksum_verified = true;
+    }
+  }
+  if (!truncated && in.peek() != std::istream::traits_type::eof()) {
+    io::detail::suspect_input(
+        policy, report, static_cast<std::size_t>(record_no),
+        "trace binary: trailing data after declared records");
   }
   return Trace{std::move(packets)};
 }
 
-Trace read_binary_file(const std::string& path) {
+Trace read_binary_file(const std::string& path, const io::IoPolicy& policy,
+                       io::IoReport* report) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("trace binary: cannot open " + path);
-  return read_binary(in);
+  if (!in) throw io::IoError("trace binary: cannot open " + path);
+  return read_binary(in, policy, report);
+}
+
+Trace read_binary(std::istream& in) { return read_binary(in, io::IoPolicy{}); }
+
+Trace read_binary_file(const std::string& path) {
+  return read_binary_file(path, io::IoPolicy{});
 }
 
 }  // namespace darkvec::net

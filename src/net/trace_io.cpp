@@ -2,10 +2,13 @@
 
 #include <charconv>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "darkvec/core/atomic_io.hpp"
 
 namespace darkvec::net {
 namespace {
@@ -25,14 +28,36 @@ std::vector<std::string_view> split(std::string_view line, char sep) {
 }
 
 template <typename T>
-T parse_int_or_throw(std::string_view text, std::size_t line_no) {
+std::optional<T> parse_int(std::string_view text) {
   T value{};
   auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc{} || p != text.data() + text.size()) {
-    throw std::runtime_error("trace csv: bad integer field at line " +
-                             std::to_string(line_no));
-  }
+  if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;
   return value;
+}
+
+/// Parses one data row; returns the failure message on malformed input.
+std::optional<std::string> parse_row(std::string_view line, Packet& out) {
+  const auto fields = split(line, ',');
+  if (fields.size() != 6) return "expected 6 fields";
+  const auto ts = parse_int<std::int64_t>(fields[0]);
+  if (!ts) return "bad timestamp";
+  const auto src = IPv4::parse(fields[1]);
+  if (!src) return "bad source address";
+  const auto dst_host = parse_int<std::uint8_t>(fields[2]);
+  if (!dst_host) return "bad destination host";
+  const auto dst_port = parse_int<std::uint16_t>(fields[3]);
+  if (!dst_port) return "bad port";
+  const auto proto = parse_protocol(fields[4]);
+  if (!proto) return "bad protocol";
+  const auto mirai = parse_int<int>(fields[5]);
+  if (!mirai) return "bad fingerprint flag";
+  out.ts = *ts;
+  out.src = *src;
+  out.dst_host = *dst_host;
+  out.dst_port = *dst_port;
+  out.proto = *proto;
+  out.mirai_fingerprint = *mirai != 0;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -47,12 +72,13 @@ void write_csv(std::ostream& out, const Trace& trace) {
 }
 
 void write_csv_file(const std::string& path, const Trace& trace) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("trace csv: cannot open " + path);
-  write_csv(out, trace);
+  io::atomic_write_file(path, std::ios::out, [&](std::ostream& out) {
+    write_csv(out, trace);
+  });
 }
 
-Trace read_csv(std::istream& in) {
+Trace read_csv(std::istream& in, const io::IoPolicy& policy,
+               io::IoReport* report) {
   std::vector<Packet> packets;
   std::string line;
   std::size_t line_no = 0;
@@ -60,37 +86,30 @@ Trace read_csv(std::istream& in) {
     ++line_no;
     if (line.empty()) continue;
     if (line_no == 1 && line.rfind("ts,", 0) == 0) continue;  // header
-    const auto fields = split(line, ',');
-    if (fields.size() != 6) {
-      throw std::runtime_error("trace csv: expected 6 fields at line " +
-                               std::to_string(line_no));
-    }
     Packet p;
-    p.ts = parse_int_or_throw<std::int64_t>(fields[0], line_no);
-    const auto src = IPv4::parse(fields[1]);
-    if (!src) {
-      throw std::runtime_error("trace csv: bad source address at line " +
-                               std::to_string(line_no));
+    if (const auto error = parse_row(line, p)) {
+      io::detail::bad_record(policy, report, line_no,
+                             "trace csv: " + *error + " at line " +
+                                 std::to_string(line_no));
+      continue;
     }
-    p.src = *src;
-    p.dst_host = parse_int_or_throw<std::uint8_t>(fields[2], line_no);
-    p.dst_port = parse_int_or_throw<std::uint16_t>(fields[3], line_no);
-    const auto proto = parse_protocol(fields[4]);
-    if (!proto) {
-      throw std::runtime_error("trace csv: bad protocol at line " +
-                               std::to_string(line_no));
-    }
-    p.proto = *proto;
-    p.mirai_fingerprint = parse_int_or_throw<int>(fields[5], line_no) != 0;
     packets.push_back(p);
+    if (report != nullptr) ++report->records_read;
   }
   return Trace{std::move(packets)};
 }
 
-Trace read_csv_file(const std::string& path) {
+Trace read_csv_file(const std::string& path, const io::IoPolicy& policy,
+                    io::IoReport* report) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("trace csv: cannot open " + path);
-  return read_csv(in);
+  if (!in) throw io::IoError("trace csv: cannot open " + path);
+  return read_csv(in, policy, report);
+}
+
+Trace read_csv(std::istream& in) { return read_csv(in, io::IoPolicy{}); }
+
+Trace read_csv_file(const std::string& path) {
+  return read_csv_file(path, io::IoPolicy{});
 }
 
 }  // namespace darkvec::net

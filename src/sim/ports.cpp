@@ -1,7 +1,7 @@
 #include "darkvec/sim/ports.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace darkvec::sim {
@@ -25,7 +25,9 @@ PortTable::PortTable(std::vector<std::pair<net::PortKey, double>> entries) {
 }
 
 net::PortKey PortTable::sample(Rng& rng) const {
-  assert(!keys_.empty());
+  if (keys_.empty()) {
+    throw std::logic_error("PortTable::sample: empty table");
+  }
   const double u = rng.uniform();
   const auto it = std::ranges::lower_bound(cumulative_, u);
   const auto idx = static_cast<std::size_t>(

@@ -1,14 +1,20 @@
 #include "darkvec/w2v/embedding.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/checksum.hpp"
+
 namespace darkvec::w2v {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x44564543;  // "DVEC"
+constexpr std::uint32_t kMagicV1 = 0x44564543;  // "DVEC": n, d, floats
+constexpr std::uint32_t kMagicV2 = 0x44564532;  // "DVE2": + version + CRC32
+constexpr std::uint32_t kVersionV2 = 2;
 
 }  // namespace
 
@@ -53,43 +59,134 @@ Embedding Embedding::normalized() const {
 }
 
 void Embedding::save(std::ostream& out) const {
+  io::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t len) {
+    crc.update(data, len);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+  };
   const std::uint64_t n = size();
   const std::int32_t d = dim_;
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-  out.write(reinterpret_cast<const char*>(data_.data()),
-            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  put(&kMagicV2, sizeof(kMagicV2));
+  put(&kVersionV2, sizeof(kVersionV2));
+  put(&n, sizeof(n));
+  put(&d, sizeof(d));
+  put(data_.data(), data_.size() * sizeof(float));
+  const std::uint32_t digest = crc.value();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
 }
 
 void Embedding::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("Embedding: cannot open " + path);
-  save(out);
+  io::atomic_write_file(path, std::ios::binary, [&](std::ostream& out) {
+    save(out);
+  });
 }
 
-Embedding Embedding::load(std::istream& in) {
+Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
+                          io::IoReport* report) {
+  io::Crc32 crc;
   std::uint32_t magic = 0;
   std::uint64_t n = 0;
   std::int32_t d = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("Embedding: bad magic");
+  if (!in || (magic != kMagicV1 && magic != kMagicV2)) {
+    throw io::FormatError("Embedding: bad magic");
+  }
+  const bool v2 = magic == kMagicV2;
+  std::uint32_t version = 0;
+  if (v2) {
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!in || version != kVersionV2) {
+      throw io::FormatError("Embedding: unsupported version");
+    }
   }
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&d), sizeof(d));
-  if (!in || d <= 0) throw std::runtime_error("Embedding: bad header");
-  std::vector<float> data(n * static_cast<std::uint64_t>(d));
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(float)));
-  if (!in) throw std::runtime_error("Embedding: truncated data");
+  if (!in) throw io::TruncatedInput("Embedding: truncated header");
+  if (d <= 0) throw io::FormatError("Embedding: non-positive dimension");
+  if (d > policy.limits.max_dim) {
+    throw io::ResourceLimit("Embedding: dimension " + std::to_string(d) +
+                            " over the cap of " +
+                            std::to_string(policy.limits.max_dim));
+  }
+  if (n > policy.limits.max_records) {
+    throw io::ResourceLimit(
+        "Embedding: header declares " + std::to_string(n) +
+        " rows, cap is " + std::to_string(policy.limits.max_records));
+  }
+  crc.update(&magic, sizeof(magic));
+  if (v2) crc.update(&version, sizeof(version));
+  crc.update(&n, sizeof(n));
+  crc.update(&d, sizeof(d));
+
+  const auto dim = static_cast<std::uint64_t>(d);
+  std::vector<float> data;
+  // Growth stays proportional to bytes actually present, so a lying row
+  // count cannot force an allocation past one chunk ahead of the stream.
+  data.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n * dim, std::uint64_t{1} << 20)));
+  std::vector<float> buffer(std::size_t{1} << 16);
+  std::uint64_t remaining = n * dim;
+  bool truncated = false;
+  while (remaining > 0 && !truncated) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, buffer.size()));
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(chunk * sizeof(float)));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    crc.update(buffer.data(), got);
+    data.insert(data.end(), buffer.begin(),
+                buffer.begin() + static_cast<std::ptrdiff_t>(
+                                     got / sizeof(float)));
+    if (got < chunk * sizeof(float)) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, data.size() / dim + 1,
+          "Embedding: stream ends inside row " +
+              std::to_string(data.size() / dim + 1) + " of a declared " +
+              std::to_string(n));
+      truncated = true;  // lenient: keep the whole rows present
+    }
+    remaining -= chunk;
+  }
+  if (truncated) data.resize((data.size() / dim) * dim);
+
+  if (v2 && !truncated) {
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, static_cast<std::size_t>(n),
+          "Embedding: missing CRC32 footer");
+    } else if (stored != crc.value()) {
+      if (report != nullptr) report->checksum_failed = true;
+      io::detail::suspect_input(policy, report, 0,
+                                "Embedding: CRC32 mismatch");
+    } else if (report != nullptr) {
+      report->checksum_verified = true;
+    }
+  }
+  if (!truncated && in.peek() != std::istream::traits_type::eof()) {
+    io::detail::suspect_input(policy, report, 0,
+                              "Embedding: trailing data after matrix");
+  }
+  if (report != nullptr) report->records_read += data.size() / dim;
   return Embedding{std::move(data), d};
 }
 
-Embedding Embedding::load_file(const std::string& path) {
+Embedding Embedding::load_file(const std::string& path,
+                               const io::IoPolicy& policy,
+                               io::IoReport* report) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Embedding: cannot open " + path);
-  return load(in);
+  if (!in) throw io::IoError("Embedding: cannot open " + path);
+  return load(in, policy, report);
+}
+
+Embedding Embedding::load(std::istream& in) {
+  return load(in, io::IoPolicy{});
+}
+
+Embedding Embedding::load_file(const std::string& path) {
+  return load_file(path, io::IoPolicy{});
 }
 
 }  // namespace darkvec::w2v

@@ -69,5 +69,38 @@ TEST(ModelIo, LoadRejectsBadAddress) {
   EXPECT_THROW(load_model(prefix), std::runtime_error);
 }
 
+TEST(ModelIo, LenientLoadDropsBadRowsWithTheirVectors) {
+  const SenderModel original = small_model();
+  const std::string prefix = ::testing::TempDir() + "/darkvec_model_lenient";
+  save_model(prefix, original);
+  std::ofstream vocab(prefix + ".vocab");
+  vocab << "10.0.0.1\nnot-an-ip\n172.16.0.3\n";
+  vocab.close();
+  io::IoReport report;
+  const SenderModel loaded =
+      load_model(prefix, io::IoPolicy::lenient_with(10), &report);
+  ASSERT_EQ(loaded.senders.size(), 2u);
+  EXPECT_EQ(loaded.embedding.size(), 2u);
+  EXPECT_EQ(loaded.senders[1], (net::IPv4{172, 16, 0, 3}));
+  // Row 1 now holds the third sender's original vector.
+  EXPECT_EQ(loaded.embedding.vec(1)[0], original.embedding.vec(2)[0]);
+  EXPECT_EQ(report.records_skipped, 1u);
+}
+
+TEST(ModelIo, IndexOfStaysCurrentAfterInvalidate) {
+  SenderModel model = small_model();
+  EXPECT_EQ(model.index_of(net::IPv4{172, 16, 0, 3}), 2);  // builds index
+  model.senders.push_back(net::IPv4{8, 8, 8, 8});
+  model.invalidate_index();
+  EXPECT_EQ(model.index_of(net::IPv4{8, 8, 8, 8}), 3);
+  EXPECT_EQ(model.index_of(net::IPv4{10, 0, 0, 1}), 0);
+}
+
+TEST(ModelIo, IndexOfKeepsFirstRowOnDuplicates) {
+  SenderModel model = small_model();
+  model.senders.push_back(model.senders[0]);  // duplicate of row 0
+  EXPECT_EQ(model.index_of(model.senders[0]), 0);
+}
+
 }  // namespace
 }  // namespace darkvec

@@ -121,5 +121,59 @@ TEST(StreamingEdge, TrackGroupOnEmptyInputs) {
   EXPECT_TRUE(track_group({}, {}).empty());
 }
 
+// Regression: a window whose senders all fall below the activity
+// threshold used to `continue` without advancing the window end, looping
+// forever. Such windows must now terminate and surface as degraded
+// snapshots, as must all-quiet windows.
+TEST(StreamingEdge, QuietAndSubThresholdWindowsTerminate) {
+  net::Trace trace;
+  const std::int64_t t0 = net::kTraceEpoch;
+  const auto packet = [&](std::int64_t offset, std::uint8_t host) {
+    net::Packet p;
+    p.ts = t0 + offset;
+    p.src = net::IPv4{10, 0, 0, host};
+    p.dst_port = 23;
+    p.proto = net::Protocol::kTcp;
+    trace.push_back(p);
+  };
+  // Window 1 [t0, t0+100): six senders comfortably above the threshold.
+  for (std::uint8_t host = 1; host <= 6; ++host) {
+    for (int i = 0; i < 20; ++i) {
+      packet((i * 5 + host) % 100, host);
+    }
+  }
+  // Window 2 [t0+100, t0+200): silent.
+  // Window 3 [t0+200, t0+300): one sender with only two packets, below
+  // the min_packets activity filter -> empty vocabulary.
+  packet(250, 99);
+  packet(260, 99);
+  trace.sort();
+
+  StreamingConfig stream;
+  stream.window_seconds = 100;
+  stream.step_seconds = 100;
+  stream.darkvec.w2v.dim = 8;
+  stream.darkvec.w2v.epochs = 2;
+
+  const auto snapshots = run_streaming(trace, stream);
+  ASSERT_EQ(snapshots.size(), 3u);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].window_end,
+              t0 + 100 * static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_TRUE(snapshots[1].degraded);
+  EXPECT_EQ(snapshots[1].degraded_reason, "no packets in window");
+  EXPECT_TRUE(snapshots[2].degraded);
+  EXPECT_EQ(snapshots[2].degraded_reason,
+            "no senders above the activity threshold");
+
+  // With placeholders off, degraded windows are silently skipped but the
+  // schedule still advances to completion.
+  stream.record_degraded = false;
+  const auto quiet = run_streaming(trace, stream);
+  for (const StreamSnapshot& s : quiet) EXPECT_FALSE(s.degraded);
+  EXPECT_LT(quiet.size(), snapshots.size());
+}
+
 }  // namespace
 }  // namespace darkvec

@@ -102,5 +102,13 @@ TEST(ConnectedComponents, IgnoresZeroWeightEdges) {
   EXPECT_EQ(connected_components(g), 2u);
 }
 
+TEST(WeightedGraphTest, NeighborsBeforeFinalizeThrows) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)g.neighbors(0), std::logic_error);
+  g.finalize();
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+}
+
 }  // namespace
 }  // namespace darkvec::graph

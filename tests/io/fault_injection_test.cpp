@@ -1,0 +1,249 @@
+// Corruption matrix: every reader must survive seeded bit-flips,
+// truncation and short reads — loading with an accurate IoReport
+// (lenient) or throwing a typed io:: error (strict), never crashing,
+// hanging or allocating past the header caps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "darkvec/core/model_io.hpp"
+#include "darkvec/net/time.hpp"
+#include "darkvec/net/trace_binary.hpp"
+#include "darkvec/net/trace_io.hpp"
+#include "darkvec/sim/rng.hpp"
+#include "darkvec/w2v/embedding.hpp"
+#include "fault_injection.hpp"
+
+namespace darkvec {
+namespace {
+
+constexpr std::size_t kVariants = 100;
+
+net::Trace random_trace(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  net::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Packet p;
+    p.ts = net::kTraceEpoch +
+           static_cast<std::int64_t>(rng.uniform_int(100000));
+    p.src = net::IPv4{static_cast<std::uint32_t>(rng.next_u64())};
+    p.dst_host = static_cast<std::uint8_t>(rng.uniform_int(256));
+    p.dst_port = static_cast<std::uint16_t>(rng.uniform_int(65536));
+    p.proto = static_cast<net::Protocol>(rng.uniform_int(3));
+    if (p.proto == net::Protocol::kIcmp) p.dst_port = 0;
+    p.mirai_fingerprint = rng.uniform() < 0.5;
+    t.push_back(p);
+  }
+  t.sort();
+  return t;
+}
+
+/// The seeded damage for matrix variant `seed`: a third flips bits, a
+/// third truncates, a third does both; every variant uses a different
+/// short-read window.
+test::FaultSpec variant_spec(std::size_t seed, std::size_t file_size) {
+  test::FaultSpec spec;
+  spec.seed = seed;
+  if (seed % 3 != 1) spec.bit_flips = 1 + seed % 5;
+  if (seed % 3 != 0 && file_size > 0) {
+    spec.truncate_at = (seed * 131) % file_size;
+  }
+  return spec;
+}
+
+std::size_t variant_chunk(std::size_t seed) { return 1 + (seed * 7) % 64; }
+
+/// Drives one reader over the full corruption matrix. `load` is called
+/// with a corrupted stream, a policy and a report; it returns the number
+/// of records it decoded.
+template <typename LoadFn>
+void run_matrix(const std::string& golden, LoadFn load) {
+  for (std::size_t seed = 1; seed <= kVariants; ++seed) {
+    const test::FaultSpec spec = variant_spec(seed, golden.size());
+    const std::size_t chunk = variant_chunk(seed);
+    SCOPED_TRACE("variant seed " + std::to_string(seed));
+    {
+      test::FaultyStream in(golden, spec, chunk);
+      io::IoReport report;
+      try {
+        (void)load(in, io::IoPolicy::strict(), &report);
+      } catch (const io::IoError&) {
+        // Typed rejection is a valid strict outcome.
+      } catch (const std::exception& e) {
+        FAIL() << "untyped error escaped the strict reader: " << e.what();
+      }
+    }
+    {
+      test::FaultyStream in(golden, spec, chunk);
+      io::IoReport report;
+      try {
+        const std::size_t records = load(in, io::IoPolicy::lenient_with(1 << 20), &report);
+        EXPECT_EQ(records, report.records_read)
+            << "lenient report disagrees with the decoded record count";
+      } catch (const io::IoError&) {
+        // Structural damage (header bytes) is fatal in both modes.
+      } catch (const std::exception& e) {
+        FAIL() << "untyped error escaped the lenient reader: " << e.what();
+      }
+    }
+  }
+}
+
+TEST(CorruptionMatrix, TraceCsv) {
+  std::ostringstream out;
+  net::write_csv(out, random_trace(300, 21));
+  run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
+                           io::IoReport* report) {
+    return net::read_csv(in, policy, report).size();
+  });
+}
+
+TEST(CorruptionMatrix, TraceBinary) {
+  std::ostringstream out;
+  net::write_binary(out, random_trace(300, 22));
+  run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
+                           io::IoReport* report) {
+    return net::read_binary(in, policy, report).size();
+  });
+}
+
+TEST(CorruptionMatrix, Embedding) {
+  w2v::Embedding e(64, 16);
+  sim::Rng rng(23);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    for (int d = 0; d < e.dim(); ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform());
+    }
+  }
+  std::ostringstream out;
+  e.save(out);
+  run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
+                           io::IoReport* report) {
+    return w2v::Embedding::load(in, policy, report).size();
+  });
+}
+
+TEST(CorruptionMatrix, Model) {
+  SenderModel model;
+  sim::Rng rng(24);
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    model.senders.push_back(
+        net::IPv4{static_cast<std::uint32_t>(rng.next_u64())});
+  }
+  model.embedding = w2v::Embedding(48, 8);
+  const std::string prefix = ::testing::TempDir() + "/fuzz_model";
+  save_model(prefix, model);
+  std::string emb_bytes, vocab_bytes;
+  {
+    std::ifstream emb(prefix + ".emb", std::ios::binary);
+    std::ostringstream tmp;
+    tmp << emb.rdbuf();
+    emb_bytes = tmp.str();
+  }
+  {
+    std::ifstream vocab(prefix + ".vocab");
+    std::ostringstream tmp;
+    tmp << vocab.rdbuf();
+    vocab_bytes = tmp.str();
+  }
+
+  const std::string target = ::testing::TempDir() + "/fuzz_model_damaged";
+  for (std::size_t seed = 1; seed <= kVariants; ++seed) {
+    SCOPED_TRACE("variant seed " + std::to_string(seed));
+    // Even seeds damage the embedding, odd seeds the vocab.
+    const bool hit_emb = seed % 2 == 0;
+    const std::string emb_out =
+        hit_emb ? test::corrupt(emb_bytes, variant_spec(seed, emb_bytes.size()))
+                : emb_bytes;
+    const std::string vocab_out =
+        hit_emb ? vocab_bytes
+                : test::corrupt(vocab_bytes,
+                                variant_spec(seed, vocab_bytes.size()));
+    std::ofstream(target + ".emb", std::ios::binary) << emb_out;
+    std::ofstream(target + ".vocab") << vocab_out;
+    try {
+      (void)load_model(target);
+    } catch (const io::IoError&) {
+    } catch (const std::exception& e) {
+      FAIL() << "untyped error escaped strict load_model: " << e.what();
+    }
+    io::IoReport report;
+    try {
+      const SenderModel loaded =
+          load_model(target, io::IoPolicy::lenient_with(1 << 20), &report);
+      EXPECT_EQ(loaded.senders.size(), loaded.embedding.size())
+          << "lenient load_model broke the row alignment";
+      EXPECT_GE(report.records_read, loaded.senders.size());
+    } catch (const io::IoError&) {
+    } catch (const std::exception& e) {
+      FAIL() << "untyped error escaped lenient load_model: " << e.what();
+    }
+  }
+}
+
+// A poisoned count field may never drive an allocation: the caps reject
+// it before any buffer is sized, in both modes.
+TEST(CorruptionMatrix, PoisonedTraceCountIsCapped) {
+  std::string header;
+  const std::uint32_t magic = 0x44564B54;
+  const std::uint32_t version = 1;
+  const std::uint64_t count = std::uint64_t{1} << 60;
+  header.append(reinterpret_cast<const char*>(&magic), 4);
+  header.append(reinterpret_cast<const char*>(&version), 4);
+  header.append(reinterpret_cast<const char*>(&count), 8);
+  {
+    std::istringstream in(header);
+    EXPECT_THROW((void)net::read_binary(in), io::ResourceLimit);
+  }
+  {
+    std::istringstream in(header);
+    io::IoReport report;
+    EXPECT_THROW((void)net::read_binary(in, io::IoPolicy::lenient_with(100),
+                                        &report),
+                 io::ResourceLimit);
+  }
+}
+
+TEST(CorruptionMatrix, PoisonedEmbeddingHeaderIsCapped) {
+  const auto header = [](std::uint64_t n, std::int32_t d) {
+    std::string bytes;
+    const std::uint32_t magic = 0x44564543;  // v1
+    bytes.append(reinterpret_cast<const char*>(&magic), 4);
+    bytes.append(reinterpret_cast<const char*>(&n), 8);
+    bytes.append(reinterpret_cast<const char*>(&d), 4);
+    return bytes;
+  };
+  {
+    std::istringstream in(header(std::uint64_t{1} << 60, 50));
+    EXPECT_THROW((void)w2v::Embedding::load(in), io::ResourceLimit);
+  }
+  {
+    std::istringstream in(header(10, 1 << 24));
+    EXPECT_THROW((void)w2v::Embedding::load(in), io::ResourceLimit);
+  }
+  // A count under the cap but past the stream's actual content stops at
+  // the truncation without allocating the declared size.
+  {
+    std::istringstream in(header(std::uint64_t{1} << 30, 50));
+    EXPECT_THROW((void)w2v::Embedding::load(in), io::TruncatedInput);
+  }
+}
+
+TEST(CorruptionMatrix, LenientBudgetIsEnforced) {
+  std::string garbage = "ts,src,dst_host,port,proto,mirai\n";
+  for (int i = 0; i < 50; ++i) garbage += "not,a,valid,row,at,all\n";
+  std::istringstream in(garbage);
+  io::IoReport report;
+  EXPECT_THROW(
+      (void)net::read_csv(in, io::IoPolicy::lenient_with(10), &report),
+      io::ResourceLimit);
+  EXPECT_EQ(report.records_skipped, 11u);  // the budget-breaking record
+}
+
+}  // namespace
+}  // namespace darkvec

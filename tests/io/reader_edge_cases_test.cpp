@@ -1,0 +1,293 @@
+// Reader edge cases: empty/header-only inputs, trailing garbage,
+// duplicate vocab rows, zero-dimension headers, v1 back-compat and the
+// crash-safety of the atomic writers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/model_io.hpp"
+#include "darkvec/net/trace_binary.hpp"
+#include "darkvec/net/trace_io.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec {
+namespace {
+
+void append(std::string& bytes, const void* data, std::size_t len) {
+  bytes.append(static_cast<const char*>(data), len);
+}
+
+// ---------------------------------------------------------------- CSV --
+
+TEST(ReaderEdgeCases, CsvEmptyFile) {
+  std::istringstream in("");
+  io::IoReport report;
+  EXPECT_TRUE(net::read_csv(in, io::IoPolicy::strict(), &report).empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(ReaderEdgeCases, CsvHeaderOnlyFile) {
+  std::istringstream in("ts,src,dst_host,port,proto,mirai\n");
+  io::IoReport report;
+  EXPECT_TRUE(net::read_csv(in, io::IoPolicy::strict(), &report).empty());
+  EXPECT_EQ(report.records_read, 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(ReaderEdgeCases, CsvLenientSkipsAndReports) {
+  std::istringstream in(
+      "ts,src,dst_host,port,proto,mirai\n"
+      "1000,1.2.3.4,0,80,tcp,0\n"
+      "complete garbage\n"
+      "2000,5.6.7.8,1,443,udp,1\n");
+  io::IoReport report;
+  const auto trace =
+      net::read_csv(in, io::IoPolicy::lenient_with(100), &report);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(report.records_read, 2u);
+  EXPECT_EQ(report.records_skipped, 1u);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].record, 3u);
+}
+
+// ------------------------------------------------------- trace binary --
+
+std::string v1_trace_bytes() {
+  // Hand-built v1 file (magic, version 1, count, one 16-byte record),
+  // exactly what the pre-v2 writer produced.
+  std::string bytes;
+  const std::uint32_t magic = 0x44564B54;
+  const std::uint32_t version = 1;
+  const std::uint64_t count = 1;
+  const std::int64_t ts = 1614902530;
+  const std::uint32_t src = 0x0A000001;  // 10.0.0.1
+  const std::uint16_t port = 23;
+  const std::uint8_t host = 7;
+  const std::uint8_t flags = 0x4 | 0x0;  // fingerprinted TCP
+  append(bytes, &magic, 4);
+  append(bytes, &version, 4);
+  append(bytes, &count, 8);
+  append(bytes, &ts, 8);
+  append(bytes, &src, 4);
+  append(bytes, &port, 2);
+  append(bytes, &host, 1);
+  append(bytes, &flags, 1);
+  return bytes;
+}
+
+TEST(ReaderEdgeCases, TraceBinaryV1StillLoads) {
+  std::istringstream in(v1_trace_bytes());
+  io::IoReport report;
+  const auto trace = net::read_binary(in, io::IoPolicy::strict(), &report);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].ts, 1614902530);
+  EXPECT_EQ(trace[0].src, (net::IPv4{10, 0, 0, 1}));
+  EXPECT_EQ(trace[0].dst_port, 23);
+  EXPECT_EQ(trace[0].dst_host, 7);
+  EXPECT_EQ(trace[0].proto, net::Protocol::kTcp);
+  EXPECT_TRUE(trace[0].mirai_fingerprint);
+  EXPECT_FALSE(report.checksum_verified);  // v1 has no footer
+}
+
+TEST(ReaderEdgeCases, TraceBinaryV2VerifiesChecksum) {
+  std::stringstream buffer;
+  net::Trace t;
+  net::Packet p;
+  p.ts = 1000;
+  p.src = net::IPv4{1, 2, 3, 4};
+  t.push_back(p);
+  net::write_binary(buffer, t);
+  io::IoReport report;
+  EXPECT_EQ(net::read_binary(buffer, io::IoPolicy::strict(), &report).size(),
+            1u);
+  EXPECT_TRUE(report.checksum_verified);
+}
+
+TEST(ReaderEdgeCases, TraceBinaryTrailingGarbage) {
+  std::string bytes = v1_trace_bytes();
+  bytes += "garbage past the declared record count";
+  {
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)net::read_binary(in), io::FormatError);
+  }
+  {
+    std::istringstream in(bytes);
+    io::IoReport report;
+    const auto trace =
+        net::read_binary(in, io::IoPolicy::lenient_with(10), &report);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_FALSE(report.diagnostics.empty());
+  }
+}
+
+// ----------------------------------------------------------- embedding --
+
+std::string v1_embedding_bytes(std::uint64_t n, std::int32_t d) {
+  std::string bytes;
+  const std::uint32_t magic = 0x44564543;
+  append(bytes, &magic, 4);
+  append(bytes, &n, 8);
+  append(bytes, &d, 4);
+  for (std::uint64_t i = 0; i < n * static_cast<std::uint64_t>(d > 0 ? d : 0);
+       ++i) {
+    const float v = static_cast<float>(i) * 0.5f;
+    append(bytes, &v, 4);
+  }
+  return bytes;
+}
+
+TEST(ReaderEdgeCases, EmbeddingV1StillLoadsByteIdentically) {
+  std::istringstream in(v1_embedding_bytes(3, 2));
+  const auto e = w2v::Embedding::load(in);
+  ASSERT_EQ(e.size(), 3u);
+  ASSERT_EQ(e.dim(), 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(e.data()[i], static_cast<float>(i) * 0.5f);
+  }
+}
+
+TEST(ReaderEdgeCases, EmbeddingZeroDimensionHeader) {
+  {
+    std::istringstream in(v1_embedding_bytes(3, 0));
+    EXPECT_THROW((void)w2v::Embedding::load(in), io::FormatError);
+  }
+  {  // lenient cannot recover a meaningless dimension either
+    std::istringstream in(v1_embedding_bytes(3, 0));
+    io::IoReport report;
+    EXPECT_THROW((void)w2v::Embedding::load(
+                     in, io::IoPolicy::lenient_with(10), &report),
+                 io::FormatError);
+  }
+  {
+    std::istringstream in(v1_embedding_bytes(3, -5));
+    EXPECT_THROW((void)w2v::Embedding::load(in), io::FormatError);
+  }
+}
+
+TEST(ReaderEdgeCases, EmbeddingLenientTruncationKeepsWholeRows) {
+  w2v::Embedding e(4, 3);
+  for (std::size_t i = 0; i < 12; ++i) e.vec(i / 3)[i % 3] = float(i);
+  std::stringstream buffer;
+  e.save(buffer);
+  const std::string full = buffer.str();
+  // Cut inside row 2's floats (header is 20 bytes, rows are 12 bytes).
+  std::istringstream cut(full.substr(0, 20 + 12 + 12 + 5));
+  io::IoReport report;
+  const auto partial =
+      w2v::Embedding::load(cut, io::IoPolicy::lenient_with(10), &report);
+  EXPECT_EQ(partial.size(), 2u);
+  EXPECT_EQ(report.records_read, 2u);
+  EXPECT_EQ(report.records_skipped, 1u);
+}
+
+// --------------------------------------------------------------- model --
+
+SenderModel three_row_model() {
+  SenderModel model;
+  model.senders = {net::IPv4{10, 0, 0, 1}, net::IPv4{10, 0, 0, 2},
+                   net::IPv4{10, 0, 0, 3}};
+  model.embedding = w2v::Embedding(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    model.embedding.vec(i)[0] = static_cast<float>(i + 1);
+  }
+  return model;
+}
+
+TEST(ReaderEdgeCases, ModelDuplicateVocabAddresses) {
+  const std::string prefix = ::testing::TempDir() + "/edge_model_dup";
+  save_model(prefix, three_row_model());
+  std::ofstream vocab(prefix + ".vocab");
+  vocab << "10.0.0.1\n10.0.0.1\n10.0.0.3\n";  // row 1 duplicates row 0
+  vocab.close();
+  EXPECT_THROW((void)load_model(prefix), io::ParseError);
+  io::IoReport report;
+  const SenderModel lenient =
+      load_model(prefix, io::IoPolicy::lenient_with(10), &report);
+  ASSERT_EQ(lenient.senders.size(), 2u);
+  EXPECT_EQ(lenient.embedding.size(), 2u);
+  EXPECT_EQ(lenient.senders[0], (net::IPv4{10, 0, 0, 1}));
+  EXPECT_EQ(lenient.senders[1], (net::IPv4{10, 0, 0, 3}));
+  // The duplicate's embedding row was dropped with it: row 1 now holds
+  // 10.0.0.3's vector.
+  EXPECT_EQ(lenient.embedding.vec(1)[0], 3.0f);
+  EXPECT_EQ(report.records_skipped, 1u);
+}
+
+TEST(ReaderEdgeCases, ModelV1VocabWithoutFooterStillLoads) {
+  const std::string prefix = ::testing::TempDir() + "/edge_model_v1";
+  const SenderModel model = three_row_model();
+  save_model(prefix, model);
+  // Rewrite the vocab as the v1 writer did: no #crc32 footer.
+  std::ofstream vocab(prefix + ".vocab");
+  vocab << "10.0.0.1\n10.0.0.2\n10.0.0.3\n";
+  vocab.close();
+  const SenderModel loaded = load_model(prefix);
+  EXPECT_EQ(loaded.senders, model.senders);
+  EXPECT_EQ(loaded.embedding.data(), model.embedding.data());
+}
+
+TEST(ReaderEdgeCases, ModelVocabChecksumDetectsEdit) {
+  const std::string prefix = ::testing::TempDir() + "/edge_model_crc";
+  save_model(prefix, three_row_model());
+  // Flip one address without updating the footer.
+  std::ifstream in(prefix + ".vocab");
+  std::stringstream content;
+  content << in.rdbuf();
+  in.close();
+  std::string text = content.str();
+  text.replace(text.find("10.0.0.2"), 8, "10.9.9.2");
+  std::ofstream(prefix + ".vocab") << text;
+  EXPECT_THROW((void)load_model(prefix), io::FormatError);
+  io::IoReport report;
+  const SenderModel lenient =
+      load_model(prefix, io::IoPolicy::lenient_with(10), &report);
+  EXPECT_EQ(lenient.senders.size(), 3u);
+  EXPECT_FALSE(report.checksum_verified);
+  EXPECT_FALSE(report.diagnostics.empty());
+}
+
+// ------------------------------------------------- atomic persistence --
+
+TEST(ReaderEdgeCases, AtomicWriteLeavesTargetIntactOnFailure) {
+  const std::string path = ::testing::TempDir() + "/atomic_target.txt";
+  io::atomic_write_file(path, std::ios::out,
+                        [](std::ostream& out) { out << "version 1"; });
+  EXPECT_THROW(io::atomic_write_file(path, std::ios::out,
+                                     [](std::ostream& out) {
+                                       out << "half-written";
+                                       throw std::runtime_error("crash");
+                                     }),
+               std::runtime_error);
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "version 1");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ReaderEdgeCases, InterruptedSaveModelKeepsPreviousModel) {
+  const std::string dir = ::testing::TempDir() + "/edge_model_atomic";
+  std::filesystem::create_directories(dir);
+  const std::string prefix = dir + "/model";
+  const SenderModel original = three_row_model();
+  save_model(prefix, original);
+  // Force a failure after the embedding temp is written but before any
+  // rename: the vocab temp path is blocked by a directory.
+  std::filesystem::create_directories(prefix + ".vocab.tmp");
+  SenderModel changed = original;
+  changed.embedding.vec(0)[0] = 99.0f;
+  EXPECT_THROW(save_model(prefix, changed), io::IoError);
+  std::filesystem::remove_all(prefix + ".vocab.tmp");
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".emb.tmp"));
+  const SenderModel loaded = load_model(prefix);
+  EXPECT_EQ(loaded.embedding.data(), original.embedding.data());
+  EXPECT_EQ(loaded.senders, original.senders);
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -94,8 +94,8 @@ TEST(TraceBinary, IsSmallerThanCsv) {
   const Trace original = random_trace(1000, 11);
   std::stringstream bin;
   write_binary(bin, original);
-  // 16 bytes per record + 16-byte header.
-  EXPECT_EQ(bin.str().size(), 16u + 16u * original.size());
+  // 16 bytes per record + 16-byte header + 4-byte CRC32 footer.
+  EXPECT_EQ(bin.str().size(), 20u + 16u * original.size());
 }
 
 }  // namespace

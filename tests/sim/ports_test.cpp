@@ -143,5 +143,11 @@ TEST(MakePortTable, HeadOverOneDropsTailShare) {
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), tcp(23));
 }
 
+TEST(PortTableTest, SampleFromEmptyTableThrows) {
+  const PortTable table;
+  Rng rng(13);
+  EXPECT_THROW((void)table.sample(rng), std::logic_error);
+}
+
 }  // namespace
 }  // namespace darkvec::sim

@@ -1,0 +1,55 @@
+#include "fault_injection.hpp"
+
+#include <algorithm>
+
+namespace darkvec::test {
+namespace {
+
+// splitmix64: tiny, seedable, and good enough to scatter fault positions.
+std::uint64_t next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string corrupt(std::string bytes, const FaultSpec& spec) {
+  std::uint64_t state = spec.seed;
+  if (bytes.size() > spec.protect_prefix) {
+    const std::size_t span = bytes.size() - spec.protect_prefix;
+    for (std::size_t i = 0; i < spec.bit_flips; ++i) {
+      const std::size_t pos =
+          spec.protect_prefix + static_cast<std::size_t>(next(state) % span);
+      const int bit = static_cast<int>(next(state) % 8);
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+    }
+  }
+  if (spec.truncate_at) {
+    bytes.resize(std::min(*spec.truncate_at, bytes.size()));
+  }
+  return bytes;
+}
+
+ShortReadBuf::ShortReadBuf(std::string bytes, std::size_t max_chunk)
+    : bytes_(std::move(bytes)), max_chunk_(std::max<std::size_t>(1, max_chunk)) {}
+
+ShortReadBuf::int_type ShortReadBuf::underflow() {
+  if (pos_ >= bytes_.size()) return traits_type::eof();
+  const std::size_t len = std::min(max_chunk_, bytes_.size() - pos_);
+  char* base = bytes_.data() + pos_;
+  setg(base, base, base + len);
+  pos_ += len;
+  return traits_type::to_int_type(*base);
+}
+
+FaultyStream::FaultyStream(std::string bytes, const FaultSpec& spec,
+                           std::size_t max_chunk)
+    : std::istream(nullptr), buf_(corrupt(std::move(bytes), spec), max_chunk) {
+  rdbuf(&buf_);
+}
+
+}  // namespace darkvec::test

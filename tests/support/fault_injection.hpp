@@ -1,0 +1,64 @@
+// Deterministic fault injection for reader robustness tests.
+//
+// corrupt() applies seeded bit-flips and/or truncation to a byte string;
+// FaultyStream serves those bytes through a std::streambuf that refuses
+// to buffer more than `max_chunk` bytes at a time, so readers see the
+// short-read window patterns of pipes and network filesystems. Both are
+// pure functions of (bytes, FaultSpec) — the same seed always produces
+// the same damage, so every corruption-matrix failure reproduces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <streambuf>
+#include <string>
+
+namespace darkvec::test {
+
+/// What to do to a byte string. Defaults are "no damage".
+struct FaultSpec {
+  /// Seed of the deterministic position/bit picker.
+  std::uint64_t seed = 1;
+  /// Number of single-bit flips at seeded positions.
+  std::size_t bit_flips = 0;
+  /// Drop every byte from this offset on (applied after the flips;
+  /// offsets past the end are clamped).
+  std::optional<std::size_t> truncate_at;
+  /// Never flip a bit inside the first N bytes (keeps a header intact
+  /// when the test wants to reach deeper logic).
+  std::size_t protect_prefix = 0;
+};
+
+/// Returns a damaged copy of `bytes` per `spec`.
+[[nodiscard]] std::string corrupt(std::string bytes, const FaultSpec& spec);
+
+/// streambuf over an in-memory byte string that exposes at most
+/// `max_chunk` bytes per underflow.
+class ShortReadBuf : public std::streambuf {
+ public:
+  ShortReadBuf(std::string bytes, std::size_t max_chunk);
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  std::string bytes_;
+  std::size_t pos_ = 0;
+  std::size_t max_chunk_;
+};
+
+/// An istream over corrupted bytes with short reads. Usage:
+///   FaultyStream in(golden_bytes, {.seed = 7, .bit_flips = 3}, 13);
+///   auto trace = net::read_binary(in, policy, &report);
+class FaultyStream : public std::istream {
+ public:
+  explicit FaultyStream(std::string bytes, const FaultSpec& spec = {},
+                        std::size_t max_chunk = 4096);
+
+ private:
+  ShortReadBuf buf_;
+};
+
+}  // namespace darkvec::test

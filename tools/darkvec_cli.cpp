@@ -8,9 +8,16 @@
 //   darkvec cluster   --trace FILE [--labels FILE] [--kprime K] [--epochs N]
 //   darkvec neighbors --trace FILE --ip A.B.C.D [--k K] [--epochs N]
 //
+// Every trace-reading command also accepts:
+//   --lenient            skip malformed trace records instead of aborting;
+//                        a summary of skipped records goes to stderr
+//   --error-budget N     lenient only: give up after N skipped records
+//                        (default 10000)
+//
 // Traces are the CSV format of net::write_csv / examples/export_dataset;
 // label files are "src,class,group" CSVs. `train` writes PREFIX.emb
-// (binary embedding) and PREFIX.vocab (one sender address per row).
+// (v2 binary embedding, CRC32 footer) and PREFIX.vocab (one sender
+// address per row plus a #crc32 footer), atomically.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,20 +60,47 @@ struct Args {
 
 Args parse_args(int argc, char** argv, int start) {
   Args args;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) break;
-    args.values[argv[i] + 2] = argv[i + 1];
+    // A key followed by another --key (or nothing) is a bare flag.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args.values[argv[i] + 2] = "1";
+      i += 1;
+    } else {
+      args.values[argv[i] + 2] = argv[i + 1];
+      i += 2;
+    }
   }
   return args;
 }
 
-/// Loads a trace by extension: .dvkt is the compact binary format,
-/// anything else is CSV.
-net::Trace load_trace(const std::string& path) {
-  if (path.size() > 5 && path.rfind(".dvkt") == path.size() - 5) {
-    return net::read_binary_file(path);
+io::IoPolicy policy_from(const Args& args) {
+  io::IoPolicy policy;
+  if (args.has("lenient")) {
+    policy.mode = io::IoMode::kLenient;
+    policy.error_budget =
+        static_cast<std::size_t>(args.number("error-budget", 10000));
   }
-  return net::read_csv_file(path);
+  return policy;
+}
+
+/// Loads a trace by extension: .dvkt is the compact binary format,
+/// anything else is CSV. In lenient mode, skipped records are summarized
+/// on stderr.
+net::Trace load_trace(const std::string& path, const Args& args) {
+  const io::IoPolicy policy = policy_from(args);
+  io::IoReport report;
+  net::Trace trace;
+  if (path.size() > 5 && path.rfind(".dvkt") == path.size() - 5) {
+    trace = net::read_binary_file(path, policy, &report);
+  } else {
+    trace = net::read_csv_file(path, policy, &report);
+  }
+  if (policy.lenient()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 report.summary().c_str());
+  }
+  return trace;
 }
 
 corpus::ServiceStrategy parse_services(const std::string& name) {
@@ -148,7 +182,7 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const net::Trace trace = load_trace(args.get("trace"));
+  const net::Trace trace = load_trace(args.get("trace"), args);
   const DarkVec dv = fit_from(trace, args);
   const std::string prefix = args.get("out", "darkvec");
   save_model(prefix, SenderModel{dv.corpus().words, dv.embedding()});
@@ -159,7 +193,7 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_classify(const Args& args) {
-  const net::Trace trace = load_trace(args.get("trace"));
+  const net::Trace trace = load_trace(args.get("trace"), args);
   const sim::LabelMap labels = read_labels(args.get("labels"), nullptr);
   const DarkVec dv = fit_from(trace, args);
   const auto eval_ips = last_day_active_senders(trace);
@@ -179,7 +213,7 @@ int cmd_classify(const Args& args) {
 }
 
 int cmd_cluster(const Args& args) {
-  const net::Trace trace = load_trace(args.get("trace"));
+  const net::Trace trace = load_trace(args.get("trace"), args);
   sim::GroupMap groups;
   if (args.has("labels")) read_labels(args.get("labels"), &groups);
   const DarkVec dv = fit_from(trace, args);
@@ -219,7 +253,7 @@ int cmd_cluster(const Args& args) {
 }
 
 int cmd_neighbors(const Args& args) {
-  const net::Trace trace = load_trace(args.get("trace"));
+  const net::Trace trace = load_trace(args.get("trace"), args);
   const auto ip = net::IPv4::parse(args.get("ip"));
   if (!ip) {
     std::fprintf(stderr, "bad --ip\n");
