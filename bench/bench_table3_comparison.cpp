@@ -58,7 +58,6 @@ int main() {
       env_or("DARKVEC_IP2VEC_CAP", 30e6));
 
   for (const int days : {5, 30}) {
-    const std::int64_t t0 = sim.trace.stats().first_ts;
     // The paper trains on the *last* `days` days, testing on the final day.
     const std::int64_t end = sim.trace.stats().last_ts + 1;
     const net::Trace window =

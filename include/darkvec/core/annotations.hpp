@@ -1,0 +1,125 @@
+// Thread-safety annotations and annotated synchronization primitives.
+//
+// The parallel determinism contract in core/parallel.hpp and the other
+// concurrency invariants of the library are enforced at compile time by
+// Clang's -Wthread-safety analysis. Every piece of shared mutable state
+// is declared DV_GUARDED_BY a capability (a core::Mutex), and every
+// function that touches it either acquires the capability or declares
+// DV_REQUIRES — so an unguarded access is a compile error under Clang,
+// not a code-review finding. Under GCC (no analysis) the macros expand
+// to nothing and the wrappers cost exactly what the std primitives cost.
+//
+// Project lint (tools/darkvec_lint.py, rule naked-mutex) rejects raw
+// std::mutex / std::condition_variable outside this header: shared state
+// must use core::Mutex so the analysis can see it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define DV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DV_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (lockable) for the analysis.
+#define DV_CAPABILITY(x) DV_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define DV_SCOPED_CAPABILITY DV_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the capability.
+#define DV_GUARDED_BY(x) DV_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee guarded by the capability (the pointer itself is not).
+#define DV_PT_GUARDED_BY(x) DV_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only while holding the listed capabilities.
+#define DV_REQUIRES(...) DV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and does not release it.
+#define DV_ACQUIRE(...) DV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define DV_RELEASE(...) DV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function tries to acquire; first argument is the success return value.
+#define DV_TRY_ACQUIRE(...) \
+  DV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define DV_EXCLUDES(...) DV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion to the analysis that the capability is held. Used by
+/// worker-thread bodies whose synchronization is established externally
+/// (the coordinating thread holds the session lock for the whole call).
+#define DV_ASSERT_CAPABILITY(x) DV_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define DV_RETURN_CAPABILITY(x) DV_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use needs
+/// a comment explaining the external synchronization.
+#define DV_NO_THREAD_SAFETY_ANALYSIS \
+  DV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a function whose data races are *by design* (Hogwild SGD:
+/// lock-free, last-write-wins updates to shared weights), exempting it
+/// from ThreadSanitizer so TSan runs flag real bugs, not the documented
+/// algorithm. Every use needs a comment citing the racy-by-design
+/// justification.
+#if defined(__clang__) || defined(__GNUC__)
+#define DV_BENIGN_RACE_FUNCTION __attribute__((no_sanitize("thread")))
+#else
+#define DV_BENIGN_RACE_FUNCTION
+#endif
+
+namespace darkvec::core {
+
+/// std::mutex with a capability annotation so the analysis can track it.
+class DV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DV_ACQUIRE() { mu_.lock(); }
+  void unlock() DV_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() DV_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Tells the analysis this thread may access state guarded by *this:
+  /// the capability is held on its behalf by another thread for the
+  /// duration of the call (externally-synchronized worker bodies).
+  void assert_held() const DV_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for core::Mutex, visible to the analysis as a scoped
+/// capability (the std::lock_guard equivalent).
+class DV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DV_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with core::Mutex. wait() requires the mutex
+/// held (checked by the analysis); it is released while blocked and
+/// reacquired before returning, like std::condition_variable.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) DV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace darkvec::core

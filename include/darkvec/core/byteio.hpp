@@ -1,0 +1,69 @@
+// Blessed byte-level stream (de)serialization helpers.
+//
+// This header is the ONLY place in the library allowed to reinterpret
+// bytes as objects (lint rule reinterpret-cast). Scalar header fields go
+// through a stack byte buffer and std::memcpy, so a load can never be
+// misaligned or violate strict aliasing no matter where the caller's
+// field lives; bulk arrays are read straight into the caller's typed
+// buffer, whose alignment is guaranteed by its own type, through the
+// object-representation char* that [basic.types.general] blesses.
+//
+// All helpers report how many bytes the stream actually yielded instead
+// of relying on stream state, because the readers' truncation handling
+// (io::TruncatedInput with a record number) needs exact byte counts for
+// both diagnostics and CRC folding of partial tails.
+#pragma once
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace darkvec::io {
+
+/// Reads sizeof(T) bytes into `out`. Returns false (leaving `out`
+/// untouched) if the stream yields fewer bytes.
+template <typename T>
+[[nodiscard]] bool read_pod(std::istream& in, T& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_pod requires a trivially copyable type");
+  char buf[sizeof(T)];
+  in.read(buf, sizeof buf);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof buf) return false;
+  std::memcpy(&out, buf, sizeof buf);
+  return true;
+}
+
+/// Reads up to `count` elements into `dst`; returns the number of BYTES
+/// the stream yielded (callers derive whole elements and fold partial
+/// tails into their CRC).
+template <typename T>
+[[nodiscard]] std::size_t read_array_bytes(std::istream& in, T* dst,
+                                           std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_array_bytes requires a trivially copyable type");
+  in.read(reinterpret_cast<char*>(dst),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<std::size_t>(in.gcount());
+}
+
+/// Writes the object representation of `value`.
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_pod requires a trivially copyable type");
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof buf);
+  out.write(buf, sizeof buf);
+}
+
+/// Writes `count` elements from `src`.
+template <typename T>
+void write_array(std::ostream& out, const T* src, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_array requires a trivially copyable type");
+  out.write(reinterpret_cast<const char*>(src),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+}  // namespace darkvec::io

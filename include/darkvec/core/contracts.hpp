@@ -1,0 +1,102 @@
+// Contract macros: machine-checked statements of the library's invariants.
+//
+//   DV_PRECONDITION(cond, "Component: what the caller must guarantee")
+//   DV_POSTCONDITION(cond, "Component: what this function guarantees")
+//   DV_INVARIANT(cond, "Component: what always holds in between")
+//
+// Each macro names the violated invariant, so a failure reads as a
+// diagnosis ("precondition violated: k > 0 [CosineKnn: k must be
+// positive] at src/ml/knn.cpp:17"), not a bare abort. Unlike the io::
+// error taxonomy (hostile *data*, recoverable by policy), a contract
+// violation is a *programming* error in the caller or in the library and
+// is never downgraded by IoPolicy.
+//
+// Build-selectable modes, one per translation unit at include time:
+//   (default)              violated contracts throw darkvec::ContractViolation
+//                          (derives from std::logic_error)
+//   DARKVEC_CONTRACTS_TRAP violated contracts __builtin_trap() — for
+//                          sanitizer/fuzz builds where unwinding hides bugs
+//   DARKVEC_CONTRACTS_OFF  contracts compile to nothing; the condition is
+//                          NOT evaluated (sizeof-guarded, so it must still
+//                          parse — contracts cannot rot)
+//
+// The whole build selects a mode with -DDARKVEC_CONTRACTS=throw|trap|off
+// (see the top-level CMakeLists).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace darkvec {
+
+/// Thrown (in the default mode) when a DV_* contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  enum class Kind { kPrecondition, kPostcondition, kInvariant };
+
+  ContractViolation(Kind kind, const char* expression, const char* invariant,
+                    const char* file, int line)
+      : std::logic_error(format(kind, expression, invariant, file, line)),
+        kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  static std::string format(Kind kind, const char* expression,
+                            const char* invariant, const char* file,
+                            int line) {
+    const char* name = kind == Kind::kPrecondition    ? "precondition"
+                       : kind == Kind::kPostcondition ? "postcondition"
+                                                      : "invariant";
+    std::string s;
+    s += name;
+    s += " violated: ";
+    s += expression;
+    s += " [";
+    s += invariant;
+    s += "] at ";
+    s += file;
+    s += ":";
+    s += std::to_string(line);
+    return s;
+  }
+
+  Kind kind_;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failed(ContractViolation::Kind kind,
+                                         const char* expression,
+                                         const char* invariant,
+                                         const char* file, int line) {
+  throw ContractViolation(kind, expression, invariant, file, line);
+}
+
+}  // namespace detail
+}  // namespace darkvec
+
+#if defined(DARKVEC_CONTRACTS_OFF)
+// Off: zero cost, condition unevaluated but still type-checked.
+#define DV_CONTRACT_CHECK(kind, cond, invariant) \
+  static_cast<void>(sizeof(!(cond)))
+#elif defined(DARKVEC_CONTRACTS_TRAP)
+#define DV_CONTRACT_CHECK(kind, cond, invariant) \
+  ((cond) ? static_cast<void>(0) : __builtin_trap())
+#else
+#define DV_CONTRACT_CHECK(kind, cond, invariant)                        \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::darkvec::detail::contract_failed(                         \
+                ::darkvec::ContractViolation::Kind::kind, #cond,        \
+                invariant, __FILE__, __LINE__))
+#endif
+
+/// What the caller must guarantee before the call.
+#define DV_PRECONDITION(cond, invariant) \
+  DV_CONTRACT_CHECK(kPrecondition, cond, invariant)
+/// What the function guarantees on return.
+#define DV_POSTCONDITION(cond, invariant) \
+  DV_CONTRACT_CHECK(kPostcondition, cond, invariant)
+/// What holds at this point regardless of inputs.
+#define DV_INVARIANT(cond, invariant) \
+  DV_CONTRACT_CHECK(kInvariant, cond, invariant)

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "darkvec/core/annotations.hpp"
 #include "darkvec/core/errors.hpp"
 #include "darkvec/net/ipv4.hpp"
 #include "darkvec/w2v/embedding.hpp"
@@ -18,23 +19,57 @@ namespace darkvec {
 /// A trained sender embedding ready for k-NN / clustering use.
 struct SenderModel {
   SenderModel() = default;
-  SenderModel(std::vector<net::IPv4> senders, w2v::Embedding embedding)
-      : senders(std::move(senders)), embedding(std::move(embedding)) {}
+  SenderModel(std::vector<net::IPv4> model_senders,
+              w2v::Embedding model_embedding)
+      : senders(std::move(model_senders)),
+        embedding(std::move(model_embedding)) {}
+
+  // The lazy index (and its mutex) is per-object state, not part of the
+  // model's value: copies and moves transfer the data rows and start
+  // with a cold index.
+  SenderModel(const SenderModel& other)
+      : senders(other.senders), embedding(other.embedding) {}
+  SenderModel(SenderModel&& other) noexcept
+      : senders(std::move(other.senders)),
+        embedding(std::move(other.embedding)) {}
+  SenderModel& operator=(const SenderModel& other) {
+    if (this != &other) {
+      senders = other.senders;
+      embedding = other.embedding;
+      invalidate_index();
+    }
+    return *this;
+  }
+  SenderModel& operator=(SenderModel&& other) noexcept {
+    if (this != &other) {
+      senders = std::move(other.senders);
+      embedding = std::move(other.embedding);
+      invalidate_index();
+    }
+    return *this;
+  }
+  ~SenderModel() = default;
 
   /// Row i of `embedding` is the vector of `senders[i]`.
   std::vector<net::IPv4> senders;
   w2v::Embedding embedding;
 
   /// Row of `ip` or -1. O(1) through a hash index built lazily on the
-  /// first lookup; call invalidate_index() after mutating `senders`.
-  /// (The first lookup is not safe to race with concurrent lookups.)
+  /// first lookup. Safe to call from concurrent readers: the build and
+  /// every lookup hold the index mutex. Call invalidate_index() after
+  /// mutating `senders`.
   [[nodiscard]] std::int64_t index_of(net::IPv4 ip) const;
 
   /// Drops the lazy lookup index; the next index_of() rebuilds it.
-  void invalidate_index() { index_.clear(); }
+  void invalidate_index() {
+    core::MutexLock lock(index_mu_);
+    index_.clear();
+  }
 
  private:
-  mutable std::unordered_map<net::IPv4, std::int64_t> index_;
+  mutable core::Mutex index_mu_;
+  mutable std::unordered_map<net::IPv4, std::int64_t> index_
+      DV_GUARDED_BY(index_mu_);
 };
 
 /// Writes `model` as `prefix.emb` (v2 binary embedding, CRC32 footer) and

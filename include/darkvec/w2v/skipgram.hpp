@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "darkvec/core/annotations.hpp"
 #include "darkvec/w2v/embedding.hpp"
 
 namespace darkvec::w2v {
@@ -67,39 +68,60 @@ class SkipGramModel {
   TrainStats train_pairs(
       std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs);
 
-  /// The trained input vectors, one row per word id.
-  [[nodiscard]] const Embedding& embedding() const { return syn0_; }
+  /// The trained input vectors, one row per word id. Briefly takes the
+  /// training session lock, so calling it concurrently with train()
+  /// blocks until training finishes instead of racing.
+  [[nodiscard]] const Embedding& embedding() const {
+    core::MutexLock lock(train_mu_);
+    return syn0_;
+  }
 
   [[nodiscard]] std::size_t vocab_size() const { return vocab_; }
   [[nodiscard]] const SkipGramOptions& options() const { return options_; }
 
  private:
-  void build_unigram_table(const std::vector<std::uint64_t>& counts);
+  void build_unigram_table(const std::vector<std::uint64_t>& counts)
+      DV_REQUIRES(train_mu_);
   /// One SGD step on the pair (input, output): positive update plus
   /// `negative` sampled negatives. `neu1e` is caller-provided scratch.
+  /// Racy by design (Hogwild): workers update syn0_/syn1neg_ without
+  /// per-row locks, exactly like the word2vec reference implementation.
   void train_pair(std::uint32_t input, std::uint32_t output, float alpha,
-                  std::uint64_t& rng_state, float* neu1e);
+                  std::uint64_t& rng_state, float* neu1e)
+      DV_REQUIRES(train_mu_) DV_BENIGN_RACE_FUNCTION;
   /// One CBOW step: the mean of the context vectors predicts `center`.
   /// `neu1`/`neu1e` are caller-provided scratch of size dim.
+  /// Racy by design (Hogwild), like train_pair.
   void train_cbow(std::span<const std::uint32_t> context,
                   std::uint32_t center, float alpha,
-                  std::uint64_t& rng_state, float* neu1, float* neu1e);
+                  std::uint64_t& rng_state, float* neu1, float* neu1e)
+      DV_REQUIRES(train_mu_) DV_BENIGN_RACE_FUNCTION;
   /// Builds the Huffman tree for hierarchical softmax from word counts.
-  void build_huffman_tree(const std::vector<std::uint64_t>& counts);
+  void build_huffman_tree(const std::vector<std::uint64_t>& counts)
+      DV_REQUIRES(train_mu_);
   /// One hierarchical-softmax step on (input, output).
+  /// Racy by design (Hogwild), like train_pair.
   void train_pair_hs(std::uint32_t input, std::uint32_t output, float alpha,
-                     float* neu1e);
+                     float* neu1e) DV_REQUIRES(train_mu_)
+      DV_BENIGN_RACE_FUNCTION;
 
   std::size_t vocab_;
   SkipGramOptions options_;
-  Embedding syn0_;                  ///< input vectors (the embedding)
-  std::vector<float> syn1neg_;      ///< output vectors
-  std::vector<std::uint32_t> unigram_table_;
+  /// Serializes training sessions and guards the weights: train() and
+  /// train_pairs() hold it end to end, so two concurrent sessions (or a
+  /// session racing embedding()) queue instead of corrupting weights.
+  /// Hogwild workers *inside* one session write the guarded weights
+  /// lock-free by design; they assert the capability that the
+  /// coordinating thread holds on their behalf (see train()).
+  mutable core::Mutex train_mu_;
+  Embedding syn0_ DV_GUARDED_BY(train_mu_);  ///< input vectors (embedding)
+  std::vector<float> syn1neg_ DV_GUARDED_BY(train_mu_);  ///< output vectors
+  std::vector<std::uint32_t> unigram_table_ DV_GUARDED_BY(train_mu_);
   // Hierarchical softmax: per-word Huffman code and inner-node path.
-  std::vector<std::vector<std::uint8_t>> hs_code_;
-  std::vector<std::vector<std::uint32_t>> hs_point_;
-  std::vector<float> syn1hs_;       ///< inner-node vectors
-  std::uint64_t pairs_trained_ = 0;
+  std::vector<std::vector<std::uint8_t>> hs_code_ DV_GUARDED_BY(train_mu_);
+  std::vector<std::vector<std::uint32_t>> hs_point_ DV_GUARDED_BY(train_mu_);
+  std::vector<float> syn1hs_ DV_GUARDED_BY(train_mu_);  ///< inner nodes
+  std::uint64_t pairs_trained_ DV_GUARDED_BY(train_mu_) = 0;
 };
 
 }  // namespace darkvec::w2v

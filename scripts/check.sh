@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full static + dynamic verification sweep. Mirrors what CI should run:
+#
+#   1. warnings-as-errors build + entire test suite (contracts = throw)
+#   2. project lint (self-test, then the tree) and clang-tidy (if present)
+#   3. ThreadSanitizer build + perf-smoke tests (the parallel kernels)
+#   4. UBSan build + io-fuzz tests (the byte-level readers)
+#
+# Each configuration uses its own build directory so the sweep never
+# clobbers a developer's ./build. compile_commands.json is exported from
+# the primary build for clang-tidy and editors.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+# 1. Primary: -Werror, full suite.
+run cmake -B build-check -S . -DDARKVEC_WERROR=ON
+run cmake --build build-check -j "${JOBS}"
+run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
+
+# 2. Static rules.
+run python3 tools/darkvec_lint.py --self-test
+run python3 tools/darkvec_lint.py --root .
+run cmake --build build-check --target tidy
+
+test -f build-check/compile_commands.json \
+  || { echo "FAIL: compile_commands.json was not exported"; exit 1; }
+
+# 3. TSan smoke over the threaded kernels.
+run cmake -B build-tsan -S . -DDARKVEC_SANITIZE=thread
+run cmake --build build-tsan -j "${JOBS}"
+run ctest --test-dir build-tsan -L perf-smoke --output-on-failure
+
+# 4. UBSan smoke over the hostile-input readers.
+run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=undefined
+run cmake --build build-ubsan -j "${JOBS}"
+run ctest --test-dir build-ubsan -L io-fuzz --output-on-failure
+
+echo
+echo "check.sh: all gates passed"

@@ -1,3 +1,4 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/core/darkvec.hpp"
 
 #include <stdexcept>
@@ -19,7 +20,7 @@ w2v::TrainStats DarkVec::fit(const net::Trace& trace) {
 }
 
 const w2v::Embedding& DarkVec::embedding() const {
-  if (!model_) throw std::logic_error("DarkVec: fit() not called");
+  DV_PRECONDITION(model_ != nullptr, "DarkVec: embedding() requires fit()");
   return model_->embedding();
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "darkvec/core/checksum.hpp"
+#include "darkvec/core/contracts.hpp"
 
 namespace darkvec {
 namespace {
@@ -29,6 +30,7 @@ void write_vocab(std::ostream& out, const std::vector<net::IPv4>& senders) {
 }  // namespace
 
 std::int64_t SenderModel::index_of(net::IPv4 ip) const {
+  core::MutexLock lock(index_mu_);
   if (index_.empty() && !senders.empty()) {
     index_.reserve(senders.size());
     // First entry wins, matching the old linear scan on duplicates.
@@ -41,9 +43,8 @@ std::int64_t SenderModel::index_of(net::IPv4 ip) const {
 }
 
 void save_model(const std::string& prefix, const SenderModel& model) {
-  if (model.senders.size() != model.embedding.size()) {
-    throw std::invalid_argument("save_model: vocab/embedding size mismatch");
-  }
+  DV_PRECONDITION(model.senders.size() == model.embedding.size(),
+                  "save_model: one vocab row per embedding row");
   // Two-phase commit: write both temporaries completely, then rename.
   // An interruption before the renames leaves any previous model intact.
   const std::string emb_path = prefix + ".emb";

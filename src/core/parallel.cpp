@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "darkvec/core/annotations.hpp"
 
 namespace darkvec::core {
 namespace {
@@ -39,9 +40,11 @@ struct ThreadPool::Impl {
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> chunks_left{0};
     std::atomic<bool> error_set{false};
-    std::exception_ptr error;
-    std::mutex done_mutex;
-    std::condition_variable done;
+    Mutex done_mutex;
+    // First exception thrown by a body; error_set's winner writes it, the
+    // submitter reads it after the done wait — both under done_mutex.
+    std::exception_ptr error DV_GUARDED_BY(done_mutex);
+    CondVar done;
   };
 
   explicit Impl(int threads) : size(std::max(threads, 1)) {
@@ -53,7 +56,7 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard lock(mutex);
+      MutexLock lock(mutex);
       stop = true;
     }
     work_ready.notify_all();
@@ -65,8 +68,11 @@ struct ThreadPool::Impl {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock lock(mutex);
-        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        MutexLock lock(mutex);
+        work_ready.wait(mutex, [&] {
+          mutex.assert_held();  // held for us by the enclosing wait()
+          return stop || generation != seen;
+        });
         if (stop) return;
         seen = generation;
         job = current;
@@ -90,11 +96,12 @@ struct ThreadPool::Impl {
         }
       } catch (...) {
         if (!job.error_set.exchange(true)) {
+          MutexLock lock(job.done_mutex);
           job.error = std::current_exception();
         }
       }
       if (job.chunks_left.fetch_sub(1) == 1) {
-        std::lock_guard lock(job.done_mutex);
+        MutexLock lock(job.done_mutex);
         job.done.notify_all();
       }
     }
@@ -116,7 +123,7 @@ struct ThreadPool::Impl {
       return;
     }
 
-    std::lock_guard submit(submit_mutex);
+    MutexLock submit(submit_mutex);
     auto job = std::make_shared<Job>();
     job->n = count;
     job->grain = chunk;
@@ -124,32 +131,35 @@ struct ThreadPool::Impl {
     job->body = &fn;
     job->chunks_left.store(chunks);
     {
-      std::lock_guard lock(mutex);
+      MutexLock lock(mutex);
       current = job;
       ++generation;
     }
     work_ready.notify_all();
     run_chunks(*job);  // the submitting thread works too
+    std::exception_ptr error;
     {
-      std::unique_lock lock(job->done_mutex);
-      job->done.wait(lock, [&] { return job->chunks_left.load() == 0; });
+      MutexLock lock(job->done_mutex);
+      job->done.wait(job->done_mutex,
+                     [&] { return job->chunks_left.load() == 0; });
+      error = job->error;
     }
     {
-      std::lock_guard lock(mutex);
+      MutexLock lock(mutex);
       if (current == job) current = nullptr;
     }
-    if (job->error) std::rethrow_exception(job->error);
+    if (error) std::rethrow_exception(error);
   }
 
   const int size;
   std::vector<std::thread> workers;
 
-  std::mutex submit_mutex;  // serializes jobs from concurrent submitters
-  std::mutex mutex;         // guards current/generation/stop
-  std::condition_variable work_ready;
-  bool stop = false;
-  std::uint64_t generation = 0;
-  std::shared_ptr<Job> current;
+  Mutex submit_mutex;  // serializes jobs from concurrent submitters
+  Mutex mutex;         // guards current/generation/stop
+  CondVar work_ready;
+  bool stop DV_GUARDED_BY(mutex) = false;
+  std::uint64_t generation DV_GUARDED_BY(mutex) = 0;
+  std::shared_ptr<Job> current DV_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -167,28 +177,32 @@ void ThreadPool::for_each_chunk(
 
 namespace {
 
-std::unique_ptr<ThreadPool>& global_slot() {
-  static std::unique_ptr<ThreadPool> pool;
-  return pool;
-}
+// The process-wide pool and the mutex guarding its replacement, bundled
+// so the analysis sees the guard relation (function-local statics cannot
+// carry DV_GUARDED_BY).
+struct GlobalPool {
+  Mutex mu;
+  std::unique_ptr<ThreadPool> pool DV_GUARDED_BY(mu);
+};
 
-std::mutex& global_mutex() {
-  static std::mutex m;
-  return m;
+GlobalPool& global_pool() {
+  static GlobalPool g;
+  return g;
 }
 
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard lock(global_mutex());
-  auto& slot = global_slot();
-  if (!slot) slot = std::make_unique<ThreadPool>(default_thread_count());
-  return *slot;
+  GlobalPool& g = global_pool();
+  MutexLock lock(g.mu);
+  if (!g.pool) g.pool = std::make_unique<ThreadPool>(default_thread_count());
+  return *g.pool;
 }
 
 void ThreadPool::set_global_threads(int threads) {
-  std::lock_guard lock(global_mutex());
-  global_slot() = std::make_unique<ThreadPool>(threads);
+  GlobalPool& g = global_pool();
+  MutexLock lock(g.mu);
+  g.pool = std::make_unique<ThreadPool>(threads);
 }
 
 void parallel_for(std::size_t n, std::size_t grain,

@@ -1,3 +1,4 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/core/transfer.hpp"
 
 #include <stdexcept>
@@ -27,13 +28,11 @@ Alignment align_embeddings(const corpus::Corpus& source_corpus,
                            const w2v::Embedding& source,
                            const corpus::Corpus& target_corpus,
                            const w2v::Embedding& target) {
-  if (source.dim() != target.dim()) {
-    throw std::invalid_argument("align_embeddings: dimension mismatch");
-  }
+  DV_PRECONDITION(source.dim() == target.dim(),
+                  "align_embeddings: embeddings share one dimension");
   const auto anchors = anchor_rows(source_corpus, target_corpus);
-  if (anchors.empty()) {
-    throw std::invalid_argument("align_embeddings: no shared senders");
-  }
+  DV_PRECONDITION(!anchors.empty(),
+                  "align_embeddings: the corpora share at least one sender");
   const int dim = source.dim();
   const w2v::Embedding a = source.normalized();
   const w2v::Embedding b = target.normalized();
@@ -76,9 +75,8 @@ Alignment align_embeddings(const corpus::Corpus& source_corpus,
 
 w2v::Embedding apply_alignment(const Alignment& alignment,
                                const w2v::Embedding& source) {
-  if (source.dim() != alignment.dim) {
-    throw std::invalid_argument("apply_alignment: dimension mismatch");
-  }
+  DV_PRECONDITION(source.dim() == alignment.dim,
+                  "apply_alignment: source matches the alignment dimension");
   const int dim = alignment.dim;
   w2v::Embedding out(source.size(), dim);
   for (std::size_t i = 0; i < source.size(); ++i) {

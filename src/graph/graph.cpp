@@ -1,15 +1,16 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/graph/graph.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace darkvec::graph {
 
 WeightedGraph::WeightedGraph(std::size_t n) : n_(n) {}
 
 void WeightedGraph::add_edge(std::uint32_t u, std::uint32_t v, double w) {
-  if (finalized_) throw std::logic_error("WeightedGraph: already finalized");
-  if (u >= n_ || v >= n_) throw std::out_of_range("WeightedGraph: bad node");
+  DV_PRECONDITION(!finalized_, "WeightedGraph: add_edge() before finalize()");
+  DV_PRECONDITION(u < n_ && v < n_,
+                  "WeightedGraph: edge endpoints are valid nodes");
   if (u > v) std::swap(u, v);
   raw_.push_back({u, v, w});
 }
@@ -63,9 +64,8 @@ void WeightedGraph::finalize() {
 }
 
 std::span<const Edge> WeightedGraph::neighbors(std::uint32_t u) const {
-  if (!finalized_) {
-    throw std::logic_error("WeightedGraph::neighbors: finalize() first");
-  }
+  DV_PRECONDITION(finalized_,
+                  "WeightedGraph: neighbors() requires finalize()");
   return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
 }
 

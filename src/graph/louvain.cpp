@@ -1,3 +1,4 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/graph/louvain.hpp"
 
 #include <algorithm>
@@ -117,9 +118,8 @@ WeightedGraph aggregate(const WeightedGraph& g,
 }  // namespace
 
 double modularity(const WeightedGraph& g, std::span<const int> community) {
-  if (community.size() != g.num_nodes()) {
-    throw std::invalid_argument("modularity: partition size mismatch");
-  }
+  DV_PRECONDITION(community.size() == g.num_nodes(),
+                  "modularity: one community entry per node");
   const double m = g.total_weight();
   if (m <= 0) return 0;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
 
 namespace darkvec::ml {
@@ -53,6 +54,8 @@ std::vector<std::vector<Neighbor>> batch_topk(
   // exactly 1.0f); reproduce that for bit parity.
   std::vector<float> inv(nq);
   for (std::size_t i = 0; i < nq; ++i) {
+    DV_PRECONDITION(queries[i] < n,
+                    "batch_topk: every query id is a valid corpus row");
     const auto v = normalized.vec(queries[i]);
     const double norm = std::sqrt(w2v::dot(v, v));
     inv[i] = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;

@@ -3,14 +3,20 @@
 #include <cmath>
 #include <numeric>
 
+#include "darkvec/core/contracts.hpp"
+
 namespace darkvec::ml {
 
 std::vector<Neighbor> CosineKnn::query(std::size_t i, int k) const {
+  DV_PRECONDITION(i < normalized_.size(),
+                  "CosineKnn: query row is a valid embedding row");
   return query_vector(normalized_.vec(i), k, static_cast<std::int64_t>(i));
 }
 
 std::vector<Neighbor> CosineKnn::query_vector(std::span<const float> v, int k,
                                               std::int64_t exclude) const {
+  DV_PRECONDITION(v.size() == static_cast<std::size_t>(normalized_.dim()),
+                  "CosineKnn: query vector matches the index dimension");
   if (k <= 0) return {};
   // Normalize the query so results are true cosine similarities.
   const double norm = std::sqrt(w2v::dot(v, v));

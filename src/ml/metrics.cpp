@@ -1,7 +1,7 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/ml/metrics.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace darkvec::ml {
 
@@ -12,16 +12,14 @@ ClassificationReport::ClassificationReport(std::span<const int> y_true,
       confusion_(per_class_.size() * per_class_.size(), 0),
       y_true_(y_true.begin(), y_true.end()),
       y_pred_(y_pred.begin(), y_pred.end()) {
-  if (y_true.size() != y_pred.size()) {
-    throw std::invalid_argument("ClassificationReport: length mismatch");
-  }
+  DV_PRECONDITION(y_true.size() == y_pred.size(),
+                  "ClassificationReport: y_true and y_pred have equal length");
   std::size_t correct = 0;
   for (std::size_t i = 0; i < y_true.size(); ++i) {
     const int t = y_true[i];
     const int p = y_pred[i];
-    if (t < 0 || t >= n_classes || p < 0 || p >= n_classes) {
-      throw std::out_of_range("ClassificationReport: label out of range");
-    }
+    DV_PRECONDITION(t >= 0 && t < n_classes && p >= 0 && p < n_classes,
+                    "ClassificationReport: labels lie in [0, n_classes)");
     ++confusion_[static_cast<std::size_t>(t) * per_class_.size() +
                  static_cast<std::size_t>(p)];
     if (t == p) ++correct;

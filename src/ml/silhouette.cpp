@@ -1,8 +1,8 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/ml/silhouette.hpp"
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
 
 #include "darkvec/core/parallel.hpp"
 
@@ -11,9 +11,8 @@ namespace darkvec::ml {
 std::vector<double> silhouette_samples(const w2v::Embedding& embedding,
                                        std::span<const int> assignment) {
   const std::size_t n = embedding.size();
-  if (assignment.size() != n) {
-    throw std::invalid_argument("silhouette: assignment size mismatch");
-  }
+  DV_PRECONDITION(assignment.size() == n,
+                  "silhouette: one assignment per embedding row");
   std::vector<double> out(n, 0.0);
   if (n == 0) return out;
 
@@ -69,9 +68,8 @@ std::vector<double> silhouette_samples(const w2v::Embedding& embedding,
 
 std::vector<double> silhouette_by_cluster(std::span<const double> samples,
                                           std::span<const int> assignment) {
-  if (samples.size() != assignment.size()) {
-    throw std::invalid_argument("silhouette: size mismatch");
-  }
+  DV_PRECONDITION(samples.size() == assignment.size(),
+                  "silhouette: one assignment per sample");
   int max_cluster = -1;
   for (const int c : assignment) max_cluster = std::max(max_cluster, c);
   std::vector<double> mean(static_cast<std::size_t>(max_cluster + 1), 0.0);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/byteio.hpp"
 #include "darkvec/core/checksum.hpp"
 
 namespace darkvec::net {
@@ -75,8 +76,7 @@ void write_binary(std::ostream& out, const Trace& trace) {
     }
   }
   if (!buffer.empty()) put(buffer.data(), buffer.size() * sizeof(Record));
-  const std::uint32_t digest = crc.value();
-  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  io::write_pod(out, crc.value());
 }
 
 void write_binary_file(const std::string& path, const Trace& trace) {
@@ -91,16 +91,16 @@ Trace read_binary(std::istream& in, const io::IoPolicy& policy,
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kMagic) {
+  if (!io::read_pod(in, magic) || magic != kMagic) {
     throw io::FormatError("trace binary: bad magic");
   }
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || (version != kVersionV1 && version != kVersionV2)) {
+  if (!io::read_pod(in, version) ||
+      (version != kVersionV1 && version != kVersionV2)) {
     throw io::FormatError("trace binary: unsupported version");
   }
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw io::TruncatedInput("trace binary: truncated header");
+  if (!io::read_pod(in, count)) {
+    throw io::TruncatedInput("trace binary: truncated header");
+  }
   if (count > policy.limits.max_records) {
     throw io::ResourceLimit(
         "trace binary: header declares " + std::to_string(count) +
@@ -122,9 +122,7 @@ Trace read_binary(std::istream& in, const io::IoPolicy& policy,
   while (remaining > 0 && !truncated) {
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, buffer.size()));
-    in.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(chunk * sizeof(Record)));
-    const auto got = static_cast<std::size_t>(in.gcount());
+    const std::size_t got = io::read_array_bytes(in, buffer.data(), chunk);
     const std::size_t whole = got / sizeof(Record);
     crc.update(buffer.data(), got);
     for (std::size_t i = 0; i < whole; ++i) {
@@ -153,8 +151,7 @@ Trace read_binary(std::istream& in, const io::IoPolicy& policy,
 
   if (version == kVersionV2 && !truncated) {
     std::uint32_t stored = 0;
-    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-    if (!in) {
+    if (!io::read_pod(in, stored)) {
       io::detail::bad_record<io::TruncatedInput>(
           policy, report, static_cast<std::size_t>(record_no),
           "trace binary: missing CRC32 footer");

@@ -69,8 +69,8 @@ std::vector<net::IPv4> AddressAllocator::allocate(std::size_t n,
       for (std::size_t s = 0; s < std::max<std::size_t>(subnets, 1); ++s)
         bases.push_back(random_slash24_base().value());
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t base = bases[i % bases.size()];
-        out.push_back(claim_in_block(base, 256));
+        const std::uint32_t block_base = bases[i % bases.size()];
+        out.push_back(claim_in_block(block_base, 256));
       }
       break;
     }
@@ -78,8 +78,8 @@ std::vector<net::IPv4> AddressAllocator::allocate(std::size_t n,
       // A fresh random /24 per sender: collisions across senders are
       // possible but rare, matching "1412 IPs in 1381 /24s".
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t base = random_slash24_base().value();
-        out.push_back(claim_in_block(base, 256));
+        const std::uint32_t block_base = random_slash24_base().value();
+        out.push_back(claim_in_block(block_base, 256));
       }
       break;
   }

@@ -1,7 +1,7 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/sim/ports.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_set>
 
 namespace darkvec::sim {
@@ -25,9 +25,8 @@ PortTable::PortTable(std::vector<std::pair<net::PortKey, double>> entries) {
 }
 
 net::PortKey PortTable::sample(Rng& rng) const {
-  if (keys_.empty()) {
-    throw std::logic_error("PortTable::sample: empty table");
-  }
+  DV_PRECONDITION(!keys_.empty(),
+                  "PortTable: sample() requires a non-empty table");
   const double u = rng.uniform();
   const auto it = std::ranges::lower_bound(cumulative_, u);
   const auto idx = static_cast<std::size_t>(

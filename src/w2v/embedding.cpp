@@ -4,10 +4,11 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 
 #include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/byteio.hpp"
 #include "darkvec/core/checksum.hpp"
+#include "darkvec/core/contracts.hpp"
 
 namespace darkvec::w2v {
 namespace {
@@ -20,9 +21,9 @@ constexpr std::uint32_t kVersionV2 = 2;
 
 Embedding::Embedding(std::vector<float> data, int dim)
     : dim_(dim), data_(std::move(data)) {
-  if (dim <= 0 || data_.size() % static_cast<std::size_t>(dim) != 0) {
-    throw std::invalid_argument("Embedding: data size not a multiple of dim");
-  }
+  DV_PRECONDITION(dim > 0, "Embedding: dim must be positive");
+  DV_PRECONDITION(data_.size() % static_cast<std::size_t>(dim) == 0,
+                  "Embedding: data size is a multiple of dim");
 }
 
 double dot(std::span<const float> a, std::span<const float> b) {
@@ -72,8 +73,7 @@ void Embedding::save(std::ostream& out) const {
   put(&n, sizeof(n));
   put(&d, sizeof(d));
   put(data_.data(), data_.size() * sizeof(float));
-  const std::uint32_t digest = crc.value();
-  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  io::write_pod(out, crc.value());
 }
 
 void Embedding::save_file(const std::string& path) const {
@@ -88,21 +88,19 @@ Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
   std::uint32_t magic = 0;
   std::uint64_t n = 0;
   std::int32_t d = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || (magic != kMagicV1 && magic != kMagicV2)) {
+  if (!io::read_pod(in, magic) || (magic != kMagicV1 && magic != kMagicV2)) {
     throw io::FormatError("Embedding: bad magic");
   }
   const bool v2 = magic == kMagicV2;
   std::uint32_t version = 0;
   if (v2) {
-    in.read(reinterpret_cast<char*>(&version), sizeof(version));
-    if (!in || version != kVersionV2) {
+    if (!io::read_pod(in, version) || version != kVersionV2) {
       throw io::FormatError("Embedding: unsupported version");
     }
   }
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&d), sizeof(d));
-  if (!in) throw io::TruncatedInput("Embedding: truncated header");
+  if (!io::read_pod(in, n) || !io::read_pod(in, d)) {
+    throw io::TruncatedInput("Embedding: truncated header");
+  }
   if (d <= 0) throw io::FormatError("Embedding: non-positive dimension");
   if (d > policy.limits.max_dim) {
     throw io::ResourceLimit("Embedding: dimension " + std::to_string(d) +
@@ -131,9 +129,7 @@ Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
   while (remaining > 0 && !truncated) {
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, buffer.size()));
-    in.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(chunk * sizeof(float)));
-    const auto got = static_cast<std::size_t>(in.gcount());
+    const std::size_t got = io::read_array_bytes(in, buffer.data(), chunk);
     crc.update(buffer.data(), got);
     data.insert(data.end(), buffer.begin(),
                 buffer.begin() + static_cast<std::ptrdiff_t>(
@@ -152,8 +148,7 @@ Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
 
   if (v2 && !truncated) {
     std::uint32_t stored = 0;
-    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-    if (!in) {
+    if (!io::read_pod(in, stored)) {
       io::detail::bad_record<io::TruncatedInput>(
           policy, report, static_cast<std::size_t>(n),
           "Embedding: missing CRC32 footer");

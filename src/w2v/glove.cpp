@@ -1,3 +1,4 @@
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/w2v/glove.hpp"
 
 #include <algorithm>
@@ -23,8 +24,8 @@ inline double rand_unit(std::uint64_t& state) {
 
 GloveModel::GloveModel(std::size_t vocab_size, GloveOptions options)
     : vocab_(vocab_size), options_(options) {
-  if (options.dim <= 0) throw std::invalid_argument("Glove: dim <= 0");
-  if (options.window <= 0) throw std::invalid_argument("Glove: window <= 0");
+  DV_PRECONDITION(options.dim > 0, "Glove: dim must be positive");
+  DV_PRECONDITION(options.window > 0, "Glove: window must be positive");
 }
 
 TrainStats GloveModel::train(std::span<const Sentence> sentences) {
@@ -38,9 +39,8 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
     const auto n = static_cast<std::int64_t>(s.size());
     stats.tokens += s.size();
     for (std::int64_t i = 0; i < n; ++i) {
-      if (s[static_cast<std::size_t>(i)] >= vocab_) {
-        throw std::out_of_range("Glove: word id >= vocab");
-      }
+      DV_PRECONDITION(s[static_cast<std::size_t>(i)] < vocab_,
+                      "Glove: every word id is < vocab_size");
       const std::int64_t hi =
           std::min<std::int64_t>(n - 1, i + options_.window);
       for (std::int64_t j = i + 1; j <= hi; ++j) {

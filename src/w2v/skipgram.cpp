@@ -4,8 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <stdexcept>
 #include <thread>
+
+#include "darkvec/core/contracts.hpp"
 
 namespace darkvec::w2v {
 namespace {
@@ -47,12 +48,11 @@ SkipGramModel::SkipGramModel(std::size_t vocab_size, SkipGramOptions options)
       options_(options),
       syn0_(vocab_size, options.dim),
       syn1neg_(vocab_size * static_cast<std::size_t>(options.dim), 0.0f) {
-  if (options.dim <= 0) throw std::invalid_argument("SkipGram: dim <= 0");
-  if (options.window <= 0) throw std::invalid_argument("SkipGram: window <= 0");
-  if (options.cbow && options.hierarchical_softmax) {
-    throw std::invalid_argument(
-        "SkipGram: CBOW with hierarchical softmax is not implemented");
-  }
+  DV_PRECONDITION(options.dim > 0, "SkipGram: dim must be positive");
+  DV_PRECONDITION(options.window > 0, "SkipGram: window must be positive");
+  DV_PRECONDITION(!(options.cbow && options.hierarchical_softmax),
+                  "SkipGram: CBOW with hierarchical softmax is not "
+                  "implemented");
   std::uint64_t rng = options.seed * 0x9E3779B97F4A7C15ull + 1;
   for (std::size_t i = 0; i < vocab_size; ++i) {
     auto row = syn0_.vec(i);
@@ -275,13 +275,16 @@ void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
 
 TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
   const auto t_start = std::chrono::steady_clock::now();
+  // Held for the whole session: the weights below are guarded by it, and
+  // the Hogwild workers assert this thread holds it on their behalf.
+  core::MutexLock session(train_mu_);
   TrainStats stats;
 
   std::vector<std::uint64_t> counts(vocab_, 0);
   std::uint64_t total_tokens = 0;
   for (const Sentence& s : sentences) {
     for (const std::uint32_t w : s) {
-      if (w >= vocab_) throw std::out_of_range("SkipGram: word id >= vocab");
+      DV_PRECONDITION(w < vocab_, "SkipGram: every word id is < vocab_size");
       ++counts[w];
       ++total_tokens;
     }
@@ -313,6 +316,10 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
 
   const auto worker = [&](int tid, std::size_t lo, std::size_t hi,
                           int epoch) {
+    // Externally synchronized: the thread running train() holds train_mu_
+    // for the whole session; within it, weight writes are Hogwild-racy by
+    // design (lock-free SGD, word2vec.c style).
+    train_mu_.assert_held();
     std::vector<float> neu1e(static_cast<std::size_t>(options_.dim));
     std::vector<float> neu1(static_cast<std::size_t>(options_.dim));
     std::vector<std::uint32_t> context;
@@ -405,14 +412,14 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
 TrainStats SkipGramModel::train_pairs(
     std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs) {
   const auto t_start = std::chrono::steady_clock::now();
+  core::MutexLock session(train_mu_);
   TrainStats stats;
   if (pairs.empty()) return stats;
 
   std::vector<std::uint64_t> counts(vocab_, 0);
   for (const auto& [in, out] : pairs) {
-    if (in >= vocab_ || out >= vocab_) {
-      throw std::out_of_range("SkipGram: word id >= vocab");
-    }
+    DV_PRECONDITION(in < vocab_ && out < vocab_,
+                    "SkipGram: every word id is < vocab_size");
     ++counts[out];
   }
   build_unigram_table(counts);

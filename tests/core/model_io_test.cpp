@@ -1,4 +1,5 @@
 #include "darkvec/core/model_io.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -41,7 +42,7 @@ TEST(ModelIo, SaveRejectsMismatchedSizes) {
   SenderModel model = small_model();
   model.senders.pop_back();
   EXPECT_THROW(save_model(::testing::TempDir() + "/bad", model),
-               std::invalid_argument);
+               darkvec::ContractViolation);
 }
 
 TEST(ModelIo, LoadRejectsMissingFiles) {

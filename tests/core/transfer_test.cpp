@@ -1,4 +1,5 @@
 #include "darkvec/core/transfer.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -125,8 +126,8 @@ TEST(Alignment, ErrorsOnBadInputs) {
   }
   const w2v::Embedding e8 = random_embedding(10, 8, 1);
   const w2v::Embedding e4 = random_embedding(10, 4, 1);
-  EXPECT_THROW(align_embeddings(c1, e8, c1, e4), std::invalid_argument);
-  EXPECT_THROW(align_embeddings(c1, e8, c2, e8), std::invalid_argument);
+  EXPECT_THROW(align_embeddings(c1, e8, c1, e4), darkvec::ContractViolation);
+  EXPECT_THROW(align_embeddings(c1, e8, c2, e8), darkvec::ContractViolation);
 }
 
 TEST(Transfer, AlignmentRescuesTaskTransfer) {
@@ -167,7 +168,7 @@ TEST(Transfer, ApplyAlignmentDimensionCheck) {
   a.dim = 4;
   a.rotation.assign(16, 0.0);
   const w2v::Embedding wrong(3, 5);
-  EXPECT_THROW(apply_alignment(a, wrong), std::invalid_argument);
+  EXPECT_THROW(apply_alignment(a, wrong), darkvec::ContractViolation);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include "darkvec/graph/graph.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -64,8 +65,8 @@ TEST(WeightedGraph, AddAfterFinalizeThrows) {
 
 TEST(WeightedGraph, BadNodeThrows) {
   WeightedGraph g(2);
-  EXPECT_THROW(g.add_edge(0, 2, 1.0), std::out_of_range);
-  EXPECT_THROW(g.add_edge(5, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), darkvec::ContractViolation);
+  EXPECT_THROW(g.add_edge(5, 0, 1.0), darkvec::ContractViolation);
 }
 
 TEST(WeightedGraph, IsolatedNodesHaveNoNeighbors) {

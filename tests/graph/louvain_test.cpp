@@ -1,4 +1,5 @@
 #include "darkvec/graph/louvain.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -65,8 +66,8 @@ TEST(Modularity, HandComputedTwoNodeGraph) {
 
 TEST(Modularity, SizeMismatchThrows) {
   const WeightedGraph g = two_cliques();
-  EXPECT_THROW(modularity(g, std::vector<int>{0, 1}),
-               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(modularity(g, std::vector<int>{0, 1})),
+               darkvec::ContractViolation);
 }
 
 TEST(Louvain, SeparatesTwoCliques) {

@@ -1,4 +1,5 @@
 #include "darkvec/ml/metrics.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -102,15 +103,15 @@ TEST(Metrics, EmptyInput) {
 TEST(Metrics, LengthMismatchThrows) {
   const std::vector<int> a = {0, 1};
   const std::vector<int> b = {0};
-  EXPECT_THROW(ClassificationReport(a, b, 2), std::invalid_argument);
+  EXPECT_THROW(ClassificationReport(a, b, 2), darkvec::ContractViolation);
 }
 
 TEST(Metrics, LabelOutOfRangeThrows) {
   const std::vector<int> y_true = {0, 5};
   const std::vector<int> y_pred = {0, 0};
-  EXPECT_THROW(ClassificationReport(y_true, y_pred, 2), std::out_of_range);
+  EXPECT_THROW(ClassificationReport(y_true, y_pred, 2), darkvec::ContractViolation);
   const std::vector<int> neg = {0, -1};
-  EXPECT_THROW(ClassificationReport(neg, y_pred, 2), std::out_of_range);
+  EXPECT_THROW(ClassificationReport(neg, y_pred, 2), darkvec::ContractViolation);
 }
 
 TEST(Metrics, SupportWeightedRecallEqualsAccuracy) {

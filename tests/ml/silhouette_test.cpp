@@ -1,4 +1,5 @@
 #include "darkvec/ml/silhouette.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -113,7 +114,7 @@ TEST(Silhouette, MatchesBruteForceReference) {
 TEST(Silhouette, SizeMismatchThrows) {
   const w2v::Embedding e(3, 2);
   const std::vector<int> assignment = {0, 1};
-  EXPECT_THROW(silhouette_samples(e, assignment), std::invalid_argument);
+  EXPECT_THROW(silhouette_samples(e, assignment), darkvec::ContractViolation);
 }
 
 TEST(Silhouette, EmptyInput) {
@@ -134,7 +135,7 @@ TEST(SilhouetteByCluster, MismatchThrows) {
   const std::vector<double> samples = {1.0};
   const std::vector<int> assignment = {0, 1};
   EXPECT_THROW(silhouette_by_cluster(samples, assignment),
-               std::invalid_argument);
+               darkvec::ContractViolation);
 }
 
 }  // namespace

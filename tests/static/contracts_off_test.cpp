@@ -1,0 +1,34 @@
+// Contract behavior with checks compiled out. DARKVEC_CONTRACTS_OFF is
+// forced before the first include, overriding the build-wide mode for
+// this TU only (OFF wins over TRAP inside contracts.hpp).
+#define DARKVEC_CONTRACTS_OFF
+#include "darkvec/core/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(ContractsOff, FalseConditionDoesNotThrow) {
+  EXPECT_NO_THROW(DV_PRECONDITION(false, "compiled out"));
+  EXPECT_NO_THROW(DV_POSTCONDITION(false, "compiled out"));
+  EXPECT_NO_THROW(DV_INVARIANT(false, "compiled out"));
+}
+
+TEST(ContractsOff, ConditionIsNotEvaluated) {
+  int calls = 0;
+  DV_PRECONDITION(++calls > 0, "unevaluated in off mode");
+  DV_INVARIANT(++calls > 0, "unevaluated in off mode");
+  EXPECT_EQ(calls, 0);
+}
+
+// The condition must still *parse* in off mode (sizeof-guarded), so a
+// contract cannot silently rot when its surrounding code changes. This
+// is a compile-time property; the runtime assertion below just anchors
+// the TU.
+TEST(ContractsOff, ConditionStillTypeChecks) {
+  const int n = 3;
+  DV_PRECONDITION(n % 2 == 0, "still parsed, never run");
+  SUCCEED();
+}
+
+}  // namespace

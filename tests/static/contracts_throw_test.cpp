@@ -1,0 +1,74 @@
+// Contract behavior in the default (throw) mode. The mode is forced
+// per-TU so this suite is meaningful regardless of the build-wide
+// -DDARKVEC_CONTRACTS setting.
+#undef DARKVEC_CONTRACTS_OFF
+#undef DARKVEC_CONTRACTS_TRAP
+#include "darkvec/core/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using darkvec::ContractViolation;
+
+int checked_halve(int n) {
+  DV_PRECONDITION(n % 2 == 0, "checked_halve: n must be even");
+  const int half = n / 2;
+  DV_POSTCONDITION(half * 2 == n, "checked_halve: result reconstructs n");
+  return half;
+}
+
+TEST(ContractsThrow, SatisfiedContractsAreSilent) {
+  EXPECT_EQ(checked_halve(8), 4);
+}
+
+TEST(ContractsThrow, PreconditionThrowsContractViolation) {
+  EXPECT_THROW(checked_halve(7), ContractViolation);
+  // ContractViolation is a logic_error: existing catch sites keep working.
+  EXPECT_THROW(checked_halve(7), std::logic_error);
+}
+
+TEST(ContractsThrow, MessageNamesKindExpressionInvariantAndSite) {
+  try {
+    checked_halve(7);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("n % 2 == 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("checked_halve: n must be even"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("contracts_throw_test.cpp"), std::string::npos)
+        << what;
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kPrecondition);
+  }
+}
+
+TEST(ContractsThrow, EachMacroReportsItsKind) {
+  try {
+    DV_POSTCONDITION(false, "kind probe");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kPostcondition);
+    EXPECT_NE(std::string(e.what()).find("postcondition violated"),
+              std::string::npos);
+  }
+  try {
+    DV_INVARIANT(false, "kind probe");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kInvariant);
+    EXPECT_NE(std::string(e.what()).find("invariant violated"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractsThrow, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  DV_PRECONDITION(++calls > 0, "single evaluation");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

@@ -1,0 +1,35 @@
+// Contract behavior in trap mode: a violated contract executes
+// __builtin_trap(), dying by signal instead of unwinding. Verified with
+// a gtest death test; skipped under sanitizer builds where fork-based
+// death tests are unreliable.
+#undef DARKVEC_CONTRACTS_OFF
+#define DARKVEC_CONTRACTS_TRAP
+#include "darkvec/core/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DARKVEC_SKIP_DEATH_TESTS 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DARKVEC_SKIP_DEATH_TESTS 1
+#endif
+
+namespace {
+
+TEST(ContractsTrap, TrueConditionIsSilent) {
+  EXPECT_NO_THROW(DV_PRECONDITION(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(ContractsTrapDeathTest, FalseConditionTraps) {
+#if defined(DARKVEC_SKIP_DEATH_TESTS)
+  GTEST_SKIP() << "death tests are unreliable under sanitizers";
+#else
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(DV_PRECONDITION(false, "trap mode aborts"), "");
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Control for the negative-compile probe: identical to
+// unguarded_write.cpp except the write holds the mutex, so this file
+// MUST compile cleanly under -Wthread-safety. If it ever stops
+// compiling, the harness flags a broken annotations header rather than
+// a passing negative test.
+#include "darkvec/core/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    darkvec::core::MutexLock lock(mu_);
+    value_ += 1;
+  }
+
+  [[nodiscard]] int value() {
+    darkvec::core::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  darkvec::core::Mutex mu_;
+  int value_ DV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.value();
+}

@@ -1,0 +1,31 @@
+// Negative-compile probe: writes a DV_GUARDED_BY field without holding
+// its mutex. Under `clang++ -Wthread-safety -Werror=thread-safety-analysis`
+// this file MUST fail to compile — tests/static/run_negative_compile.py
+// asserts exactly that. Its twin guarded_write.cpp is the control.
+#include "darkvec/core/annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    value_ += 1;  // no lock held: thread-safety analysis must reject this
+  }
+
+  [[nodiscard]] int value() {
+    darkvec::core::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  darkvec::core::Mutex mu_;
+  int value_ DV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.value();
+}

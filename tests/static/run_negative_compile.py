@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the thread-safety annotations.
+
+Proves the DV_GUARDED_BY machinery actually bites: compiles
+negative/guarded_write.cpp (must succeed) and negative/unguarded_write.cpp
+(must FAIL) under `clang++ -fsyntax-only -Wthread-safety
+-Werror=thread-safety-analysis`.
+
+Exit codes: 0 both expectations hold, 1 either is violated, 127 no
+clang++ on PATH (CTest treats 127 as SKIP via SKIP_RETURN_CODE — the
+analysis is Clang-only and the toolchain may be GCC-only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+SKIP = 127
+
+
+def compile_probe(clangxx: str, include_dir: pathlib.Path,
+                  source: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [
+            clangxx, "-std=c++20", "-fsyntax-only",
+            "-I", str(include_dir),
+            "-Wthread-safety", "-Werror=thread-safety-analysis",
+            str(source),
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--include-dir", required=True,
+                        help="repo include/ directory")
+    parser.add_argument("--negative-dir", required=True,
+                        help="directory holding the probe .cpp files")
+    args = parser.parse_args()
+
+    clangxx = shutil.which("clang++")
+    if clangxx is None:
+        print("SKIP: clang++ not found; thread-safety analysis is Clang-only")
+        return SKIP
+
+    include_dir = pathlib.Path(args.include_dir)
+    negative_dir = pathlib.Path(args.negative_dir)
+
+    control = compile_probe(clangxx, include_dir,
+                            negative_dir / "guarded_write.cpp")
+    if control.returncode != 0:
+        print("FAIL: guarded_write.cpp (the control) did not compile; the "
+              "annotations header is broken:")
+        print(control.stderr)
+        return 1
+
+    probe = compile_probe(clangxx, include_dir,
+                          negative_dir / "unguarded_write.cpp")
+    if probe.returncode == 0:
+        print("FAIL: unguarded_write.cpp compiled; the thread-safety "
+              "analysis did not reject an unguarded write to a "
+              "DV_GUARDED_BY field")
+        return 1
+    if "-Wthread-safety" not in probe.stderr and \
+            "thread-safety" not in probe.stderr:
+        print("FAIL: unguarded_write.cpp failed for a reason other than "
+              "thread-safety analysis:")
+        print(probe.stderr)
+        return 1
+
+    print("OK: control compiles, unguarded write rejected by "
+          "-Wthread-safety")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

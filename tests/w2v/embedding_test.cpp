@@ -1,4 +1,5 @@
 #include "darkvec/w2v/embedding.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -32,7 +33,7 @@ TEST(Embedding, DefaultIsEmpty) {
 }
 
 TEST(Embedding, DataConstructorValidates) {
-  EXPECT_THROW(Embedding(std::vector<float>(7), 2), std::invalid_argument);
+  EXPECT_THROW(Embedding(std::vector<float>(7), 2), darkvec::ContractViolation);
   EXPECT_NO_THROW(Embedding(std::vector<float>(8), 2));
 }
 

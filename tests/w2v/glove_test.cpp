@@ -1,4 +1,5 @@
 #include "darkvec/w2v/glove.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -95,16 +96,16 @@ TEST(Glove, EmptyCorpus) {
 TEST(Glove, OutOfRangeWordThrows) {
   GloveModel model(4, test_options());
   const std::vector<Sentence> corpus = {{0, 7}};
-  EXPECT_THROW(model.train(corpus), std::out_of_range);
+  EXPECT_THROW(model.train(corpus), darkvec::ContractViolation);
 }
 
 TEST(Glove, InvalidOptionsThrow) {
   GloveOptions bad = test_options();
   bad.dim = 0;
-  EXPECT_THROW(GloveModel(4, bad), std::invalid_argument);
+  EXPECT_THROW(GloveModel(4, bad), darkvec::ContractViolation);
   GloveOptions bad_window = test_options();
   bad_window.window = 0;
-  EXPECT_THROW(GloveModel(4, bad_window), std::invalid_argument);
+  EXPECT_THROW(GloveModel(4, bad_window), darkvec::ContractViolation);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include "darkvec/w2v/skipgram.hpp"
+#include "darkvec/core/contracts.hpp"
 
 #include <gtest/gtest.h>
 
@@ -159,16 +160,16 @@ TEST(SkipGram, EmptyVocabIsHarmless) {
 TEST(SkipGram, OutOfRangeWordThrows) {
   SkipGramModel model(4, test_options());
   const std::vector<Sentence> corpus = {{0, 1, 4}};
-  EXPECT_THROW(model.train(corpus), std::out_of_range);
+  EXPECT_THROW(model.train(corpus), darkvec::ContractViolation);
 }
 
 TEST(SkipGram, InvalidOptionsThrow) {
   SkipGramOptions bad_dim = test_options();
   bad_dim.dim = 0;
-  EXPECT_THROW(SkipGramModel(4, bad_dim), std::invalid_argument);
+  EXPECT_THROW(SkipGramModel(4, bad_dim), darkvec::ContractViolation);
   SkipGramOptions bad_window = test_options();
   bad_window.window = 0;
-  EXPECT_THROW(SkipGramModel(4, bad_window), std::invalid_argument);
+  EXPECT_THROW(SkipGramModel(4, bad_window), darkvec::ContractViolation);
 }
 
 TEST(SkipGram, VocabSizeExposed) {
@@ -292,7 +293,7 @@ TEST(HierarchicalSoftmax, CbowComboRejected) {
   SkipGramOptions o = test_options();
   o.hierarchical_softmax = true;
   o.cbow = true;
-  EXPECT_THROW(SkipGramModel(4, o), std::invalid_argument);
+  EXPECT_THROW(SkipGramModel(4, o), darkvec::ContractViolation);
 }
 
 // ---- pair-based training (IP2VEC path) -----------------------------------
@@ -334,7 +335,7 @@ TEST(SkipGramPairs, StatsCountPairsTimesEpochs) {
 TEST(SkipGramPairs, OutOfRangeThrows) {
   SkipGramModel model(4, test_options());
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs = {{0, 9}};
-  EXPECT_THROW(model.train_pairs(pairs), std::out_of_range);
+  EXPECT_THROW(model.train_pairs(pairs), darkvec::ContractViolation);
 }
 
 TEST(SkipGramPairs, EmptyPairsIsNoOp) {

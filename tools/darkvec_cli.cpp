@@ -63,11 +63,14 @@ Args parse_args(int argc, char** argv, int start) {
   for (int i = start; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) break;
     // A key followed by another --key (or nothing) is a bare flag.
+    // insert_or_assign with explicit std::string values sidesteps a GCC 12
+    // -Wrestrict false positive on string::operator=(const char*).
+    std::string key(argv[i] + 2);
     if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
-      args.values[argv[i] + 2] = "1";
+      args.values.insert_or_assign(std::move(key), std::string("1"));
       i += 1;
     } else {
-      args.values[argv[i] + 2] = argv[i + 1];
+      args.values.insert_or_assign(std::move(key), std::string(argv[i + 1]));
       i += 2;
     }
   }

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""darkvec_lint: repo-specific static rules for the DarkVec C++ tree.
+
+Rules (each with a stable id used in the output):
+
+  raw-assert       <assert>/assert() is compiled out under NDEBUG; use the
+                   DV_PRECONDITION / DV_POSTCONDITION / DV_INVARIANT macros
+                   from core/contracts.hpp (static_assert is fine).
+  libc-random      rand()/srand()/time(nullptr) seeds are banned; all
+                   randomness flows through the seeded std::mt19937_64
+                   generators so runs stay reproducible.
+  reinterpret-cast reinterpret_cast is confined to the blessed byte-IO
+                   helpers (include/darkvec/core/byteio.hpp); everywhere
+                   else use io::read_pod / io::write_pod, which memcpy.
+  naked-mutex      raw std::mutex / std::condition_variable lack the
+                   thread-safety annotations; use core::Mutex,
+                   core::MutexLock and core::CondVar from
+                   core/annotations.hpp.
+  reader-io-policy a translation unit that opens std::ifstream must route
+                   fault handling through io::IoPolicy so strict/lenient
+                   behavior stays uniform across readers.
+
+Scanned roots: src/ include/ tools/ bench/ examples/ (tests are exempt:
+they may exercise raw primitives on purpose). Findings are printed as
+`path:line: [rule-id] message`; the exit code is 1 when anything fired,
+0 on a clean tree. `--self-test` seeds one violation per rule in a
+temporary tree and verifies every rule both fires and stays quiet on a
+clean file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+SCAN_ROOTS = ("src", "include", "tools", "bench", "examples")
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Rules that match line-by-line on comment/string-stripped source.
+# (id, regex, allowlist of repo-relative paths, message)
+LINE_RULES = [
+    (
+        "raw-assert",
+        re.compile(r"\bassert\s*\("),
+        frozenset(),
+        "raw assert() vanishes under NDEBUG; use DV_PRECONDITION/"
+        "DV_POSTCONDITION/DV_INVARIANT (core/contracts.hpp)",
+    ),
+    (
+        "libc-random",
+        re.compile(r"\b(?:s?rand)\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+        frozenset(),
+        "libc randomness breaks reproducibility; use the seeded "
+        "std::mt19937_64 generators",
+    ),
+    (
+        "reinterpret-cast",
+        re.compile(r"\breinterpret_cast\b"),
+        frozenset({"include/darkvec/core/byteio.hpp"}),
+        "reinterpret_cast outside the blessed byte-IO helpers; use "
+        "io::read_pod/io::write_pod (core/byteio.hpp)",
+    ),
+    (
+        "naked-mutex",
+        re.compile(r"\bstd::(?:mutex|condition_variable)\b"),
+        frozenset({"include/darkvec/core/annotations.hpp"}),
+        "raw std::mutex/std::condition_variable has no thread-safety "
+        "annotations; use core::Mutex/core::MutexLock/core::CondVar "
+        "(core/annotations.hpp)",
+    ),
+]
+
+IFSTREAM_RE = re.compile(r"\bstd::ifstream\b")
+IO_POLICY_RE = re.compile(r"\bIoPolicy\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{rel}:0: [read-error] {err}"]
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    lines = stripped.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        for rule_id, pattern, allow, message in LINE_RULES:
+            if rel in allow:
+                continue
+            if rule_id == "raw-assert" and "static_assert" in line:
+                # \b already rejects static_assert; this guards lines
+                # mixing both forms from confusing future regex edits.
+                probe = line.replace("static_assert", "")
+            else:
+                probe = line
+            if pattern.search(probe):
+                findings.append(f"{rel}:{lineno}: [{rule_id}] {message}")
+    if IFSTREAM_RE.search(stripped) and not IO_POLICY_RE.search(text):
+        first = next(
+            (no for no, line in enumerate(lines, 1) if IFSTREAM_RE.search(line)),
+            1,
+        )
+        findings.append(
+            f"{rel}:{first}: [reader-io-policy] std::ifstream reader does "
+            "not reference io::IoPolicy; route fault handling through the "
+            "policy (core/errors.hpp)"
+        )
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> list[str]:
+    findings = []
+    for top in SCAN_ROOTS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                rel = path.relative_to(root).as_posix()
+                findings.extend(lint_file(path, rel))
+    return findings
+
+
+SELF_TEST_SEEDS = {
+    "raw-assert": "void f(int x) { assert(x > 0); }\n",
+    "libc-random": "int f() { return rand(); }\n",
+    "reinterpret-cast":
+        "float f(const char* p) { return *reinterpret_cast<const float*>(p); }\n",
+    "naked-mutex": "#include <mutex>\nstd::mutex mu;\n",
+    "reader-io-policy":
+        "#include <fstream>\nvoid f() { std::ifstream in(\"x\"); }\n",
+}
+
+CLEAN_FILE = """\
+#include <string>
+// assert() mentioned in a comment must not fire, nor "rand()" here.
+static_assert(sizeof(int) == 4, "ILP32/LP64 only");
+const std::string s = "reinterpret_cast<std::mutex> in a string literal";
+int answer() { return 42; }
+"""
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="darkvec_lint_") as tmp:
+        root = pathlib.Path(tmp)
+        src = root / "src"
+        src.mkdir()
+        for rule_id, code in SELF_TEST_SEEDS.items():
+            name = f"seed_{rule_id.replace('-', '_')}.cpp"
+            (src / name).write_text(code, encoding="utf-8")
+        (src / "clean.cpp").write_text(CLEAN_FILE, encoding="utf-8")
+
+        findings = lint_tree(root)
+        fired = {m.split("[", 1)[1].split("]", 1)[0] for m in findings}
+        for rule_id in SELF_TEST_SEEDS:
+            if rule_id not in fired:
+                print(f"self-test FAIL: rule {rule_id} did not fire")
+                failures += 1
+        clean_hits = [m for m in findings if "clean.cpp" in m]
+        if clean_hits:
+            print("self-test FAIL: clean file produced findings:")
+            for m in clean_hits:
+                print(f"  {m}")
+            failures += 1
+    if failures == 0:
+        print(f"self-test OK: {len(SELF_TEST_SEEDS)} rules fire, "
+              "clean file is quiet")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root to scan (default: current directory)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify every rule fires on a seeded violation and stays "
+             "quiet on a clean file")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root).resolve()
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"darkvec_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
