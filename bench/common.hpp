@@ -4,20 +4,30 @@
 // both.
 //
 // Environment knobs honoured by every bench:
-//   DARKVEC_DAYS     trace length in days        (default: per-bench)
-//   DARKVEC_SCALE    population scale factor     (default: per-bench)
-//   DARKVEC_EPOCHS   Word2Vec epochs             (default: per-bench)
-//   DARKVEC_SEED     master seed                 (default: 2021)
-//   DARKVEC_THREADS  parallel-kernel threads     (default: all cores)
+//   DARKVEC_DAYS      trace length in days        (default: per-bench)
+//   DARKVEC_SCALE     population scale factor     (default: per-bench)
+//   DARKVEC_EPOCHS    Word2Vec epochs             (default: per-bench)
+//   DARKVEC_SEED      master seed                 (default: 2021)
+//   DARKVEC_THREADS   parallel-kernel threads     (default: all cores)
+//   DARKVEC_BENCH_DIR directory for BENCH_<name>.json artifacts
+//                     (default: current directory)
+//
+// Besides the human-readable stdout, every bench that calls banner()
+// drops a machine-readable BENCH_<name>.json on exit (wall time, the
+// full metrics-registry snapshot, git revision); the schema is
+// documented in EXPERIMENTS.md.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "darkvec/core/darkvec.hpp"
 #include "darkvec/core/parallel.hpp"
 #include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/obs/obs.hpp"
 #include "darkvec/sim/scenario.hpp"
 #include "darkvec/sim/simulator.hpp"
 
@@ -56,11 +66,71 @@ inline DarkVecConfig default_config(int default_epochs = 5) {
   return config;
 }
 
-/// Section header in the bench output.
+namespace detail {
+
+/// State behind the per-bench JSON artifact. First banner() call names
+/// the artifact and starts the wall clock; the atexit hook snapshots the
+/// metrics registry and writes BENCH_<name>.json.
+struct Artifact {
+  std::string name;
+  std::string title;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline Artifact& artifact() {
+  static auto* instance = new Artifact();  // leaked: used from atexit
+  return *instance;
+}
+
+inline void write_artifact() {
+  const Artifact& a = artifact();
+  if (a.name.empty()) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    a.start)
+          .count();
+  const char* dir = std::getenv("DARKVEC_BENCH_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? dir : ".";
+  path += "/BENCH_" + a.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  char head[160];
+#ifndef DARKVEC_GIT_REV
+#define DARKVEC_GIT_REV "unknown"
+#endif
+  std::snprintf(head, sizeof(head),
+                "{\"schema\":1,\"bench\":\"%s\",\"git_rev\":\"%s\","
+                "\"wall_seconds\":%.3f,\"threads\":%d,",
+                a.name.c_str(), DARKVEC_GIT_REV, wall,
+                core::ThreadPool::global().size());
+  out << head << "\"title\":\"" << obs::detail::json_escape(a.title)
+      << "\",\"metrics\":" << obs::registry().snapshot().to_json() << "}\n";
+}
+
+}  // namespace detail
+
+/// Section header in the bench output. The first call also names the
+/// BENCH_<name>.json artifact written at process exit (experiment name
+/// sanitized to [A-Za-z0-9_]).
 inline void banner(const char* experiment, const char* title) {
   std::printf("=============================================================\n");
   std::printf("%s — %s\n", experiment, title);
   std::printf("=============================================================\n");
+  detail::Artifact& a = detail::artifact();
+  if (a.name.empty()) {
+    for (const char* p = experiment; *p != '\0'; ++p) {
+      const char c = *p;
+      const bool word = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9');
+      a.name += word ? c : '_';
+    }
+    a.title = title;
+    a.start = std::chrono::steady_clock::now();
+    std::atexit(detail::write_artifact);
+  }
 }
 
 /// One "paper vs measured" comparison line.

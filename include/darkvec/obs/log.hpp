@@ -1,0 +1,258 @@
+// Structured logging: leveled records with typed key/value fields,
+// routed through a thread-safe global logger to pluggable sinks.
+//
+// Design constraints, in order:
+//   * off-by-default: the default level is kWarn, so a library user who
+//     never touches obs sees only warnings/errors on stderr;
+//   * cheap when disabled: every DV_LOG_* macro checks the level with a
+//     single relaxed atomic load before evaluating its arguments, and the
+//     whole macro body can be compiled out (DARKVEC_OBS_STRIP_LOGS or a
+//     DARKVEC_OBS_MIN_LOG_LEVEL above the call's level);
+//   * structured: a record is (level, component, message, fields), never
+//     a preformatted string, so the JSON-lines sink emits machine-
+//     readable output and the text sink stays human-readable;
+//   * thread-safe: sink dispatch is serialized by a core::Mutex from
+//     core/annotations.hpp, so sinks themselves need no locking.
+//
+// src/ and include/ must route diagnostics through this logger — the
+// project lint (rule raw-iostream) rejects std::cerr/std::cout there.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "darkvec/core/annotations.hpp"
+
+namespace darkvec::obs {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(Level level);
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-sensitive).
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+
+/// One typed key/value attachment of a log record.
+struct Field {
+  enum class Kind : std::uint8_t { kString, kInt, kUint, kDouble, kBool };
+
+  Field(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  template <std::signed_integral T>
+    requires(!std::same_as<T, bool>)
+  Field(std::string_view k, T v)
+      : key(k), kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  template <std::unsigned_integral T>
+    requires(!std::same_as<T, bool>)
+  Field(std::string_view k, T v)
+      : key(k), kind(Kind::kUint), u(static_cast<std::uint64_t>(v)) {}
+  Field(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  Field(std::string_view k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0;
+  bool b = false;
+
+  /// Value rendered as text ("42", "1.5", "true", or the string itself).
+  [[nodiscard]] std::string value_text() const;
+  /// Value rendered as a JSON token (strings quoted and escaped).
+  [[nodiscard]] std::string value_json() const;
+};
+
+/// One log event, handed to every sink. The string views and the field
+/// span are valid only for the duration of the write() call.
+struct LogRecord {
+  Level level = Level::kInfo;
+  std::string_view component;
+  std::string_view message;
+  std::span<const Field> fields;
+  std::chrono::system_clock::time_point wall_time;
+  /// Small dense id of the emitting thread (stable per thread).
+  std::uint32_t thread_id = 0;
+};
+
+/// Sink interface. write() calls are serialized by the owning Logger, so
+/// implementations need no internal locking.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Human-readable single-line text to stderr:
+///   2021-03-01T00:00:00.000Z WARN  streaming degraded window start=0 ...
+class StderrTextSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// One JSON object per record, one record per line:
+///   {"ts":"...","level":"warn","component":"streaming","msg":"...",
+///    "tid":0,"fields":{"window_start":0,...}}
+/// Owns the stream when constructed from a path; flushes every line so
+/// crashed runs keep their tail.
+class JsonLinesSink final : public LogSink {
+ public:
+  /// Appends to `path`; throws std::runtime_error when unwritable.
+  explicit JsonLinesSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests, stderr wrapping).
+  explicit JsonLinesSink(std::ostream& out);
+  void write(const LogRecord& record) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+};
+
+/// Keeps every record in memory (deep copies); for tests and probes.
+class MemorySink final : public LogSink {
+ public:
+  struct Entry {
+    Level level;
+    std::string component;
+    std::string message;
+    std::vector<Field> fields;
+
+    /// First field with this key, if any.
+    [[nodiscard]] const Field* field(std::string_view key) const;
+  };
+  void write(const LogRecord& record) override;
+  /// Snapshot of everything captured so far (copy; safe to inspect while
+  /// other threads keep logging).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+ private:
+  mutable core::Mutex mu_;
+  std::vector<Entry> entries_ DV_GUARDED_BY(mu_);
+};
+
+/// Leveled fan-out to a set of sinks. With no sink configured, records
+/// fall back to a built-in StderrTextSink so warnings are never lost.
+class Logger {
+ public:
+  Logger();
+
+  /// Hot-path gate: one relaxed atomic load.
+  [[nodiscard]] bool enabled(Level level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Level level() const {
+    return static_cast<Level>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(Level level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Adds a sink; the logger takes ownership. Replaces the implicit
+  /// stderr fallback (add a StderrTextSink explicitly to keep both).
+  void add_sink(std::unique_ptr<LogSink> sink);
+  /// Drops every sink and restores the stderr fallback (tests).
+  void clear_sinks();
+
+  void log(Level level, std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields = {});
+
+ private:
+  std::atomic<int> level_;
+  mutable core::Mutex mu_;
+  std::vector<std::unique_ptr<LogSink>> sinks_ DV_GUARDED_BY(mu_);
+  StderrTextSink fallback_;
+};
+
+/// Process-wide logger. Never destroyed (leaky singleton), so atexit
+/// handlers and static destructors may still log.
+[[nodiscard]] Logger& logger();
+
+namespace detail {
+/// Escapes `text` into a JSON string body (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view text);
+/// Small dense id of the calling thread, shared with span tracing.
+[[nodiscard]] std::uint32_t thread_id();
+}  // namespace detail
+
+}  // namespace darkvec::obs
+
+// ---------------------------------------------------------------------------
+// Logging macros. Arguments after the message are obs::Field initializers:
+//
+//   DV_LOG_WARN("streaming", "degraded window",
+//               {"window_start", start}, {"reason", reason});
+//
+// The level gate runs before any argument is evaluated. Compile-time
+// stripping: define DARKVEC_OBS_STRIP_LOGS to drop every call, or set
+// DARKVEC_OBS_MIN_LOG_LEVEL (0=trace .. 4=error) to drop calls below it.
+#ifndef DARKVEC_OBS_MIN_LOG_LEVEL
+#define DARKVEC_OBS_MIN_LOG_LEVEL 0
+#endif
+
+#define DV_LOG_AT_LEVEL(level_, component_, message_, ...)               \
+  do {                                                                   \
+    if (::darkvec::obs::logger().enabled(level_)) {                     \
+      ::darkvec::obs::logger().log(level_, component_, message_,        \
+                                   {__VA_ARGS__});                      \
+    }                                                                    \
+  } while (false)
+
+#if defined(DARKVEC_OBS_STRIP_LOGS)
+#define DV_LOG_TRACE(...) ((void)0)
+#define DV_LOG_DEBUG(...) ((void)0)
+#define DV_LOG_INFO(...) ((void)0)
+#define DV_LOG_WARN(...) ((void)0)
+#define DV_LOG_ERROR(...) ((void)0)
+#else
+#if DARKVEC_OBS_MIN_LOG_LEVEL <= 0
+#define DV_LOG_TRACE(...) \
+  DV_LOG_AT_LEVEL(::darkvec::obs::Level::kTrace, __VA_ARGS__)
+#else
+#define DV_LOG_TRACE(...) ((void)0)
+#endif
+#if DARKVEC_OBS_MIN_LOG_LEVEL <= 1
+#define DV_LOG_DEBUG(...) \
+  DV_LOG_AT_LEVEL(::darkvec::obs::Level::kDebug, __VA_ARGS__)
+#else
+#define DV_LOG_DEBUG(...) ((void)0)
+#endif
+#if DARKVEC_OBS_MIN_LOG_LEVEL <= 2
+#define DV_LOG_INFO(...) \
+  DV_LOG_AT_LEVEL(::darkvec::obs::Level::kInfo, __VA_ARGS__)
+#else
+#define DV_LOG_INFO(...) ((void)0)
+#endif
+#if DARKVEC_OBS_MIN_LOG_LEVEL <= 3
+#define DV_LOG_WARN(...) \
+  DV_LOG_AT_LEVEL(::darkvec::obs::Level::kWarn, __VA_ARGS__)
+#else
+#define DV_LOG_WARN(...) ((void)0)
+#endif
+#if DARKVEC_OBS_MIN_LOG_LEVEL <= 4
+#define DV_LOG_ERROR(...) \
+  DV_LOG_AT_LEVEL(::darkvec::obs::Level::kError, __VA_ARGS__)
+#else
+#define DV_LOG_ERROR(...) ((void)0)
+#endif
+#endif  // DARKVEC_OBS_STRIP_LOGS

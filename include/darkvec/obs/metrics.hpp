@@ -1,0 +1,192 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Hot-path contract: an increment is one relaxed fetch_add on a
+// cache-line-padded shard picked by a per-thread stripe id, so
+// concurrent writers (the thread pool, Hogwild trainers) never contend
+// on a shared line. Relaxed ordering is sufficient because atomic RMW
+// operations are exact regardless of ordering — the merge on scrape sums
+// the shards and always sees the true total once writers are quiescent;
+// ordering would only matter for cross-metric consistency, which a
+// monitoring scrape does not need (see DESIGN.md §11).
+//
+// Metrics are always on (no enable flag): the per-event cost is a
+// handful of nanoseconds and the library batches increments per chunk,
+// not per element, on hot paths. Handles returned by the registry are
+// stable for the process lifetime — cache them in a function-local
+// static:
+//
+//   static obs::Counter& c = obs::counter("io.records_read");
+//   c.add(n);
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "darkvec/core/annotations.hpp"
+
+namespace darkvec::obs {
+
+namespace detail {
+/// Dense per-thread stripe id (assigned on first use, never reused).
+[[nodiscard]] std::uint32_t thread_stripe();
+}  // namespace detail
+
+/// Monotonic counter, sharded to keep concurrent add() uncontended.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[detail::thread_stripe() % kShards].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  /// Sum over shards; exact once concurrent writers are quiescent.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins scalar (thread-safe set/add/value).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    v_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-boundary histogram with Prometheus "le" semantics: a sample x
+/// lands in the first bucket whose upper bound satisfies x <= bound; the
+/// last bucket is the implicit +inf overflow. Boundaries are fixed at
+/// registration and must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< non-cumulative, +inf last
+    std::uint64_t count;
+    double sum;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition (names prefixed darkvec_, dots and
+  /// dashes mapped to underscores, histograms as cumulative _bucket).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// Name -> metric map. Registration takes a mutex; returned references
+/// stay valid for the process lifetime. Re-registering a name returns
+/// the existing metric (histogram bounds of later calls are ignored).
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every value but keeps all registrations, so cached handles
+  /// stay valid (tests run scenarios back to back).
+  void reset_values();
+
+ private:
+  mutable core::Mutex mu_;
+  // Deques-of-unique_ptr semantics via vector<unique_ptr>: the pointees
+  // never move, so handles survive rehash/growth.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      DV_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      DV_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      DV_GUARDED_BY(mu_);
+};
+
+/// Process-wide registry (leaky singleton; usable from atexit handlers).
+[[nodiscard]] Registry& registry();
+
+/// Shorthands for the global registry.
+[[nodiscard]] inline Counter& counter(std::string_view name) {
+  return registry().counter(name);
+}
+[[nodiscard]] inline Gauge& gauge(std::string_view name) {
+  return registry().gauge(name);
+}
+[[nodiscard]] inline Histogram& histogram(std::string_view name,
+                                          std::span<const double> bounds) {
+  return registry().histogram(name, bounds);
+}
+[[nodiscard]] inline Histogram& histogram(std::string_view name,
+                                          std::initializer_list<double> b) {
+  return registry().histogram(name,
+                              std::span<const double>(b.begin(), b.size()));
+}
+
+}  // namespace darkvec::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: structured logging
+// (log.hpp), the metrics registry (metrics.hpp) and span tracing
+// (span.hpp). See DESIGN.md §11 for the architecture.
+#pragma once
+
+#include "darkvec/obs/log.hpp"
+#include "darkvec/obs/metrics.hpp"
+#include "darkvec/obs/span.hpp"

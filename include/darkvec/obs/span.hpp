@@ -1,0 +1,125 @@
+// Span tracing: RAII timers recording into per-thread buffers,
+// exportable as Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// A Span brackets a region of work. When tracing is enabled it stamps
+// steady-clock begin/end and appends one complete ("ph":"X") event to
+// the calling thread's buffer; buffers are merged at export, one track
+// per thread, so spans opened inside thread-pool workers or the Hogwild
+// trainer threads appear on their own rows and nest naturally under
+// whatever was open on that thread.
+//
+// Disabled cost: tracing is off by default, and a disabled Span is one
+// relaxed atomic load and a branch — no clock read, no allocation. The
+// DV_SPAN macros additionally compile to nothing under
+// DARKVEC_OBS_STRIP_SPANS (cmake -DDARKVEC_OBS=OFF), for builds that
+// must prove zero overhead. Span names must be string literals (or
+// otherwise outlive the tracer): buffers store the pointer only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace darkvec::obs {
+
+namespace detail {
+// Constant-initialized so the hot-path check never runs a static guard.
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// One recorded span. Times are nanoseconds on the steady clock,
+/// relative to the tracer's epoch (first use in the process).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  ///< optional integer argument
+  std::int64_t arg = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::uint32_t thread_id = 0;
+};
+
+/// Global span collector.
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance();
+
+  static bool enabled() {
+    return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on);
+
+  /// Total recorded spans across all thread buffers.
+  [[nodiscard]] std::size_t event_count() const;
+  /// Merged copy of every thread's buffer (stable order: by thread,
+  /// then record order). Safe while other threads keep recording.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Drops every recorded span; thread buffers stay registered.
+  void clear();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}, ts/dur in
+  /// microseconds, one tid per recording thread. Loads in Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+  /// Atomic file variant (write-to-tmp-then-rename).
+  void write_chrome_trace_file(const std::string& path) const;
+
+  /// Internal: appends one finished span to the caller's buffer.
+  void record(const TraceEvent& event);
+  /// Internal: nanoseconds since the tracer epoch.
+  [[nodiscard]] static std::int64_t now_ns();
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+/// RAII span. Construct to open, destroy to close-and-record. When
+/// tracing is disabled at construction the destructor does nothing,
+/// even if tracing gets enabled mid-span.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::enabled()) open(name, nullptr, 0);
+  }
+  /// With one integer argument shown in the trace viewer ("args").
+  Span(const char* name, const char* arg_name, std::int64_t arg) {
+    if (Tracer::enabled()) open(name, arg_name, arg);
+  }
+  ~Span() {
+    if (name_ != nullptr) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* name, const char* arg_name, std::int64_t arg);
+  void close();
+
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace darkvec::obs
+
+#define DV_OBS_CONCAT_INNER(a, b) a##b
+#define DV_OBS_CONCAT(a, b) DV_OBS_CONCAT_INNER(a, b)
+
+#if defined(DARKVEC_OBS_STRIP_SPANS)
+#define DV_SPAN(name) ((void)0)
+#define DV_SPAN_ARG(name, arg_name, arg) ((void)0)
+#else
+/// Scoped span: DV_SPAN("graph.louvain");
+#define DV_SPAN(name)                                     \
+  [[maybe_unused]] const ::darkvec::obs::Span DV_OBS_CONCAT( \
+      dv_span_, __LINE__)(name)
+/// Scoped span with one integer argument:
+/// DV_SPAN_ARG("w2v.epoch", "epoch", epoch);
+#define DV_SPAN_ARG(name, arg_name, arg)                  \
+  [[maybe_unused]] const ::darkvec::obs::Span DV_OBS_CONCAT( \
+      dv_span_, __LINE__)(name, arg_name,                 \
+                          static_cast<std::int64_t>(arg))
+#endif

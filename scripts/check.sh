@@ -3,8 +3,9 @@
 #
 #   1. warnings-as-errors build + entire test suite (contracts = throw)
 #   2. project lint (self-test, then the tree) and clang-tidy (if present)
-#   3. ThreadSanitizer build + perf-smoke tests (the parallel kernels)
-#   4. UBSan build + io-fuzz tests (the byte-level readers)
+#   3. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
+#   4. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
+#   5. UBSan build + io-fuzz tests (the byte-level readers)
 #
 # Each configuration uses its own build directory so the sweep never
 # clobbers a developer's ./build. compile_commands.json is exported from
@@ -33,12 +34,45 @@ run cmake --build build-check --target tidy
 test -f build-check/compile_commands.json \
   || { echo "FAIL: compile_commands.json was not exported"; exit 1; }
 
-# 3. TSan smoke over the threaded kernels.
+# 3. obs smoke: the observability flags must produce valid JSON with the
+# pipeline's counters, and a Perfetto-loadable trace, end to end.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "${OBS_TMP}"' EXIT
+run ./build-check/tools/darkvec simulate --out "${OBS_TMP}" --days 2 \
+  --scale 0.05 --seed 7
+run ./build-check/tools/darkvec train --trace "${OBS_TMP}/darknet_trace.csv" \
+  --out "${OBS_TMP}/model" --epochs 2 --threads 2 --log-json \
+  --metrics-out "${OBS_TMP}/m.json" --trace-out "${OBS_TMP}/t.json" \
+  2> "${OBS_TMP}/log.jsonl"
+run ./build-check/tools/darkvec cluster --trace "${OBS_TMP}/darknet_trace.csv" \
+  --epochs 2 --metrics-out "${OBS_TMP}/mc.json" > /dev/null
+run python3 - "${OBS_TMP}" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+m = json.load(open(f"{tmp}/m.json"))
+for key in ("io.records_read", "w2v.tokens", "w2v.pairs"):
+    assert key in m["counters"], f"missing counter {key} in train metrics"
+mc = json.load(open(f"{tmp}/mc.json"))
+for prefix in ("io.", "w2v.", "knn.", "louvain."):
+    assert any(k.startswith(prefix) for k in mc["counters"]), \
+        f"no {prefix} counter in cluster metrics"
+t = json.load(open(f"{tmp}/t.json"))
+events = t["traceEvents"]
+assert events and all(e["ph"] == "X" for e in events)
+assert len({e["tid"] for e in events}) > 1, "expected worker-thread spans"
+for line in open(f"{tmp}/log.jsonl"):
+    if line.startswith("{"):
+        json.loads(line)
+print(f"obs-smoke OK: {len(events)} spans, "
+      f"{len(m['counters'])}+{len(mc['counters'])} counters, logs parse")
+PY
+
+# 4. TSan smoke over the threaded kernels and the obs layer.
 run cmake -B build-tsan -S . -DDARKVEC_SANITIZE=thread
 run cmake --build build-tsan -j "${JOBS}"
-run ctest --test-dir build-tsan -L perf-smoke --output-on-failure
+run ctest --test-dir build-tsan -L 'perf-smoke|obs' --output-on-failure
 
-# 4. UBSan smoke over the hostile-input readers.
+# 5. UBSan smoke over the hostile-input readers.
 run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=undefined
 run cmake --build build-ubsan -j "${JOBS}"
 run ctest --test-dir build-ubsan -L io-fuzz --output-on-failure

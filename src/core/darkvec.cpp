@@ -4,12 +4,14 @@
 #include <stdexcept>
 
 #include "darkvec/graph/knn_graph.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec {
 
 DarkVec::DarkVec(DarkVecConfig config) : config_(std::move(config)) {}
 
 w2v::TrainStats DarkVec::fit(const net::Trace& trace) {
+  DV_SPAN_ARG("darkvec.fit", "packets", trace.size());
   const auto services = corpus::make_service_map(config_.services, trace,
                                                  config_.auto_top_n);
   corpus_ = corpus::build_corpus(trace, *services, config_.corpus);
@@ -36,6 +38,7 @@ std::optional<std::size_t> DarkVec::index_of(net::IPv4 ip) const {
 }
 
 Clustering DarkVec::cluster(int k_prime, std::uint64_t seed) const {
+  DV_SPAN_ARG("darkvec.cluster", "k_prime", k_prime);
   const graph::WeightedGraph g = graph::knn_graph(knn(), k_prime);
   graph::LouvainOptions options;
   options.seed = seed;

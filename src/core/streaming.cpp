@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "darkvec/obs/obs.hpp"
+
 namespace darkvec {
 
 std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
@@ -27,8 +29,16 @@ std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
 
   // Emits a placeholder for a window that produced no model. The window
   // is always advanced by the caller, so a run of quiet or broken
-  // windows can never stall the stream.
+  // windows can never stall the stream. Degraded windows are always
+  // logged and counted, even when no placeholder snapshot is recorded —
+  // silently dropped windows are exactly what an operator needs to see.
   const auto record_degraded = [&](std::int64_t end, std::string reason) {
+    static obs::Counter& degraded_counter =
+        obs::counter("streaming.degraded_windows");
+    degraded_counter.add(1);
+    DV_LOG_WARN("stream", "degraded window",
+                {"window_start", end - config.window_seconds},
+                {"window_end", end}, {"reason", reason});
     if (!config.record_degraded) return;
     StreamSnapshot snapshot;
     snapshot.window_start = end - config.window_seconds;
@@ -44,6 +54,7 @@ std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
   bool done = false;
   while (!done) {
     done = end > t_last;
+    DV_SPAN_ARG("stream.window", "window_end", end);
     const net::Trace window =
         trace.slice(end - config.window_seconds, end);
     if (window.empty()) {
@@ -91,6 +102,18 @@ std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
       prev_embedding_storage = snapshot.embedding;
       previous_corpus = &prev_corpus_storage;
       previous_embedding = &prev_embedding_storage;
+
+      static obs::Counter& snapshots_counter =
+          obs::counter("streaming.snapshots");
+      snapshots_counter.add(1);
+      obs::gauge("streaming.alignment_similarity")
+          .set(snapshot.alignment_similarity);
+      DV_LOG_INFO("stream", "snapshot",
+                  {"window_start", snapshot.window_start},
+                  {"window_end", snapshot.window_end},
+                  {"senders", snapshot.senders.size()},
+                  {"clusters", snapshot.clustering.count},
+                  {"alignment_similarity", snapshot.alignment_similarity});
 
       snapshots.push_back(std::move(snapshot));
     } catch (const std::exception& e) {

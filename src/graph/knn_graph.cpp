@@ -1,21 +1,30 @@
 #include "darkvec/graph/knn_graph.hpp"
 
+#include "darkvec/obs/obs.hpp"
+
 namespace darkvec::graph {
 
 WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime) {
   const std::size_t n = index.size();
+  DV_SPAN_ARG("graph.knn_graph", "nodes", n);
   // All neighbour lists at once through the blocked parallel kernel;
   // edges are then inserted serially in ascending source order, so the
   // graph is bit-identical for any thread count.
   const auto all = index.all_neighbors(k_prime);
   WeightedGraph g(n);
+  std::size_t edges = 0;
   for (std::size_t u = 0; u < n; ++u) {
     for (const ml::Neighbor& nb : all[u]) {
       if (nb.similarity <= 0) continue;
       g.add_edge(static_cast<std::uint32_t>(u), nb.index, nb.similarity);
+      ++edges;
     }
   }
   g.finalize();
+  static obs::Counter& edges_counter = obs::counter("knn.graph_edges");
+  edges_counter.add(edges);
+  DV_LOG_DEBUG("graph", "knn graph built", {"nodes", n}, {"edges", edges},
+               {"k_prime", k_prime});
   return g;
 }
 

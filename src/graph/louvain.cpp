@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "darkvec/obs/obs.hpp"
 #include "darkvec/sim/rng.hpp"
 
 namespace darkvec::graph {
@@ -16,6 +17,10 @@ namespace {
 struct LevelResult {
   std::vector<int> community;
   bool improved = false;
+  /// Local-moving sweeps over all nodes until no move improved.
+  int passes = 0;
+  /// Nodes that changed community across all passes.
+  std::size_t moves = 0;
 };
 
 LevelResult one_level(const WeightedGraph& g, double min_gain,
@@ -42,10 +47,9 @@ LevelResult one_level(const WeightedGraph& g, double min_gain,
 
   std::unordered_map<int, double> links;  // community -> weight from node
   bool moved_any = true;
-  int passes = 0;
-  while (moved_any && passes < 64) {
+  while (moved_any && result.passes < 64) {
     moved_any = false;
-    ++passes;
+    ++result.passes;
     for (const std::uint32_t u : order) {
       const int old_com = result.community[u];
       const double ku = g.degree(u);
@@ -82,6 +86,7 @@ LevelResult one_level(const WeightedGraph& g, double min_gain,
       if (best_com != old_com) {
         moved_any = true;
         result.improved = true;
+        ++result.moves;
       }
     }
   }
@@ -148,6 +153,11 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
   std::iota(result.community.begin(), result.community.end(), 0);
   if (n == 0) return result;
 
+  DV_SPAN_ARG("graph.louvain", "nodes", n);
+  static obs::Counter& passes_counter = obs::counter("louvain.passes");
+  static obs::Counter& moves_counter = obs::counter("louvain.moves");
+  static obs::Counter& levels_counter = obs::counter("louvain.levels");
+
   sim::Rng rng(options.seed);
   // `current` is the working (aggregated) graph; `mapping` maps original
   // nodes to current-graph nodes.
@@ -157,9 +167,15 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
   std::iota(mapping.begin(), mapping.end(), 0);
 
   for (int level = 0; level < options.max_levels; ++level) {
+    DV_SPAN_ARG("graph.louvain.level", "level", level);
     LevelResult lr = one_level(*graph, options.min_gain, rng);
+    passes_counter.add(static_cast<std::uint64_t>(lr.passes));
+    moves_counter.add(lr.moves);
     if (!lr.improved && level > 0) break;
     const int count = renumber(lr.community);
+    DV_LOG_DEBUG("graph", "louvain level", {"level", level},
+                 {"communities", count}, {"passes", lr.passes},
+                 {"moves", lr.moves});
     for (std::size_t i = 0; i < n; ++i) {
       mapping[i] = lr.community[static_cast<std::size_t>(mapping[i])];
     }
@@ -173,6 +189,10 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
   result.community = mapping;
   result.count = renumber(result.community);
   result.modularity = modularity(g, result.community);
+  levels_counter.add(static_cast<std::uint64_t>(result.levels));
+  obs::gauge("louvain.modularity").set(result.modularity);
+  DV_LOG_DEBUG("graph", "louvain done", {"communities", result.count},
+               {"levels", result.levels}, {"modularity", result.modularity});
   return result;
 }
 

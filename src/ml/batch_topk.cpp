@@ -1,9 +1,11 @@
 #include "darkvec/ml/batch_topk.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::ml {
 namespace {
@@ -46,6 +48,9 @@ std::vector<std::vector<Neighbor>> batch_topk(
   const auto dim = static_cast<std::size_t>(normalized.dim());
   if (k <= 0 || nq == 0 || n == 0 || dim == 0) return out;
 
+  DV_SPAN_ARG("ml.batch_topk", "queries", nq);
+  const auto t_start = std::chrono::steady_clock::now();
+
   const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
   const std::size_t cb = std::max<std::size_t>(options.corpus_block, kStrip);
 
@@ -65,6 +70,7 @@ std::vector<std::vector<Neighbor>> batch_topk(
   // chunk, and within a chunk candidates arrive in ascending corpus
   // order, so the output is independent of the thread count.
   core::parallel_for(nq, qb, [&](std::size_t qlo, std::size_t qhi) {
+    DV_SPAN_ARG("ml.batch_topk.block", "queries", qhi - qlo);
     std::vector<float> tile(cb * dim);
     std::vector<float> sims(cb);
     std::vector<detail::TopKHeap> heaps;
@@ -98,6 +104,16 @@ std::vector<std::vector<Neighbor>> batch_topk(
       out[qi] = heaps[qi - qlo].take();
     }
   });
+
+  static obs::Counter& queries_counter = obs::counter("knn.queries");
+  queries_counter.add(nq);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  DV_LOG_DEBUG("knn", "batch_topk done", {"queries", nq},
+               {"corpus_rows", n}, {"k", k},
+               {"queries_per_s",
+                seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});
   return out;
 }
 

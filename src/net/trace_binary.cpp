@@ -9,6 +9,7 @@
 #include "darkvec/core/atomic_io.hpp"
 #include "darkvec/core/byteio.hpp"
 #include "darkvec/core/checksum.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::net {
 namespace {
@@ -87,6 +88,7 @@ void write_binary_file(const std::string& path, const Trace& trace) {
 
 Trace read_binary(std::istream& in, const io::IoPolicy& policy,
                   io::IoReport* report) {
+  DV_SPAN("io.read_binary");
   io::Crc32 crc;
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
@@ -169,6 +171,18 @@ Trace read_binary(std::istream& in, const io::IoPolicy& policy,
         policy, report, static_cast<std::size_t>(record_no),
         "trace binary: trailing data after declared records");
   }
+  static obs::Counter& read_counter = obs::counter("io.records_read");
+  static obs::Counter& skipped_counter = obs::counter("io.records_skipped");
+  read_counter.add(packets.size());
+  const std::uint64_t skipped = record_no - packets.size();
+  skipped_counter.add(skipped);
+  if (skipped > 0 || truncated) {
+    DV_LOG_WARN("io", "trace binary records dropped",
+                {"skipped", skipped}, {"read", packets.size()},
+                {"truncated", truncated});
+  }
+  DV_LOG_DEBUG("io", "trace binary read", {"records", packets.size()},
+               {"declared", count}, {"version", version});
   return Trace{std::move(packets)};
 }
 

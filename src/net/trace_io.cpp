@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "darkvec/core/atomic_io.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::net {
 namespace {
@@ -79,9 +80,11 @@ void write_csv_file(const std::string& path, const Trace& trace) {
 
 Trace read_csv(std::istream& in, const io::IoPolicy& policy,
                io::IoReport* report) {
+  DV_SPAN("io.read_csv");
   std::vector<Packet> packets;
   std::string line;
   std::size_t line_no = 0;
+  std::size_t skipped = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -91,11 +94,24 @@ Trace read_csv(std::istream& in, const io::IoPolicy& policy,
       io::detail::bad_record(policy, report, line_no,
                              "trace csv: " + *error + " at line " +
                                  std::to_string(line_no));
+      ++skipped;
       continue;
     }
     packets.push_back(p);
     if (report != nullptr) ++report->records_read;
   }
+  // Counted locally so metrics do not depend on the caller passing a
+  // report (the lenient path may return with rows silently dropped).
+  static obs::Counter& read_counter = obs::counter("io.records_read");
+  static obs::Counter& skipped_counter = obs::counter("io.records_skipped");
+  read_counter.add(packets.size());
+  skipped_counter.add(skipped);
+  if (skipped > 0) {
+    DV_LOG_WARN("io", "trace csv rows skipped", {"skipped", skipped},
+                {"read", packets.size()});
+  }
+  DV_LOG_DEBUG("io", "trace csv read", {"records", packets.size()},
+               {"skipped", skipped});
   return Trace{std::move(packets)};
 }
 

@@ -1,0 +1,264 @@
+#include "darkvec/obs/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace darkvec::obs {
+namespace {
+
+/// RFC3339 UTC with milliseconds ("2021-03-01T00:00:00.000Z").
+std::string format_wall_time(std::chrono::system_clock::time_point tp) {
+  const auto since_epoch = tp.time_since_epoch();
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::seconds>(since_epoch);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_epoch) -
+      std::chrono::duration_cast<std::chrono::milliseconds>(secs);
+  const std::time_t t = static_cast<std::time_t>(secs.count());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis.count()));
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "trace";
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+std::optional<Level> parse_level(std::string_view name) {
+  for (const Level l : {Level::kTrace, Level::kDebug, Level::kInfo,
+                        Level::kWarn, Level::kError, Level::kOff}) {
+    if (name == to_string(l)) return l;
+  }
+  return std::nullopt;
+}
+
+std::string Field::value_text() const {
+  switch (kind) {
+    case Kind::kString:
+      return str;
+    case Kind::kInt:
+      return std::to_string(i);
+    case Kind::kUint:
+      return std::to_string(u);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", d);
+      return buf;
+    }
+    case Kind::kBool:
+      return b ? "true" : "false";
+  }
+  return {};
+}
+
+std::string Field::value_json() const {
+  // GCC 12 -Wrestrict false-positives on `const char* + std::string`;
+  // build through += instead (same workaround as the CLI arg parser).
+  if (kind == Kind::kString) {
+    std::string out = "\"";
+    out += detail::json_escape(str);
+    out += '"';
+    return out;
+  }
+  if (kind == Kind::kDouble) {
+    // JSON has no inf/nan tokens; degrade to a quoted string.
+    if (d != d || d > 1.7e308 || d < -1.7e308) {
+      std::string out = "\"";
+      out += value_text();
+      out += '"';
+      return out;
+    }
+  }
+  return value_text();
+}
+
+void StderrTextSink::write(const LogRecord& record) {
+  std::string line = format_wall_time(record.wall_time);
+  line += ' ';
+  std::string level(to_string(record.level));
+  for (char& c : level) c = static_cast<char>(std::toupper(c));
+  line += level;
+  line.append(6 - std::min<std::size_t>(5, level.size()), ' ');
+  line += record.component;
+  line += ' ';
+  line += record.message;
+  for (const Field& f : record.fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    line += f.value_text();
+  }
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+JsonLinesSink::JsonLinesSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*file) {
+    throw std::runtime_error("JsonLinesSink: cannot open " + path);
+  }
+  owned_ = std::move(file);
+  out_ = owned_.get();
+}
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
+
+void JsonLinesSink::write(const LogRecord& record) {
+  std::string line = "{\"ts\":\"";
+  line += format_wall_time(record.wall_time);
+  line += "\",\"level\":\"";
+  line += to_string(record.level);
+  line += "\",\"component\":\"";
+  line += detail::json_escape(record.component);
+  line += "\",\"msg\":\"";
+  line += detail::json_escape(record.message);
+  line += "\",\"tid\":";
+  line += std::to_string(record.thread_id);
+  if (!record.fields.empty()) {
+    line += ",\"fields\":{";
+    bool first = true;
+    for (const Field& f : record.fields) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += detail::json_escape(f.key);
+      line += "\":";
+      line += f.value_json();
+    }
+    line += '}';
+  }
+  line += "}\n";
+  *out_ << line << std::flush;
+}
+
+const Field* MemorySink::Entry::field(std::string_view key) const {
+  for (const Field& f : fields) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+void MemorySink::write(const LogRecord& record) {
+  Entry entry;
+  entry.level = record.level;
+  entry.component = std::string(record.component);
+  entry.message = std::string(record.message);
+  entry.fields.assign(record.fields.begin(), record.fields.end());
+  core::MutexLock lock(mu_);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<MemorySink::Entry> MemorySink::entries() const {
+  core::MutexLock lock(mu_);
+  return entries_;
+}
+
+Logger::Logger() : level_(static_cast<int>(Level::kWarn)) {}
+
+void Logger::add_sink(std::unique_ptr<LogSink> sink) {
+  core::MutexLock lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::clear_sinks() {
+  core::MutexLock lock(mu_);
+  sinks_.clear();
+}
+
+void Logger::log(Level level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<Field> fields) {
+  if (!enabled(level)) return;
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.fields = std::span<const Field>(fields.begin(), fields.size());
+  record.wall_time = std::chrono::system_clock::now();
+  record.thread_id = detail::thread_id();
+  core::MutexLock lock(mu_);
+  if (sinks_.empty()) {
+    fallback_.write(record);
+    return;
+  }
+  for (const auto& sink : sinks_) sink->write(record);
+}
+
+Logger& logger() {
+  // Leaked: destructors and atexit handlers may still log.
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+namespace detail {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+}  // namespace darkvec::obs

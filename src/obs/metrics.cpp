@@ -1,0 +1,197 @@
+#include "darkvec/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "darkvec/obs/log.hpp"
+
+namespace darkvec::obs {
+namespace {
+
+/// Prometheus metric name: darkvec_ prefix, [a-zA-Z0-9_] body.
+std::string prom_name(std::string_view name) {
+  std::string out = "darkvec_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+template <typename Vec>
+auto* find_metric(Vec& metrics, std::string_view name) {
+  for (auto& [key, ptr] : metrics) {
+    if (key == name) return ptr.get();
+  }
+  return static_cast<decltype(metrics.front().second.get())>(nullptr);
+}
+
+}  // namespace
+
+namespace detail {
+std::uint32_t thread_stripe() { return thread_id(); }
+}  // namespace detail
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(bounds.size() + 1) {}
+
+void Histogram::observe(double value) noexcept {
+  // First bound >= value ("le" semantics); end() = overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  core::MutexLock lock(mu_);
+  if (Counter* existing = find_metric(counters_, name)) return *existing;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  core::MutexLock lock(mu_);
+  if (Gauge* existing = find_metric(gauges_, name)) return *existing;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  core::MutexLock lock(mu_);
+  if (Histogram* existing = find_metric(histograms_, name)) return *existing;
+  histograms_.emplace_back(std::string(name),
+                           std::make_unique<Histogram>(bounds));
+  return *histograms_.back().second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  core::MutexLock lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        {name, h->bounds(), h->counts(), h->count(), h->sum()});
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  core::MutexLock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + detail::json_escape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + detail::json_escape(g.name) + "\":" + format_double(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + detail::json_escape(h.name) + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += format_double(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + format_double(h.sum) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& c : counters) {
+    const std::string name = prom_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : gauges) {
+    const std::string name = prom_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + format_double(g.value) + '\n';
+  }
+  for (const auto& h : histograms) {
+    const std::string name = prom_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name + "_bucket{le=\"" + format_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += name + "_sum " + format_double(h.sum) + '\n';
+    out += name + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+Registry& registry() {
+  // Leaked: bench atexit handlers scrape after main() returns.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace darkvec::obs

@@ -1,0 +1,162 @@
+#include "darkvec/obs/span.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+
+#include "darkvec/core/annotations.hpp"
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/obs/log.hpp"
+
+namespace darkvec::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Spans recorded by one thread. The owning thread appends, the exporter
+/// reads; both take the buffer's own (uncontended) mutex, so exporting
+/// while workers are still tracing is safe. shared_ptr ownership keeps
+/// the buffer alive after the thread exits (the Hogwild trainer spawns
+/// short-lived threads every epoch).
+struct ThreadTraceBuffer {
+  core::Mutex mu;
+  std::vector<TraceEvent> events DV_GUARDED_BY(mu);
+  std::uint32_t thread_id = 0;
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  core::Mutex mu;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers DV_GUARDED_BY(mu);
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  ThreadTraceBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadTraceBuffer> buffer;
+    if (!buffer) {
+      buffer = std::make_shared<ThreadTraceBuffer>();
+      buffer->thread_id = obs::detail::thread_id();
+      core::MutexLock lock(mu);
+      buffers.push_back(buffer);
+    }
+    return *buffer;
+  }
+};
+
+Tracer& Tracer::instance() {
+  // Leaked: spans may close during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Tracer::set_enabled(bool on) {
+  if (on) static_cast<void>(impl());  // pin the epoch before the first span
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - instance().impl().epoch)
+      .count();
+}
+
+void Tracer::record(const TraceEvent& event) {
+  ThreadTraceBuffer& buffer = impl().local_buffer();
+  TraceEvent copy = event;
+  copy.thread_id = buffer.thread_id;
+  core::MutexLock lock(buffer.mu);
+  buffer.events.push_back(copy);
+}
+
+std::size_t Tracer::event_count() const {
+  Impl& state = impl();
+  core::MutexLock lock(state.mu);
+  std::size_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    core::MutexLock buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  Impl& state = impl();
+  core::MutexLock lock(state.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : state.buffers) {
+    core::MutexLock buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  Impl& state = impl();
+  core::MutexLock lock(state.mu);
+  for (const auto& buffer : state.buffers) {
+    core::MutexLock buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> all = events();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : all) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << detail::json_escape(e.name)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.thread_id;
+    // Chrome trace timestamps are microseconds; keep ns precision via
+    // fractional values.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    out << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out << ",\"dur\":" << buf;
+    if (e.arg_name != nullptr) {
+      out << ",\"args\":{\"" << detail::json_escape(e.arg_name)
+          << "\":" << e.arg << '}';
+    }
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_chrome_trace_file(const std::string& path) const {
+  io::atomic_write_file(path, std::ios::out, [&](std::ostream& out) {
+    write_chrome_trace(out);
+  });
+}
+
+void Span::open(const char* name, const char* arg_name, std::int64_t arg) {
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_ = arg;
+  start_ns_ = Tracer::now_ns();
+}
+
+void Span::close() {
+  TraceEvent event;
+  event.name = name_;
+  event.arg_name = arg_name_;
+  event.arg = arg_;
+  event.start_ns = start_ns_;
+  event.dur_ns = Tracer::now_ns() - start_ns_;
+  Tracer::instance().record(event);
+}
+
+}  // namespace darkvec::obs

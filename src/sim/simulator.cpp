@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string_view>
 
+#include "darkvec/obs/obs.hpp"
 #include "darkvec/sim/ports.hpp"
 #include "darkvec/sim/temporal.hpp"
 
@@ -115,6 +116,7 @@ std::vector<std::int64_t> sender_times(
 }  // namespace
 
 SimResult DarknetSimulator::run(std::span<const PopulationSpec> populations) {
+  DV_SPAN_ARG("sim.run", "populations", populations.size());
   const Rng master(config_.seed);
   AddressAllocator allocator(master.fork(0xADD2));
   const TimeSpan span{config_.t0,
@@ -122,6 +124,8 @@ SimResult DarknetSimulator::run(std::span<const PopulationSpec> populations) {
   SimResult result;
 
   for (const PopulationSpec& spec : populations) {
+    DV_SPAN("sim.population");
+    const std::size_t packets_before = result.trace.size();
     Rng prng = master.fork(hash_name(spec.group));
     const std::size_t n =
         spec.scalable
@@ -232,7 +236,17 @@ SimResult DarknetSimulator::run(std::span<const PopulationSpec> populations) {
       if (spec.label != GtClass::kUnknown) result.labels[ips[i]] = spec.label;
       result.groups[ips[i]] = spec.group;
     }
+    DV_LOG_DEBUG("sim", "population generated", {"group", spec.group},
+                 {"senders", n},
+                 {"packets", result.trace.size() - packets_before});
   }
+
+  static obs::Counter& packets_counter = obs::counter("sim.packets");
+  packets_counter.add(result.trace.size());
+  DV_LOG_INFO("sim", "simulation complete",
+              {"populations", populations.size()},
+              {"packets", result.trace.size()},
+              {"senders", result.groups.size()});
 
   result.trace.sort();
   return result;

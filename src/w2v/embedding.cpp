@@ -9,6 +9,7 @@
 #include "darkvec/core/byteio.hpp"
 #include "darkvec/core/checksum.hpp"
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::w2v {
 namespace {
@@ -84,6 +85,7 @@ void Embedding::save_file(const std::string& path) const {
 
 Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
                           io::IoReport* report) {
+  DV_SPAN("io.load_embedding");
   io::Crc32 crc;
   std::uint32_t magic = 0;
   std::uint64_t n = 0;
@@ -165,6 +167,14 @@ Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
                               "Embedding: trailing data after matrix");
   }
   if (report != nullptr) report->records_read += data.size() / dim;
+  static obs::Counter& rows_counter = obs::counter("io.embedding_rows");
+  rows_counter.add(data.size() / dim);
+  if (truncated) {
+    DV_LOG_WARN("io", "embedding truncated", {"rows", data.size() / dim},
+                {"declared", n});
+  }
+  DV_LOG_DEBUG("io", "embedding loaded", {"rows", data.size() / dim},
+               {"dim", d});
   return Embedding{std::move(data), d};
 }
 

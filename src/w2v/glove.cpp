@@ -6,6 +6,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "darkvec/obs/obs.hpp"
+
 namespace darkvec::w2v {
 namespace {
 
@@ -30,6 +32,7 @@ GloveModel::GloveModel(std::size_t vocab_size, GloveOptions options)
 
 TrainStats GloveModel::train(std::span<const Sentence> sentences) {
   const auto t_start = std::chrono::steady_clock::now();
+  DV_SPAN_ARG("w2v.glove.train", "vocab", vocab_);
   TrainStats stats;
   const auto dim = static_cast<std::size_t>(options_.dim);
 
@@ -92,6 +95,7 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
 
   const double lr = options_.learning_rate;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    DV_SPAN_ARG("w2v.glove.epoch", "epoch", epoch);
     // Seeded Fisher-Yates shuffle per epoch.
     for (std::size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[next_rand(rng) % i]);
@@ -135,6 +139,11 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  static obs::Counter& pairs_counter = obs::counter("w2v.glove.pairs");
+  pairs_counter.add(stats.pairs);
+  DV_LOG_DEBUG("w2v", "glove training complete", {"cells", cells_},
+               {"pairs", stats.pairs}, {"seconds", stats.seconds},
+               {"epochs", options_.epochs});
   return stats;
 }
 

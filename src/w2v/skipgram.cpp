@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::w2v {
 namespace {
@@ -275,6 +276,7 @@ void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
 
 TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
   const auto t_start = std::chrono::steady_clock::now();
+  DV_SPAN_ARG("w2v.train", "vocab", vocab_);
   // Held for the whole session: the weights below are guarded by it, and
   // the Hogwild workers assert this thread holds it on their behalf.
   core::MutexLock session(train_mu_);
@@ -320,6 +322,7 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
     // for the whole session; within it, weight writes are Hogwild-racy by
     // design (lock-free SGD, word2vec.c style).
     train_mu_.assert_held();
+    DV_SPAN_ARG("w2v.shard", "tid", tid);
     std::vector<float> neu1e(static_cast<std::size_t>(options_.dim));
     std::vector<float> neu1(static_cast<std::size_t>(options_.dim));
     std::vector<std::uint32_t> context;
@@ -380,8 +383,14 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
     pairs_total.fetch_add(local_pairs, std::memory_order_relaxed);
   };
 
+  static obs::Histogram& epoch_hist = obs::histogram(
+      "w2v.epoch_seconds",
+      std::initializer_list<double>{0.01, 0.1, 1.0, 10.0, 60.0, 600.0});
+
   const int threads = std::max(1, options_.threads);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
+    DV_SPAN_ARG("w2v.epoch", "epoch", epoch);
     if (threads == 1) {
       worker(0, 0, sentences.size(), epoch);
     } else {
@@ -398,14 +407,38 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
       }
       for (std::thread& th : pool) th.join();
     }
+    const double epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    epoch_hist.observe(epoch_seconds);
+    // Decayed learning rate at the end of this epoch (what the next
+    // token would train with) and epoch throughput.
+    const double frac = static_cast<double>(processed.load()) /
+                        static_cast<double>(total_work);
+    const double alpha_now =
+        std::max(options_.min_alpha, options_.alpha * (1.0 - frac));
+    DV_LOG_DEBUG("w2v", "epoch done", {"epoch", epoch},
+                 {"tokens_per_s", epoch_seconds > 0
+                                      ? static_cast<double>(total_tokens) /
+                                            epoch_seconds
+                                      : 0.0},
+                 {"alpha", alpha_now}, {"threads", threads});
   }
 
+  static obs::Counter& tokens_counter = obs::counter("w2v.tokens");
+  static obs::Counter& pairs_counter = obs::counter("w2v.pairs");
   stats.tokens = processed.load();
   stats.pairs = pairs_total.load();
   pairs_trained_ += stats.pairs;
+  tokens_counter.add(stats.tokens);
+  pairs_counter.add(stats.pairs);
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  DV_LOG_INFO("w2v", "training complete", {"tokens", stats.tokens},
+              {"pairs", stats.pairs}, {"seconds", stats.seconds},
+              {"epochs", options_.epochs}, {"vocab", vocab_});
   return stats;
 }
 

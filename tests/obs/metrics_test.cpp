@@ -1,0 +1,173 @@
+#include "darkvec/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "darkvec/core/parallel.hpp"
+
+namespace darkvec::obs {
+namespace {
+
+TEST(Counter, MergesShardsExactlyAcrossThreadCounts) {
+  // The sharded counter must be exact — not approximate — for any
+  // DARKVEC_THREADS setting: relaxed fetch_add is an atomic RMW, so no
+  // increment can be lost regardless of which shard a thread lands on.
+  Counter& c = counter("test.merge_exact");
+  const int original_threads = core::ThreadPool::global().size();
+  for (const int threads : {1, 2, 4, 8}) {
+    core::ThreadPool::set_global_threads(threads);
+    c.reset();
+    constexpr std::size_t kItems = 100000;
+    core::parallel_for(kItems, 1000, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) c.add(1);
+    });
+    EXPECT_EQ(c.value(), kItems) << "threads=" << threads;
+  }
+  core::ThreadPool::set_global_threads(original_threads);
+}
+
+TEST(Counter, ExactUnderRawThreadChurn) {
+  // Threads created and destroyed per batch (the Hogwild trainer spawns
+  // per epoch); stripe ids keep growing but totals must stay exact.
+  Counter& c = counter("test.thread_churn");
+  c.reset();
+  constexpr int kRounds = 4;
+  constexpr int kThreads = 5;
+  constexpr std::uint64_t kPerThread = 10000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&c] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  EXPECT_EQ(c.value(), kRounds * kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddAndReset) {
+  Gauge& g = gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesFollowPrometheusLeSemantics) {
+  Histogram& h = histogram("test.le_bounds", {1.0, 2.0, 5.0});
+  h.reset();
+  // x lands in the first bucket with x <= bound; values on a boundary
+  // belong to that boundary's bucket ("le" = less-or-equal).
+  h.observe(-3.0);  // <= 1       -> bucket 0
+  h.observe(1.0);   // == 1       -> bucket 0
+  h.observe(1.5);   // <= 2       -> bucket 1
+  h.observe(2.0);   // == 2       -> bucket 1
+  h.observe(5.0);   // == 5       -> bucket 2
+  h.observe(5.001);  // overflow  -> bucket 3 (+inf)
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0 + 1.0 + 1.5 + 2.0 + 5.0 + 5.001);
+}
+
+TEST(Registry, FindOrCreateReturnsStableHandles) {
+  Counter& a = counter("test.stable_handle");
+  // Force registry growth, then re-resolve: same object.
+  for (int i = 0; i < 100; ++i) {
+    static_cast<void>(counter("test.filler_" + std::to_string(i)));
+  }
+  Counter& b = counter("test.stable_handle");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  a.reset();
+}
+
+TEST(Registry, HistogramBoundsFixedAtRegistration) {
+  Histogram& a = histogram("test.fixed_bounds", {1.0, 2.0});
+  Histogram& b = histogram("test.fixed_bounds", {10.0, 20.0, 30.0});
+  EXPECT_EQ(&a, &b);
+  ASSERT_EQ(b.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.bounds()[1], 2.0);
+}
+
+TEST(Registry, SnapshotCarriesAllMetricKinds) {
+  counter("test.snap_counter").add(3);
+  gauge("test.snap_gauge").set(1.5);
+  histogram("test.snap_hist", {1.0}).observe(0.5);
+  const MetricsSnapshot snap = registry().snapshot();
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_GE(c.value, 3u);
+    }
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.name == "test.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(g.value, 1.5);
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.snap_hist") {
+      saw_hist = true;
+      ASSERT_EQ(h.counts.size(), 2u);
+      EXPECT_GE(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(Registry, JsonAndPrometheusRenderings) {
+  counter("test.render_counter").add(2);
+  histogram("test.render_hist", {0.5, 1.5}).observe(1.0);
+  const MetricsSnapshot snap = registry().snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.render_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("darkvec_test_render_counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE darkvec_test_render_counter counter"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with the +Inf bucket.
+  EXPECT_NE(prom.find("darkvec_test_render_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("darkvec_test_render_hist_sum"), std::string::npos);
+  EXPECT_NE(prom.find("darkvec_test_render_hist_count"), std::string::npos);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrationsAndHandles) {
+  Counter& c = counter("test.reset_values");
+  Histogram& h = histogram("test.reset_hist", {1.0});
+  c.add(5);
+  h.observe(0.5);
+  registry().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+  c.reset();
+}
+
+}  // namespace
+}  // namespace darkvec::obs

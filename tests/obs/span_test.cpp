@@ -1,0 +1,137 @@
+#include "darkvec/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace darkvec::obs {
+namespace {
+
+/// Enables tracing on a clean buffer for one test, disabled afterwards.
+class Tracing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST(TracingDisabled, SpansRecordNothing) {
+  Tracer::instance().set_enabled(false);
+  Tracer::instance().clear();
+  {
+    DV_SPAN("disabled.root");
+    DV_SPAN_ARG("disabled.arg", "n", 7);
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(Tracing, RecordsCompletedSpansWithArgs) {
+  {
+    DV_SPAN_ARG("test.outer", "items", 3);
+    { DV_SPAN("test.inner"); }
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close innermost-first, so the buffer order is inner, outer.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  EXPECT_STREQ(events[1].arg_name, "items");
+  EXPECT_EQ(events[1].arg, 3);
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.start_ns, 0);
+    EXPECT_GE(e.dur_ns, 0);
+  }
+}
+
+TEST_F(Tracing, NestedSpanLiesInsideItsParent) {
+  {
+    DV_SPAN("test.parent");
+    DV_SPAN("test.child");
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& child = events[0];
+  const TraceEvent& parent = events[1];
+  EXPECT_GE(child.start_ns, parent.start_ns);
+  EXPECT_LE(child.start_ns + child.dur_ns, parent.start_ns + parent.dur_ns);
+  EXPECT_EQ(child.thread_id, parent.thread_id);
+}
+
+TEST_F(Tracing, WorkerThreadsGetTheirOwnTracks) {
+  {
+    DV_SPAN("test.main_track");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([] { DV_SPAN("test.worker_track"); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const auto events = Tracer::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.thread_id);
+  // Three short-lived workers plus the main thread: four distinct tids,
+  // and the worker buffers must survive their threads exiting.
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST_F(Tracing, ChromeTraceExportIsStructurallySound) {
+  {
+    DV_SPAN_ARG("test.export", "n", 11);
+    DV_SPAN("test.export_child");
+  }
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+  std::string json = out.str();
+  // The export is one line of JSON terminated by a single newline.
+  ASSERT_FALSE(json.empty());
+  ASSERT_EQ(json.back(), '\n');
+  json.pop_back();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "single-line export";
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"n\":11}"), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces/brackets — cheap structural check; full JSON
+  // validation runs in scripts/check.sh via python.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(Tracing, ClearDropsEventsButKeepsRecording) {
+  { DV_SPAN("test.before_clear"); }
+  ASSERT_GT(Tracer::instance().event_count(), 0u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  { DV_SPAN("test.after_clear"); }
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+}
+
+TEST_F(Tracing, SpanOpenedBeforeDisableDoesNotRecordAfterIt) {
+  // The enabled check happens at construction; a span that outlives
+  // set_enabled(false) was opened under tracing and still records.
+  // Conversely a span constructed while disabled stays silent even if
+  // tracing turns on before its destructor.
+  Tracer::instance().set_enabled(false);
+  {
+    DV_SPAN("test.constructed_disabled");
+    Tracer::instance().set_enabled(true);
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace darkvec::obs

@@ -1,0 +1,118 @@
+// Satellite contract of the observability PR: a degraded streaming
+// window must always emit a WARN with the window bounds and reason and
+// bump streaming.degraded_windows — even when the configuration says
+// not to record a placeholder snapshot. Silently dropped windows are
+// exactly what an operator needs to see.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "darkvec/core/streaming.hpp"
+#include "darkvec/obs/obs.hpp"
+
+namespace darkvec {
+namespace {
+
+net::Trace sparse_trace() {
+  // Three packets around t=0 and three around t=250: with a 100 s
+  // window and 100 s step, the middle window [100, 200) is empty and
+  // every window is far below the activity threshold, so the whole
+  // schedule degrades.
+  std::vector<net::Packet> packets;
+  for (const std::int64_t ts : {0, 5, 10, 250, 255, 260}) {
+    net::Packet p;
+    p.ts = ts;
+    p.src = net::IPv4{0x0A000001};
+    p.dst_host = 1;
+    p.dst_port = 23;
+    p.proto = net::Protocol::kTcp;
+    packets.push_back(p);
+  }
+  return net::Trace{std::move(packets)};
+}
+
+StreamingConfig sparse_config() {
+  StreamingConfig config;
+  config.window_seconds = 100;
+  config.step_seconds = 100;
+  return config;
+}
+
+TEST(StreamingObs, DegradedWindowWarnsAndCountsEvenWhenNotRecorded) {
+  auto sink = std::make_unique<obs::MemorySink>();
+  obs::MemorySink* mem = sink.get();
+  obs::logger().add_sink(std::move(sink));
+
+  obs::Counter& degraded = obs::counter("streaming.degraded_windows");
+  const std::uint64_t before = degraded.value();
+
+  StreamingConfig config = sparse_config();
+  config.record_degraded = false;  // snapshots suppressed, telemetry not
+  const auto snapshots = run_streaming(sparse_trace(), config);
+
+  // Copy the entries out before clear_sinks(): the logger owns the sink,
+  // so clearing destroys it and `mem` dangles.
+  const auto entries = mem->entries();
+  obs::logger().clear_sinks();
+
+  // Window ends at 100, 200, 300: all three degrade, none is recorded.
+  EXPECT_TRUE(snapshots.empty());
+  EXPECT_EQ(degraded.value() - before, 3u);
+
+  std::size_t warns = 0;
+  for (const auto& entry : entries) {
+    if (entry.component != "stream" || entry.level != obs::Level::kWarn) {
+      continue;
+    }
+    ++warns;
+    ASSERT_NE(entry.field("window_start"), nullptr);
+    ASSERT_NE(entry.field("window_end"), nullptr);
+    ASSERT_NE(entry.field("reason"), nullptr);
+    EXPECT_EQ(entry.field("window_end")->i -
+                  entry.field("window_start")->i,
+              100);
+    EXPECT_FALSE(entry.field("reason")->str.empty());
+  }
+  EXPECT_EQ(warns, 3u);
+
+  // The empty middle window names its reason explicitly.
+  bool saw_empty_window = false;
+  for (const auto& entry : entries) {
+    const obs::Field* reason = entry.field("reason");
+    if (reason != nullptr && reason->str == "no packets in window" &&
+        entry.field("window_end")->i == 200) {
+      saw_empty_window = true;
+    }
+  }
+  EXPECT_TRUE(saw_empty_window);
+}
+
+TEST(StreamingObs, RecordedDegradedSnapshotsStillWarnAndCount) {
+  auto sink = std::make_unique<obs::MemorySink>();
+  obs::MemorySink* mem = sink.get();
+  obs::logger().add_sink(std::move(sink));
+
+  obs::Counter& degraded = obs::counter("streaming.degraded_windows");
+  const std::uint64_t before = degraded.value();
+
+  const auto snapshots = run_streaming(sparse_trace(), sparse_config());
+
+  const auto entries = mem->entries();
+  obs::logger().clear_sinks();
+
+  ASSERT_EQ(snapshots.size(), 3u);
+  for (const auto& s : snapshots) EXPECT_TRUE(s.degraded);
+  EXPECT_EQ(degraded.value() - before, 3u);
+  std::size_t warns = 0;
+  for (const auto& entry : entries) {
+    if (entry.component == "stream" && entry.level == obs::Level::kWarn) {
+      ++warns;
+    }
+  }
+  EXPECT_EQ(warns, 3u);
+}
+
+}  // namespace
+}  // namespace darkvec

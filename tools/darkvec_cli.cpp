@@ -14,6 +14,15 @@
 //   --error-budget N     lenient only: give up after N skipped records
 //                        (default 10000)
 //
+// Observability (every command):
+//   --log-level LEVEL    trace|debug|info|warn|error|off (default warn)
+//   --log-json [FILE]    structured JSON-lines logs; to FILE when given,
+//                        else to stderr (replaces the text format)
+//   --metrics-out FILE   dump the metrics registry as JSON on exit
+//   --metrics-prom FILE  same registry in Prometheus text exposition
+//   --trace-out FILE     record spans; Chrome trace-event JSON on exit
+//                        (load in Perfetto or chrome://tracing)
+//
 // Traces are the CSV format of net::write_csv / examples/export_dataset;
 // label files are "src,class,group" CSVs. `train` writes PREFIX.emb
 // (v2 binary embedding, CRC32 footer) and PREFIX.vocab (one sender
@@ -21,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,6 +43,7 @@
 #include "darkvec/ml/silhouette.hpp"
 #include "darkvec/net/trace_binary.hpp"
 #include "darkvec/net/trace_io.hpp"
+#include "darkvec/obs/obs.hpp"
 #include "darkvec/sim/scenario.hpp"
 #include "darkvec/sim/simulator.hpp"
 
@@ -283,7 +294,59 @@ void usage() {
   std::fprintf(stderr,
                "usage: darkvec <simulate|train|classify|cluster|neighbors> "
                "[--option value ...]\n"
+               "observability: --log-level L --log-json [FILE] "
+               "--metrics-out FILE --metrics-prom FILE --trace-out FILE\n"
                "see the header of tools/darkvec_cli.cpp for details\n");
+}
+
+/// Applies --log-level/--log-json and enables span recording when a
+/// trace output was requested. Returns false on a bad flag value.
+bool setup_obs(const Args& args) {
+  if (args.has("log-level")) {
+    const auto level = obs::parse_level(args.get("log-level"));
+    if (!level) {
+      std::fprintf(stderr, "bad --log-level (want trace|debug|info|warn|"
+                           "error|off)\n");
+      return false;
+    }
+    obs::logger().set_level(*level);
+  }
+  if (args.has("log-json")) {
+    const std::string target = args.get("log-json");
+    // Bare --log-json (parsed as "1") keeps stderr but in JSON lines.
+    if (target == "1") {
+      obs::logger().add_sink(std::make_unique<obs::JsonLinesSink>(std::cerr));
+    } else {
+      obs::logger().add_sink(std::make_unique<obs::JsonLinesSink>(target));
+    }
+  }
+  if (args.has("trace-out")) obs::Tracer::instance().set_enabled(true);
+  return true;
+}
+
+/// Writes --metrics-out/--metrics-prom/--trace-out files after the
+/// command body ran (also on command failure: partial runs still carry
+/// useful counters).
+void finish_obs(const Args& args) {
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    out << obs::registry().snapshot().to_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write --metrics-out %s\n",
+                   args.get("metrics-out").c_str());
+    }
+  }
+  if (args.has("metrics-prom")) {
+    std::ofstream out(args.get("metrics-prom"));
+    out << obs::registry().snapshot().to_prometheus();
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write --metrics-prom %s\n",
+                   args.get("metrics-prom").c_str());
+    }
+  }
+  if (args.has("trace-out")) {
+    obs::Tracer::instance().write_chrome_trace_file(args.get("trace-out"));
+  }
 }
 
 }  // namespace
@@ -295,16 +358,24 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
+  if (!setup_obs(args)) return 2;
+  int rc = 2;
+  bool known = true;
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "classify") return cmd_classify(args);
-    if (command == "cluster") return cmd_cluster(args);
-    if (command == "neighbors") return cmd_neighbors(args);
+    if (command == "simulate") rc = cmd_simulate(args);
+    else if (command == "train") rc = cmd_train(args);
+    else if (command == "classify") rc = cmd_classify(args);
+    else if (command == "cluster") rc = cmd_cluster(args);
+    else if (command == "neighbors") rc = cmd_neighbors(args);
+    else known = false;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  usage();
-  return 2;
+  if (!known) {
+    usage();
+    return 2;
+  }
+  finish_obs(args);
+  return rc;
 }

@@ -19,6 +19,11 @@ Rules (each with a stable id used in the output):
   reader-io-policy a translation unit that opens std::ifstream must route
                    fault handling through io::IoPolicy so strict/lenient
                    behavior stays uniform across readers.
+  raw-iostream     library code (src/ and include/ only) must not write
+                   to std::cout/std::cerr/std::clog directly; route
+                   diagnostics through obs::logger() (obs/log.hpp) so
+                   output is leveled, structured, and capturable. Tools,
+                   benches and examples own their stdout and are exempt.
 
 Scanned roots: src/ include/ tools/ bench/ examples/ (tests are exempt:
 they may exercise raw primitives on purpose). Findings are printed as
@@ -76,6 +81,15 @@ LINE_RULES = [
 IFSTREAM_RE = re.compile(r"\bstd::ifstream\b")
 IO_POLICY_RE = re.compile(r"\bIoPolicy\b")
 
+# raw-iostream applies only under these roots; the logger's own sink
+# implementation is the one sanctioned stderr writer.
+RAW_IOSTREAM_RE = re.compile(r"\bstd::(?:cout|cerr|clog)\b")
+RAW_IOSTREAM_ROOTS = ("src/", "include/")
+RAW_IOSTREAM_ALLOW = frozenset({
+    "include/darkvec/obs/log.hpp",
+    "src/obs/log.cpp",
+})
+
 
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments and string/char literals, preserving line
@@ -130,6 +144,16 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
                 probe = line
             if pattern.search(probe):
                 findings.append(f"{rel}:{lineno}: [{rule_id}] {message}")
+        if (
+            rel.startswith(RAW_IOSTREAM_ROOTS)
+            and rel not in RAW_IOSTREAM_ALLOW
+            and RAW_IOSTREAM_RE.search(line)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [raw-iostream] library code writes to "
+                "std::cout/std::cerr directly; route diagnostics through "
+                "obs::logger() (obs/log.hpp)"
+            )
     if IFSTREAM_RE.search(stripped) and not IO_POLICY_RE.search(text):
         first = next(
             (no for no, line in enumerate(lines, 1) if IFSTREAM_RE.search(line)),
@@ -164,6 +188,8 @@ SELF_TEST_SEEDS = {
     "naked-mutex": "#include <mutex>\nstd::mutex mu;\n",
     "reader-io-policy":
         "#include <fstream>\nvoid f() { std::ifstream in(\"x\"); }\n",
+    "raw-iostream":
+        "#include <iostream>\nvoid f() { std::cerr << \"oops\\n\"; }\n",
 }
 
 CLEAN_FILE = """\
@@ -185,6 +211,12 @@ def self_test() -> int:
             name = f"seed_{rule_id.replace('-', '_')}.cpp"
             (src / name).write_text(code, encoding="utf-8")
         (src / "clean.cpp").write_text(CLEAN_FILE, encoding="utf-8")
+        # raw-iostream is scoped to library roots: the same std::cerr
+        # that fires under src/ must stay quiet under tools/.
+        tools = root / "tools"
+        tools.mkdir()
+        (tools / "exempt_iostream.cpp").write_text(
+            SELF_TEST_SEEDS["raw-iostream"], encoding="utf-8")
 
         findings = lint_tree(root)
         fired = {m.split("[", 1)[1].split("]", 1)[0] for m in findings}
@@ -196,6 +228,12 @@ def self_test() -> int:
         if clean_hits:
             print("self-test FAIL: clean file produced findings:")
             for m in clean_hits:
+                print(f"  {m}")
+            failures += 1
+        exempt_hits = [m for m in findings if "exempt_iostream.cpp" in m]
+        if exempt_hits:
+            print("self-test FAIL: raw-iostream fired outside src/include:")
+            for m in exempt_hits:
                 print(f"  {m}")
             failures += 1
     if failures == 0:
