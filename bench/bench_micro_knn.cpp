@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include "darkvec/core/parallel.hpp"
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/ml/knn.hpp"
 #include "darkvec/sim/rng.hpp"
+#include "micro_common.hpp"
 
 namespace {
 
@@ -87,6 +89,41 @@ BENCHMARK(BM_KnnAllPairsBatch)
     ->ArgsProduct({{1000, 5000, 20000}, {4}})
     ->Unit(benchmark::kMillisecond);
 
+// Scalar-forced twin of BM_KnnAllPairsBatch: the before/after pair the
+// BENCH_micro_knn.json speedup section is derived from.
+void BM_KnnAllPairsBatchScalar(benchmark::State& state) {
+  darkvec::simd::ScopedLevel scoped(darkvec::simd::Level::kScalar);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  const darkvec::ml::CosineKnn index{random_embedding(n, 50, 7)};
+  for (auto _ : state) {
+    const auto all = index.all_neighbors(k);
+    benchmark::DoNotOptimize(all.data());
+  }
+  state.counters["points"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_KnnAllPairsBatchScalar)
+    ->ArgsProduct({{1000, 5000, 20000}, {4}})
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload over int8 codes (approximate; see ml/batch_topk.hpp).
+void BM_KnnAllPairsQuantized(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  const darkvec::ml::CosineKnn index{random_embedding(n, 50, 7)};
+  (void)index.quantized();  // build the codes outside the timed region
+  for (auto _ : state) {
+    const auto all = index.all_neighbors_quantized(k);
+    benchmark::DoNotOptimize(all.data());
+  }
+  state.counters["points"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_KnnAllPairsQuantized)
+    ->ArgsProduct({{1000, 5000, 20000}, {4}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+DARKVEC_MICRO_MAIN("knn")

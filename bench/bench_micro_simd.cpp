@@ -1,0 +1,343 @@
+// Micro-benchmarks of the runtime-dispatched SIMD kernel layer
+// (core/simd), plus the int8 quantization accuracy gate.
+//
+// Every kernel is measured at the active dispatch level AND forced to
+// scalar ("...Scalar" twin), so the BENCH_micro_simd.json artifact
+// carries the measured speedups directly (see micro_common.hpp for the
+// naming convention). Non-active vector levels the CPU also supports
+// are measured as informational "...Alt_<level>" rows.
+//
+// The accuracy gate runs after the benchmarks: on a synthetic clustered
+// embedding, the int8 quantized k-NN path must reach recall@10 >= 0.99
+// against fp32 and shift leave-one-out accuracy by <= 0.2 points;
+// otherwise the binary exits nonzero and CI fails.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "darkvec/core/simd/simd.hpp"
+#include "darkvec/ml/evaluation.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/sim/rng.hpp"
+#include "darkvec/w2v/quantized.hpp"
+#include "micro_common.hpp"
+
+namespace {
+
+using darkvec::simd::Kernels;
+using darkvec::simd::kernels_for;
+using darkvec::simd::Level;
+
+constexpr std::size_t kRows = 64;
+
+std::vector<float> random_f32(std::size_t n, std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<double> random_f64(std::size_t n, std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void bm_dot_f32(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto pool = random_f32(kRows * dim, 11);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      acc += kern.dot_f32(pool.data() + r * dim,
+                          pool.data() + ((r + 1) % kRows) * dim, dim);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void bm_dot_f64(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto pool = random_f64(kRows * dim, 13);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      acc += kern.dot_f64(pool.data() + r * dim,
+                          pool.data() + ((r + 1) % kRows) * dim, dim);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void bm_axpy_f32(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto x = random_f32(kRows * dim, 17);
+  auto y = random_f32(kRows * dim, 19);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      // Alternating sign keeps y bounded over millions of iterations.
+      kern.axpy_f32(dim, (r & 1) != 0 ? 0.5f : -0.5f, x.data() + r * dim,
+                    y.data() + r * dim);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void bm_scale_add_f32(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto x = random_f32(kRows * dim, 23);
+  auto y = random_f32(kRows * dim, 29);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      kern.scale_add_f32(dim, 0.3f, x.data() + r * dim, 0.7f,
+                         y.data() + r * dim);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void bm_dot_strip_f32(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWidth = 128;
+  constexpr std::size_t kQueries = 8;
+  const auto tile = random_f32(kWidth * dim, 31);
+  const auto queries = random_f32(kQueries * dim, 37);
+  std::vector<float> sims(kWidth);
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      kern.dot_strip_f32(queries.data() + q * dim, tile.data(), kWidth, dim,
+                         sims.data());
+    }
+    benchmark::DoNotOptimize(sims.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kQueries * kWidth));
+}
+
+void bm_dot_i8(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride = (dim + 31) & ~std::size_t{31};
+  darkvec::sim::Rng rng(41);
+  std::vector<std::int8_t> pool(kRows * stride, 0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      pool[r * stride + d] =
+          static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(255)) - 127);
+    }
+  }
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (std::size_t r = 0; r < kRows; ++r) {
+      acc += kern.dot_i8(pool.data() + r * stride,
+                         pool.data() + ((r + 1) % kRows) * stride, stride);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+void bm_adagrad_pair_f64(benchmark::State& state, Level level) {
+  const Kernels& kern = kernels_for(level);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto wi = random_f64(kRows * dim, 43);
+  auto wj = random_f64(kRows * dim, 47);
+  std::vector<double> gi(kRows * dim, 1.0);
+  std::vector<double> gj(kRows * dim, 1.0);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      kern.adagrad_pair_f64(dim, 0.01, 0.05, wi.data() + r * dim,
+                            wj.data() + r * dim, gi.data() + r * dim,
+                            gj.data() + r * dim);
+    }
+    benchmark::DoNotOptimize(wi.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRows));
+}
+
+darkvec::w2v::Embedding clustered_embedding(std::size_t clusters,
+                                            std::size_t per_cluster, int dim,
+                                            std::uint64_t seed) {
+  darkvec::sim::Rng rng(seed);
+  darkvec::w2v::Embedding e(clusters * per_cluster, dim);
+  std::vector<float> centers(clusters * static_cast<std::size_t>(dim));
+  for (float& c : centers) c = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    const std::size_t c = i / per_cluster;
+    auto row = e.vec(i);
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      row[d] = centers[c * static_cast<std::size_t>(dim) + d] +
+               static_cast<float>(rng.uniform(-0.15, 0.15));
+    }
+  }
+  return e;
+}
+
+// Full blocked scan, fp32 vs int8, over the same corpus (the k'-NN
+// graph workload at quantized precision).
+void bm_scan_fp32(benchmark::State& state, Level level) {
+  darkvec::simd::ScopedLevel scoped(level);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto normalized =
+      clustered_embedding(10, n / 10, 52, 53).normalized();
+  std::vector<std::uint32_t> queries(n);
+  std::iota(queries.begin(), queries.end(), 0u);
+  for (auto _ : state) {
+    const auto out = darkvec::ml::batch_topk(normalized, queries, 10, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void bm_scan_int8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto quantized = darkvec::w2v::QuantizedEmbedding::quantize(
+      clustered_embedding(10, n / 10, 52, 53).normalized());
+  std::vector<std::uint32_t> queries(n);
+  std::iota(queries.begin(), queries.end(), 0u);
+  for (auto _ : state) {
+    const auto out = darkvec::ml::batch_topk(quantized, queries, 10, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+/// Registers one kernel benchmark for every supported dispatch level:
+/// the active level under the bare name, scalar under "...Scalar", any
+/// other supported level under "...Alt_<level>".
+template <typename Fn>
+void register_levels(const char* name, Fn fn) {
+  const Level active = darkvec::simd::active_level();
+  for (const Level level : darkvec::simd::supported_levels()) {
+    std::string bench_name = name;
+    if (level != active) {
+      bench_name += level == Level::kScalar
+                        ? "Scalar"
+                        : std::string("Alt_") +
+                              darkvec::simd::level_name(level);
+    }
+    benchmark::RegisterBenchmark(bench_name.c_str(),
+                                 [fn, level](benchmark::State& state) {
+                                   fn(state, level);
+                                 })
+        ->Arg(52)
+        ->Arg(200)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+/// int8 accuracy gate (see file comment). Appends the measured values to
+/// the artifact and returns whether the thresholds hold.
+bool accuracy_gate(darkvec::bench::ExtraValues& values) {
+  // 90 clusters of 11 points with k = 10: each point's true top-10 is
+  // exactly its co-cluster members, separated from every other cluster
+  // by a margin far above the int8 reconstruction error. Recall then
+  // measures whether quantization preserves real neighbour structure
+  // (crossing the inter-cluster margin) rather than the ordering of
+  // near-tied same-cluster rows, which fp32 itself does not stabilise.
+  constexpr std::size_t kClusters = 90;
+  constexpr std::size_t kPer = 11;
+  constexpr int kK = 10;
+  const auto e = clustered_embedding(kClusters, kPer, 52, 59);
+  darkvec::ml::CosineKnn knn(e);
+  const auto fp32 = knn.all_neighbors(kK);
+  const auto int8 = knn.all_neighbors_quantized(kK);
+
+  double recall_sum = 0;
+  for (std::size_t i = 0; i < fp32.size(); ++i) {
+    std::size_t hits = 0;
+    for (const auto& a : int8[i]) {
+      for (const auto& b : fp32[i]) {
+        if (a.index == b.index) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hits) /
+                  static_cast<double>(fp32[i].size());
+  }
+  const double recall = recall_sum / static_cast<double>(fp32.size());
+
+  std::vector<int> labels(e.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i / kPer);
+  }
+  std::size_t correct_fp32 = 0;
+  std::size_t correct_int8 = 0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (darkvec::ml::majority_vote(fp32[i], labels) == labels[i]) {
+      ++correct_fp32;
+    }
+    if (darkvec::ml::majority_vote(int8[i], labels) == labels[i]) {
+      ++correct_int8;
+    }
+  }
+  const double acc_fp32 =
+      static_cast<double>(correct_fp32) / static_cast<double>(e.size());
+  const double acc_int8 =
+      static_cast<double>(correct_int8) / static_cast<double>(e.size());
+  const double delta_pts = std::abs(acc_fp32 - acc_int8) * 100.0;
+
+  values.emplace_back("recall_at_10", recall);
+  values.emplace_back("loo_acc_fp32", acc_fp32);
+  values.emplace_back("loo_acc_int8", acc_int8);
+  values.emplace_back("loo_delta_pts", delta_pts);
+  std::printf(
+      "accuracy gate: recall@10 %.4f (>= 0.99), LOO fp32 %.4f int8 %.4f "
+      "delta %.3f pts (<= 0.2)\n",
+      recall, acc_fp32, acc_int8, delta_pts);
+  return recall >= 0.99 && delta_pts <= 0.2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_levels("KDotF32", bm_dot_f32);
+  register_levels("KDotF64", bm_dot_f64);
+  register_levels("KAxpyF32", bm_axpy_f32);
+  register_levels("KScaleAddF32", bm_scale_add_f32);
+  register_levels("KDotStripF32", bm_dot_strip_f32);
+  register_levels("KDotI8", bm_dot_i8);
+  register_levels("KAdagradPairF64", bm_adagrad_pair_f64);
+  const darkvec::simd::Level active = darkvec::simd::active_level();
+  benchmark::RegisterBenchmark("ScanFp32",
+                               [active](benchmark::State& state) {
+                                 bm_scan_fp32(state, active);
+                               })
+      ->Arg(1000)
+      ->Unit(benchmark::kMillisecond);
+  if (active != darkvec::simd::Level::kScalar) {
+    benchmark::RegisterBenchmark("ScanFp32Scalar",
+                                 [](benchmark::State& state) {
+                                   bm_scan_fp32(
+                                       state, darkvec::simd::Level::kScalar);
+                                 })
+        ->Arg(1000)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("ScanInt8", bm_scan_int8)
+      ->Arg(1000)
+      ->Unit(benchmark::kMillisecond);
+  return darkvec::bench::run_micro("simd", argc, argv, accuracy_gate);
+}

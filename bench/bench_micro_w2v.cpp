@@ -3,8 +3,10 @@
 // Figure 8 runtime matrices and the Table 3 training times.
 #include <benchmark/benchmark.h>
 
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/sim/rng.hpp"
 #include "darkvec/w2v/skipgram.hpp"
+#include "micro_common.hpp"
 
 namespace {
 
@@ -51,6 +53,29 @@ BENCHMARK(BM_SkipGramTrain)
     ->ArgsProduct({{50, 200}, {5, 25}})
     ->Unit(benchmark::kMillisecond);
 
+// Scalar-forced twin of BM_SkipGramTrain: the before/after pair the
+// BENCH_micro_w2v.json speedup section is derived from.
+void BM_SkipGramTrainScalar(benchmark::State& state) {
+  darkvec::simd::ScopedLevel scoped(darkvec::simd::Level::kScalar);
+  const auto dim = static_cast<int>(state.range(0));
+  const auto window = static_cast<int>(state.range(1));
+  const auto corpus = synthetic_corpus(2000, 200, 50, 7);
+  SkipGramOptions options;
+  options.dim = dim;
+  options.window = window;
+  options.epochs = 1;
+  options.subsample = 0;
+  for (auto _ : state) {
+    SkipGramModel model(2000, options);
+    model.train(corpus);
+    benchmark::DoNotOptimize(model.embedding().data().data());
+  }
+}
+
+BENCHMARK(BM_SkipGramTrainScalar)
+    ->ArgsProduct({{50, 200}, {5, 25}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SkipGramNegatives(benchmark::State& state) {
   const auto negative = static_cast<int>(state.range(0));
   const auto corpus = synthetic_corpus(2000, 100, 50, 7);
@@ -91,4 +116,4 @@ BENCHMARK(BM_SkipGramPairTraining)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DARKVEC_MICRO_MAIN("w2v")

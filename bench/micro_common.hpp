@@ -1,0 +1,152 @@
+// Shared main for the google-benchmark micro benches.
+//
+// run_micro() drives benchmark::RunSpecifiedBenchmarks through a
+// collecting reporter and writes a machine-readable
+// BENCH_micro_<name>.json next to the table/figure artifacts (honours
+// DARKVEC_BENCH_DIR): git revision, the SIMD dispatch level the numbers
+// were measured at, every benchmark's adjusted real time, and derived
+// speedups.
+//
+// Speedup convention: a benchmark whose name contains "Scalar" is the
+// scalar-forced baseline of the benchmark named by deleting that token
+// ("BM_KnnAllPairsBatchScalar/1000/4" baselines
+// "BM_KnnAllPairsBatch/1000/4"); the JSON gains
+// "speedups": {"BM_KnnAllPairsBatch/1000/4": scalar_time / active_time}.
+//
+// An optional `extra` hook runs after the benchmarks, contributes named
+// scalar values to the artifact (accuracy gates, derived metrics), and
+// fails the whole binary by returning false — that is how the int8
+// quantization accuracy gate is enforced in CI.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "darkvec/core/parallel.hpp"
+#include "darkvec/core/simd/simd.hpp"
+#include "darkvec/obs/obs.hpp"
+
+namespace darkvec::bench {
+
+struct MicroResult {
+  std::string name;
+  double real_time = 0;  // in the benchmark's own time unit
+  std::string time_unit;
+  double iterations = 0;
+};
+
+namespace detail {
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      results_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          benchmark::GetTimeUnitString(run.time_unit),
+                          static_cast<double>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<MicroResult>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<MicroResult> results_;
+};
+
+}  // namespace detail
+
+using ExtraValues = std::vector<std::pair<std::string, double>>;
+
+/// Runs the registered benchmarks, writes BENCH_micro_<name>.json and
+/// returns the process exit code. `extra` (optional) appends named
+/// values to the artifact; returning false fails the run AFTER the
+/// artifact is written, so the numbers behind a failed gate are kept.
+inline int run_micro(const char* name, int argc, char** argv,
+                     const std::function<bool(ExtraValues&)>& extra = {}) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  detail::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  ExtraValues values;
+  const bool gate_ok = !extra || extra(values);
+
+  const char* dir = std::getenv("DARKVEC_BENCH_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? dir : ".";
+  path += std::string("/BENCH_micro_") + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+#ifndef DARKVEC_GIT_REV
+#define DARKVEC_GIT_REV "unknown"
+#endif
+  const auto& results = reporter.results();
+  out << "{\"schema\":1,\"bench\":\"micro_" << name << "\",\"git_rev\":\""
+      << DARKVEC_GIT_REV << "\",\"simd_level\":\""
+      << simd::level_name(simd::active_level()) << "\",\"threads\":"
+      << core::ThreadPool::global().size() << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MicroResult& r = results[i];
+    out << (i == 0 ? "" : ",") << "{\"name\":\""
+        << obs::detail::json_escape(r.name) << "\",\"real_time\":"
+        << r.real_time << ",\"time_unit\":\"" << r.time_unit
+        << "\",\"iterations\":" << r.iterations << "}";
+  }
+  out << "],\"speedups\":{";
+  bool first = true;
+  for (const MicroResult& scalar : results) {
+    const std::size_t pos = scalar.name.find("Scalar");
+    if (pos == std::string::npos) continue;
+    std::string base = scalar.name;
+    base.erase(pos, 6);
+    for (const MicroResult& active : results) {
+      if (active.name != base || active.real_time <= 0) continue;
+      out << (first ? "" : ",") << "\""
+          << obs::detail::json_escape(base) << "\":"
+          << scalar.real_time / active.real_time;
+      first = false;
+    }
+  }
+  out << "}";
+  if (!values.empty()) {
+    out << ",\"extra\":{";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\""
+          << obs::detail::json_escape(values[i].first)
+          << "\":" << values[i].second;
+    }
+    out << "}";
+  }
+  out << ",\"gate_ok\":" << (gate_ok ? "true" : "false") << "}\n";
+  std::printf("bench: wrote %s (simd=%s)\n", path.c_str(),
+              simd::level_name(simd::active_level()));
+  if (!gate_ok) {
+    std::fprintf(stderr, "bench: accuracy gate FAILED (see %s)\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace darkvec::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the
+/// BENCH_micro_<name>.json artifact.
+#define DARKVEC_MICRO_MAIN(name)                        \
+  int main(int argc, char** argv) {                     \
+    return darkvec::bench::run_micro(name, argc, argv); \
+  }

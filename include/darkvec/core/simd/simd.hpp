@@ -1,0 +1,142 @@
+// Runtime-dispatched SIMD kernels for the numeric hot paths.
+//
+// A small set of contiguous-memory primitives — dot products, axpy-style
+// updates, the fused dot-strip of the blocked cosine scan, an exact int8
+// dot for quantized embeddings and the fused GloVe AdaGrad step — each
+// with a scalar reference implementation and AVX2 / AVX-512 variants.
+// The variant is selected ONCE at first use via cpuid runtime dispatch
+// (std::once_flag), never at compile time alone, so a single binary runs
+// on any x86-64 machine and falls back to scalar elsewhere.
+//
+// Numeric contract (the parity suite under `ctest -L simd` enforces it):
+//
+//  * The scalar variants reproduce the exact operation order the library
+//    used before this layer existed, so DARKVEC_SIMD=off is bit-for-bit
+//    the historical behavior.
+//  * dot_strip_f32, axpy_f32, scale_add_f32, adagrad_pair_f64 and dot_i8
+//    are BIT-IDENTICAL across every dispatch level: their vector variants
+//    parallelize across independent elements/columns and keep each
+//    element's rounding sequence (separate multiply then add, no FMA
+//    contraction; integer arithmetic for dot_i8). The blocked cosine
+//    top-k therefore stays bit-identical to the serial scan at every
+//    level, preserving the PR 2 oracle.
+//  * dot_f32 / dot_f64 are reductions: vector variants use lane-parallel
+//    accumulators and so round differently from the scalar chain. They
+//    match the scalar reference within the documented ULP-style bound
+//    |simd - scalar| <= 64 * eps * sum_i |a_i * b_i| (eps = the element
+//    type's machine epsilon); in practice the vector result is closer to
+//    the infinitely-precise sum than the scalar chain is.
+//
+// Override for A/B runs: environment variable DARKVEC_SIMD=off|scalar|
+// avx2|avx512 (read once at dispatch), the darkvec CLI --simd flag, or
+// force_level()/ScopedLevel from code. The selected level is recorded in
+// the obs metrics registry (gauge "simd.dispatch_level") so every
+// BENCH_<name>.json artifact carries the level it measured.
+//
+// Raw intrinsics (_mm*) are confined to src/core/simd/ by project lint
+// (tools/darkvec_lint.py, rule raw-intrinsics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darkvec::simd {
+
+/// Dispatch levels, ordered from most portable to widest vectors.
+enum class Level : int {
+  kScalar = 0,  ///< reference implementations, historical bit behavior
+  kAvx2 = 1,    ///< AVX2 + FMA, 8-wide float / 4-wide double / 32-wide int8
+  kAvx512 = 2,  ///< AVX-512 F/BW/DQ/VL, 16-wide float / 64-wide int8
+};
+
+/// One resolved kernel table. All pointers are always non-null.
+struct Kernels {
+  Level level = Level::kScalar;
+
+  /// Dot over floats with a double accumulator (reduction; ULP contract).
+  /// Scalar reference == the historical w2v::dot operation order.
+  double (*dot_f32)(const float* a, const float* b, std::size_t n);
+
+  /// Dot over doubles (reduction; ULP contract). GloVe's projection dot.
+  double (*dot_f64)(const double* a, const double* b, std::size_t n);
+
+  /// y[i] += a * x[i]. Element-wise; bit-identical across levels.
+  void (*axpy_f32)(std::size_t n, float a, const float* x, float* y);
+
+  /// y[i] = a * x[i] + b * y[i]. Element-wise; bit-identical across
+  /// levels (three roundings per element, like the scalar expression).
+  void (*scale_add_f32)(std::size_t n, float a, const float* x, float b,
+                        float* y);
+
+  /// sims[j] = sum_d query[d] * tile[d * width + j] for a [dim x width]
+  /// transposed corpus tile — the inner kernel of ml/batch_topk. Each
+  /// column keeps one float accumulator walking d in ascending order
+  /// (multiply then add), so the result is bit-identical across levels
+  /// AND to the serial CosineKnn scan.
+  void (*dot_strip_f32)(const float* query, const float* tile,
+                        std::size_t width, std::size_t dim, float* sims);
+
+  /// Exact int8 dot with an int32 accumulator; bit-identical across
+  /// levels (integer arithmetic). The quantized k-NN scan kernel.
+  std::int32_t (*dot_i8)(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n);
+
+  /// Fused GloVe AdaGrad step for one co-occurrence cell: for each d,
+  ///   grad_i = g * wj[d];  grad_j = g * wi[d];
+  ///   wi[d] -= lr * grad_i / sqrt(gi[d]);
+  ///   wj[d] -= lr * grad_j / sqrt(gj[d]);
+  ///   gi[d] += grad_i^2;   gj[d] += grad_j^2;
+  /// Element-wise with correctly-rounded sqrt/div; bit-identical across
+  /// levels.
+  void (*adagrad_pair_f64)(std::size_t n, double g, double lr, double* wi,
+                           double* wj, double* gi, double* gj);
+};
+
+/// The active kernel table. First call resolves the dispatch level
+/// (cpuid, then the DARKVEC_SIMD override) under a std::once_flag;
+/// subsequent calls are one relaxed atomic load.
+[[nodiscard]] const Kernels& kernels();
+
+/// Level of the active table.
+[[nodiscard]] Level active_level();
+
+/// Human-readable level name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* level_name(Level level);
+
+/// True when this machine can execute the given level.
+[[nodiscard]] bool level_supported(Level level);
+
+/// Every level this machine supports, ascending (kScalar always first).
+[[nodiscard]] std::vector<Level> supported_levels();
+
+/// The kernel table for one specific level, independent of the active
+/// dispatch. Precondition: level_supported(level).
+[[nodiscard]] const Kernels& kernels_for(Level level);
+
+/// Overrides the active dispatch level (A/B runs, tests, the CLI --simd
+/// flag). Thread-safe; callers already inside a kernel keep the table
+/// they loaded. Precondition: level_supported(level).
+void force_level(Level level);
+
+/// Parses "off"/"scalar"/"avx2"/"avx512" (the DARKVEC_SIMD / --simd
+/// vocabulary; "off" means scalar). Returns false on unknown input.
+[[nodiscard]] bool parse_level(const std::string& text, Level* out);
+
+/// RAII level override: forces `level` on construction, restores the
+/// previous level on destruction. For tests and A/B bench loops.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : previous_(active_level()) {
+    force_level(level);
+  }
+  ~ScopedLevel() { force_level(previous_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level previous_;
+};
+
+}  // namespace darkvec::simd

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "darkvec/w2v/embedding.hpp"
+#include "darkvec/w2v/quantized.hpp"
 
 namespace darkvec::ml {
 
@@ -74,13 +75,14 @@ class TopKHeap {
 
 }  // namespace detail
 
-/// Tile shape of the blocked scan. The defaults keep the transposed
-/// corpus tile (corpus_block x dim floats) inside L1/L2 for the paper's
-/// dim <= 200 while giving each query block enough reuse to amortize
-/// the transpose.
+/// Tile shape of the blocked scan. corpus_block == 0 (the default)
+/// derives the tile width from the embedding's actual dim at runtime so
+/// the transposed [dim x corpus_block] float tile fits an L1-sized
+/// budget (~32 KiB) regardless of dim; an explicit value is used as-is
+/// but must keep the tile under a 4 MiB hard cap (DV_PRECONDITION).
 struct BatchTopkOptions {
   std::size_t query_block = 32;
-  std::size_t corpus_block = 128;
+  std::size_t corpus_block = 0;
 };
 
 /// For every row id in `queries`, the k nearest corpus rows of
@@ -92,5 +94,17 @@ struct BatchTopkOptions {
 [[nodiscard]] std::vector<std::vector<Neighbor>> batch_topk(
     const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
     int k, const BatchTopkOptions& options = {});
+
+/// int8 variant over a quantized index (built from the normalized
+/// matrix). Similarities are reconstructed as
+/// dot_i8(i, j) * scale_i * scale_j / ||row_i|| — approximate, within
+/// the quantization error of the fp32 results (the bench gate holds
+/// recall@10 >= 0.99), not bit-identical. Rows are read in their natural
+/// row-major layout (no transpose: the padded stride already feeds the
+/// int8 kernel whole vector lanes), so only query_block applies.
+[[nodiscard]] std::vector<std::vector<Neighbor>> batch_topk(
+    const w2v::QuantizedEmbedding& quantized,
+    std::span<const std::uint32_t> queries, int k,
+    const BatchTopkOptions& options = {});
 
 }  // namespace darkvec::ml

@@ -2,10 +2,13 @@
 # Full static + dynamic verification sweep. Mirrors what CI should run:
 #
 #   1. warnings-as-errors build + entire test suite (contracts = throw)
-#   2. project lint (self-test, then the tree) and clang-tidy (if present)
-#   3. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
-#   4. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
-#   5. UBSan build + io-fuzz tests (the byte-level readers)
+#   2. scalar parity: the full suite again with DARKVEC_SIMD=off, so the
+#      dispatch layer's bit-identity contract is exercised end to end
+#   3. project lint (self-test, then the tree) and clang-tidy (if present)
+#   4. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
+#   5. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
+#   6. ASan+UBSan build + io-fuzz and simd kernel tests (byte-level
+#      readers and every vector code path)
 #
 # Each configuration uses its own build directory so the sweep never
 # clobbers a developer's ./build. compile_commands.json is exported from
@@ -26,7 +29,12 @@ run cmake -B build-check -S . -DDARKVEC_WERROR=ON
 run cmake --build build-check -j "${JOBS}"
 run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
-# 2. Static rules.
+# 2. Scalar parity: the same binaries forced off the vector kernels must
+# pass every determinism and batch-vs-serial oracle unchanged.
+run env DARKVEC_SIMD=off ctest --test-dir build-check \
+  --output-on-failure -j "${JOBS}"
+
+# 3. Static rules.
 run python3 tools/darkvec_lint.py --self-test
 run python3 tools/darkvec_lint.py --root .
 run cmake --build build-check --target tidy
@@ -34,7 +42,7 @@ run cmake --build build-check --target tidy
 test -f build-check/compile_commands.json \
   || { echo "FAIL: compile_commands.json was not exported"; exit 1; }
 
-# 3. obs smoke: the observability flags must produce valid JSON with the
+# 4. obs smoke: the observability flags must produce valid JSON with the
 # pipeline's counters, and a Perfetto-loadable trace, end to end.
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "${OBS_TMP}"' EXIT
@@ -67,15 +75,17 @@ print(f"obs-smoke OK: {len(events)} spans, "
       f"{len(m['counters'])}+{len(mc['counters'])} counters, logs parse")
 PY
 
-# 4. TSan smoke over the threaded kernels and the obs layer.
+# 5. TSan smoke over the threaded kernels and the obs layer (covers the
+# dispatch singleton and the quantized-index once_flag via perf-smoke).
 run cmake -B build-tsan -S . -DDARKVEC_SANITIZE=thread
 run cmake --build build-tsan -j "${JOBS}"
 run ctest --test-dir build-tsan -L 'perf-smoke|obs' --output-on-failure
 
-# 5. UBSan smoke over the hostile-input readers.
-run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=undefined
+# 6. ASan+UBSan smoke over the hostile-input readers and the SIMD kernel
+# parity suite (every dispatch level, quantization round-trips).
+run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=address,undefined
 run cmake --build build-ubsan -j "${JOBS}"
-run ctest --test-dir build-ubsan -L io-fuzz --output-on-failure
+run ctest --test-dir build-ubsan -L 'io-fuzz|simd' --output-on-failure
 
 echo
 echo "check.sh: all gates passed"

@@ -1,0 +1,212 @@
+// Kernel dispatch: picks the widest vector variant the CPU supports,
+// once, at first use. Selection order: DARKVEC_SIMD override if set and
+// supported (else a warning and auto-detection), otherwise the best of
+// cpuid. The decision is recorded in the obs metrics registry (gauge
+// "simd.dispatch_level") so bench artifacts carry the level they ran at.
+#include "darkvec/core/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "darkvec/core/annotations.hpp"
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/obs/obs.hpp"
+#include "kernels.hpp"
+
+namespace darkvec::simd {
+namespace {
+
+constexpr Kernels kScalarKernels = {
+    Level::kScalar,
+    detail::dot_f32_scalar,
+    detail::dot_f64_scalar,
+    detail::axpy_f32_scalar,
+    detail::scale_add_f32_scalar,
+    detail::dot_strip_f32_scalar,
+    detail::dot_i8_scalar,
+    detail::adagrad_pair_f64_scalar,
+};
+
+#if defined(DARKVEC_SIMD_HAVE_AVX2)
+constexpr Kernels kAvx2Kernels = {
+    Level::kAvx2,
+    detail::dot_f32_avx2,
+    detail::dot_f64_avx2,
+    detail::axpy_f32_avx2,
+    detail::scale_add_f32_avx2,
+    detail::dot_strip_f32_avx2,
+    detail::dot_i8_avx2,
+    detail::adagrad_pair_f64_avx2,
+};
+#endif
+
+#if defined(DARKVEC_SIMD_HAVE_AVX512)
+constexpr Kernels kAvx512Kernels = {
+    Level::kAvx512,
+    detail::dot_f32_avx512,
+    detail::dot_f64_avx512,
+    detail::axpy_f32_avx512,
+    detail::scale_add_f32_avx512,
+    detail::dot_strip_f32_avx512,
+    detail::dot_i8_avx512,
+    detail::adagrad_pair_f64_avx512,
+};
+#endif
+
+/// cpuid probe for one level. Compile-time availability of the variant
+/// TU is necessary but never sufficient: the running CPU decides.
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if defined(DARKVEC_SIMD_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(DARKVEC_SIMD_HAVE_AVX512)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* table_for(Level level) {
+  switch (level) {
+#if defined(DARKVEC_SIMD_HAVE_AVX2)
+    case Level::kAvx2:
+      return &kAvx2Kernels;
+#endif
+#if defined(DARKVEC_SIMD_HAVE_AVX512)
+    case Level::kAvx512:
+      return &kAvx512Kernels;
+#endif
+    default:
+      return &kScalarKernels;
+  }
+}
+
+Level best_supported() {
+  if (cpu_supports(Level::kAvx512)) return Level::kAvx512;
+  if (cpu_supports(Level::kAvx2)) return Level::kAvx2;
+  return Level::kScalar;
+}
+
+void record_level(Level level) {
+  static obs::Gauge& gauge = obs::gauge("simd.dispatch_level");
+  gauge.set(static_cast<double>(static_cast<int>(level)));
+}
+
+/// The dispatch singleton. Selection happens exactly once under the
+/// std::once_flag; force_level() overrides are serialized by mu_ and
+/// published through the atomic so hot-path readers never take a lock.
+class Dispatch {
+ public:
+  static Dispatch& instance() {
+    static Dispatch dispatch;
+    return dispatch;
+  }
+
+  const Kernels& active() {
+    std::call_once(once_, [this] { init(); });
+    return *active_.load(std::memory_order_acquire);
+  }
+
+  void force(Level level) DV_EXCLUDES(mu_) {
+    std::call_once(once_, [this] { init(); });
+    DV_PRECONDITION(level_supported(level),
+                    "simd: forced dispatch level is supported on this CPU");
+    core::MutexLock lock(mu_);
+    active_.store(table_for(level), std::memory_order_release);
+    record_level(level);
+  }
+
+ private:
+  void init() {
+    Level level = best_supported();
+    const char* env = std::getenv("DARKVEC_SIMD");
+    if (env != nullptr && *env != '\0') {
+      Level requested;
+      if (!parse_level(env, &requested)) {
+        DV_LOG_WARN("simd", "unrecognized DARKVEC_SIMD value, using "
+                            "auto-detection",
+                    {"value", env}, {"selected", level_name(level)});
+      } else if (!cpu_supports(requested)) {
+        DV_LOG_WARN("simd", "DARKVEC_SIMD level unsupported on this CPU, "
+                            "using auto-detection",
+                    {"requested", level_name(requested)},
+                    {"selected", level_name(level)});
+      } else {
+        level = requested;
+      }
+    }
+    active_.store(table_for(level), std::memory_order_release);
+    record_level(level);
+    DV_LOG_DEBUG("simd", "dispatch selected", {"level", level_name(level)},
+                 {"avx2", cpu_supports(Level::kAvx2)},
+                 {"avx512", cpu_supports(Level::kAvx512)});
+  }
+
+  std::once_flag once_;
+  /// Serializes force() writers; readers go through the atomic only.
+  core::Mutex mu_;
+  std::atomic<const Kernels*> active_{nullptr};
+};
+
+}  // namespace
+
+const Kernels& kernels() { return Dispatch::instance().active(); }
+
+Level active_level() { return kernels().level; }
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool level_supported(Level level) { return cpu_supports(level); }
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> levels = {Level::kScalar};
+  if (cpu_supports(Level::kAvx2)) levels.push_back(Level::kAvx2);
+  if (cpu_supports(Level::kAvx512)) levels.push_back(Level::kAvx512);
+  return levels;
+}
+
+const Kernels& kernels_for(Level level) {
+  DV_PRECONDITION(level_supported(level),
+                  "simd: requested kernel table is supported on this CPU");
+  return *table_for(level);
+}
+
+void force_level(Level level) { Dispatch::instance().force(level); }
+
+bool parse_level(const std::string& text, Level* out) {
+  if (text == "off" || text == "scalar") {
+    *out = Level::kScalar;
+  } else if (text == "avx2") {
+    *out = Level::kAvx2;
+  } else if (text == "avx512") {
+    *out = Level::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace darkvec::simd

@@ -1,0 +1,58 @@
+// Internal per-level kernel declarations shared by the dispatch unit and
+// the per-architecture translation units. The AVX2/AVX-512 TUs are the
+// only files in the tree compiled with -mavx2/-mavx512* (plus
+// -ffp-contract=off so the compiler cannot fuse the deliberately
+// separate multiply/add sequences into FMAs and break the bit-identity
+// contract); dispatch.cpp calls them only after cpuid says the
+// instructions exist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace darkvec::simd::detail {
+
+// ---- scalar reference (kernels_scalar.cpp) -----------------------------
+double dot_f32_scalar(const float* a, const float* b, std::size_t n);
+double dot_f64_scalar(const double* a, const double* b, std::size_t n);
+void axpy_f32_scalar(std::size_t n, float a, const float* x, float* y);
+void scale_add_f32_scalar(std::size_t n, float a, const float* x, float b,
+                          float* y);
+void dot_strip_f32_scalar(const float* query, const float* tile,
+                          std::size_t width, std::size_t dim, float* sims);
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n);
+void adagrad_pair_f64_scalar(std::size_t n, double g, double lr, double* wi,
+                             double* wj, double* gi, double* gj);
+
+#if defined(DARKVEC_SIMD_HAVE_AVX2)
+// ---- AVX2 + FMA (kernels_avx2.cpp) -------------------------------------
+double dot_f32_avx2(const float* a, const float* b, std::size_t n);
+double dot_f64_avx2(const double* a, const double* b, std::size_t n);
+void axpy_f32_avx2(std::size_t n, float a, const float* x, float* y);
+void scale_add_f32_avx2(std::size_t n, float a, const float* x, float b,
+                        float* y);
+void dot_strip_f32_avx2(const float* query, const float* tile,
+                        std::size_t width, std::size_t dim, float* sims);
+std::int32_t dot_i8_avx2(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n);
+void adagrad_pair_f64_avx2(std::size_t n, double g, double lr, double* wi,
+                           double* wj, double* gi, double* gj);
+#endif
+
+#if defined(DARKVEC_SIMD_HAVE_AVX512)
+// ---- AVX-512 F/BW/DQ/VL (kernels_avx512.cpp) ---------------------------
+double dot_f32_avx512(const float* a, const float* b, std::size_t n);
+double dot_f64_avx512(const double* a, const double* b, std::size_t n);
+void axpy_f32_avx512(std::size_t n, float a, const float* x, float* y);
+void scale_add_f32_avx512(std::size_t n, float a, const float* x, float b,
+                          float* y);
+void dot_strip_f32_avx512(const float* query, const float* tile,
+                          std::size_t width, std::size_t dim, float* sims);
+std::int32_t dot_i8_avx512(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n);
+void adagrad_pair_f64_avx512(std::size_t n, double g, double lr, double* wi,
+                             double* wj, double* gi, double* gj);
+#endif
+
+}  // namespace darkvec::simd::detail

@@ -1,0 +1,212 @@
+// AVX2 + FMA kernel variants. This TU (and the AVX-512 sibling) is the
+// only place outside kernels_avx512.cpp where raw intrinsics are allowed
+// (lint rule raw-intrinsics); it is compiled with -mavx2 -mfma
+// -ffp-contract=off and must only be *called* after cpuid dispatch
+// (dispatch.cpp) has confirmed the instructions exist.
+//
+// Bit-identity discipline: element-wise kernels (axpy, scale_add,
+// dot_strip, adagrad, int8 dot) use separate multiply and add — never
+// FMA — so each element sees exactly the scalar reference's rounding
+// sequence. Reduction kernels (dot_f32/dot_f64) do use FMA and
+// lane-parallel accumulators; they are covered by the ULP contract
+// instead (see core/simd/simd.hpp).
+#include "kernels.hpp"
+
+#if defined(DARKVEC_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "darkvec/core/annotations.hpp"
+
+namespace darkvec::simd::detail {
+namespace {
+
+/// Fixed-order horizontal sum of 8 float lanes into a double.
+inline double hsum256_ps(__m256 v) {
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, v);
+  // Pairwise in a fixed tree so the result is deterministic.
+  const double s01 = double{lane[0]} + lane[1];
+  const double s23 = double{lane[2]} + lane[3];
+  const double s45 = double{lane[4]} + lane[5];
+  const double s67 = double{lane[6]} + lane[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+/// Fixed-order horizontal sum of 4 double lanes.
+inline double hsum256_pd(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+/// Horizontal sum of 8 int32 lanes (exact).
+inline std::int32_t hsum256_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+}  // namespace
+
+// Racy by design under Hogwild SGD (see kernels_scalar.cpp); the
+// exemption keeps TSan runs over the trainer focused on real bugs.
+DV_BENIGN_RACE_FUNCTION
+double dot_f32_avx2(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  double acc = hsum256_ps(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += double{a[i]} * b[i];
+  return acc;
+}
+
+double dot_f64_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double acc = hsum256_pd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Racy by design under Hogwild SGD; see dot_f32_avx2.
+DV_BENIGN_RACE_FUNCTION
+void axpy_f32_avx2(std::size_t n, float a, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  // mul + add (not FMA): per element identical to `y[i] += a * x[i]`.
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_add_f32_avx2(std::size_t n, float a, const float* x, float b,
+                        float* y) {
+  const __m256 va = _mm256_set1_ps(a);
+  const __m256 vb = _mm256_set1_ps(b);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 ax = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    const __m256 by = _mm256_mul_ps(vb, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(ax, by));
+  }
+  for (; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void dot_strip_f32_avx2(const float* query, const float* tile,
+                        std::size_t width, std::size_t dim, float* sims) {
+  std::size_t j = 0;
+  // 16 columns per dim sweep: two ymm accumulators hide the add latency.
+  // Each column lane keeps one float accumulator walking d ascending
+  // with separate mul/add — bit-identical to the scalar reference.
+  for (; j + 16 <= width; j += 16) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256 qd = _mm256_set1_ps(query[d]);
+      const float* t = tile + d * width + j;
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(qd, _mm256_loadu_ps(t)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(qd, _mm256_loadu_ps(t + 8)));
+    }
+    _mm256_storeu_ps(sims + j, acc0);
+    _mm256_storeu_ps(sims + j + 8, acc1);
+  }
+  for (; j + 8 <= width; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m256 qd = _mm256_set1_ps(query[d]);
+      const float* t = tile + d * width + j;
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(qd, _mm256_loadu_ps(t)));
+    }
+    _mm256_storeu_ps(sims + j, acc);
+  }
+  for (; j < width; ++j) {
+    float acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) acc += query[d] * tile[d * width + j];
+    sims[j] = acc;
+  }
+}
+
+std::int32_t dot_i8_avx2(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n) {
+  // maddubs needs unsigned x signed: multiply |a| by b carrying a's
+  // sign. Pair sums fit i16 (2 * 127 * 127 = 32258 < 32767); madd with
+  // ones widens to i32. Exact integer arithmetic at every step.
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(static_cast<const __m256i*>(
+            static_cast<const void*>(a + i)));
+    const __m256i vb =
+        _mm256_loadu_si256(static_cast<const __m256i*>(
+            static_cast<const void*>(b + i)));
+    const __m256i abs_a = _mm256_abs_epi8(va);
+    const __m256i sgn_b = _mm256_sign_epi8(vb, va);
+    const __m256i p16 = _mm256_maddubs_epi16(abs_a, sgn_b);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(p16, ones));
+  }
+  std::int32_t sum = hsum256_epi32(acc);
+  for (; i < n; ++i) sum += std::int32_t{a[i]} * std::int32_t{b[i]};
+  return sum;
+}
+
+void adagrad_pair_f64_avx2(std::size_t n, double g, double lr, double* wi,
+                           double* wj, double* gi, double* gj) {
+  const __m256d vg = _mm256_set1_pd(g);
+  const __m256d vlr = _mm256_set1_pd(lr);
+  std::size_t d = 0;
+  // Per-lane: mul, mul, sqrt, div, sub, mul, add — the exact scalar
+  // sequence with correctly-rounded vsqrtpd/vdivpd, so bit-identical.
+  for (; d + 4 <= n; d += 4) {
+    const __m256d vwi = _mm256_loadu_pd(wi + d);
+    const __m256d vwj = _mm256_loadu_pd(wj + d);
+    const __m256d grad_i = _mm256_mul_pd(vg, vwj);
+    const __m256d grad_j = _mm256_mul_pd(vg, vwi);
+    const __m256d vgi = _mm256_loadu_pd(gi + d);
+    const __m256d vgj = _mm256_loadu_pd(gj + d);
+    const __m256d step_i = _mm256_div_pd(_mm256_mul_pd(vlr, grad_i),
+                                         _mm256_sqrt_pd(vgi));
+    const __m256d step_j = _mm256_div_pd(_mm256_mul_pd(vlr, grad_j),
+                                         _mm256_sqrt_pd(vgj));
+    _mm256_storeu_pd(wi + d, _mm256_sub_pd(vwi, step_i));
+    _mm256_storeu_pd(wj + d, _mm256_sub_pd(vwj, step_j));
+    _mm256_storeu_pd(gi + d,
+                     _mm256_add_pd(vgi, _mm256_mul_pd(grad_i, grad_i)));
+    _mm256_storeu_pd(gj + d,
+                     _mm256_add_pd(vgj, _mm256_mul_pd(grad_j, grad_j)));
+  }
+  if (d < n) adagrad_pair_f64_scalar(n - d, g, lr, wi + d, wj + d, gi + d,
+                                     gj + d);
+}
+
+}  // namespace darkvec::simd::detail
+
+#endif  // DARKVEC_SIMD_HAVE_AVX2

@@ -1,0 +1,203 @@
+// AVX-512 kernel variants (F/BW/DQ/VL feature set). Same discipline as
+// kernels_avx2.cpp: raw intrinsics are confined here, the TU is compiled
+// with -mavx512f -mavx512bw -mavx512dq -mavx512vl -ffp-contract=off, and
+// the functions run only after cpuid dispatch confirms support.
+// Element-wise kernels keep separate multiply/add so each element's
+// rounding sequence matches the scalar reference bit-for-bit; reductions
+// use FMA under the ULP contract.
+#include "kernels.hpp"
+
+#if defined(DARKVEC_SIMD_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include "darkvec/core/annotations.hpp"
+
+namespace darkvec::simd::detail {
+namespace {
+
+/// Fixed-order horizontal sum of 16 float lanes into a double.
+inline double hsum512_ps(__m512 v) {
+  alignas(64) float lane[16];
+  _mm512_store_ps(lane, v);
+  double acc = 0;
+  for (int i = 0; i < 16; i += 2) {
+    acc += double{lane[i]} + lane[i + 1];
+  }
+  return acc;
+}
+
+inline double hsum512_pd(__m512d v) {
+  alignas(64) double lane[8];
+  _mm512_store_pd(lane, v);
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+/// Horizontal sum of 16 int32 lanes (exact). Hand-rolled instead of
+/// _mm512_reduce_add_epi32: GCC 12's reduce builtins expand through
+/// _mm256_undefined_si256 and trip -Wuninitialized under -Werror.
+inline std::int32_t hsum512_epi32(__m512i v) {
+  alignas(64) std::int32_t lane[16];
+  _mm512_store_si512(static_cast<__m512i*>(static_cast<void*>(lane)), v);
+  std::int32_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc += lane[i];
+  return acc;
+}
+
+}  // namespace
+
+// Racy by design under Hogwild SGD (see kernels_scalar.cpp).
+DV_BENIGN_RACE_FUNCTION
+double dot_f32_avx512(const float* a, const float* b, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  double acc = hsum512_ps(_mm512_add_ps(acc0, acc1));
+  for (; i < n; ++i) acc += double{a[i]} * b[i];
+  return acc;
+}
+
+double dot_f64_avx512(const double* a, const double* b, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8),
+                           _mm512_loadu_pd(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+  }
+  double acc = hsum512_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Racy by design under Hogwild SGD; see dot_f32_avx512.
+DV_BENIGN_RACE_FUNCTION
+void axpy_f32_avx512(std::size_t n, float a, const float* x, float* y) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(x + i));
+    _mm512_storeu_ps(y + i, _mm512_add_ps(_mm512_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_add_f32_avx512(std::size_t n, float a, const float* x, float b,
+                          float* y) {
+  const __m512 va = _mm512_set1_ps(a);
+  const __m512 vb = _mm512_set1_ps(b);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 ax = _mm512_mul_ps(va, _mm512_loadu_ps(x + i));
+    const __m512 by = _mm512_mul_ps(vb, _mm512_loadu_ps(y + i));
+    _mm512_storeu_ps(y + i, _mm512_add_ps(ax, by));
+  }
+  for (; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void dot_strip_f32_avx512(const float* query, const float* tile,
+                          std::size_t width, std::size_t dim, float* sims) {
+  std::size_t j = 0;
+  // 32 columns per dim sweep (two zmm accumulators). Each column lane
+  // keeps one float accumulator walking d ascending with separate
+  // mul/add — bit-identical to the scalar reference.
+  for (; j + 32 <= width; j += 32) {
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m512 qd = _mm512_set1_ps(query[d]);
+      const float* t = tile + d * width + j;
+      acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(qd, _mm512_loadu_ps(t)));
+      acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(qd, _mm512_loadu_ps(t + 16)));
+    }
+    _mm512_storeu_ps(sims + j, acc0);
+    _mm512_storeu_ps(sims + j + 16, acc1);
+  }
+  for (; j + 16 <= width; j += 16) {
+    __m512 acc = _mm512_setzero_ps();
+    for (std::size_t d = 0; d < dim; ++d) {
+      const __m512 qd = _mm512_set1_ps(query[d]);
+      const float* t = tile + d * width + j;
+      acc = _mm512_add_ps(acc, _mm512_mul_ps(qd, _mm512_loadu_ps(t)));
+    }
+    _mm512_storeu_ps(sims + j, acc);
+  }
+  for (; j < width; ++j) {
+    float acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) acc += query[d] * tile[d * width + j];
+    sims[j] = acc;
+  }
+}
+
+std::int32_t dot_i8_avx512(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n) {
+  // Widen 32 int8 lanes to i16 (sign-extending, exact), multiply-add
+  // pairs into i32. AVX-512 has no vpsignb, so the widening route
+  // replaces the AVX2 abs/sign trick; arithmetic stays exact.
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va8 =
+        _mm256_loadu_si256(static_cast<const __m256i*>(
+            static_cast<const void*>(a + i)));
+    const __m256i vb8 =
+        _mm256_loadu_si256(static_cast<const __m256i*>(
+            static_cast<const void*>(b + i)));
+    const __m512i va16 = _mm512_cvtepi8_epi16(va8);
+    const __m512i vb16 = _mm512_cvtepi8_epi16(vb8);
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(va16, vb16));
+  }
+  std::int32_t sum = hsum512_epi32(acc);
+  for (; i < n; ++i) sum += std::int32_t{a[i]} * std::int32_t{b[i]};
+  return sum;
+}
+
+void adagrad_pair_f64_avx512(std::size_t n, double g, double lr, double* wi,
+                             double* wj, double* gi, double* gj) {
+  const __m512d vg = _mm512_set1_pd(g);
+  const __m512d vlr = _mm512_set1_pd(lr);
+  std::size_t d = 0;
+  // Per-lane scalar sequence with correctly-rounded vsqrtpd/vdivpd;
+  // bit-identical to the reference.
+  for (; d + 8 <= n; d += 8) {
+    const __m512d vwi = _mm512_loadu_pd(wi + d);
+    const __m512d vwj = _mm512_loadu_pd(wj + d);
+    const __m512d grad_i = _mm512_mul_pd(vg, vwj);
+    const __m512d grad_j = _mm512_mul_pd(vg, vwi);
+    const __m512d vgi = _mm512_loadu_pd(gi + d);
+    const __m512d vgj = _mm512_loadu_pd(gj + d);
+    const __m512d step_i = _mm512_div_pd(_mm512_mul_pd(vlr, grad_i),
+                                         _mm512_sqrt_pd(vgi));
+    const __m512d step_j = _mm512_div_pd(_mm512_mul_pd(vlr, grad_j),
+                                         _mm512_sqrt_pd(vgj));
+    _mm512_storeu_pd(wi + d, _mm512_sub_pd(vwi, step_i));
+    _mm512_storeu_pd(wj + d, _mm512_sub_pd(vwj, step_j));
+    _mm512_storeu_pd(gi + d,
+                     _mm512_add_pd(vgi, _mm512_mul_pd(grad_i, grad_i)));
+    _mm512_storeu_pd(gj + d,
+                     _mm512_add_pd(vgj, _mm512_mul_pd(grad_j, grad_j)));
+  }
+  if (d < n) adagrad_pair_f64_scalar(n - d, g, lr, wi + d, wj + d, gi + d,
+                                     gj + d);
+}
+
+}  // namespace darkvec::simd::detail
+
+#endif  // DARKVEC_SIMD_HAVE_AVX512

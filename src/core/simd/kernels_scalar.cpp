@@ -1,0 +1,90 @@
+// Scalar reference kernels. These reproduce the exact operation order
+// the hot paths used before the simd layer existed (double-accumulator
+// float dots, ascending-index float accumulation in the strip kernel),
+// so a DARKVEC_SIMD=off run is bit-for-bit the historical behavior and
+// every vector variant has a precise oracle to be tested against.
+#include "kernels.hpp"
+
+#include <cmath>
+
+#include "darkvec/core/annotations.hpp"
+
+namespace darkvec::simd::detail {
+
+// dot_f32 / axpy_f32 touch the SGNS weight matrices from the Hogwild
+// workers (lock-free, last-write-wins by design, like word2vec.c); the
+// racy-by-design exemption lives on the kernels so TSan runs over the
+// trainer flag real bugs, not the documented algorithm. All other
+// callers pass thread-local or immutable buffers.
+DV_BENIGN_RACE_FUNCTION
+double dot_f32_scalar(const float* a, const float* b, std::size_t n) {
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += double{a[i]} * b[i];
+  return acc;
+}
+
+double dot_f64_scalar(const double* a, const double* b, std::size_t n) {
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Racy by design under Hogwild; see dot_f32_scalar.
+DV_BENIGN_RACE_FUNCTION
+void axpy_f32_scalar(std::size_t n, float a, const float* x, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_add_f32_scalar(std::size_t n, float a, const float* x, float b,
+                          float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void dot_strip_f32_scalar(const float* query, const float* tile,
+                          std::size_t width, std::size_t dim, float* sims) {
+  // Register strip of 8 columns per dim sweep (the historical
+  // ml/batch_topk inner loop). Per (query, column) pair the arithmetic
+  // is one float accumulator walking d ascending with a separate
+  // multiply and add — identical whether columns advance 1, 8 or 16 at
+  // a time, which is exactly why the vector variants can be
+  // bit-identical to this reference.
+  constexpr std::size_t kStrip = 8;
+  std::size_t j = 0;
+  for (; j + kStrip <= width; j += kStrip) {
+    float lane[kStrip] = {};
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float qd = query[d];
+      const float* t = tile + d * width + j;
+      for (std::size_t r = 0; r < kStrip; ++r) lane[r] += qd * t[r];
+    }
+    for (std::size_t r = 0; r < kStrip; ++r) sims[j + r] = lane[r];
+  }
+  for (; j < width; ++j) {
+    float acc = 0;
+    for (std::size_t d = 0; d < dim; ++d) acc += query[d] * tile[d * width + j];
+    sims[j] = acc;
+  }
+}
+
+std::int32_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b,
+                           std::size_t n) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::int32_t{a[i]} * std::int32_t{b[i]};
+  }
+  return acc;
+}
+
+void adagrad_pair_f64_scalar(std::size_t n, double g, double lr, double* wi,
+                             double* wj, double* gi, double* gj) {
+  for (std::size_t d = 0; d < n; ++d) {
+    const double grad_i = g * wj[d];
+    const double grad_j = g * wi[d];
+    wi[d] -= lr * grad_i / std::sqrt(gi[d]);
+    wj[d] -= lr * grad_j / std::sqrt(gj[d]);
+    gi[d] += grad_i * grad_i;
+    gj[d] += grad_j * grad_j;
+  }
+}
+
+}  // namespace darkvec::simd::detail

@@ -5,36 +5,25 @@
 
 #include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec::ml {
 namespace {
 
-// Register strip width of the inner kernel: one query against kStrip
-// consecutive corpus rows per dim-sweep. Each lane keeps its own float
-// accumulator walking d in ascending order, so every (query, corpus)
-// pair sees exactly the operation sequence of the serial scan.
-constexpr std::size_t kStrip = 8;
+// Auto tile-width budget: keep the transposed [dim x corpus_block]
+// float tile around L1 size so the inner dim-sweep streams from cache.
+constexpr std::size_t kTileBudgetBytes = std::size_t{32} * 1024;
+// Hard cap on any tile, including explicitly requested ones.
+constexpr std::size_t kTileBytesMax = std::size_t{4} * 1024 * 1024;
 
-// sims[jj] = dot(query, tile column jj) for a [dim x width] transposed
-// corpus tile (tile[d * width + jj]).
-void dot_strip(const float* query, const float* tile, std::size_t width,
-               std::size_t dim, float* sims) {
-  std::size_t jj = 0;
-  for (; jj + kStrip <= width; jj += kStrip) {
-    float lane[kStrip] = {};
-    for (std::size_t d = 0; d < dim; ++d) {
-      const float qd = query[d];
-      const float* t = tile + d * width + jj;
-      for (std::size_t r = 0; r < kStrip; ++r) lane[r] += qd * t[r];
-    }
-    for (std::size_t r = 0; r < kStrip; ++r) sims[jj + r] = lane[r];
-  }
-  for (; jj < width; ++jj) {
-    float acc = 0;
-    for (std::size_t d = 0; d < dim; ++d) acc += query[d] * tile[d * width + jj];
-    sims[jj] = acc;
-  }
+// Tile width for a given dim: requested value if nonzero, otherwise the
+// widest multiple of 16 whose transposed tile fits kTileBudgetBytes
+// (floor 16 so the strip kernel always has full vector lanes to chew).
+std::size_t tile_width(std::size_t requested, std::size_t dim) {
+  if (requested != 0) return requested;
+  const std::size_t fit = kTileBudgetBytes / (dim * sizeof(float));
+  return std::max<std::size_t>(16, fit & ~std::size_t{15});
 }
 
 }  // namespace
@@ -52,7 +41,9 @@ std::vector<std::vector<Neighbor>> batch_topk(
   const auto t_start = std::chrono::steady_clock::now();
 
   const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
-  const std::size_t cb = std::max<std::size_t>(options.corpus_block, kStrip);
+  const std::size_t cb = tile_width(options.corpus_block, dim);
+  DV_PRECONDITION(cb * dim * sizeof(float) <= kTileBytesMax,
+                  "batch_topk: corpus tile fits the 4 MiB cap");
 
   // The serial path rescales every similarity by the query's inverse
   // norm even for already-unit rows (1/sqrt(dot) is close to but not
@@ -89,8 +80,8 @@ std::vector<std::vector<Neighbor>> batch_topk(
         }
       }
       for (std::size_t qi = qlo; qi < qhi; ++qi) {
-        dot_strip(normalized.vec(queries[qi]).data(), tile.data(), width,
-                  dim, sims.data());
+        simd::kernels().dot_strip_f32(normalized.vec(queries[qi]).data(),
+                                      tile.data(), width, dim, sims.data());
         detail::TopKHeap& heap = heaps[qi - qlo];
         const float scale = inv[qi];
         for (std::size_t jj = 0; jj < width; ++jj) {
@@ -111,6 +102,63 @@ std::vector<std::vector<Neighbor>> batch_topk(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
   DV_LOG_DEBUG("knn", "batch_topk done", {"queries", nq},
+               {"corpus_rows", n}, {"k", k},
+               {"queries_per_s",
+                seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> batch_topk(
+    const w2v::QuantizedEmbedding& quantized,
+    std::span<const std::uint32_t> queries, int k,
+    const BatchTopkOptions& options) {
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<Neighbor>> out(nq);
+  const std::size_t n = quantized.size();
+  const std::size_t stride = quantized.stride();
+  if (k <= 0 || nq == 0 || n == 0 || quantized.dim() == 0) return out;
+
+  DV_SPAN_ARG("ml.batch_topk_i8", "queries", nq);
+  const auto t_start = std::chrono::steady_clock::now();
+  const simd::Kernels& kern = simd::kernels();
+
+  // Inverse query norm, reconstructed from the int8 self-dot: mirrors
+  // the fp32 path's 1/sqrt(dot(q, q)) rescale.
+  std::vector<float> inv(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    DV_PRECONDITION(queries[i] < n,
+                    "batch_topk: every query id is a valid corpus row");
+    const auto q = quantized.row(queries[i]);
+    const double self = static_cast<double>(kern.dot_i8(q.data(), q.data(),
+                                                        stride)) *
+                        quantized.scale(queries[i]) *
+                        quantized.scale(queries[i]);
+    inv[i] = self > 0 ? static_cast<float>(1.0 / std::sqrt(self)) : 0.0f;
+  }
+
+  const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
+  core::parallel_for(nq, qb, [&](std::size_t qlo, std::size_t qhi) {
+    for (std::size_t qi = qlo; qi < qhi; ++qi) {
+      const auto q = quantized.row(queries[qi]);
+      const float qscale = quantized.scale(queries[qi]) * inv[qi];
+      detail::TopKHeap heap(k);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == queries[qi]) continue;  // leave-one-out
+        const std::int32_t raw =
+            kern.dot_i8(q.data(), quantized.row(j).data(), stride);
+        heap.offer(static_cast<std::uint32_t>(j),
+                   static_cast<float>(raw) * qscale * quantized.scale(j));
+      }
+      out[qi] = heap.take();
+    }
+  });
+
+  static obs::Counter& queries_counter = obs::counter("knn.queries_i8");
+  queries_counter.add(nq);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  DV_LOG_DEBUG("knn", "batch_topk_i8 done", {"queries", nq},
                {"corpus_rows", n}, {"k", k},
                {"queries_per_s",
                 seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});

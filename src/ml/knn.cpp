@@ -52,4 +52,23 @@ std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors(int k) const {
   return query_batch(0, normalized_.size(), k);
 }
 
+const w2v::QuantizedEmbedding& CosineKnn::quantized() const {
+  std::call_once(quant_once_, [this] {
+    quant_ = w2v::QuantizedEmbedding::quantize(normalized_);
+  });
+  return quant_;
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::query_batch_quantized(
+    std::span<const std::uint32_t> points, int k) const {
+  return batch_topk(quantized(), points, k);
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors_quantized(
+    int k) const {
+  std::vector<std::uint32_t> points(normalized_.size());
+  std::iota(points.begin(), points.end(), 0u);
+  return batch_topk(quantized(), points, k);
+}
+
 }  // namespace darkvec::ml

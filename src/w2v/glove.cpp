@@ -6,6 +6,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec::w2v {
@@ -94,6 +95,7 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   const double lr = options_.learning_rate;
+  const simd::Kernels& kern = simd::kernels();
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     DV_SPAN_ARG("w2v.glove.epoch", "epoch", epoch);
     // Seeded Fisher-Yates shuffle per epoch.
@@ -104,22 +106,19 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
       const Cell& cell = cells[idx];
       double* wi = w.data() + cell.i * dim;
       double* wj = wt.data() + cell.j * dim;
-      double dot_ij = b[cell.i] + bt[cell.j] - std::log(cell.x);
-      for (std::size_t d = 0; d < dim; ++d) dot_ij += wi[d] * wj[d];
+      const double dot_ij =
+          b[cell.i] + bt[cell.j] - std::log(cell.x) + kern.dot_f64(wi, wj, dim);
       const double weight =
           cell.x < options_.x_max
               ? std::pow(cell.x / options_.x_max, options_.alpha)
               : 1.0;
       const double g = weight * dot_ij;
 
-      for (std::size_t d = 0; d < dim; ++d) {
-        const double grad_i = g * wj[d];
-        const double grad_j = g * wi[d];
-        wi[d] -= lr * grad_i / std::sqrt(gw[cell.i * dim + d]);
-        wj[d] -= lr * grad_j / std::sqrt(gwt[cell.j * dim + d]);
-        gw[cell.i * dim + d] += grad_i * grad_i;
-        gwt[cell.j * dim + d] += grad_j * grad_j;
-      }
+      // Fused pair update: grad_j reads the pre-update wi, so both rows
+      // must advance together (w and wt are distinct arrays, no aliasing
+      // even when cell.i == cell.j).
+      kern.adagrad_pair_f64(dim, g, lr, wi, wj, gw.data() + cell.i * dim,
+                            gwt.data() + cell.j * dim);
       b[cell.i] -= lr * g / std::sqrt(gb[cell.i]);
       bt[cell.j] -= lr * g / std::sqrt(gbt[cell.j]);
       gb[cell.i] += g * g;

@@ -1,0 +1,228 @@
+#include "darkvec/w2v/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/byteio.hpp"
+#include "darkvec/core/checksum.hpp"
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/obs/obs.hpp"
+
+namespace darkvec::w2v {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44565138;  // "DVQ8"
+constexpr std::uint32_t kVersion = 2;         // CRC32-footed, like DVE2
+constexpr std::size_t kStrideAlign = 32;
+
+std::size_t padded_stride(int dim) {
+  return (static_cast<std::size_t>(dim) + kStrideAlign - 1) &
+         ~(kStrideAlign - 1);
+}
+
+}  // namespace
+
+QuantizedEmbedding QuantizedEmbedding::quantize(const Embedding& source) {
+  QuantizedEmbedding out;
+  out.dim_ = source.dim();
+  out.n_ = source.size();
+  out.stride_ = out.dim_ > 0 ? padded_stride(out.dim_) : 0;
+  out.scales_.assign(out.n_, 0.0f);
+  out.data_.assign(out.n_ * out.stride_, 0);
+  for (std::size_t i = 0; i < out.n_; ++i) {
+    const auto src = source.vec(i);
+    float amax = 0.0f;
+    for (const float v : src) amax = std::max(amax, std::abs(v));
+    if (amax == 0.0f) continue;  // zero row: scale 0, all-zero codes
+    const float scale = amax / 127.0f;
+    out.scales_[i] = scale;
+    std::int8_t* dst = out.data_.data() + i * out.stride_;
+    for (std::size_t d = 0; d < src.size(); ++d) {
+      const long q = std::lround(src[d] / scale);
+      dst[d] = static_cast<std::int8_t>(std::clamp(q, -127l, 127l));
+    }
+  }
+  return out;
+}
+
+Embedding QuantizedEmbedding::dequantize() const {
+  if (dim_ <= 0) return {};
+  Embedding out(n_, dim_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::int8_t* src = data_.data() + i * stride_;
+    const float scale = scales_[i];
+    auto dst = out.vec(i);
+    for (std::size_t d = 0; d < dst.size(); ++d) {
+      dst[d] = static_cast<float>(src[d]) * scale;
+    }
+  }
+  return out;
+}
+
+void QuantizedEmbedding::save(std::ostream& out) const {
+  io::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t len) {
+    crc.update(data, len);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+  };
+  const std::uint64_t n = n_;
+  const std::int32_t d = dim_;
+  put(&kMagic, sizeof(kMagic));
+  put(&kVersion, sizeof(kVersion));
+  put(&n, sizeof(n));
+  put(&d, sizeof(d));
+  put(scales_.data(), scales_.size() * sizeof(float));
+  // Rows are stored unpadded; the in-memory stride is rebuilt on load.
+  for (std::size_t i = 0; i < n_; ++i) {
+    put(data_.data() + i * stride_, static_cast<std::size_t>(dim_));
+  }
+  io::write_pod(out, crc.value());
+}
+
+void QuantizedEmbedding::save_file(const std::string& path) const {
+  io::atomic_write_file(path, std::ios::binary, [&](std::ostream& out) {
+    save(out);
+  });
+}
+
+QuantizedEmbedding QuantizedEmbedding::load(std::istream& in,
+                                            const io::IoPolicy& policy,
+                                            io::IoReport* report) {
+  DV_SPAN("io.load_quantized");
+  io::Crc32 crc;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t n = 0;
+  std::int32_t d = 0;
+  if (!io::read_pod(in, magic) || magic != kMagic) {
+    throw io::FormatError("QuantizedEmbedding: bad magic");
+  }
+  if (!io::read_pod(in, version) || version != kVersion) {
+    throw io::FormatError("QuantizedEmbedding: unsupported version");
+  }
+  if (!io::read_pod(in, n) || !io::read_pod(in, d)) {
+    throw io::TruncatedInput("QuantizedEmbedding: truncated header");
+  }
+  if (d <= 0) {
+    throw io::FormatError("QuantizedEmbedding: non-positive dimension");
+  }
+  if (d > policy.limits.max_dim) {
+    throw io::ResourceLimit("QuantizedEmbedding: dimension " +
+                            std::to_string(d) + " over the cap of " +
+                            std::to_string(policy.limits.max_dim));
+  }
+  if (n > policy.limits.max_records) {
+    throw io::ResourceLimit(
+        "QuantizedEmbedding: header declares " + std::to_string(n) +
+        " rows, cap is " + std::to_string(policy.limits.max_records));
+  }
+  crc.update(&magic, sizeof(magic));
+  crc.update(&version, sizeof(version));
+  crc.update(&n, sizeof(n));
+  crc.update(&d, sizeof(d));
+
+  const auto dim = static_cast<std::size_t>(d);
+  const std::size_t stride = padded_stride(d);
+
+  // Scales first; a short read here caps how many rows can survive.
+  // Chunked so a lying row count cannot force an allocation ahead of the
+  // bytes the stream actually yields (same policy as Embedding::load).
+  std::vector<float> scales;
+  scales.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, std::uint64_t{1} << 16)));
+  {
+    std::vector<float> buffer(std::size_t{1} << 12);
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, buffer.size()));
+      const std::size_t got = io::read_array_bytes(in, buffer.data(), chunk);
+      crc.update(buffer.data(), got);
+      scales.insert(scales.end(), buffer.begin(),
+                    buffer.begin() + static_cast<std::ptrdiff_t>(
+                                         got / sizeof(float)));
+      if (got < chunk * sizeof(float)) break;
+      remaining -= chunk;
+    }
+  }
+  // A short scale section means the stream ended before any row data:
+  // nothing survives.
+  bool truncated = scales.size() < n;
+  std::size_t rows = truncated ? 0 : scales.size();
+
+  std::vector<std::int8_t> data;
+  data.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n * stride, std::uint64_t{1} << 20)));
+  std::vector<std::int8_t> rowbuf(dim);
+  std::size_t rows_read = 0;
+  while (rows_read < n && !truncated) {
+    const std::size_t got = io::read_array_bytes(in, rowbuf.data(), dim);
+    crc.update(rowbuf.data(), got);
+    if (got < dim) {
+      truncated = true;
+      break;
+    }
+    // Append the row followed by its zero padding: growth tracks bytes
+    // actually present.
+    data.insert(data.end(), rowbuf.begin(), rowbuf.end());
+    data.resize(data.size() + (stride - dim), 0);
+    ++rows_read;
+  }
+  if (truncated) {
+    rows = std::min(rows, rows_read);
+    io::detail::bad_record<io::TruncatedInput>(
+        policy, report, rows + 1,
+        "QuantizedEmbedding: stream ends inside row " +
+            std::to_string(rows + 1) + " of a declared " + std::to_string(n));
+  } else {
+    rows = rows_read;
+    std::uint32_t stored = 0;
+    if (!io::read_pod(in, stored)) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, static_cast<std::size_t>(n),
+          "QuantizedEmbedding: missing CRC32 footer");
+    } else if (stored != crc.value()) {
+      if (report != nullptr) report->checksum_failed = true;
+      io::detail::suspect_input(policy, report, 0,
+                                "QuantizedEmbedding: CRC32 mismatch");
+    } else if (report != nullptr) {
+      report->checksum_verified = true;
+    }
+    if (in.peek() != std::istream::traits_type::eof()) {
+      io::detail::suspect_input(policy, report, 0,
+                                "QuantizedEmbedding: trailing data");
+    }
+  }
+
+  QuantizedEmbedding out;
+  out.dim_ = d;
+  out.n_ = rows;
+  out.stride_ = stride;
+  scales.resize(rows);
+  data.resize(rows * stride);
+  out.scales_ = std::move(scales);
+  out.data_ = std::move(data);
+  if (report != nullptr) report->records_read += rows;
+  static obs::Counter& rows_counter = obs::counter("io.quantized_rows");
+  rows_counter.add(rows);
+  if (truncated) {
+    DV_LOG_WARN("io", "quantized embedding truncated", {"rows", rows},
+                {"declared", n});
+  }
+  DV_LOG_DEBUG("io", "quantized embedding loaded", {"rows", rows},
+               {"dim", d});
+  return out;
+}
+
+QuantizedEmbedding QuantizedEmbedding::load_file(const std::string& path,
+                                                 const io::IoPolicy& policy,
+                                                 io::IoReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io::IoError("QuantizedEmbedding: cannot open " + path);
+  return load(in, policy, report);
+}
+
+}  // namespace darkvec::w2v

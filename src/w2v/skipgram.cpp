@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec::w2v {
@@ -105,9 +106,10 @@ void SkipGramModel::build_unigram_table(
 void SkipGramModel::train_pair(std::uint32_t input, std::uint32_t output,
                                float alpha, std::uint64_t& rng_state,
                                float* neu1e) {
-  const int dim = options_.dim;
+  const auto n = static_cast<std::size_t>(options_.dim);
+  const simd::Kernels& kern = simd::kernels();
   float* in = syn0_.vec(input).data();
-  std::fill(neu1e, neu1e + dim, 0.0f);
+  std::fill(neu1e, neu1e + n, 0.0f);
   for (int d = 0; d <= options_.negative; ++d) {
     std::uint32_t target;
     float label;
@@ -119,10 +121,8 @@ void SkipGramModel::train_pair(std::uint32_t input, std::uint32_t output,
       if (target == output) continue;
       label = 0.0f;
     }
-    float* out = syn1neg_.data() + static_cast<std::size_t>(target) *
-                                       static_cast<std::size_t>(dim);
-    double f = 0;
-    for (int k = 0; k < dim; ++k) f += double{in[k]} * out[k];
+    float* out = syn1neg_.data() + static_cast<std::size_t>(target) * n;
+    const double f = kern.dot_f32(in, out, n);
     float g;
     if (f > kMaxExp) {
       g = (label - 1.0f) * alpha;
@@ -134,10 +134,11 @@ void SkipGramModel::train_pair(std::uint32_t input, std::uint32_t output,
       g = (label - exp_table()[idx]) * alpha;
     }
     if (g == 0.0f) continue;
-    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
-    for (int k = 0; k < dim; ++k) out[k] += g * in[k];
+    kern.axpy_f32(n, g, out, neu1e);
+    kern.axpy_f32(n, g, in, out);
   }
-  for (int k = 0; k < dim; ++k) in[k] += neu1e[k];
+  // a = 1.0f: 1.0f * x rounds exactly to x, so this is `in[k] += neu1e[k]`.
+  kern.axpy_f32(n, 1.0f, neu1e, in);
 }
 
 void SkipGramModel::build_huffman_tree(
@@ -200,16 +201,15 @@ void SkipGramModel::build_huffman_tree(
 
 void SkipGramModel::train_pair_hs(std::uint32_t input, std::uint32_t output,
                                   float alpha, float* neu1e) {
-  const int dim = options_.dim;
+  const auto n = static_cast<std::size_t>(options_.dim);
+  const simd::Kernels& kern = simd::kernels();
   float* in = syn0_.vec(input).data();
-  std::fill(neu1e, neu1e + dim, 0.0f);
+  std::fill(neu1e, neu1e + n, 0.0f);
   const auto& code = hs_code_[output];
   const auto& point = hs_point_[output];
   for (std::size_t b = 0; b < code.size(); ++b) {
-    float* out = syn1hs_.data() + static_cast<std::size_t>(point[b]) *
-                                      static_cast<std::size_t>(dim);
-    double f = 0;
-    for (int k = 0; k < dim; ++k) f += double{in[k]} * out[k];
+    float* out = syn1hs_.data() + static_cast<std::size_t>(point[b]) * n;
+    const double f = kern.dot_f32(in, out, n);
     if (f <= -kMaxExp || f >= kMaxExp) {
       // Saturated: gradient (label - sigmoid) is ~0 or ±1; follow
       // word2vec.c and skip the update entirely.
@@ -219,25 +219,27 @@ void SkipGramModel::train_pair_hs(std::uint32_t input, std::uint32_t output,
                                      (kExpTableSize / kMaxExp / 2.0));
     const float g =
         (1.0f - static_cast<float>(code[b]) - exp_table()[idx]) * alpha;
-    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
-    for (int k = 0; k < dim; ++k) out[k] += g * in[k];
+    kern.axpy_f32(n, g, out, neu1e);
+    kern.axpy_f32(n, g, in, out);
   }
-  for (int k = 0; k < dim; ++k) in[k] += neu1e[k];
+  kern.axpy_f32(n, 1.0f, neu1e, in);
 }
 
 void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
                                std::uint32_t center, float alpha,
                                std::uint64_t& rng_state, float* neu1,
                                float* neu1e) {
-  const int dim = options_.dim;
-  std::fill(neu1, neu1 + dim, 0.0f);
-  std::fill(neu1e, neu1e + dim, 0.0f);
+  const auto n = static_cast<std::size_t>(options_.dim);
+  const simd::Kernels& kern = simd::kernels();
+  std::fill(neu1, neu1 + n, 0.0f);
+  std::fill(neu1e, neu1e + n, 0.0f);
   for (const std::uint32_t w : context) {
-    const float* v = syn0_.vec(w).data();
-    for (int k = 0; k < dim; ++k) neu1[k] += v[k];
+    kern.axpy_f32(n, 1.0f, syn0_.vec(w).data(), neu1);
   }
+  // y = inv*y + 0*y: the ±0 terms share y's sign, so this is exactly the
+  // historical `neu1[k] *= inv`.
   const float inv = 1.0f / static_cast<float>(context.size());
-  for (int k = 0; k < dim; ++k) neu1[k] *= inv;
+  kern.scale_add_f32(n, inv, neu1, 0.0f, neu1);
 
   for (int d = 0; d <= options_.negative; ++d) {
     std::uint32_t target;
@@ -250,10 +252,8 @@ void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
       if (target == center) continue;
       label = 0.0f;
     }
-    float* out = syn1neg_.data() + static_cast<std::size_t>(target) *
-                                       static_cast<std::size_t>(dim);
-    double f = 0;
-    for (int k = 0; k < dim; ++k) f += double{neu1[k]} * out[k];
+    float* out = syn1neg_.data() + static_cast<std::size_t>(target) * n;
+    const double f = kern.dot_f32(neu1, out, n);
     float g;
     if (f > kMaxExp) {
       g = (label - 1.0f) * alpha;
@@ -265,12 +265,11 @@ void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
       g = (label - exp_table()[idx]) * alpha;
     }
     if (g == 0.0f) continue;
-    for (int k = 0; k < dim; ++k) neu1e[k] += g * out[k];
-    for (int k = 0; k < dim; ++k) out[k] += g * neu1[k];
+    kern.axpy_f32(n, g, out, neu1e);
+    kern.axpy_f32(n, g, neu1, out);
   }
   for (const std::uint32_t w : context) {
-    float* v = syn0_.vec(w).data();
-    for (int k = 0; k < dim; ++k) v[k] += neu1e[k];
+    kern.axpy_f32(n, 1.0f, neu1e, syn0_.vec(w).data());
   }
 }
 

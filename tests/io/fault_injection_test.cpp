@@ -16,6 +16,7 @@
 #include "darkvec/net/trace_io.hpp"
 #include "darkvec/sim/rng.hpp"
 #include "darkvec/w2v/embedding.hpp"
+#include "darkvec/w2v/quantized.hpp"
 #include "fault_injection.hpp"
 
 namespace darkvec {
@@ -125,6 +126,23 @@ TEST(CorruptionMatrix, Embedding) {
   run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
                            io::IoReport* report) {
     return w2v::Embedding::load(in, policy, report).size();
+  });
+}
+
+TEST(CorruptionMatrix, QuantizedEmbedding) {
+  w2v::Embedding e(48, 12);
+  sim::Rng rng(31);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    for (int d = 0; d < e.dim(); ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  std::ostringstream out;
+  w2v::QuantizedEmbedding::quantize(e).save(out);
+  run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
+                           io::IoReport* report) {
+    return w2v::QuantizedEmbedding::load(in, policy, report).size();
   });
 }
 

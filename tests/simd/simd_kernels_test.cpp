@@ -1,0 +1,442 @@
+// Parity suite for the runtime-dispatched SIMD kernels (`ctest -L simd`).
+//
+// Every vector variant the running CPU supports is checked against the
+// scalar reference on randomized fixed-seed vectors: reductions under
+// the documented ULP-style bound, element-wise kernels for exact bit
+// equality. The quantization round-trip bound and the DVQ8 save/load
+// path are covered here too (the corruption matrix lives in
+// tests/io/fault_injection_test.cpp).
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/core/simd/simd.hpp"
+#include "darkvec/ml/batch_topk.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/w2v/embedding.hpp"
+#include "darkvec/w2v/quantized.hpp"
+
+namespace darkvec {
+namespace {
+
+// Deterministic test vectors; sizes cross every vector width and leave
+// odd tails (1, lane-1, lane, lane+1, multi-register, large).
+const std::vector<std::size_t> kSizes = {0,  1,  3,  7,  8,   15,  16, 17,
+                                         31, 32, 33, 52, 200, 257, 1024};
+
+std::vector<float> random_f32(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<double> random_f64(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<std::int8_t> random_i8(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-127, 127);
+  std::vector<std::int8_t> v(n);
+  for (std::int8_t& x : v) x = static_cast<std::int8_t>(dist(rng));
+  return v;
+}
+
+/// Bitwise float/double vector comparison (EXPECT_EQ would treat -0.0
+/// and +0.0 as equal; the bit-identity contract is stricter).
+template <typename T>
+void expect_bits_equal(const std::vector<T>& a, const std::vector<T>& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(T)), 0)
+        << what << ": element " << i << " differs (" << a[i] << " vs "
+        << b[i] << ")";
+  }
+}
+
+class SimdLevels : public ::testing::TestWithParam<simd::Level> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupported, SimdLevels,
+    ::testing::ValuesIn(simd::supported_levels()),
+    [](const ::testing::TestParamInfo<simd::Level>& param_info) {
+      return simd::level_name(param_info.param);
+    });
+
+TEST_P(SimdLevels, DotF32WithinUlpBound) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_f32(n, 11 + static_cast<unsigned>(n));
+    const auto b = random_f32(n, 29 + static_cast<unsigned>(n));
+    const double got = kern.dot_f32(a.data(), b.data(), n);
+    const double want = ref.dot_f32(a.data(), b.data(), n);
+    double mag = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mag += std::abs(double{a[i]} * b[i]);
+    }
+    const double bound =
+        64.0 * static_cast<double>(std::numeric_limits<float>::epsilon()) *
+        mag;
+    EXPECT_LE(std::abs(got - want), bound) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevels, DotF64WithinUlpBound) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_f64(n, 37 + static_cast<unsigned>(n));
+    const auto b = random_f64(n, 41 + static_cast<unsigned>(n));
+    const double got = kern.dot_f64(a.data(), b.data(), n);
+    const double want = ref.dot_f64(a.data(), b.data(), n);
+    double mag = 0;
+    for (std::size_t i = 0; i < n; ++i) mag += std::abs(a[i] * b[i]);
+    const double bound =
+        64.0 * std::numeric_limits<double>::epsilon() * mag;
+    EXPECT_LE(std::abs(got - want), bound) << "n=" << n;
+  }
+}
+
+TEST_P(SimdLevels, AxpyF32BitIdentical) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_f32(n, 43 + static_cast<unsigned>(n));
+    auto y_got = random_f32(n, 47 + static_cast<unsigned>(n));
+    auto y_want = y_got;
+    for (const float a : {0.0f, 1.0f, -0.37f, 1e-4f}) {
+      kern.axpy_f32(n, a, x.data(), y_got.data());
+      ref.axpy_f32(n, a, x.data(), y_want.data());
+      expect_bits_equal(y_got, y_want, "axpy_f32");
+    }
+  }
+}
+
+TEST_P(SimdLevels, ScaleAddF32BitIdentical) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_f32(n, 53 + static_cast<unsigned>(n));
+    auto y_got = random_f32(n, 59 + static_cast<unsigned>(n));
+    auto y_want = y_got;
+    kern.scale_add_f32(n, 0.25f, x.data(), -1.5f, y_got.data());
+    ref.scale_add_f32(n, 0.25f, x.data(), -1.5f, y_want.data());
+    expect_bits_equal(y_got, y_want, "scale_add_f32");
+  }
+}
+
+TEST_P(SimdLevels, DotStripF32BitIdentical) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  // Widths cross the 8/16/32-column paths plus ragged tails.
+  for (const std::size_t width : {1u, 7u, 8u, 15u, 16u, 31u, 33u, 64u, 100u}) {
+    for (const std::size_t dim : {1u, 5u, 52u, 200u}) {
+      const auto query = random_f32(dim, 61 + static_cast<unsigned>(dim));
+      const auto tile =
+          random_f32(width * dim,
+                     67 + static_cast<unsigned>(width * 131 + dim));
+      std::vector<float> got(width, -1.0f);
+      std::vector<float> want(width, -2.0f);
+      kern.dot_strip_f32(query.data(), tile.data(), width, dim, got.data());
+      ref.dot_strip_f32(query.data(), tile.data(), width, dim, want.data());
+      expect_bits_equal(got, want, "dot_strip_f32");
+    }
+  }
+}
+
+TEST_P(SimdLevels, DotI8Exact) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_i8(n, 71 + static_cast<unsigned>(n));
+    const auto b = random_i8(n, 73 + static_cast<unsigned>(n));
+    EXPECT_EQ(kern.dot_i8(a.data(), b.data(), n),
+              ref.dot_i8(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+  // Saturation stress: the maddubs pair trick must survive extreme codes.
+  const std::vector<std::int8_t> lo(256, -127);
+  const std::vector<std::int8_t> hi(256, 127);
+  EXPECT_EQ(kern.dot_i8(lo.data(), hi.data(), 256),
+            ref.dot_i8(lo.data(), hi.data(), 256));
+  EXPECT_EQ(kern.dot_i8(lo.data(), lo.data(), 256),
+            ref.dot_i8(lo.data(), lo.data(), 256));
+}
+
+TEST_P(SimdLevels, AdagradPairF64BitIdentical) {
+  const simd::Kernels& kern = simd::kernels_for(GetParam());
+  const simd::Kernels& ref = simd::kernels_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    auto wi_got = random_f64(n, 79 + static_cast<unsigned>(n));
+    auto wj_got = random_f64(n, 83 + static_cast<unsigned>(n));
+    auto wi_want = wi_got;
+    auto wj_want = wj_got;
+    // AdaGrad accumulators start at 1.0 in GloVe and only grow.
+    std::vector<double> gi_got(n, 1.0), gj_got(n, 1.0);
+    auto gi_want = gi_got;
+    auto gj_want = gj_got;
+    for (int step = 0; step < 3; ++step) {
+      const double g = 0.8 - 0.3 * step;
+      kern.adagrad_pair_f64(n, g, 0.05, wi_got.data(), wj_got.data(),
+                            gi_got.data(), gj_got.data());
+      ref.adagrad_pair_f64(n, g, 0.05, wi_want.data(), wj_want.data(),
+                           gi_want.data(), gj_want.data());
+    }
+    expect_bits_equal(wi_got, wi_want, "adagrad wi");
+    expect_bits_equal(wj_got, wj_want, "adagrad wj");
+    expect_bits_equal(gi_got, gi_want, "adagrad gi");
+    expect_bits_equal(gj_got, gj_want, "adagrad gj");
+  }
+}
+
+TEST(SimdDispatch, ActiveLevelIsSupported) {
+  EXPECT_TRUE(simd::level_supported(simd::active_level()));
+  EXPECT_EQ(simd::kernels().level, simd::active_level());
+  // Scalar is supported everywhere and is always the first level listed.
+  const auto levels = simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+}
+
+TEST(SimdDispatch, ScopedLevelForcesAndRestores) {
+  const simd::Level before = simd::active_level();
+  {
+    simd::ScopedLevel scoped(simd::Level::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+    EXPECT_EQ(simd::kernels().level, simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(SimdDispatch, ParseLevelVocabulary) {
+  simd::Level level = simd::Level::kAvx2;
+  EXPECT_TRUE(simd::parse_level("off", &level));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::parse_level("scalar", &level));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::parse_level("avx2", &level));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::parse_level("avx512", &level));
+  EXPECT_EQ(level, simd::Level::kAvx512);
+  EXPECT_FALSE(simd::parse_level("sse9", &level));
+  EXPECT_FALSE(simd::parse_level("", &level));
+}
+
+w2v::Embedding random_embedding(std::size_t n, int dim, unsigned seed) {
+  w2v::Embedding e(n, dim);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (float& v : e.vec(i)) v = dist(rng);
+  }
+  return e;
+}
+
+TEST(QuantizedEmbedding, RoundTripWithinHalfStep) {
+  const auto e = random_embedding(40, 52, 97);
+  const auto q = w2v::QuantizedEmbedding::quantize(e);
+  ASSERT_EQ(q.size(), e.size());
+  ASSERT_EQ(q.dim(), e.dim());
+  EXPECT_EQ(q.stride() % 32, 0u);
+  const auto back = q.dequantize();
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    float amax = 0;
+    for (const float v : e.vec(i)) amax = std::max(amax, std::abs(v));
+    // Round-to-nearest: reconstruction is within half a quantization
+    // step (amax / 254) of the source, plus float rounding slop.
+    const float bound = amax / 254.0f + amax * 1e-5f;
+    for (std::size_t d = 0; d < e.vec(i).size(); ++d) {
+      EXPECT_NEAR(back.vec(i)[d], e.vec(i)[d], bound)
+          << "row " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(QuantizedEmbedding, ZeroRowsStayZero) {
+  w2v::Embedding e(3, 16);
+  e.vec(1)[4] = 1.0f;
+  const auto q = w2v::QuantizedEmbedding::quantize(e);
+  EXPECT_EQ(q.scale(0), 0.0f);
+  EXPECT_GT(q.scale(1), 0.0f);
+  for (const std::int8_t v : q.row(0)) EXPECT_EQ(v, 0);
+  const auto back = q.dequantize();
+  for (const float v : back.vec(0)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(QuantizedEmbedding, PaddingIsZero) {
+  const auto q =
+      w2v::QuantizedEmbedding::quantize(random_embedding(8, 52, 101));
+  ASSERT_GT(q.stride(), static_cast<std::size_t>(q.dim()));
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const auto row = q.row(i);
+    for (std::size_t d = static_cast<std::size_t>(q.dim());
+         d < q.stride(); ++d) {
+      EXPECT_EQ(row[d], 0) << "row " << i << " pad " << d;
+    }
+  }
+}
+
+TEST(QuantizedEmbedding, SaveLoadRoundTrip) {
+  const auto q =
+      w2v::QuantizedEmbedding::quantize(random_embedding(17, 52, 103));
+  std::ostringstream out;
+  q.save(out);
+  std::istringstream in(out.str());
+  io::IoReport report;
+  const auto loaded =
+      w2v::QuantizedEmbedding::load(in, io::IoPolicy::strict(), &report);
+  EXPECT_TRUE(report.checksum_verified);
+  ASSERT_EQ(loaded.size(), q.size());
+  ASSERT_EQ(loaded.dim(), q.dim());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(loaded.scale(i), q.scale(i));
+    const auto a = loaded.row(i);
+    const auto b = q.row(i);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << "row " << i;
+  }
+}
+
+TEST(QuantizedEmbedding, LenientLoadKeepsWholeRowsOnTruncation) {
+  const auto q =
+      w2v::QuantizedEmbedding::quantize(random_embedding(10, 16, 107));
+  std::ostringstream out;
+  q.save(out);
+  const std::string bytes = out.str();
+  // Cut mid-way through the int8 payload (keep header + scales + a few
+  // rows); strict must throw, lenient must keep only complete rows.
+  const std::size_t header = 4 + 4 + 8 + 4 + 10 * sizeof(float);
+  const std::string cut = bytes.substr(0, header + 16 * 4 + 7);
+  {
+    std::istringstream in(cut);
+    EXPECT_THROW(
+        (void)w2v::QuantizedEmbedding::load(in, io::IoPolicy::strict()),
+        io::TruncatedInput);
+  }
+  {
+    std::istringstream in(cut);
+    io::IoReport report;
+    const auto loaded = w2v::QuantizedEmbedding::load(
+        in, io::IoPolicy::lenient_with(1 << 20), &report);
+    EXPECT_EQ(loaded.size(), 4u);
+    EXPECT_EQ(report.records_read, 4u);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      EXPECT_EQ(std::memcmp(loaded.row(i).data(), q.row(i).data(),
+                            loaded.row(i).size()),
+                0);
+    }
+  }
+}
+
+TEST(QuantizedEmbedding, CorruptPayloadFailsChecksum) {
+  const auto q =
+      w2v::QuantizedEmbedding::quantize(random_embedding(6, 16, 109));
+  std::ostringstream out;
+  q.save(out);
+  std::string bytes = out.str();
+  bytes[bytes.size() - 10] = static_cast<char>(bytes[bytes.size() - 10] ^ 0x40);
+  std::istringstream in(bytes);
+  io::IoReport report;
+  const auto loaded = w2v::QuantizedEmbedding::load(
+      in, io::IoPolicy::lenient_with(1 << 20), &report);
+  EXPECT_TRUE(report.checksum_failed);
+  EXPECT_FALSE(report.checksum_verified);
+}
+
+TEST(QuantizedKnn, TopkMatchesFp32OnSeparatedClusters) {
+  // Three well-separated directions plus small noise: quantization error
+  // must not change any top-3 neighbourhood.
+  const int dim = 52;
+  const std::size_t per_cluster = 12;
+  w2v::Embedding e(3 * per_cluster, dim);
+  std::mt19937 rng(113);
+  std::uniform_real_distribution<float> noise(-0.05f, 0.05f);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    auto row = e.vec(i);
+    for (float& v : row) v = noise(rng);
+    row[(i / per_cluster) * 3] += 1.0f;
+  }
+  ml::CosineKnn knn(e);
+  const auto fp32 = knn.all_neighbors(3);
+  const auto int8 = knn.all_neighbors_quantized(3);
+  ASSERT_EQ(fp32.size(), int8.size());
+  for (std::size_t i = 0; i < fp32.size(); ++i) {
+    ASSERT_EQ(fp32[i].size(), int8[i].size()) << "query " << i;
+    for (std::size_t r = 0; r < fp32[i].size(); ++r) {
+      // Same cluster membership, near-identical similarity.
+      EXPECT_EQ(fp32[i][r].index / per_cluster, int8[i][r].index / per_cluster)
+          << "query " << i << " rank " << r;
+      EXPECT_NEAR(fp32[i][r].similarity, int8[i][r].similarity, 0.05)
+          << "query " << i << " rank " << r;
+    }
+  }
+}
+
+TEST(BatchTopk, AutoTileMatchesExplicitTile) {
+  const auto normalized = random_embedding(60, 200, 127).normalized();
+  std::vector<std::uint32_t> queries(normalized.size());
+  std::iota(queries.begin(), queries.end(), 0u);
+  const auto auto_tiled = ml::batch_topk(normalized, queries, 5, {});
+  const auto explicit_tiled =
+      ml::batch_topk(normalized, queries, 5, {.query_block = 8,
+                                              .corpus_block = 24});
+  ASSERT_EQ(auto_tiled.size(), explicit_tiled.size());
+  for (std::size_t i = 0; i < auto_tiled.size(); ++i) {
+    ASSERT_EQ(auto_tiled[i].size(), explicit_tiled[i].size());
+    for (std::size_t r = 0; r < auto_tiled[i].size(); ++r) {
+      EXPECT_EQ(auto_tiled[i][r].index, explicit_tiled[i][r].index);
+      EXPECT_EQ(auto_tiled[i][r].similarity, explicit_tiled[i][r].similarity);
+    }
+  }
+}
+
+TEST(BatchTopk, OversizedExplicitTileViolatesContract) {
+  const auto normalized = random_embedding(4, 256, 131).normalized();
+  const std::vector<std::uint32_t> queries = {0, 1};
+  EXPECT_THROW((void)ml::batch_topk(normalized, queries, 2,
+                                    {.corpus_block = 1u << 14}),
+               ContractViolation);
+}
+
+// Every level must agree with the serial scan through the full blocked
+// path, not just at the kernel boundary — the end-to-end bit-identity
+// claim of the batch_topk determinism contract.
+TEST(BatchTopk, AllLevelsMatchSerialScan) {
+  const auto e = random_embedding(48, 52, 137);
+  ml::CosineKnn knn(e);
+  std::vector<std::vector<ml::Neighbor>> serial(knn.size());
+  for (std::size_t i = 0; i < knn.size(); ++i) serial[i] = knn.query(i, 4);
+  for (const simd::Level level : simd::supported_levels()) {
+    simd::ScopedLevel scoped(level);
+    const auto batch = knn.all_neighbors(4);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i].size(), serial[i].size())
+          << simd::level_name(level) << " query " << i;
+      for (std::size_t r = 0; r < batch[i].size(); ++r) {
+        EXPECT_EQ(batch[i][r].index, serial[i][r].index)
+            << simd::level_name(level) << " query " << i << " rank " << r;
+        EXPECT_EQ(batch[i][r].similarity, serial[i][r].similarity)
+            << simd::level_name(level) << " query " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -22,6 +22,9 @@
 //   --metrics-prom FILE  same registry in Prometheus text exposition
 //   --trace-out FILE     record spans; Chrome trace-event JSON on exit
 //                        (load in Perfetto or chrome://tracing)
+//   --simd LEVEL         off|scalar|avx2|avx512: force the SIMD kernel
+//                        dispatch level (default: best the CPU supports;
+//                        the DARKVEC_SIMD env var works the same way)
 //
 // Traces are the CSV format of net::write_csv / examples/export_dataset;
 // label files are "src,class,group" CSVs. `train` writes PREFIX.emb
@@ -40,6 +43,7 @@
 #include "darkvec/core/inspector.hpp"
 #include "darkvec/core/model_io.hpp"
 #include "darkvec/core/semi_supervised.hpp"
+#include "darkvec/core/simd/simd.hpp"
 #include "darkvec/ml/silhouette.hpp"
 #include "darkvec/net/trace_binary.hpp"
 #include "darkvec/net/trace_io.hpp"
@@ -296,6 +300,8 @@ void usage() {
                "[--option value ...]\n"
                "observability: --log-level L --log-json [FILE] "
                "--metrics-out FILE --metrics-prom FILE --trace-out FILE\n"
+               "kernels: --simd off|scalar|avx2|avx512 (default: best "
+               "supported; DARKVEC_SIMD env var works too)\n"
                "see the header of tools/darkvec_cli.cpp for details\n");
 }
 
@@ -321,6 +327,24 @@ bool setup_obs(const Args& args) {
     }
   }
   if (args.has("trace-out")) obs::Tracer::instance().set_enabled(true);
+  return true;
+}
+
+/// Applies --simd by forcing the kernel dispatch level. Returns false
+/// when the value does not parse or names a level this CPU lacks.
+bool setup_simd(const Args& args) {
+  if (!args.has("simd")) return true;
+  simd::Level level = simd::Level::kScalar;
+  if (!simd::parse_level(args.get("simd"), &level)) {
+    std::fprintf(stderr, "bad --simd (want off|scalar|avx2|avx512)\n");
+    return false;
+  }
+  if (!simd::level_supported(level)) {
+    std::fprintf(stderr, "--simd %s: not supported by this CPU\n",
+                 simd::level_name(level));
+    return false;
+  }
+  simd::force_level(level);
   return true;
 }
 
@@ -359,6 +383,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
   if (!setup_obs(args)) return 2;
+  if (!setup_simd(args)) return 2;
   int rc = 2;
   bool known = true;
   try {

@@ -24,6 +24,11 @@ Rules (each with a stable id used in the output):
                    diagnostics through obs::logger() (obs/log.hpp) so
                    output is leveled, structured, and capturable. Tools,
                    benches and examples own their stdout and are exempt.
+  raw-intrinsics   x86 vector intrinsics (_mm*/__m128/__m256/__m512) are
+                   confined to the kernel layer (core/simd/); everywhere
+                   else call the runtime-dispatched simd::kernels() so
+                   every consumer honours DARKVEC_SIMD and the scalar
+                   parity oracle.
 
 Scanned roots: src/ include/ tools/ bench/ examples/ (tests are exempt:
 they may exercise raw primitives on purpose). Findings are printed as
@@ -45,7 +50,8 @@ SCAN_ROOTS = ("src", "include", "tools", "bench", "examples")
 EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
 
 # Rules that match line-by-line on comment/string-stripped source.
-# (id, regex, allowlist of repo-relative paths, message)
+# (id, regex, allowlist, message). Allowlist entries ending in "/" are
+# directory prefixes; all others are exact repo-relative paths.
 LINE_RULES = [
     (
         "raw-assert",
@@ -76,7 +82,22 @@ LINE_RULES = [
         "annotations; use core::Mutex/core::MutexLock/core::CondVar "
         "(core/annotations.hpp)",
     ),
+    (
+        "raw-intrinsics",
+        re.compile(r"\b(?:_mm\d*_\w+|__m\d+[id]?)\b"),
+        frozenset({"src/core/simd/", "include/darkvec/core/simd/"}),
+        "raw x86 intrinsics outside the kernel layer; call the "
+        "runtime-dispatched simd::kernels() (core/simd/simd.hpp)",
+    ),
 ]
+
+
+def allowed(rel: str, allow: frozenset[str]) -> bool:
+    """True when `rel` is allowlisted: an exact entry, or under a
+    directory-prefix entry (those end with "/")."""
+    return rel in allow or any(
+        entry.endswith("/") and rel.startswith(entry) for entry in allow
+    )
 
 IFSTREAM_RE = re.compile(r"\bstd::ifstream\b")
 IO_POLICY_RE = re.compile(r"\bIoPolicy\b")
@@ -134,7 +155,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
     lines = stripped.splitlines()
     for lineno, line in enumerate(lines, start=1):
         for rule_id, pattern, allow, message in LINE_RULES:
-            if rel in allow:
+            if allowed(rel, allow):
                 continue
             if rule_id == "raw-assert" and "static_assert" in line:
                 # \b already rejects static_assert; this guards lines
@@ -190,6 +211,9 @@ SELF_TEST_SEEDS = {
         "#include <fstream>\nvoid f() { std::ifstream in(\"x\"); }\n",
     "raw-iostream":
         "#include <iostream>\nvoid f() { std::cerr << \"oops\\n\"; }\n",
+    "raw-intrinsics":
+        "#include <immintrin.h>\n"
+        "__m256 f(__m256 a) { return _mm256_add_ps(a, a); }\n",
 }
 
 CLEAN_FILE = """\
@@ -217,6 +241,12 @@ def self_test() -> int:
         tools.mkdir()
         (tools / "exempt_iostream.cpp").write_text(
             SELF_TEST_SEEDS["raw-iostream"], encoding="utf-8")
+        # raw-intrinsics allowlists the kernel directory by prefix: the
+        # same intrinsics that fire under src/ must stay quiet there.
+        kernel_dir = src / "core" / "simd"
+        kernel_dir.mkdir(parents=True)
+        (kernel_dir / "exempt_intrinsics.cpp").write_text(
+            SELF_TEST_SEEDS["raw-intrinsics"], encoding="utf-8")
 
         findings = lint_tree(root)
         fired = {m.split("[", 1)[1].split("]", 1)[0] for m in findings}
@@ -234,6 +264,12 @@ def self_test() -> int:
         if exempt_hits:
             print("self-test FAIL: raw-iostream fired outside src/include:")
             for m in exempt_hits:
+                print(f"  {m}")
+            failures += 1
+        kernel_hits = [m for m in findings if "exempt_intrinsics.cpp" in m]
+        if kernel_hits:
+            print("self-test FAIL: raw-intrinsics fired inside core/simd/:")
+            for m in kernel_hits:
                 print(f"  {m}")
             failures += 1
     if failures == 0:
