@@ -67,6 +67,12 @@ class DarkVec {
   [[nodiscard]] Clustering cluster(int k_prime,
                                    std::uint64_t seed = 1) const;
 
+  /// Same clustering with opt-in approximate neighbour lists for the
+  /// k'-NN graph. `ann` disabled matches the overload above
+  /// bit-identically.
+  [[nodiscard]] Clustering cluster(int k_prime, std::uint64_t seed,
+                                   const ml::AnnSearchParams& ann) const;
+
   [[nodiscard]] const DarkVecConfig& config() const { return config_; }
 
  private:

@@ -45,6 +45,15 @@ struct KnnEvaluation {
                                          std::span<const net::IPv4> eval_ips,
                                          int k);
 
+/// Same evaluation with opt-in approximate neighbour lists (`ann`
+/// threaded down to ml::loo_knn_predict). Disabled is the exact
+/// overload above, bit-identically.
+[[nodiscard]] KnnEvaluation evaluate_knn(const DarkVec& dv,
+                                         const sim::LabelMap& labels,
+                                         std::span<const net::IPv4> eval_ips,
+                                         int k,
+                                         const ml::AnnSearchParams& ann);
+
 /// Same evaluation over an arbitrary sender-vector matrix (used to score
 /// the baselines — port features, DANTE, IP2VEC — with identical
 /// methodology). `row_ips[i]` names row i of `vectors`.

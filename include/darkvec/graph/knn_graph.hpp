@@ -18,4 +18,11 @@ namespace darkvec::graph {
 [[nodiscard]] WeightedGraph knn_graph(const ml::CosineKnn& index,
                                       int k_prime);
 
+/// Same construction with opt-in approximate neighbour lists: when
+/// `ann.enabled` the lists come from the IVF index (deterministic per
+/// nprobe, but edges to out-of-probe neighbours may be missing);
+/// disabled falls back to the exact overload above, bit-identically.
+[[nodiscard]] WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime,
+                                      const ml::AnnSearchParams& ann);
+
 }  // namespace darkvec::graph

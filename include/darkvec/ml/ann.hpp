@@ -1,0 +1,201 @@
+// IVF (inverted-file) approximate cosine k-NN beside the exact engine.
+//
+// The exact scan of ml/batch_topk touches every corpus row per query —
+// O(n·dim) — which stops being viable at the paper's 543 900-sender
+// population. This index partitions the L2-normalized rows into nlist
+// inverted lists with a k-means coarse quantizer (or a caller-supplied
+// partition such as Louvain communities), then answers a query by
+// ranking the list centroids and scanning only the `nprobe` closest
+// lists. Expected rows touched per query drop from n to roughly
+// nlist + nprobe · n / nlist: sub-linear at nlist ≈ sqrt(n).
+//
+// Determinism contract (per nprobe): the probe order is the centroid
+// top-nprobe under the same (similarity desc, list id asc) total order
+// as the neighbour heap, within-list candidates are visited in ascending
+// original row id, and every similarity is produced by the dispatched
+// dot-strip kernel — one float accumulator per (query, candidate) pair
+// walking dims in ascending order, bit-identical across SIMD levels.
+// Queries are independent, so results are also independent of the
+// thread count. A returned (query, neighbour) similarity is therefore
+// bit-identical to what the exact CosineKnn scan computes for that same
+// pair; only the candidate SET is approximate.
+//
+// Storage: per-list rows are contiguous in "slot" order (list-major,
+// ascending original id within a list), pre-transposed into [dim x w]
+// chunks of the same L1-sized width as the batch engine's corpus tiles,
+// so within-list scans feed dot_strip_f32 directly with no per-query
+// transpose. With IvfOptions::quantize the int8 codes of the rows ride
+// along (same symmetric per-row scheme as w2v::QuantizedEmbedding) and
+// list scans use the dot_i8 kernel instead: similarities then carry
+// quantization error but stay deterministic.
+//
+// On disk: "DVAI" v1 — magic, version, row count, dim, list count,
+// default nprobe, quantized flag, normalized centroids, list offsets,
+// slot -> original id map, fp32 rows in slot order, optional int8
+// scales + codes, CRC32 footer. Strict loads throw typed io:: errors;
+// lenient loads degrade to the complete lists present (truncation
+// inside the quantized section falls back to an fp32-only index).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "darkvec/core/errors.hpp"
+#include "darkvec/ml/batch_topk.hpp"
+#include "darkvec/ml/kmeans.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::ml {
+
+/// Opt-in switch threaded through the k-NN consumers (CosineKnn,
+/// knn_graph, LOO evaluation, DarkVec::cluster): disabled means the
+/// exact engine, enabled routes through the IVF index. nprobe == 0
+/// uses the index's default operating point.
+struct AnnSearchParams {
+  bool enabled = false;
+  int nprobe = 0;
+};
+
+/// Build-time knobs of the IVF index.
+struct IvfOptions {
+  /// Number of inverted lists. 0 derives ~sqrt(n), the classic balance
+  /// point between centroid ranking and list scanning; always clamped
+  /// to [1, n]. Empty lists are dropped after assignment.
+  int nlist = 0;
+  /// Default lists probed per query (clamped to [1, nlist]). The
+  /// operating point the bench gate measures.
+  int nprobe = 8;
+  /// Store int8 codes and scan lists with the dot_i8 kernel (4x less
+  /// memory traffic, quantization error per the DVQ8 contract).
+  bool quantize = false;
+  /// Coarse-quantizer training (seed, iterations, tolerance).
+  KMeansOptions kmeans;
+};
+
+/// IVF approximate cosine k-NN index over an L2-normalized embedding.
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  /// Builds from `normalized` (as produced by Embedding::normalized())
+  /// with a k-means coarse quantizer. Deterministic for a fixed
+  /// options.kmeans.seed.
+  [[nodiscard]] static IvfIndex build(const w2v::Embedding& normalized,
+                                      const IvfOptions& options = {});
+
+  /// Builds from a caller-supplied partition instead of k-means:
+  /// `assignment[i] >= 0` is row i's list (Louvain communities are the
+  /// natural choice — the coarse structure the pipeline already
+  /// computes). Centroids are the L2-normalized member means;
+  /// options.nlist and options.kmeans are ignored.
+  [[nodiscard]] static IvfIndex build_with_assignment(
+      const w2v::Embedding& normalized, std::span<const int> assignment,
+      const IvfOptions& options = {});
+
+  /// Approximate k nearest neighbours of corpus row `i`, excluding `i`
+  /// itself — the IVF counterpart of CosineKnn::query. nprobe == 0 uses
+  /// default_nprobe().
+  [[nodiscard]] std::vector<Neighbor> query(std::size_t i, int k,
+                                            int nprobe = 0) const;
+
+  /// Approximate neighbours of an arbitrary (not necessarily
+  /// normalized) vector; `exclude` removes one original row id.
+  [[nodiscard]] std::vector<Neighbor> query_vector(
+      std::span<const float> v, int k, int nprobe = 0,
+      std::int64_t exclude = -1) const;
+
+  /// Batch counterpart of query(): same API shape as batch_topk (query
+  /// ids in, one Neighbor list per id out), parallel over query blocks
+  /// on the global thread pool, deterministic for any thread count.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> query_batch(
+      std::span<const std::uint32_t> queries, int k, int nprobe = 0) const;
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] std::size_t nlist() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] int default_nprobe() const { return default_nprobe_; }
+  [[nodiscard]] bool quantized() const { return quantized_; }
+  [[nodiscard]] std::size_t list_size(std::size_t l) const {
+    return static_cast<std::size_t>(offsets_[l + 1] - offsets_[l]);
+  }
+  /// Normalized list centroids, one row per list.
+  [[nodiscard]] const w2v::Embedding& centroids() const { return centroids_; }
+
+  /// Rows a query at `nprobe` touches on average (centroid ranking plus
+  /// the mean probed-list mass) — the denominator of the bench gate's
+  /// scan-reduction claim, without running a query.
+  [[nodiscard]] double expected_rows_scanned(int nprobe) const;
+
+  /// Binary serialization, "DVAI" v1 (see file comment). save_file()
+  /// persists atomically (temp + rename); header fields are capped by
+  /// `policy.limits` before any allocation.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static IvfIndex load(std::istream& in,
+                                     const io::IoPolicy& policy,
+                                     io::IoReport* report = nullptr);
+  [[nodiscard]] static IvfIndex load_file(const std::string& path,
+                                          const io::IoPolicy& policy,
+                                          io::IoReport* report = nullptr);
+
+ private:
+  /// Shared assembly: compact the partition, compute normalized
+  /// centroids, lay out slot-ordered chunked tiles (+ codes).
+  [[nodiscard]] static IvfIndex assemble(const w2v::Embedding& normalized,
+                                         std::span<const int> assignment,
+                                         int clusters,
+                                         const IvfOptions& options);
+  /// Rebuilds chunk tiles, the centroid tile and slot_of_ from
+  /// slot-ordered row-major rows (load path / assemble path).
+  void finalize_tiles(const float* rows_slot_major);
+  /// Copies the fp32 row stored at `slot` out of its chunk tile.
+  void copy_row(std::size_t slot, float* dst) const;
+  /// Probed list ids for query `q`, deterministic order (centroid
+  /// similarity desc, list id asc).
+  void select_probes(std::span<const float> q, int nprobe,
+                     std::vector<std::uint32_t>& probes,
+                     std::vector<float>& sims_scratch) const;
+  /// Single-query search; qslot >= 0 reuses the stored codes of that
+  /// slot for the quantized scan, < 0 quantizes `q` on the fly.
+  [[nodiscard]] std::vector<Neighbor> search_one(
+      std::span<const float> q, std::int64_t qslot, int k, int nprobe,
+      std::int64_t exclude, std::size_t* rows_scanned,
+      std::vector<float>& sims_scratch,
+      std::vector<std::uint32_t>& probes_scratch) const;
+  [[nodiscard]] int clamp_nprobe(int nprobe) const;
+
+  int dim_ = 0;
+  int default_nprobe_ = 1;
+  bool quantized_ = false;
+  /// Width of the transposed list chunks (detail::auto_tile_width(dim)).
+  std::size_t chunk_ = 0;
+  /// Slot ranges per list: list l owns slots [offsets_[l], offsets_[l+1]).
+  std::vector<std::uint64_t> offsets_;
+  /// Original row id per slot; ascending within each list.
+  std::vector<std::uint32_t> ids_;
+  /// Original row id -> slot (kNoSlot for ids dropped by a lenient
+  /// truncated load).
+  std::vector<std::uint32_t> slot_of_;
+  /// Normalized centroids, row-major (save/load + introspection).
+  w2v::Embedding centroids_;
+  /// Centroids pre-transposed into [dim x chunk_] tiles for the probe
+  /// ranking scan.
+  std::vector<float> centroid_tile_;
+  /// Slot-ordered rows as per-list sequences of transposed [dim x w]
+  /// chunks (w == chunk_ except a list's last chunk).
+  std::vector<float> tiles_;
+  /// int8 side (quantize == true): slot-ordered codes at qstride_
+  /// (zero-padded to whole vector lanes) and one scale per slot.
+  std::size_t qstride_ = 0;
+  std::vector<float> scales_;
+  std::vector<std::int8_t> codes_;
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+};
+
+}  // namespace darkvec::ml

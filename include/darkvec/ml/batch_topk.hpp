@@ -73,13 +73,20 @@ class TopKHeap {
   std::vector<Neighbor> heap_;
 };
 
+/// Widest multiple of 16 whose transposed [dim x width] float tile fits
+/// the ~32 KiB L1 budget (floor 16, so the strip kernel always has full
+/// vector lanes). The auto corpus_block of the blocked scan, shared with
+/// the IVF index's chunked list tiles. Precondition: dim > 0.
+[[nodiscard]] std::size_t auto_tile_width(std::size_t dim);
+
 }  // namespace detail
 
-/// Tile shape of the blocked scan. corpus_block == 0 (the default)
-/// derives the tile width from the embedding's actual dim at runtime so
-/// the transposed [dim x corpus_block] float tile fits an L1-sized
-/// budget (~32 KiB) regardless of dim; an explicit value is used as-is
-/// but must keep the tile under a 4 MiB hard cap (DV_PRECONDITION).
+/// Tile shape of the blocked scan. query_block must be positive
+/// (DV_PRECONDITION). corpus_block == 0 (the default) derives the tile
+/// width from the embedding's actual dim at runtime so the transposed
+/// [dim x corpus_block] float tile fits an L1-sized budget (~32 KiB)
+/// regardless of dim; an explicit value is used as-is but must keep the
+/// tile under a 4 MiB hard cap (DV_PRECONDITION).
 struct BatchTopkOptions {
   std::size_t query_block = 32;
   std::size_t corpus_block = 0;
@@ -106,5 +113,17 @@ struct BatchTopkOptions {
     const w2v::QuantizedEmbedding& quantized,
     std::span<const std::uint32_t> queries, int k,
     const BatchTopkOptions& options = {});
+
+/// Single-query tiled scan over the whole corpus: every similarity is
+/// sims[j] = (sum_d query[d] * row_j[d]) * scale via the dispatched
+/// dot-strip kernel — one float accumulator per candidate walking dims
+/// in ascending order, so the output is bit-identical to the historical
+/// serial CosineKnn loop at every dispatch level. `exclude` removes one
+/// corpus row (pass a negative value to keep all). The serial engine
+/// behind CosineKnn::query / query_vector.
+[[nodiscard]] std::vector<Neighbor> topk_scan(const w2v::Embedding& normalized,
+                                              std::span<const float> query,
+                                              float scale, int k,
+                                              std::int64_t exclude = -1);
 
 }  // namespace darkvec::ml

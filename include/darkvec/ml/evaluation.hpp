@@ -29,4 +29,12 @@ namespace darkvec::ml {
     const CosineKnn& index, std::span<const int> labels,
     std::span<const std::uint32_t> eval_points, int k);
 
+/// Same prediction with opt-in approximate neighbour lists (`ann`
+/// routed through CosineKnn::query_batch). Disabled is the exact
+/// overload above, bit-identically.
+[[nodiscard]] std::vector<int> loo_knn_predict(
+    const CosineKnn& index, std::span<const int> labels,
+    std::span<const std::uint32_t> eval_points, int k,
+    const AnnSearchParams& ann);
+
 }  // namespace darkvec::ml

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "darkvec/ml/ann.hpp"
 #include "darkvec/ml/batch_topk.hpp"
 #include "darkvec/w2v/embedding.hpp"
 #include "darkvec/w2v/quantized.hpp"
@@ -66,6 +68,27 @@ class CosineKnn {
   [[nodiscard]] std::vector<std::vector<Neighbor>> all_neighbors_quantized(
       int k) const;
 
+  /// Opt-in approximate routing: params.enabled sends the query through
+  /// the lazily built IVF index at params.nprobe (0 = the index
+  /// default); disabled falls back to the exact engine, bit-identical
+  /// to the overloads above. Returned similarities are exact-engine
+  /// bits either way (the IVF fp32 scan shares the kernel and the
+  /// rescale); only the candidate set is approximate when enabled.
+  [[nodiscard]] std::vector<Neighbor> query(std::size_t i, int k,
+                                            const AnnSearchParams& params)
+      const;
+  [[nodiscard]] std::vector<std::vector<Neighbor>> query_batch(
+      std::span<const std::uint32_t> points, int k,
+      const AnnSearchParams& params) const;
+  [[nodiscard]] std::vector<std::vector<Neighbor>> all_neighbors(
+      int k, const AnnSearchParams& params) const;
+
+  /// The lazily built IVF index. The options of the FIRST call win;
+  /// later calls return the same immutable index. Call this eagerly to
+  /// pick non-default build options (e.g. quantize) before any
+  /// AnnSearchParams-taking overload builds it with the defaults.
+  [[nodiscard]] const IvfIndex& ann(const IvfOptions& options = {}) const;
+
   [[nodiscard]] std::size_t size() const { return normalized_.size(); }
   [[nodiscard]] int dim() const { return normalized_.dim(); }
   [[nodiscard]] const w2v::Embedding& normalized() const {
@@ -80,6 +103,9 @@ class CosineKnn {
   /// immutable, so readers need no further synchronization.
   mutable std::once_flag quant_once_;
   mutable w2v::QuantizedEmbedding quant_;
+  /// Same pattern for the IVF index.
+  mutable std::once_flag ann_once_;
+  mutable std::unique_ptr<IvfIndex> ann_;
 };
 
 }  // namespace darkvec::ml

@@ -7,8 +7,9 @@
 #   3. project lint (self-test, then the tree) and clang-tidy (if present)
 #   4. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
 #   5. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
-#   6. ASan+UBSan build + io-fuzz and simd kernel tests (byte-level
-#      readers and every vector code path)
+#   6. ASan+UBSan build + io-fuzz, simd kernel and ann index tests
+#      (byte-level readers, every vector code path and the IVF
+#      candidate-scan pointer arithmetic)
 #
 # Each configuration uses its own build directory so the sweep never
 # clobbers a developer's ./build. compile_commands.json is exported from
@@ -81,11 +82,12 @@ run cmake -B build-tsan -S . -DDARKVEC_SANITIZE=thread
 run cmake --build build-tsan -j "${JOBS}"
 run ctest --test-dir build-tsan -L 'perf-smoke|obs' --output-on-failure
 
-# 6. ASan+UBSan smoke over the hostile-input readers and the SIMD kernel
-# parity suite (every dispatch level, quantization round-trips).
+# 6. ASan+UBSan smoke over the hostile-input readers, the SIMD kernel
+# parity suite (every dispatch level, quantization round-trips) and the
+# IVF approximate index (tile scans, DVAI loads, truncation recovery).
 run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=address,undefined
 run cmake --build build-ubsan -j "${JOBS}"
-run ctest --test-dir build-ubsan -L 'io-fuzz|simd' --output-on-failure
+run ctest --test-dir build-ubsan -L 'io-fuzz|simd|ann' --output-on-failure
 
 echo
 echo "check.sh: all gates passed"

@@ -38,8 +38,13 @@ std::optional<std::size_t> DarkVec::index_of(net::IPv4 ip) const {
 }
 
 Clustering DarkVec::cluster(int k_prime, std::uint64_t seed) const {
+  return cluster(k_prime, seed, ml::AnnSearchParams{});
+}
+
+Clustering DarkVec::cluster(int k_prime, std::uint64_t seed,
+                            const ml::AnnSearchParams& ann) const {
   DV_SPAN_ARG("darkvec.cluster", "k_prime", k_prime);
-  const graph::WeightedGraph g = graph::knn_graph(knn(), k_prime);
+  const graph::WeightedGraph g = graph::knn_graph(knn(), k_prime, ann);
   graph::LouvainOptions options;
   options.seed = seed;
   const graph::LouvainResult lr = graph::louvain(g, options);

@@ -49,7 +49,8 @@ KnnEvaluation evaluate_knn_impl(const ml::CosineKnn& index,
                                 std::span<const int> all_labels,
                                 const std::unordered_map<net::IPv4,
                                                          std::size_t>& rows,
-                                std::span<const net::IPv4> eval_ips, int k) {
+                                std::span<const net::IPv4> eval_ips, int k,
+                                const ml::AnnSearchParams& ann = {}) {
   std::vector<std::uint32_t> points;
   std::vector<int> y_true;
   std::size_t covered = 0;
@@ -61,7 +62,7 @@ KnnEvaluation evaluate_knn_impl(const ml::CosineKnn& index,
     y_true.push_back(all_labels[it->second]);
   }
 
-  const auto y_pred = ml::loo_knn_predict(index, all_labels, points, k);
+  const auto y_pred = ml::loo_knn_predict(index, all_labels, points, k, ann);
   ml::ClassificationReport report(y_true, y_pred,
                                   static_cast<int>(sim::kNumGtClasses));
 
@@ -79,13 +80,19 @@ KnnEvaluation evaluate_knn_impl(const ml::CosineKnn& index,
 
 KnnEvaluation evaluate_knn(const DarkVec& dv, const sim::LabelMap& labels,
                            std::span<const net::IPv4> eval_ips, int k) {
+  return evaluate_knn(dv, labels, eval_ips, k, ml::AnnSearchParams{});
+}
+
+KnnEvaluation evaluate_knn(const DarkVec& dv, const sim::LabelMap& labels,
+                           std::span<const net::IPv4> eval_ips, int k,
+                           const ml::AnnSearchParams& ann) {
   const auto all_labels = word_labels(dv.corpus(), labels);
   std::unordered_map<net::IPv4, std::size_t> rows;
   rows.reserve(dv.corpus().words.size());
   for (std::size_t i = 0; i < dv.corpus().words.size(); ++i) {
     rows.emplace(dv.corpus().words[i], i);
   }
-  return evaluate_knn_impl(dv.knn(), all_labels, rows, eval_ips, k);
+  return evaluate_knn_impl(dv.knn(), all_labels, rows, eval_ips, k, ann);
 }
 
 KnnEvaluation evaluate_knn_vectors(const w2v::Embedding& vectors,

@@ -5,12 +5,18 @@
 namespace darkvec::graph {
 
 WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime) {
+  return knn_graph(index, k_prime, ml::AnnSearchParams{});
+}
+
+WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime,
+                        const ml::AnnSearchParams& ann) {
   const std::size_t n = index.size();
   DV_SPAN_ARG("graph.knn_graph", "nodes", n);
-  // All neighbour lists at once through the blocked parallel kernel;
-  // edges are then inserted serially in ascending source order, so the
-  // graph is bit-identical for any thread count.
-  const auto all = index.all_neighbors(k_prime);
+  // All neighbour lists at once through the blocked parallel kernel (or
+  // the IVF index when ann.enabled); edges are then inserted serially
+  // in ascending source order, so the graph is bit-identical for any
+  // thread count.
+  const auto all = index.all_neighbors(k_prime, ann);
   WeightedGraph g(n);
   std::size_t edges = 0;
   for (std::size_t u = 0; u < n; ++u) {

@@ -1,0 +1,722 @@
+#include "darkvec/ml/ann.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/byteio.hpp"
+#include "darkvec/core/checksum.hpp"
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/core/parallel.hpp"
+#include "darkvec/core/simd/simd.hpp"
+#include "darkvec/obs/obs.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44564149;  // "DVAI"
+constexpr std::uint32_t kVersion = 1;
+// int8 rows are padded to whole vector lanes, like w2v::QuantizedEmbedding.
+constexpr std::size_t kQStrideAlign = 32;
+// Queries are independent, so the block size only amortizes scratch
+// buffers and counter updates; it never affects results.
+constexpr std::size_t kQueryBlock = 16;
+
+std::size_t padded_qstride(int dim) {
+  return (static_cast<std::size_t>(dim) + kQStrideAlign - 1) &
+         ~(kQStrideAlign - 1);
+}
+
+/// Symmetric int8 quantization of one row (scale = amax / 127), zero
+/// padding to `stride` — the DVQ8 scheme, applied slot-by-slot.
+float quantize_row(std::span<const float> src, std::int8_t* dst,
+                   std::size_t stride) {
+  std::fill(dst, dst + stride, std::int8_t{0});
+  float amax = 0.0f;
+  for (const float v : src) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0f) return 0.0f;
+  const float scale = amax / 127.0f;
+  for (std::size_t d = 0; d < src.size(); ++d) {
+    const long q = std::lround(src[d] / scale);
+    dst[d] = static_cast<std::int8_t>(std::clamp(q, -127l, 127l));
+  }
+  return scale;
+}
+
+/// Chunked typed read: appends up to `count` elements to `out`, folding
+/// every byte that arrived (including a partial tail) into `crc`, with
+/// allocation growing proportionally to bytes actually present — a
+/// poisoned header count can never trigger an allocation bomb. Returns
+/// true iff all `count` elements arrived.
+template <typename T>
+bool read_chunked(std::istream& in, io::Crc32& crc, std::uint64_t count,
+                  std::vector<T>& out) {
+  std::vector<T> buffer(std::size_t{1} << 12);
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, buffer.size()));
+    const std::size_t got = io::read_array_bytes(in, buffer.data(), chunk);
+    crc.update(buffer.data(), got);
+    out.insert(out.end(), buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(got / sizeof(T)));
+    if (got < chunk * sizeof(T)) return false;
+    remaining -= chunk;
+  }
+  return true;
+}
+
+}  // namespace
+
+int IvfIndex::clamp_nprobe(int nprobe) const {
+  const int nl = static_cast<int>(nlist());
+  if (nl == 0) return 0;
+  if (nprobe <= 0) nprobe = default_nprobe_;
+  return std::clamp(nprobe, 1, nl);
+}
+
+double IvfIndex::expected_rows_scanned(int nprobe) const {
+  const std::size_t nl = nlist();
+  const std::size_t n = ids_.size();
+  if (nl == 0 || n == 0) return 0.0;
+  // Probability that a uniformly chosen query probes list l is
+  // approximated as uniform over lists; the centroid ranking itself
+  // touches every centroid once.
+  const int np = clamp_nprobe(nprobe);
+  return static_cast<double>(nl) +
+         static_cast<double>(np) * static_cast<double>(n) /
+             static_cast<double>(nl);
+}
+
+void IvfIndex::finalize_tiles(const float* rows_slot_major) {
+  const auto dim = static_cast<std::size_t>(dim_);
+  const std::size_t n = ids_.size();
+  const std::size_t nl = nlist();
+  chunk_ = dim > 0 ? detail::auto_tile_width(dim) : 0;
+
+  tiles_.assign(n * dim, 0.0f);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const std::size_t base = offsets_[l];
+    const std::size_t ls = list_size(l);
+    for (std::size_t c0 = 0; c0 < ls; c0 += chunk_) {
+      const std::size_t cw = std::min(chunk_, ls - c0);
+      float* tile = tiles_.data() + (base + c0) * dim;
+      for (std::size_t jj = 0; jj < cw; ++jj) {
+        const float* row = rows_slot_major + (base + c0 + jj) * dim;
+        for (std::size_t d = 0; d < dim; ++d) tile[d * cw + jj] = row[d];
+      }
+    }
+  }
+
+  centroid_tile_.assign(nl * dim, 0.0f);
+  for (std::size_t c0 = 0; c0 < nl; c0 += chunk_) {
+    const std::size_t cw = std::min(chunk_, nl - c0);
+    float* tile = centroid_tile_.data() + c0 * dim;
+    for (std::size_t jj = 0; jj < cw; ++jj) {
+      const float* row = centroids_.vec(c0 + jj).data();
+      for (std::size_t d = 0; d < dim; ++d) tile[d * cw + jj] = row[d];
+    }
+  }
+
+  std::uint32_t max_id = 0;
+  for (const std::uint32_t id : ids_) max_id = std::max(max_id, id);
+  slot_of_.assign(n > 0 ? static_cast<std::size_t>(max_id) + 1 : 0, kNoSlot);
+  for (std::size_t s = 0; s < n; ++s) {
+    slot_of_[ids_[s]] = static_cast<std::uint32_t>(s);
+  }
+}
+
+void IvfIndex::copy_row(std::size_t slot, float* dst) const {
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), slot);
+  const auto l = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+  const std::size_t base = offsets_[l];
+  const std::size_t ls = list_size(l);
+  const std::size_t c0 = ((slot - base) / chunk_) * chunk_;
+  const std::size_t cw = std::min(chunk_, ls - c0);
+  const auto dim = static_cast<std::size_t>(dim_);
+  const float* tile = tiles_.data() + (base + c0) * dim;
+  const std::size_t jj = slot - base - c0;
+  for (std::size_t d = 0; d < dim; ++d) dst[d] = tile[d * cw + jj];
+}
+
+IvfIndex IvfIndex::assemble(const w2v::Embedding& normalized,
+                            std::span<const int> assignment, int clusters,
+                            const IvfOptions& options) {
+  const std::size_t n = normalized.size();
+  const auto dim = static_cast<std::size_t>(normalized.dim());
+  DV_PRECONDITION(assignment.size() == n,
+                  "IvfIndex: one list assignment per embedding row");
+  DV_PRECONDITION(clusters > 0, "IvfIndex: at least one list");
+
+  // Compact the partition: count members, drop empty lists, remap.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(clusters), 0);
+  for (const int a : assignment) {
+    DV_PRECONDITION(a >= 0 && a < clusters,
+                    "IvfIndex: assignments are valid list ids");
+    ++counts[static_cast<std::size_t>(a)];
+  }
+  std::vector<std::uint32_t> remap(static_cast<std::size_t>(clusters), 0);
+  std::size_t nl = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    remap[c] = static_cast<std::uint32_t>(nl);
+    if (counts[c] > 0) ++nl;
+  }
+
+  IvfIndex out;
+  out.dim_ = normalized.dim();
+  out.offsets_.assign(nl + 1, 0);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) out.offsets_[remap[c] + 1] = counts[c];
+  }
+  for (std::size_t l = 0; l < nl; ++l) out.offsets_[l + 1] += out.offsets_[l];
+
+  // Slot layout: rows in ascending original id within each list (the
+  // determinism contract's within-list visit order).
+  out.ids_.resize(n);
+  std::vector<std::uint64_t> cursor(out.offsets_.begin(),
+                                    out.offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto l = remap[static_cast<std::size_t>(assignment[i])];
+    out.ids_[cursor[l]++] = static_cast<std::uint32_t>(i);
+  }
+
+  // Centroids: L2-normalized member means (for k-means-built indexes
+  // this refits the final assignment; for caller partitions it is the
+  // natural prototype). Zero-mass means stay zero rows.
+  out.centroids_ = w2v::Embedding(nl, out.dim_);
+  std::vector<double> sum(dim);
+  for (std::size_t l = 0; l < nl; ++l) {
+    std::fill(sum.begin(), sum.end(), 0.0);
+    for (std::size_t s = out.offsets_[l]; s < out.offsets_[l + 1]; ++s) {
+      const auto row = normalized.vec(out.ids_[s]);
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += double{row[d]};
+    }
+    double norm2 = 0;
+    for (const double v : sum) norm2 += v * v;
+    const double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    auto dst = out.centroids_.vec(l);
+    for (std::size_t d = 0; d < dim; ++d) {
+      dst[d] = static_cast<float>(sum[d] * inv);
+    }
+  }
+
+  // Gather rows into slot order once, then lay out the chunk tiles.
+  std::vector<float> rows(n * dim);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto row = normalized.vec(out.ids_[s]);
+    std::copy(row.begin(), row.end(), rows.begin() + s * dim);
+  }
+  out.finalize_tiles(rows.data());
+
+  if (options.quantize) {
+    out.quantized_ = true;
+    out.qstride_ = padded_qstride(out.dim_);
+    out.scales_.assign(n, 0.0f);
+    out.codes_.assign(n * out.qstride_, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      out.scales_[s] = quantize_row(
+          std::span<const float>(rows.data() + s * dim, dim),
+          out.codes_.data() + s * out.qstride_, out.qstride_);
+    }
+  }
+
+  out.default_nprobe_ =
+      std::clamp(options.nprobe, 1, static_cast<int>(nl));
+  return out;
+}
+
+IvfIndex IvfIndex::build(const w2v::Embedding& normalized,
+                         const IvfOptions& options) {
+  const std::size_t n = normalized.size();
+  DV_SPAN_ARG("ml.ann.build", "rows", n);
+  if (n == 0 || normalized.dim() == 0) {
+    IvfIndex out;
+    out.dim_ = normalized.dim();
+    out.offsets_.assign(1, 0);
+    return out;
+  }
+  int nl = options.nlist;
+  if (nl <= 0) {
+    nl = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  }
+  nl = std::clamp<int>(nl, 1, static_cast<int>(std::min<std::size_t>(
+                                  n, std::size_t{1} << 30)));
+
+  std::vector<int> assignment;
+  if (nl == 1) {
+    assignment.assign(n, 0);
+  } else {
+    assignment = kmeans(normalized, nl, options.kmeans).assignment;
+  }
+  IvfIndex out = assemble(normalized, assignment, nl, options);
+  DV_LOG_DEBUG("ann", "ivf index built", {"rows", n},
+               {"nlist", out.nlist()}, {"nprobe", out.default_nprobe_},
+               {"quantized", out.quantized_});
+  return out;
+}
+
+IvfIndex IvfIndex::build_with_assignment(const w2v::Embedding& normalized,
+                                         std::span<const int> assignment,
+                                         const IvfOptions& options) {
+  const std::size_t n = normalized.size();
+  DV_SPAN_ARG("ml.ann.build", "rows", n);
+  if (n == 0 || normalized.dim() == 0) {
+    IvfIndex out;
+    out.dim_ = normalized.dim();
+    out.offsets_.assign(1, 0);
+    return out;
+  }
+  int clusters = 0;
+  for (const int a : assignment) clusters = std::max(clusters, a + 1);
+  IvfIndex out = assemble(normalized, assignment, std::max(clusters, 1),
+                          options);
+  DV_LOG_DEBUG("ann", "ivf index built from partition", {"rows", n},
+               {"nlist", out.nlist()}, {"nprobe", out.default_nprobe_});
+  return out;
+}
+
+void IvfIndex::select_probes(std::span<const float> q, int nprobe,
+                             std::vector<std::uint32_t>& probes,
+                             std::vector<float>& sims_scratch) const {
+  const std::size_t nl = nlist();
+  const auto dim = static_cast<std::size_t>(dim_);
+  // The centroid ranking reuses the neighbour heap's total order
+  // (similarity desc, id asc), so the probe sequence is deterministic —
+  // including across SIMD levels, because dot_strip_f32 is
+  // bit-identical there. No inverse-norm rescale: a positive common
+  // factor cannot change the ranking.
+  detail::TopKHeap heap(nprobe);
+  for (std::size_t c0 = 0; c0 < nl; c0 += chunk_) {
+    const std::size_t cw = std::min(chunk_, nl - c0);
+    simd::kernels().dot_strip_f32(q.data(),
+                                  centroid_tile_.data() + c0 * dim, cw, dim,
+                                  sims_scratch.data());
+    for (std::size_t jj = 0; jj < cw; ++jj) {
+      heap.offer(static_cast<std::uint32_t>(c0 + jj), sims_scratch[jj]);
+    }
+  }
+  probes.clear();
+  for (const Neighbor& nb : heap.take()) probes.push_back(nb.index);
+}
+
+std::vector<Neighbor> IvfIndex::search_one(
+    std::span<const float> q, std::int64_t qslot, int k, int nprobe,
+    std::int64_t exclude, std::size_t* rows_scanned,
+    std::vector<float>& sims_scratch,
+    std::vector<std::uint32_t>& probes_scratch) const {
+  detail::TopKHeap heap(k);
+  const std::size_t n = ids_.size();
+  const auto dim = static_cast<std::size_t>(dim_);
+  if (k <= 0 || n == 0 || dim == 0) return heap.take();
+
+  select_probes(q, nprobe, probes_scratch, sims_scratch);
+  const simd::Kernels& kern = simd::kernels();
+
+  if (quantized_) {
+    // Mirror the quantized batch engine: similarity is
+    // dot_i8 * scale_q * scale_row / ||q||, with the query norm
+    // reconstructed from its own int8 self-dot.
+    const std::int8_t* qcodes = nullptr;
+    float qrow_scale = 0.0f;
+    std::vector<std::int8_t> local;
+    if (qslot >= 0) {
+      qcodes = codes_.data() +
+               static_cast<std::size_t>(qslot) * qstride_;
+      qrow_scale = scales_[static_cast<std::size_t>(qslot)];
+    } else {
+      local.resize(qstride_);
+      qrow_scale = quantize_row(q, local.data(), qstride_);
+      qcodes = local.data();
+    }
+    const double self =
+        static_cast<double>(kern.dot_i8(qcodes, qcodes, qstride_)) *
+        qrow_scale * qrow_scale;
+    const float inv =
+        self > 0 ? static_cast<float>(1.0 / std::sqrt(self)) : 0.0f;
+    const float qscale = qrow_scale * inv;
+    for (const std::uint32_t l : probes_scratch) {
+      const std::size_t base = offsets_[l];
+      const std::size_t ls = list_size(l);
+      for (std::size_t s = base; s < base + ls; ++s) {
+        const std::uint32_t id = ids_[s];
+        if (static_cast<std::int64_t>(id) == exclude) continue;
+        const std::int32_t raw =
+            kern.dot_i8(qcodes, codes_.data() + s * qstride_, qstride_);
+        heap.offer(id, static_cast<float>(raw) * qscale * scales_[s]);
+      }
+      *rows_scanned += ls;
+    }
+    return heap.take();
+  }
+
+  // fp32 scan: the same dot-strip + 1/sqrt(dot(q, q)) rescale as the
+  // exact engine, so a returned similarity is bit-identical to what the
+  // exhaustive scan computes for the same (query, neighbour) pair.
+  const double norm = std::sqrt(w2v::dot(q, q));
+  const float inv = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;
+  for (const std::uint32_t l : probes_scratch) {
+    const std::size_t base = offsets_[l];
+    const std::size_t ls = list_size(l);
+    for (std::size_t c0 = 0; c0 < ls; c0 += chunk_) {
+      const std::size_t cw = std::min(chunk_, ls - c0);
+      kern.dot_strip_f32(q.data(), tiles_.data() + (base + c0) * dim, cw,
+                         dim, sims_scratch.data());
+      for (std::size_t jj = 0; jj < cw; ++jj) {
+        const std::uint32_t id = ids_[base + c0 + jj];
+        if (static_cast<std::int64_t>(id) == exclude) continue;
+        heap.offer(id, sims_scratch[jj] * inv);
+      }
+    }
+    *rows_scanned += ls;
+  }
+  return heap.take();
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::query_batch(
+    std::span<const std::uint32_t> queries, int k, int nprobe) const {
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<Neighbor>> out(nq);
+  const std::size_t n = ids_.size();
+  const auto dim = static_cast<std::size_t>(dim_);
+  if (k <= 0 || nq == 0 || n == 0 || dim == 0) return out;
+
+  DV_SPAN_ARG("ml.ann.query_batch", "queries", nq);
+  const auto t_start = std::chrono::steady_clock::now();
+  const int np = clamp_nprobe(nprobe);
+
+  static obs::Counter& queries_counter = obs::counter("ann.queries");
+  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
+  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+
+  // Queries are independent, so any block split yields the same output;
+  // each block amortizes its scratch buffers and counter updates.
+  core::parallel_for(nq, kQueryBlock, [&](std::size_t qlo, std::size_t qhi) {
+    std::vector<float> sims(std::max(chunk_, std::size_t{1}));
+    std::vector<std::uint32_t> probes;
+    std::vector<float> qrow(dim);
+    std::size_t rows_scanned = 0;
+    for (std::size_t qi = qlo; qi < qhi; ++qi) {
+      const std::uint32_t id = queries[qi];
+      DV_PRECONDITION(id < slot_of_.size() && slot_of_[id] != kNoSlot,
+                      "IvfIndex: every query id is an indexed row");
+      const std::size_t slot = slot_of_[id];
+      copy_row(slot, qrow.data());
+      out[qi] = search_one(qrow, static_cast<std::int64_t>(slot), k, np,
+                           static_cast<std::int64_t>(id), &rows_scanned,
+                           sims, probes);
+    }
+    lists_counter.add((qhi - qlo) * static_cast<std::size_t>(np));
+    rows_counter.add(rows_scanned);
+  });
+  queries_counter.add(nq);
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  DV_LOG_DEBUG("ann", "query_batch done", {"queries", nq}, {"k", k},
+               {"nprobe", np},
+               {"queries_per_s",
+                seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});
+  return out;
+}
+
+std::vector<Neighbor> IvfIndex::query(std::size_t i, int k, int nprobe) const {
+  DV_PRECONDITION(i < slot_of_.size() && slot_of_[i] != kNoSlot,
+                  "IvfIndex: query id is an indexed row");
+  const std::size_t slot = slot_of_[i];
+  const auto dim = static_cast<std::size_t>(dim_);
+  std::vector<float> qrow(dim);
+  copy_row(slot, qrow.data());
+  std::vector<float> sims(std::max(chunk_, std::size_t{1}));
+  std::vector<std::uint32_t> probes;
+  std::size_t rows_scanned = 0;
+  const int np = clamp_nprobe(nprobe);
+  auto out = search_one(qrow, static_cast<std::int64_t>(slot), k, np,
+                        static_cast<std::int64_t>(i), &rows_scanned, sims,
+                        probes);
+  static obs::Counter& queries_counter = obs::counter("ann.queries");
+  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
+  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+  queries_counter.add(1);
+  lists_counter.add(static_cast<std::size_t>(np));
+  rows_counter.add(rows_scanned);
+  return out;
+}
+
+std::vector<Neighbor> IvfIndex::query_vector(std::span<const float> v, int k,
+                                             int nprobe,
+                                             std::int64_t exclude) const {
+  DV_PRECONDITION(v.size() == static_cast<std::size_t>(dim_),
+                  "IvfIndex: query vector matches the index dimension");
+  std::vector<float> sims(std::max(chunk_, std::size_t{1}));
+  std::vector<std::uint32_t> probes;
+  std::size_t rows_scanned = 0;
+  const int np = clamp_nprobe(nprobe);
+  auto out = search_one(v, -1, k, np, exclude, &rows_scanned, sims, probes);
+  static obs::Counter& queries_counter = obs::counter("ann.queries");
+  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
+  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+  queries_counter.add(1);
+  lists_counter.add(static_cast<std::size_t>(np));
+  rows_counter.add(rows_scanned);
+  return out;
+}
+
+void IvfIndex::save(std::ostream& out) const {
+  io::Crc32 crc;
+  const auto put = [&](const void* data, std::size_t len) {
+    crc.update(data, len);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+  };
+  const std::uint64_t n = ids_.size();
+  const std::int32_t d = dim_;
+  const auto nl = static_cast<std::uint32_t>(nlist());
+  const auto np = static_cast<std::uint32_t>(default_nprobe_);
+  const std::uint8_t qz = quantized_ ? 1 : 0;
+  put(&kMagic, sizeof(kMagic));
+  put(&kVersion, sizeof(kVersion));
+  put(&n, sizeof(n));
+  put(&d, sizeof(d));
+  put(&nl, sizeof(nl));
+  put(&np, sizeof(np));
+  put(&qz, sizeof(qz));
+
+  const auto dim = static_cast<std::size_t>(std::max(dim_, 0));
+  for (std::size_t l = 0; l < nl; ++l) {
+    put(centroids_.vec(l).data(), dim * sizeof(float));
+  }
+  if (offsets_.empty()) {
+    const std::uint64_t zero = 0;
+    put(&zero, sizeof(zero));
+  } else {
+    put(offsets_.data(), offsets_.size() * sizeof(std::uint64_t));
+  }
+  put(ids_.data(), ids_.size() * sizeof(std::uint32_t));
+  // Rows go out in slot order, un-transposed from the chunk tiles (the
+  // in-memory tile layout is rebuilt on load from dim alone).
+  std::vector<float> rowbuf(dim);
+  for (std::size_t s = 0; s < n; ++s) {
+    copy_row(s, rowbuf.data());
+    put(rowbuf.data(), dim * sizeof(float));
+  }
+  if (quantized_) {
+    put(scales_.data(), scales_.size() * sizeof(float));
+    // Codes are stored unpadded; the stride is rebuilt on load.
+    for (std::size_t s = 0; s < n; ++s) {
+      put(codes_.data() + s * qstride_, dim);
+    }
+  }
+  io::write_pod(out, crc.value());
+}
+
+void IvfIndex::save_file(const std::string& path) const {
+  io::atomic_write_file(path, std::ios::binary, [&](std::ostream& out) {
+    save(out);
+  });
+}
+
+IvfIndex IvfIndex::load(std::istream& in, const io::IoPolicy& policy,
+                        io::IoReport* report) {
+  DV_SPAN("io.load_ann");
+  io::Crc32 crc;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t n = 0;
+  std::int32_t d = 0;
+  std::uint32_t nl = 0;
+  std::uint32_t np = 0;
+  std::uint8_t qz = 0;
+  if (!io::read_pod(in, magic) || magic != kMagic) {
+    throw io::FormatError("IvfIndex: bad magic");
+  }
+  if (!io::read_pod(in, version) || version != kVersion) {
+    throw io::FormatError("IvfIndex: unsupported version");
+  }
+  if (!io::read_pod(in, n) || !io::read_pod(in, d) || !io::read_pod(in, nl) ||
+      !io::read_pod(in, np) || !io::read_pod(in, qz)) {
+    throw io::TruncatedInput("IvfIndex: truncated header");
+  }
+  if (d < 0 || (d == 0 && n > 0)) {
+    throw io::FormatError("IvfIndex: invalid dimension");
+  }
+  if (d > policy.limits.max_dim) {
+    throw io::ResourceLimit("IvfIndex: dimension " + std::to_string(d) +
+                            " over the cap of " +
+                            std::to_string(policy.limits.max_dim));
+  }
+  if (n > policy.limits.max_records) {
+    throw io::ResourceLimit("IvfIndex: header declares " + std::to_string(n) +
+                            " rows, cap is " +
+                            std::to_string(policy.limits.max_records));
+  }
+  if (nl > n) {
+    throw io::FormatError("IvfIndex: more lists than rows");
+  }
+  if (qz > 1) {
+    throw io::FormatError("IvfIndex: invalid quantized flag");
+  }
+  crc.update(&magic, sizeof(magic));
+  crc.update(&version, sizeof(version));
+  crc.update(&n, sizeof(n));
+  crc.update(&d, sizeof(d));
+  crc.update(&nl, sizeof(nl));
+  crc.update(&np, sizeof(np));
+  crc.update(&qz, sizeof(qz));
+
+  const auto dim = static_cast<std::size_t>(d);
+  IvfIndex out;
+  out.dim_ = d;
+  bool truncated = false;
+  std::size_t bad_at = 0;  // 1-based record number for the diagnostic
+  std::string bad_what;
+
+  std::vector<float> centroids;
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint32_t> ids;
+  std::vector<float> rows;
+  std::vector<float> scales;
+  std::vector<std::int8_t> codes;
+  std::size_t rows_kept = 0;
+  std::size_t lists_kept = 0;
+  bool quantized = qz == 1;
+
+  // Layout sections in order; a short read anywhere discards everything
+  // not structurally complete (lenient) or throws (strict, via
+  // bad_record below).
+  if (!read_chunked(in, crc, static_cast<std::uint64_t>(nl) * dim,
+                    centroids) ||
+      !read_chunked(in, crc, static_cast<std::uint64_t>(nl) + 1, offsets) ||
+      !read_chunked(in, crc, n, ids)) {
+    truncated = true;
+    quantized = false;
+    bad_at = 1;
+    bad_what = "IvfIndex: stream ends inside the layout sections";
+  } else {
+    // Structural validation: the layout must describe a consistent
+    // index in both modes (a bit flip here is unrecoverable damage).
+    if (offsets.front() != 0 || offsets.back() != n ||
+        !std::is_sorted(offsets.begin(), offsets.end())) {
+      throw io::FormatError("IvfIndex: inconsistent list offsets");
+    }
+    std::vector<bool> seen(n, false);
+    for (const std::uint32_t id : ids) {
+      if (id >= n || seen[id]) {
+        throw io::FormatError("IvfIndex: slot map is not a permutation");
+      }
+      seen[id] = true;
+    }
+
+    if (!read_chunked(in, crc, n * dim, rows)) {
+      // Keep the lists whose rows all arrived.
+      const std::size_t whole_rows = dim > 0 ? rows.size() / dim : 0;
+      while (lists_kept < nl &&
+             offsets[lists_kept + 1] <= whole_rows) {
+        ++lists_kept;
+      }
+      rows_kept = offsets[lists_kept];
+      // The int8 sections live after the rows, so they are gone too.
+      quantized = false;
+      truncated = true;
+      bad_at = whole_rows + 1;
+      bad_what = "IvfIndex: stream ends inside row " +
+                 std::to_string(whole_rows + 1) + " of a declared " +
+                 std::to_string(n);
+    } else {
+      rows_kept = static_cast<std::size_t>(n);
+      lists_kept = nl;
+      if (quantized) {
+        if (!read_chunked(in, crc, n, scales) ||
+            !read_chunked(in, crc, n * dim, codes)) {
+          // The fp32 side is complete: degrade to an exact-storage
+          // index instead of dropping everything.
+          quantized = false;
+          truncated = true;
+          bad_at = rows_kept;
+          bad_what =
+              "IvfIndex: stream ends inside the int8 section; "
+              "falling back to fp32-only";
+        }
+      }
+    }
+  }
+
+  if (truncated) {
+    io::detail::bad_record<io::TruncatedInput>(policy, report, bad_at,
+                                               bad_what);
+  } else {
+    std::uint32_t stored = 0;
+    if (!io::read_pod(in, stored)) {
+      io::detail::bad_record<io::TruncatedInput>(
+          policy, report, static_cast<std::size_t>(n),
+          "IvfIndex: missing CRC32 footer");
+    } else if (stored != crc.value()) {
+      if (report != nullptr) report->checksum_failed = true;
+      io::detail::suspect_input(policy, report, 0,
+                                "IvfIndex: CRC32 mismatch");
+    } else if (report != nullptr) {
+      report->checksum_verified = true;
+    }
+    if (in.peek() != std::istream::traits_type::eof()) {
+      io::detail::suspect_input(policy, report, 0,
+                                "IvfIndex: trailing data");
+    }
+  }
+
+  out.quantized_ = quantized;
+  if (offsets.size() >= lists_kept + 1) {
+    out.offsets_.assign(offsets.begin(),
+                        offsets.begin() +
+                            static_cast<std::ptrdiff_t>(lists_kept + 1));
+  } else {
+    out.offsets_.assign(1, 0);  // layout sections themselves were short
+  }
+  ids.resize(rows_kept);
+  out.ids_ = std::move(ids);
+  out.centroids_ = w2v::Embedding(lists_kept, d);
+  for (std::size_t l = 0; l < lists_kept; ++l) {
+    std::copy(centroids.begin() + static_cast<std::ptrdiff_t>(l * dim),
+              centroids.begin() + static_cast<std::ptrdiff_t>((l + 1) * dim),
+              out.centroids_.vec(l).begin());
+  }
+  rows.resize(rows_kept * dim);
+  out.finalize_tiles(rows.data());
+  if (quantized) {
+    out.qstride_ = padded_qstride(d);
+    out.scales_ = std::move(scales);
+    out.codes_.assign(rows_kept * out.qstride_, 0);
+    for (std::size_t s = 0; s < rows_kept; ++s) {
+      std::copy(codes.begin() + static_cast<std::ptrdiff_t>(s * dim),
+                codes.begin() + static_cast<std::ptrdiff_t>((s + 1) * dim),
+                out.codes_.begin() +
+                    static_cast<std::ptrdiff_t>(s * out.qstride_));
+    }
+  }
+  out.default_nprobe_ = std::clamp(
+      static_cast<int>(np), 1,
+      std::max(1, static_cast<int>(lists_kept)));
+
+  if (report != nullptr) report->records_read += rows_kept;
+  static obs::Counter& rows_counter = obs::counter("io.ann_rows");
+  rows_counter.add(rows_kept);
+  if (truncated) {
+    DV_LOG_WARN("io", "ivf index truncated", {"rows", rows_kept},
+                {"declared", n});
+  }
+  DV_LOG_DEBUG("io", "ivf index loaded", {"rows", rows_kept},
+               {"nlist", lists_kept}, {"dim", d});
+  return out;
+}
+
+IvfIndex IvfIndex::load_file(const std::string& path,
+                             const io::IoPolicy& policy,
+                             io::IoReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io::IoError("IvfIndex: cannot open " + path);
+  return load(in, policy, report);
+}
+
+}  // namespace darkvec::ml

@@ -18,21 +18,30 @@ constexpr std::size_t kTileBudgetBytes = std::size_t{32} * 1024;
 constexpr std::size_t kTileBytesMax = std::size_t{4} * 1024 * 1024;
 
 // Tile width for a given dim: requested value if nonzero, otherwise the
-// widest multiple of 16 whose transposed tile fits kTileBudgetBytes
-// (floor 16 so the strip kernel always has full vector lanes to chew).
+// auto width derived from the L1 budget.
 std::size_t tile_width(std::size_t requested, std::size_t dim) {
   if (requested != 0) return requested;
+  return detail::auto_tile_width(dim);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::size_t auto_tile_width(std::size_t dim) {
   const std::size_t fit = kTileBudgetBytes / (dim * sizeof(float));
   return std::max<std::size_t>(16, fit & ~std::size_t{15});
 }
 
-}  // namespace
+}  // namespace detail
 
 std::vector<std::vector<Neighbor>> batch_topk(
     const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
     int k, const BatchTopkOptions& options) {
   const std::size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> out(nq);
+  DV_PRECONDITION(options.query_block > 0,
+                  "batch_topk: query_block is positive");
   const std::size_t n = normalized.size();
   const auto dim = static_cast<std::size_t>(normalized.dim());
   if (k <= 0 || nq == 0 || n == 0 || dim == 0) return out;
@@ -40,7 +49,7 @@ std::vector<std::vector<Neighbor>> batch_topk(
   DV_SPAN_ARG("ml.batch_topk", "queries", nq);
   const auto t_start = std::chrono::steady_clock::now();
 
-  const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
+  const std::size_t qb = options.query_block;
   const std::size_t cb = tile_width(options.corpus_block, dim);
   DV_PRECONDITION(cb * dim * sizeof(float) <= kTileBytesMax,
                   "batch_topk: corpus tile fits the 4 MiB cap");
@@ -112,6 +121,8 @@ std::vector<std::vector<Neighbor>> batch_topk(
     const w2v::QuantizedEmbedding& quantized,
     std::span<const std::uint32_t> queries, int k,
     const BatchTopkOptions& options) {
+  DV_PRECONDITION(options.query_block > 0,
+                  "batch_topk: query_block is positive");
   const std::size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> out(nq);
   const std::size_t n = quantized.size();
@@ -136,7 +147,7 @@ std::vector<std::vector<Neighbor>> batch_topk(
     inv[i] = self > 0 ? static_cast<float>(1.0 / std::sqrt(self)) : 0.0f;
   }
 
-  const std::size_t qb = std::max<std::size_t>(options.query_block, 1);
+  const std::size_t qb = options.query_block;
   core::parallel_for(nq, qb, [&](std::size_t qlo, std::size_t qhi) {
     for (std::size_t qi = qlo; qi < qhi; ++qi) {
       const auto q = quantized.row(queries[qi]);
@@ -163,6 +174,37 @@ std::vector<std::vector<Neighbor>> batch_topk(
                {"queries_per_s",
                 seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});
   return out;
+}
+
+std::vector<Neighbor> topk_scan(const w2v::Embedding& normalized,
+                                std::span<const float> query, float scale,
+                                int k, std::int64_t exclude) {
+  detail::TopKHeap heap(k);
+  const std::size_t n = normalized.size();
+  const auto dim = static_cast<std::size_t>(normalized.dim());
+  if (k <= 0 || n == 0 || dim == 0) return heap.take();
+
+  const std::size_t cb = detail::auto_tile_width(dim);
+  std::vector<float> tile(cb * dim);
+  std::vector<float> sims(cb);
+  for (std::size_t jb = 0; jb < n; jb += cb) {
+    const std::size_t je = std::min(jb + cb, n);
+    const std::size_t width = je - jb;
+    for (std::size_t j = jb; j < je; ++j) {
+      const float* row = normalized.vec(j).data();
+      for (std::size_t d = 0; d < dim; ++d) {
+        tile[d * width + (j - jb)] = row[d];
+      }
+    }
+    simd::kernels().dot_strip_f32(query.data(), tile.data(), width, dim,
+                                  sims.data());
+    for (std::size_t jj = 0; jj < width; ++jj) {
+      const std::size_t j = jb + jj;
+      if (static_cast<std::int64_t>(j) == exclude) continue;
+      heap.offer(static_cast<std::uint32_t>(j), sims[jj] * scale);
+    }
+  }
+  return heap.take();
 }
 
 }  // namespace darkvec::ml

@@ -36,10 +36,17 @@ std::vector<int> loo_knn_predict(const CosineKnn& index,
                                  std::span<const int> labels,
                                  std::span<const std::uint32_t> eval_points,
                                  int k) {
+  return loo_knn_predict(index, labels, eval_points, k, AnnSearchParams{});
+}
+
+std::vector<int> loo_knn_predict(const CosineKnn& index,
+                                 std::span<const int> labels,
+                                 std::span<const std::uint32_t> eval_points,
+                                 int k, const AnnSearchParams& ann) {
   // One blocked batch query for all evaluation points, then parallel
   // majority votes; predictions[i] depends on eval_points[i] alone, so
   // the result is independent of the thread count.
-  const auto neighbor_lists = index.query_batch(eval_points, k);
+  const auto neighbor_lists = index.query_batch(eval_points, k, ann);
   std::vector<int> predictions(eval_points.size());
   core::parallel_for(
       eval_points.size(), 0, [&](std::size_t lo, std::size_t hi) {

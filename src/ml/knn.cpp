@@ -18,21 +18,14 @@ std::vector<Neighbor> CosineKnn::query_vector(std::span<const float> v, int k,
   DV_PRECONDITION(v.size() == static_cast<std::size_t>(normalized_.dim()),
                   "CosineKnn: query vector matches the index dimension");
   if (k <= 0) return {};
-  // Normalize the query so results are true cosine similarities.
+  // Normalize the query so results are true cosine similarities. The
+  // tiled scan keeps one float accumulator per candidate walking dims
+  // ascending — the dispatched twin of the historical serial loop, so
+  // results stay bit-identical while single-query latency matches the
+  // batch path's per-row cost.
   const double norm = std::sqrt(w2v::dot(v, v));
   const float inv = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;
-
-  detail::TopKHeap heap(k);
-  const std::size_t n = normalized_.size();
-  for (std::size_t j = 0; j < n; ++j) {
-    if (static_cast<std::int64_t>(j) == exclude) continue;
-    const auto row = normalized_.vec(j);
-    float sim = 0;
-    for (std::size_t d = 0; d < row.size(); ++d) sim += v[d] * row[d];
-    sim *= inv;
-    heap.offer(static_cast<std::uint32_t>(j), sim);
-  }
-  return heap.take();
+  return topk_scan(normalized_, v, inv, k, exclude);
 }
 
 std::vector<std::vector<Neighbor>> CosineKnn::query_batch(std::size_t lo,
@@ -69,6 +62,34 @@ std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors_quantized(
   std::vector<std::uint32_t> points(normalized_.size());
   std::iota(points.begin(), points.end(), 0u);
   return batch_topk(quantized(), points, k);
+}
+
+const IvfIndex& CosineKnn::ann(const IvfOptions& options) const {
+  std::call_once(ann_once_, [&] {
+    ann_ = std::make_unique<IvfIndex>(IvfIndex::build(normalized_, options));
+  });
+  return *ann_;
+}
+
+std::vector<Neighbor> CosineKnn::query(std::size_t i, int k,
+                                       const AnnSearchParams& params) const {
+  if (!params.enabled) return query(i, k);
+  return ann().query(i, k, params.nprobe);
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::query_batch(
+    std::span<const std::uint32_t> points, int k,
+    const AnnSearchParams& params) const {
+  if (!params.enabled) return query_batch(points, k);
+  return ann().query_batch(points, k, params.nprobe);
+}
+
+std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors(
+    int k, const AnnSearchParams& params) const {
+  if (!params.enabled) return all_neighbors(k);
+  std::vector<std::uint32_t> points(normalized_.size());
+  std::iota(points.begin(), points.end(), 0u);
+  return ann().query_batch(points, k, params.nprobe);
 }
 
 }  // namespace darkvec::ml

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "darkvec/core/model_io.hpp"
+#include "darkvec/ml/ann.hpp"
 #include "darkvec/net/time.hpp"
 #include "darkvec/net/trace_binary.hpp"
 #include "darkvec/net/trace_io.hpp"
@@ -143,6 +144,29 @@ TEST(CorruptionMatrix, QuantizedEmbedding) {
   run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
                            io::IoReport* report) {
     return w2v::QuantizedEmbedding::load(in, policy, report).size();
+  });
+}
+
+TEST(CorruptionMatrix, IvfIndex) {
+  w2v::Embedding e(48, 12);
+  sim::Rng rng(37);
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    for (int d = 0; d < e.dim(); ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    }
+  }
+  const w2v::Embedding unit = e.normalized();
+  // Quantized variant: the DVAI stream then carries every section
+  // (centroids, layout, fp32 rows, scales, int8 codes, footer).
+  ml::IvfOptions options;
+  options.nlist = 6;
+  options.quantize = true;
+  std::ostringstream out;
+  ml::IvfIndex::build(unit, options).save(out);
+  run_matrix(out.str(), [](std::istream& in, const io::IoPolicy& policy,
+                           io::IoReport* report) {
+    return ml::IvfIndex::load(in, policy, report).size();
   });
 }
 

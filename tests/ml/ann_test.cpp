@@ -1,0 +1,490 @@
+// IVF approximate index: determinism (thread counts, SIMD levels,
+// repeated runs), recall against the exact engine, exact-bit similarity
+// for returned pairs, the Louvain-seeded build, the DVAI round-trip and
+// its strict/lenient degradation, and the opt-in routing through
+// CosineKnn and its consumers.
+#include "darkvec/ml/ann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/core/parallel.hpp"
+#include "darkvec/core/simd/simd.hpp"
+#include "darkvec/graph/knn_graph.hpp"
+#include "darkvec/ml/evaluation.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/obs/metrics.hpp"
+
+namespace darkvec::ml {
+namespace {
+
+/// Points drawn around `centers` unit-norm prototypes with small uniform
+/// noise: the cluster structure IVF exploits, with continuous values so
+/// similarity ties are not a concern.
+w2v::Embedding clustered_embedding(std::size_t n, int dim,
+                                   std::size_t centers, std::uint32_t seed) {
+  std::uint32_t state = seed;
+  const auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<float>(state % 2000) / 1000.0f - 1.0f;
+  };
+  std::vector<std::vector<float>> proto(centers, std::vector<float>(
+                                                     static_cast<std::size_t>(
+                                                         dim)));
+  for (auto& c : proto) {
+    double norm2 = 0;
+    for (auto& v : c) {
+      v = next();
+      norm2 += double{v} * v;
+    }
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (auto& v : c) v *= inv;
+  }
+  w2v::Embedding e(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = proto[i % centers];
+    for (int d = 0; d < dim; ++d) {
+      e.vec(i)[static_cast<std::size_t>(d)] =
+          c[static_cast<std::size_t>(d)] + 0.05f * next();
+    }
+  }
+  return e;
+}
+
+void expect_identical(const std::vector<Neighbor>& a,
+                      const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].index, b[r].index);
+    EXPECT_EQ(a[r].similarity, b[r].similarity);
+  }
+}
+
+double recall_against(const std::vector<std::vector<Neighbor>>& approx,
+                      const std::vector<std::vector<Neighbor>>& exact) {
+  double hits = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    for (const Neighbor& nb : approx[i]) {
+      for (const Neighbor& ref : exact[i]) {
+        if (ref.index == nb.index) {
+          hits += 1;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(exact[i].size());
+  }
+  return total > 0 ? hits / total : 1.0;
+}
+
+std::vector<std::uint32_t> all_points(std::size_t n) {
+  std::vector<std::uint32_t> points(n);
+  std::iota(points.begin(), points.end(), 0u);
+  return points;
+}
+
+TEST(IvfIndex, FullProbeMatchesExactEngine) {
+  // Probing every list makes the candidate set exhaustive, so results
+  // must equal the exact engine's — indices and similarity bits.
+  const auto e = clustered_embedding(240, 12, 8, 5);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn exact(e);
+  IvfOptions options;
+  options.nlist = 10;
+  const IvfIndex index = IvfIndex::build(unit, options);
+  const auto points = all_points(unit.size());
+  const auto approx = index.query_batch(
+      points, 6, static_cast<int>(index.nlist()));
+  const auto truth = exact.query_batch(points, 6);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_identical(approx[i], truth[i]);
+  }
+}
+
+TEST(IvfIndex, RecallOnClusteredDataAtDefaultNprobe) {
+  const auto e = clustered_embedding(600, 16, 12, 77);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn exact(e);
+  IvfOptions options;
+  options.nlist = 24;
+  options.nprobe = 4;
+  const IvfIndex index = IvfIndex::build(unit, options);
+  const auto points = all_points(unit.size());
+  const double recall = recall_against(index.query_batch(points, 10),
+                                       exact.query_batch(points, 10));
+  EXPECT_GE(recall, 0.95);
+  // The knob trades recall monotonically at the extremes.
+  const double full = recall_against(
+      index.query_batch(points, 10, static_cast<int>(index.nlist())),
+      exact.query_batch(points, 10));
+  EXPECT_EQ(full, 1.0);
+}
+
+TEST(IvfIndex, ReturnedSimilaritiesAreExactEngineBits) {
+  // A returned pair's similarity must be bit-identical to what the
+  // exact scan computes for that same pair: the fp32 IVF scan shares
+  // the dot-strip kernel and the 1/sqrt(dot) rescale.
+  const auto e = clustered_embedding(180, 10, 6, 31);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn exact(e);
+  const IvfIndex index = IvfIndex::build(unit);
+  const int k_all = static_cast<int>(unit.size());
+  const auto points = all_points(unit.size());
+  const auto truth = exact.query_batch(points, k_all);
+  const auto approx = index.query_batch(points, 5);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const Neighbor& nb : approx[i]) {
+      bool found = false;
+      for (const Neighbor& ref : truth[i]) {
+        if (ref.index == nb.index) {
+          EXPECT_EQ(ref.similarity, nb.similarity);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+class IvfThreads : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    core::ThreadPool::set_global_threads(GetParam());
+  }
+  void TearDown() override {
+    core::ThreadPool::set_global_threads(core::default_thread_count());
+  }
+};
+
+TEST_P(IvfThreads, ResultsAreThreadCountIndependent) {
+  const auto e = clustered_embedding(300, 14, 10, 19);
+  const w2v::Embedding unit = e.normalized();
+  const IvfIndex index = IvfIndex::build(unit);
+  const auto points = all_points(unit.size());
+  const auto here = index.query_batch(points, 8);
+
+  core::ThreadPool::set_global_threads(1);
+  const auto serial = index.query_batch(points, 8);
+  ASSERT_EQ(here.size(), serial.size());
+  for (std::size_t i = 0; i < here.size(); ++i) {
+    expect_identical(here[i], serial[i]);
+  }
+  // query() and query_batch() agree entry by entry.
+  for (const std::uint32_t p : {0u, 150u, 299u}) {
+    expect_identical(here[p], index.query(p, 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, IvfThreads,
+                         ::testing::Values(1, 2, 8));
+
+TEST(IvfIndex, ResultsAreSimdLevelIndependent) {
+  // dot_strip_f32 and dot_i8 are bit-identical across dispatch levels
+  // and the probe ranking uses them too, so the whole IVF answer —
+  // probe order, candidate sims, final lists — is level-independent.
+  const auto e = clustered_embedding(220, 18, 8, 43);
+  const w2v::Embedding unit = e.normalized();
+  for (const bool quantize : {false, true}) {
+    IvfOptions options;
+    options.quantize = quantize;
+    const IvfIndex index = IvfIndex::build(unit, options);
+    const auto points = all_points(unit.size());
+    std::vector<std::vector<Neighbor>> reference;
+    {
+      simd::ScopedLevel scoped(simd::Level::kScalar);
+      reference = index.query_batch(points, 7);
+    }
+    for (const simd::Level level : simd::supported_levels()) {
+      simd::ScopedLevel scoped(level);
+      const auto got = index.query_batch(points, 7);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_identical(got[i], reference[i]);
+      }
+    }
+  }
+}
+
+TEST(IvfIndex, LouvainStyleAssignmentSeedsTheLists) {
+  const auto e = clustered_embedding(120, 8, 4, 3);
+  const w2v::Embedding unit = e.normalized();
+  // The generator assigns point i to cluster i % 4: hand that partition
+  // over as if it came from Louvain, with an empty community (id 4) to
+  // confirm empty lists are dropped.
+  std::vector<int> assignment(unit.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<int>(i % 4) < 2 ? static_cast<int>(i % 4)
+                                                : static_cast<int>(i % 4) + 1;
+  }
+  const IvfIndex index =
+      IvfIndex::build_with_assignment(unit, assignment, IvfOptions{});
+  EXPECT_EQ(index.nlist(), 4u);  // ids {0, 1, 3, 4} compacted
+  EXPECT_EQ(index.size(), unit.size());
+
+  // Probing only the query's own community finds its intra-cluster
+  // neighbours: the generator keeps clusters tight.
+  const CosineKnn exact(e);
+  const auto points = all_points(unit.size());
+  const double recall = recall_against(index.query_batch(points, 5, 1),
+                                       exact.query_batch(points, 5));
+  EXPECT_GE(recall, 0.9);
+}
+
+TEST(IvfIndex, QuantizedPathIsAccurateAndSelfConsistent) {
+  const auto e = clustered_embedding(400, 16, 10, 57);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn exact(e);
+  IvfOptions options;
+  options.quantize = true;
+  options.nlist = 16;
+  options.nprobe = 4;
+  const IvfIndex index = IvfIndex::build(unit, options);
+  EXPECT_TRUE(index.quantized());
+  const auto points = all_points(unit.size());
+  const auto once = index.query_batch(points, 10);
+  const auto twice = index.query_batch(points, 10);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    expect_identical(once[i], twice[i]);
+  }
+  // The right oracle for the int8 path is the exact quantized engine:
+  // inside a tight cluster int8 resolution reorders near-equidistant
+  // neighbours, so fp32-exact recall is bounded by quantization, not by
+  // the IVF routing. Against the quantized scan only routing matters.
+  EXPECT_GE(recall_against(once, exact.query_batch_quantized(points, 10)),
+            0.95);
+  EXPECT_GE(recall_against(once, exact.query_batch(points, 10)), 0.8);
+}
+
+TEST(IvfIndex, SaveLoadRoundTripPreservesAnswers) {
+  for (const bool quantize : {false, true}) {
+    const auto e = clustered_embedding(150, 12, 6, 91);
+    const w2v::Embedding unit = e.normalized();
+    IvfOptions options;
+    options.quantize = quantize;
+    options.nprobe = 3;
+    const IvfIndex index = IvfIndex::build(unit, options);
+    std::ostringstream out;
+    index.save(out);
+
+    std::istringstream in(out.str());
+    io::IoReport report;
+    const IvfIndex loaded = IvfIndex::load(in, io::IoPolicy::strict(),
+                                           &report);
+    EXPECT_TRUE(report.checksum_verified);
+    EXPECT_EQ(report.records_read, index.size());
+    EXPECT_EQ(loaded.size(), index.size());
+    EXPECT_EQ(loaded.nlist(), index.nlist());
+    EXPECT_EQ(loaded.default_nprobe(), index.default_nprobe());
+    EXPECT_EQ(loaded.quantized(), quantize);
+
+    const auto points = all_points(unit.size());
+    const auto before = index.query_batch(points, 6);
+    const auto after = loaded.query_batch(points, 6);
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      expect_identical(before[i], after[i]);
+    }
+  }
+}
+
+TEST(IvfIndex, StrictLoadRejectsDamage) {
+  const auto e = clustered_embedding(60, 8, 4, 13);
+  const IvfIndex index = IvfIndex::build(e.normalized());
+  std::ostringstream out;
+  index.save(out);
+  const std::string golden = out.str();
+
+  {
+    std::string bytes = golden;
+    bytes[0] ^= 0x40;  // magic
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)IvfIndex::load(in, io::IoPolicy::strict()),
+                 io::FormatError);
+  }
+  {
+    std::istringstream in(golden.substr(0, golden.size() / 2));
+    EXPECT_THROW((void)IvfIndex::load(in, io::IoPolicy::strict()),
+                 io::TruncatedInput);
+  }
+  {
+    std::string bytes = golden;
+    bytes[bytes.size() - 8] ^= 0x01;  // payload bit: CRC must catch it
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)IvfIndex::load(in, io::IoPolicy::strict()),
+                 io::IoError);
+  }
+}
+
+TEST(IvfIndex, LenientTruncationKeepsWholeLists) {
+  const auto e = clustered_embedding(90, 10, 3, 23);
+  const w2v::Embedding unit = e.normalized();
+  const IvfIndex index = IvfIndex::build(unit);
+  std::ostringstream out;
+  index.save(out);
+  const std::string golden = out.str();
+
+  // Cut inside the rows section: everything after the header, the
+  // centroids and the layout arrays, but before the last row.
+  std::istringstream in(golden.substr(0, golden.size() - 200));
+  io::IoReport report;
+  const IvfIndex loaded =
+      IvfIndex::load(in, io::IoPolicy::lenient_with(100), &report);
+  EXPECT_LT(loaded.size(), index.size());
+  EXPECT_EQ(report.records_read, loaded.size());
+  EXPECT_GE(report.records_skipped, 1u);
+  EXPECT_LE(loaded.nlist(), index.nlist());
+  // Whatever survived still answers queries.
+  if (loaded.size() > 0) {
+    std::vector<float> q(static_cast<std::size_t>(loaded.dim()), 0.1f);
+    const auto got = loaded.query_vector(q, 3);
+    EXPECT_LE(got.size(), std::size_t{3});
+  }
+}
+
+TEST(IvfIndex, LenientQuantizedTruncationFallsBackToFp32) {
+  const auto e = clustered_embedding(80, 8, 4, 29);
+  const w2v::Embedding unit = e.normalized();
+  IvfOptions options;
+  options.quantize = true;
+  const IvfIndex index = IvfIndex::build(unit, options);
+  std::ostringstream out;
+  index.save(out);
+  const std::string golden = out.str();
+
+  // Cut inside the int8 codes (the last section before the footer): the
+  // fp32 side is complete, so the index degrades instead of shrinking.
+  std::istringstream in(golden.substr(0, golden.size() - 50));
+  io::IoReport report;
+  const IvfIndex loaded =
+      IvfIndex::load(in, io::IoPolicy::lenient_with(100), &report);
+  EXPECT_EQ(loaded.size(), index.size());
+  EXPECT_FALSE(loaded.quantized());
+  EXPECT_EQ(report.records_read, loaded.size());
+
+  // A cut inside the fp32 rows of a quantized index loses the int8
+  // sections entirely: the survivor is a smaller fp32-only index
+  // (regression: this used to index past the unread code arrays).
+  std::istringstream deep(golden.substr(0, golden.size() / 2));
+  io::IoReport deep_report;
+  const IvfIndex partial =
+      IvfIndex::load(deep, io::IoPolicy::lenient_with(100), &deep_report);
+  EXPECT_LT(partial.size(), index.size());
+  EXPECT_FALSE(partial.quantized());
+  EXPECT_EQ(deep_report.records_read, partial.size());
+  if (partial.size() > 0) {
+    std::vector<float> q(static_cast<std::size_t>(partial.dim()), 0.2f);
+    EXPECT_LE(partial.query_vector(q, 3).size(), std::size_t{3});
+  }
+}
+
+TEST(IvfIndex, EdgeCases) {
+  // Empty embedding: an empty index that answers nothing.
+  const IvfIndex empty = IvfIndex::build(w2v::Embedding{});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.query_vector({}, 5).empty());
+
+  // One row: the self-exclusion leaves nothing to return.
+  w2v::Embedding one(1, 3);
+  one.vec(0)[0] = 1.0f;
+  const IvfIndex single = IvfIndex::build(one.normalized());
+  EXPECT_EQ(single.nlist(), 1u);
+  EXPECT_TRUE(single.query(0, 5).empty());
+
+  // k == 0, k >= n, and nprobe past nlist all behave.
+  const auto e = clustered_embedding(40, 6, 4, 41);
+  const w2v::Embedding unit = e.normalized();
+  const IvfIndex index = IvfIndex::build(unit);
+  EXPECT_TRUE(index.query(0, 0).empty());
+  const auto big = index.query(0, 500, 10000);
+  EXPECT_EQ(big.size(), unit.size() - 1);
+  EXPECT_GT(index.expected_rows_scanned(index.default_nprobe()), 0.0);
+  EXPECT_THROW((void)index.query(unit.size(), 3),
+               darkvec::ContractViolation);
+}
+
+TEST(IvfIndex, MetricsCountProbesAndCandidates) {
+  const auto e = clustered_embedding(200, 10, 5, 67);
+  const w2v::Embedding unit = e.normalized();
+  IvfOptions options;
+  options.nlist = 10;
+  options.nprobe = 2;
+  const IvfIndex index = IvfIndex::build(unit, options);
+  auto& queries = obs::counter("ann.queries");
+  auto& lists = obs::counter("ann.lists_probed");
+  auto& rows = obs::counter("ann.candidates_scanned");
+  const auto q0 = queries.value();
+  const auto l0 = lists.value();
+  const auto r0 = rows.value();
+  const auto points = all_points(unit.size());
+  (void)index.query_batch(points, 5);
+  EXPECT_EQ(queries.value() - q0, unit.size());
+  EXPECT_EQ(lists.value() - l0, unit.size() * 2);
+  const auto scanned = rows.value() - r0;
+  EXPECT_GT(scanned, 0u);
+  // Sub-linear: far fewer candidate rows than the n^2 exact scan.
+  EXPECT_LT(scanned, unit.size() * unit.size());
+}
+
+TEST(CosineKnnAnn, ParamsRouteBetweenExactAndApproximate) {
+  const auto e = clustered_embedding(150, 12, 6, 83);
+  const CosineKnn index(e);
+  const auto points = all_points(index.size());
+
+  // Disabled params are the exact engine, bit for bit.
+  const auto exact = index.query_batch(points, 5);
+  const auto routed = index.query_batch(points, 5, AnnSearchParams{});
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    expect_identical(exact[i], routed[i]);
+  }
+
+  // Enabled params are the IVF index, bit for bit.
+  AnnSearchParams on;
+  on.enabled = true;
+  on.nprobe = 2;
+  const auto approx = index.query_batch(points, 5, on);
+  const auto direct = index.ann().query_batch(points, 5, 2);
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    expect_identical(approx[i], direct[i]);
+  }
+  expect_identical(index.query(7, 5, on), index.ann().query(7, 5, 2));
+}
+
+TEST(CosineKnnAnn, ConsumersAcceptTheOptIn) {
+  const auto e = clustered_embedding(160, 10, 4, 101);
+  const CosineKnn index(e);
+  AnnSearchParams on;
+  on.enabled = true;
+
+  // knn_graph: the approximate graph covers every node and only keeps
+  // positive-similarity edges, like the exact one.
+  const auto g = graph::knn_graph(index, 4, on);
+  EXPECT_EQ(g.num_nodes(), index.size());
+
+  // LOO prediction: clustered labels are recovered almost everywhere
+  // even probing approximately.
+  std::vector<int> labels(index.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  const auto points = all_points(index.size());
+  const auto exact_pred = loo_knn_predict(index, labels, points, 5);
+  const auto approx_pred = loo_knn_predict(index, labels, points, 5, on);
+  ASSERT_EQ(exact_pred.size(), approx_pred.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < exact_pred.size(); ++i) {
+    agree += exact_pred[i] == approx_pred[i] ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(agree) /
+                static_cast<double>(exact_pred.size()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace darkvec::ml

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
+#include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
 #include "darkvec/ml/evaluation.hpp"
 #include "darkvec/ml/knn.hpp"
@@ -135,6 +137,93 @@ TEST(BatchTopk, EmptyRangeAndEmptyIndex) {
 
   const w2v::Embedding none;
   EXPECT_TRUE(batch_topk(none, {}, 3).empty());
+}
+
+TEST(BatchTopk, QueryBlockZeroIsRejected) {
+  // query_block == 0 used to be silently clamped; it is now a contract
+  // violation on both the fp32 and the quantized overload.
+  const auto e = random_embedding(12, 5, 4);
+  const w2v::Embedding unit = e.normalized();
+  const auto quant = w2v::QuantizedEmbedding::quantize(unit);
+  const std::vector<std::uint32_t> points = {0, 1, 2};
+  EXPECT_THROW((void)batch_topk(unit, points, 3, BatchTopkOptions{0, 0}),
+               darkvec::ContractViolation);
+  EXPECT_THROW((void)batch_topk(quant, points, 3, BatchTopkOptions{0, 0}),
+               darkvec::ContractViolation);
+}
+
+TEST(BatchTopk, DuplicateUnsortedAndBoundaryIdsExact) {
+  // Duplicate, unsorted and boundary-adjacent (0 and n-1) query ids all
+  // come back in input order, each bit-identical to the serial query.
+  const auto e = random_embedding(64, 9, 11);
+  const CosineKnn index(e);
+  const std::vector<std::uint32_t> points = {63, 0, 17, 17, 63, 1, 62};
+  const auto batch = index.query_batch(points, 5);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expect_identical(batch[i], index.query(points[i], 5));
+  }
+}
+
+TEST(BatchTopk, DuplicateUnsortedAndBoundaryIdsQuantized) {
+  // The int8 path must be self-consistent on the same hostile id sets:
+  // duplicates yield identical lists, and every list excludes its query.
+  const auto e = random_embedding(64, 9, 13);
+  const CosineKnn index(e);
+  const std::vector<std::uint32_t> points = {63, 0, 17, 17, 63, 1, 62};
+  const auto batch = index.query_batch_quantized(points, 5);
+  ASSERT_EQ(batch.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(batch[i].size(), 5u);
+    for (const Neighbor& nb : batch[i]) EXPECT_NE(nb.index, points[i]);
+  }
+  expect_identical(batch[2], batch[3]);  // 17 twice
+  expect_identical(batch[0], batch[4]);  // 63 twice
+  const auto single = index.query_batch_quantized(
+      std::vector<std::uint32_t>{17}, 5);
+  expect_identical(batch[2], single[0]);
+}
+
+TEST(BatchTopk, EdgeKValuesExactAndQuantized) {
+  const auto e = random_embedding(10, 4, 17);
+  const CosineKnn index(e);
+  const std::vector<std::uint32_t> points = {9, 0, 5};
+  // k >= n clamps to everyone-but-self on both paths.
+  for (const auto& lists :
+       {index.query_batch(points, 10), index.query_batch(points, 500),
+        index.query_batch_quantized(points, 10),
+        index.query_batch_quantized(points, 500)}) {
+    ASSERT_EQ(lists.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(lists[i].size(), 9u);
+      for (const Neighbor& nb : lists[i]) EXPECT_NE(nb.index, points[i]);
+    }
+  }
+  // k == 0 yields empty lists, one per query, on both paths.
+  for (const auto& lists : {index.query_batch(points, 0),
+                            index.query_batch_quantized(points, 0)}) {
+    ASSERT_EQ(lists.size(), points.size());
+    for (const auto& l : lists) EXPECT_TRUE(l.empty());
+  }
+}
+
+TEST(BatchTopk, TopkScanMatchesSerialQuery) {
+  // The exported single-query scan is the serial engine itself: same
+  // bits as CosineKnn::query for every row, with and without exclusion.
+  const auto e = random_embedding(73, 19, 29);
+  const w2v::Embedding unit = e.normalized();
+  const CosineKnn index(e);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{36},
+                              std::size_t{72}}) {
+    const auto q = unit.vec(i);
+    const auto inv =
+        static_cast<float>(1.0 / std::sqrt(w2v::dot(q, q)));
+    expect_identical(index.query(i, 7),
+                     topk_scan(unit, q, inv, 7,
+                               static_cast<std::int64_t>(i)));
+    expect_identical(index.query_vector(q, 7),
+                     topk_scan(unit, q, inv, 7));
+  }
 }
 
 TEST(BatchTopk, ZeroRowsGetZeroSimilarity) {

@@ -8,6 +8,13 @@
 //   darkvec cluster   --trace FILE [--labels FILE] [--kprime K] [--epochs N]
 //   darkvec neighbors --trace FILE --ip A.B.C.D [--k K] [--epochs N]
 //
+// classify, cluster and neighbors also accept:
+//   --ann                route k-NN queries through the IVF approximate
+//                        index instead of the exact scan (sub-linear;
+//                        recall traded via --nprobe)
+//   --nprobe N           lists probed per query when --ann is set
+//                        (default: the index's own operating point)
+//
 // Every trace-reading command also accepts:
 //   --lenient            skip malformed trace records instead of aborting;
 //                        a summary of skipped records goes to stderr
@@ -90,6 +97,13 @@ Args parse_args(int argc, char** argv, int start) {
     }
   }
   return args;
+}
+
+ml::AnnSearchParams ann_from(const Args& args) {
+  ml::AnnSearchParams params;
+  params.enabled = args.has("ann");
+  params.nprobe = static_cast<int>(args.number("nprobe", 0));
+  return params;
 }
 
 io::IoPolicy policy_from(const Args& args) {
@@ -216,7 +230,7 @@ int cmd_classify(const Args& args) {
   const DarkVec dv = fit_from(trace, args);
   const auto eval_ips = last_day_active_senders(trace);
   const int k = static_cast<int>(args.number("k", 7));
-  const auto eval = evaluate_knn(dv, labels, eval_ips, k);
+  const auto eval = evaluate_knn(dv, labels, eval_ips, k, ann_from(args));
   std::printf("%d-NN leave-one-out accuracy %.3f, coverage %.1f%%\n\n", k,
               eval.accuracy, 100.0 * eval.coverage());
   std::printf("%-16s %9s %8s %8s %8s\n", "class", "precision", "recall",
@@ -236,7 +250,7 @@ int cmd_cluster(const Args& args) {
   if (args.has("labels")) read_labels(args.get("labels"), &groups);
   const DarkVec dv = fit_from(trace, args);
   const int k_prime = static_cast<int>(args.number("kprime", 3));
-  const Clustering clustering = dv.cluster(k_prime);
+  const Clustering clustering = dv.cluster(k_prime, 1, ann_from(args));
   const auto samples =
       ml::silhouette_samples(dv.embedding(), clustering.assignment);
   const auto clusters = inspect_clusters(trace, dv.corpus(),
@@ -286,7 +300,7 @@ int cmd_neighbors(const Args& args) {
   }
   const int k = static_cast<int>(args.number("k", 10));
   std::printf("nearest neighbours of %s:\n", ip->to_string().c_str());
-  for (const auto& nb : dv.knn().query(*index, k)) {
+  for (const auto& nb : dv.knn().query(*index, k, ann_from(args))) {
     std::printf("  %-15s cosine %.4f\n",
                 dv.corpus().words[nb.index].to_string().c_str(),
                 nb.similarity);
@@ -302,6 +316,8 @@ void usage() {
                "--metrics-out FILE --metrics-prom FILE --trace-out FILE\n"
                "kernels: --simd off|scalar|avx2|avx512 (default: best "
                "supported; DARKVEC_SIMD env var works too)\n"
+               "approximate k-NN: --ann [--nprobe N] on classify, cluster "
+               "and neighbors\n"
                "see the header of tools/darkvec_cli.cpp for details\n");
 }
 
