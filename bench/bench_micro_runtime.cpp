@@ -1,0 +1,305 @@
+// Runtime-layer micro bench: what do cooperative checkpoints cost?
+//
+// The whole design of core/runtime rests on checkpoints being cheap
+// enough to sprinkle through hot loops (SGNS pair training checks every
+// 4096 pairs, batch_topk once per corpus tile). This bench measures the
+// primitive costs (token probe, full RunContext::check, the ambient
+// DV_CHECKPOINT in both the installed and the no-context state) and
+// then gates the end-to-end claim: training skip-gram and scanning
+// batch_topk under an armed-but-never-tripping context must cost less
+// than 1% over the uninstrumented run.
+//
+// How the gate measures that: direct A/B timing cannot resolve it on a
+// shared/virtualized host — even back-to-back process-CPU samples of a
+// deterministic single-thread loop jitter by ±10-20% here, a noise
+// floor two orders of magnitude above the effect. Instead the gate
+// multiplies two individually stable measurements: the number of
+// checkpoints one run executes (deterministic — read back from
+// RunContext::checks_observed()) and the cost of one installed
+// checkpoint (min-of-passes over 2^20 tight-loop iterations, finite
+// deadline armed so the amortized clock read is included), divided by
+// the uninstrumented loop's CPU time (interleaved min-of-N; ±5% there
+// is irrelevant to a 0.05%-vs-1% comparison). The direct A/B delta is
+// still emitted in the artifact for the record, but not gated.
+// Cancellation latency — cancel() on another thread until the kernel
+// surfaces Cancelled — is reported in the artifact as well.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "darkvec/core/runtime/runtime.hpp"
+#include "darkvec/ml/batch_topk.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+#include "micro_common.hpp"
+
+namespace {
+
+using namespace darkvec;
+
+// ---------------------------------------------------------------------
+// Primitive costs.
+
+void BM_TokenCancelledProbe(benchmark::State& state) {
+  runtime::CancellationToken token;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.cancelled());
+  }
+}
+BENCHMARK(BM_TokenCancelledProbe);
+
+void BM_RunContextCheck(benchmark::State& state) {
+  runtime::RunContext ctx;
+  for (auto _ : state) {
+    ctx.check();
+  }
+}
+BENCHMARK(BM_RunContextCheck);
+
+void BM_AmbientCheckpointInstalled(benchmark::State& state) {
+  runtime::RunContext ctx;
+  runtime::ContextScope scope(&ctx);
+  for (auto _ : state) {
+    DV_CHECKPOINT();
+  }
+}
+BENCHMARK(BM_AmbientCheckpointInstalled);
+
+void BM_AmbientCheckpointNoContext(benchmark::State& state) {
+  for (auto _ : state) {
+    DV_CHECKPOINT();
+  }
+}
+BENCHMARK(BM_AmbientCheckpointNoContext);
+
+// ---------------------------------------------------------------------
+// Overhead gate fixtures: the skip-gram and batch_topk hot loops, run
+// with and without an ambient context.
+
+std::vector<w2v::Sentence> gate_sentences() {
+  std::vector<w2v::Sentence> sentences;
+  std::uint64_t state = 11;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int s = 0; s < 400; ++s) {
+    w2v::Sentence sentence;
+    for (int t = 0; t < 30; ++t) {
+      sentence.push_back(static_cast<std::uint32_t>(next() % 200));
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return sentences;
+}
+
+w2v::Embedding gate_embedding() {
+  // Large enough that a full scan takes hundreds of milliseconds: the
+  // 1% comparison needs the timed region to dwarf scheduler noise.
+  constexpr std::size_t kRows = 8192;
+  constexpr int kDim = 48;
+  std::vector<float> data(kRows * kDim);
+  std::uint64_t state = 5;
+  for (float& v : data) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<float>(static_cast<std::int64_t>(state >> 40) % 1000) /
+            500.0f -
+        1.0f;
+  }
+  return w2v::Embedding{std::move(data), kDim}.normalized();
+}
+
+/// Process CPU seconds: unlike wall time it does not tick while the
+/// process is descheduled, so a <1% comparison stays measurable on a
+/// busy or virtualized host where wall-clock minima jitter by ±10%.
+double cpu_now() {
+#ifdef __linux__
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
+}
+
+template <typename Fn>
+double timed_seconds(const Fn& fn) {
+  const double t0 = cpu_now();
+  fn();
+  return cpu_now() - t0;
+}
+
+/// Interleaved min-of-N: alternating the two sides within each round
+/// makes both sample the same load windows, so a background spike
+/// inflates them together instead of skewing the ratio; the minima then
+/// converge to each side's true floor. Individual samples on this class
+/// of host drift by ±10% in multi-second phases, while their minima
+/// cluster within ~1%, so the repeat count must be high enough that
+/// both sides visit a quiet phase — hence many short reps rather than
+/// few long ones.
+template <typename PlainFn, typename CtxFn>
+std::pair<double, double> min_pair_of(int repeats, const PlainFn& plain,
+                                      const CtxFn& ctx) {
+  double best_plain = 1e300;
+  double best_ctx = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    best_plain = std::min(best_plain, timed_seconds(plain));
+    best_ctx = std::min(best_ctx, timed_seconds(ctx));
+  }
+  return {best_plain, best_ctx};
+}
+
+/// CPU cost of one installed checkpoint, finite deadline armed (so the
+/// every-16th amortized clock read is paid), min-of-passes over a tight
+/// 2^20-iteration loop. Averaging over a million calls makes this stable
+/// to fractions of a nanosecond even on a host whose individual run
+/// samples jitter by ±20%.
+double installed_checkpoint_cost_s() {
+  runtime::RunContext ctx;
+  ctx.deadline = runtime::Deadline::in(3600.0);
+  runtime::ContextScope scope(&ctx);
+  constexpr int kIters = 1 << 20;
+  double best = 1e300;
+  for (int pass = 0; pass < 5; ++pass) {
+    const double t0 = cpu_now();
+    for (int i = 0; i < kIters; ++i) {
+      DV_CHECKPOINT();
+    }
+    best = std::min(best, cpu_now() - t0);
+  }
+  return best / kIters;
+}
+
+bool runtime_gate(darkvec::bench::ExtraValues& values) {
+  bool ok = true;
+  constexpr double kMaxOverhead = 0.01;
+  constexpr int kRepeats = 9;
+
+  const double check_cost = installed_checkpoint_cost_s();
+  values.emplace_back("checkpoint_cost_ns", check_cost * 1e9);
+
+  // --- skip-gram hot loop ---------------------------------------------
+  const auto sentences = gate_sentences();
+  w2v::SkipGramOptions options;
+  options.dim = 48;
+  options.epochs = 3;
+  const auto train_once = [&] {
+    w2v::SkipGramModel model(200, options);
+    model.train(sentences);
+  };
+  train_once();  // warm-up: page in the pool and the tables
+
+  // Deterministic checkpoint count of one instrumented run.
+  std::uint64_t sgns_checks = 0;
+  {
+    runtime::RunContext ctx;
+    runtime::ContextScope scope(&ctx);
+    train_once();
+    sgns_checks = ctx.checks_observed();
+  }
+  const auto [sgns_plain, sgns_ctx] = min_pair_of(kRepeats, train_once, [&] {
+    runtime::RunContext ctx;
+    ctx.deadline = runtime::Deadline::in(3600.0);  // armed, never trips
+    runtime::ContextScope scope(&ctx);
+    train_once();
+  });
+  const double sgns_overhead =
+      sgns_plain > 0
+          ? static_cast<double>(sgns_checks) * check_cost / sgns_plain
+          : 0.0;
+  values.emplace_back("sgns_checks", static_cast<double>(sgns_checks));
+  values.emplace_back("sgns_plain_cpu_s", sgns_plain);
+  values.emplace_back("sgns_ctx_cpu_s", sgns_ctx);
+  values.emplace_back("sgns_direct_delta",
+                      sgns_plain > 0 ? (sgns_ctx - sgns_plain) / sgns_plain
+                                     : 0.0);
+  values.emplace_back("sgns_overhead", sgns_overhead);
+
+  // --- batch_topk hot loop --------------------------------------------
+  const w2v::Embedding normalized = gate_embedding();
+  std::vector<std::uint32_t> queries(2048);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = static_cast<std::uint32_t>(i * 3);
+  }
+  const auto scan_plain_once = [&] {
+    benchmark::DoNotOptimize(ml::batch_topk(normalized, queries, 10));
+  };
+  scan_plain_once();  // warm-up
+
+  std::uint64_t topk_checks = 0;
+  {
+    runtime::RunContext ctx;
+    benchmark::DoNotOptimize(
+        ml::batch_topk_bounded(normalized, queries, 10, &ctx));
+    topk_checks = ctx.checks_observed();
+  }
+  const auto [topk_plain, topk_ctx] =
+      min_pair_of(kRepeats, scan_plain_once, [&] {
+        runtime::RunContext ctx;
+        ctx.deadline = runtime::Deadline::in(3600.0);
+        benchmark::DoNotOptimize(
+            ml::batch_topk_bounded(normalized, queries, 10, &ctx));
+      });
+  const double topk_overhead =
+      topk_plain > 0
+          ? static_cast<double>(topk_checks) * check_cost / topk_plain
+          : 0.0;
+  values.emplace_back("batch_topk_checks", static_cast<double>(topk_checks));
+  values.emplace_back("batch_topk_plain_cpu_s", topk_plain);
+  values.emplace_back("batch_topk_ctx_cpu_s", topk_ctx);
+  values.emplace_back("batch_topk_direct_delta",
+                      topk_plain > 0 ? (topk_ctx - topk_plain) / topk_plain
+                                     : 0.0);
+  values.emplace_back("batch_topk_overhead", topk_overhead);
+
+  if (sgns_overhead > kMaxOverhead || topk_overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "runtime gate: checkpoint overhead too high — sgns %.4f%% "
+                 "batch_topk %.4f%% (limit %.1f%%)\n",
+                 sgns_overhead * 100, topk_overhead * 100,
+                 kMaxOverhead * 100);
+    ok = false;
+  }
+
+  // --- cancellation latency (reported, not gated: it is a property of
+  // the check cadence, and a loaded machine inflates it arbitrarily) ---
+  double worst = 0;
+  double sum = 0;
+  constexpr int kLatencyRounds = 5;
+  for (int round = 0; round < kLatencyRounds; ++round) {
+    runtime::RunContext ctx;
+    std::thread canceller;
+    const auto t0 = std::chrono::steady_clock::now();
+    double latency = 0;
+    try {
+      canceller = std::thread([&] { ctx.token.cancel(); });
+      while (true) {
+        benchmark::DoNotOptimize(
+            ml::batch_topk_bounded(normalized, queries, 10, &ctx));
+      }
+    } catch (const runtime::Cancelled&) {
+      latency =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    canceller.join();
+    worst = std::max(worst, latency);
+    sum += latency;
+  }
+  values.emplace_back("cancel_latency_mean_s", sum / kLatencyRounds);
+  values.emplace_back("cancel_latency_max_s", worst);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return darkvec::bench::run_micro("runtime", argc, argv, runtime_gate);
+}

@@ -25,6 +25,9 @@ struct DarkVecConfig {
   int auto_top_n = 10;
   corpus::CorpusOptions corpus;
   w2v::SkipGramOptions w2v;
+  /// Crash-safety knobs of the training loop (checkpoint path, cadence,
+  /// resume). Defaults leave checkpointing off.
+  w2v::TrainControl train;
 };
 
 /// Result of an unsupervised clustering pass.

@@ -7,6 +7,14 @@
 // scheduling — and each chunk is executed by exactly one thread. A body
 // that writes outputs indexed by the iteration variable alone therefore
 // produces bit-identical results for 1, 2, or N threads.
+//
+// Cancellation: for_each_chunk captures the submitter's ambient
+// runtime::RunContext (see core/runtime) and re-installs it in each
+// worker, checking it once per chunk. When the context trips, the trip
+// is recorded as the job's error, remaining chunks drain without running
+// their bodies, and the typed runtime::Interrupted is rethrown on the
+// submitting thread once every chunk has settled — the pool itself stays
+// reusable after a cancelled loop.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,163 @@
+// DVCK v1: the crash-safe checkpoint envelope.
+//
+// All resumable state in the library (SGNS and GloVe optimizer state,
+// the streaming replay cursor) is persisted through one format so the
+// chaos matrix can make a single guarantee: a checkpoint file on disk is
+// either a complete, checksummed snapshot or it does not exist.
+//
+//   offset  field
+//   0       magic "DVCK"
+//   4       u32   version (1)
+//   8       u32   kind fourcc ("SGNS", "GLOV", "STRM", ...)
+//   12      u64   payload size in bytes
+//   20      payload (kind-specific, written via io::write_pod/write_array)
+//   20+n    u32   CRC32 over bytes [0, 20+n)
+//
+// Writes go through io::atomic_write_file (tmp + fsync-free rename), so
+// a kill at any instant leaves either the previous checkpoint or the new
+// one, never a torn file. Loads verify magic, version, kind, size and
+// CRC before the caller sees a byte of payload; any damage is a typed
+// io::FormatError / io::TruncatedInput, which callers treat as "no
+// checkpoint" or surface, per their policy. Header-only.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <ios>
+#include <sstream>
+#include <string>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/byteio.hpp"
+#include "darkvec/core/checksum.hpp"
+#include "darkvec/core/errors.hpp"
+
+namespace darkvec::runtime {
+
+/// Four-character checkpoint kind tag, e.g. fourcc("SGNS").
+[[nodiscard]] constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+inline constexpr char kCheckpointMagic[4] = {'D', 'V', 'C', 'K'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Bumps the runtime.checkpoints_written / runtime.resumes counters
+/// (defined in runtime.cpp so this header stays obs-free).
+void note_checkpoint_written() noexcept;
+void note_resume() noexcept;
+
+/// Serializes `payload_writer`'s bytes into a DVCK v1 envelope and
+/// atomically replaces `path` with it. Throws io::IoError on any write
+/// failure (the previous file, if any, is left intact).
+inline void save_checkpoint_file(
+    const std::string& path, std::uint32_t kind,
+    const std::function<void(std::ostream&)>& payload_writer) {
+  std::ostringstream payload_stream(std::ios::binary);
+  payload_writer(payload_stream);
+  const std::string payload = payload_stream.str();
+
+  io::atomic_write_file(path, std::ios::binary, [&](std::ostream& out) {
+    io::Crc32 crc;
+    const auto put = [&](const void* data, std::size_t len) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(len));
+      crc.update(data, len);
+    };
+    put(kCheckpointMagic, sizeof kCheckpointMagic);
+    const std::uint32_t version = kCheckpointVersion;
+    put(&version, sizeof version);
+    put(&kind, sizeof kind);
+    const std::uint64_t size = payload.size();
+    put(&size, sizeof size);
+    put(payload.data(), payload.size());
+    io::write_pod(out, crc.value());
+  });
+  note_checkpoint_written();
+}
+
+namespace detail {
+/// The strict validation path: throws typed io errors on any damage.
+inline bool load_checkpoint_strict(
+    std::istream& in, const std::string& path, std::uint32_t kind,
+    const std::function<void(std::istream&)>& payload_reader) {
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  constexpr std::size_t kHeader = 4 + 4 + 4 + 8;
+  if (bytes.size() < kHeader + 4) {
+    throw io::TruncatedInput("checkpoint " + path + ": " +
+                             std::to_string(bytes.size()) +
+                             " bytes is shorter than the DVCK envelope");
+  }
+  std::istringstream hdr(bytes, std::ios::binary);
+  char magic[4];
+  hdr.read(magic, 4);
+  if (std::string(magic, 4) != std::string(kCheckpointMagic, 4)) {
+    throw io::FormatError("checkpoint " + path + ": bad magic");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t file_kind = 0;
+  std::uint64_t payload_size = 0;
+  if (!io::read_pod(hdr, version) || !io::read_pod(hdr, file_kind) ||
+      !io::read_pod(hdr, payload_size)) {
+    throw io::TruncatedInput("checkpoint " + path + ": truncated header");
+  }
+  if (version != kCheckpointVersion) {
+    throw io::FormatError("checkpoint " + path + ": unsupported version " +
+                          std::to_string(version));
+  }
+  if (file_kind != kind) {
+    throw io::FormatError("checkpoint " + path + ": wrong kind tag");
+  }
+  if (bytes.size() != kHeader + payload_size + 4) {
+    throw io::TruncatedInput(
+        "checkpoint " + path + ": header declares " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(bytes.size() - kHeader - 4));
+  }
+  const std::uint32_t stored = [&] {
+    std::uint32_t d = 0;
+    std::memcpy(&d, bytes.data() + bytes.size() - 4, 4);
+    return d;
+  }();
+  const std::uint32_t computed = io::crc32(bytes.data(), bytes.size() - 4);
+  if (stored != computed) {
+    throw io::FormatError("checkpoint " + path + ": CRC mismatch");
+  }
+
+  std::istringstream payload(bytes.substr(kHeader, payload_size),
+                             std::ios::binary);
+  payload_reader(payload);
+  note_resume();
+  return true;
+}
+}  // namespace detail
+
+/// Opens and fully validates the envelope at `path`, then hands the
+/// payload to `payload_reader` as a seekable stream. Returns false when
+/// the file does not exist (the normal cold-start case). A file that
+/// exists but is damaged or of the wrong kind follows `policy`: strict
+/// (the default) throws the typed io error, lenient treats it exactly
+/// like a missing checkpoint and returns false — "best-effort resume,
+/// cold-start when the snapshot is unusable".
+inline bool load_checkpoint_file(
+    const std::string& path, std::uint32_t kind,
+    const std::function<void(std::istream&)>& payload_reader,
+    const io::IoPolicy& policy = io::IoPolicy::strict()) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  try {
+    return detail::load_checkpoint_strict(in, path, kind, payload_reader);
+  } catch (const io::IoError&) {
+    if (policy.lenient()) return false;
+    throw;
+  }
+}
+
+}  // namespace darkvec::runtime

@@ -1,0 +1,120 @@
+// Retry with classified errors and jittered exponential backoff.
+//
+// Real capture pipelines hand us files that are mid-rotation, NFS mounts
+// that blip, and model stores that 503. Those failures are *transient*:
+// the same read succeeds a moment later. Parse errors, bad magic and
+// resource-cap violations are *permanent*: retrying re-reads the same
+// poison. io::with_retry encodes that split over the io error taxonomy:
+//
+//   transient  — plain io::IoError (open/read/rename failures) and
+//                io::TruncatedInput (a file still being written can
+//                legitimately be short);
+//   permanent  — io::ParseError, io::FormatError, io::ResourceLimit,
+//                and anything that is not an io::IoError at all.
+//
+// Backoff is exponential with deterministic decorrelated jitter (seeded
+// splitmix64, no global RNG), sleeps through runtime::interruptible_sleep
+// so a cancelled run never sits in a backoff wait, and re-checks the
+// ambient RunContext between attempts. Header-only.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "darkvec/core/errors.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
+
+namespace darkvec::io {
+
+struct RetryPolicy {
+  int max_attempts = 4;           ///< total tries, first one included
+  double initial_backoff_s = 0.01;
+  double backoff_multiplier = 4.0;
+  double max_backoff_s = 1.0;
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+
+  [[nodiscard]] static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+  /// Tests: immediate retries, no sleeping between attempts.
+  [[nodiscard]] static RetryPolicy immediate(int attempts) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.initial_backoff_s = 0;
+    p.max_backoff_s = 0;
+    return p;
+  }
+  /// The production default for trace/model reads: three attempts,
+  /// ~10 ms then ~40 ms of jittered backoff. Cheap enough that a
+  /// genuinely missing file still fails in well under 100 ms, long
+  /// enough to ride out a mid-rotation rename.
+  [[nodiscard]] static RetryPolicy transient_reads() {
+    RetryPolicy p;
+    p.max_attempts = 3;
+    return p;
+  }
+};
+
+/// True when retrying `e` could plausibly succeed: exactly the plain
+/// IoError and TruncatedInput cases described above.
+[[nodiscard]] inline bool is_transient(const IoError& e) {
+  if (dynamic_cast<const ParseError*>(&e) != nullptr) return false;
+  if (dynamic_cast<const FormatError*>(&e) != nullptr) return false;
+  if (dynamic_cast<const ResourceLimit*>(&e) != nullptr) return false;
+  return true;
+}
+
+namespace detail {
+
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// Runs `fn` up to `policy.max_attempts` times, backing off between
+/// transient failures; returns fn's result. Permanent errors and the
+/// final transient failure propagate unchanged. runtime::Interrupted
+/// always propagates immediately (a cancelled run must not retry), and
+/// the backoff sleep itself is interruptible.
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, Fn&& fn)
+    -> decltype(std::forward<Fn>(fn)()) {
+  std::uint64_t jitter_state = policy.jitter_seed;
+  double backoff = policy.initial_backoff_s;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return std::forward<Fn>(fn)();
+    } catch (const runtime::Interrupted&) {
+      throw;
+    } catch (const IoError& e) {
+      if (!is_transient(e) || attempt >= policy.max_attempts) throw;
+      runtime::note_retry();
+    }
+    if (backoff > 0) {
+      // Decorrelated jitter in [backoff/2, backoff): retries from
+      // concurrent readers of the same flaky source spread out instead
+      // of stampeding in lockstep.
+      const double u =
+          static_cast<double>(detail::splitmix64(jitter_state) >> 11) *
+          (1.0 / 9007199254740992.0);  // 2^53
+      const double sleep_s = backoff * (0.5 + 0.5 * u);
+      if (!runtime::interruptible_sleep(sleep_s)) {
+        runtime::checkpoint();  // throws the typed stop reason
+        throw runtime::Cancelled("cancelled during retry backoff");
+      }
+      backoff = backoff * policy.backoff_multiplier;
+      if (backoff > policy.max_backoff_s) backoff = policy.max_backoff_s;
+    }
+    runtime::checkpoint();
+  }
+}
+
+}  // namespace darkvec::io

@@ -1,0 +1,270 @@
+// Execution control: cancellation, deadlines, budgets and degradation.
+//
+// Every long-running compute path in the library (SGNS/GloVe epochs,
+// batch top-k tiles, IVF builds, Louvain passes, streaming windows)
+// polls a RunContext at natural work boundaries via DV_CHECK_CANCEL /
+// DV_CHECKPOINT. The context bundles:
+//
+//   * CancellationToken — hierarchical: child() tokens observe their
+//     ancestors, so cancelling a request cancels every sub-operation it
+//     spawned while sibling requests keep running. cancel() is a single
+//     atomic store and is async-signal-safe (the CLI's SIGINT handler
+//     calls it directly).
+//   * Deadline       — a steady_clock point; Deadline::never() is free.
+//   * RunBudget      — wall-clock and max-RSS caps. The wall cap folds
+//     into the deadline when the context is constructed; RSS is sampled
+//     from /proc/self/statm every 64th check to keep checks cheap.
+//   * DegradePolicy  — kStrict turns an expired deadline into a typed
+//     DeadlineExceeded throw at the next check; kPartialResults makes
+//     check() return normally on deadline expiry so kernels that know
+//     how to truncate (batch_topk_bounded, topk_scan_bounded) can emit
+//     partial results with a `truncated` flag instead of failing.
+//
+// Propagation is by thread-local ambient context: a caller installs its
+// context with ContextScope, and everything downstream — including the
+// core/parallel worker threads, which re-install the submitter's context
+// — sees it through runtime::current(). Kernels therefore need no extra
+// parameters; DV_CHECKPOINT() is a no-op when no context is installed.
+//
+// Cost contract: an un-tripped check is one relaxed fetch_add plus a few
+// atomic loads (no clock read unless a finite deadline is set), < 10 ns;
+// callers place checks at tile/epoch/window granularity, never per
+// element. bench_micro_runtime gates the end-to-end overhead at < 1 %.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace darkvec::runtime {
+
+/// Base of every execution-control interruption. Catch this to treat
+/// "stopped early on purpose" uniformly; catch the subclasses to
+/// distinguish who pulled the plug.
+class Interrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The run's CancellationToken (or an ancestor) was cancelled.
+class Cancelled : public Interrupted {
+ public:
+  using Interrupted::Interrupted;
+};
+
+/// The run's Deadline passed while the context demanded strict behavior.
+class DeadlineExceeded : public Interrupted {
+ public:
+  using Interrupted::Interrupted;
+};
+
+/// A RunBudget cap (max RSS) was exceeded.
+class BudgetExceeded : public Interrupted {
+ public:
+  using Interrupted::Interrupted;
+};
+
+/// Thread-safe, hierarchical cancellation flag. Copies share state;
+/// child() creates a token that is cancelled whenever its parent is
+/// (but not vice versa). Default-constructed tokens are fresh roots.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  /// A token one level below this one: observes this token's (and all
+  /// its ancestors') cancellation, plus its own.
+  [[nodiscard]] CancellationToken child() const {
+    auto s = std::make_shared<State>();
+    s->parent = state_;
+    return CancellationToken(std::move(s));
+  }
+
+  /// Sets the flag. One atomic store — safe from any thread and from
+  /// async signal handlers. Idempotent.
+  void cancel() const noexcept {
+    state_->flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once this token or any ancestor has been cancelled.
+  [[nodiscard]] bool cancelled() const noexcept {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<State> parent;
+  };
+  explicit CancellationToken(std::shared_ptr<State> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// A point in steady time after which a run should stop. The default is
+/// "never" and costs nothing to check (no clock read).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  // never expires
+
+  [[nodiscard]] static Deadline never() { return Deadline(); }
+  [[nodiscard]] static Deadline at(Clock::time_point tp) {
+    Deadline d;
+    d.tp_ = tp;
+    return d;
+  }
+  [[nodiscard]] static Deadline in(double seconds) {
+    return at(Clock::now() +
+              std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds)));
+  }
+
+  [[nodiscard]] bool finite() const noexcept {
+    return tp_ != Clock::time_point::max();
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return finite() && Clock::now() >= tp_;
+  }
+  /// Seconds left; +inf for a never-deadline, clamped at 0 once passed.
+  [[nodiscard]] double remaining_seconds() const noexcept;
+  [[nodiscard]] Clock::time_point time_point() const noexcept { return tp_; }
+
+  /// The earlier of the two deadlines.
+  [[nodiscard]] static Deadline sooner(Deadline a, Deadline b) {
+    return a.tp_ <= b.tp_ ? a : b;
+  }
+
+ private:
+  Clock::time_point tp_ = Clock::time_point::max();
+};
+
+/// Resource caps for one run. Zero means uncapped.
+struct RunBudget {
+  double max_wall_seconds = 0;    ///< folded into the deadline on arm
+  std::uint64_t max_rss_bytes = 0;  ///< checked against /proc/self/statm
+};
+
+/// What an expired deadline means to the kernels under this context.
+enum class DegradePolicy : std::uint8_t {
+  kStrict,          ///< check() throws DeadlineExceeded
+  kPartialResults,  ///< check() passes; bounded kernels truncate + flag
+};
+
+enum class StopReason : std::uint8_t {
+  kNone,
+  kCancelled,
+  kDeadline,
+  kBudget,
+};
+
+/// Everything a cooperative kernel consults. Not copyable (it carries
+/// the check counter); share by pointer — the pointee must outlive every
+/// thread that can observe it through ContextScope.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(CancellationToken tok, Deadline dl, RunBudget rb = {},
+             DegradePolicy dp = DegradePolicy::kStrict)
+      : token(std::move(tok)), deadline(dl), budget(rb), degrade(dp) {
+    arm();
+  }
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  CancellationToken token;
+  Deadline deadline;
+  RunBudget budget;
+  DegradePolicy degrade = DegradePolicy::kStrict;
+
+  /// Test hook for the chaos matrix: when non-zero, the Nth check()
+  /// against this context cancels the token. Deterministic by
+  /// construction — the trip point is a count of cooperative
+  /// checkpoints, not a timer.
+  std::uint64_t trip_after_checks = 0;
+
+  /// Folds budget.max_wall_seconds into the deadline. Called by the
+  /// full constructor; call manually after aggregate-style setup.
+  void arm() {
+    if (budget.max_wall_seconds > 0) {
+      deadline = Deadline::sooner(deadline, Deadline::in(budget.max_wall_seconds));
+    }
+  }
+
+  /// Cheap cooperative checkpoint. Throws Cancelled / DeadlineExceeded /
+  /// BudgetExceeded per the policy above; otherwise returns. Thread-safe.
+  void check() const;
+
+  /// Non-throwing variant: why the run should stop, or kNone. Unlike
+  /// check(), an expired deadline reports kDeadline even under
+  /// kPartialResults — bounded kernels use this to decide to truncate.
+  [[nodiscard]] StopReason stop_reason() const noexcept;
+  [[nodiscard]] bool should_stop() const noexcept {
+    return stop_reason() != StopReason::kNone;
+  }
+
+  /// Checks observed so far (all threads). Test/bench introspection.
+  [[nodiscard]] std::uint64_t checks_observed() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] bool rss_over_budget() const noexcept;
+  mutable std::atomic<std::uint64_t> checks_{0};
+  mutable std::atomic<bool> budget_tripped_{false};
+  mutable std::atomic<bool> deadline_tripped_{false};
+};
+
+/// The ambient context installed by the nearest enclosing ContextScope
+/// on this thread, or nullptr. core/parallel workers re-install the
+/// submitting thread's context before running chunks, so parallel
+/// kernels inherit it transparently.
+[[nodiscard]] RunContext* current() noexcept;
+
+/// RAII installer for the ambient context. Restores the previous one on
+/// destruction, so scopes nest (an inner operation may tighten the
+/// deadline with a child context).
+class ContextScope {
+ public:
+  explicit ContextScope(RunContext* ctx) noexcept;
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  RunContext* prev_;
+};
+
+/// check() against the ambient context; no-op when none is installed.
+inline void checkpoint() {
+  if (RunContext* ctx = current()) ctx->check();
+}
+
+/// Bumps the `runtime.retries` counter (io::with_retry's transient
+/// failures); here so the header-only retry wrapper needs no direct obs
+/// dependency.
+void note_retry() noexcept;
+
+/// Sleeps up to `seconds`, waking early (returning false) if `ctx`
+/// (or, when ctx is null, the ambient context) asks to stop. The only
+/// blessed sleep in the library outside tests — retry backoff and
+/// polling loops go through here so they stay cancellable.
+bool interruptible_sleep(double seconds, const RunContext* ctx = nullptr);
+
+}  // namespace darkvec::runtime
+
+/// Checkpoint against an explicit context pointer (may be null).
+#define DV_CHECK_CANCEL(ctx)                                  \
+  do {                                                        \
+    const ::darkvec::runtime::RunContext* dv_ctx_ = (ctx);    \
+    if (dv_ctx_ != nullptr) dv_ctx_->check();                 \
+  } while (false)
+
+/// Checkpoint against the ambient (thread-local) context.
+#define DV_CHECKPOINT() ::darkvec::runtime::checkpoint()

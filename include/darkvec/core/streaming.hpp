@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/transfer.hpp"
 #include "darkvec/net/time.hpp"
 
@@ -36,6 +37,16 @@ struct StreamingConfig {
   /// trained (all-quiet, sub-threshold vocabulary, or a fit/cluster
   /// failure) instead of silently dropping them from the schedule.
   bool record_degraded = true;
+  /// Non-empty: after every processed window, persist a DVCK "STRM"
+  /// checkpoint to this file (atomically — valid or absent) holding the
+  /// window cursor and the alignment anchor, so a killed run can pick up
+  /// from the window after the last one it finished.
+  std::string checkpoint_path;
+  /// Load checkpoint_path (when it exists) and continue from the stored
+  /// cursor with the stored anchor instead of starting at the trace head.
+  /// Snapshots from the prior run are not re-emitted; the result reports
+  /// how many there were.
+  bool resume = false;
 };
 
 /// One retrain of the sliding window.
@@ -57,12 +68,47 @@ struct StreamSnapshot {
   std::string degraded_reason;
 };
 
+/// One window that threw mid-run: the structured partial-failure report
+/// entry (paired with the degraded placeholder snapshot, which carries
+/// the same reason inline with the schedule).
+struct WindowFailure {
+  std::int64_t window_start = 0;
+  std::int64_t window_end = 0;
+  std::string error;
+};
+
+/// Everything a streaming run produced, including what went wrong.
+struct StreamingResult {
+  std::vector<StreamSnapshot> snapshots;
+  /// Windows that threw (std::exception) and were degraded in place.
+  std::vector<WindowFailure> failures;
+  /// False when the run was stopped early by its RunContext (cancel,
+  /// strict deadline, budget). Completed snapshots are still returned.
+  bool completed = true;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
+  std::string abort_reason;
+  /// True when a checkpoint was loaded; prior_snapshots counts the
+  /// windows the earlier run(s) already emitted (not re-emitted here).
+  bool resumed = false;
+  std::uint64_t prior_snapshots = 0;
+};
+
 /// Runs the sliding-window pipeline over a full (sorted) trace.
 ///
 /// Windows are [end - window, end) for end = t0+window, +step, ... until
 /// the trace is exhausted. Each snapshot is self-contained; alignment
 /// failures (no shared senders) degrade gracefully to unaligned output.
 [[nodiscard]] std::vector<StreamSnapshot> run_streaming(
+    const net::Trace& trace, const StreamingConfig& config);
+
+/// run_streaming with full reporting, checkpoint/resume, and cooperative
+/// cancellation. Observes the ambient runtime context between windows
+/// and inside each window's fit: an interruption stops the stream at the
+/// current window and returns everything completed so far (plus the
+/// stop reason) rather than throwing — the snapshots are valid work.
+/// A window that throws an ordinary exception is degraded and reported
+/// in `failures`; the stream continues.
+[[nodiscard]] StreamingResult run_streaming_monitored(
     const net::Trace& trace, const StreamingConfig& config);
 
 /// Follows a group of senders through snapshots: for each snapshot,

@@ -57,6 +57,13 @@ namespace darkvec::ml {
 struct AnnSearchParams {
   bool enabled = false;
   int nprobe = 0;
+  /// Non-empty: load a prebuilt DVAI index from this path instead of
+  /// building one in-process. A failed or incompatible load no longer
+  /// kills the query path — CosineKnn logs it, bumps the
+  /// `runtime.ann_fallback` counter once, and answers through the exact
+  /// engine for the rest of the process (graceful degradation: correct
+  /// answers, approximate speed lost).
+  std::string index_path;
 };
 
 /// Build-time knobs of the IVF index.

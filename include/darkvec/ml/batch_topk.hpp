@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/w2v/embedding.hpp"
 #include "darkvec/w2v/quantized.hpp"
 
@@ -113,6 +114,41 @@ struct BatchTopkOptions {
     const w2v::QuantizedEmbedding& quantized,
     std::span<const std::uint32_t> queries, int k,
     const BatchTopkOptions& options = {});
+
+/// batch_topk under an explicit RunContext with graceful degradation.
+struct BatchTopkResult {
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// True when the deadline expired under DegradePolicy::kPartialResults
+  /// and some queries saw only a prefix of the corpus. Their neighbour
+  /// lists are still valid top-k *of the rows scanned so far* — usable
+  /// answers, honestly labelled.
+  bool truncated = false;
+  /// Queries whose scan covered the entire corpus.
+  std::size_t complete_queries = 0;
+};
+
+/// Like batch_topk, but checks `ctx` once per corpus tile. Cancel and
+/// budget trips throw their typed errors as usual; an expired deadline
+/// under DegradePolicy::kPartialResults stops the scan at the next tile
+/// boundary and returns the partial heaps with `truncated` set (and the
+/// `runtime.degraded` counter bumped) instead of throwing. A null `ctx`
+/// (or one that never trips) yields exactly batch_topk's results.
+[[nodiscard]] BatchTopkResult batch_topk_bounded(
+    const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
+    int k, const runtime::RunContext* ctx,
+    const BatchTopkOptions& options = {});
+
+/// topk_scan under an explicit RunContext; see batch_topk_bounded.
+struct TopkScanResult {
+  std::vector<Neighbor> neighbors;
+  bool truncated = false;
+  std::size_t rows_scanned = 0;  ///< corpus rows the scan actually covered
+};
+
+[[nodiscard]] TopkScanResult topk_scan_bounded(
+    const w2v::Embedding& normalized, std::span<const float> query,
+    float scale, int k, const runtime::RunContext* ctx,
+    std::int64_t exclude = -1);
 
 /// Single-query tiled scan over the whole corpus: every similarity is
 /// sims[j] = (sum_d query[d] * row_j[d]) * scale via the dispatched

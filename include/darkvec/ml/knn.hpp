@@ -89,6 +89,12 @@ class CosineKnn {
   /// AnnSearchParams-taking overload builds it with the defaults.
   [[nodiscard]] const IvfIndex& ann(const IvfOptions& options = {}) const;
 
+  /// The index `params` asks for: the lazily built one, or — when
+  /// params.index_path is set — a cached DVAI load. Returns nullptr
+  /// when that load failed or does not match this embedding, which the
+  /// AnnSearchParams overloads treat as "use the exact engine".
+  [[nodiscard]] const IvfIndex* ann_for(const AnnSearchParams& params) const;
+
   [[nodiscard]] std::size_t size() const { return normalized_.size(); }
   [[nodiscard]] int dim() const { return normalized_.dim(); }
   [[nodiscard]] const w2v::Embedding& normalized() const {
@@ -106,6 +112,11 @@ class CosineKnn {
   /// Same pattern for the IVF index.
   mutable std::once_flag ann_once_;
   mutable std::unique_ptr<IvfIndex> ann_;
+  /// And for a DVAI index loaded from AnnSearchParams::index_path. The
+  /// first path wins; loaded_ stays null after a failed load (the
+  /// fallback-to-exact marker).
+  mutable std::once_flag load_once_;
+  mutable std::unique_ptr<IvfIndex> loaded_;
 };
 
 }  // namespace darkvec::ml

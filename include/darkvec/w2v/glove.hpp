@@ -33,8 +33,14 @@ class GloveModel {
   GloveModel(std::size_t vocab_size, GloveOptions options);
 
   /// Accumulates co-occurrence counts and runs AdaGrad for
-  /// `options.epochs` epochs. Deterministic for a fixed seed.
+  /// `options.epochs` epochs. Deterministic for a fixed seed. Polls the
+  /// ambient runtime::RunContext between cell blocks and epochs. The
+  /// TrainControl overload adds DVCK "GLOV" checkpointing of the full
+  /// optimizer state (vectors, biases, AdaGrad accumulators, RNG) at
+  /// epoch boundaries with bit-exact resume (see TrainControl).
   TrainStats train(std::span<const Sentence> sentences);
+  TrainStats train(std::span<const Sentence> sentences,
+                   const TrainControl& control);
 
   [[nodiscard]] const Embedding& embedding() const { return combined_; }
   [[nodiscard]] std::size_t vocab_size() const { return vocab_; }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,28 @@ struct TrainStats {
   std::uint64_t tokens = 0;          ///< tokens processed (sum over epochs)
   std::uint64_t pairs = 0;           ///< positive skip-gram pairs trained
   double seconds = 0;                ///< wall-clock training time
+  int start_epoch = 0;               ///< first epoch this session ran (resume)
+  int epochs_done = 0;               ///< epochs completed in total
+  bool resumed = false;              ///< state was restored from a checkpoint
+  std::uint64_t checkpoints_written = 0;
+};
+
+/// Crash-safe training control, shared by the SGNS and GloVe trainers.
+///
+/// With a non-empty `checkpoint_path` the trainer atomically replaces
+/// that file (DVCK v1 envelope, CRC32 footer) with its full optimizer
+/// state every `checkpoint_every` completed epochs, so a kill at any
+/// instant leaves either the previous or the new checkpoint on disk,
+/// never a torn one. With `resume` set it first restores that state and
+/// continues from the next epoch: because per-epoch RNG streams are a
+/// pure function of (seed, thread, epoch), a single-threaded resumed run
+/// is bit-identical to the uninterrupted run. A checkpoint written under
+/// different hyper-parameters or vocabulary is rejected (io::FormatError)
+/// rather than silently blended in.
+struct TrainControl {
+  std::string checkpoint_path;  ///< empty disables checkpointing
+  int checkpoint_every = 1;     ///< epochs between checkpoints
+  bool resume = false;          ///< restore checkpoint_path before training
 };
 
 /// One sentence: a sequence of dense word ids.
@@ -59,8 +82,15 @@ class SkipGramModel {
  public:
   SkipGramModel(std::size_t vocab_size, SkipGramOptions options);
 
-  /// Trains over sentences for `options.epochs` epochs.
+  /// Trains over sentences for `options.epochs` epochs. Cooperative:
+  /// polls the ambient runtime::RunContext between sentences, so a
+  /// cancel or strict deadline raises the typed runtime error (workers
+  /// stop at the next sentence boundary first; no thread is left
+  /// running). With `control` checkpointing enabled, state saved before
+  /// the interrupt survives for a later resume.
   TrainStats train(std::span<const Sentence> sentences);
+  TrainStats train(std::span<const Sentence> sentences,
+                   const TrainControl& control);
 
   /// Trains over explicit (input, output) pairs for `options.epochs`
   /// epochs. Negative samples are drawn from the output-token unigram
@@ -104,6 +134,16 @@ class SkipGramModel {
   void train_pair_hs(std::uint32_t input, std::uint32_t output, float alpha,
                      float* neu1e) DV_REQUIRES(train_mu_)
       DV_BENIGN_RACE_FUNCTION;
+
+  /// DVCK "SGNS" payload: fingerprint + counters + weight matrices.
+  void save_train_checkpoint(const std::string& path, int epochs_done,
+                             std::uint64_t processed, std::uint64_t pairs)
+      DV_REQUIRES(train_mu_);
+  /// Restores a checkpoint; returns false when `path` does not exist.
+  /// Throws io::FormatError on damage or a hyper-parameter mismatch.
+  bool load_train_checkpoint(const std::string& path, int* epochs_done,
+                             std::uint64_t* processed, std::uint64_t* pairs)
+      DV_REQUIRES(train_mu_);
 
   std::size_t vocab_;
   SkipGramOptions options_;

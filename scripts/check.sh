@@ -9,7 +9,9 @@
 #   5. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
 #   6. ASan+UBSan build + io-fuzz, simd kernel and ann index tests
 #      (byte-level readers, every vector code path and the IVF
-#      candidate-scan pointer arithmetic)
+#      candidate-scan pointer arithmetic), plus the chaos interrupt
+#      matrix: ~100 deterministic cancel/deadline/kill variants must
+#      leave valid-or-absent artifacts and leak nothing under ASan
 #
 # Each configuration uses its own build directory so the sweep never
 # clobbers a developer's ./build. compile_commands.json is exported from
@@ -83,11 +85,16 @@ run cmake --build build-tsan -j "${JOBS}"
 run ctest --test-dir build-tsan -L 'perf-smoke|obs' --output-on-failure
 
 # 6. ASan+UBSan smoke over the hostile-input readers, the SIMD kernel
-# parity suite (every dispatch level, quantization round-trips) and the
-# IVF approximate index (tile scans, DVAI loads, truncation recovery).
+# parity suite (every dispatch level, quantization round-trips), the
+# IVF approximate index (tile scans, DVAI loads, truncation recovery)
+# and the chaos interrupt matrix — every cancel/deadline/SIGKILL
+# variant exercises unwinding through training and query hot loops, so
+# running it under ASan is what turns "the test passed" into "and it
+# freed every allocation on the way out".
 run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=address,undefined
 run cmake --build build-ubsan -j "${JOBS}"
-run ctest --test-dir build-ubsan -L 'io-fuzz|simd|ann' --output-on-failure
+run ctest --test-dir build-ubsan -L 'io-fuzz|simd|ann|chaos' \
+  --output-on-failure
 
 echo
 echo "check.sh: all gates passed"

@@ -18,7 +18,7 @@ w2v::TrainStats DarkVec::fit(const net::Trace& trace) {
   knn_.reset();
   model_ = std::make_unique<w2v::SkipGramModel>(corpus_.vocabulary_size(),
                                                 config_.w2v);
-  return model_->train(corpus_.sentences);
+  return model_->train(corpus_.sentences, config_.train);
 }
 
 const w2v::Embedding& DarkVec::embedding() const {

@@ -9,6 +9,7 @@
 
 #include "darkvec/core/checksum.hpp"
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/core/runtime/retry.hpp"
 
 namespace darkvec {
 namespace {
@@ -79,8 +80,11 @@ void save_model(const std::string& prefix, const SenderModel& model) {
   }
 }
 
-SenderModel load_model(const std::string& prefix, const io::IoPolicy& policy,
-                       io::IoReport* report) {
+namespace {
+
+SenderModel load_model_once(const std::string& prefix,
+                            const io::IoPolicy& policy,
+                            io::IoReport* report) {
   SenderModel model;
   model.embedding =
       w2v::Embedding::load_file(prefix + ".emb", policy, report);
@@ -186,6 +190,19 @@ SenderModel load_model(const std::string& prefix, const io::IoPolicy& policy,
   }
   if (report != nullptr) report->records_read += model.senders.size();
   return model;
+}
+
+}  // namespace
+
+SenderModel load_model(const std::string& prefix, const io::IoPolicy& policy,
+                       io::IoReport* report) {
+  // Transient failures (the store mid-write, a blipping mount) get a
+  // short jittered-backoff retry; each attempt starts a fresh report so
+  // diagnostics never accumulate across tries.
+  return io::with_retry(io::RetryPolicy::transient_reads(), [&] {
+    if (report != nullptr) *report = io::IoReport{};
+    return load_model_once(prefix, policy, report);
+  });
 }
 
 SenderModel load_model(const std::string& prefix) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "darkvec/core/annotations.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 
 namespace darkvec::core {
 namespace {
@@ -40,6 +41,11 @@ struct ThreadPool::Impl {
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> chunks_left{0};
     std::atomic<bool> error_set{false};
+    // The submitter's ambient RunContext, re-installed in every worker
+    // so cancellation/deadlines propagate into pool bodies. The
+    // submitter blocks until chunks_left hits zero, so the pointee
+    // outlives every chunk.
+    runtime::RunContext* ctx = nullptr;
     Mutex done_mutex;
     // First exception thrown by a body; error_set's winner writes it, the
     // submitter reads it after the done wait — both under done_mutex.
@@ -85,6 +91,7 @@ struct ThreadPool::Impl {
   // submitting thread.
   void run_chunks(Job& job) {
     inside_pool_body = true;
+    runtime::ContextScope runtime_scope(job.ctx);
     for (;;) {
       const std::size_t c = job.next_chunk.fetch_add(1);
       if (c >= job.chunk_count) break;
@@ -92,6 +99,11 @@ struct ThreadPool::Impl {
       const std::size_t end = std::min(begin + job.grain, job.n);
       try {
         if (!job.error_set.load(std::memory_order_relaxed)) {
+          // A cancel/deadline trip lands in the job's error slot like
+          // any body exception: the remaining chunks drain (claimed but
+          // skipped), the pool stays reusable, and the submitter
+          // rethrows the typed Interrupted after the loop settles.
+          if (job.ctx != nullptr) job.ctx->check();
           (*job.body)(begin, end);
         }
       } catch (...) {
@@ -118,6 +130,7 @@ struct ThreadPool::Impl {
     // pool body (the workers are busy: queueing would deadlock).
     if (size == 1 || chunks == 1 || inside_pool_body) {
       for (std::size_t c = 0; c < chunks; ++c) {
+        DV_CHECKPOINT();  // same cancellation granularity as the pool path
         fn(c * chunk, std::min((c + 1) * chunk, count));
       }
       return;
@@ -129,6 +142,7 @@ struct ThreadPool::Impl {
     job->grain = chunk;
     job->chunk_count = chunks;
     job->body = &fn;
+    job->ctx = runtime::current();
     job->chunks_left.store(chunks);
     {
       MutexLock lock(mutex);

@@ -1,0 +1,147 @@
+#include "darkvec/core/runtime/runtime.hpp"
+
+#include "darkvec/core/runtime/checkpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include "darkvec/obs/metrics.hpp"
+
+namespace darkvec::runtime {
+namespace {
+
+thread_local RunContext* tls_current = nullptr;
+
+obs::Counter& cancelled_counter() {
+  static obs::Counter& c = obs::counter("runtime.cancelled");
+  return c;
+}
+obs::Counter& deadline_counter() {
+  static obs::Counter& c = obs::counter("runtime.deadline_exceeded");
+  return c;
+}
+obs::Counter& budget_counter() {
+  static obs::Counter& c = obs::counter("runtime.budget_exceeded");
+  return c;
+}
+
+/// Resident set in bytes via /proc/self/statm (second field, pages).
+/// Returns 0 when unavailable (non-Linux), which disables the RSS cap.
+std::uint64_t current_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm = 0;
+  unsigned long long rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &vm, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(rss_pages) * 4096u;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!finite()) return std::numeric_limits<double>::infinity();
+  const auto left = tp_ - Clock::now();
+  const double s = std::chrono::duration<double>(left).count();
+  return s > 0 ? s : 0.0;
+}
+
+bool RunContext::rss_over_budget() const noexcept {
+  const std::uint64_t rss = current_rss_bytes();
+  return rss != 0 && rss > budget.max_rss_bytes;
+}
+
+void RunContext::check() const {
+  const std::uint64_t n =
+      checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (trip_after_checks != 0 && n >= trip_after_checks) {
+    // The chaos matrix's deterministic interrupt: behaves exactly like
+    // an external cancel, including waking every sibling thread.
+    token.cancel();
+  }
+  if (token.cancelled()) {
+    cancelled_counter().add();
+    throw Cancelled("run cancelled");
+  }
+  // The clock read behind Deadline::expired() can be a syscall on
+  // virtualized hosts, so it is sampled on the first check and every
+  // 16th after, and latched once seen expired. That keeps checkpoints
+  // in the low-nanosecond range the hot loops were budgeted for, at the
+  // cost of the deadline firing up to 15 checks late.
+  if (deadline_tripped_.load(std::memory_order_relaxed) ||
+      ((n == 1 || (n & 15u) == 0) && deadline.expired())) {
+    deadline_tripped_.store(true, std::memory_order_relaxed);
+    if (degrade != DegradePolicy::kPartialResults) {
+      deadline_counter().add();
+      throw DeadlineExceeded("deadline exceeded");
+    }
+    // Partial-results mode: the caller is expected to consult
+    // stop_reason()/deadline and truncate; check() stays quiet so work
+    // already in flight can finish its tile.
+  }
+  if (budget.max_rss_bytes != 0 &&
+      (budget_tripped_.load(std::memory_order_relaxed) ||
+       ((n & 63u) == 0 && rss_over_budget()))) {
+    budget_tripped_.store(true, std::memory_order_relaxed);
+    budget_counter().add();
+    throw BudgetExceeded("memory budget exceeded");
+  }
+}
+
+StopReason RunContext::stop_reason() const noexcept {
+  if (token.cancelled()) return StopReason::kCancelled;
+  if (trip_after_checks != 0 &&
+      checks_.load(std::memory_order_relaxed) >= trip_after_checks) {
+    return StopReason::kCancelled;
+  }
+  if (budget_tripped_.load(std::memory_order_relaxed)) {
+    return StopReason::kBudget;
+  }
+  if (deadline.expired()) return StopReason::kDeadline;
+  return StopReason::kNone;
+}
+
+void note_retry() noexcept {
+  static obs::Counter& c = obs::counter("runtime.retries");
+  c.add();
+}
+
+void note_checkpoint_written() noexcept {
+  static obs::Counter& c = obs::counter("runtime.checkpoints_written");
+  c.add();
+}
+
+void note_resume() noexcept {
+  static obs::Counter& c = obs::counter("runtime.resumes");
+  c.add();
+}
+
+RunContext* current() noexcept { return tls_current; }
+
+ContextScope::ContextScope(RunContext* ctx) noexcept : prev_(tls_current) {
+  tls_current = ctx;
+}
+
+ContextScope::~ContextScope() { tls_current = prev_; }
+
+bool interruptible_sleep(double seconds, const RunContext* ctx) {
+  if (ctx == nullptr) ctx = current();
+  constexpr double kSliceSeconds = 0.02;
+  const Deadline until = Deadline::in(seconds);
+  for (;;) {
+    if (ctx != nullptr && ctx->should_stop()) return false;
+    const double left = until.remaining_seconds();
+    if (left <= 0) return true;
+    const double slice = left < kSliceSeconds ? left : kSliceSeconds;
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+  }
+}
+
+}  // namespace darkvec::runtime

@@ -7,121 +7,244 @@
 #include <unordered_set>
 #include <utility>
 
+#include "darkvec/core/byteio.hpp"
+#include "darkvec/core/runtime/checkpoint.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec {
+namespace {
+
+constexpr std::uint32_t kStreamKind = runtime::fourcc("STRM");
+
+/// Alignment anchor persisted across a kill: the previous window's
+/// sender list and (aligned) embedding. align_embeddings only consults
+/// Corpus::words / id_of, so a corpus rebuilt from the word list alone
+/// is a faithful anchor.
+struct Anchor {
+  corpus::Corpus corpus;
+  w2v::Embedding embedding;
+  bool valid = false;
+};
+
+void save_stream_checkpoint(const std::string& path, std::int64_t next_end,
+                            bool stream_complete,
+                            std::uint64_t snapshots_done,
+                            const Anchor& anchor) {
+  runtime::save_checkpoint_file(path, kStreamKind, [&](std::ostream& out) {
+    io::write_pod(out, next_end);
+    io::write_pod(out, static_cast<std::uint8_t>(stream_complete ? 1 : 0));
+    io::write_pod(out, snapshots_done);
+    io::write_pod(out, static_cast<std::uint8_t>(anchor.valid ? 1 : 0));
+    if (anchor.valid) {
+      const auto count =
+          static_cast<std::uint64_t>(anchor.corpus.words.size());
+      io::write_pod(out, count);
+      io::write_array(out, anchor.corpus.words.data(),
+                      anchor.corpus.words.size());
+      anchor.embedding.save(out);
+    }
+  });
+}
+
+bool load_stream_checkpoint(const std::string& path, std::int64_t* next_end,
+                            bool* stream_complete,
+                            std::uint64_t* snapshots_done, Anchor* anchor) {
+  return runtime::load_checkpoint_file(
+      path, kStreamKind, [&](std::istream& in) {
+        std::uint8_t complete = 0;
+        std::uint8_t has_anchor = 0;
+        std::uint64_t count = 0;
+        if (!io::read_pod(in, *next_end) || !io::read_pod(in, complete) ||
+            !io::read_pod(in, *snapshots_done) ||
+            !io::read_pod(in, has_anchor)) {
+          throw io::TruncatedInput("streaming checkpoint: truncated cursor");
+        }
+        *stream_complete = complete != 0;
+        anchor->valid = false;
+        if (has_anchor == 0) return;
+        if (!io::read_pod(in, count)) {
+          throw io::TruncatedInput(
+              "streaming checkpoint: truncated anchor size");
+        }
+        anchor->corpus = corpus::Corpus{};
+        anchor->corpus.words.resize(count);
+        const std::size_t want = count * sizeof(net::IPv4);
+        if (io::read_array_bytes(in, anchor->corpus.words.data(), count) !=
+            want) {
+          throw io::TruncatedInput(
+              "streaming checkpoint: truncated anchor words");
+        }
+        anchor->corpus.ids.reserve(count);
+        for (std::size_t i = 0; i < anchor->corpus.words.size(); ++i) {
+          anchor->corpus.ids.emplace(anchor->corpus.words[i],
+                                     static_cast<corpus::WordId>(i));
+        }
+        anchor->embedding = w2v::Embedding::load(in);
+        anchor->valid = true;
+      });
+}
+
+}  // namespace
 
 std::vector<StreamSnapshot> run_streaming(const net::Trace& trace,
                                           const StreamingConfig& config) {
-  std::vector<StreamSnapshot> snapshots;
+  return run_streaming_monitored(trace, config).snapshots;
+}
+
+StreamingResult run_streaming_monitored(const net::Trace& trace,
+                                        const StreamingConfig& config) {
+  StreamingResult result;
   if (trace.empty() || config.window_seconds <= 0 ||
       config.step_seconds <= 0) {
-    return snapshots;
+    return result;
   }
   const std::int64_t t0 = trace[0].ts;
   const std::int64_t t_last = trace[trace.size() - 1].ts;
+  runtime::RunContext* const ctx = runtime::current();
 
-  const corpus::Corpus* previous_corpus = nullptr;
-  const w2v::Embedding* previous_embedding = nullptr;
-  // Own the previous state (snapshots store aligned embeddings).
-  corpus::Corpus prev_corpus_storage;
-  w2v::Embedding prev_embedding_storage;
+  // The previous window's state: snapshots store aligned embeddings, so
+  // anchoring to it composes all rotations into the first window's space.
+  Anchor anchor;
+
+  // Windows emitted across *all* runs of this stream (the checkpoint
+  // carries the count forward through kills).
+  std::uint64_t snapshots_done = 0;
+
+  std::int64_t end = t0 + config.window_seconds;
+  if (config.resume && !config.checkpoint_path.empty()) {
+    std::int64_t next_end = 0;
+    bool stream_complete = false;
+    if (load_stream_checkpoint(config.checkpoint_path, &next_end,
+                               &stream_complete, &snapshots_done, &anchor)) {
+      result.resumed = true;
+      result.prior_snapshots = snapshots_done;
+      DV_LOG_INFO("stream", "resumed from checkpoint",
+                  {"path", config.checkpoint_path}, {"next_end", next_end},
+                  {"prior_snapshots", snapshots_done},
+                  {"complete", stream_complete});
+      if (stream_complete) return result;  // nothing left to do
+      end = next_end;
+    }
+  }
 
   // Emits a placeholder for a window that produced no model. The window
   // is always advanced by the caller, so a run of quiet or broken
   // windows can never stall the stream. Degraded windows are always
   // logged and counted, even when no placeholder snapshot is recorded —
   // silently dropped windows are exactly what an operator needs to see.
-  const auto record_degraded = [&](std::int64_t end, std::string reason) {
+  const auto record_degraded = [&](std::int64_t window_end,
+                                   std::string reason) {
     static obs::Counter& degraded_counter =
         obs::counter("streaming.degraded_windows");
     degraded_counter.add(1);
     DV_LOG_WARN("stream", "degraded window",
-                {"window_start", end - config.window_seconds},
-                {"window_end", end}, {"reason", reason});
+                {"window_start", window_end - config.window_seconds},
+                {"window_end", window_end}, {"reason", reason});
     if (!config.record_degraded) return;
     StreamSnapshot snapshot;
-    snapshot.window_start = end - config.window_seconds;
-    snapshot.window_end = end;
+    snapshot.window_start = window_end - config.window_seconds;
+    snapshot.window_end = window_end;
     snapshot.degraded = true;
     snapshot.degraded_reason = std::move(reason);
-    snapshots.push_back(std::move(snapshot));
+    result.snapshots.push_back(std::move(snapshot));
   };
 
   // Window ends advance by `step` until the trace end is covered; the
   // final window may reach past the last packet.
-  std::int64_t end = t0 + config.window_seconds;
   bool done = false;
   while (!done) {
     done = end > t_last;
     DV_SPAN_ARG("stream.window", "window_end", end);
-    const net::Trace window =
-        trace.slice(end - config.window_seconds, end);
-    if (window.empty()) {
-      record_degraded(end, "no packets in window");
-      end += config.step_seconds;
-      continue;
-    }
 
     // A fit/cluster failure degrades this window instead of killing the
-    // stream: the snapshot records the reason and the next window starts
-    // fresh against the last good anchor.
+    // stream. An *interruption* (cancel, strict deadline, budget) is not
+    // a window failure: it must be caught before std::exception or a ^C
+    // would read as an endless run of degraded windows. It ends the
+    // stream, keeping everything already built.
     try {
-      DarkVec dv(config.darkvec);
-      dv.fit(window);
-      if (dv.corpus().vocabulary_size() == 0) {
-        record_degraded(end, "no senders above the activity threshold");
-        end += config.step_seconds;
-        continue;
-      }
+      DV_CHECK_CANCEL(ctx);
+      const net::Trace window =
+          trace.slice(end - config.window_seconds, end);
+      if (window.empty()) {
+        record_degraded(end, "no packets in window");
+      } else {
+        DarkVec dv(config.darkvec);
+        dv.fit(window);
+        if (dv.corpus().vocabulary_size() == 0) {
+          record_degraded(end, "no senders above the activity threshold");
+        } else {
+          StreamSnapshot snapshot;
+          snapshot.window_start = end - config.window_seconds;
+          snapshot.window_end = end;
+          snapshot.senders = dv.corpus().words;
+          snapshot.clustering = dv.cluster(config.k_prime);
 
-      StreamSnapshot snapshot;
-      snapshot.window_start = end - config.window_seconds;
-      snapshot.window_end = end;
-      snapshot.senders = dv.corpus().words;
-      snapshot.clustering = dv.cluster(config.k_prime);
+          w2v::Embedding embedding = dv.embedding().normalized();
+          if (config.align && anchor.valid) {
+            try {
+              const Alignment alignment =
+                  align_embeddings(dv.corpus(), embedding, anchor.corpus,
+                                   anchor.embedding);
+              embedding = apply_alignment(alignment, embedding);
+              snapshot.alignment_similarity = alignment.anchor_similarity;
+            } catch (const std::invalid_argument&) {
+              // No shared senders: keep the raw space.
+              snapshot.alignment_similarity = 0;
+            }
+          }
+          snapshot.embedding = std::move(embedding);
 
-      w2v::Embedding embedding = dv.embedding().normalized();
-      if (config.align && previous_corpus != nullptr) {
-        try {
-          const Alignment alignment =
-              align_embeddings(dv.corpus(), embedding, *previous_corpus,
-                               *previous_embedding);
-          embedding = apply_alignment(alignment, embedding);
-          snapshot.alignment_similarity = alignment.anchor_similarity;
-        } catch (const std::invalid_argument&) {
-          // No shared senders: keep the raw space.
-          snapshot.alignment_similarity = 0;
+          // The *aligned* embedding becomes the next anchor target, so
+          // rotations compose into the first snapshot's space.
+          anchor.corpus = dv.corpus();
+          anchor.embedding = snapshot.embedding;
+          anchor.valid = true;
+
+          static obs::Counter& snapshots_counter =
+              obs::counter("streaming.snapshots");
+          snapshots_counter.add(1);
+          obs::gauge("streaming.alignment_similarity")
+              .set(snapshot.alignment_similarity);
+          DV_LOG_INFO("stream", "snapshot",
+                      {"window_start", snapshot.window_start},
+                      {"window_end", snapshot.window_end},
+                      {"senders", snapshot.senders.size()},
+                      {"clusters", snapshot.clustering.count},
+                      {"alignment_similarity",
+                       snapshot.alignment_similarity});
+
+          result.snapshots.push_back(std::move(snapshot));
         }
       }
-      snapshot.embedding = std::move(embedding);
-
-      // The *aligned* embedding becomes the next anchor target, so
-      // rotations compose into the first snapshot's space.
-      prev_corpus_storage = dv.corpus();
-      prev_embedding_storage = snapshot.embedding;
-      previous_corpus = &prev_corpus_storage;
-      previous_embedding = &prev_embedding_storage;
-
-      static obs::Counter& snapshots_counter =
-          obs::counter("streaming.snapshots");
-      snapshots_counter.add(1);
-      obs::gauge("streaming.alignment_similarity")
-          .set(snapshot.alignment_similarity);
-      DV_LOG_INFO("stream", "snapshot",
-                  {"window_start", snapshot.window_start},
-                  {"window_end", snapshot.window_end},
-                  {"senders", snapshot.senders.size()},
-                  {"clusters", snapshot.clustering.count},
-                  {"alignment_similarity", snapshot.alignment_similarity});
-
-      snapshots.push_back(std::move(snapshot));
+    } catch (const runtime::Interrupted& e) {
+      result.completed = false;
+      result.abort_reason = e.what();
+      result.stop_reason =
+          ctx != nullptr ? ctx->stop_reason() : runtime::StopReason::kNone;
+      DV_LOG_WARN("stream", "stream interrupted", {"window_end", end},
+                  {"reason", result.abort_reason});
+      break;
     } catch (const std::exception& e) {
+      result.failures.push_back(
+          {end - config.window_seconds, end,
+           std::string("window failed: ") + e.what()});
       record_degraded(end, std::string("window failed: ") + e.what());
+    }
+
+    // Persist the cursor after every processed window — completed or
+    // degraded — so a kill resumes at the next one, never re-running
+    // finished work or skipping a window.
+    if (!config.checkpoint_path.empty()) {
+      // Degraded placeholders count as emitted: prior_snapshots must
+      // match what the earlier run actually returned.
+      save_stream_checkpoint(config.checkpoint_path,
+                             end + config.step_seconds, done,
+                             snapshots_done + result.snapshots.size(),
+                             anchor);
     }
     end += config.step_seconds;
   }
-  return snapshots;
+  return result;
 }
 
 std::vector<GroupTrack> track_group(std::span<const StreamSnapshot> snapshots,

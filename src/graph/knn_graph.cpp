@@ -1,5 +1,6 @@
 #include "darkvec/graph/knn_graph.hpp"
 
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec::graph {
@@ -20,6 +21,9 @@ WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime,
   WeightedGraph g(n);
   std::size_t edges = 0;
   for (std::size_t u = 0; u < n; ++u) {
+    // The parallel scan above observes the ambient context through the
+    // pool; the serial insertion loop checks it directly per block.
+    if ((u & 1023u) == 0) DV_CHECKPOINT();
     for (const ml::Neighbor& nb : all[u]) {
       if (nb.similarity <= 0) continue;
       g.add_edge(static_cast<std::uint32_t>(u), nb.index, nb.similarity);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/obs/obs.hpp"
 #include "darkvec/sim/rng.hpp"
 
@@ -48,6 +49,9 @@ LevelResult one_level(const WeightedGraph& g, double min_gain,
   std::unordered_map<int, double> links;  // community -> weight from node
   bool moved_any = true;
   while (moved_any && result.passes < 64) {
+    // Cancellation granularity: one local-moving pass. Aborting between
+    // passes leaves no partial community state visible to the caller.
+    DV_CHECKPOINT();
     moved_any = false;
     ++result.passes;
     for (const std::uint32_t u : order) {
@@ -168,6 +172,7 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
 
   for (int level = 0; level < options.max_levels; ++level) {
     DV_SPAN_ARG("graph.louvain.level", "level", level);
+    DV_CHECKPOINT();
     LevelResult lr = one_level(*graph, options.min_gain, rng);
     passes_counter.add(static_cast<std::uint64_t>(lr.passes));
     moves_counter.add(lr.moves);

@@ -10,6 +10,7 @@
 #include "darkvec/core/checksum.hpp"
 #include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
@@ -98,6 +99,7 @@ void IvfIndex::finalize_tiles(const float* rows_slot_major) {
 
   tiles_.assign(n * dim, 0.0f);
   for (std::size_t l = 0; l < nl; ++l) {
+    if ((l & 63u) == 0) DV_CHECKPOINT();
     const std::size_t base = offsets_[l];
     const std::size_t ls = list_size(l);
     for (std::size_t c0 = 0; c0 < ls; c0 += chunk_) {
@@ -189,6 +191,7 @@ IvfIndex IvfIndex::assemble(const w2v::Embedding& normalized,
   out.centroids_ = w2v::Embedding(nl, out.dim_);
   std::vector<double> sum(dim);
   for (std::size_t l = 0; l < nl; ++l) {
+    if ((l & 63u) == 0) DV_CHECKPOINT();  // list-granular build cancel
     std::fill(sum.begin(), sum.end(), 0.0);
     for (std::size_t s = out.offsets_[l]; s < out.offsets_[l + 1]; ++s) {
       const auto row = normalized.vec(out.ids_[s]);

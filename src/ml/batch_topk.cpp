@@ -1,15 +1,31 @@
 #include "darkvec/ml/batch_topk.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 
 #include "darkvec/core/contracts.hpp"
 #include "darkvec/core/parallel.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
 namespace darkvec::ml {
 namespace {
+
+obs::Counter& degraded_counter() {
+  static obs::Counter& c = obs::counter("runtime.degraded");
+  return c;
+}
+
+// True when `ctx` asks this scan to stop early and keep what it has:
+// the deadline expired under kPartialResults. Cancel/budget trips throw
+// out of ctx->check() instead, so they never reach this path.
+bool should_truncate(const runtime::RunContext* ctx) {
+  return ctx != nullptr &&
+         ctx->degrade == runtime::DegradePolicy::kPartialResults &&
+         ctx->deadline.expired();
+}
 
 // Auto tile-width budget: keep the transposed [dim x corpus_block]
 // float tile around L1 size so the inner dim-sweep streams from cache.
@@ -35,15 +51,23 @@ std::size_t auto_tile_width(std::size_t dim) {
 
 }  // namespace detail
 
-std::vector<std::vector<Neighbor>> batch_topk(
+namespace {
+
+// Shared implementation of the exact fp32 scan. `ctx` may be null; when
+// it is the deadline-truncation branch is dead and the loop is the
+// historical one. Outputs for the bounded wrapper: `truncated` /
+// `complete_queries` (ignored when null).
+std::vector<std::vector<Neighbor>> batch_topk_impl(
     const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
-    int k, const BatchTopkOptions& options) {
+    int k, const BatchTopkOptions& options, const runtime::RunContext* ctx,
+    bool* truncated, std::size_t* complete_queries) {
   const std::size_t nq = queries.size();
   std::vector<std::vector<Neighbor>> out(nq);
   DV_PRECONDITION(options.query_block > 0,
                   "batch_topk: query_block is positive");
   const std::size_t n = normalized.size();
   const auto dim = static_cast<std::size_t>(normalized.dim());
+  if (complete_queries != nullptr) *complete_queries = nq;
   if (k <= 0 || nq == 0 || n == 0 || dim == 0) return out;
 
   DV_SPAN_ARG("ml.batch_topk", "queries", nq);
@@ -66,6 +90,9 @@ std::vector<std::vector<Neighbor>> batch_topk(
     inv[i] = norm > 0 ? static_cast<float>(1.0 / norm) : 0.0f;
   }
 
+  std::atomic<bool> any_truncated{false};
+  std::atomic<std::size_t> complete{0};
+
   // Parallel over query blocks: each block of queries is owned by one
   // chunk, and within a chunk candidates arrive in ascending corpus
   // order, so the output is independent of the thread count.
@@ -77,7 +104,17 @@ std::vector<std::vector<Neighbor>> batch_topk(
     heaps.reserve(qhi - qlo);
     for (std::size_t qi = qlo; qi < qhi; ++qi) heaps.emplace_back(k);
 
+    bool chunk_truncated = false;
     for (std::size_t jb = 0; jb < n; jb += cb) {
+      if (ctx != nullptr) {
+        ctx->check();
+        if (should_truncate(ctx)) {
+          // Deadline passed, degradation allowed: keep the heaps built
+          // from tiles [0, jb) — a valid top-k of the prefix scanned.
+          chunk_truncated = jb < n;
+          break;
+        }
+      }
       const std::size_t je = std::min(jb + cb, n);
       const std::size_t width = je - jb;
       // Transpose the corpus block once; it is then reused by every
@@ -103,7 +140,16 @@ std::vector<std::vector<Neighbor>> batch_topk(
     for (std::size_t qi = qlo; qi < qhi; ++qi) {
       out[qi] = heaps[qi - qlo].take();
     }
+    if (chunk_truncated) {
+      any_truncated.store(true, std::memory_order_relaxed);
+    } else {
+      complete.fetch_add(qhi - qlo, std::memory_order_relaxed);
+    }
   });
+
+  if (truncated != nullptr) *truncated = any_truncated.load();
+  if (complete_queries != nullptr) *complete_queries = complete.load();
+  if (any_truncated.load()) degraded_counter().add();
 
   static obs::Counter& queries_counter = obs::counter("knn.queries");
   queries_counter.add(nq);
@@ -115,6 +161,26 @@ std::vector<std::vector<Neighbor>> batch_topk(
                {"queries_per_s",
                 seconds > 0 ? static_cast<double>(nq) / seconds : 0.0});
   return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> batch_topk(
+    const w2v::Embedding& normalized, std::span<const std::uint32_t> queries,
+    int k, const BatchTopkOptions& options) {
+  return batch_topk_impl(normalized, queries, k, options, nullptr, nullptr,
+                         nullptr);
+}
+
+BatchTopkResult batch_topk_bounded(const w2v::Embedding& normalized,
+                                   std::span<const std::uint32_t> queries,
+                                   int k, const runtime::RunContext* ctx,
+                                   const BatchTopkOptions& options) {
+  BatchTopkResult result;
+  result.neighbors = batch_topk_impl(normalized, queries, k, options, ctx,
+                                     &result.truncated,
+                                     &result.complete_queries);
+  return result;
 }
 
 std::vector<std::vector<Neighbor>> batch_topk(
@@ -179,15 +245,35 @@ std::vector<std::vector<Neighbor>> batch_topk(
 std::vector<Neighbor> topk_scan(const w2v::Embedding& normalized,
                                 std::span<const float> query, float scale,
                                 int k, std::int64_t exclude) {
+  return topk_scan_bounded(normalized, query, scale, k, nullptr, exclude)
+      .neighbors;
+}
+
+TopkScanResult topk_scan_bounded(const w2v::Embedding& normalized,
+                                 std::span<const float> query, float scale,
+                                 int k, const runtime::RunContext* ctx,
+                                 std::int64_t exclude) {
+  TopkScanResult result;
   detail::TopKHeap heap(k);
   const std::size_t n = normalized.size();
   const auto dim = static_cast<std::size_t>(normalized.dim());
-  if (k <= 0 || n == 0 || dim == 0) return heap.take();
+  if (k <= 0 || n == 0 || dim == 0) {
+    result.neighbors = heap.take();
+    return result;
+  }
 
   const std::size_t cb = detail::auto_tile_width(dim);
   std::vector<float> tile(cb * dim);
   std::vector<float> sims(cb);
   for (std::size_t jb = 0; jb < n; jb += cb) {
+    if (ctx != nullptr) {
+      ctx->check();
+      if (should_truncate(ctx)) {
+        result.truncated = true;
+        degraded_counter().add();
+        break;
+      }
+    }
     const std::size_t je = std::min(jb + cb, n);
     const std::size_t width = je - jb;
     for (std::size_t j = jb; j < je; ++j) {
@@ -203,8 +289,10 @@ std::vector<Neighbor> topk_scan(const w2v::Embedding& normalized,
       if (static_cast<std::int64_t>(j) == exclude) continue;
       heap.offer(static_cast<std::uint32_t>(j), sims[jj] * scale);
     }
+    result.rows_scanned = je;
   }
-  return heap.take();
+  result.neighbors = heap.take();
+  return result;
 }
 
 }  // namespace darkvec::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/sim/rng.hpp"
 
 namespace darkvec::ml {
@@ -74,6 +75,7 @@ KMeansResult kmeans(const w2v::Embedding& points, int k,
   std::vector<std::size_t> counts(clusters);
   double previous_inertia = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    DV_CHECKPOINT();  // Lloyd-iteration cancellation granularity
     result.iterations = iter + 1;
     // Assign.
     double inertia = 0;

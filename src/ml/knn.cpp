@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/core/runtime/retry.hpp"
+#include "darkvec/obs/obs.hpp"
 
 namespace darkvec::ml {
 
@@ -71,25 +73,60 @@ const IvfIndex& CosineKnn::ann(const IvfOptions& options) const {
   return *ann_;
 }
 
+const IvfIndex* CosineKnn::ann_for(const AnnSearchParams& params) const {
+  if (params.index_path.empty()) return &ann();
+  std::call_once(load_once_, [&] {
+    static obs::Counter& fallback_counter =
+        obs::counter("runtime.ann_fallback");
+    try {
+      auto idx = std::make_unique<IvfIndex>(
+          io::with_retry(io::RetryPolicy::transient_reads(), [&] {
+            return IvfIndex::load_file(params.index_path,
+                                       io::IoPolicy::strict());
+          }));
+      if (idx->size() != normalized_.size() ||
+          idx->dim() != normalized_.dim()) {
+        throw io::FormatError(
+            "DVAI index shape " + std::to_string(idx->size()) + "x" +
+            std::to_string(idx->dim()) + " does not match the embedding");
+      }
+      loaded_ = std::move(idx);
+    } catch (const io::IoError& e) {
+      // Degrade, don't die: the exact engine answers every query the
+      // index would have, just without the sub-linear scan.
+      fallback_counter.add();
+      DV_LOG_WARN("knn", "DVAI index load failed; using the exact engine",
+                  {"path", params.index_path}, {"error", e.what()});
+    }
+  });
+  return loaded_.get();
+}
+
 std::vector<Neighbor> CosineKnn::query(std::size_t i, int k,
                                        const AnnSearchParams& params) const {
   if (!params.enabled) return query(i, k);
-  return ann().query(i, k, params.nprobe);
+  const IvfIndex* idx = ann_for(params);
+  if (idx == nullptr) return query(i, k);
+  return idx->query(i, k, params.nprobe);
 }
 
 std::vector<std::vector<Neighbor>> CosineKnn::query_batch(
     std::span<const std::uint32_t> points, int k,
     const AnnSearchParams& params) const {
   if (!params.enabled) return query_batch(points, k);
-  return ann().query_batch(points, k, params.nprobe);
+  const IvfIndex* idx = ann_for(params);
+  if (idx == nullptr) return query_batch(points, k);
+  return idx->query_batch(points, k, params.nprobe);
 }
 
 std::vector<std::vector<Neighbor>> CosineKnn::all_neighbors(
     int k, const AnnSearchParams& params) const {
   if (!params.enabled) return all_neighbors(k);
+  const IvfIndex* idx = ann_for(params);
+  if (idx == nullptr) return all_neighbors(k);
   std::vector<std::uint32_t> points(normalized_.size());
   std::iota(points.begin(), points.end(), 0u);
-  return ann().query_batch(points, k, params.nprobe);
+  return idx->query_batch(points, k, params.nprobe);
 }
 
 }  // namespace darkvec::ml

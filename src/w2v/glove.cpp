@@ -2,10 +2,14 @@
 #include "darkvec/w2v/glove.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <unordered_map>
 
+#include "darkvec/core/byteio.hpp"
+#include "darkvec/core/runtime/checkpoint.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
@@ -23,6 +27,26 @@ inline double rand_unit(std::uint64_t& state) {
   return static_cast<double>(next_rand(state) >> 11) * 0x1.0p-53;
 }
 
+// FNV-1a over the options that make a GLOV checkpoint compatible.
+std::uint64_t glove_fingerprint(std::size_t vocab, const GloveOptions& o) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(vocab);
+  mix(static_cast<std::uint64_t>(o.dim));
+  mix(static_cast<std::uint64_t>(o.window));
+  mix(static_cast<std::uint64_t>(o.epochs));
+  mix(std::bit_cast<std::uint64_t>(o.x_max));
+  mix(std::bit_cast<std::uint64_t>(o.alpha));
+  mix(std::bit_cast<std::uint64_t>(o.learning_rate));
+  mix(o.seed);
+  return h;
+}
+
 }  // namespace
 
 GloveModel::GloveModel(std::size_t vocab_size, GloveOptions options)
@@ -32,14 +56,21 @@ GloveModel::GloveModel(std::size_t vocab_size, GloveOptions options)
 }
 
 TrainStats GloveModel::train(std::span<const Sentence> sentences) {
+  return train(sentences, TrainControl{});
+}
+
+TrainStats GloveModel::train(std::span<const Sentence> sentences,
+                             const TrainControl& control) {
   const auto t_start = std::chrono::steady_clock::now();
   DV_SPAN_ARG("w2v.glove.train", "vocab", vocab_);
+  runtime::RunContext* const ctx = runtime::current();
   TrainStats stats;
   const auto dim = static_cast<std::size_t>(options_.dim);
 
   // ---- windowed co-occurrence counts (1/d distance weighting) -----------
   std::unordered_map<std::uint64_t, double> counts;
   for (const Sentence& s : sentences) {
+    DV_CHECK_CANCEL(ctx);
     const auto n = static_cast<std::int64_t>(s.size());
     stats.tokens += s.size();
     for (std::int64_t i = 0; i < n; ++i) {
@@ -94,15 +125,93 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
   std::vector<std::size_t> order(cells.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // DVCK "GLOV" checkpoints: the optimizer state is entirely local to
+  // this call, so the payload writers/readers live here too. The cells
+  // and their sort order are deterministic functions of the corpus and
+  // are recomputed on resume rather than persisted.
+  const std::uint64_t fingerprint = glove_fingerprint(vocab_, options_);
+  const auto save_ckpt = [&](int epochs_done, std::uint64_t& rng_state,
+                             std::uint64_t pairs) {
+    runtime::save_checkpoint_file(
+        control.checkpoint_path, runtime::fourcc("GLOV"),
+        [&](std::ostream& out) {
+          io::write_pod(out, fingerprint);
+          io::write_pod(out, static_cast<std::int32_t>(epochs_done));
+          io::write_pod(out, pairs);
+          io::write_pod(out, rng_state);
+          io::write_array(out, w.data(), w.size());
+          io::write_array(out, wt.data(), wt.size());
+          io::write_array(out, b.data(), b.size());
+          io::write_array(out, bt.data(), bt.size());
+          io::write_array(out, gw.data(), gw.size());
+          io::write_array(out, gwt.data(), gwt.size());
+          io::write_array(out, gb.data(), gb.size());
+          io::write_array(out, gbt.data(), gbt.size());
+        });
+  };
+  int start_epoch = 0;
+  if (control.resume && !control.checkpoint_path.empty()) {
+    const bool loaded = runtime::load_checkpoint_file(
+        control.checkpoint_path, runtime::fourcc("GLOV"),
+        [&](std::istream& in) {
+          std::uint64_t fp = 0;
+          std::int32_t epoch = 0;
+          std::uint64_t pairs = 0;
+          if (!io::read_pod(in, fp) || !io::read_pod(in, epoch) ||
+              !io::read_pod(in, pairs) || !io::read_pod(in, rng)) {
+            throw io::TruncatedInput("GLOV checkpoint: truncated counters");
+          }
+          if (fp != fingerprint) {
+            throw io::FormatError(
+                "GLOV checkpoint: hyper-parameter/vocabulary fingerprint "
+                "mismatch — refusing to resume");
+          }
+          start_epoch = epoch;
+          stats.pairs = pairs;
+          const auto read_all = [&](std::vector<double>& v,
+                                    const char* what) {
+            if (io::read_array_bytes(in, v.data(), v.size()) !=
+                v.size() * sizeof(double)) {
+              throw io::TruncatedInput(std::string("GLOV checkpoint: "
+                                                   "truncated ") +
+                                       what);
+            }
+          };
+          read_all(w, "w");
+          read_all(wt, "wt");
+          read_all(b, "b");
+          read_all(bt, "bt");
+          read_all(gw, "gw");
+          read_all(gwt, "gwt");
+          read_all(gb, "gb");
+          read_all(gbt, "gbt");
+        });
+    stats.resumed = loaded;
+  }
+  stats.start_epoch = start_epoch;
+  stats.epochs_done = start_epoch;
+  const int checkpoint_every = std::max(1, control.checkpoint_every);
+
   const double lr = options_.learning_rate;
   const simd::Kernels& kern = simd::kernels();
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     DV_SPAN_ARG("w2v.glove.epoch", "epoch", epoch);
-    // Seeded Fisher-Yates shuffle per epoch.
+    DV_CHECK_CANCEL(ctx);
+    // Stateless per-epoch Fisher-Yates: the permutation is a pure
+    // function of (seed, epoch), so a resumed run replays the exact
+    // visit order of an uninterrupted one. A running-rng in-place
+    // shuffle would make epoch k's order depend on every earlier
+    // epoch's — unrecoverable from an epoch-boundary checkpoint.
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::uint64_t shuffle_rng =
+        options_.seed * 0x9E3779B97F4A7C15ull +
+        0xA24BAED4963EE407ull * (static_cast<std::uint64_t>(epoch) + 1);
     for (std::size_t i = order.size(); i > 1; --i) {
-      std::swap(order[i - 1], order[next_rand(rng) % i]);
+      std::swap(order[i - 1], order[next_rand(shuffle_rng) % i]);
     }
+    std::size_t cells_done = 0;
     for (const std::size_t idx : order) {
+      if ((cells_done++ & 4095u) == 0) DV_CHECK_CANCEL(ctx);
       const Cell& cell = cells[idx];
       double* wi = w.data() + cell.i * dim;
       double* wj = wt.data() + cell.j * dim;
@@ -124,6 +233,12 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences) {
       gb[cell.i] += g * g;
       gbt[cell.j] += g * g;
       ++stats.pairs;
+    }
+    stats.epochs_done = epoch + 1;
+    if (!control.checkpoint_path.empty() &&
+        (epoch + 1) % checkpoint_every == 0) {
+      save_ckpt(epoch + 1, rng, stats.pairs);
+      ++stats.checkpoints_written;
     }
   }
 

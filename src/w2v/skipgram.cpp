@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <exception>
 #include <thread>
 
+#include "darkvec/core/byteio.hpp"
 #include "darkvec/core/contracts.hpp"
+#include "darkvec/core/runtime/checkpoint.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/simd/simd.hpp"
 #include "darkvec/obs/obs.hpp"
 
@@ -41,6 +46,33 @@ inline std::uint64_t next_rand(std::uint64_t& state) {
 
 inline double rand_unit(std::uint64_t& state) {
   return static_cast<double>(next_rand(state) >> 11) * 0x1.0p-53;
+}
+
+// FNV-1a over the hyper-parameters that make checkpoints compatible: a
+// resume under a different configuration would silently blend two
+// optimization problems, so the trainer rejects it instead.
+std::uint64_t sgns_fingerprint(std::size_t vocab,
+                               const SkipGramOptions& o) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(vocab);
+  mix(static_cast<std::uint64_t>(o.dim));
+  mix(static_cast<std::uint64_t>(o.window));
+  mix(static_cast<std::uint64_t>(o.negative));
+  mix(static_cast<std::uint64_t>(o.epochs));
+  mix(o.cbow ? 1 : 0);
+  mix(o.hierarchical_softmax ? 2 : 0);
+  mix(std::bit_cast<std::uint64_t>(o.alpha));
+  mix(std::bit_cast<std::uint64_t>(o.min_alpha));
+  mix(std::bit_cast<std::uint64_t>(o.subsample));
+  mix(o.dynamic_window ? 4 : 0);
+  mix(o.seed);
+  return h;
 }
 
 }  // namespace
@@ -273,9 +305,73 @@ void SkipGramModel::train_cbow(std::span<const std::uint32_t> context,
   }
 }
 
+void SkipGramModel::save_train_checkpoint(const std::string& path,
+                                          int epochs_done,
+                                          std::uint64_t processed,
+                                          std::uint64_t pairs) {
+  runtime::save_checkpoint_file(
+      path, runtime::fourcc("SGNS"), [&](std::ostream& out) {
+        io::write_pod(out, sgns_fingerprint(vocab_, options_));
+        io::write_pod(out, static_cast<std::int32_t>(epochs_done));
+        io::write_pod(out, processed);
+        io::write_pod(out, pairs);
+        io::write_array(out, syn0_.data().data(), syn0_.data().size());
+        io::write_array(out, syn1neg_.data(), syn1neg_.size());
+        const std::uint64_t hs = syn1hs_.size();
+        io::write_pod(out, hs);
+        io::write_array(out, syn1hs_.data(), syn1hs_.size());
+      });
+}
+
+bool SkipGramModel::load_train_checkpoint(const std::string& path,
+                                          int* epochs_done,
+                                          std::uint64_t* processed,
+                                          std::uint64_t* pairs) {
+  return runtime::load_checkpoint_file(
+      path, runtime::fourcc("SGNS"), [&](std::istream& in) {
+        std::uint64_t fp = 0;
+        std::int32_t epoch = 0;
+        if (!io::read_pod(in, fp) || !io::read_pod(in, epoch) ||
+            !io::read_pod(in, *processed) || !io::read_pod(in, *pairs)) {
+          throw io::TruncatedInput("SGNS checkpoint: truncated counters");
+        }
+        if (fp != sgns_fingerprint(vocab_, options_)) {
+          throw io::FormatError(
+              "SGNS checkpoint: hyper-parameter/vocabulary fingerprint "
+              "mismatch — refusing to resume");
+        }
+        *epochs_done = epoch;
+        const std::size_t dim = static_cast<std::size_t>(options_.dim);
+        std::vector<float> w0(vocab_ * dim);
+        if (io::read_array_bytes(in, w0.data(), w0.size()) !=
+            w0.size() * sizeof(float)) {
+          throw io::TruncatedInput("SGNS checkpoint: truncated syn0");
+        }
+        syn0_ = Embedding(std::move(w0), options_.dim);
+        if (io::read_array_bytes(in, syn1neg_.data(), syn1neg_.size()) !=
+            syn1neg_.size() * sizeof(float)) {
+          throw io::TruncatedInput("SGNS checkpoint: truncated syn1neg");
+        }
+        std::uint64_t hs = 0;
+        if (!io::read_pod(in, hs) || hs != syn1hs_.size()) {
+          throw io::FormatError("SGNS checkpoint: syn1hs size mismatch");
+        }
+        if (io::read_array_bytes(in, syn1hs_.data(), syn1hs_.size()) !=
+            syn1hs_.size() * sizeof(float)) {
+          throw io::TruncatedInput("SGNS checkpoint: truncated syn1hs");
+        }
+      });
+}
+
 TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
+  return train(sentences, TrainControl{});
+}
+
+TrainStats SkipGramModel::train(std::span<const Sentence> sentences,
+                                const TrainControl& control) {
   const auto t_start = std::chrono::steady_clock::now();
   DV_SPAN_ARG("w2v.train", "vocab", vocab_);
+  runtime::RunContext* const ctx = runtime::current();
   // Held for the whole session: the weights below are guarded by it, and
   // the Hogwild workers assert this thread holds it on their behalf.
   core::MutexLock session(train_mu_);
@@ -310,10 +406,35 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
     }
   }
 
+  // Resume after the tables above exist: the restore overwrites the
+  // weight matrices (the tables themselves are deterministic functions
+  // of the corpus and need no persistence).
+  int start_epoch = 0;
+  std::uint64_t processed_init = 0;
+  std::uint64_t pairs_init = 0;
+  if (control.resume && !control.checkpoint_path.empty() &&
+      load_train_checkpoint(control.checkpoint_path, &start_epoch,
+                            &processed_init, &pairs_init)) {
+    stats.resumed = true;
+    DV_LOG_INFO("w2v", "resumed from checkpoint",
+                {"path", control.checkpoint_path},
+                {"epochs_done", start_epoch});
+  }
+  stats.start_epoch = start_epoch;
+  stats.epochs_done = start_epoch;
+
   const std::uint64_t total_work =
       total_tokens * static_cast<std::uint64_t>(options_.epochs) + 1;
-  std::atomic<std::uint64_t> processed{0};
-  std::atomic<std::uint64_t> pairs_total{0};
+  std::atomic<std::uint64_t> processed{processed_init};
+  std::atomic<std::uint64_t> pairs_total{pairs_init};
+
+  // Cooperative-stop plumbing: workers are raw std::threads (Hogwild),
+  // so a runtime::Cancelled must not escape them. The first thread that
+  // trips stores the exception and raises stop; everyone else drains at
+  // the next sentence boundary and the coordinator rethrows after join.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> error_claimed{false};
+  std::exception_ptr first_error;  // claim via error_claimed; read after join
 
   const auto worker = [&](int tid, std::size_t lo, std::size_t hi,
                           int epoch) {
@@ -330,7 +451,10 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
                         static_cast<std::uint64_t>(epoch) + 17;
     std::uint64_t local_pairs = 0;
     std::vector<std::uint32_t> sen;
+    try {
     for (std::size_t si = lo; si < hi; ++si) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      DV_CHECK_CANCEL(ctx);
       const Sentence& raw = sentences[si];
       sen.clear();
       for (const std::uint32_t w : raw) {
@@ -379,6 +503,12 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
         }
       }
     }
+    } catch (...) {
+      if (!error_claimed.exchange(true)) {
+        first_error = std::current_exception();
+      }
+      stop.store(true, std::memory_order_relaxed);
+    }
     pairs_total.fetch_add(local_pairs, std::memory_order_relaxed);
   };
 
@@ -387,7 +517,8 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
       std::initializer_list<double>{0.01, 0.1, 1.0, 10.0, 60.0, 600.0});
 
   const int threads = std::max(1, options_.threads);
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  const int checkpoint_every = std::max(1, control.checkpoint_every);
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
     DV_SPAN_ARG("w2v.epoch", "epoch", epoch);
     if (threads == 1) {
@@ -405,6 +536,17 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
         pool.emplace_back(worker, t, lo, hi, epoch);
       }
       for (std::thread& th : pool) th.join();
+    }
+    if (stop.load(std::memory_order_relaxed)) break;  // interrupted epoch
+    stats.epochs_done = epoch + 1;
+    if (!control.checkpoint_path.empty() &&
+        (epoch + 1) % checkpoint_every == 0) {
+      // Epoch boundary: the weights, the RNG recipe (pure function of
+      // seed/thread/epoch) and the processed counter fully determine the
+      // rest of the run, so this snapshot resumes bit-exactly.
+      save_train_checkpoint(control.checkpoint_path, epoch + 1,
+                            processed.load(), pairs_total.load());
+      ++stats.checkpoints_written;
     }
     const double epoch_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -424,6 +566,8 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences) {
                                       : 0.0},
                  {"alpha", alpha_now}, {"threads", threads});
   }
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 
   static obs::Counter& tokens_counter = obs::counter("w2v.tokens");
   static obs::Counter& pairs_counter = obs::counter("w2v.pairs");
@@ -463,6 +607,7 @@ TrainStats SkipGramModel::train_pairs(
   std::uint64_t done = 0;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     for (const auto& [in, out] : pairs) {
+      if ((done & 4095u) == 0) DV_CHECKPOINT();
       const double frac =
           static_cast<double>(done) / static_cast<double>(total_work);
       const float alpha = static_cast<float>(

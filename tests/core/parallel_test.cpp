@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "darkvec/core/runtime/runtime.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <mutex>
@@ -116,6 +118,91 @@ TEST(ThreadPool, SizeClampedToAtLeastOne) {
     sum += static_cast<int>(hi - lo);
   });
   EXPECT_EQ(sum, 5);
+}
+
+// ---------------------------------------------------------------------
+// Shutdown semantics. These run under the TSan and ASan legs of
+// check.sh: a join race or a worker touching freed pool state shows up
+// there even when the plain build passes.
+
+TEST(ThreadPoolShutdown, DestructionWithSlowBodiesJoinsCleanly) {
+  // for_each_chunk blocks, so "pending work at destruction" means the
+  // destructor runs the instant the last slow chunk drains — the
+  // workers are parked mid-wakeup. Loop to catch the race windows.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    {
+      ThreadPool pool(4);
+      pool.for_each_chunk(16, 1, [&](std::size_t, std::size_t) {
+        for (volatile int spin = 0; spin < 1000; ++spin) {
+        }
+        done.fetch_add(1);
+      });
+    }  // destructor joins immediately after the barrier releases
+    EXPECT_EQ(done.load(), 16);
+  }
+}
+
+TEST(ThreadPoolShutdown, DestructionRightAfterWorkerExceptionIsClean) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.for_each_chunk(64, 1,
+                                     [&](std::size_t lo, std::size_t) {
+                                       if (lo % 3 == 0) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+                 std::runtime_error);
+    // Destructor runs here with workers freshly drained from an
+    // abandoned job.
+  }
+}
+
+TEST(ThreadPoolShutdown, OnlyFirstOfManyConcurrentExceptionsSurfaces) {
+  ThreadPool pool(4);
+  // Every chunk throws; exactly one exception must come out and the
+  // rest must be swallowed by the drain, not terminate the process.
+  EXPECT_THROW(pool.for_each_chunk(64, 1,
+                                   [&](std::size_t, std::size_t) {
+                                     throw std::runtime_error("each");
+                                   }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.for_each_chunk(32, 4, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolShutdown, CancelDuringForEachChunkDrainsAndStaysUsable) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    runtime::RunContext ctx;
+    ctx.trip_after_checks = 7;
+    runtime::ContextScope scope(&ctx);
+    EXPECT_THROW(
+        pool.for_each_chunk(256, 1, [&](std::size_t, std::size_t) {}),
+        runtime::Cancelled);
+  }
+  // With the tripped contexts gone the same workers run a full job.
+  std::atomic<int> count{0};
+  pool.for_each_chunk(64, 1, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolShutdown, RapidConstructDestroyCycles) {
+  // Churn pools to shake out construction/teardown races (workers not
+  // yet parked when the destructor flips the stop flag).
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    pool.for_each_chunk(8, 1, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(count.load(), 8);
+  }
 }
 
 }  // namespace

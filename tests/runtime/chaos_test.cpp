@@ -1,0 +1,688 @@
+// The chaos interrupt matrix (ctest -L chaos, run under ASan by
+// scripts/check.sh): every cancellable kernel is interrupted at a grid
+// of deterministic trip points — RunContext::trip_after_checks cancels
+// the token at the Nth cooperative checkpoint, so each variant
+// reproduces exactly — and after every interruption the suite verifies
+// the three runtime guarantees:
+//
+//   1. the interruption surfaces as the typed runtime error (or, for
+//      bounded kernels under kPartialResults, as a flagged truncation),
+//      never as a crash, hang, or silent wrong answer;
+//   2. artifacts are valid-or-absent: any checkpoint file on disk loads
+//      cleanly (DVCK CRC) no matter where the run stopped;
+//   3. the process stays usable: the same kernel immediately re-runs
+//      clean and matches an uninterrupted golden run bit-for-bit
+//      wherever determinism is promised.
+//
+// The matrix deliberately exceeds 100 variants across SGNS, GloVe,
+// batch_topk, topk_scan, IVF build/query, knn_graph, Louvain and the
+// streaming pipeline, plus fork+SIGKILL crash-resume for training and
+// streaming.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "darkvec/core/runtime/checkpoint.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
+#include "darkvec/core/streaming.hpp"
+#include "darkvec/graph/knn_graph.hpp"
+#include "darkvec/graph/louvain.hpp"
+#include "darkvec/ml/ann.hpp"
+#include "darkvec/ml/batch_topk.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+#include "darkvec/w2v/glove.hpp"
+#include "darkvec/w2v/skipgram.hpp"
+
+namespace darkvec {
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared fixtures: a small deterministic corpus and embedding.
+
+constexpr std::size_t kVocab = 60;
+
+std::vector<w2v::Sentence> make_sentences() {
+  std::vector<w2v::Sentence> sentences;
+  std::uint64_t state = 42;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int s = 0; s < 120; ++s) {
+    w2v::Sentence sentence;
+    for (int t = 0; t < 12; ++t) {
+      sentence.push_back(static_cast<std::uint32_t>(next() % kVocab));
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return sentences;
+}
+
+w2v::Embedding make_embedding(std::size_t rows, int dim) {
+  std::vector<float> data(rows * static_cast<std::size_t>(dim));
+  std::uint64_t state = 7;
+  for (float& v : data) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<float>(static_cast<std::int64_t>(state >> 40) % 1000) /
+            500.0f -
+        1.0f;
+  }
+  return w2v::Embedding{std::move(data), dim};
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "chaos_" + name;
+}
+
+bool same_bits(const w2v::Embedding& a, const w2v::Embedding& b) {
+  return a.dim() == b.dim() && a.data() == b.data();
+}
+
+/// Runs `body` once per trip point with an armed ambient context.
+/// Returns how many variants actually tripped (a trip point beyond the
+/// kernel's total check count completes normally — still a variant).
+template <typename Body>
+int run_trip_matrix(const std::vector<std::uint64_t>& trips,
+                    const Body& body) {
+  int tripped = 0;
+  for (const std::uint64_t trip : trips) {
+    runtime::RunContext ctx;
+    ctx.trip_after_checks = trip;
+    runtime::ContextScope scope(&ctx);
+    try {
+      body();
+    } catch (const runtime::Cancelled&) {
+      ++tripped;
+    }
+  }
+  return tripped;
+}
+
+// ---------------------------------------------------------------------
+// SGNS: 20 variants (10 trip points x {negative sampling, hierarchical
+// softmax}), each followed by a clean re-run that must match golden.
+
+TEST(ChaosMatrix, SgnsCancelAnywhereThenCleanRunMatchesGolden) {
+  const auto sentences = make_sentences();
+  const std::vector<std::uint64_t> trips{1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+  for (const bool hs : {false, true}) {
+    w2v::SkipGramOptions options;
+    options.dim = 16;
+    options.epochs = 3;
+    options.hierarchical_softmax = hs;
+
+    w2v::SkipGramModel golden(kVocab, options);
+    golden.train(sentences);
+
+    const int tripped = run_trip_matrix(trips, [&] {
+      w2v::SkipGramModel model(kVocab, options);
+      model.train(sentences);
+    });
+    EXPECT_GT(tripped, 0) << "hs=" << hs;
+
+    // The interrupted runs above must not have perturbed anything
+    // global: a clean run still reproduces golden bit-for-bit.
+    w2v::SkipGramModel again(kVocab, options);
+    again.train(sentences);
+    EXPECT_TRUE(same_bits(golden.embedding(), again.embedding()))
+        << "hs=" << hs;
+  }
+}
+
+// ---------------------------------------------------------------------
+// GloVe: 10 variants.
+
+TEST(ChaosMatrix, GloveCancelAnywhereThenCleanRunMatchesGolden) {
+  const auto sentences = make_sentences();
+  const std::vector<std::uint64_t> trips{1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+  w2v::GloveOptions options;
+  options.dim = 12;
+  options.epochs = 4;
+  options.window = 5;
+
+  w2v::GloveModel golden(kVocab, options);
+  golden.train(sentences);
+
+  const int tripped = run_trip_matrix(trips, [&] {
+    w2v::GloveModel model(kVocab, options);
+    model.train(sentences);
+  });
+  EXPECT_GT(tripped, 0);
+
+  w2v::GloveModel again(kVocab, options);
+  again.train(sentences);
+  EXPECT_TRUE(same_bits(golden.embedding(), again.embedding()));
+}
+
+// ---------------------------------------------------------------------
+// batch_topk / topk_scan: 15 cancel variants + deadline degradation.
+
+TEST(ChaosMatrix, BatchTopkCancelAnywhere) {
+  const w2v::Embedding normalized = make_embedding(400, 24).normalized();
+  std::vector<std::uint32_t> queries(64);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = static_cast<std::uint32_t>(i * 5);
+  }
+  const auto golden = ml::batch_topk(normalized, queries, 10);
+
+  const std::vector<std::uint64_t> trips{1, 2, 3, 4, 6, 9, 14, 22, 35, 56};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)ml::batch_topk(normalized, queries, 10);
+  });
+  EXPECT_GT(tripped, 0);
+
+  const auto again = ml::batch_topk(normalized, queries, 10);
+  ASSERT_EQ(again.size(), golden.size());
+  for (std::size_t q = 0; q < golden.size(); ++q) {
+    ASSERT_EQ(again[q].size(), golden[q].size()) << "query " << q;
+    for (std::size_t j = 0; j < golden[q].size(); ++j) {
+      EXPECT_EQ(again[q][j].index, golden[q][j].index);
+      EXPECT_EQ(again[q][j].similarity, golden[q][j].similarity);
+    }
+  }
+}
+
+TEST(ChaosMatrix, TopkScanCancelAnywhere) {
+  const w2v::Embedding normalized = make_embedding(600, 16).normalized();
+  const auto query = normalized.vec(0);
+
+  // The serial scan checks once per corpus tile through the bounded
+  // entry point (the plain topk_scan is the uninstrumented hot path).
+  const std::vector<std::uint64_t> trips{1, 2, 3, 4, 5};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)ml::topk_scan_bounded(normalized, query, 1.0f, 8,
+                                runtime::current(), 0);
+  });
+  EXPECT_GT(tripped, 0);
+}
+
+TEST(ChaosMatrix, BatchTopkDeadlineDegradesToFlaggedPartialResults) {
+  const w2v::Embedding normalized = make_embedding(800, 24).normalized();
+  std::vector<std::uint32_t> queries(32);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = static_cast<std::uint32_t>(i);
+  }
+
+  for (const int k : {1, 5, 10}) {
+    runtime::RunContext ctx;
+    ctx.deadline = runtime::Deadline::in(-1.0);  // already expired
+    ctx.degrade = runtime::DegradePolicy::kPartialResults;
+
+    ml::BatchTopkResult result;
+    EXPECT_NO_THROW(result = ml::batch_topk_bounded(normalized, queries, k,
+                                                    &ctx));
+    EXPECT_TRUE(result.truncated) << "k=" << k;
+    EXPECT_EQ(result.neighbors.size(), queries.size());
+    EXPECT_LT(result.complete_queries, queries.size());
+    // Whatever came back is well-formed: sorted by decreasing
+    // similarity, no self-matches.
+    for (std::size_t q = 0; q < result.neighbors.size(); ++q) {
+      const auto& nbs = result.neighbors[q];
+      for (std::size_t j = 0; j < nbs.size(); ++j) {
+        EXPECT_NE(nbs[j].index, queries[q]);
+        if (j > 0) {
+          EXPECT_GE(nbs[j - 1].similarity, nbs[j].similarity);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChaosMatrix, TopkScanDeadlineDegradesToPrefixScan) {
+  const w2v::Embedding normalized = make_embedding(500, 16).normalized();
+  runtime::RunContext ctx;
+  ctx.deadline = runtime::Deadline::in(-1.0);
+  ctx.degrade = runtime::DegradePolicy::kPartialResults;
+
+  const ml::TopkScanResult result =
+      ml::topk_scan_bounded(normalized, normalized.vec(3), 1.0f, 5, &ctx, 3);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.rows_scanned, 0u);  // expired before the first tile
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+// ---------------------------------------------------------------------
+// IVF build + query: 15 variants.
+
+TEST(ChaosMatrix, IvfBuildCancelAnywhereThenCleanBuildWorks) {
+  const w2v::Embedding normalized = make_embedding(300, 16).normalized();
+  ml::IvfOptions options;
+  options.nlist = 8;
+
+  const std::vector<std::uint64_t> trips{1, 2, 3, 4, 6, 9, 14, 22, 35, 56};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)ml::IvfIndex::build(normalized, options);
+  });
+  EXPECT_GT(tripped, 0);
+
+  const ml::IvfIndex index = ml::IvfIndex::build(normalized, options);
+  EXPECT_EQ(index.size(), normalized.size());
+}
+
+TEST(ChaosMatrix, IvfQueryCancelAnywhere) {
+  const w2v::Embedding normalized = make_embedding(300, 16).normalized();
+  ml::IvfOptions options;
+  options.nlist = 8;
+  const ml::IvfIndex index = ml::IvfIndex::build(normalized, options);
+  std::vector<std::uint32_t> queries(48);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = static_cast<std::uint32_t>(i * 3);
+  }
+
+  const std::vector<std::uint64_t> trips{1, 2, 4, 8, 16};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)index.query_batch(queries, 5);
+  });
+  EXPECT_GT(tripped, 0);
+
+  // Index unharmed: a clean query round-trips.
+  EXPECT_EQ(index.query_batch(queries, 5).size(), queries.size());
+}
+
+// ---------------------------------------------------------------------
+// Graph layer: 10 variants.
+
+TEST(ChaosMatrix, KnnGraphCancelAnywhere) {
+  const ml::CosineKnn knn(make_embedding(200, 12));
+
+  const std::vector<std::uint64_t> trips{1, 2, 4, 8, 16};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)graph::knn_graph(knn, 3);
+  });
+  EXPECT_GT(tripped, 0);
+
+  EXPECT_EQ(graph::knn_graph(knn, 3).num_nodes(), knn.size());
+}
+
+TEST(ChaosMatrix, LouvainCancelAnywhereThenCleanRunMatchesGolden) {
+  const ml::CosineKnn knn(make_embedding(200, 12));
+  const graph::WeightedGraph g = graph::knn_graph(knn, 3);
+  const graph::LouvainResult golden = graph::louvain(g);
+
+  const std::vector<std::uint64_t> trips{1, 2, 3, 5, 8};
+  const int tripped = run_trip_matrix(trips, [&] {
+    (void)graph::louvain(g);
+  });
+  EXPECT_GT(tripped, 0);
+
+  const graph::LouvainResult again = graph::louvain(g);
+  EXPECT_EQ(again.community, golden.community);
+  EXPECT_EQ(again.modularity, golden.modularity);
+}
+
+// ---------------------------------------------------------------------
+// Training checkpoint/resume: interrupted-then-resumed must be
+// bit-exact against uninterrupted at equal checkpoint cadence.
+
+TEST(ChaosMatrix, SgnsKilledThenResumedIsBitExact) {
+  const auto sentences = make_sentences();
+  w2v::SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 6;
+
+  // Golden: uninterrupted, same checkpoint cadence (checkpointing only
+  // writes files; it must not perturb the math).
+  const std::string golden_ckpt = temp_path("sgns_golden.ckpt");
+  w2v::TrainControl golden_control;
+  golden_control.checkpoint_path = golden_ckpt;
+  w2v::SkipGramModel golden(kVocab, options);
+  const w2v::TrainStats golden_stats =
+      golden.train(sentences, golden_control);
+  EXPECT_EQ(golden_stats.epochs_done, options.epochs);
+  EXPECT_GE(golden_stats.checkpoints_written, 1u);
+
+  const std::vector<std::uint64_t> trips{3, 17, 40, 77, 150, 400, 1000,
+                                         5000};
+  int resumed_variants = 0;
+  for (const std::uint64_t trip : trips) {
+    const std::string ckpt =
+        temp_path("sgns_trip_" + std::to_string(trip) + ".ckpt");
+    w2v::TrainControl control;
+    control.checkpoint_path = ckpt;
+
+    bool interrupted = false;
+    {
+      runtime::RunContext ctx;
+      ctx.trip_after_checks = trip;
+      runtime::ContextScope scope(&ctx);
+      w2v::SkipGramModel model(kVocab, options);
+      try {
+        model.train(sentences, control);
+      } catch (const runtime::Cancelled&) {
+        interrupted = true;
+      }
+    }
+
+    // Valid-or-absent: whatever the trip point, a checkpoint on disk
+    // must load cleanly (load_checkpoint_file CRC-checks everything).
+    control.resume = true;
+    w2v::SkipGramModel resumed(kVocab, options);
+    const w2v::TrainStats stats = resumed.train(sentences, control);
+    EXPECT_EQ(stats.epochs_done, options.epochs);
+    EXPECT_TRUE(same_bits(golden.embedding(), resumed.embedding()))
+        << "trip=" << trip << " interrupted=" << interrupted
+        << " resumed=" << stats.resumed;
+    if (interrupted && stats.resumed) ++resumed_variants;
+    std::remove(ckpt.c_str());
+  }
+  // The grid must actually exercise mid-train resume, not just
+  // trip-before-first-checkpoint or complete-without-tripping.
+  EXPECT_GT(resumed_variants, 0);
+  std::remove(golden_ckpt.c_str());
+}
+
+TEST(ChaosMatrix, GloveKilledThenResumedIsBitExact) {
+  const auto sentences = make_sentences();
+  w2v::GloveOptions options;
+  options.dim = 12;
+  options.epochs = 5;
+  options.window = 5;
+
+  // Measure how many cooperative checks a full train performs so the
+  // trip points land mid-train whatever the current check cadence is
+  // (this corpus has few co-occurrence cells, so the cadence is coarse).
+  runtime::RunContext probe;
+  w2v::GloveModel golden(kVocab, options);
+  {
+    runtime::ContextScope scope(&probe);
+    golden.train(sentences);
+  }
+  const std::uint64_t total = probe.checks_observed();
+  ASSERT_GT(total, 4u);
+
+  const std::vector<std::uint64_t> trips{
+      total / 3, total / 2, (3 * total) / 4, total - 1};
+  int resumed_variants = 0;
+  for (const std::uint64_t trip : trips) {
+    const std::string ckpt =
+        temp_path("glove_trip_" + std::to_string(trip) + ".ckpt");
+    w2v::TrainControl control;
+    control.checkpoint_path = ckpt;
+
+    bool interrupted = false;
+    {
+      runtime::RunContext ctx;
+      ctx.trip_after_checks = trip;
+      runtime::ContextScope scope(&ctx);
+      w2v::GloveModel model(kVocab, options);
+      try {
+        model.train(sentences, control);
+      } catch (const runtime::Cancelled&) {
+        interrupted = true;
+      }
+    }
+
+    control.resume = true;
+    w2v::GloveModel resumed(kVocab, options);
+    const w2v::TrainStats stats = resumed.train(sentences, control);
+    EXPECT_EQ(stats.epochs_done, options.epochs);
+    EXPECT_TRUE(same_bits(golden.embedding(), resumed.embedding()))
+        << "trip=" << trip << " interrupted=" << interrupted;
+    if (interrupted && stats.resumed) ++resumed_variants;
+    std::remove(ckpt.c_str());
+  }
+  EXPECT_GT(resumed_variants, 0);
+}
+
+TEST(ChaosMatrix, ResumeRejectsMismatchedConfig) {
+  const auto sentences = make_sentences();
+  const std::string ckpt = temp_path("sgns_mismatch.ckpt");
+  w2v::SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  w2v::TrainControl control;
+  control.checkpoint_path = ckpt;
+  w2v::SkipGramModel model(kVocab, options);
+  model.train(sentences, control);
+
+  options.dim = 24;  // different geometry — the fingerprint must differ
+  control.resume = true;
+  w2v::SkipGramModel other(kVocab, options);
+  EXPECT_THROW(other.train(sentences, control), io::FormatError);
+  std::remove(ckpt.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Streaming: 10 cancel variants + checkpointed resume + fork/SIGKILL.
+
+class ChaosStreaming : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config;
+    config.days = 10;
+    config.seed = 99;
+    sim_ = new sim::SimResult(
+        sim::DarknetSimulator(config).run(sim::tiny_scenario()));
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    sim_ = nullptr;
+  }
+
+  static StreamingConfig stream_config() {
+    StreamingConfig stream;
+    stream.window_seconds = 4 * net::kSecondsPerDay;
+    stream.step_seconds = 2 * net::kSecondsPerDay;
+    stream.darkvec.w2v.dim = 12;
+    stream.darkvec.w2v.epochs = 2;
+    stream.darkvec.corpus.min_packets = 5;
+    return stream;
+  }
+
+  static sim::SimResult* sim_;
+};
+
+sim::SimResult* ChaosStreaming::sim_ = nullptr;
+
+TEST_F(ChaosStreaming, CancelMidStreamKeepsCompletedSnapshots) {
+  const StreamingConfig stream = stream_config();
+  const StreamingResult golden =
+      run_streaming_monitored(sim_->trace, stream);
+  ASSERT_TRUE(golden.completed);
+  ASSERT_GE(golden.snapshots.size(), 3u);
+
+  const std::vector<std::uint64_t> trips{1,   5,    20,   80,   200,
+                                         500, 1200, 2500, 5000, 12000};
+  int aborted = 0;
+  for (const std::uint64_t trip : trips) {
+    runtime::RunContext ctx;
+    ctx.trip_after_checks = trip;
+    runtime::ContextScope scope(&ctx);
+    StreamingResult result;
+    // Interruption must NOT throw out of the monitored runner and must
+    // NOT masquerade as a run of degraded windows.
+    EXPECT_NO_THROW(result = run_streaming_monitored(sim_->trace, stream));
+    if (!result.completed) {
+      ++aborted;
+      EXPECT_EQ(result.stop_reason, runtime::StopReason::kCancelled);
+      EXPECT_LE(result.snapshots.size(), golden.snapshots.size());
+      // Completed snapshots are real work, identical to golden's prefix
+      // schedule.
+      for (std::size_t i = 0; i < result.snapshots.size(); ++i) {
+        EXPECT_EQ(result.snapshots[i].window_end,
+                  golden.snapshots[i].window_end);
+        EXPECT_FALSE(result.snapshots[i].degraded &&
+                     result.snapshots[i].degraded_reason.empty());
+      }
+    }
+  }
+  EXPECT_GT(aborted, 0);
+}
+
+TEST_F(ChaosStreaming, CheckpointedStreamResumesFromLastCompletedWindow) {
+  StreamingConfig stream = stream_config();
+  // Measure the check budget of a full run so the trip points land in
+  // later windows regardless of how chatty the kernels are.
+  runtime::RunContext probe;
+  StreamingResult golden;
+  {
+    runtime::ContextScope scope(&probe);
+    golden = run_streaming_monitored(sim_->trace, stream);
+  }
+  ASSERT_TRUE(golden.completed);
+  const std::uint64_t total = probe.checks_observed();
+  ASSERT_GT(total, 8u);
+
+  int genuine_resumes = 0;
+  for (const std::uint64_t trip :
+       {total / 2, (3 * total) / 4, (9 * total) / 10}) {
+    const std::string ckpt =
+        temp_path("stream_trip_" + std::to_string(trip) + ".ckpt");
+    stream.checkpoint_path = ckpt;
+    stream.resume = false;
+
+    StreamingResult first;
+    {
+      runtime::RunContext ctx;
+      ctx.trip_after_checks = trip;
+      runtime::ContextScope scope(&ctx);
+      first = run_streaming_monitored(sim_->trace, stream);
+    }
+
+    stream.resume = true;
+    const StreamingResult rest =
+        run_streaming_monitored(sim_->trace, stream);
+    EXPECT_TRUE(rest.completed);
+    // A checkpoint exists iff the first run finished at least one
+    // window; interruptions inside the very first window leave nothing
+    // behind, and the resume run correctly starts from scratch.
+    if (!first.completed && !first.snapshots.empty()) {
+      EXPECT_TRUE(rest.resumed) << "trip=" << trip;
+      EXPECT_EQ(rest.prior_snapshots, first.snapshots.size());
+      ++genuine_resumes;
+    }
+    // Stitched coverage equals the uninterrupted schedule: no window
+    // re-run, none skipped.
+    std::vector<std::int64_t> ends;
+    for (const auto& s : first.snapshots) ends.push_back(s.window_end);
+    for (const auto& s : rest.snapshots) ends.push_back(s.window_end);
+    ASSERT_EQ(ends.size(), golden.snapshots.size()) << "trip=" << trip;
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      EXPECT_EQ(ends[i], golden.snapshots[i].window_end);
+    }
+    std::remove(ckpt.c_str());
+  }
+  // The trip grid must actually demonstrate a mid-stream resume.
+  EXPECT_GT(genuine_resumes, 0);
+}
+
+// ---------------------------------------------------------------------
+// The real thing: SIGKILL mid-train, then resume in-process. Epoch-
+// boundary checkpoints make the final state independent of where the
+// kill landed, so the resumed embedding must still equal golden.
+
+TEST(ChaosKill, SigkilledSgnsTrainingResumesBitExact) {
+  const auto sentences = make_sentences();
+  w2v::SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 40;  // long enough that the kill lands mid-train
+
+  const std::string golden_ckpt = temp_path("sgns_kill_golden.ckpt");
+  w2v::TrainControl golden_control;
+  golden_control.checkpoint_path = golden_ckpt;
+  w2v::SkipGramModel golden(kVocab, options);
+  golden.train(sentences, golden_control);
+
+  const std::string ckpt = temp_path("sgns_kill.ckpt");
+  std::remove(ckpt.c_str());
+  w2v::TrainControl control;
+  control.checkpoint_path = ckpt;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: train with checkpoints until killed. _exit keeps gtest and
+    // static destructors out of the forked copy.
+    w2v::SkipGramModel model(kVocab, options);
+    try {
+      model.train(sentences, control);
+    } catch (...) {
+    }
+    _exit(0);
+  }
+
+  // Parent: wait for at least one checkpoint to exist, then kill hard.
+  for (int spin = 0; spin < 20000; ++spin) {
+    std::ifstream probe(ckpt, std::ios::binary);
+    if (probe) break;
+    usleep(1000);
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+
+  // Whatever instant the kill hit, the file is valid-or-absent and the
+  // resumed run lands exactly on golden.
+  control.resume = true;
+  w2v::SkipGramModel resumed(kVocab, options);
+  const w2v::TrainStats stats = resumed.train(sentences, control);
+  EXPECT_EQ(stats.epochs_done, options.epochs);
+  EXPECT_TRUE(same_bits(golden.embedding(), resumed.embedding()))
+      << "resumed=" << stats.resumed
+      << " start_epoch=" << stats.start_epoch;
+  std::remove(ckpt.c_str());
+  std::remove(golden_ckpt.c_str());
+}
+
+TEST_F(ChaosStreaming, SigkilledStreamResumesWithoutRerunningWindows) {
+  StreamingConfig stream = stream_config();
+  const StreamingResult golden =
+      run_streaming_monitored(sim_->trace, stream);
+  ASSERT_TRUE(golden.completed);
+
+  const std::string ckpt = temp_path("stream_kill.ckpt");
+  std::remove(ckpt.c_str());
+  stream.checkpoint_path = ckpt;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    try {
+      (void)run_streaming_monitored(sim_->trace, stream);
+    } catch (...) {
+    }
+    _exit(0);
+  }
+  for (int spin = 0; spin < 20000; ++spin) {
+    std::ifstream probe(ckpt, std::ios::binary);
+    if (probe) break;
+    usleep(1000);
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+
+  stream.resume = true;
+  const StreamingResult rest = run_streaming_monitored(sim_->trace, stream);
+  EXPECT_TRUE(rest.completed);
+  // The stitched schedule covers golden's with no duplicates: resumed
+  // windows continue exactly where the checkpoint says the last
+  // completed window ended.
+  if (rest.resumed) {
+    EXPECT_EQ(rest.prior_snapshots + rest.snapshots.size(),
+              golden.snapshots.size());
+    const std::size_t offset =
+        golden.snapshots.size() - rest.snapshots.size();
+    for (std::size_t i = 0; i < rest.snapshots.size(); ++i) {
+      EXPECT_EQ(rest.snapshots[i].window_end,
+                golden.snapshots[offset + i].window_end);
+    }
+  }
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace darkvec

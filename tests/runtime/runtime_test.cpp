@@ -1,0 +1,434 @@
+// Unit tests of core/runtime: cancellation hierarchy, deadlines,
+// degradation policy, ambient propagation, retry classification and the
+// DVCK checkpoint envelope. The chaos interrupt matrix lives in
+// chaos_test.cpp; these are the building-block contracts it relies on.
+#include "darkvec/core/runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "darkvec/core/errors.hpp"
+#include "darkvec/core/parallel.hpp"
+#include "darkvec/core/runtime/checkpoint.hpp"
+#include "darkvec/core/runtime/retry.hpp"
+#include "fault_injection.hpp"
+
+namespace darkvec {
+namespace {
+
+TEST(CancellationToken, FreshTokenIsNotCancelled) {
+  runtime::CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationToken, CopiesShareState) {
+  runtime::CancellationToken a;
+  const runtime::CancellationToken b = a;  // NOLINT: copy is the point
+  a.cancel();
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancellationToken, ChildObservesParentButNotViceVersa) {
+  runtime::CancellationToken parent;
+  const runtime::CancellationToken child = parent.child();
+  const runtime::CancellationToken grandchild = child.child();
+
+  EXPECT_FALSE(grandchild.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(grandchild.cancelled());
+}
+
+TEST(CancellationToken, SiblingIsolation) {
+  runtime::CancellationToken parent;
+  const runtime::CancellationToken a = parent.child();
+  const runtime::CancellationToken b = parent.child();
+  a.cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationToken, CancelFromAnotherThread) {
+  runtime::CancellationToken token;
+  std::thread t([&] { token.cancel(); });
+  t.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Deadline, NeverIsFreeAndNeverExpires) {
+  const runtime::Deadline d = runtime::Deadline::never();
+  EXPECT_FALSE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e18);
+}
+
+TEST(Deadline, InThePastExpires) {
+  const runtime::Deadline d = runtime::Deadline::in(-1.0);
+  EXPECT_TRUE(d.finite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, SoonerPicksTheEarlier) {
+  const runtime::Deadline a = runtime::Deadline::in(1000.0);
+  const runtime::Deadline b = runtime::Deadline::never();
+  EXPECT_EQ(runtime::Deadline::sooner(a, b).time_point(), a.time_point());
+  EXPECT_EQ(runtime::Deadline::sooner(b, a).time_point(), a.time_point());
+}
+
+TEST(RunContext, CheckPassesWhenNothingTripped) {
+  runtime::RunContext ctx;
+  EXPECT_NO_THROW(ctx.check());
+  EXPECT_FALSE(ctx.should_stop());
+  EXPECT_EQ(ctx.stop_reason(), runtime::StopReason::kNone);
+  EXPECT_EQ(ctx.checks_observed(), 1u);
+}
+
+TEST(RunContext, CancelledTokenThrowsTyped) {
+  runtime::RunContext ctx;
+  ctx.token.cancel();
+  EXPECT_THROW(ctx.check(), runtime::Cancelled);
+  EXPECT_EQ(ctx.stop_reason(), runtime::StopReason::kCancelled);
+}
+
+TEST(RunContext, StrictDeadlineThrows) {
+  runtime::RunContext ctx;
+  ctx.deadline = runtime::Deadline::in(-1.0);
+  EXPECT_THROW(ctx.check(), runtime::DeadlineExceeded);
+  EXPECT_EQ(ctx.stop_reason(), runtime::StopReason::kDeadline);
+}
+
+TEST(RunContext, PartialResultsPolicyKeepsCheckQuietOnDeadline) {
+  runtime::RunContext ctx;
+  ctx.deadline = runtime::Deadline::in(-1.0);
+  ctx.degrade = runtime::DegradePolicy::kPartialResults;
+  EXPECT_NO_THROW(ctx.check());
+  // ...but the non-throwing probe still reports it, so bounded kernels
+  // know to truncate.
+  EXPECT_EQ(ctx.stop_reason(), runtime::StopReason::kDeadline);
+}
+
+TEST(RunContext, PartialResultsStillThrowsOnCancel) {
+  runtime::RunContext ctx;
+  ctx.degrade = runtime::DegradePolicy::kPartialResults;
+  ctx.token.cancel();
+  EXPECT_THROW(ctx.check(), runtime::Cancelled);
+}
+
+TEST(RunContext, WallBudgetFoldsIntoDeadline) {
+  runtime::RunContext ctx;
+  ctx.budget.max_wall_seconds = 1e-9;  // expires immediately after arm()
+  ctx.arm();
+  EXPECT_TRUE(ctx.deadline.finite());
+  runtime::interruptible_sleep(0.002, nullptr);  // let the nanosecond pass
+  EXPECT_THROW(ctx.check(), runtime::DeadlineExceeded);
+}
+
+TEST(RunContext, RssBudgetTripsAsBudgetExceeded) {
+  runtime::RunContext ctx;
+  ctx.budget.max_rss_bytes = 1;  // any live process exceeds one byte
+  // RSS is sampled every 64th check; the first check samples (count 0).
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 65; ++i) ctx.check();
+      },
+      runtime::BudgetExceeded);
+  EXPECT_EQ(ctx.stop_reason(), runtime::StopReason::kBudget);
+}
+
+TEST(RunContext, TripAfterChecksIsDeterministic) {
+  for (const std::uint64_t trip : {1u, 3u, 10u}) {
+    runtime::RunContext ctx;
+    ctx.trip_after_checks = trip;
+    std::uint64_t survived = 0;
+    try {
+      for (int i = 0; i < 100; ++i) {
+        ctx.check();
+        ++survived;
+      }
+      FAIL() << "check never tripped";
+    } catch (const runtime::Cancelled&) {
+      EXPECT_EQ(survived, trip - 1);
+    }
+  }
+}
+
+TEST(ContextScope, InstallsAndRestoresAmbient) {
+  EXPECT_EQ(runtime::current(), nullptr);
+  runtime::RunContext outer;
+  {
+    runtime::ContextScope a(&outer);
+    EXPECT_EQ(runtime::current(), &outer);
+    runtime::RunContext inner;
+    {
+      runtime::ContextScope b(&inner);
+      EXPECT_EQ(runtime::current(), &inner);
+    }
+    EXPECT_EQ(runtime::current(), &outer);
+  }
+  EXPECT_EQ(runtime::current(), nullptr);
+}
+
+TEST(ContextScope, CheckpointIsNoOpWithoutContext) {
+  EXPECT_EQ(runtime::current(), nullptr);
+  EXPECT_NO_THROW(DV_CHECKPOINT());
+}
+
+TEST(ContextScope, AmbientContextReachesPoolWorkers) {
+  runtime::RunContext ctx;
+  runtime::ContextScope scope(&ctx);
+  std::atomic<int> with_ctx{0};
+  core::parallel_for(64, 1, [&](std::size_t, std::size_t) {
+    if (runtime::current() == &ctx) with_ctx.fetch_add(1);
+  });
+  EXPECT_EQ(with_ctx.load(), 64);
+}
+
+TEST(ContextScope, CancelDuringParallelForThrowsOnSubmitter) {
+  {
+    runtime::RunContext ctx;
+    ctx.trip_after_checks = 5;
+    runtime::ContextScope scope(&ctx);
+    EXPECT_THROW(core::parallel_for(256, 1,
+                                    [&](std::size_t, std::size_t) {
+                                      // pool checks the context per chunk
+                                    }),
+                 runtime::Cancelled);
+  }
+  // The pool survives a cancelled job: with the tripped context gone,
+  // the next job runs normally on the same workers.
+  std::atomic<int> ran{0};
+  core::parallel_for(16, 1,
+                     [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(InterruptibleSleep, CompletesWhenNotCancelled) {
+  runtime::RunContext ctx;
+  EXPECT_TRUE(runtime::interruptible_sleep(0.001, &ctx));
+}
+
+TEST(InterruptibleSleep, WakesEarlyWhenCancelled) {
+  runtime::RunContext ctx;
+  ctx.token.cancel();
+  EXPECT_FALSE(runtime::interruptible_sleep(30.0, &ctx));
+}
+
+// ---------------------------------------------------------------------
+// Retry classification and with_retry.
+
+TEST(Retry, ClassificationSplitsTransientFromPermanent) {
+  EXPECT_TRUE(io::is_transient(io::IoError("open failed")));
+  EXPECT_TRUE(io::is_transient(io::TruncatedInput("short file")));
+  EXPECT_FALSE(io::is_transient(io::ParseError("bad field")));
+  EXPECT_FALSE(io::is_transient(io::FormatError("bad magic")));
+  EXPECT_FALSE(io::is_transient(io::ResourceLimit("too big")));
+}
+
+TEST(Retry, SucceedsFirstTryWithoutRetrying) {
+  int calls = 0;
+  const int v = io::with_retry(io::RetryPolicy::immediate(4), [&] {
+    ++calls;
+    return 42;
+  });
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, TransientFailuresAreRetriedThenSucceed) {
+  test::FlakyReads flaky(2);
+  const int v = io::with_retry(io::RetryPolicy::immediate(4), [&] {
+    flaky.step();
+    return 7;
+  });
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(flaky.calls(), 3);
+}
+
+TEST(Retry, TruncatedInputCountsAsTransient) {
+  test::FlakyReads flaky(1, /*truncated=*/true);
+  EXPECT_NO_THROW(io::with_retry(io::RetryPolicy::immediate(2),
+                                 [&] { flaky.step(); }));
+  EXPECT_EQ(flaky.calls(), 2);
+}
+
+TEST(Retry, PermanentErrorPropagatesImmediately) {
+  int calls = 0;
+  EXPECT_THROW(io::with_retry(io::RetryPolicy::immediate(4),
+                              [&]() -> int {
+                                ++calls;
+                                throw io::FormatError("poison");
+                              }),
+               io::FormatError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, ExhaustedAttemptsRethrowTheLastTransient) {
+  test::FlakyReads flaky(10);
+  EXPECT_THROW(io::with_retry(io::RetryPolicy::immediate(3),
+                              [&] { flaky.step(); }),
+               io::IoError);
+  EXPECT_EQ(flaky.calls(), 3);
+}
+
+TEST(Retry, InterruptedNeverRetries) {
+  int calls = 0;
+  EXPECT_THROW(io::with_retry(io::RetryPolicy::immediate(4),
+                              [&]() -> int {
+                                ++calls;
+                                throw runtime::Cancelled("stop");
+                              }),
+               runtime::Cancelled);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, CancelledContextAbortsBackoffSleep) {
+  runtime::RunContext ctx;
+  ctx.token.cancel();
+  runtime::ContextScope scope(&ctx);
+  io::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_s = 30.0;  // would hang if not interruptible
+  test::FlakyReads flaky(5);
+  EXPECT_THROW(io::with_retry(policy, [&] { flaky.step(); }),
+               runtime::Cancelled);
+  EXPECT_EQ(flaky.calls(), 1);
+}
+
+// ---------------------------------------------------------------------
+// DVCK checkpoint envelope.
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ =
+      ::testing::TempDir() + "dvck_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".ckpt";
+};
+
+constexpr std::uint32_t kTestKind = runtime::fourcc("TEST");
+
+TEST_F(CheckpointFile, RoundTripsPayload) {
+  const std::vector<double> payload{1.5, -2.25, 3.125};
+  runtime::save_checkpoint_file(path_, kTestKind, [&](std::ostream& out) {
+    io::write_array(out, payload.data(), payload.size());
+  });
+
+  std::vector<double> loaded(payload.size());
+  ASSERT_TRUE(runtime::load_checkpoint_file(
+      path_, kTestKind, [&](std::istream& in) {
+        ASSERT_EQ(io::read_array_bytes(in, loaded.data(), loaded.size()),
+                  loaded.size() * sizeof(double));
+      }));
+  EXPECT_EQ(loaded, payload);
+}
+
+TEST_F(CheckpointFile, MissingFileReturnsFalse) {
+  EXPECT_FALSE(runtime::load_checkpoint_file(path_ + ".absent", kTestKind,
+                                             [](std::istream&) {}));
+}
+
+TEST_F(CheckpointFile, WrongKindIsFormatError) {
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    io::write_pod(out, std::uint32_t{1});
+  });
+  EXPECT_THROW(runtime::load_checkpoint_file(path_, runtime::fourcc("OTHR"),
+                                             [](std::istream&) {}),
+               io::FormatError);
+}
+
+TEST_F(CheckpointFile, BitFlipFailsTheCrc) {
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    for (std::uint32_t i = 0; i < 64; ++i) io::write_pod(out, i);
+  });
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  // Flip one payload bit past the header; the CRC must catch it.
+  bytes[32] = static_cast<char>(bytes[32] ^ 0x10);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(runtime::load_checkpoint_file(path_, kTestKind,
+                                             [](std::istream&) {}),
+               io::FormatError);
+}
+
+TEST_F(CheckpointFile, TruncationIsTruncatedInput) {
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    for (std::uint32_t i = 0; i < 64; ++i) io::write_pod(out, i);
+  });
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(runtime::load_checkpoint_file(path_, kTestKind,
+                                             [](std::istream&) {}),
+               io::TruncatedInput);
+}
+
+TEST_F(CheckpointFile, LenientPolicyTreatsDamageAsColdStart) {
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    for (std::uint32_t i = 0; i < 64; ++i) io::write_pod(out, i);
+  });
+  std::string bytes;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[32] = static_cast<char>(bytes[32] ^ 0x10);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  // Same damaged file: strict throws (above), lenient reads as "no
+  // checkpoint" so callers can fall back to a cold start.
+  bool saw_payload = false;
+  EXPECT_FALSE(runtime::load_checkpoint_file(
+      path_, kTestKind, [&](std::istream&) { saw_payload = true; },
+      io::IoPolicy::lenient_with(1)));
+  EXPECT_FALSE(saw_payload);
+}
+
+TEST_F(CheckpointFile, SaveReplacesAtomically) {
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    io::write_pod(out, std::uint32_t{1});
+  });
+  runtime::save_checkpoint_file(path_, kTestKind, [](std::ostream& out) {
+    io::write_pod(out, std::uint32_t{2});
+  });
+  std::uint32_t value = 0;
+  ASSERT_TRUE(runtime::load_checkpoint_file(
+      path_, kTestKind,
+      [&](std::istream& in) { ASSERT_TRUE(io::read_pod(in, value)); }));
+  EXPECT_EQ(value, 2u);
+}
+
+}  // namespace
+}  // namespace darkvec

@@ -1,6 +1,9 @@
 #include "fault_injection.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "darkvec/core/errors.hpp"
 
 namespace darkvec::test {
 namespace {
@@ -50,6 +53,16 @@ FaultyStream::FaultyStream(std::string bytes, const FaultSpec& spec,
                            std::size_t max_chunk)
     : std::istream(nullptr), buf_(corrupt(std::move(bytes), spec), max_chunk) {
   rdbuf(&buf_);
+}
+
+void FlakyReads::step() {
+  ++calls_;
+  if (remaining_ <= 0) return;
+  --remaining_;
+  const std::string what =
+      "flaky read (" + std::to_string(remaining_) + " failures left)";
+  if (truncated_) throw io::TruncatedInput(what);
+  throw io::IoError(what);
 }
 
 }  // namespace darkvec::test

@@ -61,4 +61,30 @@ class FaultyStream : public std::istream {
   ShortReadBuf buf_;
 };
 
+/// Flaky-read mode for io::with_retry tests: fails its first `failures`
+/// step() calls with a *transient* error (plain io::IoError, or
+/// io::TruncatedInput when `truncated`), then passes forever. Call
+/// step() at the top of the operation under retry:
+///   test::FlakyReads flaky(2);
+///   auto v = io::with_retry(policy, [&] { flaky.step(); return read(); });
+///   EXPECT_EQ(flaky.calls(), 3);
+class FlakyReads {
+ public:
+  explicit FlakyReads(int failures, bool truncated = false)
+      : remaining_(failures), truncated_(truncated) {}
+
+  /// Throws while failures remain; otherwise returns. Every call counts.
+  void step();
+
+  /// Total step() calls so far (== attempts the caller made).
+  [[nodiscard]] int calls() const { return calls_; }
+  /// Failures not yet delivered.
+  [[nodiscard]] int remaining() const { return remaining_; }
+
+ private:
+  int remaining_;
+  bool truncated_;
+  int calls_ = 0;
+};
+
 }  // namespace darkvec::test

@@ -21,6 +21,17 @@
 //   --error-budget N     lenient only: give up after N skipped records
 //                        (default 10000)
 //
+// Execution control (every command):
+//   --timeout SECONDS    cooperative wall-clock deadline; the run stops
+//                        at the next checkpoint and exits 124
+//   --checkpoint-dir DIR train/classify/cluster/neighbors: write a DVCK
+//                        training checkpoint to DIR/sgns.ckpt every
+//                        --checkpoint-every epochs (default 1)
+//   --resume             load that checkpoint (when present and
+//                        compatible) and continue training from it
+//   SIGINT (^C) cancels cooperatively: the run stops at the next
+//   checkpoint, metrics/trace files are still written, exit code 130.
+//
 // Observability (every command):
 //   --log-level LEVEL    trace|debug|info|warn|error|off (default warn)
 //   --log-json [FILE]    structured JSON-lines logs; to FILE when given,
@@ -37,6 +48,8 @@
 // label files are "src,class,group" CSVs. `train` writes PREFIX.emb
 // (v2 binary embedding, CRC32 footer) and PREFIX.vocab (one sender
 // address per row plus a #crc32 footer), atomically.
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +60,8 @@
 #include <unordered_map>
 
 #include "darkvec/core/darkvec.hpp"
+#include "darkvec/core/runtime/retry.hpp"
+#include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/inspector.hpp"
 #include "darkvec/core/model_io.hpp"
 #include "darkvec/core/semi_supervised.hpp"
@@ -61,6 +76,17 @@
 namespace {
 
 using namespace darkvec;
+
+/// The process-wide execution context every command runs under.
+/// --timeout folds into its deadline; ^C cancels its token.
+runtime::RunContext g_run_context;
+
+/// SIGINT → cooperative cancel. CancellationToken::cancel() is one
+/// relaxed atomic store, so this handler is async-signal-safe; the run
+/// unwinds at its next checkpoint instead of dying mid-write.
+extern "C" void handle_sigint(int /*signum*/) {
+  g_run_context.token.cancel();
+}
 
 struct Args {
   std::unordered_map<std::string, std::string> values;
@@ -122,12 +148,20 @@ io::IoPolicy policy_from(const Args& args) {
 net::Trace load_trace(const std::string& path, const Args& args) {
   const io::IoPolicy policy = policy_from(args);
   io::IoReport report;
-  net::Trace trace;
-  if (path.size() > 5 && path.rfind(".dvkt") == path.size() - 5) {
-    trace = net::read_binary_file(path, policy, &report);
-  } else {
-    trace = net::read_csv_file(path, policy, &report);
+  // Transient read failures (mid-rotation renames, blipping mounts) are
+  // retried with jittered backoff; parse/format errors fail immediately.
+  io::RetryPolicy retry = io::RetryPolicy::transient_reads();
+  if (args.has("retries")) {
+    retry.max_attempts = std::max(1, static_cast<int>(args.number(
+                                         "retries", retry.max_attempts)));
   }
+  net::Trace trace = io::with_retry(retry, [&] {
+    report = io::IoReport{};
+    if (path.size() > 5 && path.rfind(".dvkt") == path.size() - 5) {
+      return net::read_binary_file(path, policy, &report);
+    }
+    return net::read_csv_file(path, policy, &report);
+  });
   if (policy.lenient()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
                  report.summary().c_str());
@@ -178,6 +212,13 @@ DarkVecConfig config_from(const Args& args) {
   config.corpus.min_packets =
       static_cast<std::size_t>(args.number("min-packets", 10));
   config.w2v.threads = static_cast<int>(args.number("threads", 1));
+  if (args.has("checkpoint-dir")) {
+    config.train.checkpoint_path =
+        args.get("checkpoint-dir") + "/sgns.ckpt";
+    config.train.checkpoint_every =
+        static_cast<int>(args.number("checkpoint-every", 1));
+    config.train.resume = args.has("resume");
+  }
   return config;
 }
 
@@ -185,10 +226,11 @@ DarkVec fit_from(const net::Trace& trace, const Args& args) {
   DarkVec dv(config_from(args));
   const auto stats = dv.fit(trace);
   std::fprintf(stderr,
-               "trained %zu senders, %llu pairs, %.1fs (%s services)\n",
+               "trained %zu senders, %llu pairs, %.1fs (%s services)%s\n",
                dv.corpus().vocabulary_size(),
                static_cast<unsigned long long>(stats.pairs), stats.seconds,
-               args.get("services", "domain").c_str());
+               args.get("services", "domain").c_str(),
+               stats.resumed ? " [resumed from checkpoint]" : "");
   return dv;
 }
 
@@ -318,6 +360,9 @@ void usage() {
                "supported; DARKVEC_SIMD env var works too)\n"
                "approximate k-NN: --ann [--nprobe N] on classify, cluster "
                "and neighbors\n"
+               "execution control: --timeout SECONDS --checkpoint-dir DIR "
+               "--checkpoint-every N --resume; ^C cancels cooperatively "
+               "(exit 130, timeout exit 124)\n"
                "see the header of tools/darkvec_cli.cpp for details\n");
 }
 
@@ -400,6 +445,16 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv, 2);
   if (!setup_obs(args)) return 2;
   if (!setup_simd(args)) return 2;
+
+  if (args.has("timeout")) {
+    g_run_context.budget.max_wall_seconds = args.number("timeout", 0);
+    g_run_context.arm();
+  }
+  std::signal(SIGINT, handle_sigint);
+  // Every command body (and the pool workers it fans out to) observes
+  // the global context through this ambient scope.
+  darkvec::runtime::ContextScope run_scope(&g_run_context);
+
   int rc = 2;
   bool known = true;
   try {
@@ -409,6 +464,15 @@ int main(int argc, char** argv) {
     else if (command == "cluster") rc = cmd_cluster(args);
     else if (command == "neighbors") rc = cmd_neighbors(args);
     else known = false;
+  } catch (const darkvec::runtime::Cancelled& e) {
+    // 130 = died of SIGINT, the shell convention; metrics and trace
+    // files below still flush so a cancelled run leaves evidence.
+    std::fprintf(stderr, "interrupted: %s\n", e.what());
+    rc = 130;
+  } catch (const darkvec::runtime::Interrupted& e) {
+    // Deadline or budget: 124, the timeout(1) convention.
+    std::fprintf(stderr, "timed out: %s\n", e.what());
+    rc = 124;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;

@@ -29,6 +29,11 @@ Rules (each with a stable id used in the output):
                    else call the runtime-dispatched simd::kernels() so
                    every consumer honours DARKVEC_SIMD and the scalar
                    parity oracle.
+  raw-sleep        sleep calls (std::this_thread::sleep_for/until,
+                   usleep, nanosleep) outside core/runtime build retry
+                   and polling loops that cannot observe cancellation;
+                   wait via runtime::interruptible_sleep and back off
+                   via io::with_retry instead.
 
 Scanned roots: src/ include/ tools/ bench/ examples/ (tests are exempt:
 they may exercise raw primitives on purpose). Findings are printed as
@@ -88,6 +93,17 @@ LINE_RULES = [
         frozenset({"src/core/simd/", "include/darkvec/core/simd/"}),
         "raw x86 intrinsics outside the kernel layer; call the "
         "runtime-dispatched simd::kernels() (core/simd/simd.hpp)",
+    ),
+    (
+        "raw-sleep",
+        re.compile(
+            r"\bstd::this_thread::sleep_(?:for|until)\b"
+            r"|\b(?:u|nano)?sleep\s*\("
+        ),
+        frozenset({"src/core/runtime/", "include/darkvec/core/runtime/"}),
+        "raw sleep outside core/runtime cannot observe cancellation; "
+        "wait via runtime::interruptible_sleep and back off via "
+        "io::with_retry (core/runtime/)",
     ),
 ]
 
@@ -214,6 +230,11 @@ SELF_TEST_SEEDS = {
     "raw-intrinsics":
         "#include <immintrin.h>\n"
         "__m256 f(__m256 a) { return _mm256_add_ps(a, a); }\n",
+    "raw-sleep":
+        "#include <thread>\n"
+        "void f() {\n"
+        "  std::this_thread::sleep_for(std::chrono::milliseconds(50));\n"
+        "}\n",
 }
 
 CLEAN_FILE = """\
@@ -221,6 +242,8 @@ CLEAN_FILE = """\
 // assert() mentioned in a comment must not fire, nor "rand()" here.
 static_assert(sizeof(int) == 4, "ILP32/LP64 only");
 const std::string s = "reinterpret_cast<std::mutex> in a string literal";
+// The blessed wait is fine anywhere: "sleep" only fires as a call.
+bool waited() { return darkvec::runtime::interruptible_sleep(0.1); }
 int answer() { return 42; }
 """
 
@@ -247,6 +270,12 @@ def self_test() -> int:
         kernel_dir.mkdir(parents=True)
         (kernel_dir / "exempt_intrinsics.cpp").write_text(
             SELF_TEST_SEEDS["raw-intrinsics"], encoding="utf-8")
+        # raw-sleep allowlists core/runtime by prefix: the one blessed
+        # sleep (interruptible_sleep's slice wait) lives there.
+        runtime_dir = src / "core" / "runtime"
+        runtime_dir.mkdir(parents=True)
+        (runtime_dir / "exempt_sleep.cpp").write_text(
+            SELF_TEST_SEEDS["raw-sleep"], encoding="utf-8")
 
         findings = lint_tree(root)
         fired = {m.split("[", 1)[1].split("]", 1)[0] for m in findings}
@@ -270,6 +299,12 @@ def self_test() -> int:
         if kernel_hits:
             print("self-test FAIL: raw-intrinsics fired inside core/simd/:")
             for m in kernel_hits:
+                print(f"  {m}")
+            failures += 1
+        sleep_hits = [m for m in findings if "exempt_sleep.cpp" in m]
+        if sleep_hits:
+            print("self-test FAIL: raw-sleep fired inside core/runtime/:")
+            for m in sleep_hits:
                 print(f"  {m}")
             failures += 1
     if failures == 0:
