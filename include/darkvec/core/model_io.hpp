@@ -51,7 +51,9 @@ struct SenderModel {
   ~SenderModel() = default;
 
   /// Row i of `embedding` is the vector of `senders[i]`.
+  // dv-suppress(guarded-field): single-writer payload; index_mu_ guards only the lazy index
   std::vector<net::IPv4> senders;
+  // dv-suppress(guarded-field): single-writer payload; index_mu_ guards only the lazy index
   w2v::Embedding embedding;
 
   /// Row of `ip` or -1. O(1) through a hash index built lazily on the

@@ -181,7 +181,7 @@ class Logger {
   std::atomic<int> level_;
   mutable core::Mutex mu_;
   std::vector<std::unique_ptr<LogSink>> sinks_ DV_GUARDED_BY(mu_);
-  StderrTextSink fallback_;
+  StderrTextSink fallback_ DV_GUARDED_BY(mu_);
 };
 
 /// Process-wide logger. Never destroyed (leaky singleton), so atexit

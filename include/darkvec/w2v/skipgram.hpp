@@ -145,8 +145,8 @@ class SkipGramModel {
                              std::uint64_t* processed, std::uint64_t* pairs)
       DV_REQUIRES(train_mu_);
 
-  std::size_t vocab_;
-  SkipGramOptions options_;
+  const std::size_t vocab_;
+  const SkipGramOptions options_;
   /// Serializes training sessions and guards the weights: train() and
   /// train_pairs() hold it end to end, so two concurrent sessions (or a
   /// session racing embedding()) queue instead of corrupting weights.

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Single entry point for every static-analysis gate. CI, check.sh and
+# `ctest -L static` all route through the same commands, so a finding
+# reproduces identically everywhere:
+#
+#   1. darkvec_lint  --self-test, then the tree   (line-level rules)
+#   2. dvanalyze     --self-test, then the tree   (AST-level rules,
+#      libclang backend when the bindings are installed, the built-in
+#      structural parser otherwise; gates against tools/dvanalyze/
+#      baseline.json, which is empty — the tree is clean)
+#   3. cppcheck with the pinned suppression file  (skipped with a
+#      notice when the binary is absent)
+#   4. clang-tidy via the build tree's `tidy` target when a build
+#      directory with compile_commands.json exists (the target itself
+#      no-ops with a notice when clang-tidy is absent)
+#
+# Exit: non-zero on any unsuppressed finding. Missing optional tools
+# skip their leg loudly instead of failing, so the script is useful on
+# minimal containers and strict on fully-provisioned CI runners.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+run python3 tools/darkvec_lint.py --self-test
+run python3 tools/darkvec_lint.py --root .
+
+run python3 tools/dvanalyze --self-test
+run python3 tools/dvanalyze --root .
+
+echo
+echo "==> python3 tools/run_cppcheck.py --root ."
+rc=0
+python3 tools/run_cppcheck.py --root . || rc=$?
+if [[ "${rc}" == 127 ]]; then
+  echo "analyze.sh: cppcheck leg SKIPPED (binary not installed)"
+elif [[ "${rc}" != 0 ]]; then
+  exit "${rc}"
+fi
+
+# clang-tidy rides on whichever build tree exported compile_commands.
+for build_dir in build-check build; do
+  if [[ -f "${build_dir}/compile_commands.json" ]]; then
+    run cmake --build "${build_dir}" --target tidy
+    break
+  fi
+done
+
+echo
+echo "analyze.sh: all static-analysis gates passed"

@@ -4,7 +4,9 @@
 #   1. warnings-as-errors build + entire test suite (contracts = throw)
 #   2. scalar parity: the full suite again with DARKVEC_SIMD=off, so the
 #      dispatch layer's bit-identity contract is exercised end to end
-#   3. project lint (self-test, then the tree) and clang-tidy (if present)
+#   3. static analysis via scripts/analyze.sh: project lint, the
+#      dvanalyze semantic analyzer (self-tests, then the tree against
+#      its empty baseline), cppcheck and clang-tidy when installed
 #   4. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
 #   5. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
 #   6. ASan+UBSan build + io-fuzz, simd kernel and ann index tests
@@ -37,13 +39,11 @@ run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 run env DARKVEC_SIMD=off ctest --test-dir build-check \
   --output-on-failure -j "${JOBS}"
 
-# 3. Static rules.
-run python3 tools/darkvec_lint.py --self-test
-run python3 tools/darkvec_lint.py --root .
-run cmake --build build-check --target tidy
-
+# 3. Static rules: lint, dvanalyze, cppcheck and clang-tidy all route
+# through the single analyze.sh entry point (optional tools skip loudly).
 test -f build-check/compile_commands.json \
   || { echo "FAIL: compile_commands.json was not exported"; exit 1; }
+run bash scripts/analyze.sh
 
 # 4. obs smoke: the observability flags must produce valid JSON with the
 # pipeline's counters, and a Perfetto-loadable trace, end to end.

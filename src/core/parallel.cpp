@@ -34,8 +34,11 @@ struct ThreadPool::Impl {
   // late still holds a valid (already exhausted) job instead of racing
   // against the next submission's state.
   struct Job {
+    // dv-suppress(guarded-field): set at submit, immutable once published
     std::size_t n = 0;
+    // dv-suppress(guarded-field): set at submit, immutable once published
     std::size_t grain = 1;
+    // dv-suppress(guarded-field): set at submit, immutable once published
     std::size_t chunk_count = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> next_chunk{0};
@@ -45,6 +48,7 @@ struct ThreadPool::Impl {
     // so cancellation/deadlines propagate into pool bodies. The
     // submitter blocks until chunks_left hits zero, so the pointee
     // outlives every chunk.
+    // dv-suppress(guarded-field): set at submit, immutable once published
     runtime::RunContext* ctx = nullptr;
     Mutex done_mutex;
     // First exception thrown by a body; error_set's winner writes it, the
@@ -166,6 +170,7 @@ struct ThreadPool::Impl {
   }
 
   const int size;
+  // dv-suppress(guarded-field): filled in the ctor, joined in the dtor only
   std::vector<std::thread> workers;
 
   Mutex submit_mutex;  // serializes jobs from concurrent submitters

@@ -66,6 +66,12 @@ bool load_stream_checkpoint(const std::string& path, std::int64_t* next_end,
           throw io::TruncatedInput(
               "streaming checkpoint: truncated anchor size");
         }
+        if (count > io::IoLimits{}.max_records) {
+          throw io::ResourceLimit(
+              "streaming checkpoint: anchor declares " +
+              std::to_string(count) + " words, cap is " +
+              std::to_string(io::IoLimits{}.max_records));
+        }
         anchor->corpus = corpus::Corpus{};
         anchor->corpus.words.resize(count);
         const std::size_t want = count * sizeof(net::IPv4);
@@ -266,9 +272,13 @@ std::vector<GroupTrack> track_group(std::span<const StreamSnapshot> snapshots,
         ++member_clusters[cluster];
       }
     }
+    // Ties break toward the smallest cluster id: hash iteration order
+    // must not leak into which cluster_size gets reported.
     int best_cluster = -1;
     for (const auto& [cluster, count] : member_clusters) {
-      if (count > track.clustered_together) {
+      if (count > track.clustered_together ||
+          (count == track.clustered_together && best_cluster >= 0 &&
+           cluster < best_cluster)) {
         track.clustered_together = count;
         best_cluster = cluster;
       }

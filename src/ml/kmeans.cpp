@@ -40,6 +40,7 @@ KMeansResult kmeans(const w2v::Embedding& points, int k,
   seeds.push_back(rng.uniform_int(n));
   std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
   while (seeds.size() < clusters) {
+    DV_CHECKPOINT();  // seed-granular cancellation during k-means++
     double total = 0;
     for (std::size_t i = 0; i < n; ++i) {
       nearest[i] = std::min(

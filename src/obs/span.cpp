@@ -25,6 +25,7 @@ namespace {
 struct ThreadTraceBuffer {
   core::Mutex mu;
   std::vector<TraceEvent> events DV_GUARDED_BY(mu);
+  // dv-suppress(guarded-field): written once before the buffer is published
   std::uint32_t thread_id = 0;
 };
 
@@ -33,7 +34,7 @@ struct ThreadTraceBuffer {
 struct Tracer::Impl {
   core::Mutex mu;
   std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers DV_GUARDED_BY(mu);
-  std::chrono::steady_clock::time_point epoch =
+  const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 
   ThreadTraceBuffer& local_buffer() {

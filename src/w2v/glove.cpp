@@ -245,6 +245,7 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences,
   // Combined representation: w + w~ (GloVe paper, Section 4.2).
   combined_ = Embedding(vocab_, options_.dim);
   for (std::size_t i = 0; i < vocab_; ++i) {
+    if ((i & 1023u) == 0) DV_CHECK_CANCEL(ctx);  // row-granular cancel
     auto row = combined_.vec(i);
     for (std::size_t d = 0; d < dim; ++d) {
       row[d] = static_cast<float>(w[i * dim + d] + wt[i * dim + d]);

@@ -521,6 +521,7 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences,
   for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
     DV_SPAN_ARG("w2v.epoch", "epoch", epoch);
+    DV_CHECK_CANCEL(ctx);  // epoch-granular cancel before spawning workers
     if (threads == 1) {
       worker(0, 0, sentences.size(), epoch);
     } else {

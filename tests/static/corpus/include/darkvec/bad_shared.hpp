@@ -1,0 +1,24 @@
+// dvanalyze corpus: guarded-field must fire on `hits` (no annotation)
+// and stay quiet on everything else in the class.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace darkvec::core {
+class Mutex {};
+}  // namespace darkvec::core
+
+#define DV_GUARDED_BY(mu)
+
+class SharedCounter {
+ public:
+  void bump();
+
+ private:
+  mutable darkvec::core::Mutex mu_;
+  std::uint64_t total_ DV_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits = 0;  // shared, unguarded, unannotated
+  std::atomic<std::uint32_t> readers{0};
+  const int capacity = 64;
+};

@@ -1,0 +1,20 @@
+// dvanalyze corpus: reader-cap must fire on the unclamped reserve().
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+namespace io {
+template <typename T>
+bool read_pod(std::istream& in, T& value);
+}
+
+void load_index(std::istream& in, std::vector<std::uint32_t>* ids) {
+  std::uint64_t n_ids = 0;
+  io::read_pod(in, n_ids);
+  ids->reserve(n_ids);  // attacker-sized allocation, no cap in sight
+  for (std::uint64_t i = 0; i < n_ids; ++i) {
+    std::uint32_t id = 0;
+    if (!io::read_pod(in, id)) break;
+    ids->push_back(id);
+  }
+}

@@ -1,0 +1,25 @@
+// dvanalyze corpus: io-error-taxonomy must fire on the raw std:: throw
+// inside an IoPolicy-contract function.
+#include <istream>
+#include <stdexcept>
+
+namespace io {
+struct IoPolicy {};
+struct IoReport {
+  int records_read = 0;
+  int records_skipped = 0;
+};
+}  // namespace io
+
+io::IoReport scan_records(std::istream& in, const io::IoPolicy& policy) {
+  (void)policy;
+  io::IoReport report;
+  char tag = 0;
+  while (in.get(tag)) {
+    if (tag == 0) {
+      throw std::invalid_argument("zero tag");  // escapes io:: taxonomy
+    }
+    ++report.records_read;
+  }
+  return report;
+}

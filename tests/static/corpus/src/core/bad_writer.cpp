@@ -1,0 +1,20 @@
+// dvanalyze corpus: deterministic-iteration must fire on the hash-order
+// walk feeding the JSON output.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace obs {
+std::string json_escape(const std::string& text);
+}
+
+std::string counters_to_json(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::string out = "{";
+  for (const auto& [name, value] : counters) {
+    out += "\"" + obs::json_escape(name) + "\":" + std::to_string(value);
+    out += ",";
+  }
+  out += "}";
+  return out;
+}

@@ -1,0 +1,87 @@
+// dvanalyze corpus: every invariant done right — zero findings. Each
+// block is the clean twin of one bad_* corpus file.
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace darkvec::runtime {
+struct RunContext {
+  void check() const;
+};
+RunContext* current();
+}  // namespace darkvec::runtime
+
+namespace io {
+template <typename T>
+bool read_pod(std::istream& in, T& value);
+template <typename T>
+void write_pod(std::ostream& out, const T& value);
+struct IoPolicy {};
+struct IoReport {
+  int records_read = 0;
+};
+struct FormatError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+}  // namespace io
+
+// checkpoint-coverage: the convergence loop polls every sweep.
+double refine(std::vector<double>* weights, std::size_t n, double eps) {
+  darkvec::runtime::RunContext* ctx = darkvec::runtime::current();
+  double delta = eps + 1;
+  while (delta > eps && n != 0) {
+    if (ctx != nullptr) ctx->check();  // sweep-granular cancellation
+    delta = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double step = (*weights)[i] * 0.5;
+      (*weights)[i] -= step;
+      delta += step > 0 ? step : -step;
+    }
+  }
+  return delta;
+}
+
+// reader-cap: the decoded size is capped before it reaches reserve().
+void load_index(std::istream& in, std::vector<std::uint32_t>* ids) {
+  std::uint64_t n_ids = 0;
+  io::read_pod(in, n_ids);
+  if (n_ids > (std::uint64_t{1} << 24)) {
+    throw io::FormatError("index count over cap");
+  }
+  ids->reserve(n_ids);
+}
+
+// deterministic-iteration: flatten-then-sort before touching the output.
+void save_counters(
+    std::ostream& out,
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::vector<std::pair<std::string, std::uint64_t>> flat;
+  flat.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    flat.push_back({name, value});
+  }
+  std::sort(flat.begin(), flat.end());
+  for (const auto& [name, value] : flat) {
+    io::write_pod(out, value);
+  }
+}
+
+// io-error-taxonomy: contract functions throw io:: types only.
+io::IoReport scan_records(std::istream& in, const io::IoPolicy& policy) {
+  (void)policy;
+  io::IoReport report;
+  char tag = 0;
+  while (in.get(tag)) {
+    if (tag == 0) {
+      throw io::FormatError("zero tag");
+    }
+    ++report.records_read;
+  }
+  return report;
+}

@@ -1,0 +1,26 @@
+// dvanalyze corpus: checkpoint-coverage must fire on the unpolled
+// refinement loop (line pinned in expected.txt).
+#include <cstddef>
+#include <vector>
+
+namespace darkvec::runtime {
+struct RunContext {
+  void check() const;
+};
+RunContext* current();
+}  // namespace darkvec::runtime
+
+double refine(std::vector<double>* weights, std::size_t n, double eps) {
+  darkvec::runtime::RunContext* ctx = darkvec::runtime::current();
+  if (ctx != nullptr) ctx->check();  // polled once, then never again
+  double delta = eps + 1;
+  while (delta > eps && n != 0) {
+    delta = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double step = (*weights)[i] * 0.5;
+      (*weights)[i] -= step;
+      delta += step > 0 ? step : -step;
+    }
+  }
+  return delta;
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Golden-findings regression for dvanalyze.
+
+Three phases over the committed corpus (known-bad sources, one per
+rule, plus a clean twin):
+
+  1. scan the corpus and require the findings to match expected.txt
+     exactly — path, line and rule; extras and omissions both fail
+  2. baseline round-trip: write the corpus findings as a baseline into
+     a temp dir, re-scan against it, and require a green exit (the
+     burn-down gating mechanism)
+  3. stale detection: add a fabricated entry to that baseline and
+     require the scan to fail with a stale-baseline diagnostic
+
+Exit 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+FINDING_RE = r"^(?P<path>[\w/.\-]+):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\]"
+
+
+def scan(tools_dir: pathlib.Path, corpus: pathlib.Path,
+         extra: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(tools_dir / "dvanalyze"),
+         "--root", str(corpus), *extra],
+        capture_output=True, text=True)
+
+
+def parse_findings(stdout: str) -> set[str]:
+    import re
+    out = set()
+    for line in stdout.splitlines():
+        m = re.match(FINDING_RE, line)
+        if m:
+            out.add(f"{m.group('path')}:{m.group('line')} {m.group('rule')}")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus-dir", required=True)
+    parser.add_argument("--tools-dir", required=True)
+    args = parser.parse_args()
+    corpus = pathlib.Path(args.corpus_dir).resolve()
+    tools_dir = pathlib.Path(args.tools_dir).resolve()
+
+    expected = {
+        line.strip()
+        for line in (corpus / "expected.txt").read_text().splitlines()
+        if line.strip() and not line.startswith("#")
+    }
+
+    # 1. Exact match against the golden findings.
+    proc = scan(tools_dir, corpus, ["--no-baseline"])
+    got = parse_findings(proc.stdout)
+    if got != expected:
+        for missing in sorted(expected - got):
+            print(f"FAIL: expected finding not produced: {missing}")
+        for extra in sorted(got - expected):
+            print(f"FAIL: unexpected finding: {extra}")
+        print(proc.stdout)
+        return 1
+    if proc.returncode != 1:
+        print(f"FAIL: corpus scan should exit 1, got {proc.returncode}")
+        return 1
+    print(f"corpus OK: {len(got)} findings match expected.txt exactly")
+
+    with tempfile.TemporaryDirectory(prefix="dvanalyze_corpus_") as tmp:
+        baseline = pathlib.Path(tmp) / "baseline.json"
+
+        # 2. A baseline of exactly these findings makes the scan green.
+        proc = scan(tools_dir, corpus,
+                    ["--write-baseline", "--baseline", str(baseline)])
+        if proc.returncode != 0:
+            print(f"FAIL: --write-baseline exited {proc.returncode}")
+            print(proc.stdout, proc.stderr)
+            return 1
+        proc = scan(tools_dir, corpus, ["--baseline", str(baseline)])
+        if proc.returncode != 0:
+            print("FAIL: scan against its own baseline should be green")
+            print(proc.stdout, proc.stderr)
+            return 1
+        print("baseline OK: round-trip gates to green")
+
+        # 3. A stale entry (finding that no longer exists) must fail.
+        data = json.loads(baseline.read_text())
+        data["findings"].append({
+            "rule": "reader-cap", "file": "src/core/gone.cpp",
+            "line": 1, "message": "fixed long ago"})
+        baseline.write_text(json.dumps(data))
+        proc = scan(tools_dir, corpus, ["--baseline", str(baseline)])
+        if proc.returncode != 1 or "stale-baseline" not in proc.stdout:
+            print("FAIL: stale baseline entry was not flagged")
+            print(proc.stdout, proc.stderr)
+            return 1
+        print("baseline OK: stale entries are flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""dvanalyze: AST-grade semantic analyzer for the DarkVec C++ tree.
+
+Checks the project invariants that line-oriented lint cannot see —
+checkpoint coverage in long loops, DV_GUARDED_BY coverage of shared
+fields, header-cap domination of stream-decoded allocations,
+deterministic iteration into persisted formats, and the io:: error
+taxonomy. Run as `python3 -m dvanalyze` from tools/, or via
+scripts/analyze.sh.
+"""
+
+__version__ = "1.0"

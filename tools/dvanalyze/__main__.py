@@ -1,0 +1,140 @@
+"""dvanalyze CLI.
+
+Usage (from the repo root):
+
+  python3 tools/dvanalyze --root .                 # scan the tree
+  python3 tools/dvanalyze --self-test              # prove the rules
+  python3 tools/dvanalyze --list-rules
+  python3 tools/dvanalyze --root . --write-baseline
+
+Exit codes: 0 clean (or findings exactly match the baseline), 1
+findings (new findings / stale baseline entries / bad suppressions),
+2 usage or environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # `python3 tools/dvanalyze` execution
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from dvanalyze import clang_backend, engine, rules, selftest
+else:
+    from . import clang_backend, engine, rules, selftest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dvanalyze", description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root to scan (default: .)")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json path (default: "
+                             "<root>/build/compile_commands.json if present)")
+    parser.add_argument("--backend", choices=("auto", "clang", "lite"),
+                        default="auto",
+                        help="frontend: libclang when available (auto), "
+                             "force libclang (clang) or the built-in "
+                             "structural parser (lite)")
+    parser.add_argument("--rule", action="append", dest="only",
+                        metavar="RULE", help="run only this rule "
+                        "(repeatable)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             "tools/dvanalyze/baseline.json under --root "
+                             "when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings as the baseline")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any committed baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed one violation and one quiet twin per "
+                             "rule and verify both behaviors")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings with reasons")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, check in rules.ALL_RULES.items():
+            doc = " ".join((check.__doc__ or "").split()) or rule_id
+            print(f"{rule_id}")
+        return 0
+
+    if args.self_test:
+        return selftest.run(backend=args.backend)
+
+    if args.only:
+        unknown = set(args.only) - set(rules.ALL_RULES)
+        if unknown:
+            print(f"dvanalyze: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"dvanalyze: no such root: {root}", file=sys.stderr)
+        return 2
+    compdb = pathlib.Path(args.compdb) if args.compdb else \
+        root / "build" / "compile_commands.json"
+    if not compdb.is_file():
+        compdb = None
+
+    try:
+        result = engine.scan(root, compdb=compdb, backend=args.backend,
+                             only=set(args.only) if args.only else None)
+    except RuntimeError as err:
+        print(f"dvanalyze: {err}", file=sys.stderr)
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline) if args.baseline else \
+        root / "tools" / "dvanalyze" / "baseline.json"
+
+    if args.write_baseline:
+        engine.write_baseline(baseline_path, result.findings)
+        print(f"dvanalyze: wrote {len(result.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.show_suppressed:
+        for f, reason in result.suppressed:
+            print(f"{f.render()}  [suppressed: {reason}]")
+
+    failures = 0
+    to_report = result.findings
+    if not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = engine.load_baseline(baseline_path)
+        except (OSError, ValueError) as err:
+            print(f"dvanalyze: bad baseline: {err}", file=sys.stderr)
+            return 2
+        new, stale = engine.diff_baseline(result.findings, baseline)
+        to_report = new
+        for entry in stale:
+            print(f"{entry['file']}:{entry['line']}: [stale-baseline] "
+                  f"baseline entry for rule '{entry['rule']}' matches no "
+                  "finding; refresh with --write-baseline")
+            failures += 1
+
+    for f in to_report:
+        print(f.render())
+        failures += 1
+    for f in result.meta_findings:
+        print(f.render())
+        failures += 1
+
+    summary = (f"dvanalyze: {result.files_scanned} files, "
+               f"{result.backend} backend, "
+               f"{len(result.findings)} finding(s), "
+               f"{len(result.suppressed)} suppressed")
+    if failures:
+        print(f"{summary}, {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""libclang frontend for dvanalyze.
+
+When the clang Python bindings can be imported *and* a libclang shared
+library loads, files are parsed into real ASTs and lowered into the
+same SourceModel the lite frontend produces, so the rules see
+clang-accurate extents (macro-expanded bodies, correctly classified
+fields, loop kinds from the grammar rather than token heuristics).
+
+Compile flags come from the exported compile_commands.json when one is
+available; headers and files without an entry fall back to a bare
+`-std=c++20 -Iinclude` parse, which is enough for structure recovery —
+the rules only need shapes, not overload resolution.
+
+Everything here is defensive: any import, load or parse failure makes
+the caller fall back to the lite frontend for that file. An
+environment without libclang loses no coverage, only precision.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+from . import cppmodel
+
+
+@functools.lru_cache(maxsize=1)
+def _cindex():
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:  # library missing or ABI mismatch
+        return None
+    return cindex
+
+
+def available() -> bool:
+    return _cindex() is not None
+
+
+@functools.lru_cache(maxsize=4)
+def _compdb(compdb_dir: str | None):
+    ci = _cindex()
+    if ci is None or compdb_dir is None:
+        return None
+    try:
+        return ci.CompilationDatabase.fromDirectory(compdb_dir)
+    except Exception:
+        return None
+
+
+def _args_for(path: pathlib.Path, compdb_dir: pathlib.Path | None,
+              root_include: pathlib.Path) -> list[str]:
+    db = _compdb(str(compdb_dir) if compdb_dir else None)
+    if db is not None:
+        try:
+            cmds = db.getCompileCommands(str(path.resolve()))
+        except Exception:
+            cmds = None
+        if cmds:
+            # Drop the compiler argv[0] and the source file itself.
+            args = [a for a in list(cmds[0].arguments)[1:]
+                    if a != str(path.resolve()) and a != "-c" and
+                    not a.endswith((".o", ".cpp", ".cc", ".cxx"))]
+            out = []
+            skip = False
+            for a in args:
+                if skip:
+                    skip = False
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                out.append(a)
+            return out
+    return ["-std=c++20", f"-I{root_include}"]
+
+
+def build_model(rel: str, text: str, path: pathlib.Path,
+                compdb_dir: pathlib.Path | None
+                ) -> cppmodel.SourceModel | None:
+    ci = _cindex()
+    if ci is None:
+        return None
+    stripped, comments = cppmodel.strip_comments_and_strings(text)
+    model = cppmodel.SourceModel(path=rel, text=text, stripped=stripped,
+                                 comments=comments, backend="clang")
+    root_include = path.resolve()
+    for parent in path.resolve().parents:
+        if (parent / "include" / "darkvec").is_dir():
+            root_include = parent / "include"
+            break
+    try:
+        index = ci.Index.create()
+        tu = index.parse(
+            str(path), args=_args_for(path, compdb_dir, root_include),
+            unsaved_files=[(str(path), text)],
+            options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    except Exception:
+        return None
+    try:
+        _lower(ci, model, tu.cursor, str(path))
+    except Exception:
+        return None
+    return model
+
+
+def _in_file(cursor, path: str) -> bool:
+    loc = cursor.location
+    return loc.file is not None and str(loc.file) == path
+
+
+def _lower(ci, model: cppmodel.SourceModel, root, path: str) -> None:
+    K = ci.CursorKind
+    fn_kinds = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                K.FUNCTION_TEMPLATE}
+    cls_kinds = {K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE}
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            if not _in_file(child, path):
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                fn = _lower_function(ci, model, child)
+                if fn is not None:
+                    model.functions.append(fn)
+                walk(child)  # local classes
+            elif child.kind in cls_kinds and child.is_definition():
+                model.classes.append(_lower_class(ci, model, child))
+                walk(child)  # methods defined inline
+            else:
+                walk(child)
+
+    walk(root)
+
+
+def _extent_offsets(cursor) -> tuple[int, int]:
+    return cursor.extent.start.offset, cursor.extent.end.offset
+
+
+def _lower_function(ci, model: cppmodel.SourceModel,
+                    cursor) -> cppmodel.Function | None:
+    K = ci.CursorKind
+    body = next((c for c in cursor.get_children()
+                 if c.kind == K.COMPOUND_STMT), None)
+    if body is None:
+        return None
+    b0, b1 = _extent_offsets(body)
+    params = ", ".join(
+        f"{c.type.spelling} {c.spelling}" for c in cursor.get_children()
+        if c.kind == K.PARM_DECL)
+    try:
+        ret = cursor.result_type.spelling
+    except Exception:
+        ret = ""
+    fn = cppmodel.Function(
+        name=cursor.spelling, line=cursor.location.line, ret=ret,
+        params=params, body_start=b0 + 1, body_end=max(b0 + 1, b1 - 1))
+    _lower_loops(ci, model, fn, body, depth=-1)
+    return fn
+
+
+def _lower_loops(ci, model: cppmodel.SourceModel, fn: cppmodel.Function,
+                 node, depth: int) -> None:
+    K = ci.CursorKind
+    loop_kinds = {K.FOR_STMT: "for", K.WHILE_STMT: "while",
+                  K.DO_STMT: "do", K.CXX_FOR_RANGE_STMT: "range-for"}
+    for child in node.get_children():
+        kind = loop_kinds.get(child.kind)
+        if kind is not None:
+            children = list(child.get_children())
+            body = children[-1] if children else child
+            b0, b1 = _extent_offsets(body)
+            e0, _ = _extent_offsets(child)
+            header = model.stripped[e0:b0]
+            fn.loops.append(cppmodel.Loop(
+                kind=kind, line=child.location.line,
+                header=header, body_start=b0, body_end=b1,
+                depth=max(0, depth)))
+            _lower_loops(ci, model, fn, child, depth + 1)
+        elif child.kind == K.LAMBDA_EXPR:
+            children = list(child.get_children())
+            body = next((c for c in children
+                         if c.kind == K.COMPOUND_STMT), None)
+            if body is not None:
+                b0, b1 = _extent_offsets(body)
+                fn.lambdas.append(cppmodel.Lambda(
+                    line=child.location.line, capture="",
+                    body_start=b0 + 1, body_end=max(b0 + 1, b1 - 1)))
+            _lower_loops(ci, model, fn, child, depth + 1)
+        elif child.kind == K.COMPOUND_STMT:
+            _lower_loops(ci, model, fn, child, depth + 1)
+        else:
+            _lower_loops(ci, model, fn, child, depth)
+
+
+def _lower_class(ci, model: cppmodel.SourceModel, cursor) -> cppmodel.ClassDef:
+    K = ci.CursorKind
+    cls = cppmodel.ClassDef(
+        name=cursor.spelling,
+        kind="struct" if cursor.kind == K.STRUCT_DECL else "class",
+        line=cursor.location.line)
+    for child in cursor.get_children():
+        if child.kind != K.FIELD_DECL:
+            continue
+        e0, e1 = _extent_offsets(child)
+        decl = model.stripped[e0:e1]
+        cls.members.append(cppmodel.Member(
+            name=child.spelling, line=child.location.line,
+            decl=" ".join(decl.split()),
+            type_text=child.type.spelling))
+    return cls

@@ -1,0 +1,625 @@
+"""Lightweight structural C++ model for dvanalyze.
+
+This is the fallback frontend: a tokenizer plus a brace-structure pass
+that recovers the handful of syntactic shapes the rules reason about —
+function definitions (name, parameters, return type, body extent),
+loops inside bodies (kind, header, body extent, nesting depth),
+lambdas, class/struct definitions with their data members, and local
+variable declarations. It is deliberately *not* a C++ parser: it only
+needs to be right about the constructs this codebase actually writes
+(clang-format'd C++20, no macros that open/close braces), and the
+libclang frontend (clang_backend.py) produces the same model with full
+semantic fidelity when bindings are available.
+
+Both frontends emit the dataclasses below; the rules in rules.py are
+frontend-agnostic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import re
+
+# --------------------------------------------------------------------------
+# Comment/string stripping (line-structure preserving) and comment capture.
+
+_SUPPRESS_RE = re.compile(
+    r"dv-suppress\(\s*([a-z0-9-]+)\s*\)\s*(?::\s*(.*?))?\s*(?:\*/|$)")
+_BENIGN_RE = re.compile(r"dv-benign-race\s*(?::\s*(.*?))?\s*(?:\*/|$)")
+
+
+def strip_comments_and_strings(text: str) -> tuple[str, dict[int, str]]:
+    """Returns (stripped_text, comments_by_line). The stripped text has
+    every comment and string/char literal blanked with spaces so offsets
+    and line numbers are preserved exactly; comments_by_line maps a
+    1-based line number to the concatenated comment text on that line.
+    """
+    out: list[str] = []
+    comments: dict[int, str] = {}
+    line = 1
+    i, n = 0, len(text)
+
+    def note_comment(lineno: int, body: str) -> None:
+        if body.strip():
+            comments[lineno] = comments.get(lineno, "") + " " + body
+
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                i += 1
+            note_comment(line, text[start:i])
+            out.append(" " * (i - start))
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            start_line = line
+            buf: list[str] = []
+            out.append("  ")
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    note_comment(line, "".join(buf))
+                    buf = []
+                    out.append("\n")
+                    line += 1
+                else:
+                    buf.append(text[i])
+                    out.append(" ")
+                i += 1
+            note_comment(line if buf else start_line, "".join(buf))
+            i = min(i + 2, n)
+            out.append("  " if i <= n else "")
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    out.append("\n")
+                    line += 1
+                else:
+                    out.append(" ")
+                i += 1
+            out.append(" ")
+            i += 1
+        elif c == "\n":
+            out.append("\n")
+            line += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out), comments
+
+
+# --------------------------------------------------------------------------
+# Tokenizer.
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"          # identifier / keyword
+    r"|\d[\dxXbB'.eEpPfFuUlL\da-fA-F+-]*"  # numeric literal (coarse)
+    r"|::|->\*?|\+\+|--|<<=?|>>=?|<=>|[<>=!+\-*/%&|^]=|&&|\|\||[{}()\[\];,:<>=!+\-*/%&|^~?.#]",
+)
+
+
+@dataclasses.dataclass
+class Token:
+    text: str
+    start: int  # char offset into the (stripped) text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.text!r}@{self.start})"
+
+
+def tokenize(stripped: str) -> list[Token]:
+    return [Token(m.group(0), m.start()) for m in _TOKEN_RE.finditer(stripped)]
+
+
+# --------------------------------------------------------------------------
+# Model dataclasses (shared with the libclang frontend).
+
+
+@dataclasses.dataclass
+class Loop:
+    kind: str          # "for", "while", "do", "range-for"
+    line: int
+    header: str        # text inside the control parens ("" for do)
+    body_start: int    # char offsets into the stripped text
+    body_end: int
+    depth: int         # 0 = directly inside the function body
+
+
+@dataclasses.dataclass
+class Lambda:
+    line: int
+    capture: str
+    body_start: int
+    body_end: int
+    #: name of the call this lambda is an argument of, "" if none
+    call_target: str = ""
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    line: int
+    #: text before the name (return type and specifiers), "" for ctors
+    ret: str
+    params: str        # text inside the parameter parens
+    body_start: int
+    body_end: int
+    loops: list[Loop] = dataclasses.field(default_factory=list)
+    lambdas: list[Lambda] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Member:
+    name: str
+    line: int
+    decl: str          # full declaration text (one statement)
+    #: declaration minus the member name and initializer: the type text
+    type_text: str = ""
+
+
+@dataclasses.dataclass
+class ClassDef:
+    name: str
+    line: int
+    kind: str          # "class" | "struct"
+    members: list[Member] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class SourceModel:
+    path: str                      # repo-relative path
+    text: str                      # raw file text
+    stripped: str                  # comments/strings blanked
+    comments: dict[int, str]       # per-line comment text
+    functions: list[Function] = dataclasses.field(default_factory=list)
+    classes: list[ClassDef] = dataclasses.field(default_factory=list)
+    backend: str = "lite"
+
+    def line_of(self, offset: int) -> int:
+        return bisect.bisect_right(self._line_starts(), offset)
+
+    def _line_starts(self) -> list[int]:
+        starts = getattr(self, "_starts", None)
+        if starts is None:
+            starts = [0]
+            for i, c in enumerate(self.stripped):
+                if c == "\n":
+                    starts.append(i + 1)
+            self._starts = starts
+        return starts
+
+    def body_text(self, start: int, end: int) -> str:
+        return self.stripped[start:end]
+
+    def suppressions(self) -> dict[int, list[tuple[str, str]]]:
+        """Per-line `dv-suppress(rule): reason` entries parsed from the
+        comments. A suppression covers findings on its own line and on
+        the immediately following line (comment-above style)."""
+        out: dict[int, list[tuple[str, str]]] = {}
+        for lineno, comment in self.comments.items():
+            for m in _SUPPRESS_RE.finditer(comment):
+                out.setdefault(lineno, []).append((m.group(1),
+                                                   (m.group(2) or "").strip()))
+        return out
+
+    def benign_race_lines(self) -> dict[int, str]:
+        out: dict[int, str] = {}
+        for lineno, comment in self.comments.items():
+            m = _BENIGN_RE.search(comment)
+            if m:
+                out[lineno] = (m.group(1) or "").strip()
+        return out
+
+
+# --------------------------------------------------------------------------
+# Structure recovery.
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "do", "else", "return",
+    "sizeof", "alignof", "decltype", "new", "delete", "throw", "co_return",
+    "co_await", "static_assert", "alignas", "noexcept", "requires",
+}
+_ANNOTATION_MACROS = {
+    "DV_GUARDED_BY", "DV_PT_GUARDED_BY", "DV_REQUIRES", "DV_ACQUIRE",
+    "DV_RELEASE", "DV_TRY_ACQUIRE", "DV_EXCLUDES", "DV_ASSERT_CAPABILITY",
+    "DV_RETURN_CAPABILITY", "DV_CAPABILITY", "DV_THREAD_ANNOTATION",
+}
+_POST_PAREN_SKIP = {
+    "const", "noexcept", "override", "final", "mutable", "&", "&&",
+    "->", "try",
+} | _ANNOTATION_MACROS
+
+
+def _match_group(tokens: list[Token], i: int, open_tok: str,
+                 close_tok: str) -> int:
+    """Index of the token closing the group opened at tokens[i]."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == open_tok:
+            depth += 1
+        elif t == close_tok:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens) - 1
+
+
+def build_model(path: str, text: str) -> SourceModel:
+    stripped, comments = strip_comments_and_strings(text)
+    model = SourceModel(path=path, text=text, stripped=stripped,
+                        comments=comments)
+    tokens = tokenize(stripped)
+    _find_functions(model, tokens)
+    _find_classes(model, tokens)
+    return model
+
+
+def _find_functions(model: SourceModel, tokens: list[Token]) -> None:
+    """Function definitions: `name ( params ) [qualifiers] [: init] {`.
+    Walks every paren group and checks its context."""
+    n = len(tokens)
+    i = 0
+    while i < n:
+        if tokens[i].text != "(" or i == 0:
+            i += 1
+            continue
+        prev = tokens[i - 1].text
+        if not re.fullmatch(r"[A-Za-z_]\w*", prev) or \
+                prev in _CONTROL_KEYWORDS or prev in _ANNOTATION_MACROS:
+            i += 1
+            continue
+        close = _match_group(tokens, i, "(", ")")
+        # Skip qualifiers / trailing return / annotation macro calls /
+        # constructor init list up to a `{` (function) or `;`/other
+        # (declaration or plain call).
+        j = close + 1
+        while j < n:
+            t = tokens[j].text
+            if t in _POST_PAREN_SKIP:
+                if t == "->":  # trailing return type: skip to `{` or `;`
+                    while j < n and tokens[j].text not in ("{", ";"):
+                        j += 1
+                    continue
+                j += 1
+                if j < n and tokens[j].text == "(":
+                    j = _match_group(tokens, j, "(", ")") + 1
+                continue
+            if t == ":":  # constructor init list
+                depth = 0
+                while j < n:
+                    tt = tokens[j].text
+                    if tt in "([":
+                        depth += 1
+                    elif tt in ")]":
+                        depth -= 1
+                    elif tt == "{" and depth == 0:
+                        break
+                    elif tt == ";" and depth == 0:
+                        break
+                    j += 1
+                continue
+            break
+        if j >= n or tokens[j].text != "{":
+            i = close + 1
+            continue
+        # Reject calls: a call expression's name is preceded by an
+        # operator/keyword that cannot end a return type. A definition's
+        # name is preceded by a type token, `::`, `>`, `*`, `&`, or a
+        # statement boundary.
+        k = i - 2
+        bad_prefix = {"(", ",", "return", "=", "+", "-", "!", "<<", ">>",
+                      "&&", "||", "?", "[", "."}
+        if k >= 0 and tokens[k].text in bad_prefix:
+            i = close + 1
+            continue
+        name = prev
+        # Qualified name: walk back over `A::B::name`.
+        back = i - 1
+        while back >= 2 and tokens[back - 1].text == "::":
+            back -= 2
+        ret_start = back
+        while ret_start >= 1 and tokens[ret_start - 1].text not in (
+                ";", "}", "{", ":", ")"):
+            ret_start -= 1
+        ret = model.stripped[tokens[ret_start].start:tokens[back].start] \
+            if ret_start < back else ""
+        body_open = j
+        body_close = _match_group(tokens, body_open, "{", "}")
+        fn = Function(
+            name=name,
+            line=model.line_of(tokens[i - 1].start),
+            ret=ret.strip(),
+            params=model.stripped[tokens[i].start + 1:tokens[close].start],
+            body_start=tokens[body_open].start + 1,
+            body_end=tokens[body_close].start,
+        )
+        _find_loops_and_lambdas(model, fn, tokens, body_open, body_close)
+        model.functions.append(fn)
+        i = close + 1  # nested lambdas are captured per-function
+
+
+def _find_loops_and_lambdas(model: SourceModel, fn: Function,
+                            tokens: list[Token], body_open: int,
+                            body_close: int) -> None:
+    depth_stack: list[int] = []
+    j = body_open + 1
+    while j < body_close:
+        t = tokens[j].text
+        if t == "{":
+            depth_stack.append(j)
+        elif t == "}":
+            if depth_stack:
+                depth_stack.pop()
+        elif t in ("for", "while") and j + 1 < body_close and \
+                tokens[j + 1].text == "(":
+            hdr_close = _match_group(tokens, j + 1, "(", ")")
+            header = model.stripped[tokens[j + 1].start + 1:
+                                    tokens[hdr_close].start]
+            kind = t
+            if t == "for" and _has_toplevel_colon(tokens, j + 1, hdr_close):
+                kind = "range-for"
+            b = hdr_close + 1
+            if b < body_close and tokens[b].text == "{":
+                b_close = _match_group(tokens, b, "{", "}")
+                start, end = tokens[b].start + 1, tokens[b_close].start
+            else:  # single-statement body
+                e = b
+                while e < body_close and tokens[e].text != ";":
+                    if tokens[e].text == "{":
+                        e = _match_group(tokens, e, "{", "}")
+                    elif tokens[e].text == "(":
+                        e = _match_group(tokens, e, "(", ")")
+                    e += 1
+                start = tokens[b].start if b < body_close else tokens[j].start
+                end = tokens[min(e, body_close)].start
+            fn.loops.append(Loop(kind=kind, line=model.line_of(tokens[j].start),
+                                 header=header, body_start=start,
+                                 body_end=end, depth=len(depth_stack)))
+        elif t == "do" and j + 1 < body_close and tokens[j + 1].text == "{":
+            b_close = _match_group(tokens, j + 1, "{", "}")
+            fn.loops.append(Loop(kind="do",
+                                 line=model.line_of(tokens[j].start),
+                                 header="",
+                                 body_start=tokens[j + 1].start + 1,
+                                 body_end=tokens[b_close].start,
+                                 depth=len(depth_stack)))
+        elif t == "[" and _looks_like_lambda(tokens, j, body_close):
+            cap_close = _match_group(tokens, j, "[", "]")
+            b = cap_close + 1
+            if b < body_close and tokens[b].text == "(":
+                b = _match_group(tokens, b, "(", ")") + 1
+            while b < body_close and tokens[b].text in (
+                    "mutable", "noexcept", "constexpr", "->"):
+                if tokens[b].text == "->":
+                    while b < body_close and tokens[b].text != "{":
+                        b += 1
+                    break
+                b += 1
+            if b < body_close and tokens[b].text == "{":
+                b_close = _match_group(tokens, b, "{", "}")
+                target = ""
+                if j >= 2 and tokens[j - 1].text == "(" and \
+                        re.fullmatch(r"[A-Za-z_]\w*", tokens[j - 2].text):
+                    target = tokens[j - 2].text
+                elif j >= 2 and tokens[j - 1].text == ",":
+                    # lambda as a later argument: walk back to the call
+                    depth = 1
+                    k = j - 1
+                    while k >= 1 and depth > 0:
+                        k -= 1
+                        if tokens[k].text == ")":
+                            depth += 1
+                        elif tokens[k].text == "(":
+                            depth -= 1
+                    if k >= 1 and re.fullmatch(r"[A-Za-z_]\w*",
+                                               tokens[k - 1].text):
+                        target = tokens[k - 1].text
+                fn.lambdas.append(Lambda(
+                    line=model.line_of(tokens[j].start),
+                    capture=model.stripped[tokens[j].start + 1:
+                                           tokens[cap_close].start],
+                    body_start=tokens[b].start + 1,
+                    body_end=tokens[b_close].start,
+                    call_target=target))
+        j += 1
+
+
+def _has_toplevel_colon(tokens: list[Token], open_idx: int,
+                        close_idx: int) -> bool:
+    depth = 0
+    for j in range(open_idx + 1, close_idx):
+        t = tokens[j].text
+        if t in "([<{":
+            depth += 1
+        elif t in ")]>}":
+            depth -= 1
+        elif t == ":" and depth == 0:
+            return True
+    return False
+
+
+def _looks_like_lambda(tokens: list[Token], j: int, limit: int) -> bool:
+    """`[` starts a lambda if it isn't an index/attribute: preceded by
+    an operator/separator/keyword rather than a value, and not `[[`."""
+    if j + 1 < limit and tokens[j + 1].text == "[":
+        return False
+    if j == 0:
+        return False
+    prev = tokens[j - 1].text
+    if re.fullmatch(r"[A-Za-z_]\w*", prev) and prev not in (
+            "return", "co_return", "co_await", "case", "else", "do"):
+        return False  # identifier[...] is an index
+    return prev not in ("]", ")", "}")
+
+
+def _find_classes(model: SourceModel, tokens: list[Token]) -> None:
+    n = len(tokens)
+    i = 0
+    while i < n:
+        if tokens[i].text not in ("class", "struct"):
+            i += 1
+            continue
+        # `enum class` is not a class; `class X;` is a forward decl.
+        if i >= 1 and tokens[i - 1].text == "enum":
+            i += 1
+            continue
+        j = i + 1
+        # Skip attribute macros like DV_CAPABILITY("mutex").
+        while j < n and tokens[j].text in _ANNOTATION_MACROS:
+            j += 1
+            if j < n and tokens[j].text == "(":
+                j = _match_group(tokens, j, "(", ")") + 1
+        if j >= n or not re.fullmatch(r"[A-Za-z_]\w*", tokens[j].text):
+            i += 1
+            continue
+        name_idx = j
+        name = tokens[j].text
+        j += 1
+        # Qualified definition (`struct Tracer::Impl { ... }`): the last
+        # segment names the class.
+        while j + 1 < n and tokens[j].text == "::" and \
+                re.fullmatch(r"[A-Za-z_]\w*", tokens[j + 1].text):
+            name_idx = j + 1
+            name = tokens[j + 1].text
+            j += 2
+        while j < n and tokens[j].text in _ANNOTATION_MACROS:
+            j += 1
+            if j < n and tokens[j].text == "(":
+                j = _match_group(tokens, j, "(", ")") + 1
+        if j < n and tokens[j].text == ":":  # base clause
+            while j < n and tokens[j].text != "{":
+                j += 1
+        if j >= n or tokens[j].text != "{":
+            i += 1
+            continue
+        body_open = j
+        body_close = _match_group(tokens, body_open, "{", "}")
+        cls = ClassDef(name=name, kind=tokens[i].text,
+                       line=model.line_of(tokens[name_idx].start))
+        _find_members(model, cls, tokens, body_open, body_close)
+        model.classes.append(cls)
+        i = body_open + 1  # nested classes get their own pass
+
+
+_MEMBER_SKIP_STARTERS = {
+    "public", "private", "protected", "using", "typedef", "friend",
+    "static_assert", "template", "enum", "class", "struct",
+}
+
+
+def _find_members(model: SourceModel, cls: ClassDef, tokens: list[Token],
+                  body_open: int, body_close: int) -> None:
+    """Data members: depth-1 statements ending in `;` that, once the
+    initializer and annotation macros are stripped, end with an
+    identifier (the member name) and contain no top-level parens."""
+    j = body_open + 1
+    stmt_start = j
+    while j < body_close:
+        t = tokens[j].text
+        if t in ("{",):
+            j = _match_group(tokens, j, "{", "}")
+            # `Type name{init};` keeps going; function bodies end stmts.
+            if j + 1 < body_close and tokens[j + 1].text == ";":
+                j += 1
+                _classify_member(model, cls, tokens, stmt_start, j)
+                stmt_start = j + 1
+            else:
+                stmt_start = j + 1
+        elif t == "(":
+            j = _match_group(tokens, j, "(", ")")
+        elif t == ":" and j > stmt_start and tokens[j - 1].text in (
+                "public", "private", "protected"):
+            stmt_start = j + 1
+        elif t == ";":
+            _classify_member(model, cls, tokens, stmt_start, j)
+            stmt_start = j + 1
+        j += 1
+
+
+def _classify_member(model: SourceModel, cls: ClassDef, tokens: list[Token],
+                     start: int, end: int) -> None:
+    stmt = tokens[start:end]
+    if not stmt:
+        return
+    if stmt[0].text in _MEMBER_SKIP_STARTERS:
+        return
+    if any(t.text == "operator" for t in stmt):
+        return  # operator overload declaration
+    # Strip a trailing `= init` / `{init}`.
+    cut = len(stmt)
+    depth = 0
+    for idx, tok in enumerate(stmt):
+        t = tok.text
+        if t in "([{":
+            depth += 1
+        elif t in ")]}":
+            depth -= 1
+        elif t == "=" and depth == 0:
+            cut = idx
+            break
+    core = stmt[:cut]
+    if core and core[-1].text == "}":
+        # brace init: drop the {...} group
+        d = 0
+        for idx in range(len(core) - 1, -1, -1):
+            if core[idx].text == "}":
+                d += 1
+            elif core[idx].text == "{":
+                d -= 1
+                if d == 0:
+                    core = core[:idx]
+                    break
+    # Strip trailing annotation macro invocations.
+    changed = True
+    while changed and core:
+        changed = False
+        if core[-1].text == ")":
+            d = 0
+            for idx in range(len(core) - 1, -1, -1):
+                if core[idx].text == ")":
+                    d += 1
+                elif core[idx].text == "(":
+                    d -= 1
+                    if d == 0:
+                        if idx >= 1 and core[idx - 1].text in \
+                                _ANNOTATION_MACROS:
+                            core = core[:idx - 1]
+                            changed = True
+                        break
+    if not core:
+        return
+    last = core[-1]
+    if not re.fullmatch(r"[A-Za-z_]\w*", last.text):
+        return  # function decl or operator — ends with ')' or similar
+    if last.text in _ANNOTATION_MACROS or last.text in _CONTROL_KEYWORDS or \
+            last.text in ("const", "volatile", "override", "final",
+                          "mutable", "default", "delete", "noexcept"):
+        return  # `int get() const;` and friends are function decls
+    if len(core) == 1:
+        return  # lone identifier: not a declaration
+    # A top-level '(' before the name means a function declaration.
+    d = 0
+    for tok in core[:-1]:
+        if tok.text == "(" and d == 0:
+            return
+        if tok.text in "([{<":
+            d += 1
+        elif tok.text in ")]}>":
+            d -= 1
+    decl_text = model.stripped[stmt[0].start:tokens[end].start]
+    type_text = model.stripped[stmt[0].start:last.start]
+    cls.members.append(Member(
+        name=last.text,
+        line=model.line_of(last.start),
+        decl=re.sub(r"\s+", " ", decl_text).strip(),
+        type_text=re.sub(r"\s+", " ", type_text).strip()))

@@ -1,0 +1,210 @@
+"""dvanalyze engine: file discovery, frontends, suppressions, baseline.
+
+The engine walks the analyzed roots (or the translation units named by
+an exported compile_commands.json), parses each file with the best
+available frontend — libclang when the Python bindings and a loadable
+libclang are present, the built-in structural model otherwise — runs
+the rule catalogue, then folds in `// dv-suppress(rule): reason`
+comments and the committed baseline.
+
+Suppression contract: a suppression covers findings on its own line or
+the line directly below (comment-above style); the reason is
+mandatory; a suppression that matches nothing is itself reported
+(unused-suppression), so stale escapes cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from . import clang_backend, cppmodel, rules
+
+SCAN_ROOTS = ("src", "include", "tools")
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+#: the analyzer must not analyze itself or the lint twin
+EXCLUDE_PREFIXES = ("tools/dvanalyze",)
+
+
+@dataclasses.dataclass
+class ScanResult:
+    findings: list[rules.Finding]
+    suppressed: list[tuple[rules.Finding, str]]  # finding, reason
+    meta_findings: list[rules.Finding]  # bad/unused suppressions
+    files_scanned: int = 0
+    backend: str = "lite"
+
+    @property
+    def unsuppressed(self) -> list[rules.Finding]:
+        return self.findings + self.meta_findings
+
+
+def discover_files(root: pathlib.Path,
+                   compdb: pathlib.Path | None) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    if compdb is not None and compdb.is_file():
+        try:
+            entries = json.loads(compdb.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            entries = []
+        for entry in entries:
+            p = pathlib.Path(entry.get("file", ""))
+            if not p.is_absolute():
+                p = pathlib.Path(entry.get("directory", ".")) / p
+            try:
+                p = p.resolve()
+                rel = p.relative_to(root.resolve()).as_posix()
+            except (OSError, ValueError):
+                continue
+            if rel.startswith(SCAN_ROOTS) and p.suffix in EXTENSIONS and \
+                    not rel.startswith(EXCLUDE_PREFIXES) and p not in seen:
+                seen.add(p)
+                files.append(p)
+    # The compilation database only lists TUs; headers (and everything
+    # when no compdb was exported) come from the tree walk.
+    for top in SCAN_ROOTS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in EXTENSIONS and p.is_file():
+                rel = p.relative_to(root).as_posix()
+                if rel.startswith(EXCLUDE_PREFIXES):
+                    continue
+                rp = p.resolve()
+                if rp not in seen:
+                    seen.add(rp)
+                    files.append(p)
+    return sorted(files, key=lambda p: p.as_posix())
+
+
+def parse_file(root: pathlib.Path, path: pathlib.Path,
+               backend: str, compdb_dir: pathlib.Path | None
+               ) -> cppmodel.SourceModel:
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    if backend == "clang":
+        model = clang_backend.build_model(rel, text, path, compdb_dir)
+        if model is not None:
+            return model
+        # fall back per-file rather than failing the scan
+    return cppmodel.build_model(rel, text)
+
+
+def resolve_backend(requested: str) -> str:
+    if requested == "lite":
+        return "lite"
+    available = clang_backend.available()
+    if requested == "clang":
+        if not available:
+            raise RuntimeError(
+                "backend 'clang' requested but the libclang Python bindings "
+                "are not importable (pip package `libclang` or distro "
+                "python3-clang)")
+        return "clang"
+    return "clang" if available else "lite"
+
+
+def scan(root: pathlib.Path, compdb: pathlib.Path | None,
+         backend: str = "auto",
+         only: set[str] | None = None) -> ScanResult:
+    backend = resolve_backend(backend)
+    compdb_dir = compdb.parent if compdb is not None else None
+    raw: list[rules.Finding] = []
+    models: dict[str, cppmodel.SourceModel] = {}
+    files = discover_files(root, compdb)
+    for path in files:
+        model = parse_file(root, path, backend, compdb_dir)
+        models[model.path] = model
+        raw.extend(rules.run_rules(model, only))
+
+    kept: list[rules.Finding] = []
+    suppressed: list[tuple[rules.Finding, str]] = []
+    meta: list[rules.Finding] = []
+    used: set[tuple[str, int, str]] = set()  # (path, line, rule)
+    for f in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        model = models[f.path]
+        sup = model.suppressions()
+        reason = None
+        for cover_line in (f.line, f.line - 1):
+            for rule_id, why in sup.get(cover_line, ()):
+                if rule_id == f.rule:
+                    reason = why
+                    used.add((f.path, cover_line, rule_id))
+                    break
+            if reason is not None:
+                break
+        if reason is None:
+            kept.append(f)
+        elif not reason:
+            meta.append(rules.Finding(
+                "bad-suppression", f.path, f.line,
+                f"dv-suppress({f.rule}) has no reason; every suppression "
+                "must justify itself inline"))
+        else:
+            suppressed.append((f, reason))
+    # Unknown rule ids and suppressions that matched nothing.
+    for path, model in models.items():
+        for line, entries in model.suppressions().items():
+            for rule_id, _ in entries:
+                if rule_id not in rules.ALL_RULES:
+                    meta.append(rules.Finding(
+                        "bad-suppression", path, line,
+                        f"dv-suppress names unknown rule '{rule_id}' "
+                        f"(known: {', '.join(sorted(rules.ALL_RULES))})"))
+                elif (path, line, rule_id) not in used:
+                    meta.append(rules.Finding(
+                        "unused-suppression", path, line,
+                        f"dv-suppress({rule_id}) matches no finding; "
+                        "remove the stale suppression"))
+    return ScanResult(findings=kept, suppressed=suppressed,
+                      meta_findings=sorted(
+                          meta, key=lambda f: (f.path, f.line, f.rule)),
+                      files_scanned=len(files), backend=backend)
+
+
+# --------------------------------------------------------------------------
+# Baseline: a committed snapshot of accepted findings. The burn-down
+# drives it to empty; the file stays so CI can prove "zero and not
+# drifting" and so an emergency escape (baseline a finding rather than
+# block a release) has a paved path.
+
+def baseline_key(f: rules.Finding) -> dict[str, object]:
+    return {"rule": f.rule, "file": f.path, "line": f.line,
+            "message": f.message}
+
+
+def load_baseline(path: pathlib.Path) -> list[dict[str, object]]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != 1 or \
+            not isinstance(data.get("findings"), list):
+        raise ValueError(
+            f"{path}: baseline must be {{'version': 1, 'findings': [...]}}")
+    for entry in data["findings"]:
+        if not isinstance(entry, dict) or \
+                not {"rule", "file", "line"} <= set(entry):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+    return data["findings"]
+
+
+def write_baseline(path: pathlib.Path, findings: list[rules.Finding]) -> None:
+    data = {"version": 1,
+            "findings": [baseline_key(f) for f in findings]}
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def diff_baseline(findings: list[rules.Finding],
+                  baseline: list[dict[str, object]]
+                  ) -> tuple[list[rules.Finding], list[dict[str, object]]]:
+    """(new findings not in the baseline, stale baseline entries)."""
+    def key(rule: object, file: object, line: object) -> tuple:
+        return (rule, file, line)
+    base_keys = {key(e["rule"], e["file"], e["line"]) for e in baseline}
+    found_keys = {key(f.rule, f.path, f.line) for f in findings}
+    new = [f for f in findings
+           if key(f.rule, f.path, f.line) not in base_keys]
+    stale = [e for e in baseline
+             if key(e["rule"], e["file"], e["line"]) not in found_keys]
+    return new, stale

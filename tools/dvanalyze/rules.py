@@ -1,0 +1,333 @@
+"""dvanalyze rule catalogue.
+
+Five semantic rules that regex-level lint cannot express — each needs
+function/loop/class structure from the source model:
+
+  checkpoint-coverage      long-running code in src/{ml,w2v,graph} and
+                           src/core/streaming.cpp that participates in
+                           the RunContext protocol must poll it in every
+                           top-level data-scaled long-running loop
+                           (while-loops and nested-loop for-loops; flat
+                           bookkeeping passes are per-element and stay
+                           poll-free), and entry points
+                           (train/fit/build/run_*) must participate.
+  guarded-field            a class owning a core::Mutex declares its
+                           intent to be shared: every non-const,
+                           non-atomic data member must carry
+                           DV_GUARDED_BY (or an explicit dv-benign-race
+                           comment) so Clang's -Wthread-safety can see
+                           every access.
+  reader-cap               a size decoded from a stream must be checked
+                           against a cap before it reaches .resize() /
+                           .reserve() — PR 3's header-cap discipline as
+                           a structural rule, so no new reader can
+                           reintroduce an allocation bomb.
+  deterministic-iteration  range-for over an unordered container inside
+                           a function that persists or exposes data
+                           (checkpoints, on-disk formats, JSON /
+                           Prometheus) is nondeterministic output; the
+                           flatten-then-sort idiom is recognized and
+                           stays quiet.
+  io-error-taxonomy        functions inside the IoPolicy/IoReport
+                           contract must throw the io:: taxonomy, never
+                           raw std:: exceptions, so strict/lenient
+                           callers can keep catching io::IoError.
+
+Every rule fires as a Finding(rule, path, line, message); suppression
+and baselines are handled by the engine, not here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from . import cppmodel
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULE_IDS = (
+    "checkpoint-coverage",
+    "guarded-field",
+    "reader-cap",
+    "deterministic-iteration",
+    "io-error-taxonomy",
+)
+
+
+# --------------------------------------------------------------------------
+# checkpoint-coverage
+
+_CKPT_SCOPE_PREFIXES = ("src/ml/", "src/w2v/", "src/graph/")
+_CKPT_SCOPE_FILES = ("src/core/streaming.cpp",)
+
+_PARTICIPATES_RE = re.compile(
+    r"\bRunContext\b|\bruntime\s*::\s*current\b|\bDV_CHECK_CANCEL\b"
+    r"|\bDV_CHECKPOINT\b|\bTrainControl\b|\bRunControl\b")
+_POLL_RE = re.compile(
+    r"\bDV_CHECKPOINT\b|\bDV_CHECK_CANCEL\b|(?:->|\.)\s*check\s*\("
+    r"|\bcheckpoint\s*\(|\bshould_stop\b|\bstop_reason\b"
+    r"|\bparallel_for\b|\bfor_each_chunk\b|\bwith_retry\b")
+# Loop bounds that scale with the data (senders/rows/pairs/windows), as
+# opposed to per-element dimension loops, which the cost contract keeps
+# poll-free ("tile/epoch/window granularity, never per element").
+_DATA_SCALED_RE = re.compile(
+    r"\.size\s*\(\)|\bn\b|\brows?\b|\bsenders\b|\bepochs?\b|\bwindows?\b"
+    r"|\bqueries\b|\bcells\b|\bpairs\b|\bdone\b|\bremaining\b|\bcount\b"
+    r"|\bnum_\w+|\bn_\w+|\bvocab\w*|\btotal\w*")
+# Whole-operation entry points only: per-element kernels (train_pair,
+# build_huffman_tree, ...) are poll-free by the cost contract.
+_ENTRY_POINT_RE = re.compile(r"^(?:train|fit|build|cluster)$|^run_\w+$")
+
+
+def _is_long_running(lp: cppmodel.Loop,
+                     fn: cppmodel.Function) -> bool:
+    """A loop worth polling: unbounded `while`, or a `for` whose body
+    contains nested loops (O(n*m) work). Flat O(n) bookkeeping passes
+    are per-element by the cost contract and stay poll-free."""
+    if lp.kind == "while":
+        return True
+    return any(other.depth > lp.depth and
+               lp.body_start < other.body_start < lp.body_end
+               for other in fn.loops)
+
+
+def check_checkpoint_coverage(model: cppmodel.SourceModel) -> list[Finding]:
+    path = model.path
+    if not (path.startswith(_CKPT_SCOPE_PREFIXES) or
+            path in _CKPT_SCOPE_FILES):
+        return []
+    out: list[Finding] = []
+    for fn in model.functions:
+        body = model.body_text(fn.body_start, fn.body_end)
+        participates = bool(
+            _PARTICIPATES_RE.search(body) or _PARTICIPATES_RE.search(fn.params))
+        scaled_loops = [
+            lp for lp in fn.loops
+            if lp.depth == 0 and lp.kind != "range-for" and
+            _DATA_SCALED_RE.search(lp.header) and _is_long_running(lp, fn)
+        ]
+        if not participates:
+            if _ENTRY_POINT_RE.match(fn.name) and scaled_loops:
+                out.append(Finding(
+                    "checkpoint-coverage", path, fn.line,
+                    f"long-running entry point '{fn.name}' has data-scaled "
+                    "loops but never consults RunContext "
+                    "(DV_CHECKPOINT / DV_CHECK_CANCEL / runtime::current)"))
+            continue
+        for lp in scaled_loops:
+            loop_text = lp.header + model.body_text(lp.body_start, lp.body_end)
+            if not _POLL_RE.search(loop_text):
+                out.append(Finding(
+                    "checkpoint-coverage", path, lp.line,
+                    f"data-scaled {lp.kind} loop in '{fn.name}' never "
+                    "polls the RunContext it participates in; add "
+                    "DV_CHECKPOINT/DV_CHECK_CANCEL at the iteration "
+                    "boundary"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# guarded-field
+
+_MUTEX_TYPE_RE = re.compile(r"\bcore\s*::\s*Mutex\b|(?<!\w)Mutex\b")
+_FIELD_EXEMPT_TYPE_RE = re.compile(
+    r"\bstd::atomic\b|\bstd::once_flag\b|\bCondVar\b|\bMutex\b"
+    r"|\bstd::mutex\b|\bstd::condition_variable\b|\bstd::shared_mutex\b"
+    r"|\bconstexpr\b|\bstatic\b")
+_CONST_PREFIX_RE = re.compile(r"(?:^|\s)const\s")
+
+
+def check_guarded_field(model: cppmodel.SourceModel) -> list[Finding]:
+    out: list[Finding] = []
+    benign = model.benign_race_lines()
+    for cls in model.classes:
+        if not any(_MUTEX_TYPE_RE.search(m.type_text) for m in cls.members):
+            continue
+        for m in cls.members:
+            if _MUTEX_TYPE_RE.search(m.type_text):
+                continue
+            if _FIELD_EXEMPT_TYPE_RE.search(m.type_text):
+                continue
+            if _CONST_PREFIX_RE.search(" " + m.type_text):
+                continue
+            if "DV_GUARDED_BY" in m.decl or "DV_PT_GUARDED_BY" in m.decl:
+                continue
+            if m.line in benign or (m.line - 1) in benign:
+                continue
+            out.append(Finding(
+                "guarded-field", model.path, m.line,
+                f"field '{m.name}' of mutex-owning {cls.kind} '{cls.name}' "
+                "has no DV_GUARDED_BY annotation and no dv-benign-race "
+                "justification; the thread-safety analysis cannot see it"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# reader-cap
+
+_READ_POD_RE = re.compile(r"\bread_pod\s*\(\s*[^,]+,\s*[&*]?\s*([\w.>\-]+)\s*\)")
+_RESIZE_RE = re.compile(r"[\w\]>]\s*(?:\.|->)\s*(resize|reserve)\s*\(")
+_GUARD_HEAD_RE = re.compile(r"\b(?:if|DV_PRECONDITION|DV_PRE|while)\s*\(")
+
+
+def _paren_span(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def check_reader_cap(model: cppmodel.SourceModel) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in model.functions:
+        body = model.body_text(fn.body_start, fn.body_end)
+        decoded: dict[str, int] = {}
+        for m in _READ_POD_RE.finditer(body):
+            var = m.group(1).split(".")[-1].split("->")[-1]
+            decoded.setdefault(var, m.start())
+        if not decoded:
+            continue
+        # Guard spans: if(...) / DV_PRECONDITION(...) argument extents.
+        guards: list[tuple[int, str]] = []
+        for g in _GUARD_HEAD_RE.finditer(body):
+            open_idx = body.index("(", g.start())
+            close_idx = _paren_span(body, open_idx)
+            guards.append((g.start(), body[open_idx:close_idx + 1]))
+        for rm in _RESIZE_RE.finditer(body):
+            open_idx = body.index("(", rm.end() - 1)
+            close_idx = _paren_span(body, open_idx)
+            arg = body[open_idx + 1:close_idx]
+            hit = next((v for v, first in decoded.items()
+                        if first < rm.start() and
+                        re.search(rf"\b{re.escape(v)}\b", arg)), None)
+            if hit is None:
+                continue
+            if "std::min" in arg or "min<" in arg:
+                continue  # clamped at the call site
+            guarded = any(
+                pos < rm.start() and
+                re.search(rf"\b{re.escape(hit)}\b", args) and
+                re.search(r"[<>]", args)
+                for pos, args in guards)
+            if guarded:
+                continue
+            line = model.line_of(fn.body_start + rm.start())
+            out.append(Finding(
+                "reader-cap", model.path, line,
+                f"{rm.group(1)}() sized by '{hit}', which was decoded from "
+                "the stream, with no dominating cap check; compare it "
+                "against IoLimits (or clamp via std::min) before allocating"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# deterministic-iteration
+
+_UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}()]*?>(?:\s*[&*])?\s+(\w+)")
+_PERSIST_RE = re.compile(
+    r"\bwrite_pod\s*\(|\bwrite_array\s*\(|\bsave_checkpoint\w*\s*\("
+    r"|\.\s*save\s*\(|\bto_json\b|\bto_prometheus\b|\bjson_escape\b"
+    r"|\bstd::ostream\b")
+_COLLECT_RE = re.compile(r"\b(\w+)\s*\.\s*(?:push_back|emplace_back|insert)\s*\(")
+
+
+def check_deterministic_iteration(
+        model: cppmodel.SourceModel) -> list[Finding]:
+    unordered = set(_UNORDERED_DECL_RE.findall(model.stripped))
+    if not unordered:
+        return []
+    out: list[Finding] = []
+    for fn in model.functions:
+        body = model.body_text(fn.body_start, fn.body_end)
+        if not (_PERSIST_RE.search(body) or _PERSIST_RE.search(fn.params)):
+            continue
+        for lp in fn.loops:
+            if lp.kind != "range-for":
+                continue
+            after_colon = lp.header.split(":", 1)
+            if len(after_colon) != 2:
+                continue
+            ids = re.findall(r"[A-Za-z_]\w*", after_colon[1])
+            base = next((t for t in ids if t not in ("const", "auto", "std")),
+                        "")
+            if base not in unordered:
+                continue
+            # Flatten-then-sort idiom: the loop only collects into a
+            # container that is sorted right after — deterministic.
+            loop_body = model.body_text(lp.body_start, lp.body_end)
+            collected = set(_COLLECT_RE.findall(loop_body))
+            tail = model.body_text(lp.body_end, fn.body_end)
+            sorted_after = any(
+                re.search(rf"\bsort\s*\([^;]*\b{re.escape(c)}\b", tail) or
+                re.search(rf"\bsort\s*\(\s*{re.escape(c)}\b", tail)
+                for c in collected)
+            if sorted_after:
+                continue
+            out.append(Finding(
+                "deterministic-iteration", model.path, lp.line,
+                f"range-for over unordered container '{base}' in "
+                f"'{fn.name}', which persists or exposes data; iteration "
+                "order leaks into the output — iterate a sorted view or "
+                "flatten-then-sort"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# io-error-taxonomy
+
+_THROW_STD_RE = re.compile(r"\bthrow\s+std\s*::\s*(\w+)")
+
+
+def check_io_error_taxonomy(model: cppmodel.SourceModel) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in model.functions:
+        in_contract = ("IoReport" in fn.ret or "IoPolicy" in fn.params or
+                       "IoReport" in fn.params)
+        if not in_contract:
+            continue
+        body = model.body_text(fn.body_start, fn.body_end)
+        for m in _THROW_STD_RE.finditer(body):
+            line = model.line_of(fn.body_start + m.start())
+            out.append(Finding(
+                "io-error-taxonomy", model.path, line,
+                f"'{fn.name}' is inside the IoPolicy/IoReport contract but "
+                f"throws raw std::{m.group(1)}; throw the io:: taxonomy "
+                "(ParseError/FormatError/TruncatedInput/ResourceLimit) so "
+                "strict/lenient callers keep working"))
+    return out
+
+
+ALL_RULES = {
+    "checkpoint-coverage": check_checkpoint_coverage,
+    "guarded-field": check_guarded_field,
+    "reader-cap": check_reader_cap,
+    "deterministic-iteration": check_deterministic_iteration,
+    "io-error-taxonomy": check_io_error_taxonomy,
+}
+
+
+def run_rules(model: cppmodel.SourceModel,
+              only: set[str] | None = None) -> list[Finding]:
+    out: list[Finding] = []
+    for rule_id, check in ALL_RULES.items():
+        if only is not None and rule_id not in only:
+            continue
+        out.extend(check(model))
+    return sorted(out, key=lambda f: (f.path, f.line, f.rule))
