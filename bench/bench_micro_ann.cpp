@@ -152,7 +152,7 @@ bool ann_gate(darkvec::bench::ExtraValues& values) {
   const auto points = all_points();
   const auto truth = exact.query_batch(points, kTopK);
 
-  auto& rows_counter = darkvec::obs::counter("ann.candidates_scanned");
+  auto& rows_counter = darkvec::obs::counter(darkvec::obs::names::kAnnCandidatesScanned);
   bool ok = true;
   for (const int nprobe : {1, 2, 4, 8, 16, 32}) {
     const auto before = rows_counter.value();

@@ -1,0 +1,136 @@
+// Micro-benchmarks of the model-health observability layer
+// (obs/health.hpp): HealthMonitor::observe over synthetic windows at
+// realistic sender counts, plus the CI gate holding health overhead
+// under 2% of streaming model time on a short simulated replay.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "darkvec/core/streaming.hpp"
+#include "darkvec/obs/health.hpp"
+#include "darkvec/sim/rng.hpp"
+#include "darkvec/sim/scenario.hpp"
+#include "darkvec/sim/simulator.hpp"
+#include "micro_common.hpp"
+
+namespace {
+
+using namespace darkvec;
+
+/// One synthetic window: `clusters` well-separated blocks with jitter.
+/// `id_offset` shifts the sender address range, so two windows built
+/// with different offsets share all but offset/n of their vocabulary —
+/// the realistic churn regime for observe().
+struct SynthWindow {
+  std::vector<net::IPv4> senders;
+  w2v::Embedding embedding;
+  std::vector<int> assignment;
+};
+
+SynthWindow synth_window(std::size_t n, int dim, int clusters,
+                         std::uint64_t seed, std::size_t id_offset) {
+  sim::Rng rng(seed);
+  SynthWindow w;
+  w.embedding = w2v::Embedding(n, dim);
+  w.senders.reserve(n);
+  w.assignment.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.senders.push_back(
+        net::IPv4(static_cast<std::uint32_t>(0x0A000000u + id_offset + i)));
+    const int c = static_cast<int>(i % static_cast<std::size_t>(clusters));
+    w.assignment.push_back(c);
+    const auto row = w.embedding.vec(i);
+    for (int d = 0; d < dim; ++d) {
+      const double base = d == c ? 4.0 : 0.0;
+      row[static_cast<std::size_t>(d)] =
+          static_cast<float>(base + rng.uniform(-0.5, 0.5));
+    }
+  }
+  return w;
+}
+
+obs::HealthInput input_of(const SynthWindow& w, std::int64_t window_end) {
+  obs::HealthInput input;
+  input.window_start = window_end - 1;
+  input.window_end = window_end;
+  input.senders = w.senders;
+  input.embedding = &w.embedding;
+  input.assignment = w.assignment;
+  input.modularity = 0.5;
+  return input;
+}
+
+/// Full observe() cost per window pair: baseline window, then a ~90%
+/// shared window (vocab churn + cluster matching + neighbor-overlap
+/// probe + silhouette all exercised).
+void BM_HealthObserve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const SynthWindow a = synth_window(n, 32, 8, 7, 0);
+  const SynthWindow b = synth_window(n, 32, 8, 11, n / 10);
+  for (auto _ : state) {
+    obs::HealthMonitor monitor;
+    benchmark::DoNotOptimize(monitor.observe(input_of(a, 1)).senders);
+    benchmark::DoNotOptimize(monitor.observe(input_of(b, 2)).alerts.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+BENCHMARK(BM_HealthObserve)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+/// The degraded fast path (no model, no probes): should be ~free.
+void BM_HealthObserveDegraded(benchmark::State& state) {
+  obs::HealthMonitor monitor;
+  obs::HealthInput input;
+  input.degraded = true;
+  input.degraded_reason = "no packets in window";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.observe(input).degraded);
+  }
+}
+
+BENCHMARK(BM_HealthObserveDegraded)->Unit(benchmark::kMicrosecond);
+
+/// CI gate: a short streaming replay over the simulator, with health on.
+/// The streaming loop books model time (fit/cluster/align) and health
+/// time (observe) into separate gauges; their ratio must stay under 2%.
+bool overhead_gate(darkvec::bench::ExtraValues& extra) {
+  obs::registry().reset_values();
+  sim::SimConfig config;
+  config.days = 10;
+  config.scale = 0.05;
+  config.seed = 2021;
+  const sim::SimResult sim =
+      sim::DarknetSimulator(config).run(sim::paper_scenario());
+
+  StreamingConfig stream;
+  stream.window_seconds = 5 * net::kSecondsPerDay;
+  stream.step_seconds = 2 * net::kSecondsPerDay;
+  stream.darkvec.w2v.epochs = 5;
+  const StreamingResult result = run_streaming_monitored(sim.trace, stream);
+
+  const double window_s =
+      obs::gauge(obs::names::kStreamingWindowSeconds).value();
+  const double observe_s =
+      obs::gauge(obs::names::kHealthObserveSeconds).value();
+  const double ratio = window_s > 0 ? observe_s / window_s : 1.0;
+  extra.emplace_back("streaming_window_seconds", window_s);
+  extra.emplace_back("health_observe_seconds", observe_s);
+  extra.emplace_back("health_overhead_ratio", ratio);
+  extra.emplace_back("windows", static_cast<double>(result.health.size()));
+  const bool ok = window_s > 0 && ratio < 0.02;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "health overhead gate FAILED: observe %.4fs / window %.4fs "
+                 "= %.4f (budget 0.02)\n",
+                 observe_s, window_s, ratio);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return darkvec::bench::run_micro("health", argc, argv, overhead_gate);
+}

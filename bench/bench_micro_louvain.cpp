@@ -5,6 +5,7 @@
 #include "darkvec/graph/knn_graph.hpp"
 #include "darkvec/graph/louvain.hpp"
 #include "darkvec/sim/rng.hpp"
+#include "micro_common.hpp"
 
 namespace {
 
@@ -80,4 +81,4 @@ BENCHMARK(BM_Modularity)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DARKVEC_MICRO_MAIN("louvain")

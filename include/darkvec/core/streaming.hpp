@@ -18,6 +18,7 @@
 #include "darkvec/core/runtime/runtime.hpp"
 #include "darkvec/core/transfer.hpp"
 #include "darkvec/net/time.hpp"
+#include "darkvec/obs/health.hpp"
 
 namespace darkvec {
 
@@ -47,6 +48,14 @@ struct StreamingConfig {
   /// Snapshots from the prior run are not re-emitted; the result reports
   /// how many there were.
   bool resume = false;
+  /// Model-health monitoring (obs/health.hpp): every window — degraded
+  /// ones included — is fed to a HealthMonitor, and the per-window drift
+  /// reports land in StreamingResult::health. After a resume the monitor
+  /// starts fresh (the checkpoint carries the alignment anchor, not the
+  /// drift reference), so the first window after a resume is a new
+  /// baseline rather than a spurious churn alarm.
+  bool health = true;
+  obs::HealthThresholds health_thresholds;
 };
 
 /// One retrain of the sliding window.
@@ -91,6 +100,10 @@ struct StreamingResult {
   /// windows the earlier run(s) already emitted (not re-emitted here).
   bool resumed = false;
   std::uint64_t prior_snapshots = 0;
+  /// One drift report per processed window when StreamingConfig::health
+  /// is on (degraded windows get degraded reports). Render/persist with
+  /// obs::health_report_json / obs::write_health_report.
+  std::vector<obs::WindowHealth> health;
 };
 
 /// Runs the sliding-window pipeline over a full (sorted) trace.

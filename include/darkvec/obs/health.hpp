@@ -1,0 +1,260 @@
+// Model-health observability: embedding and cluster drift signals per
+// sliding window, with threshold/EWMA anomaly detection.
+//
+// The engine-level obs layer (log/metrics/span) says whether the code is
+// healthy; this layer says whether the MODEL is — the operational
+// question of continuous darknet monitoring (DANTE, Kallitsis et al.):
+// did a new campaign arrive, did a cluster split, did a scanner fleet
+// retire? A HealthMonitor ingests one HealthInput per window (the
+// streaming pipeline feeds it every snapshot; one-shot CLI runs feed it
+// a single window) and produces a WindowHealth drift report:
+//
+//   * vocabulary churn — senders added/retired vs the previous window;
+//   * per-cluster drift — each cluster matched to its best-overlap
+//     ancestor, with membership churn (Jaccard distance of the sender
+//     sets) and centroid drift (cosine distance of the matched cluster
+//     centroids, meaningful because streaming Procrustes-aligns
+//     successive spaces into one coordinate system);
+//   * neighbor overlap@k — for senders present in both windows, how much
+//     of each sender's k-NN list (computed within the shared vocabulary)
+//     survived; the most sensitive "did the geometry move" probe;
+//   * alignment residual — 1 - anchor cosine of the Procrustes fit the
+//     caller already performed (transfer.hpp / streaming);
+//   * quality trends — mean silhouette and Louvain modularity.
+//
+// Signals are recorded into ring-buffer Series in the global metrics
+// registry (so /metrics exposition and health_report.json share one
+// source of truth), and the AnomalyDetector raises structured WARN
+// alerts with explainers ("cluster 7: 43% membership churn, centroid
+// drift 0.31 — probable split or new campaign").
+//
+// Layering: this is the one obs component ABOVE ml/w2v (it needs k-NN
+// and embeddings), built as its own library (darkvec_health) so the
+// leaf obs library stays dependency-free. Everything here is
+// deterministic: same inputs produce byte-identical reports across
+// thread counts and SIMD levels (the k-NN and silhouette kernels carry
+// that contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "darkvec/net/ipv4.hpp"
+#include "darkvec/w2v/embedding.hpp"
+
+namespace darkvec::obs {
+
+/// Alarm thresholds and detector knobs. Defaults are deliberately loose:
+/// windowed retraining is noisy, and a page-worthy alert should mean
+/// "the traffic mix changed", not "SGNS jittered".
+struct HealthThresholds {
+  /// Alert when (added + retired) / union exceeds this.
+  double max_vocab_churn = 0.5;
+  /// Per-cluster Jaccard-distance alarm (clusters >= min_cluster_size).
+  double max_membership_churn = 0.6;
+  /// Per-cluster centroid cosine-distance alarm.
+  double max_centroid_drift = 0.35;
+  /// Alert when mean k-NN list overlap with the previous window drops
+  /// below this.
+  double min_neighbor_overlap = 0.3;
+  /// Alert when 1 - Procrustes anchor similarity exceeds this.
+  double max_alignment_residual = 0.5;
+  /// EWMA z-score detector: |x - ewma| > z_threshold * sigma fires, but
+  /// only after `warmup_windows` samples of a signal have been seen.
+  double ewma_alpha = 0.3;
+  double z_threshold = 3.0;
+  int warmup_windows = 3;
+  /// k of the neighbor-overlap probe.
+  int overlap_k = 10;
+  /// Shared-sender query budget of the overlap probe: at most this many
+  /// (evenly strided, deterministic) senders are used as queries so
+  /// health cost stays a sliver of the window cost. 0 = all.
+  std::size_t overlap_sample = 2048;
+  /// Clusters smaller than this never alarm (tiny clusters churn freely).
+  std::size_t min_cluster_size = 5;
+
+  /// Parses "key=value,key=value" overrides (the CLI's
+  /// --health-thresholds): vocab-churn, membership-churn, centroid-drift,
+  /// neighbor-overlap, alignment-residual, ewma-alpha, z, warmup, k,
+  /// sample, min-cluster. Returns nullopt (and leaves *out untouched) on
+  /// an unknown key or a malformed pair.
+  [[nodiscard]] static std::optional<HealthThresholds> parse(
+      std::string_view spec);
+  [[nodiscard]] static std::optional<HealthThresholds> parse(
+      std::string_view spec, HealthThresholds base);
+};
+
+/// Vocabulary churn between consecutive windows.
+struct VocabChurn {
+  std::size_t added = 0;    ///< senders in this window only
+  std::size_t retired = 0;  ///< senders in the previous window only
+  std::size_t shared = 0;   ///< senders in both
+  std::size_t current = 0;  ///< this window's vocabulary size
+
+  /// (added + retired) / |union|; 0 when both windows are empty.
+  [[nodiscard]] double churn() const {
+    const std::size_t uni = shared + added + retired;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(added + retired) /
+                          static_cast<double>(uni);
+  }
+};
+
+/// One current cluster matched against the previous window's partition.
+struct ClusterDrift {
+  int cluster = -1;       ///< current window cluster id
+  int matched_prev = -1;  ///< best-overlap previous cluster (-1 = new)
+  std::size_t size = 0;
+  std::size_t prev_size = 0;  ///< size of the matched ancestor
+  std::size_t shared = 0;     ///< senders in both clusters
+  /// Jaccard distance of the member sets: 1 - shared/|union| (1.0 for a
+  /// brand-new cluster).
+  double membership_churn = 1.0;
+  /// 1 - cosine(current centroid, matched ancestor centroid); 0 for a
+  /// new cluster (there is nothing to drift from).
+  double centroid_drift = 0.0;
+};
+
+/// One raised alarm. `signal` is a stable machine key; `detail` is the
+/// human explainer that also goes to the WARN log.
+struct HealthAlert {
+  std::string signal;  ///< e.g. "cluster-drift", "vocab-churn", "zscore"
+  std::string detail;
+  double value = 0;
+  double threshold = 0;
+  int cluster = -1;  ///< involved cluster id, -1 when not cluster-scoped
+};
+
+/// The per-window drift report.
+struct WindowHealth {
+  std::int64_t window_start = 0;
+  std::int64_t window_end = 0;
+  bool degraded = false;
+  std::string degraded_reason;
+  /// False for the first observed window (nothing to diff against):
+  /// churn/overlap/drift fields are identity values then.
+  bool has_previous = false;
+
+  std::size_t senders = 0;
+  int clusters = 0;
+  VocabChurn vocab;
+  double neighbor_overlap = 1.0;    ///< mean overlap@k, 1 when no previous
+  double alignment_residual = 0.0;  ///< 1 - anchor similarity
+  double silhouette = 0.0;          ///< mean sample silhouette
+  double modularity = 0.0;
+  /// Per-cluster drift, sorted by current cluster id. Clusters below
+  /// min_cluster_size are reported but never alarmed.
+  std::vector<ClusterDrift> cluster_drift;
+  std::vector<HealthAlert> alerts;
+
+  /// One JSON object (schema in EXPERIMENTS.md).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// What one window hands the monitor. Spans/pointers are borrowed for
+/// the observe() call only.
+struct HealthInput {
+  std::int64_t window_start = 0;
+  std::int64_t window_end = 0;
+  /// Senders embedded this window; row i of `embedding` embeds senders[i].
+  std::span<const net::IPv4> senders;
+  /// Need not be normalized; when windows are meant to be compared the
+  /// caller must have aligned them into one space (streaming does).
+  const w2v::Embedding* embedding = nullptr;
+  /// Cluster id per sender (same indexing as `senders`).
+  std::span<const int> assignment;
+  double modularity = 0;
+  /// Mean Procrustes anchor cosine vs the previous window; pass 1.0
+  /// when unknown/inapplicable (residual then reads 0).
+  double alignment_similarity = 1.0;
+  /// A degraded window (no trainable model): signals are skipped, the
+  /// previous reference window is kept, and a degraded-window alert is
+  /// raised so outages never pass silently.
+  bool degraded = false;
+  std::string_view degraded_reason;
+};
+
+/// EWMA mean/variance tracker with a z-score trigger; one per signal
+/// inside the monitor, usable standalone in tests. Warmup: the first
+/// `warmup` samples update the estimate but never fire.
+class EwmaDetector {
+ public:
+  EwmaDetector(double alpha, double z, int warmup)
+      : alpha_(alpha), z_(z), warmup_(warmup) {}
+
+  /// Feeds one sample; returns the |z-score| that fired, or nullopt.
+  std::optional<double> update(double value);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] int samples() const { return samples_; }
+
+ private:
+  double alpha_;
+  double z_;
+  int warmup_;
+  double mean_ = 0;
+  double var_ = 0;
+  int samples_ = 0;
+};
+
+/// Ingests windows, keeps the previous window as the drift reference,
+/// records signals into the metrics registry, and raises alerts.
+/// Single-threaded by design: one monitor per stream, fed in window
+/// order (the streaming loop is sequential anyway).
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthThresholds thresholds = {});
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Computes the drift report for one window, updates the reference
+  /// state (non-degraded windows only), records metrics and logs one
+  /// WARN per alert. Deterministic for fixed inputs.
+  WindowHealth observe(const HealthInput& input);
+
+  /// Every report observed so far, in order.
+  [[nodiscard]] const std::vector<WindowHealth>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const HealthThresholds& thresholds() const {
+    return thresholds_;
+  }
+  /// Alerts raised across all windows.
+  [[nodiscard]] std::size_t alerts_total() const;
+
+  /// The full health_report.json body:
+  /// {"schema":1,"thresholds":{...},"windows":[...],"alerts_total":N}.
+  [[nodiscard]] std::string report_json() const;
+  /// Atomically persists report_json() (+ trailing newline) to `path`.
+  void write_report(const std::string& path) const;
+
+ private:
+  struct PrevWindow;  // previous snapshot state (pimpl keeps deps here)
+
+  HealthThresholds thresholds_;
+  std::vector<WindowHealth> history_;
+  std::unique_ptr<PrevWindow> prev_;
+  std::vector<std::pair<std::string, EwmaDetector>> detectors_;
+
+  EwmaDetector& detector(std::string_view signal);
+};
+
+/// The health_report.json body for an already-computed window sequence
+/// (e.g. StreamingResult::health, whose monitor is long gone):
+/// {"schema":1,"thresholds":{...},"windows":[...],"alerts_total":N}.
+[[nodiscard]] std::string health_report_json(
+    const HealthThresholds& thresholds, std::span<const WindowHealth> windows);
+
+/// Atomically persists health_report_json() (+ trailing newline).
+void write_health_report(const std::string& path,
+                         const HealthThresholds& thresholds,
+                         std::span<const WindowHealth> windows);
+
+}  // namespace darkvec::obs

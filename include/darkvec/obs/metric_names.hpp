@@ -1,0 +1,97 @@
+// Central registry of every metric name the library exports.
+//
+// Exposition names are an API: dashboards, alerts and the bench-artifact
+// schema all key on them, so a silently renamed counter is a breaking
+// change nobody reviews. Every obs::counter/gauge/histogram/series call
+// site must reference one of these constants — the project lint (rule
+// metric-name-literal) rejects ad-hoc string literals at metric call
+// sites anywhere outside this header.
+//
+// Naming convention: `<subsystem>.<noun>` with dots, lower_snake nouns;
+// the Prometheus exposition maps non-alphanumerics to underscores and
+// prefixes `darkvec_` (metrics.cpp). Keep the constants sorted by
+// subsystem so a reviewer can diff the exported surface at a glance.
+#pragma once
+
+#include <string_view>
+
+namespace darkvec::obs::names {
+
+// ann — the IVF approximate k-NN index (ml/ann).
+inline constexpr std::string_view kAnnCandidatesScanned =
+    "ann.candidates_scanned";
+inline constexpr std::string_view kAnnListsProbed = "ann.lists_probed";
+inline constexpr std::string_view kAnnQueries = "ann.queries";
+
+// health — model-quality signals per streaming window (obs/health).
+inline constexpr std::string_view kHealthAlerts = "health.alerts";
+inline constexpr std::string_view kHealthAlignmentResidual =
+    "health.alignment_residual";
+inline constexpr std::string_view kHealthClusters = "health.clusters";
+inline constexpr std::string_view kHealthDegradedWindows =
+    "health.degraded_windows";
+inline constexpr std::string_view kHealthMaxCentroidDrift =
+    "health.max_centroid_drift";
+inline constexpr std::string_view kHealthMaxMembershipChurn =
+    "health.max_membership_churn";
+inline constexpr std::string_view kHealthModularity = "health.modularity";
+inline constexpr std::string_view kHealthNeighborOverlap =
+    "health.neighbor_overlap";
+inline constexpr std::string_view kHealthObserveSeconds =
+    "health.observe_seconds";
+inline constexpr std::string_view kHealthSilhouette = "health.silhouette";
+inline constexpr std::string_view kHealthVocabChurn = "health.vocab_churn";
+inline constexpr std::string_view kHealthWindows = "health.windows";
+
+// io — readers and on-disk formats.
+inline constexpr std::string_view kIoAnnRows = "io.ann_rows";
+inline constexpr std::string_view kIoEmbeddingRows = "io.embedding_rows";
+inline constexpr std::string_view kIoQuantizedRows = "io.quantized_rows";
+inline constexpr std::string_view kIoRecordsRead = "io.records_read";
+inline constexpr std::string_view kIoRecordsSkipped = "io.records_skipped";
+
+// knn — exact cosine top-k engines (ml/knn, ml/batch_topk).
+inline constexpr std::string_view kKnnGraphEdges = "knn.graph_edges";
+inline constexpr std::string_view kKnnQueries = "knn.queries";
+inline constexpr std::string_view kKnnQueriesI8 = "knn.queries_i8";
+
+// louvain — community detection (graph/louvain).
+inline constexpr std::string_view kLouvainLevels = "louvain.levels";
+inline constexpr std::string_view kLouvainModularity = "louvain.modularity";
+inline constexpr std::string_view kLouvainMoves = "louvain.moves";
+inline constexpr std::string_view kLouvainPasses = "louvain.passes";
+
+// runtime — execution control (core/runtime).
+inline constexpr std::string_view kRuntimeAnnFallback = "runtime.ann_fallback";
+inline constexpr std::string_view kRuntimeBudgetExceeded =
+    "runtime.budget_exceeded";
+inline constexpr std::string_view kRuntimeCancelled = "runtime.cancelled";
+inline constexpr std::string_view kRuntimeCheckpointsWritten =
+    "runtime.checkpoints_written";
+inline constexpr std::string_view kRuntimeDeadlineExceeded =
+    "runtime.deadline_exceeded";
+inline constexpr std::string_view kRuntimeDegraded = "runtime.degraded";
+inline constexpr std::string_view kRuntimeResumes = "runtime.resumes";
+inline constexpr std::string_view kRuntimeRetries = "runtime.retries";
+
+// sim — the darknet traffic simulator.
+inline constexpr std::string_view kSimPackets = "sim.packets";
+
+// simd — the runtime-dispatched kernel layer (core/simd).
+inline constexpr std::string_view kSimdDispatchLevel = "simd.dispatch_level";
+
+// streaming — the sliding-window pipeline (core/streaming).
+inline constexpr std::string_view kStreamingAlignmentSimilarity =
+    "streaming.alignment_similarity";
+inline constexpr std::string_view kStreamingDegradedWindows =
+    "streaming.degraded_windows";
+inline constexpr std::string_view kStreamingSnapshots = "streaming.snapshots";
+inline constexpr std::string_view kStreamingWindowSeconds =
+    "streaming.window_seconds";
+
+// w2v — embedding training and persistence.
+inline constexpr std::string_view kW2vGlovePairs = "w2v.glove.pairs";
+inline constexpr std::string_view kW2vPairs = "w2v.pairs";
+inline constexpr std::string_view kW2vTokens = "w2v.tokens";
+
+}  // namespace darkvec::obs::names

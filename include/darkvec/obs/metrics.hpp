@@ -114,6 +114,33 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// Fixed-capacity ring-buffer time series: the newest `capacity` samples
+/// of a windowed signal (one record() per streaming window, not per
+/// event). Unlike a Gauge it keeps history, so drift detectors and the
+/// health report can look at trends without an external TSDB; unlike a
+/// Histogram it preserves order. Appends take a mutex — the intended
+/// rate is per-window, never per-element.
+class Series {
+ public:
+  explicit Series(std::size_t capacity);
+
+  void record(double value) noexcept;
+  /// Samples oldest -> newest (at most `capacity()` of them).
+  [[nodiscard]] std::vector<double> values() const;
+  /// Total samples ever recorded (>= values().size()).
+  [[nodiscard]] std::uint64_t count() const;
+  /// Most recent sample (0 when empty).
+  [[nodiscard]] double last() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void reset() noexcept;
+
+ private:
+  const std::size_t capacity_;
+  mutable core::Mutex mu_;
+  std::vector<double> ring_ DV_GUARDED_BY(mu_);
+  std::uint64_t total_ DV_GUARDED_BY(mu_) = 0;
+};
+
 /// Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   struct CounterValue {
@@ -131,14 +158,24 @@ struct MetricsSnapshot {
     std::uint64_t count;
     double sum;
   };
+  struct SeriesValue {
+    std::string name;
+    std::size_t capacity;
+    std::uint64_t count;
+    std::vector<double> values;  ///< oldest -> newest
+  };
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  std::vector<SeriesValue> series;
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}
   [[nodiscard]] std::string to_json() const;
   /// Prometheus text exposition (names prefixed darkvec_, dots and
   /// dashes mapped to underscores, histograms as cumulative _bucket).
+  /// A series exports its latest sample as a gauge — Prometheus already
+  /// keeps history server-side; the ring buffer is for in-process
+  /// consumers (the anomaly detector, health_report.json).
   [[nodiscard]] std::string to_prometheus() const;
 };
 
@@ -151,6 +188,9 @@ class Registry {
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::span<const double> bounds);
+  /// Ring-buffer series; like histogram(), the capacity of the FIRST
+  /// registration wins and later calls return the existing series.
+  [[nodiscard]] Series& series(std::string_view name, std::size_t capacity);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Zeroes every value but keeps all registrations, so cached handles
@@ -166,6 +206,8 @@ class Registry {
   std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
       DV_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      DV_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Series>>> series_
       DV_GUARDED_BY(mu_);
 };
 
@@ -187,6 +229,13 @@ class Registry {
                                           std::initializer_list<double> b) {
   return registry().histogram(name,
                               std::span<const double>(b.begin(), b.size()));
+}
+/// Default ring capacity: generous for per-window signals (a 30-day
+/// trace at 2-day steps is 15 samples; 256 covers months of replay).
+inline constexpr std::size_t kDefaultSeriesCapacity = 256;
+[[nodiscard]] inline Series& series(
+    std::string_view name, std::size_t capacity = kDefaultSeriesCapacity) {
+  return registry().series(name, capacity);
 }
 
 }  // namespace darkvec::obs

@@ -4,5 +4,9 @@
 #pragma once
 
 #include "darkvec/obs/log.hpp"
+#include "darkvec/obs/metric_names.hpp"
 #include "darkvec/obs/metrics.hpp"
 #include "darkvec/obs/span.hpp"
+// obs/health.hpp (model-quality drift monitoring) is deliberately NOT
+// part of this umbrella: it sits ABOVE the ml/w2v layers, while this
+// header is included by every leaf library. Include it directly.

@@ -8,12 +8,15 @@
 #      dvanalyze semantic analyzer (self-tests, then the tree against
 #      its empty baseline), cppcheck and clang-tidy when installed
 #   4. obs smoke: CLI --metrics-out/--trace-out JSON validated with python
-#   5. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
-#   6. ASan+UBSan build + io-fuzz, simd kernel and ann index tests
-#      (byte-level readers, every vector code path and the IVF
-#      candidate-scan pointer arithmetic), plus the chaos interrupt
-#      matrix: ~100 deterministic cancel/deadline/kill variants must
-#      leave valid-or-absent artifacts and leak nothing under ASan
+#   5. health smoke: a short CLI `stream` replay over the simulated
+#      trace, with health_report.json schema-validated with python
+#   6. ThreadSanitizer build + perf-smoke + obs tests (parallel kernels)
+#   7. ASan+UBSan build + io-fuzz, simd kernel, ann index and obs/health
+#      tests (byte-level readers, every vector code path, the IVF
+#      candidate-scan pointer arithmetic and the drift-monitor
+#      bookkeeping), plus the chaos interrupt matrix: ~100 deterministic
+#      cancel/deadline/kill variants must leave valid-or-absent
+#      artifacts and leak nothing under ASan
 #
 # Each configuration uses its own build directory so the sweep never
 # clobbers a developer's ./build. compile_commands.json is exported from
@@ -78,22 +81,59 @@ print(f"obs-smoke OK: {len(events)} spans, "
       f"{len(m['counters'])}+{len(mc['counters'])} counters, logs parse")
 PY
 
-# 5. TSan smoke over the threaded kernels and the obs layer (covers the
+# 5. health smoke: a sliding-window replay with the drift monitor on
+# must emit a schema-valid health report whose alert totals reconcile.
+run ./build-check/tools/darkvec stream --trace "${OBS_TMP}/darknet_trace.csv" \
+  --window-days 1 --step-days 1 --epochs 2 --threads 2 \
+  --health-thresholds "warmup=2,k=5" \
+  --health-out "${OBS_TMP}/health_report.json"
+run python3 - "${OBS_TMP}" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/health_report.json"))
+assert r["schema"] == 1, f"unexpected schema {r['schema']}"
+for key in ("max_vocab_churn", "min_neighbor_overlap", "warmup_windows",
+            "overlap_k", "min_cluster_size"):
+    assert key in r["thresholds"], f"missing threshold {key}"
+assert r["thresholds"]["warmup_windows"] == 2, "--health-thresholds ignored"
+assert r["thresholds"]["overlap_k"] == 5, "--health-thresholds ignored"
+windows = r["windows"]
+assert windows, "health report has no windows"
+alerts = 0
+for w in windows:
+    if w["degraded"]:
+        assert w["degraded_reason"], "degraded window without a reason"
+    else:
+        for key in ("vocab", "neighbor_overlap", "silhouette",
+                    "cluster_drift"):
+            assert key in w, f"window missing {key}"
+        assert w["vocab"]["current"] == w["senders"]
+    alerts += len(w["alerts"])
+assert r["alerts_total"] == alerts, "alerts_total does not reconcile"
+first = next((w for w in windows if not w["degraded"]), None)
+assert first is not None, "every window degraded in the health smoke"
+print(f"health-smoke OK: {len(windows)} windows, {alerts} alerts, "
+      f"{first['senders']} senders in first good window")
+PY
+
+# 6. TSan smoke over the threaded kernels and the obs layer (covers the
 # dispatch singleton and the quantized-index once_flag via perf-smoke).
 run cmake -B build-tsan -S . -DDARKVEC_SANITIZE=thread
 run cmake --build build-tsan -j "${JOBS}"
 run ctest --test-dir build-tsan -L 'perf-smoke|obs' --output-on-failure
 
-# 6. ASan+UBSan smoke over the hostile-input readers, the SIMD kernel
+# 7. ASan+UBSan smoke over the hostile-input readers, the SIMD kernel
 # parity suite (every dispatch level, quantization round-trips), the
-# IVF approximate index (tile scans, DVAI loads, truncation recovery)
-# and the chaos interrupt matrix — every cancel/deadline/SIGKILL
-# variant exercises unwinding through training and query hot loops, so
-# running it under ASan is what turns "the test passed" into "and it
-# freed every allocation on the way out".
+# IVF approximate index (tile scans, DVAI loads, truncation recovery),
+# the obs/health suite (the drift monitor's sub-embedding and
+# cluster-matching bookkeeping is exactly the kind of index arithmetic
+# ASan exists for) and the chaos interrupt matrix — every
+# cancel/deadline/SIGKILL variant exercises unwinding through training
+# and query hot loops, so running it under ASan is what turns "the test
+# passed" into "and it freed every allocation on the way out".
 run cmake -B build-ubsan -S . -DDARKVEC_SANITIZE=address,undefined
 run cmake --build build-ubsan -j "${JOBS}"
-run ctest --test-dir build-ubsan -L 'io-fuzz|simd|ann|chaos' \
+run ctest --test-dir build-ubsan -L 'io-fuzz|simd|ann|chaos|obs' \
   --output-on-failure
 
 echo

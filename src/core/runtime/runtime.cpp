@@ -7,6 +7,7 @@
 #include <limits>
 #include <thread>
 
+#include "darkvec/obs/metric_names.hpp"
 #include "darkvec/obs/metrics.hpp"
 
 namespace darkvec::runtime {
@@ -15,15 +16,15 @@ namespace {
 thread_local RunContext* tls_current = nullptr;
 
 obs::Counter& cancelled_counter() {
-  static obs::Counter& c = obs::counter("runtime.cancelled");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeCancelled);
   return c;
 }
 obs::Counter& deadline_counter() {
-  static obs::Counter& c = obs::counter("runtime.deadline_exceeded");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeDeadlineExceeded);
   return c;
 }
 obs::Counter& budget_counter() {
-  static obs::Counter& c = obs::counter("runtime.budget_exceeded");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeBudgetExceeded);
   return c;
 }
 
@@ -109,17 +110,17 @@ StopReason RunContext::stop_reason() const noexcept {
 }
 
 void note_retry() noexcept {
-  static obs::Counter& c = obs::counter("runtime.retries");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeRetries);
   c.add();
 }
 
 void note_checkpoint_written() noexcept {
-  static obs::Counter& c = obs::counter("runtime.checkpoints_written");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeCheckpointsWritten);
   c.add();
 }
 
 void note_resume() noexcept {
-  static obs::Counter& c = obs::counter("runtime.resumes");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeResumes);
   c.add();
 }
 

@@ -2,7 +2,7 @@
 // once, at first use. Selection order: DARKVEC_SIMD override if set and
 // supported (else a warning and auto-detection), otherwise the best of
 // cpuid. The decision is recorded in the obs metrics registry (gauge
-// "simd.dispatch_level") so bench artifacts carry the level they ran at.
+// obs::names::kSimdDispatchLevel) so bench artifacts carry the level they ran at.
 #include "darkvec/core/simd/simd.hpp"
 
 #include <atomic>
@@ -101,7 +101,7 @@ Level best_supported() {
 }
 
 void record_level(Level level) {
-  static obs::Gauge& gauge = obs::gauge("simd.dispatch_level");
+  static obs::Gauge& gauge = obs::gauge(obs::names::kSimdDispatchLevel);
   gauge.set(static_cast<double>(static_cast<int>(level)));
 }
 

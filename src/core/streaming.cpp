@@ -1,7 +1,9 @@
 #include "darkvec/core/streaming.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -116,6 +118,22 @@ StreamingResult run_streaming_monitored(const net::Trace& trace,
   // carries the count forward through kills).
   std::uint64_t snapshots_done = 0;
 
+  // Model-health monitor: fed every window in order; drift reports land
+  // in result.health. Observe time is accumulated separately from model
+  // time so the <2% overhead gate (bench_micro_health) can measure it.
+  std::optional<obs::HealthMonitor> health;
+  if (config.health) health.emplace(config.health_thresholds);
+  const auto observe_health = [&](const obs::HealthInput& input) {
+    if (!health) return;
+    const auto t_obs = std::chrono::steady_clock::now();
+    result.health.push_back(health->observe(input));
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t_obs;
+    static obs::Gauge& observe_gauge =
+        obs::gauge(obs::names::kHealthObserveSeconds);
+    observe_gauge.add(dt.count());
+  };
+
   std::int64_t end = t0 + config.window_seconds;
   if (config.resume && !config.checkpoint_path.empty()) {
     std::int64_t next_end = 0;
@@ -141,11 +159,17 @@ StreamingResult run_streaming_monitored(const net::Trace& trace,
   const auto record_degraded = [&](std::int64_t window_end,
                                    std::string reason) {
     static obs::Counter& degraded_counter =
-        obs::counter("streaming.degraded_windows");
+        obs::counter(obs::names::kStreamingDegradedWindows);
     degraded_counter.add(1);
     DV_LOG_WARN("stream", "degraded window",
                 {"window_start", window_end - config.window_seconds},
                 {"window_end", window_end}, {"reason", reason});
+    obs::HealthInput input;
+    input.window_start = window_end - config.window_seconds;
+    input.window_end = window_end;
+    input.degraded = true;
+    input.degraded_reason = reason;
+    observe_health(input);
     if (!config.record_degraded) return;
     StreamSnapshot snapshot;
     snapshot.window_start = window_end - config.window_seconds;
@@ -161,6 +185,7 @@ StreamingResult run_streaming_monitored(const net::Trace& trace,
   while (!done) {
     done = end > t_last;
     DV_SPAN_ARG("stream.window", "window_end", end);
+    const auto t_window = std::chrono::steady_clock::now();
 
     // A fit/cluster failure degrades this window instead of killing the
     // stream. An *interruption* (cancel, strict deadline, budget) is not
@@ -207,9 +232,9 @@ StreamingResult run_streaming_monitored(const net::Trace& trace,
           anchor.valid = true;
 
           static obs::Counter& snapshots_counter =
-              obs::counter("streaming.snapshots");
+              obs::counter(obs::names::kStreamingSnapshots);
           snapshots_counter.add(1);
-          obs::gauge("streaming.alignment_similarity")
+          obs::gauge(obs::names::kStreamingAlignmentSimilarity)
               .set(snapshot.alignment_similarity);
           DV_LOG_INFO("stream", "snapshot",
                       {"window_start", snapshot.window_start},
@@ -220,6 +245,27 @@ StreamingResult run_streaming_monitored(const net::Trace& trace,
                        snapshot.alignment_similarity});
 
           result.snapshots.push_back(std::move(snapshot));
+
+          // Model work is done: book its time before the (separately
+          // accounted) health probes run.
+          obs::gauge(obs::names::kStreamingWindowSeconds)
+              .add(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t_window)
+                       .count());
+
+          const StreamSnapshot& snap = result.snapshots.back();
+          obs::HealthInput input;
+          input.window_start = snap.window_start;
+          input.window_end = snap.window_end;
+          input.senders = snap.senders;
+          input.embedding = &snap.embedding;
+          input.assignment = snap.clustering.assignment;
+          input.modularity = snap.clustering.modularity;
+          // With alignment off, windows share no common space and the
+          // Procrustes residual is meaningless — report identity.
+          input.alignment_similarity =
+              config.align ? snap.alignment_similarity : 1.0;
+          observe_health(input);
         }
       }
     } catch (const runtime::Interrupted& e) {

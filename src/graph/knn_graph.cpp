@@ -31,7 +31,7 @@ WeightedGraph knn_graph(const ml::CosineKnn& index, int k_prime,
     }
   }
   g.finalize();
-  static obs::Counter& edges_counter = obs::counter("knn.graph_edges");
+  static obs::Counter& edges_counter = obs::counter(obs::names::kKnnGraphEdges);
   edges_counter.add(edges);
   DV_LOG_DEBUG("graph", "knn graph built", {"nodes", n}, {"edges", edges},
                {"k_prime", k_prime});

@@ -158,9 +158,9 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
   if (n == 0) return result;
 
   DV_SPAN_ARG("graph.louvain", "nodes", n);
-  static obs::Counter& passes_counter = obs::counter("louvain.passes");
-  static obs::Counter& moves_counter = obs::counter("louvain.moves");
-  static obs::Counter& levels_counter = obs::counter("louvain.levels");
+  static obs::Counter& passes_counter = obs::counter(obs::names::kLouvainPasses);
+  static obs::Counter& moves_counter = obs::counter(obs::names::kLouvainMoves);
+  static obs::Counter& levels_counter = obs::counter(obs::names::kLouvainLevels);
 
   sim::Rng rng(options.seed);
   // `current` is the working (aggregated) graph; `mapping` maps original
@@ -195,7 +195,7 @@ LouvainResult louvain(const WeightedGraph& g, const LouvainOptions& options) {
   result.count = renumber(result.community);
   result.modularity = modularity(g, result.community);
   levels_counter.add(static_cast<std::uint64_t>(result.levels));
-  obs::gauge("louvain.modularity").set(result.modularity);
+  obs::gauge(obs::names::kLouvainModularity).set(result.modularity);
   DV_LOG_DEBUG("graph", "louvain done", {"communities", result.count},
                {"levels", result.levels}, {"modularity", result.modularity});
   return result;

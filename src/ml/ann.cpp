@@ -390,9 +390,9 @@ std::vector<std::vector<Neighbor>> IvfIndex::query_batch(
   const auto t_start = std::chrono::steady_clock::now();
   const int np = clamp_nprobe(nprobe);
 
-  static obs::Counter& queries_counter = obs::counter("ann.queries");
-  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
-  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+  static obs::Counter& queries_counter = obs::counter(obs::names::kAnnQueries);
+  static obs::Counter& lists_counter = obs::counter(obs::names::kAnnListsProbed);
+  static obs::Counter& rows_counter = obs::counter(obs::names::kAnnCandidatesScanned);
 
   // Queries are independent, so any block split yields the same output;
   // each block amortizes its scratch buffers and counter updates.
@@ -440,9 +440,9 @@ std::vector<Neighbor> IvfIndex::query(std::size_t i, int k, int nprobe) const {
   auto out = search_one(qrow, static_cast<std::int64_t>(slot), k, np,
                         static_cast<std::int64_t>(i), &rows_scanned, sims,
                         probes);
-  static obs::Counter& queries_counter = obs::counter("ann.queries");
-  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
-  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+  static obs::Counter& queries_counter = obs::counter(obs::names::kAnnQueries);
+  static obs::Counter& lists_counter = obs::counter(obs::names::kAnnListsProbed);
+  static obs::Counter& rows_counter = obs::counter(obs::names::kAnnCandidatesScanned);
   queries_counter.add(1);
   lists_counter.add(static_cast<std::size_t>(np));
   rows_counter.add(rows_scanned);
@@ -459,9 +459,9 @@ std::vector<Neighbor> IvfIndex::query_vector(std::span<const float> v, int k,
   std::size_t rows_scanned = 0;
   const int np = clamp_nprobe(nprobe);
   auto out = search_one(v, -1, k, np, exclude, &rows_scanned, sims, probes);
-  static obs::Counter& queries_counter = obs::counter("ann.queries");
-  static obs::Counter& lists_counter = obs::counter("ann.lists_probed");
-  static obs::Counter& rows_counter = obs::counter("ann.candidates_scanned");
+  static obs::Counter& queries_counter = obs::counter(obs::names::kAnnQueries);
+  static obs::Counter& lists_counter = obs::counter(obs::names::kAnnListsProbed);
+  static obs::Counter& rows_counter = obs::counter(obs::names::kAnnCandidatesScanned);
   queries_counter.add(1);
   lists_counter.add(static_cast<std::size_t>(np));
   rows_counter.add(rows_scanned);
@@ -703,7 +703,7 @@ IvfIndex IvfIndex::load(std::istream& in, const io::IoPolicy& policy,
       std::max(1, static_cast<int>(lists_kept)));
 
   if (report != nullptr) report->records_read += rows_kept;
-  static obs::Counter& rows_counter = obs::counter("io.ann_rows");
+  static obs::Counter& rows_counter = obs::counter(obs::names::kIoAnnRows);
   rows_counter.add(rows_kept);
   if (truncated) {
     DV_LOG_WARN("io", "ivf index truncated", {"rows", rows_kept},

@@ -14,7 +14,7 @@ namespace darkvec::ml {
 namespace {
 
 obs::Counter& degraded_counter() {
-  static obs::Counter& c = obs::counter("runtime.degraded");
+  static obs::Counter& c = obs::counter(obs::names::kRuntimeDegraded);
   return c;
 }
 
@@ -151,7 +151,7 @@ std::vector<std::vector<Neighbor>> batch_topk_impl(
   if (complete_queries != nullptr) *complete_queries = complete.load();
   if (any_truncated.load()) degraded_counter().add();
 
-  static obs::Counter& queries_counter = obs::counter("knn.queries");
+  static obs::Counter& queries_counter = obs::counter(obs::names::kKnnQueries);
   queries_counter.add(nq);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
@@ -230,7 +230,7 @@ std::vector<std::vector<Neighbor>> batch_topk(
     }
   });
 
-  static obs::Counter& queries_counter = obs::counter("knn.queries_i8");
+  static obs::Counter& queries_counter = obs::counter(obs::names::kKnnQueriesI8);
   queries_counter.add(nq);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)

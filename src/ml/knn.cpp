@@ -77,7 +77,7 @@ const IvfIndex* CosineKnn::ann_for(const AnnSearchParams& params) const {
   if (params.index_path.empty()) return &ann();
   std::call_once(load_once_, [&] {
     static obs::Counter& fallback_counter =
-        obs::counter("runtime.ann_fallback");
+        obs::counter(obs::names::kRuntimeAnnFallback);
     try {
       auto idx = std::make_unique<IvfIndex>(
           io::with_retry(io::RetryPolicy::transient_reads(), [&] {

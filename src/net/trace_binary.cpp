@@ -171,8 +171,8 @@ Trace read_binary(std::istream& in, const io::IoPolicy& policy,
         policy, report, static_cast<std::size_t>(record_no),
         "trace binary: trailing data after declared records");
   }
-  static obs::Counter& read_counter = obs::counter("io.records_read");
-  static obs::Counter& skipped_counter = obs::counter("io.records_skipped");
+  static obs::Counter& read_counter = obs::counter(obs::names::kIoRecordsRead);
+  static obs::Counter& skipped_counter = obs::counter(obs::names::kIoRecordsSkipped);
   read_counter.add(packets.size());
   const std::uint64_t skipped = record_no - packets.size();
   skipped_counter.add(skipped);

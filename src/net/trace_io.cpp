@@ -102,8 +102,8 @@ Trace read_csv(std::istream& in, const io::IoPolicy& policy,
   }
   // Counted locally so metrics do not depend on the caller passing a
   // report (the lenient path may return with rows silently dropped).
-  static obs::Counter& read_counter = obs::counter("io.records_read");
-  static obs::Counter& skipped_counter = obs::counter("io.records_skipped");
+  static obs::Counter& read_counter = obs::counter(obs::names::kIoRecordsRead);
+  static obs::Counter& skipped_counter = obs::counter(obs::names::kIoRecordsSkipped);
   read_counter.add(packets.size());
   skipped_counter.add(skipped);
   if (skipped > 0) {

@@ -1,0 +1,618 @@
+#include "darkvec/obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "darkvec/core/atomic_io.hpp"
+#include "darkvec/core/contracts.hpp"
+#include "darkvec/ml/knn.hpp"
+#include "darkvec/ml/silhouette.hpp"
+#include "darkvec/obs/log.hpp"
+#include "darkvec/obs/metric_names.hpp"
+#include "darkvec/obs/metrics.hpp"
+
+namespace darkvec::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Human-facing %.2f-style rendering for alert explainers.
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * v);
+  return buf;
+}
+
+/// Unit-normalizes a double vector in place; returns false for a zero
+/// vector (left untouched).
+bool normalize(std::vector<double>& v) {
+  double norm_sq = 0;
+  for (const double x : v) norm_sq += x * x;
+  if (norm_sq <= 0) return false;
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& x : v) x *= inv;
+  return true;
+}
+
+/// Sorted distinct cluster ids of an assignment.
+std::vector<int> distinct_clusters(std::span<const int> assignment) {
+  std::vector<int> ids(assignment.begin(), assignment.end());
+  std::ranges::sort(ids);
+  const auto [first, last] = std::ranges::unique(ids);
+  ids.erase(first, last);
+  return ids;
+}
+
+/// Unit centroid per cluster id (aligned with `ids`), accumulated in
+/// row order with double precision — deterministic across thread counts
+/// and SIMD levels by construction.
+std::vector<std::vector<double>> unit_centroids(
+    const w2v::Embedding& unit, std::span<const int> assignment,
+    std::span<const int> ids) {
+  const auto dim = static_cast<std::size_t>(unit.dim());
+  std::unordered_map<int, std::size_t> slot;
+  slot.reserve(ids.size());
+  for (std::size_t s = 0; s < ids.size(); ++s) slot.emplace(ids[s], s);
+  std::vector<std::vector<double>> centroids(
+      ids.size(), std::vector<double>(dim, 0.0));
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    auto& c = centroids[slot.at(assignment[i])];
+    const auto v = unit.vec(i);
+    for (std::size_t d = 0; d < dim; ++d) c[d] += v[d];
+  }
+  for (auto& c : centroids) normalize(c);
+  return centroids;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HealthThresholds
+
+std::optional<HealthThresholds> HealthThresholds::parse(
+    std::string_view spec) {
+  return parse(spec, HealthThresholds{});
+}
+
+std::optional<HealthThresholds> HealthThresholds::parse(
+    std::string_view spec, HealthThresholds base) {
+  HealthThresholds out = base;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size()) {
+      return std::nullopt;
+    }
+    if (key == "vocab-churn") {
+      out.max_vocab_churn = v;
+    } else if (key == "membership-churn") {
+      out.max_membership_churn = v;
+    } else if (key == "centroid-drift") {
+      out.max_centroid_drift = v;
+    } else if (key == "neighbor-overlap") {
+      out.min_neighbor_overlap = v;
+    } else if (key == "alignment-residual") {
+      out.max_alignment_residual = v;
+    } else if (key == "ewma-alpha") {
+      out.ewma_alpha = v;
+    } else if (key == "z") {
+      out.z_threshold = v;
+    } else if (key == "warmup") {
+      out.warmup_windows = static_cast<int>(v);
+    } else if (key == "k") {
+      out.overlap_k = static_cast<int>(v);
+    } else if (key == "sample") {
+      out.overlap_sample = static_cast<std::size_t>(v);
+    } else if (key == "min-cluster") {
+      out.min_cluster_size = static_cast<std::size_t>(v);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EwmaDetector
+
+std::optional<double> EwmaDetector::update(double value) {
+  std::optional<double> fired;
+  if (samples_ == 0) {
+    mean_ = value;
+  } else {
+    const double sigma = std::sqrt(var_);
+    if (samples_ >= warmup_ && sigma > 1e-12) {
+      const double z = std::abs(value - mean_) / sigma;
+      if (z > z_) fired = z;
+    }
+    const double diff = value - mean_;
+    mean_ += alpha_ * diff;
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * diff * diff);
+  }
+  ++samples_;
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor
+
+/// Drift reference: everything observe() needs from the last
+/// non-degraded window.
+struct HealthMonitor::PrevWindow {
+  std::unordered_map<net::IPv4, std::uint32_t> index;  ///< sender -> row
+  std::vector<int> assignment;
+  int dim = 0;
+  w2v::Embedding unit;  ///< L2-normalized rows, caller-aligned space
+  std::vector<int> cluster_ids;             ///< sorted distinct
+  std::vector<std::size_t> cluster_sizes;   ///< aligned with cluster_ids
+  std::vector<std::vector<double>> centroids;  ///< aligned, unit L2
+};
+
+HealthMonitor::HealthMonitor(HealthThresholds thresholds)
+    : thresholds_(thresholds) {}
+
+HealthMonitor::~HealthMonitor() = default;
+
+EwmaDetector& HealthMonitor::detector(std::string_view signal) {
+  for (auto& [name, det] : detectors_) {
+    if (name == signal) return det;
+  }
+  detectors_.emplace_back(
+      std::string(signal),
+      EwmaDetector(thresholds_.ewma_alpha, thresholds_.z_threshold,
+                   thresholds_.warmup_windows));
+  return detectors_.back().second;
+}
+
+std::size_t HealthMonitor::alerts_total() const {
+  std::size_t total = 0;
+  for (const WindowHealth& w : history_) total += w.alerts.size();
+  return total;
+}
+
+WindowHealth HealthMonitor::observe(const HealthInput& input) {
+  WindowHealth report;
+  report.window_start = input.window_start;
+  report.window_end = input.window_end;
+  report.degraded = input.degraded;
+  report.degraded_reason = std::string(input.degraded_reason);
+
+  static Counter& windows_counter = counter(names::kHealthWindows);
+  windows_counter.add(1);
+
+  const auto raise = [&](std::string signal, std::string detail, double value,
+                         double threshold, int cluster = -1) {
+    DV_LOG_WARN("health", "model-health alert", {"signal", signal},
+                {"window_end", report.window_end}, {"value", value},
+                {"threshold", threshold}, {"cluster", cluster},
+                {"detail", detail});
+    static Counter& alerts_counter = counter(names::kHealthAlerts);
+    alerts_counter.add(1);
+    report.alerts.push_back({std::move(signal), std::move(detail), value,
+                             threshold, cluster});
+  };
+
+  if (input.degraded) {
+    static Counter& degraded_counter = counter(names::kHealthDegradedWindows);
+    degraded_counter.add(1);
+    raise("degraded-window",
+          "degraded window: " + report.degraded_reason +
+              " — no model-quality signals this window",
+          1.0, 0.0);
+    history_.push_back(report);
+    return history_.back();
+  }
+
+  DV_PRECONDITION(input.embedding != nullptr,
+                  "health: non-degraded window needs an embedding");
+  DV_PRECONDITION(input.senders.size() == input.embedding->size(),
+                  "health: one embedding row per sender");
+  DV_PRECONDITION(input.assignment.size() == input.senders.size(),
+                  "health: one cluster id per sender");
+
+  const std::size_t n = input.senders.size();
+  report.senders = n;
+  report.modularity = input.modularity;
+  report.has_previous = prev_ != nullptr;
+
+  const w2v::Embedding unit = input.embedding->normalized();
+
+  // Mean silhouette — the per-window quality trend.
+  if (n > 0) {
+    const auto samples = ml::silhouette_samples(unit, input.assignment);
+    double sum = 0;
+    for (const double s : samples) sum += s;
+    report.silhouette = sum / static_cast<double>(n);
+  }
+
+  // Current partition: ids, sizes, unit centroids.
+  const std::vector<int> ids = distinct_clusters(input.assignment);
+  report.clusters = static_cast<int>(ids.size());
+  std::unordered_map<int, std::size_t> slot;
+  slot.reserve(ids.size());
+  for (std::size_t s = 0; s < ids.size(); ++s) slot.emplace(ids[s], s);
+  std::vector<std::size_t> sizes(ids.size(), 0);
+  for (const int c : input.assignment) ++sizes[slot.at(c)];
+  const std::vector<std::vector<double>> centroids =
+      unit_centroids(unit, input.assignment, ids);
+
+  double max_membership_churn = 0;
+  double max_centroid_drift = 0;
+
+  if (prev_ == nullptr) {
+    // Baseline window: report the partition, diff nothing, alarm nothing.
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      ClusterDrift drift;
+      drift.cluster = ids[s];
+      drift.size = sizes[s];
+      drift.membership_churn = 0.0;
+      report.cluster_drift.push_back(drift);
+    }
+    report.vocab.current = n;
+  } else {
+    // Vocabulary churn.
+    report.vocab.current = n;
+    for (const net::IPv4 ip : input.senders) {
+      if (prev_->index.contains(ip)) {
+        ++report.vocab.shared;
+      } else {
+        ++report.vocab.added;
+      }
+    }
+    report.vocab.retired = prev_->index.size() - report.vocab.shared;
+
+    // Neighbor overlap@k within the shared vocabulary. Both restricted
+    // embeddings list shared senders in current-window row order, so a
+    // neighbor index means the same sender on both sides.
+    std::vector<std::uint32_t> shared_cur;
+    std::vector<std::uint32_t> shared_prev;
+    shared_cur.reserve(report.vocab.shared);
+    shared_prev.reserve(report.vocab.shared);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = prev_->index.find(input.senders[i]);
+      if (it == prev_->index.end()) continue;
+      shared_cur.push_back(static_cast<std::uint32_t>(i));
+      shared_prev.push_back(it->second);
+    }
+    const std::size_t m = shared_cur.size();
+    const int k_eff = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(thresholds_.overlap_k, 0)),
+        m > 0 ? m - 1 : 0));
+    if (k_eff > 0) {
+      w2v::Embedding cur_sub(m, unit.dim());
+      w2v::Embedding prev_sub(m, prev_->dim);
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto cv = unit.vec(shared_cur[j]);
+        std::ranges::copy(cv, cur_sub.vec(j).begin());
+        const auto pv = prev_->unit.vec(shared_prev[j]);
+        std::ranges::copy(pv, prev_sub.vec(j).begin());
+      }
+      // Deterministic strided query sample keeps the probe O(q·m·dim).
+      std::vector<std::uint32_t> queries;
+      const std::size_t budget =
+          thresholds_.overlap_sample == 0 ? m : thresholds_.overlap_sample;
+      const std::size_t q_count = std::min(m, budget);
+      queries.reserve(q_count);
+      for (std::size_t q = 0; q < q_count; ++q) {
+        queries.push_back(static_cast<std::uint32_t>(q * m / q_count));
+      }
+      const ml::CosineKnn cur_index(cur_sub);
+      const ml::CosineKnn prev_index(prev_sub);
+      const auto cur_lists = cur_index.query_batch(queries, k_eff);
+      const auto prev_lists = prev_index.query_batch(queries, k_eff);
+      double overlap_sum = 0;
+      std::vector<std::uint32_t> a;
+      std::vector<std::uint32_t> b;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        a.clear();
+        b.clear();
+        for (const auto& nb : cur_lists[q]) {
+          a.push_back(static_cast<std::uint32_t>(nb.index));
+        }
+        for (const auto& nb : prev_lists[q]) {
+          b.push_back(static_cast<std::uint32_t>(nb.index));
+        }
+        std::ranges::sort(a);
+        std::ranges::sort(b);
+        std::size_t inter = 0;
+        for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+          if (a[i] < b[j]) {
+            ++i;
+          } else if (b[j] < a[i]) {
+            ++j;
+          } else {
+            ++inter, ++i, ++j;
+          }
+        }
+        overlap_sum +=
+            static_cast<double>(inter) / static_cast<double>(k_eff);
+      }
+      report.neighbor_overlap =
+          queries.empty() ? 1.0
+                          : overlap_sum / static_cast<double>(queries.size());
+    } else {
+      // No shared geometry to compare; churn signals carry the story.
+      report.neighbor_overlap = m > 0 ? 1.0 : 0.0;
+    }
+
+    report.alignment_residual =
+        std::clamp(1.0 - input.alignment_similarity, 0.0, 2.0);
+
+    // Per-cluster drift: match each current cluster to the previous
+    // cluster holding most of its members.
+    const bool same_dim = prev_->dim == unit.dim();
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      ClusterDrift drift;
+      drift.cluster = ids[s];
+      drift.size = sizes[s];
+      // Ordered map: ties resolve toward the smallest previous id, and
+      // no hash-iteration order can leak into the persisted report.
+      std::map<int, std::size_t> prev_counts;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (input.assignment[i] != ids[s]) continue;
+        const auto it = prev_->index.find(input.senders[i]);
+        if (it == prev_->index.end()) continue;
+        ++prev_counts[prev_->assignment[it->second]];
+      }
+      for (const auto& [prev_id, count] : prev_counts) {
+        if (count > drift.shared) {
+          drift.shared = count;
+          drift.matched_prev = prev_id;
+        }
+      }
+      if (drift.matched_prev >= 0) {
+        const auto prev_slot = static_cast<std::size_t>(
+            std::ranges::lower_bound(prev_->cluster_ids, drift.matched_prev) -
+            prev_->cluster_ids.begin());
+        drift.prev_size = prev_->cluster_sizes[prev_slot];
+        const std::size_t uni =
+            drift.size + drift.prev_size - drift.shared;
+        drift.membership_churn =
+            uni == 0 ? 0.0
+                     : 1.0 - static_cast<double>(drift.shared) /
+                                 static_cast<double>(uni);
+        if (same_dim) {
+          drift.centroid_drift = std::clamp(
+              1.0 - dot(centroids[s], prev_->centroids[prev_slot]), 0.0, 2.0);
+        }
+      }
+      if (drift.size >= thresholds_.min_cluster_size) {
+        max_membership_churn =
+            std::max(max_membership_churn, drift.membership_churn);
+        max_centroid_drift = std::max(max_centroid_drift, drift.centroid_drift);
+      }
+      report.cluster_drift.push_back(drift);
+    }
+
+    // Threshold alarms, most specific first.
+    for (const ClusterDrift& drift : report.cluster_drift) {
+      if (drift.size < thresholds_.min_cluster_size) continue;
+      if (drift.matched_prev < 0) {
+        raise("new-cluster",
+              "cluster " + std::to_string(drift.cluster) + ": " +
+                  std::to_string(drift.size) +
+                  " senders with no ancestor overlap — probable new campaign",
+              static_cast<double>(drift.size),
+              static_cast<double>(thresholds_.min_cluster_size),
+              drift.cluster);
+      } else if (drift.membership_churn > thresholds_.max_membership_churn ||
+                 drift.centroid_drift > thresholds_.max_centroid_drift) {
+        raise("cluster-drift",
+              "cluster " + std::to_string(drift.cluster) + ": " +
+                  fmt_pct(drift.membership_churn) + " membership churn, " +
+                  "centroid drift " + fmt2(drift.centroid_drift) +
+                  " — probable split or new campaign",
+              std::max(drift.membership_churn, drift.centroid_drift),
+              drift.membership_churn > thresholds_.max_membership_churn
+                  ? thresholds_.max_membership_churn
+                  : thresholds_.max_centroid_drift,
+              drift.cluster);
+      }
+    }
+    if (report.vocab.churn() > thresholds_.max_vocab_churn) {
+      raise("vocab-churn",
+            "vocabulary churn " + fmt_pct(report.vocab.churn()) + ": " +
+                std::to_string(report.vocab.added) + " senders added, " +
+                std::to_string(report.vocab.retired) +
+                " retired — traffic mix changed",
+            report.vocab.churn(), thresholds_.max_vocab_churn);
+    }
+    if (report.neighbor_overlap < thresholds_.min_neighbor_overlap) {
+      raise("neighbor-overlap",
+            "k-NN neighbor overlap " + fmt2(report.neighbor_overlap) +
+                " below " + fmt2(thresholds_.min_neighbor_overlap) +
+                " — embedding geometry moved",
+            report.neighbor_overlap, thresholds_.min_neighbor_overlap);
+    }
+    if (report.alignment_residual > thresholds_.max_alignment_residual) {
+      raise("alignment-residual",
+            "Procrustes residual " + fmt2(report.alignment_residual) +
+                " above " + fmt2(thresholds_.max_alignment_residual) +
+                " — snapshot spaces no longer align",
+            report.alignment_residual, thresholds_.max_alignment_residual);
+    }
+  }
+
+  // EWMA z-score trend detectors (fed from the first window on; warmup
+  // keeps the cold start quiet).
+  const std::pair<std::string_view, double> trended[] = {
+      {"vocab_churn", report.vocab.churn()},
+      {"neighbor_overlap", report.neighbor_overlap},
+      {"silhouette", report.silhouette},
+      {"modularity", report.modularity},
+  };
+  for (const auto& [signal, value] : trended) {
+    if (const auto z = detector(signal).update(value)) {
+      raise("zscore-" + std::string(signal),
+            std::string(signal) + " = " + fmt2(value) + " deviates " +
+                fmt2(*z) + " sigma from its EWMA trend",
+            value, thresholds_.z_threshold);
+    }
+  }
+
+  // Ring-buffer series: the registry is the one source of truth the
+  // JSON/Prometheus exposition and the report share.
+  series(names::kHealthVocabChurn).record(report.vocab.churn());
+  series(names::kHealthNeighborOverlap).record(report.neighbor_overlap);
+  series(names::kHealthAlignmentResidual).record(report.alignment_residual);
+  series(names::kHealthSilhouette).record(report.silhouette);
+  series(names::kHealthModularity).record(report.modularity);
+  series(names::kHealthClusters)
+      .record(static_cast<double>(report.clusters));
+  series(names::kHealthMaxMembershipChurn).record(max_membership_churn);
+  series(names::kHealthMaxCentroidDrift).record(max_centroid_drift);
+
+  DV_LOG_INFO("health", "drift report", {"window_end", report.window_end},
+              {"senders", report.senders}, {"clusters", report.clusters},
+              {"vocab_churn", report.vocab.churn()},
+              {"neighbor_overlap", report.neighbor_overlap},
+              {"silhouette", report.silhouette},
+              {"alerts", report.alerts.size()});
+
+  // This window becomes the next reference.
+  auto next = std::make_unique<PrevWindow>();
+  next->index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next->index.emplace(input.senders[i], static_cast<std::uint32_t>(i));
+  }
+  next->assignment.assign(input.assignment.begin(), input.assignment.end());
+  next->dim = unit.dim();
+  next->unit = unit;
+  next->cluster_ids = ids;
+  next->cluster_sizes = sizes;
+  next->centroids = centroids;
+  prev_ = std::move(next);
+
+  history_.push_back(report);
+  return history_.back();
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering
+
+std::string WindowHealth::to_json() const {
+  std::string out = "{\"window_start\":" + std::to_string(window_start) +
+                    ",\"window_end\":" + std::to_string(window_end) +
+                    ",\"degraded\":" + (degraded ? "true" : "false");
+  if (degraded) {
+    out += ",\"degraded_reason\":\"" + detail::json_escape(degraded_reason) +
+           '"';
+  }
+  out += ",\"has_previous\":";
+  out += has_previous ? "true" : "false";
+  out += ",\"senders\":" + std::to_string(senders);
+  out += ",\"clusters\":" + std::to_string(clusters);
+  out += ",\"vocab\":{\"added\":" + std::to_string(vocab.added) +
+         ",\"retired\":" + std::to_string(vocab.retired) +
+         ",\"shared\":" + std::to_string(vocab.shared) +
+         ",\"current\":" + std::to_string(vocab.current) +
+         ",\"churn\":" + fmt_double(vocab.churn()) + '}';
+  out += ",\"neighbor_overlap\":" + fmt_double(neighbor_overlap);
+  out += ",\"alignment_residual\":" + fmt_double(alignment_residual);
+  out += ",\"silhouette\":" + fmt_double(silhouette);
+  out += ",\"modularity\":" + fmt_double(modularity);
+  out += ",\"cluster_drift\":[";
+  for (std::size_t i = 0; i < cluster_drift.size(); ++i) {
+    const ClusterDrift& d = cluster_drift[i];
+    if (i > 0) out += ',';
+    out += "{\"cluster\":" + std::to_string(d.cluster) +
+           ",\"matched_prev\":" + std::to_string(d.matched_prev) +
+           ",\"size\":" + std::to_string(d.size) +
+           ",\"prev_size\":" + std::to_string(d.prev_size) +
+           ",\"shared\":" + std::to_string(d.shared) +
+           ",\"membership_churn\":" + fmt_double(d.membership_churn) +
+           ",\"centroid_drift\":" + fmt_double(d.centroid_drift) + '}';
+  }
+  out += "],\"alerts\":[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const HealthAlert& a = alerts[i];
+    if (i > 0) out += ',';
+    out += "{\"signal\":\"" + detail::json_escape(a.signal) +
+           "\",\"detail\":\"" + detail::json_escape(a.detail) +
+           "\",\"value\":" + fmt_double(a.value) +
+           ",\"threshold\":" + fmt_double(a.threshold) +
+           ",\"cluster\":" + std::to_string(a.cluster) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string health_report_json(const HealthThresholds& thresholds,
+                               std::span<const WindowHealth> windows) {
+  std::size_t alerts_total = 0;
+  for (const WindowHealth& w : windows) alerts_total += w.alerts.size();
+  std::string out = "{\"schema\":1,\"thresholds\":{";
+  out += "\"max_vocab_churn\":" + fmt_double(thresholds.max_vocab_churn);
+  out += ",\"max_membership_churn\":" +
+         fmt_double(thresholds.max_membership_churn);
+  out += ",\"max_centroid_drift\":" +
+         fmt_double(thresholds.max_centroid_drift);
+  out += ",\"min_neighbor_overlap\":" +
+         fmt_double(thresholds.min_neighbor_overlap);
+  out += ",\"max_alignment_residual\":" +
+         fmt_double(thresholds.max_alignment_residual);
+  out += ",\"ewma_alpha\":" + fmt_double(thresholds.ewma_alpha);
+  out += ",\"z_threshold\":" + fmt_double(thresholds.z_threshold);
+  out += ",\"warmup_windows\":" + std::to_string(thresholds.warmup_windows);
+  out += ",\"overlap_k\":" + std::to_string(thresholds.overlap_k);
+  out += ",\"overlap_sample\":" + std::to_string(thresholds.overlap_sample);
+  out += ",\"min_cluster_size\":" +
+         std::to_string(thresholds.min_cluster_size);
+  out += "},\"windows\":[";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) out += ',';
+    out += windows[i].to_json();
+  }
+  out += "],\"alerts_total\":" + std::to_string(alerts_total) + '}';
+  return out;
+}
+
+void write_health_report(const std::string& path,
+                         const HealthThresholds& thresholds,
+                         std::span<const WindowHealth> windows) {
+  io::atomic_write_file(path, std::ios::out, [&](std::ostream& out) {
+    out << health_report_json(thresholds, windows) << '\n';
+  });
+}
+
+std::string HealthMonitor::report_json() const {
+  return health_report_json(thresholds_, history_);
+}
+
+void HealthMonitor::write_report(const std::string& path) const {
+  write_health_report(path, thresholds_, history_);
+}
+
+}  // namespace darkvec::obs

@@ -74,6 +74,52 @@ void Histogram::reset() noexcept {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+Series::Series(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  core::MutexLock lock(mu_);
+  ring_.reserve(capacity_);
+}
+
+void Series::record(double value) noexcept {
+  core::MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(value);
+  } else {
+    ring_[total_ % capacity_] = value;
+  }
+  ++total_;
+}
+
+std::vector<double> Series::values() const {
+  core::MutexLock lock(mu_);
+  if (total_ <= capacity_) return ring_;
+  // The ring wrapped: the oldest surviving sample sits at total_ % cap.
+  std::vector<double> out;
+  out.reserve(capacity_);
+  const std::size_t head = total_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::uint64_t Series::count() const {
+  core::MutexLock lock(mu_);
+  return total_;
+}
+
+double Series::last() const {
+  core::MutexLock lock(mu_);
+  if (total_ == 0) return 0;
+  return ring_[(total_ - 1) % capacity_];
+}
+
+void Series::reset() noexcept {
+  core::MutexLock lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
 Counter& Registry::counter(std::string_view name) {
   core::MutexLock lock(mu_);
   if (Counter* existing = find_metric(counters_, name)) return *existing;
@@ -97,6 +143,13 @@ Histogram& Registry::histogram(std::string_view name,
   return *histograms_.back().second;
 }
 
+Series& Registry::series(std::string_view name, std::size_t capacity) {
+  core::MutexLock lock(mu_);
+  if (Series* existing = find_metric(series_, name)) return *existing;
+  series_.emplace_back(std::string(name), std::make_unique<Series>(capacity));
+  return *series_.back().second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   core::MutexLock lock(mu_);
@@ -113,6 +166,10 @@ MetricsSnapshot Registry::snapshot() const {
     snap.histograms.push_back(
         {name, h->bounds(), h->counts(), h->count(), h->sum()});
   }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    snap.series.push_back({name, s->capacity(), s->count(), s->values()});
+  }
   return snap;
 }
 
@@ -121,6 +178,7 @@ void Registry::reset_values() {
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& [name, s] : series_) s->reset();
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -156,6 +214,20 @@ std::string MetricsSnapshot::to_json() const {
     out += "],\"count\":" + std::to_string(h.count);
     out += ",\"sum\":" + format_double(h.sum) + '}';
   }
+  out += "},\"series\":{";
+  first = true;
+  for (const auto& s : series) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + detail::json_escape(s.name) + "\":{\"capacity\":" +
+           std::to_string(s.capacity) + ",\"count\":" +
+           std::to_string(s.count) + ",\"values\":[";
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      if (i > 0) out += ',';
+      out += format_double(s.values[i]);
+    }
+    out += "]}";
+  }
   out += "}}";
   return out;
 }
@@ -184,6 +256,13 @@ std::string MetricsSnapshot::to_prometheus() const {
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
     out += name + "_sum " + format_double(h.sum) + '\n';
     out += name + "_count " + std::to_string(h.count) + '\n';
+  }
+  for (const auto& s : series) {
+    // Latest sample only: Prometheus keeps its own history.
+    const std::string name = prom_name(s.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' +
+           format_double(s.values.empty() ? 0.0 : s.values.back()) + '\n';
   }
   return out;
 }

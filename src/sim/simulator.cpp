@@ -241,7 +241,7 @@ SimResult DarknetSimulator::run(std::span<const PopulationSpec> populations) {
                  {"packets", result.trace.size() - packets_before});
   }
 
-  static obs::Counter& packets_counter = obs::counter("sim.packets");
+  static obs::Counter& packets_counter = obs::counter(obs::names::kSimPackets);
   packets_counter.add(result.trace.size());
   DV_LOG_INFO("sim", "simulation complete",
               {"populations", populations.size()},

@@ -167,7 +167,7 @@ Embedding Embedding::load(std::istream& in, const io::IoPolicy& policy,
                               "Embedding: trailing data after matrix");
   }
   if (report != nullptr) report->records_read += data.size() / dim;
-  static obs::Counter& rows_counter = obs::counter("io.embedding_rows");
+  static obs::Counter& rows_counter = obs::counter(obs::names::kIoEmbeddingRows);
   rows_counter.add(data.size() / dim);
   if (truncated) {
     DV_LOG_WARN("io", "embedding truncated", {"rows", data.size() / dim},

@@ -254,7 +254,7 @@ TrainStats GloveModel::train(std::span<const Sentence> sentences,
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
-  static obs::Counter& pairs_counter = obs::counter("w2v.glove.pairs");
+  static obs::Counter& pairs_counter = obs::counter(obs::names::kW2vGlovePairs);
   pairs_counter.add(stats.pairs);
   DV_LOG_DEBUG("w2v", "glove training complete", {"cells", cells_},
                {"pairs", stats.pairs}, {"seconds", stats.seconds},

@@ -206,7 +206,7 @@ QuantizedEmbedding QuantizedEmbedding::load(std::istream& in,
   out.scales_ = std::move(scales);
   out.data_ = std::move(data);
   if (report != nullptr) report->records_read += rows;
-  static obs::Counter& rows_counter = obs::counter("io.quantized_rows");
+  static obs::Counter& rows_counter = obs::counter(obs::names::kIoQuantizedRows);
   rows_counter.add(rows);
   if (truncated) {
     DV_LOG_WARN("io", "quantized embedding truncated", {"rows", rows},

@@ -570,8 +570,8 @@ TrainStats SkipGramModel::train(std::span<const Sentence> sentences,
 
   if (first_error != nullptr) std::rethrow_exception(first_error);
 
-  static obs::Counter& tokens_counter = obs::counter("w2v.tokens");
-  static obs::Counter& pairs_counter = obs::counter("w2v.pairs");
+  static obs::Counter& tokens_counter = obs::counter(obs::names::kW2vTokens);
+  static obs::Counter& pairs_counter = obs::counter(obs::names::kW2vPairs);
   stats.tokens = processed.load();
   stats.pairs = pairs_total.load();
   pairs_trained_ += stats.pairs;

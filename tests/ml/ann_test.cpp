@@ -19,6 +19,7 @@
 #include "darkvec/graph/knn_graph.hpp"
 #include "darkvec/ml/evaluation.hpp"
 #include "darkvec/ml/knn.hpp"
+#include "darkvec/obs/metric_names.hpp"
 #include "darkvec/obs/metrics.hpp"
 
 namespace darkvec::ml {
@@ -416,9 +417,9 @@ TEST(IvfIndex, MetricsCountProbesAndCandidates) {
   options.nlist = 10;
   options.nprobe = 2;
   const IvfIndex index = IvfIndex::build(unit, options);
-  auto& queries = obs::counter("ann.queries");
-  auto& lists = obs::counter("ann.lists_probed");
-  auto& rows = obs::counter("ann.candidates_scanned");
+  auto& queries = obs::counter(obs::names::kAnnQueries);
+  auto& lists = obs::counter(obs::names::kAnnListsProbed);
+  auto& rows = obs::counter(obs::names::kAnnCandidatesScanned);
   const auto q0 = queries.value();
   const auto l0 = lists.value();
   const auto r0 = rows.value();

@@ -45,7 +45,7 @@ TEST(StreamingObs, DegradedWindowWarnsAndCountsEvenWhenNotRecorded) {
   obs::MemorySink* mem = sink.get();
   obs::logger().add_sink(std::move(sink));
 
-  obs::Counter& degraded = obs::counter("streaming.degraded_windows");
+  obs::Counter& degraded = obs::counter(obs::names::kStreamingDegradedWindows);
   const std::uint64_t before = degraded.value();
 
   StreamingConfig config = sparse_config();
@@ -94,7 +94,7 @@ TEST(StreamingObs, RecordedDegradedSnapshotsStillWarnAndCount) {
   obs::MemorySink* mem = sink.get();
   obs::logger().add_sink(std::move(sink));
 
-  obs::Counter& degraded = obs::counter("streaming.degraded_windows");
+  obs::Counter& degraded = obs::counter(obs::names::kStreamingDegradedWindows);
   const std::uint64_t before = degraded.value();
 
   const auto snapshots = run_streaming(sparse_trace(), sparse_config());

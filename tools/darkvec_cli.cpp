@@ -7,6 +7,20 @@
 //                     [--epochs N]
 //   darkvec cluster   --trace FILE [--labels FILE] [--kprime K] [--epochs N]
 //   darkvec neighbors --trace FILE --ip A.B.C.D [--k K] [--epochs N]
+//   darkvec stream    --trace FILE [--window-days W] [--step-days S]
+//                     [--kprime K] [--epochs N] [--no-align]
+//
+// Model health (obs/health.hpp):
+//   --health-out FILE       write a health_report.json drift report.
+//                           On `stream` every window is diffed against
+//                           its predecessor; on train/cluster the single
+//                           window is a baseline report.
+//   --health-thresholds S   comma list of key=value alarm overrides
+//                           (vocab-churn, membership-churn,
+//                           centroid-drift, neighbor-overlap,
+//                           alignment-residual, ewma-alpha, z, warmup,
+//                           k, sample, min-cluster)
+//   --no-health             stream only: skip health monitoring
 //
 // classify, cluster and neighbors also accept:
 //   --ann                route k-NN queries through the IVF approximate
@@ -66,6 +80,7 @@
 #include "darkvec/core/model_io.hpp"
 #include "darkvec/core/semi_supervised.hpp"
 #include "darkvec/core/simd/simd.hpp"
+#include "darkvec/core/streaming.hpp"
 #include "darkvec/ml/silhouette.hpp"
 #include "darkvec/net/trace_binary.hpp"
 #include "darkvec/net/trace_io.hpp"
@@ -234,6 +249,43 @@ DarkVec fit_from(const net::Trace& trace, const Args& args) {
   return dv;
 }
 
+/// Parses --health-thresholds on top of the defaults; nullopt (after an
+/// error message) when the spec is malformed.
+std::optional<obs::HealthThresholds> health_thresholds_from(const Args& args) {
+  obs::HealthThresholds thresholds;
+  if (!args.has("health-thresholds")) return thresholds;
+  const auto parsed =
+      obs::HealthThresholds::parse(args.get("health-thresholds"), thresholds);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "bad --health-thresholds (want key=value[,key=value...]; "
+                 "keys: vocab-churn membership-churn centroid-drift "
+                 "neighbor-overlap alignment-residual ewma-alpha z warmup "
+                 "k sample min-cluster)\n");
+  }
+  return parsed;
+}
+
+/// One-shot baseline health report for train/cluster --health-out: the
+/// whole trace is a single window, so the report carries the quality
+/// signals (silhouette, modularity, partition) without drift.
+void write_single_window_health(const std::string& path,
+                                const net::Trace& trace, const DarkVec& dv,
+                                const Clustering& clustering,
+                                const obs::HealthThresholds& thresholds) {
+  obs::HealthMonitor monitor(thresholds);
+  obs::HealthInput input;
+  input.window_start = trace.empty() ? 0 : trace[0].ts;
+  input.window_end = trace.empty() ? 0 : trace[trace.size() - 1].ts;
+  input.senders = dv.corpus().words;
+  input.embedding = &dv.embedding();
+  input.assignment = clustering.assignment;
+  input.modularity = clustering.modularity;
+  monitor.observe(input);
+  monitor.write_report(path);
+  std::fprintf(stderr, "wrote health report %s\n", path.c_str());
+}
+
 int cmd_simulate(const Args& args) {
   sim::SimConfig config;
   config.days = static_cast<int>(args.number("days", 30));
@@ -263,6 +315,13 @@ int cmd_train(const Args& args) {
   std::printf("wrote %s.emb and %s.vocab (%zu rows, dim %d)\n",
               prefix.c_str(), prefix.c_str(), dv.embedding().size(),
               dv.embedding().dim());
+  if (args.has("health-out")) {
+    const auto thresholds = health_thresholds_from(args);
+    if (!thresholds) return 2;
+    const int k_prime = static_cast<int>(args.number("kprime", 3));
+    write_single_window_health(args.get("health-out"), trace, dv,
+                               dv.cluster(k_prime), *thresholds);
+  }
   return 0;
 }
 
@@ -323,6 +382,67 @@ int cmd_cluster(const Args& args) {
                 cl.ports.size(), cl.distinct_slash24, cl.silhouette,
                 dominant, tops.c_str());
   }
+  if (args.has("health-out")) {
+    const auto thresholds = health_thresholds_from(args);
+    if (!thresholds) return 2;
+    write_single_window_health(args.get("health-out"), trace, dv, clustering,
+                               *thresholds);
+  }
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  const net::Trace trace = load_trace(args.get("trace"), args);
+  StreamingConfig config;
+  config.darkvec = config_from(args);
+  config.window_seconds = static_cast<std::int64_t>(
+      args.number("window-days", 8) * net::kSecondsPerDay);
+  config.step_seconds = static_cast<std::int64_t>(
+      args.number("step-days", 4) * net::kSecondsPerDay);
+  config.k_prime = static_cast<int>(args.number("kprime", 3));
+  config.align = !args.has("no-align");
+  config.health = !args.has("no-health");
+  const auto thresholds = health_thresholds_from(args);
+  if (!thresholds) return 2;
+  config.health_thresholds = *thresholds;
+  if (args.has("checkpoint-dir")) {
+    config.checkpoint_path = args.get("checkpoint-dir") + "/stream.ckpt";
+    config.resume = args.has("resume");
+  }
+
+  const StreamingResult result = run_streaming_monitored(trace, config);
+  std::printf("%-12s %8s %8s %7s %7s %7s %6s\n", "window_end", "senders",
+              "clusters", "churn", "overlap", "sil", "alerts");
+  for (const obs::WindowHealth& w : result.health) {
+    if (w.degraded) {
+      std::printf("%-12lld degraded: %s\n",
+                  static_cast<long long>(w.window_end),
+                  w.degraded_reason.c_str());
+      continue;
+    }
+    std::printf("%-12lld %8zu %8d %7.2f %7.2f %7.2f %6zu\n",
+                static_cast<long long>(w.window_end), w.senders, w.clusters,
+                w.vocab.churn(), w.neighbor_overlap, w.silhouette,
+                w.alerts.size());
+    for (const obs::HealthAlert& a : w.alerts) {
+      std::printf("    ALERT [%s] %s\n", a.signal.c_str(), a.detail.c_str());
+    }
+  }
+  if (!config.health) {
+    std::printf("%zu snapshots (health monitoring off)\n",
+                result.snapshots.size());
+  }
+  if (args.has("health-out")) {
+    obs::write_health_report(args.get("health-out"), config.health_thresholds,
+                             result.health);
+    std::fprintf(stderr, "wrote health report %s\n",
+                 args.get("health-out").c_str());
+  }
+  if (!result.completed) {
+    std::fprintf(stderr, "stream stopped early: %s\n",
+                 result.abort_reason.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -352,8 +472,11 @@ int cmd_neighbors(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: darkvec <simulate|train|classify|cluster|neighbors> "
+               "usage: darkvec "
+               "<simulate|train|classify|cluster|neighbors|stream> "
                "[--option value ...]\n"
+               "model health: --health-out FILE --health-thresholds SPEC "
+               "on train/cluster/stream; --no-health on stream\n"
                "observability: --log-level L --log-json [FILE] "
                "--metrics-out FILE --metrics-prom FILE --trace-out FILE\n"
                "kernels: --simd off|scalar|avx2|avx512 (default: best "
@@ -463,6 +586,7 @@ int main(int argc, char** argv) {
     else if (command == "classify") rc = cmd_classify(args);
     else if (command == "cluster") rc = cmd_cluster(args);
     else if (command == "neighbors") rc = cmd_neighbors(args);
+    else if (command == "stream") rc = cmd_stream(args);
     else known = false;
   } catch (const darkvec::runtime::Cancelled& e) {
     // 130 = died of SIGINT, the shell convention; metrics and trace

@@ -34,6 +34,12 @@ Rules (each with a stable id used in the output):
                    and polling loops that cannot observe cancellation;
                    wait via runtime::interruptible_sleep and back off
                    via io::with_retry instead.
+  metric-name-literal
+                   obs::counter/gauge/histogram/series call sites must
+                   reference a constant from obs::names
+                   (obs/metric_names.hpp), never an ad-hoc string
+                   literal: exposition names are an API surface, and the
+                   central header is the reviewable registry of it.
 
 Scanned roots: src/ include/ tools/ bench/ examples/ (tests are exempt:
 they may exercise raw primitives on purpose). Findings are printed as
@@ -104,6 +110,19 @@ LINE_RULES = [
         "raw sleep outside core/runtime cannot observe cancellation; "
         "wait via runtime::interruptible_sleep and back off via "
         "io::with_retry (core/runtime/)",
+    ),
+    (
+        # Stripping removes string literals *including* the quotes, so a
+        # metric call whose first argument was a literal is left with an
+        # empty first argument: counter("x") -> counter(),
+        # histogram("x", {1}) -> histogram(, {1}). A names:: constant
+        # survives stripping and does not match.
+        "metric-name-literal",
+        re.compile(r"\b(?:counter|gauge|histogram|series)\s*\(\s*[,)]"),
+        frozenset(),
+        "ad-hoc metric-name string literal at a registration call site; "
+        "add a constant to obs::names (obs/metric_names.hpp) and "
+        "reference it — exposition names are an API",
     ),
 ]
 
@@ -235,6 +254,9 @@ SELF_TEST_SEEDS = {
         "void f() {\n"
         "  std::this_thread::sleep_for(std::chrono::milliseconds(50));\n"
         "}\n",
+    "metric-name-literal":
+        "#include \"darkvec/obs/metrics.hpp\"\n"
+        "void f() { darkvec::obs::counter(\"io.widgets\").add(1); }\n",
 }
 
 CLEAN_FILE = """\
@@ -244,6 +266,11 @@ static_assert(sizeof(int) == 4, "ILP32/LP64 only");
 const std::string s = "reinterpret_cast<std::mutex> in a string literal";
 // The blessed wait is fine anywhere: "sleep" only fires as a call.
 bool waited() { return darkvec::runtime::interruptible_sleep(0.1); }
+// A counter("literal") in a comment must not fire metric-name-literal;
+// a names:: constant at the call site is the sanctioned form.
+void count_reads() {
+  darkvec::obs::counter(darkvec::obs::names::kIoRecordsRead).add(1);
+}
 int answer() { return 42; }
 """
 
